@@ -1,0 +1,233 @@
+//! Abort causes and the transactional result type.
+//!
+//! Both the simulated hardware transactions and the software paths signal
+//! aborts through [`Abort`], carried in a `Result` so that user code can
+//! propagate it with `?`.  The *cause* matters: the protocols take the
+//! paper's decisions (retry in hardware, fall back to the mixed slow-path,
+//! fall back to RH2, fall back to the all-software path) based on whether a
+//! hardware transaction failed due to contention or due to a hardware
+//! limitation (Algorithm 2 lines 44–49, Algorithm 3 lines 32–39).
+
+use std::fmt;
+
+/// Why a transaction attempt aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AbortCause {
+    /// A simulated hardware transaction lost a conflict: another thread
+    /// wrote a cache line in its read- or write-set (or read a line in its
+    /// write-set) before it committed.
+    Conflict,
+    /// A simulated hardware transaction exceeded its read- or write-capacity
+    /// (the L1-like budget).  This is the "hardware limitation" the paper's
+    /// fallback logic reacts to.
+    Capacity,
+    /// The protocol itself requested the abort (`HTM_Abort()`), e.g. because
+    /// commit-time revalidation inside the hardware transaction failed or a
+    /// fallback counter was observed non-zero.
+    Explicit,
+    /// An injected spurious abort (modelling interrupts, TLB misses and the
+    /// other reasons best-effort HTM may fail even without contention).
+    Spurious,
+    /// An injected abort from the forced-abort-ratio knob that mirrors the
+    /// paper's emulation methodology (§3.1: the STM abort ratio is forced
+    /// onto the HTM execution at commit time).
+    Forced,
+    /// A software (STM-style) read observed an inconsistent location: the
+    /// stripe version was newer than the transaction's start time-stamp or
+    /// changed between the pre- and post-read checks.
+    Validation,
+    /// A software path found a stripe locked by another thread (TL2 and RH2
+    /// encode a lock bit in the stripe version).
+    Locked,
+    /// A transaction attempted an operation the current path cannot execute
+    /// (e.g. a "protected instruction" inside a hardware transaction); the
+    /// runtime must fall back to a software path.
+    Unsupported,
+}
+
+impl AbortCause {
+    /// All causes, in a stable order (used for stats tables).
+    pub const ALL: [AbortCause; 8] = [
+        AbortCause::Conflict,
+        AbortCause::Capacity,
+        AbortCause::Explicit,
+        AbortCause::Spurious,
+        AbortCause::Forced,
+        AbortCause::Validation,
+        AbortCause::Locked,
+        AbortCause::Unsupported,
+    ];
+
+    /// Dense index of this cause (for counter arrays).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::Conflict => 0,
+            AbortCause::Capacity => 1,
+            AbortCause::Explicit => 2,
+            AbortCause::Spurious => 3,
+            AbortCause::Forced => 4,
+            AbortCause::Validation => 5,
+            AbortCause::Locked => 6,
+            AbortCause::Unsupported => 7,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::Conflict => "conflict",
+            AbortCause::Capacity => "capacity",
+            AbortCause::Explicit => "explicit",
+            AbortCause::Spurious => "spurious",
+            AbortCause::Forced => "forced",
+            AbortCause::Validation => "validation",
+            AbortCause::Locked => "locked",
+            AbortCause::Unsupported => "unsupported",
+        }
+    }
+
+    /// Does this cause indicate a *hardware limitation* (as opposed to
+    /// contention)?  The paper's fallback decisions hinge on this
+    /// distinction: contention is retried on the same path, hardware
+    /// limitations trigger a fall back to the next-slower path.
+    #[inline]
+    pub fn is_hardware_limitation(self) -> bool {
+        matches!(self, AbortCause::Capacity | AbortCause::Unsupported)
+    }
+
+    /// Does this cause indicate contention (conflict with another
+    /// transaction or an inconsistent read)?
+    #[inline]
+    pub fn is_contention(self) -> bool {
+        matches!(
+            self,
+            AbortCause::Conflict
+                | AbortCause::Validation
+                | AbortCause::Locked
+                | AbortCause::Forced
+        )
+    }
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A transaction abort, to be propagated with `?` out of the transaction
+/// body and handled by the runtime's retry loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort {
+    /// Why the attempt aborted.
+    pub cause: AbortCause,
+}
+
+impl Abort {
+    /// Creates an abort with the given cause.
+    #[inline]
+    pub fn new(cause: AbortCause) -> Self {
+        Abort { cause }
+    }
+
+    /// Shorthand for an [`AbortCause::Explicit`] abort.
+    #[inline]
+    pub fn explicit() -> Self {
+        Abort::new(AbortCause::Explicit)
+    }
+
+    /// Shorthand for an [`AbortCause::Conflict`] abort.
+    #[inline]
+    pub fn conflict() -> Self {
+        Abort::new(AbortCause::Conflict)
+    }
+
+    /// Shorthand for an [`AbortCause::Capacity`] abort.
+    #[inline]
+    pub fn capacity() -> Self {
+        Abort::new(AbortCause::Capacity)
+    }
+
+    /// Shorthand for an [`AbortCause::Validation`] abort.
+    #[inline]
+    pub fn validation() -> Self {
+        Abort::new(AbortCause::Validation)
+    }
+
+    /// Shorthand for an [`AbortCause::Locked`] abort.
+    #[inline]
+    pub fn locked() -> Self {
+        Abort::new(AbortCause::Locked)
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted ({})", self.cause)
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Result of a transactional operation or transaction body.
+pub type TxResult<T> = Result<T, Abort>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_indices_are_dense_and_unique() {
+        let mut seen = [false; AbortCause::ALL.len()];
+        for cause in AbortCause::ALL {
+            let idx = cause.index();
+            assert!(idx < AbortCause::ALL.len());
+            assert!(!seen[idx], "duplicate index for {cause:?}");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hardware_limitation_vs_contention_partition() {
+        for cause in AbortCause::ALL {
+            // No cause may be classified as both.
+            assert!(
+                !(cause.is_hardware_limitation() && cause.is_contention()),
+                "{cause:?} classified as both limitation and contention"
+            );
+        }
+        assert!(AbortCause::Capacity.is_hardware_limitation());
+        assert!(AbortCause::Unsupported.is_hardware_limitation());
+        assert!(AbortCause::Conflict.is_contention());
+        assert!(AbortCause::Validation.is_contention());
+        assert!(AbortCause::Locked.is_contention());
+    }
+
+    #[test]
+    fn abort_constructors_carry_cause() {
+        assert_eq!(Abort::explicit().cause, AbortCause::Explicit);
+        assert_eq!(Abort::conflict().cause, AbortCause::Conflict);
+        assert_eq!(Abort::capacity().cause, AbortCause::Capacity);
+        assert_eq!(Abort::validation().cause, AbortCause::Validation);
+        assert_eq!(Abort::locked().cause, AbortCause::Locked);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", Abort::capacity());
+        assert!(s.contains("capacity"));
+        assert_eq!(AbortCause::Spurious.to_string(), "spurious");
+    }
+
+    #[test]
+    fn abort_propagates_with_question_mark() {
+        fn body(fail: bool) -> TxResult<u64> {
+            let v = if fail { Err(Abort::conflict()) } else { Ok(7) }?;
+            Ok(v + 1)
+        }
+        assert_eq!(body(false), Ok(8));
+        assert_eq!(body(true), Err(Abort::conflict()));
+    }
+}

@@ -1,0 +1,52 @@
+//! # rhtm-api
+//!
+//! Runtime-agnostic transactional memory interface shared by every runtime
+//! in the workspace: the pure simulated-HTM runtime, the TL2 STM baseline,
+//! the Standard-HyTM baseline and the RH1/RH2 reduced-hardware protocols.
+//!
+//! The central abstraction is a pair of traits:
+//!
+//! * [`TmRuntime`] — the shared, `Send + Sync` runtime object (global clock,
+//!   stripe metadata, fallback counters, configuration).  It is a factory
+//!   for per-thread handles.
+//! * [`TmThread`] — a per-thread handle that doubles as the transaction
+//!   context.  [`TmThread::execute`] runs a closure transactionally,
+//!   retrying internally until the transaction commits; inside the closure
+//!   all shared accesses go through [`Txn::read`] and [`Txn::write`], and
+//!   aborts propagate as `Err(`[`Abort`]`)` via `?`.
+//!
+//! Workload and benchmark code is generic over `R: TmRuntime`, so the
+//! per-access paths are monomorphised and the *relative* instrumentation
+//! costs the paper measures are preserved (no virtual dispatch on the hot
+//! path).
+//!
+//! ```
+//! use rhtm_api::{Abort, TmRuntime, TmThread, TxResult, Txn};
+//! use rhtm_mem::Addr;
+//!
+//! /// Transfer `amount` between two "accounts" (heap words) under any
+//! /// transactional runtime.
+//! fn transfer<R: TmRuntime>(thread: &mut R::Thread, from: Addr, to: Addr, amount: u64) {
+//!     thread.execute(|tx| {
+//!         let a = tx.read(from)?;
+//!         if a < amount {
+//!             return Ok(false);
+//!         }
+//!         let b = tx.read(to)?;
+//!         tx.write(from, a - amount)?;
+//!         tx.write(to, b + amount)?;
+//!         Ok(true)
+//!     });
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod abort;
+pub mod stats;
+pub mod traits;
+
+pub use abort::{Abort, AbortCause, TxResult};
+pub use stats::{PathKind, Stopwatch, TxStats};
+pub use traits::{TmRuntime, TmThread, Txn};

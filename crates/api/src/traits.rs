@@ -1,0 +1,249 @@
+//! The runtime and transaction traits every TM implementation provides.
+
+use std::sync::Arc;
+
+use rhtm_mem::{Addr, TmMemory};
+
+use crate::abort::TxResult;
+use crate::stats::TxStats;
+
+/// Transactional access to the shared heap.
+///
+/// Implemented by each runtime's per-thread handle; the methods are only
+/// meaningful while a transaction is active, i.e. inside the closure passed
+/// to [`TmThread::execute`].
+pub trait Txn {
+    /// Transactionally reads the word at `addr`.
+    fn read(&mut self, addr: Addr) -> TxResult<u64>;
+
+    /// Transactionally writes `value` to the word at `addr`.
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()>;
+
+    /// Declares that the transaction needs to execute an operation that a
+    /// best-effort hardware transaction cannot run (a system call, page
+    /// fault, protected instruction, ...).
+    ///
+    /// On a hardware path this aborts the attempt with
+    /// [`crate::AbortCause::Unsupported`], steering the runtime towards a
+    /// software path where the operation can complete before the commit
+    /// point — exactly the motivation the paper gives for keeping the
+    /// slow-path transaction body in software.  On software paths it is a
+    /// no-op returning `Ok(())`.
+    fn protected_instruction(&mut self) -> TxResult<()> {
+        Ok(())
+    }
+}
+
+/// A per-thread transactional-memory handle.
+///
+/// The handle owns the thread's read/write-set buffers and statistics and is
+/// the object through which transactions are executed.  It is `Send` so it
+/// can be moved into a worker thread, but it is not `Sync`: one handle per
+/// thread.
+pub trait TmThread: Txn + Send {
+    /// Runs `body` as a transaction, retrying (with the runtime's contention
+    /// management and fallback policy) until an attempt commits, and returns
+    /// the committed attempt's result.
+    ///
+    /// The closure may be invoked many times; it must not have side effects
+    /// outside the transactional heap other than through idempotent local
+    /// state.  Nested calls to `execute` on the same handle are not
+    /// supported and panic.
+    fn execute<R, F>(&mut self, body: F) -> R
+    where
+        F: FnMut(&mut Self) -> TxResult<R>;
+
+    /// This thread's dense id (assigned by the runtime's
+    /// [`rhtm_mem::ThreadRegistry`]).
+    fn thread_id(&self) -> usize;
+
+    /// Read access to this thread's statistics.
+    fn stats(&self) -> &TxStats;
+
+    /// Mutable access to this thread's statistics (used by drivers to reset
+    /// between warm-up and measurement intervals, and to enable timing).
+    fn stats_mut(&mut self) -> &mut TxStats;
+}
+
+/// A transactional-memory runtime: shared state plus a factory for
+/// per-thread handles.
+pub trait TmRuntime: Send + Sync + 'static {
+    /// The per-thread handle type.
+    type Thread: TmThread;
+
+    /// A short, stable name used in benchmark reports ("HTM", "TL2",
+    /// "Standard HyTM", "RH1 Fast", "RH1 Mixed", "RH2", ...).
+    fn name(&self) -> &'static str;
+
+    /// The shared transactional memory this runtime operates on.
+    fn mem(&self) -> &Arc<TmMemory>;
+
+    /// Creates a handle for the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more threads register than the memory configuration's
+    /// `max_threads`.
+    fn register_thread(&self) -> Self::Thread;
+}
+
+#[cfg(test)]
+mod tests {
+    //! A miniature sequential runtime exercising the trait surface; the real
+    //! runtimes live in the downstream crates.
+
+    use super::*;
+    use crate::abort::{Abort, AbortCause};
+    use crate::stats::PathKind;
+    use rhtm_mem::{MemConfig, ThreadRegistry, ThreadToken};
+
+    /// A trivially-sequential runtime: transactions are executed directly
+    /// against the heap under a global mutex-free assumption (single thread
+    /// per test).  It exists only to validate the trait ergonomics.
+    struct DirectRuntime {
+        mem: Arc<TmMemory>,
+        registry: Arc<ThreadRegistry>,
+    }
+
+    struct DirectThread {
+        mem: Arc<TmMemory>,
+        token: ThreadToken,
+        stats: TxStats,
+        active: bool,
+        fail_next_reads: u32,
+    }
+
+    impl DirectRuntime {
+        fn new() -> Self {
+            let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(128)));
+            let registry = ThreadRegistry::new(8);
+            DirectRuntime { mem, registry }
+        }
+    }
+
+    impl TmRuntime for DirectRuntime {
+        type Thread = DirectThread;
+
+        fn name(&self) -> &'static str {
+            "Direct"
+        }
+
+        fn mem(&self) -> &Arc<TmMemory> {
+            &self.mem
+        }
+
+        fn register_thread(&self) -> DirectThread {
+            DirectThread {
+                mem: Arc::clone(&self.mem),
+                token: self.registry.register(),
+                stats: TxStats::new(false),
+                active: false,
+                fail_next_reads: 0,
+            }
+        }
+    }
+
+    impl Txn for DirectThread {
+        fn read(&mut self, addr: Addr) -> TxResult<u64> {
+            if self.fail_next_reads > 0 {
+                self.fail_next_reads -= 1;
+                return Err(Abort::conflict());
+            }
+            self.stats.record_read(0);
+            Ok(self.mem.heap().load(addr))
+        }
+
+        fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+            self.stats.record_write(0);
+            self.mem.heap().store(addr, value);
+            Ok(())
+        }
+    }
+
+    impl TmThread for DirectThread {
+        fn execute<R, F>(&mut self, mut body: F) -> R
+        where
+            F: FnMut(&mut Self) -> TxResult<R>,
+        {
+            assert!(!self.active, "nested execute is not supported");
+            self.active = true;
+            let result = loop {
+                match body(self) {
+                    Ok(r) => {
+                        self.stats.record_commit(PathKind::Software);
+                        break r;
+                    }
+                    Err(abort) => {
+                        self.stats.record_abort(abort.cause);
+                    }
+                }
+            };
+            self.active = false;
+            result
+        }
+
+        fn thread_id(&self) -> usize {
+            self.token.id()
+        }
+
+        fn stats(&self) -> &TxStats {
+            &self.stats
+        }
+
+        fn stats_mut(&mut self) -> &mut TxStats {
+            &mut self.stats
+        }
+    }
+
+    /// Generic helper used the way the workloads use the traits.
+    fn increment<R: TmRuntime>(thread: &mut R::Thread, addr: Addr) -> u64 {
+        thread.execute(|tx| {
+            let v = tx.read(addr)?;
+            tx.write(addr, v + 1)?;
+            Ok(v + 1)
+        })
+    }
+
+    #[test]
+    fn generic_workload_compiles_and_runs() {
+        let rt = DirectRuntime::new();
+        let mut th = rt.register_thread();
+        let addr = rt.mem().alloc(1);
+        assert_eq!(increment::<DirectRuntime>(&mut th, addr), 1);
+        assert_eq!(increment::<DirectRuntime>(&mut th, addr), 2);
+        assert_eq!(rt.mem().heap().load(addr), 2);
+        assert_eq!(th.stats().commits(), 2);
+        assert_eq!(th.thread_id() < 8, true);
+    }
+
+    #[test]
+    fn retry_loop_retries_until_commit() {
+        let rt = DirectRuntime::new();
+        let mut th = rt.register_thread();
+        let addr = rt.mem().alloc(1);
+        th.fail_next_reads = 3;
+        let v = increment::<DirectRuntime>(&mut th, addr);
+        assert_eq!(v, 1);
+        assert_eq!(th.stats().aborts_for(AbortCause::Conflict), 3);
+        assert_eq!(th.stats().commits(), 1);
+        assert!((th.stats().commit_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protected_instruction_defaults_to_noop() {
+        let rt = DirectRuntime::new();
+        let mut th = rt.register_thread();
+        let ok = th.execute(|tx| {
+            tx.protected_instruction()?;
+            Ok(true)
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn runtime_reports_name_and_memory() {
+        let rt = DirectRuntime::new();
+        assert_eq!(rt.name(), "Direct");
+        assert!(rt.mem().layout().data_words() >= 128);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion bench reproducing Figure 2 (constant RB-tree with the RH1 Mixed slow-path variants, 20% and 80% writes) at quick scale.
+//!
+//! `cargo bench --workspace` runs every figure this way; the paper-scale
+//! sweeps are produced by the corresponding `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhtm_bench::{FigureParams, Scale};
+
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+use rhtm_workloads::{run_on_algo, AlgoKind, ConstantRbTree, DriverOpts};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let params = FigureParams::new(Scale::Quick).clamp_threads_to_host();
+    let nodes = params.rbtree_nodes;
+    let threads = *params.thread_counts.last().unwrap();
+    for writes in [20u8, 80] {
+        let mut group = c.benchmark_group(format!("fig2_rbtree_{writes}pct"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+        for algo in [AlgoKind::Rh1Fast, AlgoKind::Rh1Mixed(10), AlgoKind::Rh1Mixed(100), AlgoKind::StdHytm] {
+            group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+                b.iter(|| {
+                    run_on_algo(
+                        algo,
+                        MemConfig::with_data_words(ConstantRbTree::required_words(nodes) + 4096),
+                        HtmConfig::default(),
+                        |sim| ConstantRbTree::new(Arc::clone(sim), nodes),
+                        &DriverOpts::counted(threads, writes, params.ops_per_thread),
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench reproducing Figure 3 left (constant hash table, 20% writes) at quick scale.
+//!
+//! `cargo bench --workspace` runs every figure this way; the paper-scale
+//! sweeps are produced by the corresponding `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhtm_bench::{FigureParams, Scale};
+
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+use rhtm_workloads::{run_on_algo, AlgoKind, ConstantHashTable, DriverOpts};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let params = FigureParams::new(Scale::Quick).clamp_threads_to_host();
+    let elements = params.hashtable_elements;
+    let threads = *params.thread_counts.last().unwrap();
+    let mut group = c.benchmark_group("fig3_hashtable_20pct");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for algo in [AlgoKind::Htm, AlgoKind::StdHytm, AlgoKind::Tl2, AlgoKind::Rh1Mixed(100)] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+            b.iter(|| {
+                run_on_algo(
+                    algo,
+                    MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 4096),
+                    HtmConfig::default(),
+                    |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                    &DriverOpts::counted(threads, 20, params.ops_per_thread),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

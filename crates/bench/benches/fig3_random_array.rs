@@ -1,0 +1,46 @@
+//! Criterion bench reproducing Figure 3 right (random array, RH1 vs Standard HyTM across write ratios) at quick scale.
+//!
+//! `cargo bench --workspace` runs every figure this way; the paper-scale
+//! sweeps are produced by the corresponding `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhtm_bench::{FigureParams, Scale};
+
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+use rhtm_workloads::{run_on_algo, AlgoKind, DriverOpts, RandomArray};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let params = FigureParams::new(Scale::Quick).clamp_threads_to_host();
+    let entries = params.random_array_entries;
+    let threads = *params.thread_counts.last().unwrap();
+    for txn_len in [200usize, 40] {
+        let mut group = c.benchmark_group(format!("fig3_random_array_len{txn_len}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+        for writes in [0u8, 50, 90] {
+            for algo in [AlgoKind::Rh1Fast, AlgoKind::StdHytm] {
+                let id = BenchmarkId::new(algo.label(), format!("writes{writes}"));
+                group.bench_with_input(id, &(algo, writes), |b, &(algo, writes)| {
+                    b.iter(|| {
+                        run_on_algo(
+                            algo,
+                            MemConfig::with_data_words(RandomArray::required_words(entries) + 4096),
+                            HtmConfig::default(),
+                            |sim| RandomArray::new(Arc::clone(sim), entries, txn_len, writes),
+                            &DriverOpts::counted(threads, 100, params.ops_per_thread / 8),
+                        )
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench reproducing Figure 3 middle (constant sorted list, 5% writes) at quick scale.
+//!
+//! `cargo bench --workspace` runs every figure this way; the paper-scale
+//! sweeps are produced by the corresponding `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhtm_bench::{FigureParams, Scale};
+
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+use rhtm_workloads::{run_on_algo, AlgoKind, ConstantSortedList, DriverOpts};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let params = FigureParams::new(Scale::Quick).clamp_threads_to_host();
+    let elements = params.sortedlist_elements;
+    let threads = *params.thread_counts.last().unwrap();
+    let mut group = c.benchmark_group("fig3_sortedlist_5pct");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for algo in [AlgoKind::Htm, AlgoKind::StdHytm, AlgoKind::Tl2, AlgoKind::Rh1Fast, AlgoKind::Rh1Mixed(100)] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+            b.iter(|| {
+                run_on_algo(
+                    algo,
+                    MemConfig::with_data_words(ConstantSortedList::required_words(elements) + 4096),
+                    HtmConfig::default(),
+                    |sim| ConstantSortedList::new(Arc::clone(sim), elements),
+                    &DriverOpts::counted(threads, 5, params.ops_per_thread / 4),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the per-operation costs the paper reasons about:
+//! an uninstrumented hardware read (HTM / RH1 fast-path), an instrumented
+//! hardware read (Standard HyTM), a TL2 software read, and the commit-time
+//! hardware transaction of the RH1 mixed slow-path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rhtm_api::{TmRuntime, TmThread, Txn};
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::{HtmConfig, HtmRuntime};
+use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
+use rhtm_mem::MemConfig;
+use rhtm_stm::Tl2Runtime;
+
+const READS_PER_TXN: usize = 64;
+
+fn bench_reads<R: TmRuntime>(c: &mut Criterion, name: &str, rt: &R) {
+    let base = rt.mem().alloc(READS_PER_TXN * 8);
+    let mut th = rt.register_thread();
+    c.bench_function(&format!("read_txn_64/{name}"), |b| {
+        b.iter(|| {
+            th.execute(|tx| {
+                let mut sum = 0u64;
+                for i in 0..READS_PER_TXN {
+                    sum = sum.wrapping_add(tx.read(base.offset(i * 8))?);
+                }
+                Ok(sum)
+            })
+        })
+    });
+}
+
+fn bench_update<R: TmRuntime>(c: &mut Criterion, name: &str, rt: &R) {
+    let base = rt.mem().alloc(64 * 8);
+    let mut th = rt.register_thread();
+    let mut k = 0usize;
+    c.bench_function(&format!("update_txn_8w/{name}"), |b| {
+        b.iter(|| {
+            k = (k + 1) % 8;
+            th.execute(|tx| {
+                for i in 0..8 {
+                    let addr = base.offset(((k + i) % 64) * 8);
+                    let v = tx.read(addr)?;
+                    tx.write(addr, v + 1)?;
+                }
+                Ok(())
+            })
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mem = || MemConfig::with_data_words(1 << 14);
+    let htm = HtmRuntime::new(mem(), HtmConfig::default());
+    bench_reads(c, "HTM", &htm);
+    bench_update(c, "HTM", &htm);
+
+    let rh1 = RhRuntime::new(mem(), HtmConfig::default(), RhConfig::rh1_fast());
+    bench_reads(c, "RH1 Fast", &rh1);
+    bench_update(c, "RH1 Fast", &rh1);
+
+    let rh1_slow = RhRuntime::new(mem(), HtmConfig::default(), RhConfig::rh1_slow());
+    bench_reads(c, "RH1 Slow", &rh1_slow);
+    bench_update(c, "RH1 Slow", &rh1_slow);
+
+    let std_hytm = StdHytmRuntime::new(mem(), HtmConfig::default(), StdHytmConfig::hardware_only());
+    bench_reads(c, "Standard HyTM", &std_hytm);
+    bench_update(c, "Standard HyTM", &std_hytm);
+
+    let tl2 = Tl2Runtime::new(mem());
+    bench_reads(c, "TL2", &tl2);
+    bench_update(c, "TL2", &tl2);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablation A1: shrinking hardware read capacity pushes RH1 from the fast-path to the mixed slow-path, whose hardware commit only touches the (4x smaller) metadata.
+
+use rhtm_bench::{FigureParams, Scale};
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args());
+    println!("# Ablation A1: hardware read-capacity sweep (RH1 Mixed 100, random array, 200 accesses/txn)");
+    for (capacity, row) in rhtm_bench::ablation_capacity(&params) {
+        println!("read-capacity {:>4} lines: {}", capacity, row.throughput_row());
+    }
+}

@@ -1,0 +1,18 @@
+//! Ablation A2: the GV6 non-advancing global clock versus a conventional incrementing clock (design choice of paper section 2.2).
+
+use rhtm_bench::{FigureParams, Scale};
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    println!("# Ablation A2: global-clock algorithm (RH1 Mixed 100, constant RB-tree, 20% writes)");
+    for (label, row) in rhtm_bench::ablation_clock(&params) {
+        println!("{:<14} {}", label, row.throughput_row());
+    }
+}

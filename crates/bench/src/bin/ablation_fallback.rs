@@ -1,0 +1,21 @@
+//! Ablation A3: the fallback cascade (fast-path, mixed slow-path, RH2 commit, all-software write-back) under shrinking hardware capacity.
+
+use rhtm_bench::{FigureParams, Scale};
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args());
+    println!("# Ablation A3: fallback cascade under shrinking hardware capacity (RH1 Mixed 100, constant hash table, 50% writes)");
+    for (capacity, row) in rhtm_bench::ablation_fallback(&params) {
+        println!("capacity {:>4} lines: {}", capacity, row.throughput_row());
+        for (cause, count) in row.abort_causes() {
+            println!("    aborts[{cause}] = {count}");
+        }
+    }
+}

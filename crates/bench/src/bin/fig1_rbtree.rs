@@ -1,0 +1,19 @@
+//! Figure 1: 100K-node constant red-black tree, 20% mutations — instrumentation cost of the hardware fast-path.
+
+use rhtm_bench::{FigureParams, Scale};
+use rhtm_workloads::report;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    eprintln!("running Figure 1 (constant RB-tree, 20% writes), threads {:?}", params.thread_counts);
+    let rows = rhtm_bench::fig1_rbtree(&params);
+    println!("{}", report::format_series("Figure 1: 100K Nodes Constant RB-Tree, 20% mutations", &rows));
+    println!("{}", report::to_json(&rows));
+}

@@ -1,0 +1,26 @@
+//! Figure 2 (middle & bottom) and the embedded tables: single-thread speedup and read/write/commit/private/inter-tx time breakdown.
+
+use rhtm_bench::{FigureParams, Scale};
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args());
+    for writes in [20u8, 80] {
+        println!("# Single-thread breakdown, {writes}% writes (paper table {}_100_R)", writes);
+        let rows = rhtm_bench::fig2_breakdown(&params, writes);
+        for row in &rows {
+            println!("{}", row.breakdown_row());
+        }
+        println!("# Single-thread speedup normalised to TL2");
+        for (name, speedup) in rhtm_bench::single_thread_speedups(&rows) {
+            println!("{name:<16} {speedup:>6.2}x");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 2 (top): constant red-black tree with the RH1 Mixed slow-path variants; pass `--writes 20|80`.
+
+use rhtm_bench::{FigureParams, Scale};
+use rhtm_workloads::report;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn write_percent_from_args() -> u8 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--writes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    let writes = write_percent_from_args();
+    eprintln!("running Figure 2 (constant RB-tree, {}% writes), threads {:?}", writes, params.thread_counts);
+    let rows = rhtm_bench::fig2_rbtree(&params, writes);
+    let title = format!("Figure 2: 100K Nodes Constant RB-Tree, {writes}% mutations");
+    println!("{}", report::format_series(&title, &rows));
+    println!("{}", report::to_json(&rows));
+}

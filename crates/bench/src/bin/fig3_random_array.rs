@@ -1,0 +1,25 @@
+//! Figure 3 (right): 128K random array — RH1 speedup over the Standard HyTM across transaction lengths and write ratios.
+
+use rhtm_bench::{FigureParams, Scale};
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    eprintln!("running Figure 3 (random array speedup matrix) at {} threads", params.thread_counts.iter().max().unwrap());
+    let points = rhtm_bench::fig3_random_array(&params);
+    println!("# Figure 3 (right): 128K Random Array — RH1 speedup vs Standard HyTM");
+    println!("{:>8} {:>8} {:>14} {:>14} {:>9}", "txn-len", "writes%", "RH1 ops/s", "StdHyTM ops/s", "speedup");
+    for p in &points {
+        println!(
+            "{:>8} {:>8} {:>14.0} {:>14.0} {:>8.2}x",
+            p.txn_len, p.write_percent, p.rh1_ops_per_sec, p.std_hytm_ops_per_sec, p.speedup
+        );
+    }
+    println!("{}", serde_json::to_string_pretty(&points).unwrap());
+}

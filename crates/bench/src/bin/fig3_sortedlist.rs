@@ -1,0 +1,19 @@
+//! Figure 3 (middle): 1K-element constant sorted list, 5% writes.
+
+use rhtm_bench::{FigureParams, Scale};
+use rhtm_workloads::report;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Paper)
+}
+
+fn main() {
+    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    eprintln!("running Figure 3 (constant sorted list, 5% writes), threads {:?}", params.thread_counts);
+    let rows = rhtm_bench::fig3_sortedlist(&params);
+    println!("{}", report::format_series("Figure 3 (middle): 1K Nodes Constant Sorted List, 5% mutations", &rows));
+    println!("{}", report::to_json(&rows));
+}

@@ -1,0 +1,337 @@
+//! Figure and table definitions.
+//!
+//! Each function reproduces one experiment of the paper's evaluation and
+//! returns its raw rows; the `fig*` binaries print them at paper scale and
+//! the Criterion benches run them at quick scale.  `EXPERIMENTS.md` maps
+//! every function to the paper's figure/table it regenerates.
+
+use std::sync::Arc;
+
+use rhtm_htm::{HtmConfig, HtmSim};
+use rhtm_mem::{ClockMode, MemConfig};
+use rhtm_workloads::{
+    run_on_algo, AlgoKind, BenchResult, ConstantHashTable, ConstantRbTree, ConstantSortedList,
+    DriverOpts, RandomArray,
+};
+
+use crate::params::FigureParams;
+
+/// Sizes the shared memory for a workload that needs `data_words` words.
+fn mem_config(data_words: usize) -> MemConfig {
+    MemConfig::with_data_words(data_words + 4096)
+}
+
+fn timed_opts(params: &FigureParams, threads: usize, write_percent: u8) -> DriverOpts {
+    DriverOpts::timed(threads, write_percent, params.duration)
+}
+
+/// One point of a throughput figure: `algo` on the constant red-black tree.
+fn rbtree_point(
+    params: &FigureParams,
+    algo: AlgoKind,
+    threads: usize,
+    write_percent: u8,
+) -> BenchResult {
+    let nodes = params.rbtree_nodes;
+    run_on_algo(
+        algo,
+        mem_config(ConstantRbTree::required_words(nodes)),
+        HtmConfig::default(),
+        |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+        &timed_opts(params, threads, write_percent),
+    )
+}
+
+/// **Figure 1**: constant red-black tree, 20% mutations, thread sweep over
+/// {HTM, Standard HyTM, TL2, RH1 Fast} — the instrumentation-cost
+/// experiment.
+pub fn fig1_rbtree(params: &FigureParams) -> Vec<BenchResult> {
+    let algos = [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Fast,
+    ];
+    let mut rows = Vec::new();
+    for &threads in &params.thread_counts {
+        for algo in algos {
+            rows.push(rbtree_point(params, algo, threads, 20));
+        }
+    }
+    rows
+}
+
+/// **Figure 2 (top)**: constant red-black tree with the slow-path-mix
+/// variants at the given write percentage (the paper shows 20% and 80%).
+pub fn fig2_rbtree(params: &FigureParams, write_percent: u8) -> Vec<BenchResult> {
+    let mut rows = Vec::new();
+    for &threads in &params.thread_counts {
+        for algo in AlgoKind::FIGURE_SET {
+            rows.push(rbtree_point(params, algo, threads, write_percent));
+        }
+    }
+    rows
+}
+
+/// **Figure 2 (middle & bottom) and the `20_100_R` / `80_100_R` tables**:
+/// single-thread speedup and time breakdown for
+/// {RH1 Slow, TL2, Standard HyTM, RH1 Fast, HTM}.
+pub fn fig2_breakdown(params: &FigureParams, write_percent: u8) -> Vec<BenchResult> {
+    let algos = [
+        AlgoKind::Rh1Slow,
+        AlgoKind::Tl2,
+        AlgoKind::StdHytm,
+        AlgoKind::Rh1Fast,
+        AlgoKind::Htm,
+    ];
+    let nodes = params.rbtree_nodes;
+    algos
+        .into_iter()
+        .map(|algo| {
+            run_on_algo(
+                algo,
+                mem_config(ConstantRbTree::required_words(nodes)),
+                HtmConfig::default(),
+                |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+                &DriverOpts::counted(1, write_percent, params.ops_per_thread).with_breakdown(),
+            )
+        })
+        .collect()
+}
+
+/// Single-thread speedups normalised to TL2 (the paper's Figure 2 middle
+/// charts), computed from breakdown rows.
+pub fn single_thread_speedups(rows: &[BenchResult]) -> Vec<(String, f64)> {
+    let tl2 = rows
+        .iter()
+        .find(|r| r.algorithm == "TL2")
+        .map(|r| r.throughput())
+        .unwrap_or(1.0);
+    rows.iter()
+        .map(|r| (r.algorithm.clone(), r.throughput() / tl2.max(f64::MIN_POSITIVE)))
+        .collect()
+}
+
+/// **Figure 3 (left)**: constant hash table, 20% writes.
+pub fn fig3_hashtable(params: &FigureParams) -> Vec<BenchResult> {
+    let algos = [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Mixed(100),
+    ];
+    let elements = params.hashtable_elements;
+    let mut rows = Vec::new();
+    for &threads in &params.thread_counts {
+        for algo in algos {
+            rows.push(run_on_algo(
+                algo,
+                mem_config(ConstantHashTable::required_words(elements)),
+                HtmConfig::default(),
+                |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), elements),
+                &timed_opts(params, threads, 20),
+            ));
+        }
+    }
+    rows
+}
+
+/// **Figure 3 (middle)**: constant sorted list, 5% writes.
+pub fn fig3_sortedlist(params: &FigureParams) -> Vec<BenchResult> {
+    let elements = params.sortedlist_elements;
+    let mut rows = Vec::new();
+    for &threads in &params.thread_counts {
+        for algo in AlgoKind::FIGURE_SET {
+            rows.push(run_on_algo(
+                algo,
+                mem_config(ConstantSortedList::required_words(elements)),
+                HtmConfig::default(),
+                |sim: &Arc<HtmSim>| ConstantSortedList::new(Arc::clone(sim), elements),
+                &timed_opts(params, threads, 5),
+            ));
+        }
+    }
+    rows
+}
+
+/// One point of the random-array speedup matrix.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RandomArrayPoint {
+    /// Shared accesses per transaction.
+    pub txn_len: usize,
+    /// Percentage of those accesses that are writes.
+    pub write_percent: u8,
+    /// RH1-Fast throughput (ops/s).
+    pub rh1_ops_per_sec: f64,
+    /// Standard-HyTM throughput (ops/s).
+    pub std_hytm_ops_per_sec: f64,
+    /// The paper's reported quantity: RH1 speedup over the Standard HyTM.
+    pub speedup: f64,
+}
+
+/// **Figure 3 (right)**: RH speedup over the Standard HyTM on the random
+/// array, for transaction lengths {400, 200, 100, 40} and write percentages
+/// {0, 20, 50, 90}, at the maximum thread count of the sweep.
+pub fn fig3_random_array(params: &FigureParams) -> Vec<RandomArrayPoint> {
+    let threads = params.thread_counts.iter().copied().max().unwrap_or(1);
+    let entries = params.random_array_entries;
+    let mut points = Vec::new();
+    for &txn_len in &[400usize, 200, 100, 40] {
+        for &write_percent in &[0u8, 20, 50, 90] {
+            let run = |algo: AlgoKind| {
+                run_on_algo(
+                    algo,
+                    mem_config(RandomArray::required_words(entries)),
+                    HtmConfig::default(),
+                    |sim: &Arc<HtmSim>| {
+                        RandomArray::new(Arc::clone(sim), entries, txn_len, write_percent)
+                    },
+                    &timed_opts(params, threads, 100),
+                )
+            };
+            let rh1 = run(AlgoKind::Rh1Fast);
+            let std = run(AlgoKind::StdHytm);
+            let rh1_tp = rh1.throughput();
+            let std_tp = std.throughput();
+            points.push(RandomArrayPoint {
+                txn_len,
+                write_percent,
+                rh1_ops_per_sec: rh1_tp,
+                std_hytm_ops_per_sec: std_tp,
+                speedup: if std_tp > 0.0 { rh1_tp / std_tp } else { 0.0 },
+            });
+        }
+    }
+    points
+}
+
+/// **Ablation A1**: how much longer a transaction the mixed slow-path can
+/// accommodate compared with the fast-path, as the hardware read capacity
+/// shrinks (§1.2's "read-set metadata is ~1/4 the size of the data read").
+/// Returns `(read_capacity_lines, result)` rows for RH1 Mixed 100 on the
+/// random array.
+pub fn ablation_capacity(params: &FigureParams) -> Vec<(usize, BenchResult)> {
+    let entries = params.random_array_entries.min(16 * 1024);
+    let txn_len = 200;
+    let mut rows = Vec::new();
+    for &capacity in &[512usize, 128, 64, 32, 16] {
+        let htm_config = HtmConfig::with_capacity(capacity, 64);
+        let result = run_on_algo(
+            AlgoKind::Rh1Mixed(100),
+            mem_config(RandomArray::required_words(entries)),
+            htm_config,
+            |sim: &Arc<HtmSim>| RandomArray::new(Arc::clone(sim), entries, txn_len, 20),
+            &DriverOpts::counted(2, 100, params.ops_per_thread / 4),
+        );
+        rows.push((capacity, result));
+    }
+    rows
+}
+
+/// **Ablation A2**: the GV6 non-advancing clock versus a conventional
+/// incrementing clock, on the red-black tree at 20% writes (the design
+/// choice discussed in §2.2).
+pub fn ablation_clock(params: &FigureParams) -> Vec<(&'static str, BenchResult)> {
+    let nodes = params.rbtree_nodes;
+    let threads = params.thread_counts.iter().copied().max().unwrap_or(1);
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("GV6 (paper)", ClockMode::Gv6),
+        ("Incrementing", ClockMode::Incrementing),
+    ] {
+        let mem_cfg = MemConfig {
+            clock_mode: mode,
+            ..mem_config(ConstantRbTree::required_words(nodes))
+        };
+        let result = run_on_algo(
+            AlgoKind::Rh1Mixed(100),
+            mem_cfg,
+            HtmConfig::default(),
+            |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+            &timed_opts(params, threads, 20),
+        );
+        rows.push((label, result));
+    }
+    rows
+}
+
+/// **Ablation A3**: the cost of the fallback cascade.  The hash table is run
+/// under RH1 Mixed 100 with progressively smaller hardware capacities, so
+/// transactions are pushed from the fast-path to the mixed slow-path, the
+/// RH2 commit and finally the all-software write-back; the result rows show
+/// the path distribution.
+pub fn ablation_fallback(params: &FigureParams) -> Vec<(usize, BenchResult)> {
+    let elements = params.hashtable_elements;
+    let mut rows = Vec::new();
+    for &capacity in &[512usize, 16, 8, 4, 2] {
+        let htm_config = HtmConfig::with_capacity(capacity, capacity.min(8));
+        let result = run_on_algo(
+            AlgoKind::Rh1Mixed(100),
+            mem_config(ConstantHashTable::required_words(elements)),
+            htm_config,
+            |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), elements),
+            &DriverOpts::counted(2, 50, params.ops_per_thread / 4),
+        );
+        rows.push((capacity, result));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Scale;
+
+    fn tiny_params() -> FigureParams {
+        FigureParams {
+            rbtree_nodes: 1_000,
+            hashtable_elements: 512,
+            sortedlist_elements: 64,
+            random_array_entries: 2_048,
+            thread_counts: vec![1, 2],
+            duration: std::time::Duration::from_millis(20),
+            ops_per_thread: 200,
+        }
+    }
+
+    #[test]
+    fn fig1_produces_a_row_per_algo_and_thread_count() {
+        let rows = fig1_rbtree(&tiny_params());
+        assert_eq!(rows.len(), 2 * 4);
+        assert!(rows.iter().all(|r| r.total_ops > 0));
+    }
+
+    #[test]
+    fn fig2_breakdown_contains_the_papers_five_rows() {
+        let rows = fig2_breakdown(&tiny_params(), 20);
+        let names: Vec<_> = rows.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["RH1 Slow", "TL2", "Standard HyTM", "RH1 Fast", "HTM"]);
+        assert!(rows.iter().all(|r| r.breakdown.is_some()));
+        let speedups = single_thread_speedups(&rows);
+        let tl2 = speedups.iter().find(|(n, _)| n == "TL2").unwrap().1;
+        assert!((tl2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_random_array_matrix_has_16_points() {
+        let mut p = tiny_params();
+        p.duration = std::time::Duration::from_millis(10);
+        let points = fig3_random_array(&p);
+        assert_eq!(points.len(), 16);
+        assert!(points.iter().all(|pt| pt.rh1_ops_per_sec > 0.0));
+    }
+
+    #[test]
+    fn ablations_produce_rows() {
+        let p = tiny_params();
+        assert_eq!(ablation_clock(&p).len(), 2);
+        assert_eq!(ablation_capacity(&p).len(), 5);
+        assert_eq!(ablation_fallback(&p).len(), 5);
+    }
+
+    #[test]
+    fn quick_scale_figures_are_wired_to_real_sizes() {
+        let q = FigureParams::new(Scale::Quick);
+        assert!(q.rbtree_nodes >= 10_000);
+    }
+}

@@ -1,0 +1,27 @@
+//! # rhtm-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (see `EXPERIMENTS.md` at the workspace root for the
+//! experiment-by-experiment index and the recorded results).
+//!
+//! The same figure definitions are exposed at two scales:
+//!
+//! * **Paper scale** ([`Scale::Paper`]) — the sizes the paper uses (100 K
+//!   node tree, 1 K element list, 128 K entry array, threads 1..20).  Run
+//!   through the `fig*` binaries, e.g.
+//!   `cargo run -p rhtm-bench --release --bin fig1_rbtree`.
+//! * **Quick scale** ([`Scale::Quick`]) — reduced sizes so that
+//!   `cargo bench --workspace` exercises every figure in a few minutes
+//!   through the Criterion benches.
+//!
+//! Each figure function returns the raw [`BenchResult`] rows so binaries,
+//! benches and tests all share one definition of the experiment.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod figures;
+pub mod params;
+
+pub use figures::*;
+pub use params::{FigureParams, Scale};

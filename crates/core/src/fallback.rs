@@ -1,0 +1,159 @@
+//! The global fallback state: the two counters that coordinate the mode
+//! switches of the cascade.
+//!
+//! * `is_RH2_fallback` — number of RH1 slow-path transactions currently
+//!   executing their commit through the RH2 fallback (Algorithm 3).  While
+//!   it is non-zero, fast-path transactions must run the RH2 fast-path
+//!   (which checks read masks and locks) instead of the RH1 fast-path.
+//! * `is_all_software_slow_path` — number of RH2 slow-path transactions
+//!   currently performing their write-back in pure software (Algorithm 5).
+//!   While it is non-zero, fast-path transactions must run in the
+//!   *fast-path-slow-read* mode, whose reads are instrumented with TL2-style
+//!   version checks.
+//!
+//! Both counters live in the transactional heap (each on its own simulated
+//! cache line) so that fast-path hardware transactions can monitor them
+//! *speculatively*: the increment performed by a slow-path transaction is a
+//! conflict-visible store, so every fast-path transaction that read the
+//! counter at its start aborts immediately — the paper's mechanism for
+//! draining incompatible fast-path transactions on a mode switch.
+
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+/// A view of the two fallback counters of a shared memory.
+#[derive(Clone, Debug)]
+pub struct FallbackState {
+    rh2_fallback: Addr,
+    all_software: Addr,
+}
+
+impl FallbackState {
+    /// Creates the view for a simulator's memory.
+    pub fn new(sim: &HtmSim) -> Self {
+        let layout = sim.mem().layout();
+        FallbackState {
+            rh2_fallback: layout.rh2_fallback_addr(),
+            all_software: layout.all_software_addr(),
+        }
+    }
+
+    /// Heap address of the `is_RH2_fallback` counter (for speculative
+    /// monitoring inside hardware transactions).
+    #[inline(always)]
+    pub fn rh2_fallback_addr(&self) -> Addr {
+        self.rh2_fallback
+    }
+
+    /// Heap address of the `is_all_software_slow_path` counter.
+    #[inline(always)]
+    pub fn all_software_addr(&self) -> Addr {
+        self.all_software
+    }
+
+    /// Number of RH1 slow-path transactions currently committing through the
+    /// RH2 fallback.
+    #[inline(always)]
+    pub fn rh2_fallback_count(&self, sim: &HtmSim) -> u64 {
+        sim.nt_load(self.rh2_fallback)
+    }
+
+    /// Number of RH2 slow-path transactions currently performing a pure
+    /// software write-back.
+    #[inline(always)]
+    pub fn all_software_count(&self, sim: &HtmSim) -> u64 {
+        sim.nt_load(self.all_software)
+    }
+
+    /// Enters the RH2-fallback region (increment `is_RH2_fallback`
+    /// visibly, aborting concurrent RH1 fast-path transactions).
+    #[inline]
+    pub fn enter_rh2_fallback(&self, sim: &HtmSim) {
+        sim.nt_fetch_add(self.rh2_fallback, 1);
+    }
+
+    /// Leaves the RH2-fallback region.
+    #[inline]
+    pub fn leave_rh2_fallback(&self, sim: &HtmSim) {
+        sim.nt_fetch_sub(self.rh2_fallback, 1);
+    }
+
+    /// Enters the all-software write-back region (increment
+    /// `is_all_software_slow_path` visibly, aborting concurrent RH2
+    /// fast-path transactions).
+    #[inline]
+    pub fn enter_all_software(&self, sim: &HtmSim) {
+        sim.nt_fetch_add(self.all_software, 1);
+    }
+
+    /// Leaves the all-software write-back region.
+    #[inline]
+    pub fn leave_all_software(&self, sim: &HtmSim) {
+        sim.nt_fetch_sub(self.all_software, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::AbortCause;
+    use rhtm_htm::{HtmConfig, HtmThread};
+    use rhtm_mem::{MemConfig, TmMemory};
+    use std::sync::Arc;
+
+    fn sim() -> Arc<HtmSim> {
+        HtmSim::new(
+            Arc::new(TmMemory::new(MemConfig::with_data_words(256))),
+            HtmConfig::default(),
+        )
+    }
+
+    #[test]
+    fn counters_start_at_zero_and_nest() {
+        let s = sim();
+        let fb = FallbackState::new(&s);
+        assert_eq!(fb.rh2_fallback_count(&s), 0);
+        assert_eq!(fb.all_software_count(&s), 0);
+        fb.enter_rh2_fallback(&s);
+        fb.enter_rh2_fallback(&s);
+        assert_eq!(fb.rh2_fallback_count(&s), 2);
+        fb.leave_rh2_fallback(&s);
+        assert_eq!(fb.rh2_fallback_count(&s), 1);
+        fb.leave_rh2_fallback(&s);
+        assert_eq!(fb.rh2_fallback_count(&s), 0);
+
+        fb.enter_all_software(&s);
+        assert_eq!(fb.all_software_count(&s), 1);
+        fb.leave_all_software(&s);
+        assert_eq!(fb.all_software_count(&s), 0);
+    }
+
+    #[test]
+    fn counters_live_on_distinct_lines() {
+        let s = sim();
+        let fb = FallbackState::new(&s);
+        assert_ne!(fb.rh2_fallback_addr().line(), fb.all_software_addr().line());
+        assert_ne!(
+            fb.rh2_fallback_addr().line(),
+            s.mem().layout().clock_addr().line()
+        );
+    }
+
+    #[test]
+    fn increment_aborts_speculative_monitor() {
+        // An RH1 fast-path transaction monitors is_RH2_fallback by reading
+        // it speculatively; a concurrent increment must doom it.
+        let s = sim();
+        let fb = FallbackState::new(&s);
+        let data = s.mem().alloc(1);
+        let mut t = HtmThread::new(Arc::clone(&s), 0);
+        t.begin();
+        assert_eq!(t.read(fb.rh2_fallback_addr()).unwrap(), 0);
+        t.write(data, 1).unwrap();
+        fb.enter_rh2_fallback(&s);
+        let err = t.commit().unwrap_err();
+        assert_eq!(err.cause, AbortCause::Conflict);
+        assert_eq!(s.nt_load(data), 0);
+        fb.leave_rh2_fallback(&s);
+    }
+}

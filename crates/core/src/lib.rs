@@ -1,0 +1,67 @@
+//! # rhtm-core — Reduced Hardware Transactions
+//!
+//! This crate implements the paper's contribution: the **RH1** and **RH2**
+//! reduced-hardware hybrid transactional memory protocols (Matveev & Shavit,
+//! *Reduced Hardware Transactions: A New Approach to Hybrid Transactional
+//! Memory*, 2013), together with the multi-level fallback cascade that ties
+//! them together:
+//!
+//! ```text
+//!   RH1 fast-path          all-hardware, uninstrumented reads, one extra
+//!        |                  metadata store per write
+//!        v  (contention: percentage per the "Mix" policy;
+//!            capacity/protected instruction: always)
+//!   RH1 mixed slow-path    transaction body in software, commit = ONE
+//!        |                  hardware transaction (read-set revalidation +
+//!        |                  write-back + version install)
+//!        v  (commit hardware transaction hits a capacity limit)
+//!   RH2 slow-path commit   locks + commit-time visible read-set, hardware
+//!        |                  transaction only for the write-back
+//!        v  (write-back hardware transaction hits a capacity limit)
+//!   all-software           pure software write-back; concurrent fast-paths
+//!   slow-slow-path         switch to the instrumented "fast-path-slow-read"
+//!                          mode until it finishes
+//! ```
+//!
+//! The global mode switches are mediated by two counters that live in the
+//! transactional heap and are monitored *speculatively* by the hardware
+//! fast-paths, exactly as in the paper: `is_RH2_fallback` (Algorithm 3) and
+//! `is_all_software_slow_path` (Algorithms 4–6).
+//!
+//! The public entry point is [`RhRuntime`], which implements
+//! [`rhtm_api::TmRuntime`]; the "RH1 Fast" / "RH1 Mixed N" / "RH2" variants
+//! of the paper's evaluation are obtained purely through [`RhConfig`].
+//!
+//! ```
+//! use rhtm_api::{TmRuntime, TmThread, Txn};
+//! use rhtm_core::{RhConfig, RhRuntime};
+//! use rhtm_htm::HtmConfig;
+//! use rhtm_mem::MemConfig;
+//!
+//! let rt = RhRuntime::new(
+//!     MemConfig::with_data_words(1024),
+//!     HtmConfig::default(),
+//!     RhConfig::rh1_mixed(100),
+//! );
+//! let counter = rt.mem().alloc(1);
+//! let mut thread = rt.register_thread();
+//! let new_value = thread.execute(|tx| {
+//!     let v = tx.read(counter)?;
+//!     tx.write(counter, v + 1)?;
+//!     Ok(v + 1)
+//! });
+//! assert_eq!(new_value, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod fallback;
+pub mod rh1;
+pub mod rh2;
+pub mod runtime;
+
+pub use config::{ProtocolMode, RhConfig};
+pub use fallback::FallbackState;
+pub use runtime::{RhRuntime, RhThread};

@@ -1,0 +1,313 @@
+//! The RH2 protocol (Algorithms 4–7 of the paper).
+//!
+//! RH2 reduces the hardware requirement of the slow-path to the *write-back
+//! only*: the slow-path commit locks its write-set stripes, makes its
+//! read-set **visible** through per-stripe read masks, revalidates in
+//! software, and then performs just the write-back inside a (small)
+//! hardware transaction.  If even that write-back cannot fit in hardware,
+//! it is performed in pure software after switching every fast-path
+//! transaction into the instrumented *fast-path-slow-read* mode (the
+//! "all-software slow-slow-path").
+//!
+//! The fast-path pays for this with a commit-time check: before committing
+//! it verifies (speculatively) that none of the stripes it wrote is
+//! currently marked as read by a committing slow-path transaction, and it
+//! locks its written stripes speculatively so that its data writes and the
+//! locks become visible atomically.  Reads remain uninstrumented.
+
+use rhtm_api::{AbortCause, PathKind, TxResult};
+use rhtm_htm::gv;
+use rhtm_mem::{stamp, Addr, StripeId};
+
+use crate::runtime::RhThread;
+
+impl RhThread {
+    // ------------------------------------------------------------------
+    // RH2 fast-path (Algorithm 4)
+    // ------------------------------------------------------------------
+
+    /// `RH2_FastPath_start`: open the hardware transaction and monitor the
+    /// `is_all_software_slow_path` counter speculatively.
+    pub(crate) fn rh2_fast_begin(&mut self) -> TxResult<()> {
+        self.fp_write_stripes.clear();
+        self.htm.begin();
+        let all_software = self.htm.read(self.fallback.all_software_addr())?;
+        if all_software > 0 {
+            return Err(self.htm.abort(AbortCause::Explicit));
+        }
+        Ok(())
+    }
+
+    /// `RH2_FastPath_write` / `RH2_FastPath_SR_write`: log the written
+    /// stripe and store the value speculatively.
+    #[inline]
+    pub(crate) fn rh2_fast_write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        let stripe = self.sim.mem().layout().stripe_of(addr);
+        self.fp_write_stripes.push(stripe);
+        self.htm.write(addr, value)
+    }
+
+    /// `RH2_FastPath_commit` (also used by the fast-path-slow-read mode):
+    /// check the read masks of the written stripes, lock them speculatively,
+    /// commit the hardware transaction, then install the next version
+    /// (which releases the locks).
+    pub(crate) fn rh2_fast_commit(&mut self) -> TxResult<()> {
+        // Read-only transactions commit immediately.
+        if self.fp_write_stripes.is_empty() {
+            return self.htm.commit();
+        }
+        let layout = self.sim.mem().layout();
+        let mask_words = layout.mask_words_per_stripe();
+        self.fp_write_stripes.sort_unstable();
+        self.fp_write_stripes.dedup();
+
+        // Verify no concurrently committing software transaction has made a
+        // read of these stripes visible.
+        let mut total_mask: u64 = 0;
+        for i in 0..self.fp_write_stripes.len() {
+            let stripe = self.fp_write_stripes[i];
+            for word in 0..mask_words {
+                total_mask |= self.htm.read(layout.read_mask_addr(stripe, word))?;
+            }
+        }
+        if total_mask != 0 {
+            return Err(self.htm.abort(AbortCause::Explicit));
+        }
+
+        // Speculatively lock the written stripes: the data writes and the
+        // locks become visible atomically at the hardware commit.
+        let lock_word = self.lock_word();
+        for i in 0..self.fp_write_stripes.len() {
+            let stripe = self.fp_write_stripes[i];
+            let ver_addr = layout.stripe_version_addr(stripe);
+            let current = self.htm.read(ver_addr)?;
+            if current == lock_word {
+                continue;
+            }
+            if stamp::is_locked(current) {
+                return Err(self.htm.abort(AbortCause::Locked));
+            }
+            self.htm.write(ver_addr, lock_word)?;
+        }
+
+        self.htm.commit()?;
+
+        // The write locations are now updated and locked.  Install the next
+        // global version, which releases the locks.
+        let next_version = gv::next_advancing(&self.sim);
+        let new_word = stamp::encode_ts(next_version);
+        for i in 0..self.fp_write_stripes.len() {
+            let stripe = self.fp_write_stripes[i];
+            self.sim
+                .nt_store(layout.stripe_version_addr(stripe), new_word);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // RH2 fast-path-slow-read (Algorithm 6)
+    // ------------------------------------------------------------------
+
+    /// `RH2_FastPath_SR_start`: sample the clock non-speculatively, then
+    /// open the hardware transaction.
+    pub(crate) fn rh2_fpsr_begin(&mut self) -> TxResult<()> {
+        self.fp_write_stripes.clear();
+        self.tx_version = gv::read(&self.sim);
+        self.htm.begin();
+        Ok(())
+    }
+
+    /// `RH2_FastPath_SR_read`: an instrumented speculative read with a
+    /// TL2-style consistency check, safe against concurrent pure-software
+    /// write-backs.
+    #[inline]
+    pub(crate) fn rh2_fpsr_read(&mut self, addr: Addr) -> TxResult<u64> {
+        let layout = self.sim.mem().layout();
+        let stripe = layout.stripe_of(addr);
+        let version = self.htm.read(layout.stripe_version_addr(stripe))?;
+        let value = self.htm.read(addr)?;
+        if !stamp::is_locked(version) && stamp::decode_ts(version) <= self.tx_version {
+            Ok(value)
+        } else {
+            let abort = self.htm.abort(if stamp::is_locked(version) {
+                AbortCause::Locked
+            } else {
+                AbortCause::Validation
+            });
+            if !stamp::is_locked(version) {
+                gv::on_abort(&self.sim, stamp::decode_ts(version));
+            }
+            Err(abort)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RH2 slow-path commit (Algorithms 5 and 7)
+    // ------------------------------------------------------------------
+
+    /// `RH2_SlowPath_commit`: lock the write-set, make the read-set visible,
+    /// revalidate, write back (hardware transaction if possible, otherwise
+    /// pure software under the all-software switch), release.
+    ///
+    /// The caller guarantees the write-set is non-empty.
+    pub(crate) fn rh2_slow_commit(&mut self) -> TxResult<PathKind> {
+        debug_assert!(!self.write_set.is_empty());
+        let lock_word = self.lock_word();
+
+        // Phase 1: lock the write-set stripes (Algorithm 7, LOCK_WRITE_SET).
+        let mut stripes: Vec<StripeId> = {
+            let layout = self.sim.mem().layout();
+            self.write_set
+                .iter()
+                .map(|(addr, _)| layout.stripe_of(addr))
+                .collect()
+        };
+        stripes.sort_unstable();
+        stripes.dedup();
+        for stripe in stripes {
+            let ver_addr = self.sim.mem().layout().stripe_version_addr(stripe);
+            let current = self.sim.nt_load(ver_addr);
+            if current == lock_word {
+                continue;
+            }
+            if stamp::is_locked(current) || self.sim.nt_cas(ver_addr, current, lock_word).is_err() {
+                return Err(self.rh2_slow_abort(AbortCause::Locked, self.tx_version + 1));
+            }
+            self.locked.push((stripe, current));
+        }
+
+        // Phase 2: make the read-set visible (Algorithm 7,
+        // MAKE_VISIBLE_READ_SET) using fetch-and-add on the stripes' read
+        // masks.
+        let mask_word_index = self.token.mask_word();
+        let mask_bit = self.token.mask_bit();
+        for i in 0..self.read_set.len() {
+            let stripe = self.read_set[i];
+            let mask_addr = self
+                .sim
+                .mem()
+                .layout()
+                .read_mask_addr(stripe, mask_word_index);
+            if self.sim.nt_load(mask_addr) & mask_bit == 0 {
+                self.sim.nt_fetch_add(mask_addr, mask_bit);
+                self.visible.push(stripe);
+            }
+        }
+
+        // Phase 3: revalidate the read-set (Algorithm 7,
+        // REVALIDATE_READ_SET).
+        for i in 0..self.read_set.len() {
+            let stripe = self.read_set[i];
+            let word = self
+                .sim
+                .nt_load(self.sim.mem().layout().stripe_version_addr(stripe));
+            if word == lock_word {
+                // Locked by us: compare against the pre-lock version so a
+                // conflicting commit that slipped in between our read and
+                // our lock is not missed.
+                let prev = self
+                    .locked
+                    .iter()
+                    .find(|&&(s, _)| s == stripe)
+                    .map(|&(_, p)| p)
+                    .expect("stripe locked by us must be recorded");
+                if stamp::decode_ts(prev) > self.tx_version {
+                    return Err(
+                        self.rh2_slow_abort(AbortCause::Validation, stamp::decode_ts(prev))
+                    );
+                }
+                continue;
+            }
+            if stamp::is_locked(word) {
+                return Err(self.rh2_slow_abort(AbortCause::Locked, self.tx_version + 1));
+            }
+            if stamp::decode_ts(word) > self.tx_version {
+                return Err(self.rh2_slow_abort(AbortCause::Validation, stamp::decode_ts(word)));
+            }
+        }
+
+        // Phase 4: write back.  Try the small hardware transaction first;
+        // fall back to a pure software write-back under the all-software
+        // switch if it keeps failing or overflows (Algorithm 5 lines 32–43).
+        self.htm.set_forced_abort_injection(false);
+        let mut wrote_in_software = false;
+        let mut contention_retries = 0u32;
+        loop {
+            self.htm.begin();
+            let attempt: TxResult<()> = (|htm: &mut rhtm_htm::HtmThread, ws: &rhtm_htm::linemap::WriteSet| {
+                for (addr, value) in ws.iter() {
+                    htm.write(addr, value)?;
+                }
+                htm.commit()
+            })(&mut self.htm, &self.write_set);
+            match attempt {
+                Ok(()) => {
+                    self.stats.htm_commits += 1;
+                    break;
+                }
+                Err(abort) => {
+                    self.stats.htm_aborts += 1;
+                    let escalate = abort.cause.is_hardware_limitation()
+                        || contention_retries >= self.config.writeback_htm_retries;
+                    if escalate {
+                        // All-software slow-slow-path: switch every
+                        // fast-path transaction to the slow-read mode for
+                        // the duration of the plain-store write-back.
+                        self.fallback.enter_all_software(&self.sim);
+                        for (addr, value) in self.write_set.iter() {
+                            self.sim.nt_store(addr, value);
+                        }
+                        self.fallback.leave_all_software(&self.sim);
+                        wrote_in_software = true;
+                        break;
+                    }
+                    contention_retries += 1;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.htm.set_forced_abort_injection(true);
+
+        // Phase 5: release the locks by installing the next global version,
+        // then drop the read-set visibility.
+        let next_version = gv::next_advancing(&self.sim);
+        let new_word = stamp::encode_ts(next_version);
+        while let Some((stripe, _prev)) = self.locked.pop() {
+            let ver_addr = self.sim.mem().layout().stripe_version_addr(stripe);
+            self.sim.nt_store(ver_addr, new_word);
+        }
+        self.reset_visibility();
+
+        Ok(if wrote_in_software {
+            PathKind::Software
+        } else {
+            PathKind::MixedSlow
+        })
+    }
+
+    /// Aborts an RH2 slow-path commit: undo visibility, release the locks
+    /// unchanged and bump the clock.
+    fn rh2_slow_abort(&mut self, cause: AbortCause, observed: u64) -> rhtm_api::Abort {
+        self.reset_visibility();
+        while let Some((stripe, prev)) = self.locked.pop() {
+            let ver_addr = self.sim.mem().layout().stripe_version_addr(stripe);
+            self.sim.nt_store(ver_addr, prev);
+        }
+        self.slow_abort(cause, observed)
+    }
+
+    /// Clears this thread's visibility bit from every stripe it set it on
+    /// (Algorithm 7, RESET_VISIBLE_READ_SET).
+    fn reset_visibility(&mut self) {
+        let mask_word_index = self.token.mask_word();
+        let mask_bit = self.token.mask_bit();
+        while let Some(stripe) = self.visible.pop() {
+            let mask_addr = self
+                .sim
+                .mem()
+                .layout()
+                .read_mask_addr(stripe, mask_word_index);
+            self.sim.nt_fetch_sub(mask_addr, mask_bit);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Configuration of the simulated best-effort HTM.
+
+/// How the simulator keeps a running transaction's view consistent
+/// (opacity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ValidationMode {
+    /// Validate the read-set only at commit.  Cheapest; matches the paper's
+    /// "constant" benchmark structures, where a stale view can never crash
+    /// or hang the transaction body.
+    CommitOnly,
+    /// NOrec-style incremental validation: every read first checks a global
+    /// modification sequence number and revalidates the read-set when it
+    /// changed.  This gives running transactions an opaque (always
+    /// consistent) view, which real HTM provides by construction through
+    /// eager cache-line invalidation.  Required when transactions navigate
+    /// pointer structures that other transactions mutate.
+    Incremental,
+}
+
+impl Default for ValidationMode {
+    fn default() -> Self {
+        ValidationMode::Incremental
+    }
+}
+
+/// Tunable parameters of the simulated HTM.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HtmConfig {
+    /// Maximum number of distinct cache lines a transaction may *read*
+    /// before it aborts with [`rhtm_api::AbortCause::Capacity`].
+    ///
+    /// Real best-effort HTM tracks reads well beyond the L1 (Intel TSX
+    /// keeps an imprecise read-set in the L2/L3), and the paper's emulated
+    /// HTM had no capacity bound at all, so the default is generous: 4096
+    /// lines (256 KiB).  Capacity-sensitive experiments override it.
+    pub read_capacity_lines: usize,
+    /// Maximum number of distinct cache lines a transaction may *write*
+    /// before it aborts with [`rhtm_api::AbortCause::Capacity`].
+    ///
+    /// Write capacity on real parts is bounded by the L1D (writes cannot
+    /// spill); 512 lines models a 32 KiB L1D.
+    pub write_capacity_lines: usize,
+    /// Probability (0.0–1.0) that a commit attempt fails spuriously, the
+    /// way interrupts, TLB activity and capacity aliasing fail real
+    /// best-effort transactions even without contention.
+    pub spurious_abort_rate: f64,
+    /// Probability (0.0–1.0) that a commit attempt of a *writing*
+    /// transaction is aborted artificially.  This reproduces the paper's
+    /// emulation methodology: the authors measured the abort ratio of a TL2
+    /// run and forced the same ratio onto the emulated HTM at commit time
+    /// (§3.1).  Leave at 0.0 to let only genuine conflicts abort.
+    pub forced_abort_ratio: f64,
+    /// Opacity mode, see [`ValidationMode`].
+    pub validation: ValidationMode,
+    /// Seed mixed into each thread's abort-injection RNG so runs are
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            read_capacity_lines: 4096,
+            write_capacity_lines: 512,
+            spurious_abort_rate: 0.0,
+            forced_abort_ratio: 0.0,
+            validation: ValidationMode::Incremental,
+            seed: 0x5eed_1234_abcd_9876,
+        }
+    }
+}
+
+impl HtmConfig {
+    /// A configuration with everything at default except the capacity
+    /// limits — convenient for fallback tests that need tiny transactions
+    /// to overflow.
+    pub fn with_capacity(read_lines: usize, write_lines: usize) -> Self {
+        HtmConfig {
+            read_capacity_lines: read_lines,
+            write_capacity_lines: write_lines,
+            ..Default::default()
+        }
+    }
+
+    /// Returns the same configuration with the forced-abort-ratio knob set.
+    pub fn with_forced_abort_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "abort ratio must be in [0,1]");
+        self.forced_abort_ratio = ratio;
+        self
+    }
+
+    /// Returns the same configuration with the spurious abort rate set.
+    pub fn with_spurious_abort_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "abort rate must be in [0,1]");
+        self.spurious_abort_rate = rate;
+        self
+    }
+
+    /// Returns the same configuration with the given validation mode.
+    pub fn with_validation(mut self, validation: ValidationMode) -> Self {
+        self.validation = validation;
+        self
+    }
+
+    /// Returns the same configuration with the given RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_a_best_effort_htm() {
+        let c = HtmConfig::default();
+        assert_eq!(c.read_capacity_lines, 4096);
+        assert_eq!(c.write_capacity_lines, 512);
+        assert_eq!(c.spurious_abort_rate, 0.0);
+        assert_eq!(c.forced_abort_ratio, 0.0);
+        assert_eq!(c.validation, ValidationMode::Incremental);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = HtmConfig::with_capacity(8, 4)
+            .with_forced_abort_ratio(0.25)
+            .with_spurious_abort_rate(0.01)
+            .with_validation(ValidationMode::CommitOnly)
+            .with_seed(42);
+        assert_eq!(c.read_capacity_lines, 8);
+        assert_eq!(c.write_capacity_lines, 4);
+        assert_eq!(c.forced_abort_ratio, 0.25);
+        assert_eq!(c.spurious_abort_rate, 0.01);
+        assert_eq!(c.validation, ValidationMode::CommitOnly);
+        assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "abort ratio")]
+    fn forced_abort_ratio_is_validated() {
+        let _ = HtmConfig::default().with_forced_abort_ratio(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "abort rate")]
+    fn spurious_rate_is_validated() {
+        let _ = HtmConfig::default().with_spurious_abort_rate(-0.1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Conflict-visible global-version-clock operations.
+//!
+//! The [`rhtm_mem::GlobalClock`] stored in the heap has two kinds of user:
+//!
+//! * *software-only* runtimes (pure TL2) can manipulate it with plain atomic
+//!   heap operations, and
+//! * *hybrid* runtimes must make every **write** to the clock
+//!   conflict-visible to the simulated HTM, because fast-path hardware
+//!   transactions read the clock speculatively and the protocols'
+//!   correctness depends on a clock advance aborting them (that is what
+//!   keeps the clock stable across every committed fast-path transaction,
+//!   the linchpin of RH1's time-stamp invariant — see `txn.rs`).
+//!
+//! This module provides the hybrid-safe operations: reads are plain loads
+//! (loads never invalidate anybody), writes go through the simulator's
+//! strongly-isolated [`HtmSim::nt_fetch_max`].
+
+use rhtm_mem::ClockMode;
+
+use crate::sim::HtmSim;
+
+/// `GVRead()`: current clock value.
+#[inline(always)]
+pub fn read(sim: &HtmSim) -> u64 {
+    sim.nt_load(sim.mem().layout().clock_addr())
+}
+
+/// `GVNext()`: the version a committing writer should install.
+///
+/// Under GV6 (the paper's choice) this does **not** modify the shared clock;
+/// under the incrementing mode it advances it with a conflict-visible
+/// fetch-and-add.
+#[inline(always)]
+pub fn next(sim: &HtmSim) -> u64 {
+    let clock = sim.mem().clock();
+    match clock.mode() {
+        ClockMode::Gv6 => read(sim) + 1,
+        ClockMode::Incrementing => sim.nt_fetch_add(clock.addr(), 1) + 1,
+    }
+}
+
+/// A clock-advancing `GVNext()`: atomically increments the shared clock and
+/// returns the new value, regardless of the configured mode.
+///
+/// The stand-alone TL2 baseline uses this (the classic GV1 discipline, whose
+/// serialisability argument needs every write version to be unique and
+/// larger than any start time-stamp issued before the write-back).  The
+/// reduced-hardware protocols do *not*: their commit executes inside a
+/// hardware transaction with the clock in its read-set, which restores the
+/// argument without paying a shared-clock write per commit.
+#[inline(always)]
+pub fn next_advancing(sim: &HtmSim) -> u64 {
+    sim.nt_fetch_add(sim.mem().clock().addr(), 1) + 1
+}
+
+/// Advances the clock to at least `observed` on a software-transaction
+/// abort (GV6 advances only here).  Conflict-visible: any fast-path
+/// hardware transaction that speculatively read the clock aborts.
+#[inline]
+pub fn on_abort(sim: &HtmSim, observed: u64) {
+    if sim.mem().clock().mode() == ClockMode::Gv6 {
+        sim.nt_fetch_max(sim.mem().clock().addr(), observed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HtmConfig;
+    use rhtm_mem::{MemConfig, TmMemory};
+    use std::sync::Arc;
+
+    fn sim(mode: ClockMode) -> Arc<HtmSim> {
+        let mem_cfg = MemConfig {
+            clock_mode: mode,
+            ..MemConfig::with_data_words(256)
+        };
+        HtmSim::new(Arc::new(TmMemory::new(mem_cfg)), HtmConfig::default())
+    }
+
+    #[test]
+    fn gv6_next_is_read_plus_one_without_writing() {
+        let s = sim(ClockMode::Gv6);
+        assert_eq!(read(&s), 0);
+        assert_eq!(next(&s), 1);
+        assert_eq!(next(&s), 1);
+        assert_eq!(read(&s), 0);
+    }
+
+    #[test]
+    fn gv6_abort_advances_clock_visibly() {
+        let s = sim(ClockMode::Gv6);
+        let seq_before = s.write_seq();
+        on_abort(&s, 7);
+        assert_eq!(read(&s), 7);
+        assert!(s.write_seq() > seq_before, "clock bump must be conflict-visible");
+        on_abort(&s, 3);
+        assert_eq!(read(&s), 7);
+    }
+
+    #[test]
+    fn incrementing_mode_advances_on_next() {
+        let s = sim(ClockMode::Incrementing);
+        assert_eq!(next(&s), 1);
+        assert_eq!(next(&s), 2);
+        assert_eq!(read(&s), 2);
+        // on_abort is a no-op for the incrementing clock.
+        on_abort(&s, 100);
+        assert_eq!(read(&s), 2);
+    }
+
+    #[test]
+    fn clock_bump_aborts_speculative_clock_readers() {
+        use crate::txn::HtmThread;
+        let s = sim(ClockMode::Gv6);
+        let data = s.mem().alloc(1);
+        let mut t = HtmThread::new(Arc::clone(&s), 0);
+        t.begin();
+        // Fast-path style: read the clock speculatively, then write data.
+        let clock_addr = s.mem().layout().clock_addr();
+        t.read(clock_addr).unwrap();
+        t.write(data, 1).unwrap();
+        // A concurrent software abort bumps the clock ...
+        on_abort(&s, 5);
+        // ... which must doom the writing hardware transaction, keeping the
+        // clock stable across every *committed* fast-path transaction.
+        assert!(t.commit().is_err());
+        assert_eq!(s.nt_load(data), 0);
+    }
+}

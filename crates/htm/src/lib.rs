@@ -1,0 +1,54 @@
+//! # rhtm-htm
+//!
+//! A **software-simulated best-effort hardware transactional memory**.
+//!
+//! The paper evaluates its protocols on (emulated) best-effort HTM of the
+//! kind Intel TSX and IBM POWER/zEC12 provide.  This environment has no
+//! usable HTM hardware, so — per the reproduction plan in `DESIGN.md` — this
+//! crate implements the closest synthetic equivalent: a transactional engine
+//! over the shared [`rhtm_mem::TxHeap`] that provides exactly the semantics
+//! the hybrid protocols rely on:
+//!
+//! * **All-or-nothing visibility** — writes are buffered and published
+//!   atomically with respect to other hardware transactions at commit.
+//! * **Cache-line-granularity conflict detection** — the read- and
+//!   write-sets are tracked per 64-byte line; any concurrent committed write
+//!   (transactional or not) to a line in the read-set aborts the
+//!   transaction, reproducing both true and false sharing effects.
+//! * **Strong isolation** — non-transactional stores issued through
+//!   [`HtmSim::nt_store`] (and friends) participate in conflict detection,
+//!   as cache-coherence traffic does on real hardware.
+//! * **Best-effort-ness** — capacity limits (an L1-like line budget),
+//!   explicit aborts, optional spurious aborts, and an optional
+//!   *forced-abort-ratio* knob that mirrors the paper's emulation
+//!   methodology (§3.1).
+//! * **Abort causes** — [`rhtm_api::AbortCause`] distinguishes contention
+//!   from hardware limitations so the protocols can take the paper's
+//!   fallback decisions.
+//!
+//! The crate also provides [`HtmRuntime`], the *pure HTM* runtime used as
+//! the "HTM" series in every figure: uninstrumented reads and writes,
+//! retrying aborted transactions in hardware forever.
+//!
+//! ## Why relative measurements survive the simulation
+//!
+//! Every runtime in the workspace issues its speculative accesses through
+//! the same [`HtmThread`] unit, so the per-access cost of the simulator is a
+//! constant additive term for all of them.  What differs between runtimes is
+//! exactly what the paper studies: the *additional* metadata loads, stores
+//! and branches each HyTM design adds around those accesses.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod gv;
+pub mod linemap;
+pub mod runtime;
+pub mod sim;
+pub mod txn;
+
+pub use config::{HtmConfig, ValidationMode};
+pub use runtime::{HtmRuntime, HtmRuntimeThread};
+pub use sim::HtmSim;
+pub use txn::HtmThread;

@@ -1,0 +1,336 @@
+//! Allocation-free-on-the-hot-path collections used by the simulated HTM:
+//! an open-addressing map keyed by cache-line index ([`LineMap`]) and a
+//! write buffer that preserves program order ([`WriteSet`]).
+//!
+//! Transactions run millions of times per second in the benchmarks, so the
+//! per-transaction collections must avoid hashing overhead from the standard
+//! library's SipHash and avoid re-allocating every transaction.  Both
+//! structures are owned by the per-thread [`crate::HtmThread`] and reused
+//! across transactions: `clear` keeps the backing storage.
+
+use rhtm_mem::Addr;
+
+const EMPTY: u64 = u64::MAX;
+
+#[inline(always)]
+fn hash_key(key: u64, mask: usize) -> usize {
+    // Fibonacci/multiplicative hashing: cheap and well distributed for the
+    // small, dense keys (line indices, word addresses) we store.
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize & mask
+}
+
+/// An open-addressing hash map from a `u64` key (cache-line index or word
+/// address) to a `u64` value, tuned for small transactional footprints.
+///
+/// Keys must never equal `u64::MAX` (that is the empty marker); heap sizes
+/// are far below that.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    keys: Vec<u64>,
+    values: Vec<u64>,
+    len: usize,
+}
+
+impl LineMap {
+    /// Creates an empty map with capacity for `capacity_hint` entries before
+    /// the first grow.
+    pub fn with_capacity(capacity_hint: usize) -> Self {
+        let cap = (capacity_hint.max(8) * 2).next_power_of_two();
+        LineMap {
+            keys: vec![EMPTY; cap],
+            values: vec![0; cap],
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the map holds no entries.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        if self.len > 0 {
+            self.keys.fill(EMPTY);
+            self.len = 0;
+        }
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        debug_assert_ne!(key, EMPTY);
+        let mask = self.keys.len() - 1;
+        let mut idx = hash_key(key, mask);
+        loop {
+            let k = self.keys[idx];
+            if k == key {
+                return Some(self.values[idx]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Inserts `key -> value`; returns the previous value if the key was
+    /// already present (and leaves the stored value untouched in that case —
+    /// the read-set wants the *first* observed version).
+    #[inline]
+    pub fn insert_if_absent(&mut self, key: u64, value: u64) -> Option<u64> {
+        debug_assert_ne!(key, EMPTY);
+        if (self.len + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut idx = hash_key(key, mask);
+        loop {
+            let k = self.keys[idx];
+            if k == key {
+                return Some(self.values[idx]);
+            }
+            if k == EMPTY {
+                self.keys[idx] = key;
+                self.values[idx] = value;
+                self.len += 1;
+                return None;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Inserts `key -> value`, overwriting any existing value.  Returns the
+    /// previous value if the key was present.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        debug_assert_ne!(key, EMPTY);
+        if (self.len + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut idx = hash_key(key, mask);
+        loop {
+            let k = self.keys[idx];
+            if k == key {
+                let prev = self.values[idx];
+                self.values[idx] = value;
+                return Some(prev);
+            }
+            if k == EMPTY {
+                self.keys[idx] = key;
+                self.values[idx] = value;
+                self.len += 1;
+                return None;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.values.iter())
+            .filter(|(k, _)| **k != EMPTY)
+            .map(|(k, v)| (*k, *v))
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_values = std::mem::replace(&mut self.values, vec![0; new_cap]);
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_values) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+/// A transactional write buffer: word address → buffered value, preserving
+/// first-write program order for publication at commit.
+#[derive(Clone, Debug)]
+pub struct WriteSet {
+    /// `(word address, value)` in first-write order.
+    entries: Vec<(usize, u64)>,
+    /// word address → index into `entries`.
+    index: LineMap,
+}
+
+impl WriteSet {
+    /// Creates an empty write set with room for `capacity_hint` entries.
+    pub fn with_capacity(capacity_hint: usize) -> Self {
+        WriteSet {
+            entries: Vec::with_capacity(capacity_hint),
+            index: LineMap::with_capacity(capacity_hint),
+        }
+    }
+
+    /// Number of distinct words written.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all entries, keeping allocations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+    }
+
+    /// Buffers `value` for `addr`.  A second write to the same word updates
+    /// the buffered value in place (keeping the word's position in the
+    /// publication order at its first write).
+    #[inline]
+    pub fn insert(&mut self, addr: Addr, value: u64) {
+        let key = addr.index() as u64;
+        match self.index.get(key) {
+            Some(slot) => self.entries[slot as usize].1 = value,
+            None => {
+                let slot = self.entries.len() as u64;
+                self.entries.push((addr.index(), value));
+                self.index.insert(key, slot);
+            }
+        }
+    }
+
+    /// Returns the buffered value for `addr`, if any (read-own-writes).
+    #[inline]
+    pub fn get(&self, addr: Addr) -> Option<u64> {
+        self.index
+            .get(addr.index() as u64)
+            .map(|slot| self.entries[slot as usize].1)
+    }
+
+    /// Iterates `(address, value)` in first-write program order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.entries.iter().map(|&(a, v)| (Addr(a), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linemap_insert_get_roundtrip() {
+        let mut m = LineMap::with_capacity(4);
+        assert!(m.is_empty());
+        assert_eq!(m.get(10), None);
+        assert_eq!(m.insert(10, 100), None);
+        assert_eq!(m.insert(11, 101), None);
+        assert_eq!(m.get(10), Some(100));
+        assert_eq!(m.get(11), Some(101));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.insert(10, 200), Some(100));
+        assert_eq!(m.get(10), Some(200));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn linemap_insert_if_absent_keeps_first() {
+        let mut m = LineMap::with_capacity(4);
+        assert_eq!(m.insert_if_absent(7, 1), None);
+        assert_eq!(m.insert_if_absent(7, 2), Some(1));
+        assert_eq!(m.get(7), Some(1), "first value must be preserved");
+    }
+
+    #[test]
+    fn linemap_grows_past_initial_capacity() {
+        let mut m = LineMap::with_capacity(4);
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(i), Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn linemap_clear_retains_capacity_and_empties() {
+        let mut m = LineMap::with_capacity(4);
+        for i in 0..100u64 {
+            m.insert(i, i);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        for i in 0..100u64 {
+            assert_eq!(m.get(i), None);
+        }
+        m.insert(5, 50);
+        assert_eq!(m.get(5), Some(50));
+    }
+
+    #[test]
+    fn linemap_iter_sees_every_entry_once() {
+        let mut m = LineMap::with_capacity(4);
+        for i in 0..50u64 {
+            m.insert(i, i + 1000);
+        }
+        let mut seen: Vec<_> = m.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 50);
+        for (i, (k, v)) in seen.into_iter().enumerate() {
+            assert_eq!(k, i as u64);
+            assert_eq!(v, i as u64 + 1000);
+        }
+    }
+
+    #[test]
+    fn writeset_read_own_writes_and_order() {
+        let mut ws = WriteSet::with_capacity(4);
+        assert!(ws.is_empty());
+        ws.insert(Addr(100), 1);
+        ws.insert(Addr(200), 2);
+        ws.insert(Addr(100), 3);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.get(Addr(100)), Some(3));
+        assert_eq!(ws.get(Addr(200)), Some(2));
+        assert_eq!(ws.get(Addr(300)), None);
+        let order: Vec<_> = ws.iter().collect();
+        assert_eq!(order, vec![(Addr(100), 3), (Addr(200), 2)]);
+    }
+
+    #[test]
+    fn writeset_clear_resets() {
+        let mut ws = WriteSet::with_capacity(2);
+        for i in 0..100 {
+            ws.insert(Addr(i), i as u64);
+        }
+        assert_eq!(ws.len(), 100);
+        ws.clear();
+        assert!(ws.is_empty());
+        assert_eq!(ws.get(Addr(1)), None);
+        ws.insert(Addr(1), 9);
+        assert_eq!(ws.iter().collect::<Vec<_>>(), vec![(Addr(1), 9)]);
+    }
+
+    #[test]
+    fn writeset_handles_many_distinct_words() {
+        let mut ws = WriteSet::with_capacity(2);
+        for i in 0..5000usize {
+            ws.insert(Addr(i * 3), (i * 7) as u64);
+        }
+        assert_eq!(ws.len(), 5000);
+        for i in 0..5000usize {
+            assert_eq!(ws.get(Addr(i * 3)), Some((i * 7) as u64));
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! The per-thread hardware transaction unit: `HTM_Start` / speculative
+//! read/write / `HTM_Commit` / `HTM_Abort`.
+//!
+//! [`HtmThread`] is embedded by every runtime that issues hardware
+//! transactions (the pure-HTM runtime, the Standard-HyTM baseline and the
+//! RH1/RH2 protocols).  It owns the per-transaction read-line and
+//! write-buffer collections and reuses them across transactions.
+//!
+//! ## Commit algorithm
+//!
+//! 1. Injected failures (forced-abort-ratio, spurious rate) are applied
+//!    first, modelling the paper's emulation methodology and the
+//!    best-effort-ness of real parts.
+//! 2. Read-only transactions commit immediately (their reads were validated
+//!    individually, and under incremental validation the whole set was
+//!    revalidated whenever the global write sequence moved).
+//! 3. Writing transactions lock the cache lines they wrote (ascending line
+//!    order, try-lock: a busy line is a conflict), validate that every line
+//!    in the read-set still carries the version observed at first read,
+//!    publish the buffered values **in program order** and release the
+//!    locks with bumped versions.
+//!
+//! Publication in program order matters for the hybrid protocols: the RH1
+//! fast-path writes a location's *stripe version before its data*, and the
+//! RH1/RH2 software slow-paths read a location's stripe version before and
+//! after the data load.  Program-order publication therefore guarantees
+//! that a slow-path reader that observes a new data value also observes the
+//! new stripe version in its post-read check — the same all-or-nothing
+//! property an atomic hardware commit provides (see DESIGN.md §2).
+
+use std::sync::Arc;
+
+use rhtm_api::{Abort, AbortCause, TxResult};
+use rhtm_mem::Addr;
+
+use crate::config::ValidationMode;
+use crate::linemap::{LineMap, WriteSet};
+use crate::sim::HtmSim;
+
+/// A tiny xorshift PRNG used only for abort injection; deterministic per
+/// thread so benchmark runs are reproducible.
+#[derive(Clone, Debug)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        // SplitMix64 step to decorrelate thread seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64((z ^ (z >> 31)) | 1)
+    }
+
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in [0, 1).
+    #[inline(always)]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-thread best-effort hardware transaction unit.
+pub struct HtmThread {
+    sim: Arc<HtmSim>,
+    /// cache line -> version observed at first read.
+    read_lines: LineMap,
+    /// word address -> buffered value, in program order.
+    write_set: WriteSet,
+    /// cache line -> (used at commit) version the line was locked from.
+    write_lines: LineMap,
+    /// Scratch buffer of (line, locked-from-version) reused across commits.
+    locked: Vec<(usize, u64)>,
+    /// Global write sequence observed at begin / last revalidation.
+    start_seq: u64,
+    active: bool,
+    /// Whether the forced-abort-ratio knob applies to this unit's commits.
+    /// The paper's emulation methodology forces the measured abort ratio
+    /// onto the *fast-path* transactions; the short commit-time hardware
+    /// transactions of the mixed slow-path are not subject to it, so the
+    /// slow-path commit code disables injection around its commits.
+    forced_injection: bool,
+    rng: XorShift64,
+    /// Number of hardware commits this unit has performed.
+    commits: u64,
+    /// Number of hardware aborts this unit has suffered.
+    aborts: u64,
+}
+
+impl HtmThread {
+    /// Creates a hardware transaction unit bound to `sim`; `thread_seed`
+    /// decorrelates the abort-injection RNG between threads.
+    pub fn new(sim: Arc<HtmSim>, thread_seed: u64) -> Self {
+        let seed = sim.config().seed ^ thread_seed.wrapping_mul(0xA24B_AED4_963E_E407);
+        HtmThread {
+            sim,
+            read_lines: LineMap::with_capacity(64),
+            write_set: WriteSet::with_capacity(32),
+            write_lines: LineMap::with_capacity(32),
+            locked: Vec::with_capacity(32),
+            start_seq: 0,
+            active: false,
+            forced_injection: true,
+            rng: XorShift64::new(seed),
+            commits: 0,
+            aborts: 0,
+        }
+    }
+
+    /// Enables or disables the forced-abort-ratio injection for this unit's
+    /// subsequent commits (spurious aborts are unaffected).  Used by the
+    /// mixed slow-path around its commit-time hardware transaction.
+    pub fn set_forced_abort_injection(&mut self, enabled: bool) {
+        self.forced_injection = enabled;
+    }
+
+    /// The simulator this unit runs against.
+    #[inline(always)]
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// Returns `true` while a hardware transaction is open.
+    #[inline(always)]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of distinct cache lines read so far in the open transaction.
+    #[inline(always)]
+    pub fn read_footprint_lines(&self) -> usize {
+        self.read_lines.len()
+    }
+
+    /// Number of distinct cache lines written so far in the open
+    /// transaction.
+    #[inline(always)]
+    pub fn write_footprint_lines(&self) -> usize {
+        self.write_lines.len()
+    }
+
+    /// Hardware commits performed by this unit since creation.
+    #[inline(always)]
+    pub fn commit_count(&self) -> u64 {
+        self.commits
+    }
+
+    /// Hardware aborts suffered by this unit since creation.
+    #[inline(always)]
+    pub fn abort_count(&self) -> u64 {
+        self.aborts
+    }
+
+    /// `HTM_Start()`: opens a new hardware transaction, discarding any state
+    /// left over from an abandoned one.
+    pub fn begin(&mut self) {
+        self.read_lines.clear();
+        self.write_set.clear();
+        self.write_lines.clear();
+        self.locked.clear();
+        self.start_seq = self.sim.write_seq();
+        self.active = true;
+    }
+
+    /// `HTM_Abort()`: explicitly aborts the open transaction, discarding all
+    /// buffered writes, and returns the [`Abort`] to propagate.
+    pub fn abort(&mut self, cause: AbortCause) -> Abort {
+        debug_assert!(self.active, "abort called with no open hardware transaction");
+        self.rollback();
+        Abort::new(cause)
+    }
+
+    #[inline]
+    fn rollback(&mut self) {
+        self.read_lines.clear();
+        self.write_set.clear();
+        self.write_lines.clear();
+        self.locked.clear();
+        self.active = false;
+        self.aborts += 1;
+    }
+
+    #[cold]
+    fn fail(&mut self, cause: AbortCause) -> Abort {
+        self.rollback();
+        Abort::new(cause)
+    }
+
+    /// Revalidates every line in the read-set against the line table.
+    fn revalidate(&self) -> Result<(), ()> {
+        for (line, ver) in self.read_lines.iter() {
+            if self.sim.line_version(line as usize) != ver {
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every lock taken so far by an aborting commit, restoring the
+    /// pre-lock versions.
+    fn release_locked_unchanged(&mut self) {
+        while let Some((line, prev)) = self.locked.pop() {
+            self.sim.unlock_line_unchanged(line, prev);
+        }
+    }
+
+    /// Speculative read of the word at `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        debug_assert!(self.active, "read outside a hardware transaction");
+        if let Some(v) = self.write_set.get(addr) {
+            return Ok(v);
+        }
+        if self.sim.config().validation == ValidationMode::Incremental {
+            let seq = self.sim.write_seq();
+            if seq != self.start_seq {
+                if self.revalidate().is_err() {
+                    return Err(self.fail(AbortCause::Conflict));
+                }
+                self.start_seq = seq;
+            }
+        }
+        let line = addr.line();
+        let v1 = self.sim.line_version(line);
+        if HtmSim::line_is_locked(v1) {
+            return Err(self.fail(AbortCause::Conflict));
+        }
+        let value = self.sim.mem().heap().load(addr);
+        let v2 = self.sim.line_version(line);
+        if v2 != v1 {
+            return Err(self.fail(AbortCause::Conflict));
+        }
+        match self.read_lines.insert_if_absent(line as u64, v1) {
+            Some(prev) => {
+                if prev != v1 {
+                    // The line changed between two reads of the same
+                    // transaction: on real hardware the first read's line
+                    // would have been invalidated, aborting us.
+                    return Err(self.fail(AbortCause::Conflict));
+                }
+            }
+            None => {
+                if self.read_lines.len() > self.sim.config().read_capacity_lines {
+                    return Err(self.fail(AbortCause::Capacity));
+                }
+            }
+        }
+        Ok(value)
+    }
+
+    /// Speculative (buffered) write of `value` to the word at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        debug_assert!(self.active, "write outside a hardware transaction");
+        self.write_set.insert(addr, value);
+        let line = addr.line() as u64;
+        if self.write_lines.insert_if_absent(line, 0).is_none()
+            && self.write_lines.len() > self.sim.config().write_capacity_lines
+        {
+            return Err(self.fail(AbortCause::Capacity));
+        }
+        Ok(())
+    }
+
+    /// A "protected instruction" (system call, page fault, ...) that
+    /// best-effort HTM cannot execute: always aborts the transaction.
+    pub fn protected_instruction(&mut self) -> TxResult<()> {
+        debug_assert!(self.active);
+        Err(self.fail(AbortCause::Unsupported))
+    }
+
+    /// `HTM_Commit()`: attempts to commit the open transaction.
+    pub fn commit(&mut self) -> TxResult<()> {
+        debug_assert!(self.active, "commit outside a hardware transaction");
+        let cfg = self.sim.config();
+        // Injected failures first: they model events (interrupts, the
+        // paper's forced abort ratio) that strike regardless of the
+        // transaction's actual footprint.
+        if cfg.spurious_abort_rate > 0.0 && self.rng.next_f64() < cfg.spurious_abort_rate {
+            return Err(self.fail(AbortCause::Spurious));
+        }
+        if self.forced_injection
+            && !self.write_set.is_empty()
+            && cfg.forced_abort_ratio > 0.0
+            && self.rng.next_f64() < cfg.forced_abort_ratio
+        {
+            return Err(self.fail(AbortCause::Forced));
+        }
+
+        if self.write_set.is_empty() {
+            // Read-only: under commit-only validation the set must be
+            // checked now; under incremental validation every read already
+            // validated against a consistent snapshot.
+            if cfg.validation == ValidationMode::CommitOnly && self.revalidate().is_err() {
+                return Err(self.fail(AbortCause::Conflict));
+            }
+            self.active = false;
+            self.commits += 1;
+            self.read_lines.clear();
+            return Ok(());
+        }
+
+        // Lock the written lines in ascending order (try-lock; any busy or
+        // moved line is a conflict).
+        self.locked.clear();
+        let mut lines: Vec<usize> = self.write_lines.iter().map(|(l, _)| l as usize).collect();
+        lines.sort_unstable();
+        for line in lines {
+            let v = self.sim.line_version(line);
+            if HtmSim::line_is_locked(v) || !self.sim.try_lock_line(line, v) {
+                self.release_locked_unchanged();
+                return Err(self.fail(AbortCause::Conflict));
+            }
+            self.locked.push((line, v));
+            self.write_lines.insert(line as u64, v);
+        }
+
+        // Validate the read-set: every line must still carry the version we
+        // first observed; lines we locked ourselves are compared against
+        // their pre-lock version (recorded into `write_lines` above).
+        let read_set_valid = self.read_lines.iter().all(|(line, ver)| {
+            let current = match self.write_lines.get(line) {
+                Some(prev) => prev,
+                None => self.sim.line_version(line as usize),
+            };
+            current == ver
+        });
+        if !read_set_valid {
+            self.release_locked_unchanged();
+            return Err(self.fail(AbortCause::Conflict));
+        }
+
+        // Publish buffered values in program order, then release the locks
+        // with bumped versions and advance the global write sequence.
+        for (addr, value) in self.write_set.iter() {
+            self.sim.mem().heap().store(addr, value);
+        }
+        for &(line, prev) in &self.locked {
+            self.sim.unlock_line(line, prev);
+        }
+        self.sim.bump_write_seq();
+
+        self.active = false;
+        self.commits += 1;
+        self.read_lines.clear();
+        self.write_set.clear();
+        self.write_lines.clear();
+        self.locked.clear();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for HtmThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HtmThread")
+            .field("active", &self.active)
+            .field("read_lines", &self.read_lines.len())
+            .field("write_words", &self.write_set.len())
+            .field("commits", &self.commits)
+            .field("aborts", &self.aborts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HtmConfig;
+    use rhtm_mem::{MemConfig, TmMemory};
+    use std::sync::atomic::Ordering;
+
+    fn setup(config: HtmConfig) -> (Arc<HtmSim>, Addr) {
+        let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(4096)));
+        let base = mem.alloc(1024);
+        let sim = HtmSim::new(mem, config);
+        (sim, base)
+    }
+
+    #[test]
+    fn read_write_commit_roundtrip() {
+        let (sim, base) = setup(HtmConfig::default());
+        let mut t = HtmThread::new(Arc::clone(&sim), 0);
+        t.begin();
+        assert_eq!(t.read(base).unwrap(), 0);
+        t.write(base, 7).unwrap();
+        assert_eq!(t.read(base).unwrap(), 7, "read-own-write");
+        assert_eq!(sim.nt_load(base), 0, "writes stay buffered until commit");
+        t.commit().unwrap();
+        assert_eq!(sim.nt_load(base), 7);
+        assert_eq!(t.commit_count(), 1);
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn explicit_abort_discards_writes() {
+        let (sim, base) = setup(HtmConfig::default());
+        let mut t = HtmThread::new(Arc::clone(&sim), 0);
+        t.begin();
+        t.write(base, 42).unwrap();
+        let abort = t.abort(AbortCause::Explicit);
+        assert_eq!(abort.cause, AbortCause::Explicit);
+        assert_eq!(sim.nt_load(base), 0);
+        assert_eq!(t.abort_count(), 1);
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn nt_store_conflicts_with_open_reader() {
+        let (sim, base) = setup(HtmConfig::default());
+        let mut t = HtmThread::new(Arc::clone(&sim), 0);
+        t.begin();
+        assert_eq!(t.read(base).unwrap(), 0);
+        // Another agent writes the line non-transactionally.
+        sim.nt_store(base, 5);
+        // The reader must not commit having seen the old value.
+        t.write(base.offset(64), 1).unwrap();
+        let err = t.commit().unwrap_err();
+        assert_eq!(err.cause, AbortCause::Conflict);
+    }
+
+    #[test]
+    fn read_only_transaction_commits_against_stale_snapshot_consistently() {
+        // A read-only transaction serialises at its last validation point;
+        // a later nt_store does not force an abort.
+        let (sim, base) = setup(HtmConfig::default());
+        let mut t = HtmThread::new(Arc::clone(&sim), 0);
+        t.begin();
+        assert_eq!(t.read(base).unwrap(), 0);
+        sim.nt_store(base.offset(128), 9);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn incremental_validation_aborts_doomed_reader() {
+        let (sim, base) = setup(HtmConfig::default());
+        let mut t = HtmThread::new(Arc::clone(&sim), 0);
+        t.begin();
+        assert_eq!(t.read(base).unwrap(), 0);
+        sim.nt_store(base, 1);
+        // The next read (of any address) must observe the conflict.
+        let err = t.read(base.offset(512)).unwrap_err();
+        assert_eq!(err.cause, AbortCause::Conflict);
+    }
+
+    #[test]
+    fn commit_only_validation_defers_the_abort_to_commit() {
+        let (sim, base) = setup(HtmConfig::default().with_validation(ValidationMode::CommitOnly));
+        let mut t = HtmThread::new(Arc::clone(&sim), 0);
+        t.begin();
+        assert_eq!(t.read(base).unwrap(), 0);
+        sim.nt_store(base, 1);
+        // Reads keep succeeding (possibly inconsistently) ...
+        assert!(t.read(base.offset(512)).is_ok());
+        // ... but the commit fails, even for a read-only transaction.
+        let err = t.commit().unwrap_err();
+        assert_eq!(err.cause, AbortCause::Conflict);
+    }
+
+    #[test]
+    fn conflicting_writers_cannot_both_commit_lost_update() {
+        let (sim, base) = setup(HtmConfig::default());
+        let sim2 = Arc::clone(&sim);
+        let addr = base;
+        let threads = 4;
+        let per = 2_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let sim = Arc::clone(&sim2);
+                std::thread::spawn(move || {
+                    let mut t = HtmThread::new(sim, i as u64);
+                    for _ in 0..per {
+                        loop {
+                            t.begin();
+                            let attempt = (|| {
+                                let v = t.read(addr)?;
+                                t.write(addr, v + 1)?;
+                                t.commit()
+                            })();
+                            if attempt.is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sim.nt_load(addr), (threads * per) as u64);
+    }
+
+    #[test]
+    fn capacity_abort_on_reads() {
+        let (sim, base) = setup(HtmConfig::with_capacity(4, 64));
+        let mut t = HtmThread::new(sim, 0);
+        t.begin();
+        // 5 distinct lines exceeds the 4-line read budget.
+        let mut result = Ok(0);
+        for i in 0..5 {
+            result = t.read(base.offset(i * 8));
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err().cause, AbortCause::Capacity);
+    }
+
+    #[test]
+    fn capacity_abort_on_writes() {
+        let (sim, base) = setup(HtmConfig::with_capacity(512, 2));
+        let mut t = HtmThread::new(sim, 0);
+        t.begin();
+        let mut result = Ok(());
+        for i in 0..3 {
+            result = t.write(base.offset(i * 8), 1);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err().cause, AbortCause::Capacity);
+    }
+
+    #[test]
+    fn repeated_reads_of_same_line_do_not_consume_capacity() {
+        let (sim, base) = setup(HtmConfig::with_capacity(1, 64));
+        let mut t = HtmThread::new(sim, 0);
+        t.begin();
+        for _ in 0..100 {
+            t.read(base).unwrap();
+            t.read(base.offset(1)).unwrap(); // same line
+        }
+        assert_eq!(t.read_footprint_lines(), 1);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn forced_abort_ratio_aborts_writers_at_commit() {
+        let (sim, base) = setup(HtmConfig::default().with_forced_abort_ratio(1.0));
+        let mut t = HtmThread::new(sim, 0);
+        t.begin();
+        t.write(base, 1).unwrap();
+        assert_eq!(t.commit().unwrap_err().cause, AbortCause::Forced);
+        // Read-only transactions are not subject to the forced ratio.
+        t.begin();
+        t.read(base).unwrap();
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn spurious_rate_hits_read_only_transactions_too() {
+        let (sim, base) = setup(HtmConfig::default().with_spurious_abort_rate(1.0));
+        let mut t = HtmThread::new(sim, 0);
+        t.begin();
+        t.read(base).unwrap();
+        assert_eq!(t.commit().unwrap_err().cause, AbortCause::Spurious);
+    }
+
+    #[test]
+    fn protected_instruction_always_aborts() {
+        let (sim, _base) = setup(HtmConfig::default());
+        let mut t = HtmThread::new(sim, 0);
+        t.begin();
+        assert_eq!(
+            t.protected_instruction().unwrap_err().cause,
+            AbortCause::Unsupported
+        );
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn publication_preserves_program_order() {
+        // Writer publishes version word then data word; a racing plain
+        // reader that sees the new data must also see the new version.
+        let (sim, base) = setup(HtmConfig::default());
+        let version_addr = base;
+        let data_addr = base.offset(64);
+        let writer_sim = Arc::clone(&sim);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            let mut violations = 0u64;
+            while !stop2.load(Ordering::SeqCst) {
+                let d = sim.nt_load(data_addr);
+                let v = sim.nt_load(version_addr);
+                // data is written with the same value as the version; seeing
+                // data ahead of version means program order was violated.
+                if d > v {
+                    violations += 1;
+                }
+            }
+            violations
+        });
+        let mut t = HtmThread::new(writer_sim, 1);
+        for i in 1..=20_000u64 {
+            loop {
+                t.begin();
+                let attempt = (|| {
+                    t.write(version_addr, i)?;
+                    t.write(data_addr, i)?;
+                    t.commit()
+                })();
+                if attempt.is_ok() {
+                    break;
+                }
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        assert_eq!(reader.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn begin_discards_abandoned_transaction() {
+        let (sim, base) = setup(HtmConfig::default());
+        let mut t = HtmThread::new(Arc::clone(&sim), 0);
+        t.begin();
+        t.write(base, 123).unwrap();
+        // Abandon without commit or abort, then start a new transaction.
+        t.begin();
+        t.commit().unwrap();
+        assert_eq!(sim.nt_load(base), 0, "abandoned writes must not leak");
+    }
+}

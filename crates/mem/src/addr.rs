@@ -1,0 +1,132 @@
+//! Word addresses, cache-line geometry and stripe identifiers.
+//!
+//! The transactional heap is an array of 64-bit words.  An [`Addr`] is an
+//! index into that array.  The simulated HTM tracks conflicts at
+//! *cache-line* granularity ([`CACHE_LINE_WORDS`] words per line, 64 bytes),
+//! while the software protocols map data addresses onto *stripes* whose size
+//! is configured by [`crate::MemConfig::stripe_shift`].
+
+use std::fmt;
+
+/// log2 of the number of 64-bit words per simulated cache line.
+///
+/// 8 words × 8 bytes = 64 bytes, the line size of the Xeon E7-4870 used in
+/// the paper's evaluation (and of every recent x86 part).
+pub const LINE_SHIFT: usize = 3;
+
+/// Number of 64-bit words per simulated cache line.
+pub const CACHE_LINE_WORDS: usize = 1 << LINE_SHIFT;
+
+/// A word address inside the transactional heap.
+///
+/// Addresses are plain indices; address `0` is a valid metadata word (the
+/// global version clock), so `Addr` has no niche/sentinel value.  The
+/// protocols use [`Addr::NULL`] (`u64::MAX` truncated) as an in-heap null
+/// pointer for linked data structures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub usize);
+
+impl Addr {
+    /// In-heap "null pointer" encoding used by the workloads' linked
+    /// structures.  It is never a valid heap index.
+    pub const NULL: Addr = Addr(usize::MAX);
+
+    /// Returns the raw word index.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` if this is the [`Addr::NULL`] sentinel.
+    #[inline(always)]
+    pub fn is_null(self) -> bool {
+        self.0 == usize::MAX
+    }
+
+    /// Returns the address `offset` words after `self`.
+    #[inline(always)]
+    pub fn offset(self, offset: usize) -> Addr {
+        Addr(self.0 + offset)
+    }
+
+    /// Cache line index of this address in the simulated HTM's conflict
+    /// tracking tables.
+    #[inline(always)]
+    pub fn line(self) -> usize {
+        self.0 >> LINE_SHIFT
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Addr(NULL)")
+        } else {
+            write!(f, "Addr({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<usize> for Addr {
+    fn from(v: usize) -> Self {
+        Addr(v)
+    }
+}
+
+/// Identifier of a logical memory stripe (partition).
+///
+/// Each stripe of the data region has an associated *stripe version*
+/// (time-stamp, possibly with a lock bit in RH2/TL2) and, for RH2, a *read
+/// mask* recording which threads have made their reads visible during a
+/// slow-path commit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StripeId(pub usize);
+
+impl StripeId {
+    /// Returns the raw stripe index.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_not_a_valid_index() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(0).is_null());
+        assert!(!Addr(123).is_null());
+    }
+
+    #[test]
+    fn offset_advances_word_index() {
+        let a = Addr(10);
+        assert_eq!(a.offset(0), Addr(10));
+        assert_eq!(a.offset(5), Addr(15));
+    }
+
+    #[test]
+    fn line_mapping_is_64_bytes() {
+        assert_eq!(CACHE_LINE_WORDS, 8);
+        assert_eq!(Addr(0).line(), 0);
+        assert_eq!(Addr(7).line(), 0);
+        assert_eq!(Addr(8).line(), 1);
+        assert_eq!(Addr(16).line(), 2);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Addr::NULL), "Addr(NULL)");
+        assert_eq!(format!("{:?}", Addr(16)), "Addr(0x10)");
+        assert_eq!(format!("{}", StripeId(3).index()), "3");
+    }
+}

@@ -1,0 +1,159 @@
+//! The global version clock.
+//!
+//! TL2-style transactional memories coordinate through a shared version
+//! clock.  The paper uses the **GV6** variant (Avni & Shavit, and TL2's
+//! `GV6`): `GVNext()` *does not* increment the shared counter — it simply
+//! returns `clock + 1` — and the counter is advanced only when a transaction
+//! aborts.  This is what makes it safe for the RH1 *fast-path hardware
+//! transaction* to call `GVNext()`: it only reads the clock word, so
+//! concurrent fast-path commits do not conflict with each other on the
+//! clock line.
+//!
+//! A conventional incrementing clock ([`ClockMode::Incrementing`], "GV1") is
+//! also provided; the `ablation_clock` benchmark compares the two, backing
+//! the paper's design-choice discussion in §2.2.
+
+use crate::addr::Addr;
+use crate::heap::TxHeap;
+
+/// Which global-clock algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ClockMode {
+    /// GV1: every `next()` atomically increments the shared counter and
+    /// returns the new value.  Simple, but every writer commit invalidates
+    /// the clock cache line of every reader.
+    Incrementing,
+    /// GV6: `next()` returns `read() + 1` without writing the shared
+    /// counter; the counter is advanced on abort paths instead.  This is the
+    /// mode the paper evaluates.
+    Gv6,
+}
+
+impl Default for ClockMode {
+    fn default() -> Self {
+        ClockMode::Gv6
+    }
+}
+
+/// The global version clock, stored in a heap word so that speculative
+/// (HTM) reads of the clock participate in conflict detection.
+#[derive(Clone, Debug)]
+pub struct GlobalClock {
+    addr: Addr,
+    mode: ClockMode,
+}
+
+impl GlobalClock {
+    /// Creates a clock over the heap word at `addr`.
+    pub fn new(addr: Addr, mode: ClockMode) -> Self {
+        GlobalClock { addr, mode }
+    }
+
+    /// The heap address of the clock word (needed by runtimes that read the
+    /// clock speculatively inside a hardware transaction).
+    #[inline(always)]
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The configured mode.
+    #[inline(always)]
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// `GVRead()`: the current value of the clock.
+    #[inline(always)]
+    pub fn read(&self, heap: &TxHeap) -> u64 {
+        heap.load(self.addr)
+    }
+
+    /// `GVNext()`: the version a committing writer should install.
+    ///
+    /// Under GV6 this is `read() + 1` *without* modifying the shared word;
+    /// under the incrementing mode it is `fetch_add(1) + 1`.
+    #[inline(always)]
+    pub fn next(&self, heap: &TxHeap) -> u64 {
+        match self.mode {
+            ClockMode::Incrementing => heap.fetch_add(self.addr, 1) + 1,
+            ClockMode::Gv6 => heap.load(self.addr) + 1,
+        }
+    }
+
+    /// Called on a software-transaction abort.  Under GV6 this is where the
+    /// clock actually advances (to at least `observed`, the version whose
+    /// read caused the abort, so that the retrying transaction starts from a
+    /// fresh timestamp).  Under the incrementing mode it is a no-op.
+    #[inline]
+    pub fn on_abort(&self, heap: &TxHeap, observed: u64) {
+        if self.mode == ClockMode::Gv6 {
+            heap.fetch_max(self.addr, observed);
+        }
+    }
+
+    /// Advances the clock so that future `read()` calls return at least
+    /// `version`.  Used by runtimes when they install a version obtained via
+    /// `next()` (GV6 keeps the shared counter lagging otherwise, which is
+    /// correct but makes every later writer reuse the same version and spin
+    /// on validation aborts; publishing the installed version bounds that).
+    #[inline]
+    pub fn publish(&self, heap: &TxHeap, version: u64) {
+        if self.mode == ClockMode::Gv6 {
+            heap.fetch_max(self.addr, version);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(mode: ClockMode) -> (TxHeap, GlobalClock) {
+        let heap = TxHeap::new(8);
+        let clock = GlobalClock::new(Addr(0), mode);
+        (heap, clock)
+    }
+
+    #[test]
+    fn incrementing_clock_advances_on_next() {
+        let (heap, clock) = setup(ClockMode::Incrementing);
+        assert_eq!(clock.read(&heap), 0);
+        assert_eq!(clock.next(&heap), 1);
+        assert_eq!(clock.next(&heap), 2);
+        assert_eq!(clock.read(&heap), 2);
+    }
+
+    #[test]
+    fn gv6_next_does_not_touch_shared_counter() {
+        let (heap, clock) = setup(ClockMode::Gv6);
+        assert_eq!(clock.next(&heap), 1);
+        assert_eq!(clock.next(&heap), 1);
+        assert_eq!(clock.read(&heap), 0, "GVNext must not write the clock");
+    }
+
+    #[test]
+    fn gv6_advances_on_abort_and_publish() {
+        let (heap, clock) = setup(ClockMode::Gv6);
+        clock.on_abort(&heap, 5);
+        assert_eq!(clock.read(&heap), 5);
+        // Never moves backwards.
+        clock.on_abort(&heap, 3);
+        assert_eq!(clock.read(&heap), 5);
+        clock.publish(&heap, 9);
+        assert_eq!(clock.read(&heap), 9);
+        assert_eq!(clock.next(&heap), 10);
+    }
+
+    #[test]
+    fn incrementing_mode_ignores_abort_hints() {
+        let (heap, clock) = setup(ClockMode::Incrementing);
+        clock.on_abort(&heap, 100);
+        clock.publish(&heap, 100);
+        assert_eq!(clock.read(&heap), 0);
+    }
+
+    #[test]
+    fn default_mode_is_gv6() {
+        assert_eq!(ClockMode::default(), ClockMode::Gv6);
+    }
+}

@@ -1,0 +1,219 @@
+//! The word-addressed transactional heap.
+//!
+//! [`TxHeap`] is a fixed-size array of `AtomicU64` words.  Every access the
+//! protocols perform — speculative or not — ultimately lands here.  The heap
+//! deliberately exposes only *word* operations (load, store, CAS,
+//! fetch-add): the transactional semantics (buffering, conflict detection,
+//! versioning) are implemented by the runtimes layered on top.
+//!
+//! All orderings are `SeqCst`.  The protocols in the paper are described on
+//! a TSO machine (x86) where every shared access is strongly ordered enough
+//! for the algorithms' arguments; `SeqCst` keeps the simulation faithful on
+//! any host and keeps the safety argument simple.  The cost is identical for
+//! every runtime, so relative comparisons (the paper's subject) are
+//! unaffected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::addr::Addr;
+
+/// A fixed-size, word-addressed shared heap of `AtomicU64` cells.
+pub struct TxHeap {
+    words: Box<[AtomicU64]>,
+}
+
+impl TxHeap {
+    /// Creates a heap of `len` words, all initialised to zero.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU64::new(0));
+        TxHeap {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of words in the heap.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the heap has no words (only possible for a
+    /// zero-sized configuration, which no runtime uses).
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    #[inline(always)]
+    fn cell(&self, addr: Addr) -> &AtomicU64 {
+        &self.words[addr.0]
+    }
+
+    /// Plain (non-transactional) load of a word.
+    #[inline(always)]
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.cell(addr).load(Ordering::SeqCst)
+    }
+
+    /// Plain (non-transactional) store of a word.
+    #[inline(always)]
+    pub fn store(&self, addr: Addr, value: u64) {
+        self.cell(addr).store(value, Ordering::SeqCst)
+    }
+
+    /// Compare-and-swap on a word. Returns `Ok(previous)` when the swap
+    /// happened and `Err(actual)` when the current value differed from
+    /// `current`.
+    #[inline(always)]
+    pub fn cas(&self, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
+        self.cell(addr)
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-and-add, returning the previous value.
+    ///
+    /// RH2 uses this to flip bits in the stripe read masks (the paper
+    /// explicitly prefers fetch-and-add over CAS loops for the visibility
+    /// bits) and the fallback counters are maintained with it as well.
+    #[inline(always)]
+    pub fn fetch_add(&self, addr: Addr, delta: u64) -> u64 {
+        self.cell(addr).fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Atomic wrapping fetch-and-sub, returning the previous value.
+    #[inline(always)]
+    pub fn fetch_sub(&self, addr: Addr, delta: u64) -> u64 {
+        self.cell(addr).fetch_sub(delta, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-and-or, returning the previous value.
+    #[inline(always)]
+    pub fn fetch_or(&self, addr: Addr, bits: u64) -> u64 {
+        self.cell(addr).fetch_or(bits, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-and-and, returning the previous value.
+    #[inline(always)]
+    pub fn fetch_and(&self, addr: Addr, bits: u64) -> u64 {
+        self.cell(addr).fetch_and(bits, Ordering::SeqCst)
+    }
+
+    /// Atomic maximum, returning the previous value.
+    #[inline(always)]
+    pub fn fetch_max(&self, addr: Addr, value: u64) -> u64 {
+        self.cell(addr).fetch_max(value, Ordering::SeqCst)
+    }
+
+    /// Fills the address range `[start, start + len)` with `value` using
+    /// plain stores.  Used by workload initialisation only.
+    pub fn fill(&self, start: Addr, len: usize, value: u64) {
+        for i in 0..len {
+            self.store(start.offset(i), value);
+        }
+    }
+}
+
+impl std::fmt::Debug for TxHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxHeap")
+            .field("len_words", &self.len())
+            .field("len_bytes", &(self.len() * 8))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_heap_is_zeroed() {
+        let h = TxHeap::new(64);
+        assert_eq!(h.len(), 64);
+        assert!(!h.is_empty());
+        for i in 0..64 {
+            assert_eq!(h.load(Addr(i)), 0);
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let h = TxHeap::new(16);
+        h.store(Addr(3), 0xdead_beef);
+        assert_eq!(h.load(Addr(3)), 0xdead_beef);
+        assert_eq!(h.load(Addr(2)), 0);
+        assert_eq!(h.load(Addr(4)), 0);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let h = TxHeap::new(4);
+        h.store(Addr(0), 7);
+        assert_eq!(h.cas(Addr(0), 7, 9), Ok(7));
+        assert_eq!(h.load(Addr(0)), 9);
+        assert_eq!(h.cas(Addr(0), 7, 11), Err(9));
+        assert_eq!(h.load(Addr(0)), 9);
+    }
+
+    #[test]
+    fn fetch_add_and_sub() {
+        let h = TxHeap::new(4);
+        assert_eq!(h.fetch_add(Addr(1), 5), 0);
+        assert_eq!(h.fetch_add(Addr(1), 5), 5);
+        assert_eq!(h.load(Addr(1)), 10);
+        assert_eq!(h.fetch_sub(Addr(1), 4), 10);
+        assert_eq!(h.load(Addr(1)), 6);
+    }
+
+    #[test]
+    fn fetch_or_and_and_max() {
+        let h = TxHeap::new(4);
+        assert_eq!(h.fetch_or(Addr(0), 0b1010), 0);
+        assert_eq!(h.fetch_and(Addr(0), 0b0010), 0b1010);
+        assert_eq!(h.load(Addr(0)), 0b0010);
+        assert_eq!(h.fetch_max(Addr(0), 100), 0b0010);
+        assert_eq!(h.fetch_max(Addr(0), 3), 100);
+        assert_eq!(h.load(Addr(0)), 100);
+    }
+
+    #[test]
+    fn fill_covers_exact_range() {
+        let h = TxHeap::new(32);
+        h.fill(Addr(8), 8, 42);
+        assert_eq!(h.load(Addr(7)), 0);
+        for i in 8..16 {
+            assert_eq!(h.load(Addr(i)), 42);
+        }
+        assert_eq!(h.load(Addr(16)), 0);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let h = Arc::new(TxHeap::new(8));
+        let threads = 8;
+        let per_thread = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        h.fetch_add(Addr(0), 1);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.load(Addr(0)), (threads * per_thread) as u64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let h = TxHeap::new(4);
+        let _ = h.load(Addr(4));
+    }
+}

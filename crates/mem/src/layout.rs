@@ -1,0 +1,428 @@
+//! Memory layout: where the clock, fallback counters, stripe metadata and
+//! the data region live inside the transactional heap.
+//!
+//! ```text
+//! +---------------------------------------------------------------+
+//! | word 0        global version clock (GV6)                      |
+//! | word 8        is_RH2_fallback counter                         |
+//! | word 16       is_all_software_slow_path counter               |
+//! | word 24       reserved scratch line (tests, ablations)        |
+//! | word 32 ..    stripe version array  [num_stripes]             |
+//! |   ..          stripe read-mask array [num_stripes*mask_words] |
+//! |   ..          data region            [data_words]             |
+//! +---------------------------------------------------------------+
+//! ```
+//!
+//! Each global counter sits on its own simulated cache line so that a
+//! speculative load of, say, `is_RH2_fallback` inside an RH1 fast-path
+//! transaction does not create false conflicts with clock updates.
+//!
+//! Stripe metadata covers only the *data region*: `stripe_of` maps a data
+//! address to a [`StripeId`], and each stripe has one version word plus
+//! `mask_words` read-mask words.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::addr::{Addr, StripeId, CACHE_LINE_WORDS};
+use crate::clock::{ClockMode, GlobalClock};
+use crate::heap::TxHeap;
+
+/// Configuration of the transactional memory layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Number of 64-bit words available in the data region.
+    pub data_words: usize,
+    /// log2 of the number of data words covered by one stripe.
+    ///
+    /// The paper's red-black-tree discussion assumes the read-set metadata
+    /// is about 1/4 the size of the data actually read, i.e. four words per
+    /// stripe (`stripe_shift = 2`), which is the default.
+    pub stripe_shift: usize,
+    /// Maximum number of threads that may register.  Determines how many
+    /// 64-bit read-mask words each stripe carries (one per 64 threads).
+    pub max_threads: usize,
+    /// Which global-clock algorithm to use.
+    pub clock_mode: ClockMode,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            data_words: 1 << 20,
+            stripe_shift: 2,
+            max_threads: 64,
+            clock_mode: ClockMode::Gv6,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Convenience constructor for a data region of `data_words` words with
+    /// all other parameters at their defaults.
+    pub fn with_data_words(data_words: usize) -> Self {
+        MemConfig {
+            data_words,
+            ..Default::default()
+        }
+    }
+
+    /// Number of stripes needed to cover the data region.
+    pub fn num_stripes(&self) -> usize {
+        let per = 1usize << self.stripe_shift;
+        self.data_words.div_ceil(per)
+    }
+
+    /// Number of 64-bit read-mask words per stripe.
+    pub fn mask_words_per_stripe(&self) -> usize {
+        self.max_threads.div_ceil(64).max(1)
+    }
+}
+
+/// Resolved region map of the heap (all offsets in words).
+#[derive(Clone, Debug)]
+pub struct MemLayout {
+    config: MemConfig,
+    clock_addr: Addr,
+    rh2_fallback_addr: Addr,
+    all_software_addr: Addr,
+    scratch_addr: Addr,
+    stripe_versions_base: usize,
+    read_masks_base: usize,
+    data_base: usize,
+    total_words: usize,
+}
+
+impl MemLayout {
+    /// Computes the layout for a configuration.
+    pub fn new(config: MemConfig) -> Self {
+        let line = CACHE_LINE_WORDS;
+        let clock_addr = Addr(0);
+        let rh2_fallback_addr = Addr(line);
+        let all_software_addr = Addr(2 * line);
+        let scratch_addr = Addr(3 * line);
+        let stripe_versions_base = 4 * line;
+        let num_stripes = config.num_stripes();
+        let read_masks_base = stripe_versions_base + num_stripes;
+        let mask_words = num_stripes * config.mask_words_per_stripe();
+        // Align the data region to a cache line so data and metadata never
+        // share a line in the simulated HTM's conflict tables.
+        let data_base = (read_masks_base + mask_words).next_multiple_of(line);
+        let total_words = data_base + config.data_words;
+        MemLayout {
+            config,
+            clock_addr,
+            rh2_fallback_addr,
+            all_software_addr,
+            scratch_addr,
+            stripe_versions_base,
+            read_masks_base,
+            data_base,
+            total_words,
+        }
+    }
+
+    /// The configuration this layout was computed from.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Total heap size in words.
+    pub fn total_words(&self) -> usize {
+        self.total_words
+    }
+
+    /// Address of the global version clock word.
+    #[inline(always)]
+    pub fn clock_addr(&self) -> Addr {
+        self.clock_addr
+    }
+
+    /// Address of the `is_RH2_fallback` counter (number of RH1 slow-path
+    /// transactions currently executing the RH2 fallback commit).
+    #[inline(always)]
+    pub fn rh2_fallback_addr(&self) -> Addr {
+        self.rh2_fallback_addr
+    }
+
+    /// Address of the `is_all_software_slow_path` counter (number of RH2
+    /// slow-path transactions currently performing a pure-software
+    /// write-back).
+    #[inline(always)]
+    pub fn all_software_addr(&self) -> Addr {
+        self.all_software_addr
+    }
+
+    /// A spare metadata word on its own cache line, used by tests and
+    /// ablation benchmarks that need an extra shared counter inside the
+    /// HTM-tracked address space.
+    #[inline(always)]
+    pub fn scratch_addr(&self) -> Addr {
+        self.scratch_addr
+    }
+
+    /// First word of the data region.
+    #[inline(always)]
+    pub fn data_base(&self) -> Addr {
+        Addr(self.data_base)
+    }
+
+    /// Number of words in the data region.
+    #[inline(always)]
+    pub fn data_words(&self) -> usize {
+        self.config.data_words
+    }
+
+    /// Returns `true` if `addr` lies inside the data region.
+    #[inline(always)]
+    pub fn is_data_addr(&self, addr: Addr) -> bool {
+        addr.0 >= self.data_base && addr.0 < self.total_words
+    }
+
+    /// Number of stripes covering the data region.
+    #[inline(always)]
+    pub fn num_stripes(&self) -> usize {
+        self.config.num_stripes()
+    }
+
+    /// Maps a data address to its stripe.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `addr` is a data address; metadata words have no
+    /// stripe.
+    #[inline(always)]
+    pub fn stripe_of(&self, addr: Addr) -> StripeId {
+        debug_assert!(
+            self.is_data_addr(addr),
+            "stripe_of called on non-data address {addr:?}"
+        );
+        StripeId((addr.0 - self.data_base) >> self.config.stripe_shift)
+    }
+
+    /// Address of the version word (time-stamp, with the low bit reserved as
+    /// a lock bit by TL2/RH2) of `stripe`.
+    #[inline(always)]
+    pub fn stripe_version_addr(&self, stripe: StripeId) -> Addr {
+        debug_assert!(stripe.0 < self.num_stripes());
+        Addr(self.stripe_versions_base + stripe.0)
+    }
+
+    /// Address of the `word`-th read-mask word of `stripe` (word 0 covers
+    /// thread ids 0..63, word 1 covers 64..127, ...).
+    #[inline(always)]
+    pub fn read_mask_addr(&self, stripe: StripeId, word: usize) -> Addr {
+        let per = self.config.mask_words_per_stripe();
+        debug_assert!(stripe.0 < self.num_stripes());
+        debug_assert!(word < per);
+        Addr(self.read_masks_base + stripe.0 * per + word)
+    }
+
+    /// Number of read-mask words per stripe.
+    #[inline(always)]
+    pub fn mask_words_per_stripe(&self) -> usize {
+        self.config.mask_words_per_stripe()
+    }
+}
+
+/// The shared transactional memory handed to every runtime: heap + layout +
+/// a bump allocator over the data region + the global clock.
+pub struct TmMemory {
+    heap: TxHeap,
+    layout: MemLayout,
+    clock: GlobalClock,
+    alloc_cursor: AtomicUsize,
+}
+
+impl TmMemory {
+    /// Creates a fresh transactional memory with the given configuration.
+    pub fn new(config: MemConfig) -> Self {
+        let layout = MemLayout::new(config);
+        let heap = TxHeap::new(layout.total_words());
+        let clock = GlobalClock::new(layout.clock_addr(), layout.config().clock_mode);
+        let data_base = layout.data_base().0;
+        TmMemory {
+            heap,
+            layout,
+            clock,
+            alloc_cursor: AtomicUsize::new(data_base),
+        }
+    }
+
+    /// The underlying heap.
+    #[inline(always)]
+    pub fn heap(&self) -> &TxHeap {
+        &self.heap
+    }
+
+    /// The region map.
+    #[inline(always)]
+    pub fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    /// The global version clock.
+    #[inline(always)]
+    pub fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    /// Allocates `words` consecutive data words and returns the address of
+    /// the first one.  Allocation is a simple atomic bump; the workloads
+    /// never free memory (the paper's benchmarks do not either).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the data region is exhausted: this is a configuration
+    /// error (increase [`MemConfig::data_words`]).
+    pub fn alloc(&self, words: usize) -> Addr {
+        let start = self.alloc_cursor.fetch_add(words, Ordering::SeqCst);
+        let end = start + words;
+        assert!(
+            end <= self.layout.total_words(),
+            "transactional heap exhausted: requested {} words, {} words remain",
+            words,
+            self.layout.total_words().saturating_sub(start)
+        );
+        Addr(start)
+    }
+
+    /// Allocates `words` data words aligned to the start of a cache line.
+    pub fn alloc_line_aligned(&self, words: usize) -> Addr {
+        loop {
+            let cur = self.alloc_cursor.load(Ordering::SeqCst);
+            let aligned = cur.next_multiple_of(CACHE_LINE_WORDS);
+            let end = aligned + words;
+            assert!(
+                end <= self.layout.total_words(),
+                "transactional heap exhausted during aligned allocation"
+            );
+            if self
+                .alloc_cursor
+                .compare_exchange(cur, end, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Addr(aligned);
+            }
+        }
+    }
+
+    /// Number of data words still available for allocation.
+    pub fn remaining_words(&self) -> usize {
+        self.layout
+            .total_words()
+            .saturating_sub(self.alloc_cursor.load(Ordering::SeqCst))
+    }
+}
+
+impl std::fmt::Debug for TmMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmMemory")
+            .field("total_words", &self.layout.total_words())
+            .field("data_words", &self.layout.data_words())
+            .field("num_stripes", &self.layout.num_stripes())
+            .field("remaining_words", &self.remaining_words())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_live_on_distinct_cache_lines() {
+        let l = MemLayout::new(MemConfig::with_data_words(1024));
+        let lines = [
+            l.clock_addr().line(),
+            l.rh2_fallback_addr().line(),
+            l.all_software_addr().line(),
+            l.scratch_addr().line(),
+        ];
+        for i in 0..lines.len() {
+            for j in 0..lines.len() {
+                if i != j {
+                    assert_ne!(lines[i], lines[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_region_is_line_aligned_and_sized() {
+        let cfg = MemConfig::with_data_words(1000);
+        let l = MemLayout::new(cfg);
+        assert_eq!(l.data_base().0 % CACHE_LINE_WORDS, 0);
+        assert_eq!(l.data_words(), 1000);
+        assert!(l.total_words() >= l.data_base().0 + 1000);
+    }
+
+    #[test]
+    fn stripe_mapping_covers_data_region() {
+        let cfg = MemConfig {
+            data_words: 1024,
+            stripe_shift: 2,
+            max_threads: 64,
+            clock_mode: ClockMode::Gv6,
+        };
+        let l = MemLayout::new(cfg);
+        assert_eq!(l.num_stripes(), 256);
+        let base = l.data_base();
+        assert_eq!(l.stripe_of(base), StripeId(0));
+        assert_eq!(l.stripe_of(base.offset(3)), StripeId(0));
+        assert_eq!(l.stripe_of(base.offset(4)), StripeId(1));
+        assert_eq!(l.stripe_of(base.offset(1023)), StripeId(255));
+    }
+
+    #[test]
+    fn stripe_metadata_addresses_are_disjoint_from_data() {
+        let cfg = MemConfig::with_data_words(4096);
+        let l = MemLayout::new(cfg);
+        let last_stripe = StripeId(l.num_stripes() - 1);
+        assert!(l.stripe_version_addr(StripeId(0)).0 < l.data_base().0);
+        assert!(l.stripe_version_addr(last_stripe).0 < l.data_base().0);
+        assert!(l.read_mask_addr(StripeId(0), 0).0 < l.data_base().0);
+        assert!(l.read_mask_addr(last_stripe, 0).0 < l.data_base().0);
+    }
+
+    #[test]
+    fn more_than_64_threads_need_more_mask_words() {
+        let mut cfg = MemConfig::with_data_words(64);
+        cfg.max_threads = 65;
+        assert_eq!(cfg.mask_words_per_stripe(), 2);
+        let l = MemLayout::new(cfg);
+        let a0 = l.read_mask_addr(StripeId(0), 0);
+        let a1 = l.read_mask_addr(StripeId(0), 1);
+        let b0 = l.read_mask_addr(StripeId(1), 0);
+        assert_eq!(a1.0, a0.0 + 1);
+        assert_eq!(b0.0, a0.0 + 2);
+    }
+
+    #[test]
+    fn alloc_bumps_and_stays_in_data_region() {
+        let mem = TmMemory::new(MemConfig::with_data_words(256));
+        let a = mem.alloc(10);
+        let b = mem.alloc(6);
+        assert!(mem.layout().is_data_addr(a));
+        assert!(mem.layout().is_data_addr(b));
+        assert_eq!(b.0, a.0 + 10);
+        let c = mem.alloc_line_aligned(8);
+        assert_eq!(c.0 % CACHE_LINE_WORDS, 0);
+        assert!(c.0 >= b.0 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_past_end_panics() {
+        let mem = TmMemory::new(MemConfig::with_data_words(32));
+        let _ = mem.alloc(33);
+    }
+
+    #[test]
+    fn default_config_is_reasonable() {
+        let cfg = MemConfig::default();
+        assert_eq!(cfg.data_words, 1 << 20);
+        assert_eq!(cfg.stripe_shift, 2);
+        assert_eq!(cfg.num_stripes(), 1 << 18);
+        assert_eq!(cfg.mask_words_per_stripe(), 1);
+    }
+}

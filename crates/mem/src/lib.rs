@@ -1,0 +1,43 @@
+//! # rhtm-mem
+//!
+//! Shared-memory substrate for the RHTM hybrid transactional memory library.
+//!
+//! Every transactional runtime in this workspace (the simulated best-effort
+//! HTM, the TL2 STM baseline, the Standard-HyTM baseline and the RH1/RH2
+//! reduced-hardware protocols) operates over a single **word-addressed
+//! transactional heap** ([`TxHeap`]).  Both user data *and* all protocol
+//! metadata — the global version clock, the fallback counters, the stripe
+//! version array and the stripe read-mask array — live inside this heap so
+//! that the simulated HTM can detect conflicts on metadata exactly the way
+//! real hardware would through the cache-coherence protocol.
+//!
+//! The crate provides:
+//!
+//! * [`Addr`] / [`StripeId`] — word addresses and stripe identifiers,
+//! * [`TxHeap`] — a fixed-size array of `AtomicU64` words with plain,
+//!   CAS and fetch-and-add access,
+//! * [`MemLayout`] / [`MemConfig`] — the region map that places the clock,
+//!   fallback counters, stripe versions, read masks and the data region,
+//! * [`TmMemory`] — the bundle of heap + layout + bump allocator handed to
+//!   every runtime,
+//! * [`GlobalClock`] — the GV6-style global version clock used by TL2, the
+//!   Standard HyTM and RH1/RH2,
+//! * [`ThreadRegistry`] — assignment of dense thread ids (needed by the RH2
+//!   read-visibility masks),
+//! * cache-line constants shared with the HTM simulator.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod addr;
+pub mod clock;
+pub mod heap;
+pub mod layout;
+pub mod stamp;
+pub mod thread;
+
+pub use addr::{Addr, StripeId, CACHE_LINE_WORDS, LINE_SHIFT};
+pub use clock::{ClockMode, GlobalClock};
+pub use heap::TxHeap;
+pub use layout::{MemConfig, MemLayout, TmMemory};
+pub use thread::{ThreadRegistry, ThreadToken};

@@ -1,0 +1,172 @@
+//! Dense thread-id assignment.
+//!
+//! RH2's read-visibility masks index threads by a dense id (bit `k` of a
+//! stripe's read mask means "thread `k` is currently reading this stripe
+//! during its slow-path commit"), and TL2/RH2 encode the locking thread's id
+//! into the stripe version word.  [`ThreadRegistry`] hands out those ids and
+//! recycles them when a [`ThreadToken`] is dropped, so thread pools and
+//! repeated benchmark phases never run out of ids.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Hands out dense thread ids in `0..max_threads`.
+#[derive(Debug)]
+pub struct ThreadRegistry {
+    max_threads: usize,
+    free: Mutex<Vec<usize>>,
+}
+
+impl ThreadRegistry {
+    /// Creates a registry able to serve `max_threads` concurrent threads.
+    pub fn new(max_threads: usize) -> Arc<Self> {
+        let free = (0..max_threads).rev().collect();
+        Arc::new(ThreadRegistry {
+            max_threads,
+            free: Mutex::new(free),
+        })
+    }
+
+    /// Maximum number of concurrently registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Number of ids currently available.
+    pub fn available(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Registers the calling thread, returning a token that releases the id
+    /// when dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_threads` threads are registered at once —
+    /// that is a configuration error (raise `MemConfig::max_threads`).
+    pub fn register(self: &Arc<Self>) -> ThreadToken {
+        let id = self
+            .free
+            .lock()
+            .pop()
+            .expect("ThreadRegistry exhausted: more threads than MemConfig::max_threads");
+        ThreadToken {
+            id,
+            registry: Arc::clone(self),
+        }
+    }
+}
+
+/// A registered thread's dense id.  Dropping the token returns the id to the
+/// registry.
+#[derive(Debug)]
+pub struct ThreadToken {
+    id: usize,
+    registry: Arc<ThreadRegistry>,
+}
+
+impl ThreadToken {
+    /// The dense thread id in `0..max_threads`.
+    #[inline(always)]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The read-mask word index this thread's visibility bit lives in.
+    #[inline(always)]
+    pub fn mask_word(&self) -> usize {
+        self.id / 64
+    }
+
+    /// The bit within [`Self::mask_word`] representing this thread.
+    #[inline(always)]
+    pub fn mask_bit(&self) -> u64 {
+        1u64 << (self.id % 64)
+    }
+
+    /// The stripe-version value this thread writes to lock a stripe
+    /// (`thread_id * 2 + 1`: low bit set = locked, upper bits = owner).
+    #[inline(always)]
+    pub fn lock_value(&self) -> u64 {
+        (self.id as u64) * 2 + 1
+    }
+}
+
+impl Drop for ThreadToken {
+    fn drop(&mut self) {
+        self.registry.free.lock().push(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let reg = ThreadRegistry::new(8);
+        let tokens: Vec<_> = (0..8).map(|_| reg.register()).collect();
+        let ids: HashSet<_> = tokens.iter().map(|t| t.id()).collect();
+        assert_eq!(ids.len(), 8);
+        assert!(ids.iter().all(|&id| id < 8));
+        assert_eq!(reg.available(), 0);
+    }
+
+    #[test]
+    fn ids_are_recycled_on_drop() {
+        let reg = ThreadRegistry::new(2);
+        let a = reg.register();
+        let id_a = a.id();
+        drop(a);
+        assert_eq!(reg.available(), 2);
+        let b = reg.register();
+        let c = reg.register();
+        let ids: HashSet<_> = [b.id(), c.id()].into_iter().collect();
+        assert!(ids.contains(&id_a));
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn over_registration_panics() {
+        let reg = ThreadRegistry::new(1);
+        let _a = reg.register();
+        let _b = reg.register();
+    }
+
+    #[test]
+    fn mask_and_lock_encoding() {
+        let reg = ThreadRegistry::new(130);
+        let tokens: Vec<_> = (0..130).map(|_| reg.register()).collect();
+        for t in &tokens {
+            assert_eq!(t.mask_word(), t.id() / 64);
+            assert_eq!(t.mask_bit(), 1u64 << (t.id() % 64));
+            assert_eq!(t.lock_value(), (t.id() as u64) * 2 + 1);
+            assert_eq!(t.lock_value() & 1, 1, "lock values must have the lock bit set");
+        }
+    }
+
+    #[test]
+    fn registration_is_thread_safe() {
+        use std::sync::Barrier;
+        let reg = ThreadRegistry::new(32);
+        // All threads hold their token across a barrier so every id is live
+        // at the same time: ids must still be unique.
+        let barrier = Arc::new(Barrier::new(32));
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let tok = reg.register();
+                    barrier.wait();
+                    tok.id()
+                })
+            })
+            .collect();
+        let ids: HashSet<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(ids.len(), 32);
+        assert_eq!(reg.available(), 32);
+    }
+}

@@ -1,0 +1,27 @@
+//! # rhtm-stm
+//!
+//! Software transactional memory baselines:
+//!
+//! * [`Tl2Engine`] / [`Tl2Runtime`] — the TL2 algorithm of Dice, Shalev and
+//!   Shavit (DISC 2006) with the GV6 global clock, exactly the STM the paper
+//!   benchmarks against (and the style of STM the RH1/RH2 slow-paths are
+//!   derived from).  The engine type is reusable: the Standard-HyTM
+//!   baseline embeds it as its software fallback path.
+//! * [`MutexRuntime`] — a trivially-correct coarse-grained-lock "STM" used
+//!   as a test oracle for the concurrent data-structure tests.
+//!
+//! All shared writes performed by the TL2 commit go through the simulated
+//! HTM's strongly-isolated non-transactional operations so that, when the
+//! engine is reused inside a hybrid runtime, hardware transactions observe
+//! its write-back exactly the way real HTM observes coherence traffic.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod mutex;
+pub mod runtime;
+pub mod tl2;
+
+pub use mutex::{MutexRuntime, MutexThread};
+pub use runtime::{Tl2Runtime, Tl2Thread};
+pub use tl2::Tl2Engine;

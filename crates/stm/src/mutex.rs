@@ -1,0 +1,182 @@
+//! A coarse-grained global-lock "transactional memory".
+//!
+//! Every transaction takes one global mutex, so transactions are trivially
+//! serialisable.  It is far too slow to be a baseline of interest, but it is
+//! an ideal *test oracle*: the concurrent data-structure and property tests
+//! run the same operation sequences against a real runtime and against this
+//! one and compare the outcomes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use rhtm_api::{PathKind, TmRuntime, TmThread, TxResult, TxStats, Txn};
+use rhtm_htm::{HtmConfig, HtmSim};
+use rhtm_mem::{Addr, MemConfig, ThreadRegistry, ThreadToken, TmMemory};
+
+/// The global-lock runtime.
+pub struct MutexRuntime {
+    sim: Arc<HtmSim>,
+    registry: Arc<ThreadRegistry>,
+    lock: Arc<Mutex<()>>,
+}
+
+impl MutexRuntime {
+    /// Creates a global-lock runtime over its own fresh memory.
+    pub fn new(mem_config: MemConfig) -> Self {
+        let max_threads = mem_config.max_threads;
+        let mem = Arc::new(TmMemory::new(mem_config));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        MutexRuntime {
+            sim,
+            registry: ThreadRegistry::new(max_threads),
+            lock: Arc::new(Mutex::new(())),
+        }
+    }
+
+    /// Creates a global-lock runtime over an existing simulator.
+    pub fn with_sim(sim: Arc<HtmSim>) -> Self {
+        let max_threads = sim.mem().layout().config().max_threads;
+        MutexRuntime {
+            sim,
+            registry: ThreadRegistry::new(max_threads),
+            lock: Arc::new(Mutex::new(())),
+        }
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+}
+
+impl TmRuntime for MutexRuntime {
+    type Thread = MutexThread;
+
+    fn name(&self) -> &'static str {
+        "GlobalLock"
+    }
+
+    fn mem(&self) -> &Arc<TmMemory> {
+        self.sim.mem()
+    }
+
+    fn register_thread(&self) -> MutexThread {
+        MutexThread {
+            sim: Arc::clone(&self.sim),
+            lock: Arc::clone(&self.lock),
+            token: self.registry.register(),
+            stats: TxStats::new(false),
+            in_txn: false,
+        }
+    }
+}
+
+/// Per-thread handle of the global-lock runtime.
+pub struct MutexThread {
+    sim: Arc<HtmSim>,
+    lock: Arc<Mutex<()>>,
+    token: ThreadToken,
+    stats: TxStats,
+    in_txn: bool,
+}
+
+impl Txn for MutexThread {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.stats.record_read(0);
+        Ok(self.sim.mem().heap().load(addr))
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        self.stats.record_write(0);
+        // Conflict-visible so hardware transactions in mixed test setups
+        // sharing the same memory observe the update.
+        self.sim.nt_store(addr, value);
+        Ok(())
+    }
+}
+
+impl TmThread for MutexThread {
+    fn execute<R, F>(&mut self, mut body: F) -> R
+    where
+        F: FnMut(&mut Self) -> TxResult<R>,
+    {
+        assert!(!self.in_txn, "nested execute is not supported");
+        self.in_txn = true;
+        let lock = Arc::clone(&self.lock);
+        let guard = lock.lock();
+        let result = loop {
+            match body(self) {
+                Ok(r) => {
+                    self.stats.record_commit(PathKind::Software);
+                    break r;
+                }
+                Err(abort) => self.stats.record_abort(abort.cause),
+            }
+        };
+        drop(guard);
+        self.in_txn = false;
+        result
+    }
+
+    fn thread_id(&self) -> usize {
+        self.token.id()
+    }
+
+    fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut TxStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let rt = Arc::new(MutexRuntime::new(MemConfig::with_data_words(256)));
+        let addr = rt.mem().alloc(1);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let rt = Arc::clone(&rt);
+                std::thread::spawn(move || {
+                    let mut th = rt.register_thread();
+                    for _ in 0..2_000 {
+                        th.execute(|tx| {
+                            let v = tx.read(addr)?;
+                            tx.write(addr, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rt.sim().nt_load(addr), 16_000);
+    }
+
+    #[test]
+    fn name_and_stats() {
+        let rt = MutexRuntime::new(MemConfig::with_data_words(64));
+        assert_eq!(rt.name(), "GlobalLock");
+        let addr = rt.mem().alloc(1);
+        let mut th = rt.register_thread();
+        let v = th.execute(|tx| {
+            tx.write(addr, 3)?;
+            tx.read(addr)
+        });
+        assert_eq!(v, 3);
+        assert_eq!(th.stats().commits(), 1);
+        assert_eq!(th.stats().reads, 1);
+        assert_eq!(th.stats().writes, 1);
+        assert_eq!(th.thread_id() < 64, true);
+    }
+}

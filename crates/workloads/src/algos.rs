@@ -1,0 +1,201 @@
+//! The algorithm registry: every TM variant the paper's evaluation plots,
+//! instantiable by name so a figure is just a loop over `(AlgoKind,
+//! threads)`.
+
+use std::sync::Arc;
+
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::{HtmConfig, HtmRuntime, HtmSim};
+use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
+use rhtm_mem::{MemConfig, TmMemory};
+use rhtm_stm::{MutexRuntime, Tl2Runtime};
+
+use crate::driver::{run_benchmark, DriverOpts};
+use crate::report::BenchResult;
+use crate::workload::Workload;
+
+/// The algorithm variants of the paper's evaluation (plus the global-lock
+/// oracle used by tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AlgoKind {
+    /// Pure best-effort HTM with no instrumentation ("HTM").
+    Htm,
+    /// The instrumented standard hybrid, hardware-retries-only variant
+    /// ("Standard HyTM").
+    StdHytm,
+    /// The TL2 software baseline ("TL2").
+    Tl2,
+    /// RH1 with hardware-only retries ("RH1 Fast").
+    Rh1Fast,
+    /// RH1 with the given percentage of aborted transactions retried on the
+    /// mixed slow-path ("RH1 Mixed N").
+    Rh1Mixed(u8),
+    /// RH1 running every transaction on the mixed slow-path ("RH1 Slow",
+    /// used by the single-thread breakdown table).
+    Rh1Slow,
+    /// Stand-alone RH2.
+    Rh2,
+    /// A single global lock (test oracle, not part of the paper's figures).
+    GlobalLock,
+}
+
+impl AlgoKind {
+    /// The series the paper plots in Figures 1–3.
+    pub const FIGURE_SET: [AlgoKind; 6] = [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Fast,
+        AlgoKind::Rh1Mixed(10),
+        AlgoKind::Rh1Mixed(100),
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            AlgoKind::Htm => "HTM".to_string(),
+            AlgoKind::StdHytm => "Standard HyTM".to_string(),
+            AlgoKind::Tl2 => "TL2".to_string(),
+            AlgoKind::Rh1Fast => "RH1 Fast".to_string(),
+            AlgoKind::Rh1Mixed(p) => format!("RH1 Mixed {p}"),
+            AlgoKind::Rh1Slow => "RH1 Slow".to_string(),
+            AlgoKind::Rh2 => "RH2".to_string(),
+            AlgoKind::GlobalLock => "GlobalLock".to_string(),
+        }
+    }
+
+    /// Parses a label back into a kind (used by the figure binaries' CLI).
+    pub fn parse(label: &str) -> Option<AlgoKind> {
+        let l = label.trim().to_ascii_lowercase();
+        match l.as_str() {
+            "htm" => Some(AlgoKind::Htm),
+            "standard-hytm" | "standard hytm" | "stdhytm" => Some(AlgoKind::StdHytm),
+            "tl2" => Some(AlgoKind::Tl2),
+            "rh1-fast" | "rh1 fast" => Some(AlgoKind::Rh1Fast),
+            "rh1-slow" | "rh1 slow" => Some(AlgoKind::Rh1Slow),
+            "rh2" => Some(AlgoKind::Rh2),
+            "global-lock" | "globallock" => Some(AlgoKind::GlobalLock),
+            _ => {
+                let rest = l
+                    .strip_prefix("rh1-mixed-")
+                    .or_else(|| l.strip_prefix("rh1 mixed "))?;
+                rest.parse().ok().map(AlgoKind::Rh1Mixed)
+            }
+        }
+    }
+}
+
+/// Builds a fresh shared memory + simulated HTM, constructs the workload
+/// over it with `build`, instantiates the runtime selected by `kind` on the
+/// *same* memory, and runs the benchmark.
+///
+/// `build` receives the simulator so it can allocate and initialise its
+/// nodes; it runs before any worker thread exists.
+pub fn run_on_algo<W, B>(
+    kind: AlgoKind,
+    mem_config: MemConfig,
+    htm_config: HtmConfig,
+    build: B,
+    opts: &DriverOpts,
+) -> BenchResult
+where
+    W: Workload,
+    B: FnOnce(&Arc<HtmSim>) -> W,
+{
+    let mem = Arc::new(TmMemory::new(mem_config));
+    let sim = HtmSim::new(mem, htm_config);
+    let workload = build(&sim);
+    match kind {
+        AlgoKind::Htm => run_benchmark(&HtmRuntime::with_sim(sim), &workload, opts),
+        AlgoKind::StdHytm => run_benchmark(
+            &StdHytmRuntime::with_sim(sim, StdHytmConfig::hardware_only()),
+            &workload,
+            opts,
+        ),
+        AlgoKind::Tl2 => run_benchmark(&Tl2Runtime::with_sim(sim), &workload, opts),
+        AlgoKind::Rh1Fast => run_benchmark(
+            &RhRuntime::with_sim(sim, RhConfig::rh1_fast()),
+            &workload,
+            opts,
+        ),
+        AlgoKind::Rh1Mixed(p) => run_benchmark(
+            &RhRuntime::with_sim(sim, RhConfig::rh1_mixed(p)),
+            &workload,
+            opts,
+        ),
+        AlgoKind::Rh1Slow => run_benchmark(
+            &RhRuntime::with_sim(sim, RhConfig::rh1_slow()),
+            &workload,
+            opts,
+        ),
+        AlgoKind::Rh2 => run_benchmark(&RhRuntime::with_sim(sim, RhConfig::rh2()), &workload, opts),
+        AlgoKind::GlobalLock => run_benchmark(&MutexRuntime::with_sim(sim), &workload, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::hashtable::ConstantHashTable;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for kind in [
+            AlgoKind::Htm,
+            AlgoKind::StdHytm,
+            AlgoKind::Tl2,
+            AlgoKind::Rh1Fast,
+            AlgoKind::Rh1Mixed(10),
+            AlgoKind::Rh1Mixed(100),
+            AlgoKind::Rh1Slow,
+            AlgoKind::Rh2,
+            AlgoKind::GlobalLock,
+        ] {
+            assert_eq!(AlgoKind::parse(&kind.label()), Some(kind), "{kind:?}");
+        }
+        assert_eq!(AlgoKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn figure_set_matches_the_paper_legends() {
+        let labels: Vec<_> = AlgoKind::FIGURE_SET.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "HTM",
+                "Standard HyTM",
+                "TL2",
+                "RH1 Fast",
+                "RH1 Mixed 10",
+                "RH1 Mixed 100"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_algorithm_runs_the_same_workload() {
+        let elements = 512;
+        for kind in [
+            AlgoKind::Htm,
+            AlgoKind::StdHytm,
+            AlgoKind::Tl2,
+            AlgoKind::Rh1Fast,
+            AlgoKind::Rh1Mixed(100),
+            AlgoKind::Rh1Slow,
+            AlgoKind::Rh2,
+            AlgoKind::GlobalLock,
+        ] {
+            let mem_config =
+                MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 1024);
+            let result = run_on_algo(
+                kind,
+                mem_config,
+                HtmConfig::default(),
+                |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                &DriverOpts::counted(2, 20, 200),
+            );
+            assert_eq!(result.total_ops, 400, "{kind:?}");
+            assert_eq!(result.algorithm, kind.label().as_str(), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The multi-threaded benchmark driver.
+//!
+//! `run_benchmark` reproduces the paper's measurement loop: every worker
+//! thread repeatedly picks a random key, decides lookup-vs-update according
+//! to the write percentage, and executes one transaction, until either the
+//! measurement interval elapses or a fixed per-thread operation budget is
+//! exhausted.  Per-thread statistics are merged into a single
+//! [`BenchResult`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rhtm_api::{TmRuntime, TmThread};
+
+use crate::report::{BenchResult, Breakdown};
+use crate::rng::WorkloadRng;
+use crate::workload::Workload;
+
+/// Options of a benchmark run.
+#[derive(Clone, Debug)]
+pub struct DriverOpts {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Percentage (0–100) of operations that are updates.
+    pub write_percent: u8,
+    /// Fixed per-thread operation budget.  When `None`, the run is
+    /// time-bounded by `duration`.
+    pub ops_per_thread: Option<u64>,
+    /// Measurement interval for time-bounded runs.
+    pub duration: Duration,
+    /// Collect the fine-grained single-thread time breakdown (enables
+    /// per-operation timing; meaningful for `threads == 1`).
+    pub breakdown: bool,
+    /// Base RNG seed (each thread derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for DriverOpts {
+    fn default() -> Self {
+        DriverOpts {
+            threads: 1,
+            write_percent: 20,
+            ops_per_thread: None,
+            duration: Duration::from_millis(300),
+            breakdown: false,
+            seed: 0xbe6c_c0de,
+        }
+    }
+}
+
+impl DriverOpts {
+    /// A time-bounded run.
+    pub fn timed(threads: usize, write_percent: u8, duration: Duration) -> Self {
+        DriverOpts {
+            threads,
+            write_percent,
+            duration,
+            ..Default::default()
+        }
+    }
+
+    /// An operation-count-bounded run (used by the Criterion benches, whose
+    /// iteration model wants deterministic work per measurement).
+    pub fn counted(threads: usize, write_percent: u8, ops_per_thread: u64) -> Self {
+        DriverOpts {
+            threads,
+            write_percent,
+            ops_per_thread: Some(ops_per_thread),
+            ..Default::default()
+        }
+    }
+
+    /// Enables the single-thread time-breakdown mode.
+    pub fn with_breakdown(mut self) -> Self {
+        self.breakdown = true;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+struct ThreadOutcome {
+    ops: u64,
+    stats: rhtm_api::TxStats,
+    txn_ns: u64,
+    loop_ns: u64,
+}
+
+/// Runs `workload` on `runtime` according to `opts` and returns the merged
+/// result.
+pub fn run_benchmark<RT, W>(runtime: &RT, workload: &W, opts: &DriverOpts) -> BenchResult
+where
+    RT: TmRuntime,
+    W: Workload,
+{
+    assert!(opts.threads >= 1, "at least one worker thread is required");
+    assert!(opts.write_percent <= 100);
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.threads)
+            .map(|tid| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut thread = runtime.register_thread();
+                    thread.stats_mut().timing = opts.breakdown;
+                    let mut rng = WorkloadRng::new(opts.seed ^ (tid as u64 + 1) * 0x9E37_79B9);
+                    let mut ops = 0u64;
+                    let mut txn_ns = 0u64;
+                    let loop_started = Instant::now();
+                    loop {
+                        match opts.ops_per_thread {
+                            Some(budget) => {
+                                if ops >= budget {
+                                    break;
+                                }
+                            }
+                            None => {
+                                // Check the deadline every few operations to
+                                // keep the check off the per-op critical path.
+                                if ops % 64 == 0 && stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                            }
+                        }
+                        let is_update = rng.draw_percent(opts.write_percent);
+                        if opts.breakdown {
+                            let t = Instant::now();
+                            workload.run_op(&mut thread, &mut rng, is_update);
+                            txn_ns += t.elapsed().as_nanos() as u64;
+                        } else {
+                            workload.run_op(&mut thread, &mut rng, is_update);
+                        }
+                        ops += 1;
+                    }
+                    ThreadOutcome {
+                        ops,
+                        stats: thread.stats().clone(),
+                        txn_ns,
+                        loop_ns: loop_started.elapsed().as_nanos() as u64,
+                    }
+                })
+            })
+            .collect();
+
+        if opts.ops_per_thread.is_none() {
+            std::thread::sleep(opts.duration);
+            stop.store(true, Ordering::SeqCst);
+        }
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+
+    let elapsed = started.elapsed();
+    let mut stats = rhtm_api::TxStats::new(opts.breakdown);
+    let mut total_ops = 0u64;
+    let mut txn_ns = 0u64;
+    let mut loop_ns = 0u64;
+    for o in &outcomes {
+        stats.merge(&o.stats);
+        total_ops += o.ops;
+        txn_ns += o.txn_ns;
+        loop_ns += o.loop_ns;
+    }
+    let breakdown = if opts.breakdown {
+        let accounted = stats.read_ns + stats.write_ns + stats.commit_ns;
+        Some(Breakdown {
+            read_ns: stats.read_ns,
+            write_ns: stats.write_ns,
+            commit_ns: stats.commit_ns,
+            private_ns: txn_ns.saturating_sub(accounted),
+            intertx_ns: loop_ns.saturating_sub(txn_ns),
+        })
+    } else {
+        None
+    };
+
+    BenchResult {
+        algorithm: runtime.name().to_string(),
+        workload: workload.name(),
+        threads: opts.threads,
+        write_percent: opts.write_percent,
+        total_ops,
+        elapsed,
+        stats,
+        breakdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::hashtable::ConstantHashTable;
+    use rhtm_htm::{HtmConfig, HtmRuntime, HtmSim};
+    use rhtm_mem::{MemConfig, TmMemory};
+    use std::sync::Arc;
+
+    fn setup(elements: u64) -> (HtmRuntime, ConstantHashTable) {
+        let mem_cfg =
+            MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 1024);
+        let mem = Arc::new(TmMemory::new(mem_cfg));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let table = ConstantHashTable::new(Arc::clone(&sim), elements);
+        (HtmRuntime::with_sim(sim), table)
+    }
+
+    #[test]
+    fn counted_run_executes_exactly_the_budget() {
+        let (rt, table) = setup(512);
+        let opts = DriverOpts::counted(2, 20, 250);
+        let result = run_benchmark(&rt, &table, &opts);
+        assert_eq!(result.total_ops, 500);
+        assert_eq!(result.stats.commits(), 500);
+        assert_eq!(result.threads, 2);
+        assert!(result.throughput() > 0.0);
+    }
+
+    #[test]
+    fn timed_run_stops_near_the_deadline() {
+        let (rt, table) = setup(512);
+        let opts = DriverOpts::timed(2, 20, Duration::from_millis(60));
+        let result = run_benchmark(&rt, &table, &opts);
+        assert!(result.total_ops > 0);
+        assert!(result.elapsed >= Duration::from_millis(60));
+        assert!(
+            result.elapsed < Duration::from_millis(2_000),
+            "run should stop promptly after the deadline"
+        );
+    }
+
+    #[test]
+    fn write_percentage_controls_update_share() {
+        let (rt, table) = setup(512);
+        let result = run_benchmark(&rt, &table, &DriverOpts::counted(1, 0, 300));
+        assert_eq!(result.stats.writes, 0, "0% writes must never update");
+        let (rt, table) = setup(512);
+        let result = run_benchmark(&rt, &table, &DriverOpts::counted(1, 100, 300));
+        assert!(result.stats.writes > 0, "100% writes must update");
+    }
+
+    #[test]
+    fn breakdown_mode_accounts_time() {
+        let (rt, table) = setup(512);
+        let opts = DriverOpts::counted(1, 20, 400).with_breakdown();
+        let result = run_benchmark(&rt, &table, &opts);
+        let b = result.breakdown.expect("breakdown requested");
+        assert!(b.read_ns > 0);
+        assert!(b.total_ns() > 0);
+        let percentages = b.percentages();
+        assert!((percentages.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_counted_runs_with_same_seed() {
+        let (rt, table) = setup(256);
+        let a = run_benchmark(&rt, &table, &DriverOpts::counted(1, 50, 200).with_seed(9));
+        let (rt, table) = setup(256);
+        let b = run_benchmark(&rt, &table, &DriverOpts::counted(1, 50, 200).with_seed(9));
+        assert_eq!(a.stats.reads, b.stats.reads);
+        assert_eq!(a.stats.writes, b.stats.writes);
+    }
+}

@@ -1,0 +1,56 @@
+//! # rhtm-workloads
+//!
+//! The paper's benchmark workloads and the multi-threaded driver that runs
+//! them against every runtime in the workspace.
+//!
+//! ## "Constant" workloads (the paper's emulation methodology)
+//!
+//! Section 3 of the paper evaluates the protocols with data structures whose
+//! *shape* never changes: update operations write only dummy fields inside
+//! nodes, never pointers or keys.  This lets transactions run without
+//! instrumented conflict detection on the structure itself while still
+//! paying the cache-coherence cost of the writes.  The same four workloads
+//! are implemented here:
+//!
+//! * [`ConstantRbTree`] — a 100 K-node search tree (Figure 1 / Figure 2),
+//! * [`ConstantHashTable`] — a chained hash table (Figure 3, left),
+//! * [`ConstantSortedList`] — a 1 K-element sorted linked list (Figure 3,
+//!   middle),
+//! * [`RandomArray`] — a 128 K-word array with configurable transaction
+//!   length and write fraction (Figure 3, right).
+//!
+//! ## Mutable structures (beyond the paper)
+//!
+//! Because the simulated HTM provides real atomicity (the authors' plain
+//! load/store emulation could not), this crate also ships fully mutable
+//! transactional structures — [`mutable::TxHashMap`] and
+//! [`mutable::TxSortedList`] — used by the correctness and property tests.
+//!
+//! ## Driver
+//!
+//! [`driver::run_benchmark`] spawns the requested number of threads, runs a
+//! key-distribution/op-mix loop for a fixed duration or operation count and
+//! merges per-thread [`rhtm_api::TxStats`].  [`algos::AlgoKind`] +
+//! [`algos::run_on_algo`] instantiate any of the paper's algorithm variants
+//! by name, so that a whole figure is a loop over `(AlgoKind, threads)`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod algos;
+pub mod driver;
+pub mod report;
+pub mod rng;
+pub mod structures;
+pub mod workload;
+
+pub use algos::{run_on_algo, AlgoKind};
+pub use driver::{run_benchmark, DriverOpts};
+pub use report::{BenchResult, Breakdown};
+pub use rng::WorkloadRng;
+pub use structures::hashtable::ConstantHashTable;
+pub use structures::mutable;
+pub use structures::random_array::RandomArray;
+pub use structures::rbtree::ConstantRbTree;
+pub use structures::sortedlist::ConstantSortedList;
+pub use workload::Workload;

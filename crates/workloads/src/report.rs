@@ -1,0 +1,223 @@
+//! Benchmark result records and report formatting.
+
+use std::time::Duration;
+
+use rhtm_api::{AbortCause, PathKind, TxStats};
+
+/// Single-thread time breakdown, the quantity behind the paper's Figure 2
+/// (bottom) and its embedded `20_100_R` / `80_100_R` tables.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Breakdown {
+    /// Nanoseconds spent in transactional reads.
+    pub read_ns: u64,
+    /// Nanoseconds spent in transactional writes.
+    pub write_ns: u64,
+    /// Nanoseconds spent in commit.
+    pub commit_ns: u64,
+    /// Nanoseconds spent inside transactions but outside read/write/commit
+    /// (the paper's "Private Time": local computation inside the
+    /// transaction body).
+    pub private_ns: u64,
+    /// Nanoseconds spent outside transactions (the paper's "InterTX Time":
+    /// the benchmark loop, key selection, ...).
+    pub intertx_ns: u64,
+}
+
+impl Breakdown {
+    /// Total measured nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.read_ns + self.write_ns + self.commit_ns + self.private_ns + self.intertx_ns
+    }
+
+    /// The five components as percentages of the total, in the paper's
+    /// column order (Read, Write, Commit, Private, InterTX).
+    pub fn percentages(&self) -> [f64; 5] {
+        let total = self.total_ns().max(1) as f64;
+        [
+            self.read_ns as f64 * 100.0 / total,
+            self.write_ns as f64 * 100.0 / total,
+            self.commit_ns as f64 * 100.0 / total,
+            self.private_ns as f64 * 100.0 / total,
+            self.intertx_ns as f64 * 100.0 / total,
+        ]
+    }
+}
+
+/// The outcome of one benchmark run (one algorithm, one workload, one
+/// thread count).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BenchResult {
+    /// Algorithm name ("HTM", "TL2", "Standard HyTM", "RH1 Fast", ...).
+    pub algorithm: String,
+    /// Workload name.
+    pub workload: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Write (update) percentage of the operation mix.
+    pub write_percent: u8,
+    /// Total committed operations across all threads.
+    pub total_ops: u64,
+    /// Wall-clock duration of the measurement interval.
+    pub elapsed: Duration,
+    /// Merged per-thread statistics.
+    pub stats: TxStats,
+    /// Optional single-thread time breakdown (only collected in breakdown
+    /// mode).
+    pub breakdown: Option<Breakdown>,
+}
+
+impl BenchResult {
+    /// Committed operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.total_ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Fraction of attempts that aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        self.stats.abort_ratio()
+    }
+
+    /// The paper's "Commit Counter": attempts per committed transaction.
+    pub fn commit_ratio(&self) -> f64 {
+        self.stats.commit_ratio()
+    }
+
+    /// One line of a throughput table.
+    pub fn throughput_row(&self) -> String {
+        format!(
+            "{:<16} {:>3} threads  {:>12.0} ops/s  abort-ratio {:>6.2}%  commits {:>10} (hw {:>9} / mixed {:>8} / sw {:>8})",
+            self.algorithm,
+            self.threads,
+            self.throughput(),
+            self.abort_ratio() * 100.0,
+            self.stats.commits(),
+            self.stats.commits_on(PathKind::HardwareFast),
+            self.stats.commits_on(PathKind::MixedSlow),
+            self.stats.commits_on(PathKind::Software),
+        )
+    }
+
+    /// One line of the paper's breakdown table (times in percent, counters
+    /// absolute), or a note when the run was not in breakdown mode.
+    pub fn breakdown_row(&self) -> String {
+        match &self.breakdown {
+            None => format!("{:<16} (no breakdown collected)", self.algorithm),
+            Some(b) => {
+                let p = b.percentages();
+                format!(
+                    "{:<16} read {:>5.1}%  write {:>5.1}%  commit {:>5.1}%  private {:>5.1}%  intertx {:>5.1}%  reads {:>9}  writes {:>8}  aborts {:>7}  commit-counter {:>6.3}",
+                    self.algorithm,
+                    p[0],
+                    p[1],
+                    p[2],
+                    p[3],
+                    p[4],
+                    self.stats.reads,
+                    self.stats.writes,
+                    self.stats.aborts(),
+                    self.commit_ratio(),
+                )
+            }
+        }
+    }
+
+    /// Abort counts per cause, for diagnostic output.
+    pub fn abort_causes(&self) -> Vec<(AbortCause, u64)> {
+        AbortCause::ALL
+            .iter()
+            .map(|&c| (c, self.stats.aborts_for(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+}
+
+/// Formats a whole figure series (same workload, varying algorithm and
+/// thread count) as an aligned text table, one row per result.
+pub fn format_series(title: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    for r in results {
+        out.push_str(&r.throughput_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises a series to JSON (one object per result) for plotting.
+pub fn to_json(results: &[BenchResult]) -> String {
+    serde_json::to_string_pretty(results).expect("benchmark results are serialisable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(algorithm: &str, ops: u64, millis: u64) -> BenchResult {
+        let mut stats = TxStats::new(false);
+        for _ in 0..ops {
+            stats.record_commit(PathKind::HardwareFast);
+        }
+        stats.record_abort(AbortCause::Conflict);
+        BenchResult {
+            algorithm: algorithm.to_string(),
+            workload: "unit".to_string(),
+            threads: 4,
+            write_percent: 20,
+            total_ops: ops,
+            elapsed: Duration::from_millis(millis),
+            stats,
+            breakdown: None,
+        }
+    }
+
+    #[test]
+    fn throughput_is_ops_over_time() {
+        let r = result("HTM", 1_000, 500);
+        assert!((r.throughput() - 2_000.0).abs() < 1e-6);
+        assert!(r.abort_ratio() > 0.0);
+        assert!(r.commit_ratio() > 1.0);
+    }
+
+    #[test]
+    fn zero_elapsed_does_not_divide_by_zero() {
+        let r = result("HTM", 10, 0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let b = Breakdown {
+            read_ns: 400,
+            write_ns: 100,
+            commit_ns: 100,
+            private_ns: 300,
+            intertx_ns: 100,
+        };
+        let sum: f64 = b.percentages().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(b.total_ns(), 1_000);
+    }
+
+    #[test]
+    fn rows_and_series_render() {
+        let r = result("RH1 Fast", 123, 10);
+        assert!(r.throughput_row().contains("RH1 Fast"));
+        assert!(r.breakdown_row().contains("no breakdown"));
+        let s = format_series("fig1", &[r.clone()]);
+        assert!(s.starts_with("# fig1\n"));
+        let json = to_json(&[r]);
+        assert!(json.contains("\"algorithm\""));
+        assert!(json.contains("RH1 Fast"));
+    }
+
+    #[test]
+    fn abort_causes_filters_zero_counts() {
+        let r = result("TL2", 5, 1);
+        let causes = r.abort_causes();
+        assert_eq!(causes, vec![(AbortCause::Conflict, 1)]);
+    }
+}

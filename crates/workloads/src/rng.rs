@@ -1,0 +1,113 @@
+//! A small, fast, deterministic PRNG for workload key selection.
+//!
+//! The benchmark loops pick a random key and decide lookup-vs-update for
+//! every operation, so the generator must be cheap enough not to perturb
+//! the measured transaction cost (the paper's operations are O(log n) tree
+//! walks; a ChaCha-class generator would be a visible fraction of that).
+//! xorshift64* is more than random enough for key selection and is seeded
+//! per thread for reproducibility.
+
+/// A xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadRng {
+    state: u64,
+}
+
+impl WorkloadRng {
+    /// Creates a generator from a seed (any value; zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 scramble so that consecutive seeds (thread ids) do not
+        // produce correlated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        WorkloadRng { state: z | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline(always)]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    #[inline(always)]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiplicative range reduction (Lemire); the slight modulo bias of
+        // the plain approach would be irrelevant here, but this is cheaper
+        // than a modulo anyway.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, 100)`, used for percentage draws.
+    #[inline(always)]
+    pub fn next_percent(&mut self) -> u8 {
+        self.next_below(100) as u8
+    }
+
+    /// Bernoulli draw with probability `percent`/100.
+    #[inline(always)]
+    pub fn draw_percent(&mut self, percent: u8) -> bool {
+        self.next_percent() < percent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = WorkloadRng::new(7);
+        let mut b = WorkloadRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = WorkloadRng::new(1);
+        let mut b = WorkloadRng::new(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(equal < 4);
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range_and_cover_it() {
+        let mut rng = WorkloadRng::new(42);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn percentage_draws_are_roughly_calibrated() {
+        let mut rng = WorkloadRng::new(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.draw_percent(20)).count();
+        let ratio = hits as f64 / n as f64;
+        assert!((ratio - 0.20).abs() < 0.02, "got {ratio}");
+        let zero = (0..1_000).filter(|_| rng.draw_percent(0)).count();
+        assert_eq!(zero, 0);
+        let hundred = (0..1_000).filter(|_| rng.draw_percent(100)).count();
+        assert_eq!(hundred, 1_000);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = WorkloadRng::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

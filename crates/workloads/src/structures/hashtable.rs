@@ -1,0 +1,211 @@
+//! The Constant Hash Table benchmark (paper §3.3).
+//!
+//! A chained hash table populated with distinct keys.  `query` hashes the
+//! key, walks the bucket chain and reads the dummy payload of the matching
+//! node; `update` performs the same search and then writes the dummy
+//! payload — never the chain pointers — so the table's shape is constant.
+//!
+//! Transactions here are much shorter than the red-black tree's, which is
+//! why the paper's Figure 3 (left) shows a much smaller HTM-over-STM gap on
+//! this workload.
+
+use std::sync::Arc;
+
+use rhtm_api::{TmThread, TxResult};
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+use super::{decode_ptr, encode_ptr};
+use crate::rng::WorkloadRng;
+use crate::workload::Workload;
+
+/// Node word offsets.
+const KEY: usize = 0;
+const NEXT: usize = 1;
+const DUMMY_BASE: usize = 2;
+/// Dummy payload words per node.
+pub const DUMMY_WORDS: usize = 4;
+const NODE_WORDS: usize = 8;
+
+/// The constant hash-table workload.
+pub struct ConstantHashTable {
+    sim: Arc<HtmSim>,
+    buckets: Addr,
+    bucket_mask: u64,
+    size: u64,
+}
+
+impl ConstantHashTable {
+    /// Builds a table with keys `0..size`, using roughly two buckets per
+    /// element so chains stay short (as in the paper's "highly distributed"
+    /// access pattern).
+    pub fn new(sim: Arc<HtmSim>, size: u64) -> Self {
+        assert!(size > 0);
+        let bucket_count = (2 * size).next_power_of_two();
+        let mem = sim.mem();
+        let buckets = mem.alloc(bucket_count as usize);
+        let heap = mem.heap();
+        for b in 0..bucket_count as usize {
+            heap.store(buckets.offset(b), encode_ptr(None));
+        }
+        let nodes = mem.alloc(size as usize * NODE_WORDS);
+        let table = ConstantHashTable {
+            sim,
+            buckets,
+            bucket_mask: bucket_count - 1,
+            size,
+        };
+        let heap = table.sim.mem().heap();
+        for key in 0..size {
+            let node = nodes.offset(key as usize * NODE_WORDS);
+            heap.store(node.offset(KEY), key);
+            for d in 0..DUMMY_WORDS {
+                heap.store(node.offset(DUMMY_BASE + d), 0);
+            }
+            // Push at the head of the bucket chain.
+            let bucket = table.bucket_addr(key);
+            let head = heap.load(bucket);
+            heap.store(node.offset(NEXT), head);
+            heap.store(bucket, encode_ptr(Some(node)));
+        }
+        table
+    }
+
+    /// Number of keys stored.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The simulator the table lives in.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    #[inline]
+    fn bucket_addr(&self, key: u64) -> Addr {
+        // Multiply-shift hash, then mask into the bucket array.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+        self.buckets.offset((h & self.bucket_mask) as usize)
+    }
+
+    /// Transactionally looks up `key`, reading the dummy payload of the
+    /// matching node.  Returns the node address when found.
+    pub fn query<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<Addr>> {
+        let mut node = decode_ptr(tx.read(self.bucket_addr(key))?);
+        while let Some(n) = node {
+            let k = tx.read(n.offset(KEY))?;
+            if k == key {
+                for d in 0..DUMMY_WORDS {
+                    tx.read(n.offset(DUMMY_BASE + d))?;
+                }
+                return Ok(Some(n));
+            }
+            node = decode_ptr(tx.read(n.offset(NEXT))?);
+        }
+        Ok(None)
+    }
+
+    /// Transactionally "updates" `key`: query followed by dummy writes into
+    /// the found node (the structure is never modified).
+    pub fn update<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
+        match self.query(tx, key)? {
+            Some(node) => {
+                for d in 0..DUMMY_WORDS {
+                    tx.write(node.offset(DUMMY_BASE + d), value.wrapping_add(d as u64))?;
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Words required for a table of `size` elements.
+    pub fn required_words(size: u64) -> usize {
+        let bucket_count = (2 * size).next_power_of_two() as usize;
+        bucket_count + size as usize * NODE_WORDS
+    }
+
+    /// Non-transactional sanity check: number of elements reachable through
+    /// the bucket chains.
+    pub fn count_reachable(&self) -> u64 {
+        let mut count = 0;
+        for b in 0..=self.bucket_mask {
+            let mut node = decode_ptr(self.sim.nt_load(self.buckets.offset(b as usize)));
+            while let Some(n) = node {
+                count += 1;
+                node = decode_ptr(self.sim.nt_load(n.offset(NEXT)));
+            }
+        }
+        count
+    }
+}
+
+impl Workload for ConstantHashTable {
+    fn name(&self) -> String {
+        format!("hashtable-{}k", self.size / 1000)
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool) {
+        let key = rng.next_below(self.size);
+        if is_update {
+            let value = rng.next_u64();
+            thread.execute(|tx| self.update(tx, key, value));
+        } else {
+            thread.execute(|tx| self.query(tx, key).map(|n| n.is_some()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::TmRuntime;
+    use rhtm_htm::{HtmConfig, HtmRuntime};
+    use rhtm_mem::{MemConfig, TmMemory};
+
+    fn table(size: u64) -> (HtmRuntime, Arc<ConstantHashTable>) {
+        let mem_cfg =
+            MemConfig::with_data_words(ConstantHashTable::required_words(size) + 1024);
+        let mem = Arc::new(TmMemory::new(mem_cfg));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let table = Arc::new(ConstantHashTable::new(Arc::clone(&sim), size));
+        (HtmRuntime::with_sim(sim), table)
+    }
+
+    #[test]
+    fn construction_links_every_element() {
+        let (_rt, table) = table(5_000);
+        assert_eq!(table.count_reachable(), 5_000);
+    }
+
+    #[test]
+    fn query_finds_present_and_rejects_absent_keys() {
+        let (rt, table) = table(1_000);
+        let mut th = rt.register_thread();
+        for key in [0u64, 1, 500, 999] {
+            assert!(th.execute(|tx| table.query(tx, key).map(|n| n.is_some())));
+        }
+        assert!(!th.execute(|tx| table.query(tx, 1_000).map(|n| n.is_some())));
+        assert!(!th.execute(|tx| table.query(tx, u64::MAX / 2).map(|n| n.is_some())));
+    }
+
+    #[test]
+    fn update_touches_only_dummy_words() {
+        let (rt, table) = table(100);
+        let mut th = rt.register_thread();
+        assert!(th.execute(|tx| table.update(tx, 7, 0x1234)));
+        assert_eq!(table.count_reachable(), 100);
+        assert!(!th.execute(|tx| table.update(tx, 100, 1)));
+    }
+
+    #[test]
+    fn workload_mixed_operations() {
+        let (rt, table) = table(256);
+        let mut th = rt.register_thread();
+        let mut rng = WorkloadRng::new(9);
+        for i in 0..300 {
+            table.run_op(&mut th, &mut rng, i % 5 == 0);
+        }
+        assert_eq!(th.stats().commits(), 300);
+    }
+}

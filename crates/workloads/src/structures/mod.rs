@@ -1,0 +1,48 @@
+//! Benchmark data structures.
+//!
+//! The "constant" structures ([`rbtree`], [`hashtable`], [`sortedlist`],
+//! [`random_array`]) reproduce the paper's emulation workloads: their shape
+//! is fixed after construction and update operations only touch dummy
+//! payload words.  The [`mutable`] structures are real transactional
+//! containers (inserts and removals change the shape) used by correctness
+//! and property tests.
+
+pub mod hashtable;
+pub mod mutable;
+pub mod random_array;
+pub mod rbtree;
+pub mod sortedlist;
+
+use rhtm_mem::Addr;
+
+/// Encodes an optional node address into a heap word.
+#[inline]
+pub(crate) fn encode_ptr(ptr: Option<Addr>) -> u64 {
+    match ptr {
+        Some(a) => a.index() as u64,
+        None => u64::MAX,
+    }
+}
+
+/// Decodes a heap word into an optional node address.
+#[inline]
+pub(crate) fn decode_ptr(raw: u64) -> Option<Addr> {
+    if raw == u64::MAX {
+        None
+    } else {
+        Some(Addr(raw as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_encoding_round_trips() {
+        assert_eq!(decode_ptr(encode_ptr(None)), None);
+        assert_eq!(decode_ptr(encode_ptr(Some(Addr(42)))), Some(Addr(42)));
+        assert_eq!(encode_ptr(Some(Addr(0))), 0);
+        assert_eq!(encode_ptr(None), u64::MAX);
+    }
+}

@@ -1,0 +1,401 @@
+//! Fully mutable transactional data structures.
+//!
+//! The paper's emulation could only run "constant" structures because its
+//! hardware transactions were plain loads and stores with no isolation.
+//! The simulated HTM in this workspace provides real atomicity, so these
+//! structures exercise the protocols on *shape-changing* workloads: inserts
+//! and removals rewrite pointers.  They are used by the correctness and
+//! property tests (checked against a sequential model and against the
+//! global-lock oracle runtime), and by the `concurrent_kv` example.
+//!
+//! Memory for new nodes is taken from the shared bump allocator.  Nodes
+//! removed from a structure are not recycled (the allocator is append-only);
+//! this is deliberate — safe memory reclamation is orthogonal to the TM
+//! protocols and the paper leaves privatization to future work.
+
+use std::sync::Arc;
+
+use rhtm_api::{TmThread, TxResult};
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+use super::{decode_ptr, encode_ptr};
+
+const KEY: usize = 0;
+const VALUE: usize = 1;
+const NEXT: usize = 2;
+const NODE_WORDS: usize = 4;
+
+/// A transactional chained hash map with a fixed bucket count.
+pub struct TxHashMap {
+    sim: Arc<HtmSim>,
+    buckets: Addr,
+    bucket_mask: u64,
+}
+
+impl TxHashMap {
+    /// Creates a map with `bucket_count` (rounded up to a power of two)
+    /// empty buckets.
+    pub fn new(sim: Arc<HtmSim>, bucket_count: u64) -> Self {
+        let bucket_count = bucket_count.next_power_of_two();
+        let buckets = sim.mem().alloc(bucket_count as usize);
+        let heap = sim.mem().heap();
+        for b in 0..bucket_count as usize {
+            heap.store(buckets.offset(b), encode_ptr(None));
+        }
+        TxHashMap {
+            sim,
+            buckets,
+            bucket_mask: bucket_count - 1,
+        }
+    }
+
+    /// Heap words needed for the bucket array plus `expected_inserts` nodes.
+    pub fn required_words(bucket_count: u64, expected_inserts: u64) -> usize {
+        bucket_count.next_power_of_two() as usize + expected_inserts as usize * NODE_WORDS
+    }
+
+    #[inline]
+    fn bucket_addr(&self, key: u64) -> Addr {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+        self.buckets.offset((h & self.bucket_mask) as usize)
+    }
+
+    /// Transactionally gets the value stored under `key`.
+    pub fn get<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
+        thread.execute(|tx| self.get_in(tx, key))
+    }
+
+    /// In-transaction lookup (composable with other operations).
+    pub fn get_in<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<u64>> {
+        let mut node = decode_ptr(tx.read(self.bucket_addr(key))?);
+        while let Some(n) = node {
+            if tx.read(n.offset(KEY))? == key {
+                return Ok(Some(tx.read(n.offset(VALUE))?));
+            }
+            node = decode_ptr(tx.read(n.offset(NEXT))?);
+        }
+        Ok(None)
+    }
+
+    /// Transactionally inserts or updates `key`.  Returns the previous value
+    /// if the key was already present.
+    pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64, value: u64) -> Option<u64> {
+        // Pre-allocate the node outside the transaction so an abort/retry
+        // does not allocate again; unused nodes are simply wasted words.
+        let node = self.sim.mem().alloc(NODE_WORDS);
+        thread.execute(|tx| {
+            // Search the chain for the key.
+            let bucket = self.bucket_addr(key);
+            let mut cursor = decode_ptr(tx.read(bucket)?);
+            while let Some(n) = cursor {
+                if tx.read(n.offset(KEY))? == key {
+                    let prev = tx.read(n.offset(VALUE))?;
+                    tx.write(n.offset(VALUE), value)?;
+                    return Ok(Some(prev));
+                }
+                cursor = decode_ptr(tx.read(n.offset(NEXT))?);
+            }
+            // Not found: link the pre-allocated node at the head.
+            let head = tx.read(bucket)?;
+            tx.write(node.offset(KEY), key)?;
+            tx.write(node.offset(VALUE), value)?;
+            tx.write(node.offset(NEXT), head)?;
+            tx.write(bucket, encode_ptr(Some(node)))?;
+            Ok(None)
+        })
+    }
+
+    /// In-transaction update of an *existing* key (composable with other
+    /// operations).  Returns `false` when the key is absent; inserting a new
+    /// key requires [`TxHashMap::insert`] because it allocates a node.
+    pub fn set_in<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
+        let mut node = decode_ptr(tx.read(self.bucket_addr(key))?);
+        while let Some(n) = node {
+            if tx.read(n.offset(KEY))? == key {
+                tx.write(n.offset(VALUE), value)?;
+                return Ok(true);
+            }
+            node = decode_ptr(tx.read(n.offset(NEXT))?);
+        }
+        Ok(false)
+    }
+
+    /// Transactionally removes `key`, returning its value if present.
+    pub fn remove<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
+        thread.execute(|tx| {
+            let bucket = self.bucket_addr(key);
+            let mut prev: Option<Addr> = None;
+            let mut cursor = decode_ptr(tx.read(bucket)?);
+            while let Some(n) = cursor {
+                let next = tx.read(n.offset(NEXT))?;
+                if tx.read(n.offset(KEY))? == key {
+                    let value = tx.read(n.offset(VALUE))?;
+                    match prev {
+                        Some(p) => tx.write(p.offset(NEXT), next)?,
+                        None => tx.write(bucket, next)?,
+                    }
+                    return Ok(Some(value));
+                }
+                prev = Some(n);
+                cursor = decode_ptr(next);
+            }
+            Ok(None)
+        })
+    }
+
+    /// Transactionally counts the elements (walks every bucket in one
+    /// transaction — only sensible for small test maps).
+    pub fn len<T: TmThread>(&self, thread: &mut T) -> u64 {
+        thread.execute(|tx| {
+            let mut count = 0;
+            for b in 0..=self.bucket_mask {
+                let mut node = decode_ptr(tx.read(self.buckets.offset(b as usize))?);
+                while let Some(n) = node {
+                    count += 1;
+                    node = decode_ptr(tx.read(n.offset(NEXT))?);
+                }
+            }
+            Ok(count)
+        })
+    }
+}
+
+/// A transactional sorted singly-linked list (set semantics) with sentinel
+/// head and tail nodes.
+pub struct TxSortedList {
+    head: Addr,
+    sim: Arc<HtmSim>,
+}
+
+impl TxSortedList {
+    /// Creates an empty list.
+    pub fn new(sim: Arc<HtmSim>) -> Self {
+        let head = sim.mem().alloc(NODE_WORDS);
+        let tail = sim.mem().alloc(NODE_WORDS);
+        let heap = sim.mem().heap();
+        heap.store(head.offset(KEY), 0); // sentinel: smaller than any real key + 1
+        heap.store(head.offset(NEXT), encode_ptr(Some(tail)));
+        heap.store(tail.offset(KEY), u64::MAX); // sentinel: larger than any real key
+        heap.store(tail.offset(NEXT), encode_ptr(None));
+        TxSortedList { head, sim }
+    }
+
+    /// Heap words needed for the sentinels plus `expected_inserts` nodes.
+    pub fn required_words(expected_inserts: u64) -> usize {
+        (expected_inserts as usize + 2) * NODE_WORDS
+    }
+
+    /// Keys must leave room for the sentinels.
+    fn check_key(key: u64) {
+        assert!(key > 0 && key < u64::MAX, "keys must be in 1..u64::MAX-1");
+    }
+
+    /// Finds the pair `(predecessor, current)` such that
+    /// `pred.key < key <= current.key`.
+    fn locate<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<(Addr, Addr, u64)> {
+        let mut pred = self.head;
+        let mut curr = decode_ptr(tx.read(pred.offset(NEXT))?).expect("tail sentinel present");
+        loop {
+            let k = tx.read(curr.offset(KEY))?;
+            if k >= key {
+                return Ok((pred, curr, k));
+            }
+            pred = curr;
+            curr = decode_ptr(tx.read(curr.offset(NEXT))?).expect("tail sentinel present");
+        }
+    }
+
+    /// Transactionally tests membership.
+    pub fn contains<T: TmThread>(&self, thread: &mut T, key: u64) -> bool {
+        Self::check_key(key);
+        thread.execute(|tx| {
+            let (_, _, found_key) = self.locate(tx, key)?;
+            Ok(found_key == key)
+        })
+    }
+
+    /// Transactionally inserts `key`; returns `false` if it was already
+    /// present.
+    pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64) -> bool {
+        Self::check_key(key);
+        let node = self.sim.mem().alloc(NODE_WORDS);
+        thread.execute(|tx| {
+            let (pred, curr, found_key) = self.locate(tx, key)?;
+            if found_key == key {
+                return Ok(false);
+            }
+            tx.write(node.offset(KEY), key)?;
+            tx.write(node.offset(NEXT), encode_ptr(Some(curr)))?;
+            tx.write(pred.offset(NEXT), encode_ptr(Some(node)))?;
+            Ok(true)
+        })
+    }
+
+    /// Transactionally removes `key`; returns `false` if it was absent.
+    pub fn remove<T: TmThread>(&self, thread: &mut T, key: u64) -> bool {
+        Self::check_key(key);
+        thread.execute(|tx| {
+            let (pred, curr, found_key) = self.locate(tx, key)?;
+            if found_key != key {
+                return Ok(false);
+            }
+            let next = tx.read(curr.offset(NEXT))?;
+            tx.write(pred.offset(NEXT), next)?;
+            Ok(true)
+        })
+    }
+
+    /// Transactionally collects the keys in order (test helper).
+    pub fn snapshot<T: TmThread>(&self, thread: &mut T) -> Vec<u64> {
+        thread.execute(|tx| {
+            let mut keys = Vec::new();
+            let mut node = decode_ptr(tx.read(self.head.offset(NEXT))?);
+            while let Some(n) = node {
+                let k = tx.read(n.offset(KEY))?;
+                if k == u64::MAX {
+                    break;
+                }
+                keys.push(k);
+                node = decode_ptr(tx.read(n.offset(NEXT))?);
+            }
+            Ok(keys)
+        })
+    }
+
+    /// Non-transactional sortedness check for tests run after all threads
+    /// have joined.
+    pub fn is_sorted_quiescent(&self) -> bool {
+        let mut prev = 0u64;
+        let mut node = decode_ptr(self.sim.nt_load(self.head.offset(NEXT)));
+        while let Some(n) = node {
+            let k = self.sim.nt_load(n.offset(KEY));
+            if k == u64::MAX {
+                return true;
+            }
+            if k <= prev {
+                return false;
+            }
+            prev = k;
+            node = decode_ptr(self.sim.nt_load(n.offset(NEXT)));
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::TmRuntime;
+    use rhtm_core::{RhConfig, RhRuntime};
+    use rhtm_htm::HtmConfig;
+    use rhtm_mem::MemConfig;
+    use std::collections::{HashMap, HashSet};
+
+    fn runtime() -> RhRuntime {
+        RhRuntime::new(
+            MemConfig::with_data_words(1 << 16),
+            HtmConfig::default(),
+            RhConfig::rh1_mixed(100),
+        )
+    }
+
+    #[test]
+    fn hashmap_matches_a_sequential_model() {
+        let rt = runtime();
+        let map = TxHashMap::new(Arc::clone(rt.sim()), 64);
+        let mut th = rt.register_thread();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = crate::rng::WorkloadRng::new(11);
+        for _ in 0..2_000 {
+            let key = rng.next_below(100);
+            match rng.next_below(3) {
+                0 => {
+                    let value = rng.next_u64();
+                    assert_eq!(map.insert(&mut th, key, value), model.insert(key, value));
+                }
+                1 => assert_eq!(map.remove(&mut th, key), model.remove(&key)),
+                _ => assert_eq!(map.get(&mut th, key), model.get(&key).copied()),
+            }
+        }
+        assert_eq!(map.len(&mut th), model.len() as u64);
+    }
+
+    #[test]
+    fn sorted_list_matches_a_sequential_model() {
+        let rt = runtime();
+        let list = TxSortedList::new(Arc::clone(rt.sim()));
+        let mut th = rt.register_thread();
+        let mut model: HashSet<u64> = HashSet::new();
+        let mut rng = crate::rng::WorkloadRng::new(5);
+        for _ in 0..1_500 {
+            let key = 1 + rng.next_below(64);
+            match rng.next_below(3) {
+                0 => assert_eq!(list.insert(&mut th, key), model.insert(key)),
+                1 => assert_eq!(list.remove(&mut th, key), model.remove(&key)),
+                _ => assert_eq!(list.contains(&mut th, key), model.contains(&key)),
+            }
+        }
+        let mut expected: Vec<u64> = model.into_iter().collect();
+        expected.sort_unstable();
+        assert_eq!(list.snapshot(&mut th), expected);
+        assert!(list.is_sorted_quiescent());
+    }
+
+    #[test]
+    fn concurrent_inserts_of_disjoint_keys_all_land() {
+        let rt = Arc::new(runtime());
+        let map = Arc::new(TxHashMap::new(Arc::clone(rt.sim()), 256));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let rt = Arc::clone(&rt);
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    let mut th = rt.register_thread();
+                    for i in 0..500u64 {
+                        let key = t as u64 * 10_000 + i;
+                        assert_eq!(map.insert(&mut th, key, key * 2), None);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut th = rt.register_thread();
+        assert_eq!(map.len(&mut th), 2_000);
+        assert_eq!(map.get(&mut th, 30_499), Some(60_998));
+    }
+
+    #[test]
+    fn concurrent_set_operations_keep_the_list_sorted() {
+        let rt = Arc::new(runtime());
+        let list = Arc::new(TxSortedList::new(Arc::clone(rt.sim())));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let rt = Arc::clone(&rt);
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    let mut th = rt.register_thread();
+                    let mut rng = crate::rng::WorkloadRng::new(t as u64);
+                    for _ in 0..800 {
+                        let key = 1 + rng.next_below(128);
+                        if rng.draw_percent(50) {
+                            list.insert(&mut th, key);
+                        } else {
+                            list.remove(&mut th, key);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(list.is_sorted_quiescent());
+        let mut th = rt.register_thread();
+        let snapshot = list.snapshot(&mut th);
+        let unique: HashSet<_> = snapshot.iter().copied().collect();
+        assert_eq!(unique.len(), snapshot.len(), "no duplicate keys");
+    }
+}

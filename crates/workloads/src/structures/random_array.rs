@@ -1,0 +1,173 @@
+//! The Random Array benchmark (paper §3.5).
+//!
+//! A shared array of 128 K entries.  A transaction performs a fixed number
+//! of accesses to uniformly random locations; each access is a write with a
+//! configurable probability.  The workload exists to isolate the effect of
+//! the *reads-to-writes ratio* on the RH1 fast-path (whose writes carry one
+//! extra metadata store while its reads carry none), reproducing the
+//! paper's Figure 3 (right): RH speedup over the Standard HyTM as a
+//! function of transaction length {400, 200, 100, 40} and write percentage
+//! {0, 20, 50, 90}.
+
+use std::sync::Arc;
+
+use rhtm_api::{TmThread, TxResult};
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+use crate::rng::WorkloadRng;
+use crate::workload::Workload;
+
+/// The random-array workload.
+pub struct RandomArray {
+    sim: Arc<HtmSim>,
+    base: Addr,
+    entries: u64,
+    accesses_per_txn: usize,
+    write_percent: u8,
+}
+
+impl RandomArray {
+    /// Creates an array of `entries` words; each transaction performs
+    /// `accesses_per_txn` random accesses of which `write_percent`% are
+    /// writes.
+    pub fn new(
+        sim: Arc<HtmSim>,
+        entries: u64,
+        accesses_per_txn: usize,
+        write_percent: u8,
+    ) -> Self {
+        assert!(entries > 0);
+        assert!(write_percent <= 100);
+        let base = sim.mem().alloc(entries as usize);
+        RandomArray {
+            sim,
+            base,
+            entries,
+            accesses_per_txn,
+            write_percent,
+        }
+    }
+
+    /// The simulator the array lives in.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// Number of array entries.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of accesses per transaction.
+    pub fn accesses_per_txn(&self) -> usize {
+        self.accesses_per_txn
+    }
+
+    /// Percentage of accesses that are writes.
+    pub fn write_percent(&self) -> u8 {
+        self.write_percent
+    }
+
+    /// Words required for an array of `entries` entries.
+    pub fn required_words(entries: u64) -> usize {
+        entries as usize
+    }
+
+    /// Runs one transaction of random accesses.  The access pattern is
+    /// derived from `seed` so that retries of an aborted transaction replay
+    /// the same locations (as a deterministic transaction body must).
+    pub fn run_txn<T: TmThread>(&self, thread: &mut T, seed: u64) -> u64 {
+        thread.execute(|tx| self.txn_body(tx, seed))
+    }
+
+    fn txn_body<T: TmThread>(&self, tx: &mut T, seed: u64) -> TxResult<u64> {
+        let mut rng = WorkloadRng::new(seed);
+        let mut sum = 0u64;
+        for _ in 0..self.accesses_per_txn {
+            let idx = rng.next_below(self.entries) as usize;
+            let addr = self.base.offset(idx);
+            if rng.draw_percent(self.write_percent) {
+                tx.write(addr, rng.next_u64())?;
+            } else {
+                sum = sum.wrapping_add(tx.read(addr)?);
+            }
+        }
+        Ok(sum)
+    }
+}
+
+impl Workload for RandomArray {
+    fn name(&self) -> String {
+        format!(
+            "random-array-{}k-len{}-w{}",
+            self.entries / 1024,
+            self.accesses_per_txn,
+            self.write_percent
+        )
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, _is_update: bool) {
+        let seed = rng.next_u64();
+        self.run_txn(thread, seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::TmRuntime;
+    use rhtm_htm::{HtmConfig, HtmRuntime};
+    use rhtm_mem::{MemConfig, TmMemory};
+
+    fn array(entries: u64, len: usize, writes: u8) -> (HtmRuntime, Arc<RandomArray>) {
+        let mem_cfg = MemConfig::with_data_words(RandomArray::required_words(entries) + 64);
+        let mem = Arc::new(TmMemory::new(mem_cfg));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let arr = Arc::new(RandomArray::new(Arc::clone(&sim), entries, len, writes));
+        (HtmRuntime::with_sim(sim), arr)
+    }
+
+    #[test]
+    fn transactions_access_the_configured_number_of_locations() {
+        let (rt, arr) = array(1024, 50, 20);
+        let mut th = rt.register_thread();
+        arr.run_txn(&mut th, 7);
+        let stats = th.stats();
+        assert_eq!(stats.reads + stats.writes, 50);
+        assert!(stats.writes > 0, "20% of 50 accesses should include writes");
+        assert!(stats.reads > stats.writes);
+    }
+
+    #[test]
+    fn zero_write_percentage_is_read_only() {
+        let (rt, arr) = array(1024, 40, 0);
+        let mut th = rt.register_thread();
+        arr.run_txn(&mut th, 3);
+        assert_eq!(th.stats().writes, 0);
+        assert_eq!(th.stats().reads, 40);
+    }
+
+    #[test]
+    fn retried_transactions_replay_the_same_locations() {
+        // With a deterministic seed, the same body produces the same access
+        // pattern; verify by running twice on a fresh runtime and comparing
+        // the array contents' checksum evolution.
+        let (rt, arr) = array(256, 30, 100);
+        let mut th = rt.register_thread();
+        arr.run_txn(&mut th, 12345);
+        let snapshot: Vec<u64> = (0..256).map(|i| rt.sim().nt_load(arr.base.offset(i))).collect();
+        let (rt2, arr2) = array(256, 30, 100);
+        let mut th2 = rt2.register_thread();
+        arr2.run_txn(&mut th2, 12345);
+        let snapshot2: Vec<u64> =
+            (0..256).map(|i| rt2.sim().nt_load(arr2.base.offset(i))).collect();
+        assert_eq!(snapshot, snapshot2);
+    }
+
+    #[test]
+    fn workload_name_encodes_parameters() {
+        let (_rt, arr) = array(128 * 1024, 400, 90);
+        assert_eq!(arr.name(), "random-array-128k-len400-w90");
+    }
+}

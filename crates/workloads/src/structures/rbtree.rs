@@ -1,0 +1,280 @@
+//! The Constant Red-Black Tree benchmark (paper §3.1–3.2).
+//!
+//! A search tree with a fixed shape (the paper builds a 100 K-node tree).
+//! `rb_lookup` walks the tree making **10 dummy shared reads per node
+//! visited**; `rb_update` performs the same traversal and then writes a
+//! dummy value into the found node and its two children, and — to mimic the
+//! cache traffic of rotations — repeats those fake triplet writes on the
+//! ancestors of the node with geometrically diminishing probability.
+//!
+//! Because update operations never touch keys or pointers, the structure is
+//! constant and the workload is exactly reproducible across all runtimes,
+//! including the uninstrumented pure-HTM baseline.
+//!
+//! The tree is built perfectly balanced over the keys `0..size`, which gives
+//! the same traversal lengths a red-black tree of the same size would
+//! (within its 2× bound) and keeps construction deterministic.
+
+use std::sync::Arc;
+
+use rhtm_api::{TmThread, TxResult};
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+use super::{decode_ptr, encode_ptr};
+use crate::rng::WorkloadRng;
+use crate::workload::Workload;
+
+/// Node word offsets.
+const KEY: usize = 0;
+const LEFT: usize = 1;
+const RIGHT: usize = 2;
+const PARENT: usize = 3;
+const DUMMY_BASE: usize = 4;
+/// Number of dummy payload words read per visited node.
+pub const DUMMY_READS_PER_NODE: usize = 10;
+/// Words allocated per node (padded to two cache lines worth of payload).
+const NODE_WORDS: usize = 16;
+
+/// The constant red-black-tree workload.
+pub struct ConstantRbTree {
+    sim: Arc<HtmSim>,
+    root: Addr,
+    size: u64,
+}
+
+impl ConstantRbTree {
+    /// Builds a balanced tree with keys `0..size` over the simulator's
+    /// memory.  Construction is single-threaded and non-transactional.
+    pub fn new(sim: Arc<HtmSim>, size: u64) -> Self {
+        assert!(size > 0, "tree must have at least one node");
+        let mem = sim.mem();
+        // Allocate all nodes up front; node i holds key i.
+        let base = mem.alloc(size as usize * NODE_WORDS);
+        let heap = mem.heap();
+        let node_addr = |key: u64| base.offset(key as usize * NODE_WORDS);
+        // Initialise keys, null pointers and dummy payloads.
+        for key in 0..size {
+            let node = node_addr(key);
+            heap.store(node.offset(KEY), key);
+            heap.store(node.offset(LEFT), encode_ptr(None));
+            heap.store(node.offset(RIGHT), encode_ptr(None));
+            heap.store(node.offset(PARENT), encode_ptr(None));
+            for d in 0..DUMMY_READS_PER_NODE {
+                heap.store(node.offset(DUMMY_BASE + d), 0);
+            }
+        }
+        // Link a balanced BST over the sorted key range and record the root.
+        fn link(
+            heap: &rhtm_mem::TxHeap,
+            node_addr: &dyn Fn(u64) -> Addr,
+            lo: u64,
+            hi: u64,
+            parent: Option<Addr>,
+        ) -> Option<Addr> {
+            if lo >= hi {
+                return None;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let node = node_addr(mid);
+            heap.store(node.offset(PARENT), encode_ptr(parent));
+            let left = link(heap, node_addr, lo, mid, Some(node));
+            let right = link(heap, node_addr, mid + 1, hi, Some(node));
+            heap.store(node.offset(LEFT), encode_ptr(left));
+            heap.store(node.offset(RIGHT), encode_ptr(right));
+            Some(node)
+        }
+        let root = link(heap, &node_addr, 0, size, None).expect("non-empty tree");
+        ConstantRbTree { sim, root, size }
+    }
+
+    /// Number of keys in the tree.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The simulator the tree lives in.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// Transactionally searches for `key`, performing the paper's 10 dummy
+    /// reads per visited node.  Returns the node address when found.
+    pub fn lookup<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<Addr>> {
+        let mut node = Some(self.root);
+        while let Some(n) = node {
+            let k = tx.read(n.offset(KEY))?;
+            for d in 0..DUMMY_READS_PER_NODE {
+                tx.read(n.offset(DUMMY_BASE + d))?;
+            }
+            if key == k {
+                return Ok(Some(n));
+            }
+            let next = if key < k {
+                tx.read(n.offset(LEFT))?
+            } else {
+                tx.read(n.offset(RIGHT))?
+            };
+            node = decode_ptr(next);
+        }
+        Ok(None)
+    }
+
+    /// Writes the dummy payload of `node` and of its two children, the
+    /// paper's "fake modification" unit.
+    fn write_triplet<T: TmThread>(&self, tx: &mut T, node: Addr, value: u64) -> TxResult<()> {
+        tx.write(node.offset(DUMMY_BASE), value)?;
+        for child_slot in [LEFT, RIGHT] {
+            if let Some(child) = decode_ptr(tx.read(node.offset(child_slot))?) {
+                tx.write(child.offset(DUMMY_BASE), value)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Transactionally "updates" `key`: the usual traversal followed by fake
+    /// modifications to the found node, its children, and a geometrically
+    /// distributed number of its ancestors (mimicking rotations).
+    pub fn update<T: TmThread>(
+        &self,
+        tx: &mut T,
+        key: u64,
+        value: u64,
+        climb_coins: u64,
+    ) -> TxResult<bool> {
+        let found = self.lookup(tx, key)?;
+        let Some(node) = found else {
+            return Ok(false);
+        };
+        self.write_triplet(tx, node, value)?;
+        // Climb towards the root while the coin keeps coming up heads: bit k
+        // of `climb_coins` decides the k-th climb, so the expected number of
+        // climbed levels is 1 and reaching the root is exponentially rare,
+        // "as in a real tree implementation".
+        let mut current = node;
+        let mut coins = climb_coins;
+        while coins & 1 == 1 {
+            coins >>= 1;
+            match decode_ptr(tx.read(current.offset(PARENT))?) {
+                Some(parent) => {
+                    self.write_triplet(tx, parent, value)?;
+                    current = parent;
+                }
+                None => break,
+            }
+        }
+        Ok(true)
+    }
+
+    /// Non-transactional sanity check used by tests: walks the whole tree
+    /// and returns the number of reachable nodes.
+    pub fn count_reachable(&self) -> u64 {
+        fn walk(sim: &HtmSim, node: Option<Addr>) -> u64 {
+            match node {
+                None => 0,
+                Some(n) => {
+                    let left = decode_ptr(sim.nt_load(n.offset(LEFT)));
+                    let right = decode_ptr(sim.nt_load(n.offset(RIGHT)));
+                    1 + walk(sim, left) + walk(sim, right)
+                }
+            }
+        }
+        walk(&self.sim, Some(self.root))
+    }
+
+    /// Depth of the deepest leaf (for test assertions about balance).
+    pub fn depth(&self) -> u64 {
+        fn walk(sim: &HtmSim, node: Option<Addr>) -> u64 {
+            match node {
+                None => 0,
+                Some(n) => {
+                    let left = decode_ptr(sim.nt_load(n.offset(LEFT)));
+                    let right = decode_ptr(sim.nt_load(n.offset(RIGHT)));
+                    1 + walk(sim, left).max(walk(sim, right))
+                }
+            }
+        }
+        walk(&self.sim, Some(self.root))
+    }
+
+    /// Number of heap words a tree of `size` nodes needs (for sizing
+    /// [`rhtm_mem::MemConfig::data_words`]).
+    pub fn required_words(size: u64) -> usize {
+        size as usize * NODE_WORDS
+    }
+}
+
+impl Workload for ConstantRbTree {
+    fn name(&self) -> String {
+        format!("rbtree-{}k", self.size / 1000)
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool) {
+        let key = rng.next_below(self.size);
+        if is_update {
+            let value = rng.next_u64();
+            let coins = rng.next_u64();
+            thread.execute(|tx| self.update(tx, key, value, coins));
+        } else {
+            thread.execute(|tx| self.lookup(tx, key).map(|n| n.is_some()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_htm::{HtmConfig, HtmRuntime};
+    use rhtm_api::TmRuntime;
+    use rhtm_mem::{MemConfig, TmMemory};
+
+    fn tree(size: u64) -> (HtmRuntime, Arc<ConstantRbTree>) {
+        let mem_cfg = MemConfig::with_data_words(ConstantRbTree::required_words(size) + 1024);
+        let mem = Arc::new(TmMemory::new(mem_cfg));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let tree = Arc::new(ConstantRbTree::new(Arc::clone(&sim), size));
+        (HtmRuntime::with_sim(sim), tree)
+    }
+
+    #[test]
+    fn construction_reaches_every_node_and_is_balanced() {
+        let (_rt, tree) = tree(1023);
+        assert_eq!(tree.count_reachable(), 1023);
+        // A perfectly balanced tree over 1023 keys has depth exactly 10.
+        assert_eq!(tree.depth(), 10);
+    }
+
+    #[test]
+    fn lookup_finds_every_key_and_rejects_out_of_range() {
+        let (rt, tree) = tree(257);
+        let mut th = rt.register_thread();
+        for key in [0u64, 1, 128, 200, 256] {
+            let found = th.execute(|tx| tree.lookup(tx, key).map(|n| n.is_some()));
+            assert!(found, "key {key} must be present");
+        }
+        let found = th.execute(|tx| tree.lookup(tx, 257).map(|n| n.is_some()));
+        assert!(!found);
+    }
+
+    #[test]
+    fn update_writes_dummies_without_changing_shape() {
+        let (rt, tree) = tree(127);
+        let mut th = rt.register_thread();
+        let updated = th.execute(|tx| tree.update(tx, 64, 0xabcd, u64::MAX >> 60));
+        assert!(updated);
+        assert_eq!(tree.count_reachable(), 127, "shape must not change");
+        assert_eq!(tree.depth(), 7);
+    }
+
+    #[test]
+    fn workload_runs_mixed_operations() {
+        let (rt, tree) = tree(255);
+        let mut th = rt.register_thread();
+        let mut rng = WorkloadRng::new(1);
+        for i in 0..200 {
+            tree.run_op(&mut th, &mut rng, i % 5 == 0);
+        }
+        assert_eq!(th.stats().commits(), 200);
+        assert!(th.stats().reads > 200 * 10, "dummy reads must be issued");
+    }
+}

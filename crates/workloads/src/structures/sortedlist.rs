@@ -1,0 +1,214 @@
+//! The Constant Sorted List benchmark (paper §3.4).
+//!
+//! A singly-linked sorted list (the paper uses 1 K elements).  `search`
+//! scans linearly from the head; `update` performs the same scan and then
+//! writes the dummy payload of the found node.  Every transaction reads the
+//! shared list prefix, so this is the paper's heavily-contended, long-
+//! transaction case (abort ratios around 50% at 20 threads).
+
+use std::sync::Arc;
+
+use rhtm_api::{TmThread, TxResult};
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+use super::{decode_ptr, encode_ptr};
+use crate::rng::WorkloadRng;
+use crate::workload::Workload;
+
+const KEY: usize = 0;
+const NEXT: usize = 1;
+const DUMMY_BASE: usize = 2;
+/// Dummy payload words per node.
+pub const DUMMY_WORDS: usize = 4;
+const NODE_WORDS: usize = 8;
+
+/// The constant sorted-list workload.
+pub struct ConstantSortedList {
+    sim: Arc<HtmSim>,
+    head: Addr,
+    size: u64,
+}
+
+impl ConstantSortedList {
+    /// Builds a list with keys `0..size` in ascending order.
+    pub fn new(sim: Arc<HtmSim>, size: u64) -> Self {
+        assert!(size > 0);
+        let mem = sim.mem();
+        let nodes = mem.alloc(size as usize * NODE_WORDS);
+        let heap = mem.heap();
+        for key in 0..size {
+            let node = nodes.offset(key as usize * NODE_WORDS);
+            heap.store(node.offset(KEY), key);
+            let next = if key + 1 < size {
+                Some(nodes.offset((key + 1) as usize * NODE_WORDS))
+            } else {
+                None
+            };
+            heap.store(node.offset(NEXT), encode_ptr(next));
+            for d in 0..DUMMY_WORDS {
+                heap.store(node.offset(DUMMY_BASE + d), 0);
+            }
+        }
+        ConstantSortedList {
+            sim,
+            head: nodes,
+            size,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The simulator the list lives in.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// Transactionally searches for `key` with a linear scan.
+    pub fn search<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<Addr>> {
+        let mut node = Some(self.head);
+        while let Some(n) = node {
+            let k = tx.read(n.offset(KEY))?;
+            if k == key {
+                for d in 0..DUMMY_WORDS {
+                    tx.read(n.offset(DUMMY_BASE + d))?;
+                }
+                return Ok(Some(n));
+            }
+            if k > key {
+                return Ok(None);
+            }
+            node = decode_ptr(tx.read(n.offset(NEXT))?);
+        }
+        Ok(None)
+    }
+
+    /// Transactionally "updates" `key`: search followed by dummy writes.
+    pub fn update<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
+        match self.search(tx, key)? {
+            Some(node) => {
+                for d in 0..DUMMY_WORDS {
+                    tx.write(node.offset(DUMMY_BASE + d), value.wrapping_add(d as u64))?;
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Words required for a list of `size` elements.
+    pub fn required_words(size: u64) -> usize {
+        size as usize * NODE_WORDS
+    }
+
+    /// Non-transactional sanity check: list length and sortedness.
+    pub fn check_sorted(&self) -> (u64, bool) {
+        let mut count = 0;
+        let mut sorted = true;
+        let mut prev_key = None;
+        let mut node = Some(self.head);
+        while let Some(n) = node {
+            let k = self.sim.nt_load(n.offset(KEY));
+            if let Some(p) = prev_key {
+                sorted &= p < k;
+            }
+            prev_key = Some(k);
+            count += 1;
+            node = decode_ptr(self.sim.nt_load(n.offset(NEXT)));
+        }
+        (count, sorted)
+    }
+}
+
+impl Workload for ConstantSortedList {
+    fn name(&self) -> String {
+        format!("sortedlist-{}", self.size)
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool) {
+        let key = rng.next_below(self.size);
+        if is_update {
+            let value = rng.next_u64();
+            thread.execute(|tx| self.update(tx, key, value));
+        } else {
+            thread.execute(|tx| self.search(tx, key).map(|n| n.is_some()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::TmRuntime;
+    use rhtm_htm::{HtmConfig, HtmRuntime};
+    use rhtm_mem::{MemConfig, TmMemory};
+
+    fn list(size: u64) -> (HtmRuntime, Arc<ConstantSortedList>) {
+        let mem_cfg =
+            MemConfig::with_data_words(ConstantSortedList::required_words(size) + 1024);
+        let mem = Arc::new(TmMemory::new(mem_cfg));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let list = Arc::new(ConstantSortedList::new(Arc::clone(&sim), size));
+        (HtmRuntime::with_sim(sim), list)
+    }
+
+    #[test]
+    fn construction_is_sorted_and_complete() {
+        let (_rt, list) = list(500);
+        assert_eq!(list.check_sorted(), (500, true));
+    }
+
+    #[test]
+    fn search_and_update_find_keys() {
+        let (rt, list) = list(64);
+        let mut th = rt.register_thread();
+        assert!(th.execute(|tx| list.search(tx, 0).map(|n| n.is_some())));
+        assert!(th.execute(|tx| list.search(tx, 63).map(|n| n.is_some())));
+        assert!(!th.execute(|tx| list.search(tx, 64).map(|n| n.is_some())));
+        assert!(th.execute(|tx| list.update(tx, 32, 5)));
+        assert_eq!(list.check_sorted(), (64, true));
+    }
+
+    #[test]
+    fn searches_near_the_tail_need_capacity_proportional_to_position() {
+        // Reading the whole list in one hardware transaction with a tiny
+        // capacity must overflow, demonstrating the long-transaction regime
+        // this workload models.
+        let mem_cfg = MemConfig::with_data_words(ConstantSortedList::required_words(256) + 1024);
+        let mem = Arc::new(TmMemory::new(mem_cfg));
+        let sim = HtmSim::new(mem, HtmConfig::with_capacity(8, 8));
+        let list = ConstantSortedList::new(Arc::clone(&sim), 256);
+        let mut htm = rhtm_htm::HtmThread::new(sim, 0);
+        htm.begin();
+        let mut hit_capacity = false;
+        let mut node = Some(list.head);
+        'outer: while let Some(n) = node {
+            for offset in [KEY, NEXT] {
+                match htm.read(n.offset(offset)) {
+                    Err(a) if a.cause == rhtm_api::AbortCause::Capacity => {
+                        hit_capacity = true;
+                        break 'outer;
+                    }
+                    Err(_) => break 'outer,
+                    Ok(_) => {}
+                }
+            }
+            node = decode_ptr(list.sim.nt_load(n.offset(NEXT)));
+        }
+        assert!(hit_capacity);
+    }
+
+    #[test]
+    fn workload_mixed_operations() {
+        let (rt, list) = list(128);
+        let mut th = rt.register_thread();
+        let mut rng = WorkloadRng::new(4);
+        for i in 0..200 {
+            list.run_op(&mut th, &mut rng, i % 20 == 0);
+        }
+        assert_eq!(th.stats().commits(), 200);
+    }
+}

@@ -1,0 +1,22 @@
+//! The workload abstraction the driver runs.
+
+use rhtm_api::TmThread;
+
+use crate::rng::WorkloadRng;
+
+/// A benchmark workload: a shared data structure plus the operation mix the
+/// paper runs against it.
+///
+/// Implementations are constructed over a runtime's shared memory
+/// (allocating and initialising their nodes with non-transactional stores)
+/// and are then shared read-only between the worker threads; all mutation
+/// happens through the transactions issued in [`Workload::run_op`].
+pub trait Workload: Send + Sync {
+    /// A short name used in reports (e.g. `"rbtree-100k"`).
+    fn name(&self) -> String;
+
+    /// Executes one operation on `thread`.  `is_update` selects between the
+    /// workload's read-only operation (lookup/search/query) and its update
+    /// operation, according to the driver's write-percentage draw.
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool);
+}

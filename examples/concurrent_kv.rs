@@ -1,0 +1,119 @@
+//! A concurrent key-value store built on the transactional hash map, running
+//! on the RH1 hybrid runtime: one writer keeps inserting and deleting while
+//! readers run consistent multi-key read transactions.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --example concurrent_kv
+//! ```
+
+use std::sync::Arc;
+
+use rhtm_api::{TmRuntime, TmThread};
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+use rhtm_workloads::mutable::TxHashMap;
+use rhtm_workloads::WorkloadRng;
+
+const KEYS: u64 = 1_000;
+const WRITERS: usize = 2;
+const READERS: usize = 6;
+const OPS_PER_WRITER: usize = 30_000;
+
+fn main() {
+    let runtime = Arc::new(RhRuntime::new(
+        MemConfig::with_data_words(TxHashMap::required_words(2 * KEYS, 400_000)),
+        HtmConfig::default(),
+        RhConfig::rh1_mixed(100),
+    ));
+    let map = Arc::new(TxHashMap::new(Arc::clone(runtime.sim()), 2 * KEYS));
+
+    // Every key starts present with value = key * 10.
+    {
+        let mut th = runtime.register_thread();
+        for k in 0..KEYS {
+            map.insert(&mut th, k, k * 10);
+        }
+    }
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Readers: each transaction reads a pair of related keys and checks the
+    // invariant the writers maintain (value is either key*10 or key*10+1,
+    // and paired keys always carry the same "generation" bit).
+    let readers: Vec<_> = (0..READERS)
+        .map(|tid| {
+            let runtime = Arc::clone(&runtime);
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut th = runtime.register_thread();
+                let mut rng = WorkloadRng::new(1_000 + tid as u64);
+                let mut checked = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = rng.next_below(KEYS / 2) * 2;
+                    let pair = th.execute(|tx| {
+                        let a = map.get_in(tx, k)?;
+                        let b = map.get_in(tx, k + 1)?;
+                        Ok((a, b))
+                    });
+                    if let (Some(a), Some(b)) = pair {
+                        // Writers flip both keys of a pair in one transaction,
+                        // so their generation bits must agree.
+                        assert_eq!(a & 1, b & 1, "torn pair observed at key {k}");
+                    }
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    // Writers: flip the generation bit of both keys of a random pair inside
+    // one transaction.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|tid| {
+            let runtime = Arc::clone(&runtime);
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut th = runtime.register_thread();
+                let mut rng = WorkloadRng::new(tid as u64);
+                let flip = |v: u64| if v & 1 == 0 { v | 1 } else { v & !1 };
+                for _ in 0..OPS_PER_WRITER {
+                    let k = rng.next_below(KEYS / 2) * 2;
+                    // Flip the generation bit of both keys of the pair in a
+                    // single transaction, so readers never see them disagree.
+                    map_pair_flip(&map, &mut th, k, flip);
+                }
+                th.stats().commits()
+            })
+        })
+        .collect();
+
+    let mut writer_commits = 0;
+    for w in writers {
+        writer_commits += w.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let mut reads = 0;
+    for r in readers {
+        reads += r.join().unwrap();
+    }
+
+    let mut th = runtime.register_thread();
+    println!("runtime          : {}", runtime.name());
+    println!("map size         : {}", map.len(&mut th));
+    println!("writer commits   : {writer_commits}");
+    println!("reader snapshots : {reads} (all consistent)");
+}
+
+/// Atomically flips the generation bit of keys `k` and `k+1`.
+fn map_pair_flip<T: TmThread>(map: &TxHashMap, th: &mut T, k: u64, flip: impl Fn(u64) -> u64) {
+    th.execute(|tx| {
+        let a = map.get_in(tx, k)?.unwrap_or(k * 10);
+        let b = map.get_in(tx, k + 1)?.unwrap_or((k + 1) * 10);
+        map.set_in(tx, k, flip(a))?;
+        map.set_in(tx, k + 1, flip(b))?;
+        Ok(())
+    });
+}

@@ -1,0 +1,55 @@
+//! Quickstart: create a reduced-hardware TM runtime, run a few transactions,
+//! and look at the execution statistics.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --example quickstart
+//! ```
+
+use rhtm_api::{PathKind, TmRuntime, TmThread, Txn};
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+
+fn main() {
+    // 1. A shared transactional memory with a simulated best-effort HTM and
+    //    the full RH1 protocol (fast-path + mixed slow-path + fallbacks).
+    let runtime = RhRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default(),
+        RhConfig::rh1_mixed(100),
+    );
+
+    // 2. Allocate two "accounts" in the transactional heap.
+    let alice = runtime.mem().alloc(1);
+    let bob = runtime.mem().alloc(1);
+    runtime.sim().nt_store(alice, 100);
+    runtime.sim().nt_store(bob, 100);
+
+    // 3. Register the current thread and run transactions.
+    let mut thread = runtime.register_thread();
+    for i in 0..1_000u64 {
+        let amount = i % 7;
+        thread.execute(|tx| {
+            let a = tx.read(alice)?;
+            if a < amount {
+                return Ok(false); // not enough funds; commit a no-op
+            }
+            let b = tx.read(bob)?;
+            tx.write(alice, a - amount)?;
+            tx.write(bob, b + amount)?;
+            Ok(true)
+        });
+    }
+
+    // 4. Inspect the result and where the commits happened.
+    let total = runtime.sim().nt_load(alice) + runtime.sim().nt_load(bob);
+    let stats = thread.stats();
+    println!("runtime            : {}", runtime.name());
+    println!("total balance      : {total} (must stay 200)");
+    println!("commits            : {}", stats.commits());
+    println!("  on hardware fast : {}", stats.commits_on(PathKind::HardwareFast));
+    println!("  on mixed slow    : {}", stats.commits_on(PathKind::MixedSlow));
+    println!("  on software      : {}", stats.commits_on(PathKind::Software));
+    println!("aborts             : {}", stats.aborts());
+    assert_eq!(total, 200);
+}

@@ -1,0 +1,191 @@
+//! Concurrent data-structure tests: the mutable transactional structures are
+//! hammered from many threads on the hybrid runtimes and checked against
+//! exact global invariants (element counts, sortedness, conservation).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rhtm_api::{TmRuntime, TmThread};
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+use rhtm_workloads::mutable::{TxHashMap, TxSortedList};
+use rhtm_workloads::{ConstantRbTree, Workload, WorkloadRng};
+
+fn rh1_runtime(data_words: usize, htm: HtmConfig) -> Arc<RhRuntime> {
+    Arc::new(RhRuntime::new(
+        MemConfig::with_data_words(data_words),
+        htm,
+        RhConfig::rh1_mixed(100),
+    ))
+}
+
+#[test]
+fn hashmap_disjoint_key_ranges_from_many_threads() {
+    let rt = rh1_runtime(1 << 18, HtmConfig::default());
+    let map = Arc::new(TxHashMap::new(Arc::clone(rt.sim()), 1024));
+    let threads = 6;
+    let per = 1_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let rt = Arc::clone(&rt);
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut th = rt.register_thread();
+                let base = t as u64 * 1_000_000;
+                for i in 0..per {
+                    assert_eq!(map.insert(&mut th, base + i, i), None);
+                }
+                // Delete the odd half again.
+                for i in (1..per).step_by(2) {
+                    assert_eq!(map.remove(&mut th, base + i), Some(i));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut th = rt.register_thread();
+    assert_eq!(map.len(&mut th), threads as u64 * per.div_ceil(2));
+    assert_eq!(map.get(&mut th, 2_000_000 + 42 * 2), Some(84));
+    assert_eq!(map.get(&mut th, 2_000_000 + 43), None);
+}
+
+#[test]
+fn hashmap_contended_keys_keep_last_writer_wins_semantics() {
+    let rt = rh1_runtime(1 << 18, HtmConfig::default());
+    let map = Arc::new(TxHashMap::new(Arc::clone(rt.sim()), 64));
+    let keys = 16u64;
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let rt = Arc::clone(&rt);
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut th = rt.register_thread();
+                let mut rng = WorkloadRng::new(t);
+                for _ in 0..2_000 {
+                    let key = rng.next_below(keys);
+                    match rng.next_below(3) {
+                        0 => {
+                            map.insert(&mut th, key, t * 1_000 + key);
+                        }
+                        1 => {
+                            map.remove(&mut th, key);
+                        }
+                        _ => {
+                            // Any value observed must have been written for
+                            // this exact key by some thread.
+                            if let Some(v) = map.get(&mut th, key) {
+                                assert_eq!(v % 1_000, key, "value {v} never written for key {key}");
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut th = rt.register_thread();
+    assert!(map.len(&mut th) <= keys);
+}
+
+#[test]
+fn sorted_list_remains_a_set_under_concurrent_insert_remove() {
+    // Run the same stress on the default configuration and on a tiny
+    // hardware capacity that forces the slow paths.
+    for htm in [HtmConfig::default(), HtmConfig::with_capacity(6, 3)] {
+        let rt = rh1_runtime(1 << 18, htm);
+        let list = Arc::new(TxSortedList::new(Arc::clone(rt.sim())));
+        let key_space = 96u64;
+        let handles: Vec<_> = (0..5)
+            .map(|t| {
+                let rt = Arc::clone(&rt);
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    let mut th = rt.register_thread();
+                    let mut rng = WorkloadRng::new(t * 31 + 7);
+                    let mut net = 0i64;
+                    for _ in 0..1_500 {
+                        let key = 1 + rng.next_below(key_space);
+                        if rng.draw_percent(55) {
+                            if list.insert(&mut th, key) {
+                                net += 1;
+                            }
+                        } else if list.remove(&mut th, key) {
+                            net -= 1;
+                        }
+                    }
+                    net
+                })
+            })
+            .collect();
+        let mut net_inserts = 0i64;
+        for h in handles {
+            net_inserts += h.join().unwrap();
+        }
+        assert!(list.is_sorted_quiescent());
+        let mut th = rt.register_thread();
+        let snapshot = list.snapshot(&mut th);
+        let unique: HashSet<_> = snapshot.iter().copied().collect();
+        assert_eq!(unique.len(), snapshot.len(), "duplicate keys in the set");
+        assert_eq!(snapshot.len() as i64, net_inserts, "set size must equal net successful inserts");
+        assert!(snapshot.iter().all(|&k| k >= 1 && k <= key_space));
+    }
+}
+
+#[test]
+fn constant_rbtree_shape_is_untouched_by_concurrent_updates() {
+    let nodes = 4_096u64;
+    let rt = rh1_runtime(ConstantRbTree::required_words(nodes) + 4096, HtmConfig::default());
+    let tree = Arc::new(ConstantRbTree::new(Arc::clone(rt.sim()), nodes));
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let rt = Arc::clone(&rt);
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let mut th = rt.register_thread();
+                let mut rng = WorkloadRng::new(t);
+                for i in 0..2_000 {
+                    tree.run_op(&mut th, &mut rng, i % 4 == 0);
+                }
+                th.stats().commits()
+            })
+        })
+        .collect();
+    let mut commits = 0;
+    for h in handles {
+        commits += h.join().unwrap();
+    }
+    assert_eq!(commits, 6 * 2_000);
+    assert_eq!(tree.count_reachable(), nodes, "updates must never change the shape");
+}
+
+#[test]
+fn rh2_standalone_also_supports_the_mutable_structures() {
+    let rt = Arc::new(RhRuntime::new(
+        MemConfig::with_data_words(1 << 17),
+        HtmConfig::default(),
+        RhConfig::rh2(),
+    ));
+    let map = Arc::new(TxHashMap::new(Arc::clone(rt.sim()), 128));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let rt = Arc::clone(&rt);
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut th = rt.register_thread();
+                for i in 0..800u64 {
+                    map.insert(&mut th, t * 10_000 + i, i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut th = rt.register_thread();
+    assert_eq!(map.len(&mut th), 3_200);
+}

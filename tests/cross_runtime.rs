@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: every runtime in the workspace is driven
+//! through the same generic workloads and must produce the same final state
+//! as the sequential model / the global-lock oracle.
+
+use std::sync::Arc;
+
+use rhtm_api::{TmRuntime, TmThread, Txn};
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::{HtmConfig, HtmRuntime};
+use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
+use rhtm_mem::{Addr, MemConfig};
+use rhtm_stm::{MutexRuntime, Tl2Runtime};
+use rhtm_workloads::WorkloadRng;
+
+const THREADS: usize = 6;
+const OPS: usize = 4_000;
+const CELLS: usize = 48;
+
+/// Runs a workload of random read-modify-write transactions over a small
+/// array of counters and returns the final per-cell values plus the grand
+/// total of increments applied.
+fn histogram_workload<R: TmRuntime>(runtime: Arc<R>) -> (Vec<u64>, u64) {
+    let cells: Arc<Vec<Addr>> = Arc::new((0..CELLS).map(|_| runtime.mem().alloc(8)).collect());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let runtime = Arc::clone(&runtime);
+            let cells = Arc::clone(&cells);
+            std::thread::spawn(move || {
+                let mut thread = runtime.register_thread();
+                let mut rng = WorkloadRng::new(tid as u64 * 77 + 1);
+                let mut applied = 0u64;
+                for _ in 0..OPS {
+                    // Each transaction increments two distinct cells.
+                    let a = cells[rng.next_below(CELLS as u64) as usize];
+                    let b = cells[rng.next_below(CELLS as u64) as usize];
+                    if a == b {
+                        continue;
+                    }
+                    thread.execute(|tx| {
+                        let va = tx.read(a)?;
+                        let vb = tx.read(b)?;
+                        tx.write(a, va + 1)?;
+                        tx.write(b, vb + 1)?;
+                        Ok(())
+                    });
+                    applied += 2;
+                }
+                applied
+            })
+        })
+        .collect();
+    let mut applied = 0;
+    for h in handles {
+        applied += h.join().unwrap();
+    }
+    let values = cells.iter().map(|&c| runtime.mem().heap().load(c)).collect();
+    (values, applied)
+}
+
+fn check_histogram<R: TmRuntime>(runtime: R) {
+    let name = runtime.name();
+    let (values, applied) = histogram_workload(Arc::new(runtime));
+    let total: u64 = values.iter().sum();
+    assert_eq!(total, applied, "{name}: increments were lost or duplicated");
+}
+
+#[test]
+fn htm_runtime_preserves_every_increment() {
+    check_histogram(HtmRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default(),
+    ));
+}
+
+#[test]
+fn tl2_runtime_preserves_every_increment() {
+    check_histogram(Tl2Runtime::new(MemConfig::with_data_words(4096)));
+}
+
+#[test]
+fn std_hytm_runtime_preserves_every_increment() {
+    check_histogram(StdHytmRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default(),
+        StdHytmConfig::default(),
+    ));
+    check_histogram(StdHytmRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default(),
+        StdHytmConfig::hardware_only(),
+    ));
+}
+
+#[test]
+fn rh1_variants_preserve_every_increment() {
+    for config in [
+        RhConfig::rh1_fast(),
+        RhConfig::rh1_mixed(10),
+        RhConfig::rh1_mixed(100),
+        RhConfig::rh1_slow(),
+    ] {
+        check_histogram(RhRuntime::new(
+            MemConfig::with_data_words(4096),
+            HtmConfig::default(),
+            config,
+        ));
+    }
+}
+
+#[test]
+fn rh2_and_global_lock_preserve_every_increment() {
+    check_histogram(RhRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default(),
+        RhConfig::rh2(),
+    ));
+    check_histogram(MutexRuntime::new(MemConfig::with_data_words(4096)));
+}
+
+#[test]
+fn rh1_with_injected_failures_preserves_every_increment() {
+    // Spurious aborts and a forced abort ratio stress the retry and fallback
+    // machinery without changing the workload's semantics.
+    check_histogram(RhRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default()
+            .with_spurious_abort_rate(0.05)
+            .with_forced_abort_ratio(0.3),
+        RhConfig::rh1_mixed(100),
+    ));
+}
+
+#[test]
+fn rh1_with_tiny_capacity_preserves_every_increment() {
+    // With a 2-line read budget even the two-cell transactions frequently
+    // overflow, so commits are forced through the slow paths.
+    check_histogram(RhRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::with_capacity(2, 2),
+        RhConfig::rh1_mixed(100),
+    ));
+}
+
+#[test]
+fn all_runtimes_agree_on_a_deterministic_single_thread_history() {
+    // A single-threaded, seeded history must produce bit-identical final
+    // memory across every runtime (they only differ in concurrency control).
+    fn run<R: TmRuntime>(runtime: R) -> Vec<u64> {
+        let cells: Vec<Addr> = (0..16).map(|_| runtime.mem().alloc(1)).collect();
+        let mut thread = runtime.register_thread();
+        let mut rng = WorkloadRng::new(1234);
+        for _ in 0..2_000 {
+            let a = cells[rng.next_below(16) as usize];
+            let b = cells[rng.next_below(16) as usize];
+            let delta = rng.next_below(100);
+            thread.execute(|tx| {
+                let va = tx.read(a)?;
+                tx.write(a, va.wrapping_add(delta))?;
+                let vb = tx.read(b)?;
+                tx.write(b, vb ^ delta)?;
+                Ok(())
+            });
+        }
+        cells.iter().map(|&c| runtime.mem().heap().load(c)).collect()
+    }
+
+    let mem = || MemConfig::with_data_words(1024);
+    let reference = run(MutexRuntime::new(mem()));
+    assert_eq!(reference, run(HtmRuntime::new(mem(), HtmConfig::default())));
+    assert_eq!(reference, run(Tl2Runtime::new(mem())));
+    assert_eq!(
+        reference,
+        run(StdHytmRuntime::new(mem(), HtmConfig::default(), StdHytmConfig::default()))
+    );
+    for config in [RhConfig::rh1_fast(), RhConfig::rh1_mixed(100), RhConfig::rh1_slow(), RhConfig::rh2()] {
+        assert_eq!(reference, run(RhRuntime::new(mem(), HtmConfig::default(), config)));
+    }
+}

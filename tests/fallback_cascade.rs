@@ -1,0 +1,195 @@
+//! Integration tests of the RH1 → RH2 → all-software fallback cascade under
+//! adversarial hardware configurations, including concurrency across the
+//! mode switches.
+
+use std::sync::Arc;
+
+use rhtm_api::{AbortCause, PathKind, TmRuntime, TmThread, TxStats, Txn};
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+
+fn sum_region(rt: &RhRuntime, base: rhtm_mem::Addr, words: usize) -> u64 {
+    (0..words).map(|i| rt.sim().nt_load(base.offset(i))).sum()
+}
+
+#[test]
+fn capacity_overflow_commits_on_the_mixed_slow_path() {
+    let rt = RhRuntime::new(
+        MemConfig::with_data_words(64 * 1024),
+        HtmConfig::with_capacity(8, 8),
+        RhConfig::rh1_mixed(100),
+    );
+    let base = rt.mem().alloc(16 * 1024);
+    let mut th = rt.register_thread();
+    for round in 1..=50u64 {
+        th.execute(|tx| {
+            // Read 32 distinct lines (4x the fast-path's budget), write one.
+            let mut sum = 0;
+            for i in 0..32 {
+                sum += tx.read(base.offset(i * 8))?;
+            }
+            tx.write(base.offset(((round % 32) * 8) as usize), sum + round)?;
+            Ok(())
+        });
+    }
+    let stats = th.stats();
+    assert_eq!(stats.commits(), 50);
+    assert_eq!(stats.commits_on(PathKind::HardwareFast), 0, "cannot fit in hardware");
+    assert!(stats.commits_on(PathKind::MixedSlow) > 0);
+    assert!(stats.aborts_for(AbortCause::Capacity) >= 50);
+}
+
+#[test]
+fn oversized_write_sets_reach_the_all_software_path() {
+    // Write capacity of 4 lines: even the RH2 hardware write-back (which
+    // only writes the data) overflows for 16-line write sets, forcing the
+    // pure software write-back under the all-software switch.
+    let rt = RhRuntime::new(
+        MemConfig::with_data_words(64 * 1024),
+        HtmConfig::with_capacity(256, 4),
+        RhConfig::rh1_mixed(100),
+    );
+    let base = rt.mem().alloc(16 * 1024);
+    let mut th = rt.register_thread();
+    for round in 1..=20u64 {
+        th.execute(|tx| {
+            for i in 0..16 {
+                tx.write(base.offset(i * 8), round)?;
+            }
+            Ok(())
+        });
+    }
+    let stats = th.stats();
+    assert_eq!(stats.commits(), 20);
+    assert!(
+        stats.commits_on(PathKind::Software) > 0,
+        "wide write-sets must fall through to the all-software write-back: {stats:?}"
+    );
+    // The final state reflects the last round everywhere.
+    for i in 0..16 {
+        assert_eq!(rt.sim().nt_load(base.offset(i * 8)), 20);
+    }
+}
+
+#[test]
+fn fallback_counters_return_to_zero_when_quiescent() {
+    let rt = RhRuntime::new(
+        MemConfig::with_data_words(32 * 1024),
+        HtmConfig::with_capacity(4, 2),
+        RhConfig::rh1_mixed(100),
+    );
+    let base = rt.mem().alloc(8 * 1024);
+    let mut th = rt.register_thread();
+    for round in 0..200u64 {
+        th.execute(|tx| {
+            let mut sum = 0;
+            for i in 0..12 {
+                sum += tx.read(base.offset(i * 8))?;
+            }
+            for i in 0..8 {
+                tx.write(base.offset((i + 16) * 8), sum + round)?;
+            }
+            Ok(())
+        });
+    }
+    let fb = rt.fallback_state();
+    assert_eq!(fb.rh2_fallback_count(rt.sim()), 0);
+    assert_eq!(fb.all_software_count(rt.sim()), 0);
+}
+
+#[test]
+fn concurrent_threads_survive_mode_switches_without_losing_updates() {
+    // Two populations: small transactions that prefer the fast path, and
+    // large ones that constantly push the runtime through the fallback
+    // cascade.  Every increment must survive.
+    let rt = Arc::new(RhRuntime::new(
+        MemConfig::with_data_words(128 * 1024),
+        HtmConfig::with_capacity(16, 4),
+        RhConfig::rh1_mixed(100),
+    ));
+    let small_cells = rt.mem().alloc(64);
+    let big_region = rt.mem().alloc(32 * 1024);
+
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let rt = Arc::clone(&rt);
+        handles.push(std::thread::spawn(move || {
+            let mut th = rt.register_thread();
+            for k in 0..3_000usize {
+                let cell = small_cells.offset((k * 7 + t) % 64);
+                th.execute(|tx| {
+                    let v = tx.read(cell)?;
+                    tx.write(cell, v + 1)?;
+                    Ok(())
+                });
+            }
+            3_000u64
+        }));
+    }
+    for t in 0..3 {
+        let rt = Arc::clone(&rt);
+        handles.push(std::thread::spawn(move || {
+            let mut th = rt.register_thread();
+            for k in 0..300usize {
+                th.execute(|tx| {
+                    // Wide writer: 24 lines written, exceeding both the
+                    // fast-path and the RH2 write-back budget.
+                    for i in 0..24 {
+                        let addr = big_region.offset(((t * 4096) + (k % 8) * 512 + i * 8) as usize);
+                        let v = tx.read(addr)?;
+                        tx.write(addr, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+            0u64
+        }));
+    }
+    let mut small_expected = 0;
+    for h in handles {
+        small_expected += h.join().unwrap();
+    }
+    assert_eq!(sum_region(&rt, small_cells, 64), small_expected);
+    // Each big writer incremented 24 cells 300 times.
+    assert_eq!(sum_region(&rt, big_region, 32 * 1024), 3 * 300 * 24);
+    let fb = rt.fallback_state();
+    assert_eq!(fb.rh2_fallback_count(rt.sim()), 0);
+    assert_eq!(fb.all_software_count(rt.sim()), 0);
+}
+
+#[test]
+fn protected_instructions_commit_exactly_once_under_concurrency() {
+    let rt = Arc::new(RhRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default(),
+        RhConfig::rh1_fast(),
+    ));
+    let counter = rt.mem().alloc(1);
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || {
+                let mut th = rt.register_thread();
+                let mut stats = TxStats::new(false);
+                for _ in 0..2_000 {
+                    th.execute(|tx| {
+                        tx.protected_instruction()?;
+                        let v = tx.read(counter)?;
+                        tx.write(counter, v + 1)?;
+                        Ok(())
+                    });
+                }
+                stats.merge(th.stats());
+                stats
+            })
+        })
+        .collect();
+    let mut merged = TxStats::new(false);
+    for h in handles {
+        merged.merge(&h.join().unwrap());
+    }
+    assert_eq!(rt.sim().nt_load(counter), 12_000);
+    assert_eq!(merged.commits_on(PathKind::HardwareFast), 0);
+    assert_eq!(merged.commits(), 12_000);
+}

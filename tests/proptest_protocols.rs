@@ -1,0 +1,147 @@
+//! Property-based tests: randomly generated operation sequences are executed
+//! through the hybrid runtimes and compared against a sequential model, and
+//! randomly generated interleavings of account transfers must conserve the
+//! total balance on every protocol variant.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use rhtm_api::{TmRuntime, TmThread, Txn};
+use rhtm_core::{ProtocolMode, RhConfig, RhRuntime};
+use rhtm_htm::{HtmConfig, ValidationMode};
+use rhtm_mem::MemConfig;
+use rhtm_workloads::mutable::TxHashMap;
+
+/// One operation of the key-value model.
+#[derive(Clone, Debug)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn map_op_strategy() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0u64..32, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0u64..32).prop_map(MapOp::Remove),
+        (0u64..32).prop_map(MapOp::Get),
+    ]
+}
+
+fn rh_config_strategy() -> impl Strategy<Value = RhConfig> {
+    prop_oneof![
+        Just(RhConfig::rh1_fast()),
+        Just(RhConfig::rh1_mixed(10)),
+        Just(RhConfig::rh1_mixed(100)),
+        Just(RhConfig::rh1_slow()),
+        Just(RhConfig::rh2()),
+    ]
+}
+
+fn htm_config_strategy() -> impl Strategy<Value = HtmConfig> {
+    (
+        prop_oneof![Just(512usize), Just(16), Just(4)],
+        prop_oneof![Just(64usize), Just(4)],
+        prop_oneof![Just(0.0f64), Just(0.2)],
+        prop_oneof![Just(ValidationMode::Incremental), Just(ValidationMode::CommitOnly)],
+    )
+        .prop_map(|(read_cap, write_cap, spurious, validation)| {
+            HtmConfig::with_capacity(read_cap, write_cap)
+                .with_spurious_abort_rate(spurious)
+                .with_validation(validation)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single-threaded sequence of map operations behaves exactly like the
+    /// sequential model, regardless of the protocol variant, the hardware
+    /// capacity and injected spurious aborts.
+    #[test]
+    fn map_operations_match_model(
+        ops in proptest::collection::vec(map_op_strategy(), 1..120),
+        config in rh_config_strategy(),
+        htm in htm_config_strategy(),
+    ) {
+        let rt = RhRuntime::new(MemConfig::with_data_words(1 << 14), htm, config);
+        let map = TxHashMap::new(Arc::clone(rt.sim()), 32);
+        let mut th = rt.register_thread();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(map.insert(&mut th, k, v), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(map.remove(&mut th, k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(&mut th, k), model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(map.len(&mut th), model.len() as u64);
+    }
+
+    /// Concurrent transfers conserve the total balance on every protocol
+    /// variant and hardware configuration.
+    #[test]
+    fn concurrent_transfers_conserve_balance(
+        config in rh_config_strategy(),
+        htm in htm_config_strategy(),
+        threads in 2usize..5,
+        transfers in 200usize..600,
+        accounts in 4usize..12,
+    ) {
+        let rt = Arc::new(RhRuntime::new(MemConfig::with_data_words(1 << 12), htm, config));
+        let cells: Arc<Vec<_>> = Arc::new((0..accounts).map(|_| rt.mem().alloc(8)).collect());
+        for &c in cells.iter() {
+            rt.sim().nt_store(c, 100);
+        }
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let rt = Arc::clone(&rt);
+                let cells = Arc::clone(&cells);
+                std::thread::spawn(move || {
+                    let mut th = rt.register_thread();
+                    for k in 0..transfers {
+                        let from = cells[(k * 5 + t) % cells.len()];
+                        let to = cells[(k * 3 + 2 * t + 1) % cells.len()];
+                        if from == to {
+                            continue;
+                        }
+                        th.execute(|tx| {
+                            let f = tx.read(from)?;
+                            if f == 0 {
+                                return Ok(());
+                            }
+                            let v = tx.read(to)?;
+                            tx.write(from, f - 1)?;
+                            tx.write(to, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = cells.iter().map(|&c| rt.sim().nt_load(c)).sum();
+        prop_assert_eq!(total, accounts as u64 * 100);
+    }
+
+    /// The runtime's protocol mode is honoured: an RH2 configuration never
+    /// reports an RH1-specific display name and vice versa.
+    #[test]
+    fn display_names_are_consistent(config in rh_config_strategy()) {
+        let name = config.display_name();
+        match config.mode {
+            ProtocolMode::Rh2 => prop_assert_eq!(name, "RH2"),
+            ProtocolMode::Rh1 => prop_assert!(name.starts_with("RH1")),
+        }
+    }
+}
