@@ -11,7 +11,7 @@
 use std::fmt;
 
 /// Why a transaction attempt aborted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AbortCause {
     /// A simulated hardware transaction lost a conflict: another thread
     /// wrote a cache line in its read- or write-set (or read a line in its
@@ -102,10 +102,7 @@ impl AbortCause {
     pub fn is_contention(self) -> bool {
         matches!(
             self,
-            AbortCause::Conflict
-                | AbortCause::Validation
-                | AbortCause::Locked
-                | AbortCause::Forced
+            AbortCause::Conflict | AbortCause::Validation | AbortCause::Locked | AbortCause::Forced
         )
     }
 }

@@ -1,0 +1,93 @@
+//! Exponential backoff for contended retry loops.
+//!
+//! A dependency-free replacement for `crossbeam::utils::Backoff` with the
+//! same shape: repeated [`Backoff::snooze`] calls first spin with
+//! exponentially more `spin_loop` hints, then start yielding the thread to
+//! the OS scheduler.  Every retry loop in the workspace (hardware retry,
+//! TL2 retry, the RH cascade) funnels through this type, so contention
+//! behaviour is uniform across runtimes.
+
+/// Exponential backoff state for one retry loop.
+///
+/// ```
+/// use rhtm_api::Backoff;
+///
+/// let backoff = Backoff::new();
+/// for _attempt in 0..3 {
+///     // ... try the contended operation ...
+///     backoff.snooze();
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+/// Beyond this step, `snooze` yields to the scheduler instead of spinning.
+const SPIN_LIMIT: u32 = 6;
+/// Growth cap so the spin count stays bounded.
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Creates a fresh backoff (first snooze is the cheapest).
+    pub fn new() -> Self {
+        Backoff::default()
+    }
+
+    /// Resets the backoff to its initial state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off once: busy-spins `2^step` times while the step is small,
+    /// then yields the thread.  Each call escalates up to a cap.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step < YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Busy-spins without ever yielding (for very short critical windows).
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..1u32 << step {
+            std::hint::spin_loop();
+        }
+        if self.step.get() < SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snooze_escalates_and_caps() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert_eq!(b.step.get(), YIELD_LIMIT);
+        b.reset();
+        assert_eq!(b.step.get(), 0);
+    }
+
+    #[test]
+    fn spin_never_exceeds_spin_limit() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.spin();
+        }
+        assert_eq!(b.step.get(), SPIN_LIMIT);
+    }
+}

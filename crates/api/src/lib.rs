@@ -44,9 +44,11 @@
 #![deny(unsafe_code)]
 
 pub mod abort;
+pub mod backoff;
 pub mod stats;
 pub mod traits;
 
 pub use abort::{Abort, AbortCause, TxResult};
+pub use backoff::Backoff;
 pub use stats::{PathKind, Stopwatch, TxStats};
 pub use traits::{TmRuntime, TmThread, Txn};

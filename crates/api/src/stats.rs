@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use crate::abort::AbortCause;
 
 /// Which execution path a transaction committed on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PathKind {
     /// The all-hardware fast-path.
     HardwareFast,
@@ -21,7 +21,11 @@ pub enum PathKind {
 
 impl PathKind {
     /// All paths in display order.
-    pub const ALL: [PathKind; 3] = [PathKind::HardwareFast, PathKind::MixedSlow, PathKind::Software];
+    pub const ALL: [PathKind; 3] = [
+        PathKind::HardwareFast,
+        PathKind::MixedSlow,
+        PathKind::Software,
+    ];
 
     /// Dense index for counter arrays.
     #[inline]
@@ -78,7 +82,7 @@ impl Stopwatch {
 /// Counters are plain `u64`s updated by the owning thread only; the
 /// benchmark driver merges the per-thread copies after the measurement
 /// interval.
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TxStats {
     /// Committed transactions, per commit path.
     pub commits_by_path: [u64; 3],

@@ -19,18 +19,27 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for algo in [AlgoKind::Htm, AlgoKind::StdHytm, AlgoKind::Tl2, AlgoKind::Rh1Fast] {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            b.iter(|| {
-                run_on_algo(
-                    algo,
-                    MemConfig::with_data_words(ConstantRbTree::required_words(nodes) + 4096),
-                    HtmConfig::default(),
-                    |sim| ConstantRbTree::new(Arc::clone(sim), nodes),
-                    &DriverOpts::counted(threads, 20, params.ops_per_thread),
-                )
-            })
-        });
+    for algo in [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Fast,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    run_on_algo(
+                        algo,
+                        MemConfig::with_data_words(ConstantRbTree::required_words(nodes) + 4096),
+                        HtmConfig::default(),
+                        |sim| ConstantRbTree::new(Arc::clone(sim), nodes),
+                        &DriverOpts::counted(threads, 20, params.ops_per_thread),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -19,18 +19,29 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for algo in [AlgoKind::Htm, AlgoKind::StdHytm, AlgoKind::Tl2, AlgoKind::Rh1Mixed(100)] {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            b.iter(|| {
-                run_on_algo(
-                    algo,
-                    MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 4096),
-                    HtmConfig::default(),
-                    |sim| ConstantHashTable::new(Arc::clone(sim), elements),
-                    &DriverOpts::counted(threads, 20, params.ops_per_thread),
-                )
-            })
-        });
+    for algo in [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Mixed(100),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    run_on_algo(
+                        algo,
+                        MemConfig::with_data_words(
+                            ConstantHashTable::required_words(elements) + 4096,
+                        ),
+                        HtmConfig::default(),
+                        |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                        &DriverOpts::counted(threads, 20, params.ops_per_thread),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

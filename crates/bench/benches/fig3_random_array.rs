@@ -20,8 +20,6 @@ fn bench(c: &mut Criterion) {
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(500));
         group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
         for writes in [0u8, 50, 90] {
             for algo in [AlgoKind::Rh1Fast, AlgoKind::StdHytm] {
                 let id = BenchmarkId::new(algo.label(), format!("writes{writes}"));

@@ -13,6 +13,10 @@ fn main() {
     let params = FigureParams::new(scale_from_args());
     println!("# Ablation A1: hardware read-capacity sweep (RH1 Mixed 100, random array, 200 accesses/txn)");
     for (capacity, row) in rhtm_bench::ablation_capacity(&params) {
-        println!("read-capacity {:>4} lines: {}", capacity, row.throughput_row());
+        println!(
+            "read-capacity {:>4} lines: {}",
+            capacity,
+            row.throughput_row()
+        );
     }
 }

@@ -1,18 +1,65 @@
-//! Ablation A2: the GV6 non-advancing global clock versus a conventional incrementing clock (design choice of paper section 2.2).
+//! Ablation A2: global-clock advancement schemes (strict fetch-and-add vs
+//! GV4/GV5/GV6 vs the fully incrementing baseline) across a thread sweep.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin ablation_clock [paper|quick] [scheme...]
+//! ```
+//!
+//! With no scheme arguments every scheme in [`rhtm_mem::ClockScheme::ALL`]
+//! is swept; otherwise only the named ones (`gv-strict`, `gv4`, `gv5`,
+//! `gv6`, `incrementing`) run.  Threads sweep 1–32 (clamped to the host).
 
 use rhtm_bench::{FigureParams, Scale};
-
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
+use rhtm_mem::ClockScheme;
 
 fn main() {
-    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
-    println!("# Ablation A2: global-clock algorithm (RH1 Mixed 100, constant RB-tree, 20% writes)");
-    for (label, row) in rhtm_bench::ablation_clock(&params) {
-        println!("{:<14} {}", label, row.throughput_row());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut named: Vec<ClockScheme> = Vec::new();
+    for arg in &args {
+        if let Some(s) = Scale::parse(arg) {
+            scale = s;
+        } else if let Some(scheme) = ClockScheme::parse(arg) {
+            named.push(scheme);
+        } else {
+            eprintln!(
+                "error: unknown argument '{arg}' (expected paper|quick or a scheme: {})",
+                ClockScheme::ALL
+                    .iter()
+                    .map(|s| s.label())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            );
+            std::process::exit(2);
+        }
+    }
+    let schemes: Vec<ClockScheme> = if named.is_empty() {
+        ClockScheme::ALL.to_vec()
+    } else {
+        named
+    };
+
+    // The clock bottleneck is a thread-scaling story: sweep 1–32 threads
+    // (clamped to the host's parallelism) regardless of the figure scale.
+    let mut params = FigureParams::new(scale);
+    params.thread_counts = vec![1, 2, 4, 8, 16, 32];
+    let params = params.clamp_threads_to_host();
+
+    println!("# Ablation A2: global-clock scheme (constant RB-tree, 20% writes)");
+    println!("# threads swept: {:?}", params.thread_counts);
+    println!(
+        "{:<14} {:<16} {:>8} {:>14} {:>12} {:>12}",
+        "scheme", "algorithm", "threads", "ops/s", "abort-rate", "commit-ctr"
+    );
+    for row in rhtm_bench::ablation_clock_schemes(&params, &schemes) {
+        println!(
+            "{:<14} {:<16} {:>8} {:>14.0} {:>11.2}% {:>12.3}",
+            row.scheme.label(),
+            row.algo.label(),
+            row.result.threads,
+            row.result.throughput(),
+            row.result.abort_ratio() * 100.0,
+            row.result.commit_ratio(),
+        );
     }
 }

@@ -12,8 +12,17 @@ fn scale_from_args() -> Scale {
 
 fn main() {
     let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
-    eprintln!("running Figure 1 (constant RB-tree, 20% writes), threads {:?}", params.thread_counts);
+    eprintln!(
+        "running Figure 1 (constant RB-tree, 20% writes), threads {:?}",
+        params.thread_counts
+    );
     let rows = rhtm_bench::fig1_rbtree(&params);
-    println!("{}", report::format_series("Figure 1: 100K Nodes Constant RB-Tree, 20% mutations", &rows));
+    println!(
+        "{}",
+        report::format_series(
+            "Figure 1: 100K Nodes Constant RB-Tree, 20% mutations",
+            &rows
+        )
+    );
     println!("{}", report::to_json(&rows));
 }

@@ -12,7 +12,10 @@ fn scale_from_args() -> Scale {
 fn main() {
     let params = FigureParams::new(scale_from_args());
     for writes in [20u8, 80] {
-        println!("# Single-thread breakdown, {writes}% writes (paper table {}_100_R)", writes);
+        println!(
+            "# Single-thread breakdown, {writes}% writes (paper table {}_100_R)",
+            writes
+        );
         let rows = rhtm_bench::fig2_breakdown(&params, writes);
         for row in &rows {
             println!("{}", row.breakdown_row());

@@ -22,7 +22,10 @@ fn write_percent_from_args() -> u8 {
 fn main() {
     let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
     let writes = write_percent_from_args();
-    eprintln!("running Figure 2 (constant RB-tree, {}% writes), threads {:?}", writes, params.thread_counts);
+    eprintln!(
+        "running Figure 2 (constant RB-tree, {}% writes), threads {:?}",
+        writes, params.thread_counts
+    );
     let rows = rhtm_bench::fig2_rbtree(&params, writes);
     let title = format!("Figure 2: 100K Nodes Constant RB-Tree, {writes}% mutations");
     println!("{}", report::format_series(&title, &rows));

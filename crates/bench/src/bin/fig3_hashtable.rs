@@ -12,8 +12,14 @@ fn scale_from_args() -> Scale {
 
 fn main() {
     let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
-    eprintln!("running Figure 3 (constant hash table, 20% writes), threads {:?}", params.thread_counts);
+    eprintln!(
+        "running Figure 3 (constant hash table, 20% writes), threads {:?}",
+        params.thread_counts
+    );
     let rows = rhtm_bench::fig3_hashtable(&params);
-    println!("{}", report::format_series("Figure 3 (left): Constant Hash Table, 20% mutations", &rows));
+    println!(
+        "{}",
+        report::format_series("Figure 3 (left): Constant Hash Table, 20% mutations", &rows)
+    );
     println!("{}", report::to_json(&rows));
 }

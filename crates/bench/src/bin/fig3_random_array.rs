@@ -11,15 +11,31 @@ fn scale_from_args() -> Scale {
 
 fn main() {
     let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
-    eprintln!("running Figure 3 (random array speedup matrix) at {} threads", params.thread_counts.iter().max().unwrap());
+    eprintln!(
+        "running Figure 3 (random array speedup matrix) at {} threads",
+        params.thread_counts.iter().max().unwrap()
+    );
     let points = rhtm_bench::fig3_random_array(&params);
     println!("# Figure 3 (right): 128K Random Array — RH1 speedup vs Standard HyTM");
-    println!("{:>8} {:>8} {:>14} {:>14} {:>9}", "txn-len", "writes%", "RH1 ops/s", "StdHyTM ops/s", "speedup");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>9}",
+        "txn-len", "writes%", "RH1 ops/s", "StdHyTM ops/s", "speedup"
+    );
     for p in &points {
         println!(
             "{:>8} {:>8} {:>14.0} {:>14.0} {:>8.2}x",
             p.txn_len, p.write_percent, p.rh1_ops_per_sec, p.std_hytm_ops_per_sec, p.speedup
         );
     }
-    println!("{}", serde_json::to_string_pretty(&points).unwrap());
+    // Hand-rolled JSON (offline build, no serde_json) for plotting scripts.
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "  {{\"txn_len\": {}, \"write_percent\": {}, \"rh1_ops_per_sec\": {}, \"std_hytm_ops_per_sec\": {}, \"speedup\": {}}}",
+                p.txn_len, p.write_percent, p.rh1_ops_per_sec, p.std_hytm_ops_per_sec, p.speedup
+            )
+        })
+        .collect();
+    println!("[\n{}\n]", rows.join(",\n"));
 }

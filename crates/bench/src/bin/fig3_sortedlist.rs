@@ -12,8 +12,17 @@ fn scale_from_args() -> Scale {
 
 fn main() {
     let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
-    eprintln!("running Figure 3 (constant sorted list, 5% writes), threads {:?}", params.thread_counts);
+    eprintln!(
+        "running Figure 3 (constant sorted list, 5% writes), threads {:?}",
+        params.thread_counts
+    );
     let rows = rhtm_bench::fig3_sortedlist(&params);
-    println!("{}", report::format_series("Figure 3 (middle): 1K Nodes Constant Sorted List, 5% mutations", &rows));
+    println!(
+        "{}",
+        report::format_series(
+            "Figure 3 (middle): 1K Nodes Constant Sorted List, 5% mutations",
+            &rows
+        )
+    );
     println!("{}", report::to_json(&rows));
 }

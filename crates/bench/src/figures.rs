@@ -2,16 +2,16 @@
 //!
 //! Each function reproduces one experiment of the paper's evaluation and
 //! returns its raw rows; the `fig*` binaries print them at paper scale and
-//! the Criterion benches run them at quick scale.  `EXPERIMENTS.md` maps
-//! every function to the paper's figure/table it regenerates.
+//! the Criterion benches run them at quick scale.  The workspace `README.md`
+//! maps every binary to the paper's figure/table it regenerates.
 
 use std::sync::Arc;
 
 use rhtm_htm::{HtmConfig, HtmSim};
-use rhtm_mem::{ClockMode, MemConfig};
+use rhtm_mem::{ClockScheme, MemConfig};
 use rhtm_workloads::{
-    run_on_algo, AlgoKind, BenchResult, ConstantHashTable, ConstantRbTree, ConstantSortedList,
-    DriverOpts, RandomArray,
+    run_on_algo, run_on_algo_with_clock, AlgoKind, BenchResult, ConstantHashTable, ConstantRbTree,
+    ConstantSortedList, DriverOpts, RandomArray,
 };
 
 use crate::params::FigureParams;
@@ -108,7 +108,12 @@ pub fn single_thread_speedups(rows: &[BenchResult]) -> Vec<(String, f64)> {
         .map(|r| r.throughput())
         .unwrap_or(1.0);
     rows.iter()
-        .map(|r| (r.algorithm.clone(), r.throughput() / tl2.max(f64::MIN_POSITIVE)))
+        .map(|r| {
+            (
+                r.algorithm.clone(),
+                r.throughput() / tl2.max(f64::MIN_POSITIVE),
+            )
+        })
         .collect()
 }
 
@@ -155,7 +160,7 @@ pub fn fig3_sortedlist(params: &FigureParams) -> Vec<BenchResult> {
 }
 
 /// One point of the random-array speedup matrix.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct RandomArrayPoint {
     /// Shared accesses per transaction.
     pub txn_len: usize,
@@ -228,29 +233,59 @@ pub fn ablation_capacity(params: &FigureParams) -> Vec<(usize, BenchResult)> {
     rows
 }
 
-/// **Ablation A2**: the GV6 non-advancing clock versus a conventional
-/// incrementing clock, on the red-black tree at 20% writes (the design
-/// choice discussed in §2.2).
-pub fn ablation_clock(params: &FigureParams) -> Vec<(&'static str, BenchResult)> {
+/// One row of the clock-scheme ablation.
+#[derive(Clone, Debug)]
+pub struct ClockAblationRow {
+    /// The global-clock scheme the row was measured under.
+    pub scheme: ClockScheme,
+    /// The algorithm that was run.
+    pub algo: AlgoKind,
+    /// The raw benchmark result (throughput, abort causes, path counts).
+    pub result: BenchResult,
+}
+
+/// **Ablation A2**: the global-clock advancement schemes (strict
+/// fetch-and-add, GV4 CAS-relaxed, GV5 commit-skip, GV6 sampled, and the
+/// fully incrementing baseline — see [`ClockScheme::ALL`]), swept over the
+/// figure's thread counts on the red-black tree at 20% writes.
+///
+/// Two algorithms bracket the design space: TL2 pays the commit-time clock
+/// RMW on *every* writing commit (the bottleneck the relaxed schemes
+/// remove), while RH1 Mixed 100 only pays it on slow-path RH2 commits, so
+/// its clock sensitivity shows up under fallback pressure.  Rows report
+/// commit throughput and abort rate per `(scheme, algorithm, threads)`
+/// point.
+pub fn ablation_clock(params: &FigureParams) -> Vec<ClockAblationRow> {
+    ablation_clock_schemes(params, &ClockScheme::ALL)
+}
+
+/// [`ablation_clock`] restricted to the given schemes (used by the
+/// `ablation_clock` binary's CLI filter so unrequested schemes are never
+/// run).
+pub fn ablation_clock_schemes(
+    params: &FigureParams,
+    schemes: &[ClockScheme],
+) -> Vec<ClockAblationRow> {
     let nodes = params.rbtree_nodes;
-    let threads = params.thread_counts.iter().copied().max().unwrap_or(1);
     let mut rows = Vec::new();
-    for (label, mode) in [
-        ("GV6 (paper)", ClockMode::Gv6),
-        ("Incrementing", ClockMode::Incrementing),
-    ] {
-        let mem_cfg = MemConfig {
-            clock_mode: mode,
-            ..mem_config(ConstantRbTree::required_words(nodes))
-        };
-        let result = run_on_algo(
-            AlgoKind::Rh1Mixed(100),
-            mem_cfg,
-            HtmConfig::default(),
-            |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
-            &timed_opts(params, threads, 20),
-        );
-        rows.push((label, result));
+    for &scheme in schemes {
+        for algo in [AlgoKind::Tl2, AlgoKind::Rh1Mixed(100)] {
+            for &threads in &params.thread_counts {
+                let result = run_on_algo_with_clock(
+                    algo,
+                    scheme,
+                    mem_config(ConstantRbTree::required_words(nodes)),
+                    HtmConfig::default(),
+                    |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+                    &timed_opts(params, threads, 20),
+                );
+                rows.push(ClockAblationRow {
+                    scheme,
+                    algo,
+                    result,
+                });
+            }
+        }
     }
     rows
 }
@@ -305,7 +340,10 @@ mod tests {
     fn fig2_breakdown_contains_the_papers_five_rows() {
         let rows = fig2_breakdown(&tiny_params(), 20);
         let names: Vec<_> = rows.iter().map(|r| r.algorithm.as_str()).collect();
-        assert_eq!(names, vec!["RH1 Slow", "TL2", "Standard HyTM", "RH1 Fast", "HTM"]);
+        assert_eq!(
+            names,
+            vec!["RH1 Slow", "TL2", "Standard HyTM", "RH1 Fast", "HTM"]
+        );
         assert!(rows.iter().all(|r| r.breakdown.is_some()));
         let speedups = single_thread_speedups(&rows);
         let tl2 = speedups.iter().find(|(n, _)| n == "TL2").unwrap().1;
@@ -324,7 +362,23 @@ mod tests {
     #[test]
     fn ablations_produce_rows() {
         let p = tiny_params();
-        assert_eq!(ablation_clock(&p).len(), 2);
+        // schemes × {TL2, RH1 Mixed 100} × thread counts
+        let clock_rows = ablation_clock(&p);
+        assert_eq!(
+            clock_rows.len(),
+            ClockScheme::ALL.len() * 2 * p.thread_counts.len()
+        );
+        assert!(clock_rows.iter().all(|r| r.result.total_ops > 0));
+        // Every scheme must actually commit work on every algorithm.
+        for scheme in ClockScheme::ALL {
+            assert!(
+                clock_rows
+                    .iter()
+                    .filter(|r| r.scheme == scheme)
+                    .all(|r| r.result.stats.commits() > 0),
+                "{scheme:?} produced no commits"
+            );
+        }
         assert_eq!(ablation_capacity(&p).len(), 5);
         assert_eq!(ablation_fallback(&p).len(), 5);
     }

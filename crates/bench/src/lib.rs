@@ -1,8 +1,9 @@
 //! # rhtm-bench
 //!
 //! The benchmark harness that regenerates every table and figure of the
-//! paper's evaluation (see `EXPERIMENTS.md` at the workspace root for the
-//! experiment-by-experiment index and the recorded results).
+//! paper's evaluation (see the workspace `README.md` for the
+//! experiment-by-experiment index), plus the clock/capacity/fallback
+//! ablations that probe the design space around the paper's choices.
 //!
 //! The same figure definitions are exposed at two scales:
 //!
@@ -14,7 +15,7 @@
 //!   `cargo bench --workspace` exercises every figure in a few minutes
 //!   through the Criterion benches.
 //!
-//! Each figure function returns the raw [`BenchResult`] rows so binaries,
+//! Each figure function returns the raw [`rhtm_workloads::BenchResult`] rows so binaries,
 //! benches and tests all share one definition of the experiment.
 
 #![warn(missing_docs)]

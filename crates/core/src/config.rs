@@ -1,7 +1,9 @@
 //! Configuration of the reduced-hardware runtime.
 
+use rhtm_mem::ClockScheme;
+
 /// Which protocol family a fresh transaction starts in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProtocolMode {
     /// Start on the RH1 fast-path and use the full cascade
     /// (RH1 fast → RH1 mixed slow → RH2 commit → all-software).  This is the
@@ -15,7 +17,7 @@ pub enum ProtocolMode {
 }
 
 /// Tunable policy of the [`crate::RhRuntime`].
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RhConfig {
     /// Protocol family to start transactions in.
     pub mode: ProtocolMode,
@@ -40,6 +42,15 @@ pub struct RhConfig {
     /// This is the "RH1 Slow" row of the paper's single-thread breakdown
     /// table; it is never the right choice for production use.
     pub always_slow: bool,
+    /// Global-clock advancement scheme override (see [`ClockScheme`]).
+    ///
+    /// `Some(scheme)` makes [`crate::RhRuntime::new`] build its memory with
+    /// that scheme, overriding `mem_config.clock_scheme`; `None` (the
+    /// default) defers to the [`rhtm_mem::MemConfig`].  When sharing an
+    /// existing simulator ([`crate::RhRuntime::with_sim`]) the memory's
+    /// configured scheme always wins, since the clock is a property of the
+    /// shared heap.
+    pub clock_scheme: Option<ClockScheme>,
     /// Seed for the per-thread slow-path-admission RNG (reproducibility).
     pub seed: u64,
 }
@@ -52,6 +63,7 @@ impl Default for RhConfig {
             commit_htm_retries: 8,
             writeback_htm_retries: 8,
             always_slow: false,
+            clock_scheme: None,
             seed: 0x5248_544d_5345_4544,
         }
     }
@@ -98,6 +110,12 @@ impl RhConfig {
     /// Returns the configuration with a different RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with a global-clock scheme override.
+    pub fn with_clock_scheme(mut self, scheme: ClockScheme) -> Self {
+        self.clock_scheme = Some(scheme);
         self
     }
 
@@ -153,5 +171,13 @@ mod tests {
         let c = RhConfig::rh1_fast().with_seed(99);
         assert_eq!(c.seed, 99);
         assert_eq!(c.slow_path_percent, 0);
+    }
+
+    #[test]
+    fn clock_scheme_builder_and_default() {
+        assert_eq!(RhConfig::default().clock_scheme, None);
+        let c = RhConfig::rh2().with_clock_scheme(ClockScheme::Gv6);
+        assert_eq!(c.clock_scheme, Some(ClockScheme::Gv6));
+        assert_eq!(c.mode, ProtocolMode::Rh2);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! * **Fast-path** — an all-hardware transaction.  Reads are completely
 //!   uninstrumented.  Each write additionally stores the transaction's
-//!   `next_ver` (sampled speculatively from the GV6 clock at start) into the
+//!   `next_ver` (sampled speculatively from the global clock at start) into the
 //!   written location's stripe version.  The fast-path also monitors the
 //!   `is_RH2_fallback` counter speculatively so that a slow-path transaction
 //!   entering the RH2 fallback immediately aborts every incompatible
@@ -17,7 +17,8 @@
 //!   atomicity of the commit-time hardware transaction replaces them, which
 //!   is what makes the slow-path obstruction-free.
 //!
-//! The correctness argument for the non-advancing GV6 clock rests on the
+//! The correctness argument for the non-advancing speculative clock read
+//! (every [`rhtm_mem::ClockScheme`] except the incrementing baseline) rests on the
 //! commit-time hardware transaction having the clock *in its read-set*: if
 //! the clock advances (which only abort paths do, with a conflict-visible
 //! store), every in-flight fast-path or slow-path commit aborts, so every
@@ -26,7 +27,7 @@
 
 use rhtm_api::{Abort, AbortCause, PathKind, TxResult};
 use rhtm_htm::gv;
-use rhtm_mem::{stamp, Addr, ClockMode};
+use rhtm_mem::{stamp, Addr};
 
 use crate::runtime::RhThread;
 
@@ -45,16 +46,17 @@ impl RhThread {
         if fallback > 0 {
             return Err(self.htm.abort(AbortCause::Explicit));
         }
-        // GVNext() under GV6: read the clock speculatively, use clock + 1,
-        // do not write it.  The speculative read is also what guarantees the
-        // clock cannot advance under our feet without aborting us.
+        // GVNext() under the GV schemes: read the clock speculatively, use
+        // clock + 1, do not write it.  The speculative read is also what
+        // guarantees the clock cannot advance under our feet without
+        // aborting us.
         let clock_addr = self.sim.mem().clock().addr();
         self.next_ver = self.htm.read(clock_addr)? + 1;
         // Under the conventional incrementing clock (the ablation baseline),
         // the committing transaction must also advance the shared clock —
         // speculatively, so it happens atomically with the commit.  This is
-        // precisely the extra clock-line write GV6 avoids.
-        if self.sim.mem().clock().mode() == ClockMode::Incrementing {
+        // precisely the extra clock-line write every GV scheme avoids.
+        if gv::htm_advances(&self.sim) {
             self.htm.write(clock_addr, self.next_ver)?;
         }
         Ok(())
@@ -126,7 +128,7 @@ impl RhThread {
         Ok(value)
     }
 
-    /// Aborts the software attempt: bump the GV6 clock past the offending
+    /// Aborts the software attempt: bump the global clock past the offending
     /// version so the retry starts from a fresh time-stamp.
     pub(crate) fn slow_abort(&mut self, cause: AbortCause, observed: u64) -> Abort {
         gv::on_abort(&self.sim, observed);
@@ -213,7 +215,7 @@ impl RhThread {
         // read-set, so any concurrent clock advance aborts this commit.
         let clock_addr = self.sim.mem().clock().addr();
         let next_ver = self.htm.read(clock_addr)? + 1;
-        if self.sim.mem().clock().mode() == ClockMode::Incrementing {
+        if gv::htm_advances(&self.sim) {
             // Conventional clock: advance it as part of the commit.
             self.htm.write(clock_addr, next_ver)?;
         }
@@ -224,7 +226,8 @@ impl RhThread {
         // buffer and by commit publication).
         for (addr, value) in self.write_set.iter() {
             let stripe = layout.stripe_of(addr);
-            self.htm.write(layout.stripe_version_addr(stripe), new_word)?;
+            self.htm
+                .write(layout.stripe_version_addr(stripe), new_word)?;
             self.htm.write(addr, value)?;
         }
         self.htm.commit()

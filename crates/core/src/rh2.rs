@@ -93,9 +93,14 @@ impl RhThread {
         self.htm.commit()?;
 
         // The write locations are now updated and locked.  Install the next
-        // global version, which releases the locks.
-        let next_version = gv::next_advancing(&self.sim);
+        // global version (per the configured clock scheme — the locks were
+        // taken speculatively above, so sampling after the hardware commit
+        // preserves the lock-before-sample ordering the relaxed schemes
+        // need), which releases the locks.
+        let salt = self.bump_commit_salt();
+        let next_version = gv::next_commit(&self.sim, salt);
         let new_word = stamp::encode_ts(next_version);
+        let layout = self.sim.mem().layout();
         for i in 0..self.fp_write_stripes.len() {
             let stripe = self.fp_write_stripes[i];
             self.sim
@@ -212,9 +217,7 @@ impl RhThread {
                     .map(|&(_, p)| p)
                     .expect("stripe locked by us must be recorded");
                 if stamp::decode_ts(prev) > self.tx_version {
-                    return Err(
-                        self.rh2_slow_abort(AbortCause::Validation, stamp::decode_ts(prev))
-                    );
+                    return Err(self.rh2_slow_abort(AbortCause::Validation, stamp::decode_ts(prev)));
                 }
                 continue;
             }
@@ -234,12 +237,13 @@ impl RhThread {
         let mut contention_retries = 0u32;
         loop {
             self.htm.begin();
-            let attempt: TxResult<()> = (|htm: &mut rhtm_htm::HtmThread, ws: &rhtm_htm::linemap::WriteSet| {
-                for (addr, value) in ws.iter() {
-                    htm.write(addr, value)?;
-                }
-                htm.commit()
-            })(&mut self.htm, &self.write_set);
+            let attempt: TxResult<()> =
+                (|htm: &mut rhtm_htm::HtmThread, ws: &rhtm_htm::linemap::WriteSet| {
+                    for (addr, value) in ws.iter() {
+                        htm.write(addr, value)?;
+                    }
+                    htm.commit()
+                })(&mut self.htm, &self.write_set);
             match attempt {
                 Ok(()) => {
                     self.stats.htm_commits += 1;
@@ -268,9 +272,11 @@ impl RhThread {
         }
         self.htm.set_forced_abort_injection(true);
 
-        // Phase 5: release the locks by installing the next global version,
-        // then drop the read-set visibility.
-        let next_version = gv::next_advancing(&self.sim);
+        // Phase 5: release the locks by installing the next global version
+        // (per the configured clock scheme), then drop the read-set
+        // visibility.
+        let salt = self.bump_commit_salt();
+        let next_version = gv::next_commit(&self.sim, salt);
         let new_word = stamp::encode_ts(next_version);
         while let Some((stripe, _prev)) = self.locked.pop() {
             let ver_addr = self.sim.mem().layout().stripe_version_addr(stripe);

@@ -3,9 +3,11 @@
 
 use std::sync::Arc;
 
-use crossbeam::utils::Backoff;
+use rhtm_api::Backoff;
 
-use rhtm_api::{Abort, AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn};
+use rhtm_api::{
+    Abort, AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
+};
 use rhtm_htm::linemap::WriteSet;
 use rhtm_htm::{HtmConfig, HtmSim, HtmThread};
 use rhtm_mem::{Addr, MemConfig, StripeId, ThreadRegistry, ThreadToken, TmMemory};
@@ -45,8 +47,17 @@ pub struct RhRuntime {
 
 impl RhRuntime {
     /// Creates a runtime over its own fresh memory.
+    ///
+    /// A global-clock scheme requested via [`RhConfig::clock_scheme`]
+    /// overrides `mem_config.clock_scheme` for the memory being created, so
+    /// configuring a runtime variant and its clock in one place works as
+    /// expected.
     pub fn new(mem_config: MemConfig, htm_config: HtmConfig, config: RhConfig) -> Self {
         let max_threads = mem_config.max_threads;
+        let mem_config = MemConfig {
+            clock_scheme: config.clock_scheme.unwrap_or(mem_config.clock_scheme),
+            ..mem_config
+        };
         let mem = Arc::new(TmMemory::new(mem_config));
         let sim = HtmSim::new(mem, htm_config);
         RhRuntime {
@@ -58,7 +69,26 @@ impl RhRuntime {
 
     /// Creates a runtime over an existing simulator (sharing memory with
     /// other runtimes).
+    ///
+    /// The clock is a property of the shared memory, so
+    /// [`RhConfig::clock_scheme`] cannot be applied here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests a clock scheme different from
+    /// the one the shared memory was built with — silently running (and
+    /// labelling results) under the wrong scheme would corrupt any
+    /// clock-scheme comparison.
     pub fn with_sim(sim: Arc<HtmSim>, config: RhConfig) -> Self {
+        let memory_scheme = sim.mem().clock().scheme();
+        if let Some(requested) = config.clock_scheme {
+            assert_eq!(
+                requested, memory_scheme,
+                "RhConfig requests clock scheme {requested:?} but the shared memory \
+                 was built with {memory_scheme:?}; build the memory with the desired \
+                 scheme (MemConfig::clock_scheme) or drop the RhConfig override"
+            );
+        }
         let max_threads = sim.mem().layout().config().max_threads;
         RhRuntime {
             sim,
@@ -97,7 +127,8 @@ impl TmRuntime for RhRuntime {
     fn register_thread(&self) -> RhThread {
         let token = self.registry.register();
         let htm = HtmThread::new(Arc::clone(&self.sim), token.id() as u64);
-        let rng = self.config.seed ^ ((token.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        let rng =
+            self.config.seed ^ ((token.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
         RhThread {
             fallback: FallbackState::new(&self.sim),
             sim: Arc::clone(&self.sim),
@@ -113,6 +144,7 @@ impl TmRuntime for RhRuntime {
             write_set: WriteSet::with_capacity(32),
             locked: Vec::with_capacity(16),
             visible: Vec::with_capacity(64),
+            commit_salt: 0,
             in_txn: false,
             rng,
         }
@@ -146,6 +178,9 @@ pub struct RhThread {
     /// Stripes whose read mask currently carries this thread's visibility
     /// bit.
     pub(crate) visible: Vec<StripeId>,
+    /// Writing commits performed by this thread; sampling salt for the GV6
+    /// clock scheme.
+    pub(crate) commit_salt: u64,
     in_txn: bool,
     rng: u64,
 }
@@ -160,6 +195,14 @@ impl RhThread {
     /// Read access to the hardware transaction unit (tests, ablations).
     pub fn htm(&self) -> &HtmThread {
         &self.htm
+    }
+
+    /// Advances and returns the per-thread commit salt (GV6 clock-scheme
+    /// sampling).
+    #[inline(always)]
+    pub(crate) fn bump_commit_salt(&mut self) -> u64 {
+        self.commit_salt = self.commit_salt.wrapping_add(1);
+        self.commit_salt
     }
 
     #[inline(always)]
@@ -559,7 +602,9 @@ mod tests {
     fn rh1_fast_policy_retries_in_hardware() {
         let rt = RhRuntime::new(
             MemConfig::with_data_words(4096),
-            HtmConfig::default().with_spurious_abort_rate(0.5).with_seed(7),
+            HtmConfig::default()
+                .with_spurious_abort_rate(0.5)
+                .with_seed(7),
             RhConfig::rh1_fast(),
         );
         let addr = rt.mem().alloc(1);

@@ -2,7 +2,7 @@
 
 /// How the simulator keeps a running transaction's view consistent
 /// (opacity).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ValidationMode {
     /// Validate the read-set only at commit.  Cheapest; matches the paper's
     /// "constant" benchmark structures, where a stale view can never crash
@@ -24,7 +24,7 @@ impl Default for ValidationMode {
 }
 
 /// Tunable parameters of the simulated HTM.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HtmConfig {
     /// Maximum number of distinct cache lines a transaction may *read*
     /// before it aborts with [`rhtm_api::AbortCause::Capacity`].

@@ -13,9 +13,23 @@
 //!
 //! This module provides the hybrid-safe operations: reads are plain loads
 //! (loads never invalidate anybody), writes go through the simulator's
-//! strongly-isolated [`HtmSim::nt_fetch_max`].
+//! strongly-isolated [`HtmSim::nt_fetch_max`] / [`HtmSim::nt_fetch_add`] /
+//! [`HtmSim::nt_cas`].
+//!
+//! The operations mirror [`rhtm_mem::GlobalClock`] and dispatch on the
+//! memory's configured [`ClockScheme`]:
+//!
+//! * [`read`] — `GVRead()`, a plain load under every scheme.
+//! * [`next_commit`] — the version a committing *software* writer installs.
+//!   Strict/incrementing schemes fetch-and-add, GV4 attempts one CAS, GV5
+//!   skips the clock write entirely, GV6 samples between the last two.
+//! * [`htm_advances`] — whether a hardware fast-path commit must also
+//!   advance the clock speculatively (only the incrementing ablation
+//!   baseline).
+//! * [`on_abort`] — the abort-path fetch-max that lets the GV schemes'
+//!   clock catch up with installed versions.
 
-use rhtm_mem::ClockMode;
+use rhtm_mem::{ClockScheme, GV6_SAMPLE_PERIOD};
 
 use crate::sim::HtmSim;
 
@@ -25,40 +39,68 @@ pub fn read(sim: &HtmSim) -> u64 {
     sim.nt_load(sim.mem().layout().clock_addr())
 }
 
-/// `GVNext()`: the version a committing writer should install.
-///
-/// Under GV6 (the paper's choice) this does **not** modify the shared clock;
-/// under the incrementing mode it advances it with a conflict-visible
-/// fetch-and-add.
+/// The configured clock scheme of the simulator's memory.
 #[inline(always)]
-pub fn next(sim: &HtmSim) -> u64 {
-    let clock = sim.mem().clock();
-    match clock.mode() {
-        ClockMode::Gv6 => read(sim) + 1,
-        ClockMode::Incrementing => sim.nt_fetch_add(clock.addr(), 1) + 1,
+pub fn scheme(sim: &HtmSim) -> ClockScheme {
+    sim.mem().clock().scheme()
+}
+
+/// Whether hardware fast-path transactions must advance the clock
+/// speculatively as part of their commit (only under
+/// [`ClockScheme::Incrementing`]; every GV scheme keeps the clock read-only
+/// inside hardware transactions).
+#[inline(always)]
+pub fn htm_advances(sim: &HtmSim) -> bool {
+    scheme(sim).advances_in_htm()
+}
+
+/// The version a committing *software* writer should install, applying the
+/// configured scheme's commit-time clock discipline with conflict-visible
+/// operations (so any in-flight hardware transaction that speculatively
+/// read the clock aborts when the clock is actually written).
+///
+/// `salt` is any cheap per-thread value that varies between commits (a
+/// commit counter); it drives GV6's sampling decision and is ignored by the
+/// other schemes.
+///
+/// Callers must invoke this only after their write-set stripes are locked
+/// (speculatively or via CAS) — see the ordering argument in
+/// [`rhtm_mem::clock`].
+#[inline]
+pub fn next_commit(sim: &HtmSim, salt: u64) -> u64 {
+    let clock_addr = sim.mem().clock().addr();
+    match scheme(sim) {
+        ClockScheme::Incrementing | ClockScheme::GvStrict => sim.nt_fetch_add(clock_addr, 1) + 1,
+        ClockScheme::Gv4 => cas_advance(sim),
+        ClockScheme::Gv5 => sim.nt_load(clock_addr) + 1,
+        ClockScheme::Gv6 => {
+            if salt % GV6_SAMPLE_PERIOD == 0 {
+                cas_advance(sim)
+            } else {
+                sim.nt_load(clock_addr) + 1
+            }
+        }
     }
 }
 
-/// A clock-advancing `GVNext()`: atomically increments the shared clock and
-/// returns the new value, regardless of the configured mode.
-///
-/// The stand-alone TL2 baseline uses this (the classic GV1 discipline, whose
-/// serialisability argument needs every write version to be unique and
-/// larger than any start time-stamp issued before the write-back).  The
-/// reduced-hardware protocols do *not*: their commit executes inside a
-/// hardware transaction with the clock in its read-set, which restores the
-/// argument without paying a shared-clock write per commit.
-#[inline(always)]
-pub fn next_advancing(sim: &HtmSim) -> u64 {
-    sim.nt_fetch_add(sim.mem().clock().addr(), 1) + 1
+/// GV4's relaxed advance: one conflict-visible CAS attempt, failure
+/// tolerated (a failure means another committer advanced the clock, which
+/// is just as good).
+#[inline]
+fn cas_advance(sim: &HtmSim) -> u64 {
+    let clock_addr = sim.mem().clock().addr();
+    let v = sim.nt_load(clock_addr);
+    let _ = sim.nt_cas(clock_addr, v, v + 1);
+    v + 1
 }
 
 /// Advances the clock to at least `observed` on a software-transaction
-/// abort (GV6 advances only here).  Conflict-visible: any fast-path
-/// hardware transaction that speculatively read the clock aborts.
+/// abort (the GV schemes advance only here and at sampled/CAS commits).
+/// Conflict-visible: any fast-path hardware transaction that speculatively
+/// read the clock aborts.
 #[inline]
 pub fn on_abort(sim: &HtmSim, observed: u64) {
-    if sim.mem().clock().mode() == ClockMode::Gv6 {
+    if scheme(sim).advances_on_abort() {
         sim.nt_fetch_max(sim.mem().clock().addr(), observed);
     }
 }
@@ -70,49 +112,96 @@ mod tests {
     use rhtm_mem::{MemConfig, TmMemory};
     use std::sync::Arc;
 
-    fn sim(mode: ClockMode) -> Arc<HtmSim> {
+    fn sim(scheme: ClockScheme) -> Arc<HtmSim> {
         let mem_cfg = MemConfig {
-            clock_mode: mode,
+            clock_scheme: scheme,
             ..MemConfig::with_data_words(256)
         };
         HtmSim::new(Arc::new(TmMemory::new(mem_cfg)), HtmConfig::default())
     }
 
     #[test]
-    fn gv6_next_is_read_plus_one_without_writing() {
-        let s = sim(ClockMode::Gv6);
-        assert_eq!(read(&s), 0);
-        assert_eq!(next(&s), 1);
-        assert_eq!(next(&s), 1);
-        assert_eq!(read(&s), 0);
+    fn strict_commit_advances_visibly() {
+        let s = sim(ClockScheme::GvStrict);
+        let seq_before = s.write_seq();
+        assert_eq!(next_commit(&s, 0), 1);
+        assert_eq!(next_commit(&s, 1), 2);
+        assert_eq!(read(&s), 2);
+        assert!(s.write_seq() > seq_before);
     }
 
     #[test]
-    fn gv6_abort_advances_clock_visibly() {
-        let s = sim(ClockMode::Gv6);
+    fn gv4_commit_advances_via_cas() {
+        let s = sim(ClockScheme::Gv4);
+        assert_eq!(next_commit(&s, 0), 1);
+        assert_eq!(read(&s), 1);
+    }
+
+    #[test]
+    fn gv5_commit_skips_the_clock_write() {
+        let s = sim(ClockScheme::Gv5);
+        let seq_before = s.write_seq();
+        assert_eq!(next_commit(&s, 0), 1);
+        assert_eq!(next_commit(&s, 1), 1);
+        assert_eq!(read(&s), 0);
+        assert_eq!(
+            s.write_seq(),
+            seq_before,
+            "GV5 must not touch the clock line"
+        );
+    }
+
+    #[test]
+    fn gv6_commit_samples_the_advance() {
+        let s = sim(ClockScheme::Gv6);
+        assert_eq!(next_commit(&s, 1), 1, "unsampled commit skips the write");
+        assert_eq!(read(&s), 0);
+        assert_eq!(next_commit(&s, 0), 1, "sampled commit advances");
+        assert_eq!(read(&s), 1);
+    }
+
+    #[test]
+    fn abort_advances_clock_visibly_for_gv_schemes() {
+        let s = sim(ClockScheme::GvStrict);
         let seq_before = s.write_seq();
         on_abort(&s, 7);
         assert_eq!(read(&s), 7);
-        assert!(s.write_seq() > seq_before, "clock bump must be conflict-visible");
+        assert!(
+            s.write_seq() > seq_before,
+            "clock bump must be conflict-visible"
+        );
         on_abort(&s, 3);
         assert_eq!(read(&s), 7);
     }
 
     #[test]
-    fn incrementing_mode_advances_on_next() {
-        let s = sim(ClockMode::Incrementing);
-        assert_eq!(next(&s), 1);
-        assert_eq!(next(&s), 2);
+    fn incrementing_mode_is_advancing_and_ignores_aborts() {
+        let s = sim(ClockScheme::Incrementing);
+        assert!(htm_advances(&s));
+        assert_eq!(next_commit(&s, 0), 1);
+        assert_eq!(next_commit(&s, 1), 2);
         assert_eq!(read(&s), 2);
-        // on_abort is a no-op for the incrementing clock.
         on_abort(&s, 100);
         assert_eq!(read(&s), 2);
     }
 
     #[test]
+    fn gv_schemes_keep_the_clock_readonly_in_htm() {
+        for scheme in [
+            ClockScheme::GvStrict,
+            ClockScheme::Gv4,
+            ClockScheme::Gv5,
+            ClockScheme::Gv6,
+        ] {
+            let s = sim(scheme);
+            assert!(!htm_advances(&s), "{scheme:?}");
+        }
+    }
+
+    #[test]
     fn clock_bump_aborts_speculative_clock_readers() {
         use crate::txn::HtmThread;
-        let s = sim(ClockMode::Gv6);
+        let s = sim(ClockScheme::GvStrict);
         let data = s.mem().alloc(1);
         let mut t = HtmThread::new(Arc::clone(&s), 0);
         t.begin();

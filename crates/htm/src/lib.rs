@@ -4,7 +4,7 @@
 //!
 //! The paper evaluates its protocols on (emulated) best-effort HTM of the
 //! kind Intel TSX and IBM POWER/zEC12 provide.  This environment has no
-//! usable HTM hardware, so — per the reproduction plan in `DESIGN.md` — this
+//! usable HTM hardware, so — per the reproduction plan in `docs/ARCHITECTURE.md` — this
 //! crate implements the closest synthetic equivalent: a transactional engine
 //! over the shared [`rhtm_mem::TxHeap`] that provides exactly the semantics
 //! the hybrid protocols rely on:

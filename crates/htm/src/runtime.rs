@@ -9,9 +9,11 @@
 
 use std::sync::Arc;
 
-use crossbeam::utils::Backoff;
+use rhtm_api::Backoff;
 
-use rhtm_api::{Abort, AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn};
+use rhtm_api::{
+    Abort, AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
+};
 use rhtm_mem::{Addr, ThreadRegistry, ThreadToken, TmMemory};
 
 use crate::config::HtmConfig;

@@ -156,7 +156,7 @@ impl HtmSim {
     /// hardware this window does not exist — a hardware commit makes all of
     /// its writes visible at a single instant — so waiting it out is what
     /// keeps the simulation's non-transactional readers from observing a
-    /// state no real execution could produce (see DESIGN.md §2,
+    /// state no real execution could produce (see `docs/ARCHITECTURE.md`,
     /// "publish-order note").
     #[inline(always)]
     pub fn nt_load(&self, addr: Addr) -> u64 {
@@ -225,7 +225,7 @@ impl HtmSim {
     }
 
     /// Non-transactional, strongly-isolated maximum on a heap word,
-    /// returning the previous value.  Used by the GV6 clock's abort-time
+    /// returning the previous value.  Used by the GV clock schemes' abort-time
     /// advance: the bump must be conflict-visible so that concurrent
     /// fast-path hardware transactions that read the clock speculatively
     /// abort, which is what keeps the clock stable for the duration of every
@@ -299,7 +299,11 @@ mod tests {
         let v_mid = s.line_version(line);
         assert_eq!(s.nt_cas(addr, 5, 7), Err(6));
         assert_eq!(s.nt_load(addr), 6);
-        assert_eq!(s.line_version(line), v_mid, "failed CAS must not bump the version");
+        assert_eq!(
+            s.line_version(line),
+            v_mid,
+            "failed CAS must not bump the version"
+        );
     }
 
     #[test]
@@ -322,7 +326,11 @@ mod tests {
         let v = s.line_version(line);
         assert_eq!(s.nt_fetch_max(addr, 5), 10);
         assert_eq!(s.nt_load(addr), 10);
-        assert_eq!(s.line_version(line), v, "no-op max must not bump the version");
+        assert_eq!(
+            s.line_version(line),
+            v,
+            "no-op max must not bump the version"
+        );
         assert_eq!(s.nt_fetch_max(addr, 20), 10);
         assert_eq!(s.nt_load(addr), 20);
         assert_eq!(s.line_version(line), v + 2);

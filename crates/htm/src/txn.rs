@@ -26,7 +26,7 @@
 //! after the data load.  Program-order publication therefore guarantees
 //! that a slow-path reader that observes a new data value also observes the
 //! new stripe version in its post-read check — the same all-or-nothing
-//! property an atomic hardware commit provides (see DESIGN.md §2).
+//! property an atomic hardware commit provides (see `docs/ARCHITECTURE.md`).
 
 use std::sync::Arc;
 
@@ -173,7 +173,10 @@ impl HtmThread {
     /// `HTM_Abort()`: explicitly aborts the open transaction, discarding all
     /// buffered writes, and returns the [`Abort`] to propagate.
     pub fn abort(&mut self, cause: AbortCause) -> Abort {
-        debug_assert!(self.active, "abort called with no open hardware transaction");
+        debug_assert!(
+            self.active,
+            "abort called with no open hardware transaction"
+        );
         self.rollback();
         Abort::new(cause)
     }

@@ -22,15 +22,15 @@
 
 use std::sync::Arc;
 
-use crossbeam::utils::Backoff;
-
-use rhtm_api::{AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn};
+use rhtm_api::{
+    AbortCause, Backoff, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
+};
 use rhtm_htm::{HtmConfig, HtmSim, HtmThread};
 use rhtm_mem::{stamp, Addr, MemConfig, ThreadRegistry, ThreadToken, TmMemory};
 use rhtm_stm::Tl2Engine;
 
 /// Policy of the Standard-HyTM runtime.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StdHytmConfig {
     /// Retry aborted transactions in hardware only, never falling back to
     /// software.  This is the paper's benchmark variant ("we execute only
@@ -152,6 +152,13 @@ impl StdHytmThread {
         self.htm.begin();
         let clock_addr = self.sim.mem().clock().addr();
         self.next_ver = self.htm.read(clock_addr)? + 1;
+        // Under the conventional incrementing clock scheme (ablation
+        // baseline) the hardware transaction also advances the shared clock
+        // speculatively, exactly like the RH1 fast-path does.  Every GV
+        // scheme keeps the clock read-only here.
+        if rhtm_htm::gv::htm_advances(&self.sim) {
+            self.htm.write(clock_addr, self.next_ver)?;
+        }
         Ok(())
     }
 

@@ -1,37 +1,166 @@
-//! The global version clock.
+//! The global version clock, with pluggable advancement schemes.
 //!
 //! TL2-style transactional memories coordinate through a shared version
-//! clock.  The paper uses the **GV6** variant (Avni & Shavit, and TL2's
-//! `GV6`): `GVNext()` *does not* increment the shared counter — it simply
-//! returns `clock + 1` — and the counter is advanced only when a transaction
-//! aborts.  This is what makes it safe for the RH1 *fast-path hardware
-//! transaction* to call `GVNext()`: it only reads the clock word, so
-//! concurrent fast-path commits do not conflict with each other on the
-//! clock line.
+//! clock.  How that clock advances is the canonical scalability knob of the
+//! whole family: the strict scheme performs one fetch-and-add on the shared
+//! clock word per writing software commit, which serialises every committer
+//! on a single cache line; the relaxed schemes (GV4/GV5/GV6 in the TL2
+//! literature) trade clock-line traffic for version-collision false aborts.
 //!
-//! A conventional incrementing clock ([`ClockMode::Incrementing`], "GV1") is
-//! also provided; the `ablation_clock` benchmark compares the two, backing
-//! the paper's design-choice discussion in §2.2.
+//! The schemes implemented here, selected through
+//! [`MemConfig::clock_scheme`](crate::MemConfig):
+//!
+//! * [`ClockScheme::GvStrict`] — **default**.  Every writing software commit
+//!   advances the clock with an atomic fetch-and-add, so write versions are
+//!   unique and the serialisability argument is the textbook one.  This is
+//!   the behaviour every figure of the paper reproduction is measured under.
+//! * [`ClockScheme::Gv4`] — the commit *attempts* a compare-and-swap
+//!   `clock: v → v+1` and tolerates failure: if another committer advanced
+//!   the clock concurrently, `v+1` is used anyway.  Committers never spin on
+//!   the clock line; colliding write versions are safe because colliding
+//!   committers hold disjoint stripe locks while their version is sampled.
+//! * [`ClockScheme::Gv5`] — the commit performs **no clock write at all**:
+//!   the write version is `read() + 1` and the clock advances only when a
+//!   reader observes a too-new version and aborts ([`GlobalClock::on_abort`]
+//!   bumps the clock to the observed version with a fetch-max).  Cheapest
+//!   commit, highest false-abort rate: the first re-reader of freshly
+//!   written data always aborts once.
+//! * [`ClockScheme::Gv6`] — sampled GV5: one in [`GV6_SAMPLE_PERIOD`]
+//!   commits performs the GV4-style CAS advance, the rest skip the write.
+//!   Bounds how stale the shared clock can get without paying an RMW per
+//!   commit.
+//! * [`ClockScheme::Incrementing`] — the conventional fully-advancing clock
+//!   (GV1): *every* version acquisition advances the clock, including the
+//!   speculative one inside hardware fast-path transactions.  This is the
+//!   ablation baseline showing the clock-line conflict cost the paper's
+//!   design avoids; it is never the right production choice.
+//!
+//! The speculative `GVNext()` used by the RH1 fast-path hardware
+//! transactions only *reads* the clock word under every GV scheme, so
+//! concurrent fast-path commits never conflict with each other on the clock
+//! line — the property the paper's protocols are built around.
+//!
+//! The soundness of the relaxed schemes rests on an ordering invariant every
+//! runtime in this workspace observes: a committer samples its write version
+//! **after** acquiring (or speculatively locking) its write-set stripes.  A
+//! reader that started after the clock reached `v` can therefore never
+//! observe a half-applied commit whose write version is `≤ v` — such a
+//! commit sampled the clock before the reader started, so either its
+//! write-back already finished or the reader trips over its stripe locks.
+//!
+//! # Selecting a scheme
+//!
+//! ```
+//! use rhtm_mem::{ClockScheme, MemConfig, TmMemory};
+//!
+//! // The default is the strict fetch-and-add clock:
+//! assert_eq!(MemConfig::default().clock_scheme, ClockScheme::GvStrict);
+//!
+//! // Relaxed schemes are one field away:
+//! let cfg = MemConfig {
+//!     clock_scheme: ClockScheme::Gv5,
+//!     ..MemConfig::with_data_words(1024)
+//! };
+//! let mem = TmMemory::new(cfg);
+//! assert_eq!(mem.clock().scheme(), ClockScheme::Gv5);
+//! ```
+//!
+//! Schemes parse from / render to stable labels, used by the benchmark CLIs:
+//!
+//! ```
+//! use rhtm_mem::ClockScheme;
+//!
+//! for scheme in ClockScheme::ALL {
+//!     assert_eq!(ClockScheme::parse(scheme.label()), Some(scheme));
+//! }
+//! assert_eq!(ClockScheme::parse("gv4"), Some(ClockScheme::Gv4));
+//! ```
 
 use crate::addr::Addr;
 use crate::heap::TxHeap;
 
-/// Which global-clock algorithm to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub enum ClockMode {
-    /// GV1: every `next()` atomically increments the shared counter and
-    /// returns the new value.  Simple, but every writer commit invalidates
-    /// the clock cache line of every reader.
+/// How often a GV6 clock performs a real clock advance: one in this many
+/// commits runs the GV4-style CAS, the rest skip the clock write entirely.
+pub const GV6_SAMPLE_PERIOD: u64 = 8;
+
+/// Which global-clock advancement scheme to run.
+///
+/// See the [module documentation](self) for the semantics and trade-offs of
+/// each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClockScheme {
+    /// GV1: every version acquisition (software commits *and* hardware
+    /// fast-path starts) atomically advances the shared counter.  Ablation
+    /// baseline only.
     Incrementing,
-    /// GV6: `next()` returns `read() + 1` without writing the shared
-    /// counter; the counter is advanced on abort paths instead.  This is the
-    /// mode the paper evaluates.
+    /// Every writing software commit advances the clock with a
+    /// fetch-and-add; hardware fast-paths read the clock without writing it
+    /// (the paper's design).  The default.
+    GvStrict,
+    /// Commit-time CAS advance with failure tolerated (TL2's GV4).
+    Gv4,
+    /// No commit-time clock write; the clock advances on validation aborts
+    /// only (TL2's GV5).
+    Gv5,
+    /// Sampled GV5: one in [`GV6_SAMPLE_PERIOD`] commits performs the GV4
+    /// CAS advance (TL2's GV6).
     Gv6,
 }
 
-impl Default for ClockMode {
+impl Default for ClockScheme {
     fn default() -> Self {
-        ClockMode::Gv6
+        ClockScheme::GvStrict
+    }
+}
+
+impl ClockScheme {
+    /// Every scheme, in ablation display order.
+    pub const ALL: [ClockScheme; 5] = [
+        ClockScheme::GvStrict,
+        ClockScheme::Gv4,
+        ClockScheme::Gv5,
+        ClockScheme::Gv6,
+        ClockScheme::Incrementing,
+    ];
+
+    /// Stable display label (also accepted by [`ClockScheme::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockScheme::Incrementing => "incrementing",
+            ClockScheme::GvStrict => "gv-strict",
+            ClockScheme::Gv4 => "gv4",
+            ClockScheme::Gv5 => "gv5",
+            ClockScheme::Gv6 => "gv6",
+        }
+    }
+
+    /// Parses a label back into a scheme (benchmark CLIs).
+    pub fn parse(label: &str) -> Option<ClockScheme> {
+        match label.trim().to_ascii_lowercase().as_str() {
+            "incrementing" | "gv1" => Some(ClockScheme::Incrementing),
+            "gv-strict" | "gvstrict" | "strict" => Some(ClockScheme::GvStrict),
+            "gv4" => Some(ClockScheme::Gv4),
+            "gv5" => Some(ClockScheme::Gv5),
+            "gv6" => Some(ClockScheme::Gv6),
+            _ => None,
+        }
+    }
+
+    /// Whether hardware fast-path transactions must advance the clock
+    /// speculatively as part of their commit.  Only the conventional
+    /// incrementing clock does; every GV scheme keeps the clock read-only
+    /// inside hardware transactions, which is what lets concurrent
+    /// fast-path commits share the clock line.
+    #[inline(always)]
+    pub fn advances_in_htm(self) -> bool {
+        self == ClockScheme::Incrementing
+    }
+
+    /// Whether this scheme relies on abort paths advancing the clock
+    /// (every GV scheme; the incrementing baseline does not need it).
+    #[inline(always)]
+    pub fn advances_on_abort(self) -> bool {
+        self != ClockScheme::Incrementing
     }
 }
 
@@ -40,13 +169,13 @@ impl Default for ClockMode {
 #[derive(Clone, Debug)]
 pub struct GlobalClock {
     addr: Addr,
-    mode: ClockMode,
+    scheme: ClockScheme,
 }
 
 impl GlobalClock {
     /// Creates a clock over the heap word at `addr`.
-    pub fn new(addr: Addr, mode: ClockMode) -> Self {
-        GlobalClock { addr, mode }
+    pub fn new(addr: Addr, scheme: ClockScheme) -> Self {
+        GlobalClock { addr, scheme }
     }
 
     /// The heap address of the clock word (needed by runtimes that read the
@@ -56,10 +185,10 @@ impl GlobalClock {
         self.addr
     }
 
-    /// The configured mode.
+    /// The configured scheme.
     #[inline(always)]
-    pub fn mode(&self) -> ClockMode {
-        self.mode
+    pub fn scheme(&self) -> ClockScheme {
+        self.scheme
     }
 
     /// `GVRead()`: the current value of the clock.
@@ -68,37 +197,74 @@ impl GlobalClock {
         heap.load(self.addr)
     }
 
-    /// `GVNext()`: the version a committing writer should install.
+    /// The version a committing *software* writer should install, applying
+    /// the scheme's commit-time clock discipline.
     ///
-    /// Under GV6 this is `read() + 1` *without* modifying the shared word;
-    /// under the incrementing mode it is `fetch_add(1) + 1`.
-    #[inline(always)]
-    pub fn next(&self, heap: &TxHeap) -> u64 {
-        match self.mode {
-            ClockMode::Incrementing => heap.fetch_add(self.addr, 1) + 1,
-            ClockMode::Gv6 => heap.load(self.addr) + 1,
+    /// `salt` is any cheap per-thread value that varies between commits (a
+    /// commit counter); it drives GV6's sampling decision and is ignored by
+    /// the other schemes.
+    ///
+    /// Callers must invoke this only after their write-set stripes are
+    /// locked (see the module docs for why the relaxed schemes need that
+    /// ordering).
+    #[inline]
+    pub fn next_commit(&self, heap: &TxHeap, salt: u64) -> u64 {
+        match self.scheme {
+            ClockScheme::Incrementing | ClockScheme::GvStrict => heap.fetch_add(self.addr, 1) + 1,
+            ClockScheme::Gv4 => self.cas_advance(heap),
+            ClockScheme::Gv5 => heap.load(self.addr) + 1,
+            ClockScheme::Gv6 => {
+                if salt % GV6_SAMPLE_PERIOD == 0 {
+                    self.cas_advance(heap)
+                } else {
+                    heap.load(self.addr) + 1
+                }
+            }
         }
     }
 
-    /// Called on a software-transaction abort.  Under GV6 this is where the
-    /// clock actually advances (to at least `observed`, the version whose
+    /// GV4's relaxed advance: one CAS attempt, failure tolerated.
+    #[inline]
+    fn cas_advance(&self, heap: &TxHeap) -> u64 {
+        let v = heap.load(self.addr);
+        // Failure means another committer advanced the clock past `v`; using
+        // v + 1 anyway is safe (see the module docs) and avoids ever
+        // spinning on the clock line.
+        let _ = heap.cas(self.addr, v, v + 1);
+        v + 1
+    }
+
+    /// `GVNext()` for speculative (hardware fast-path) use: the version the
+    /// transaction would install.  Under every GV scheme this only *reads*
+    /// the shared word; under the incrementing baseline it advances it.
+    #[inline(always)]
+    pub fn next(&self, heap: &TxHeap) -> u64 {
+        if self.scheme == ClockScheme::Incrementing {
+            heap.fetch_add(self.addr, 1) + 1
+        } else {
+            heap.load(self.addr) + 1
+        }
+    }
+
+    /// Called on a software-transaction abort.  Under the GV schemes this is
+    /// where the clock catches up (to at least `observed`, the version whose
     /// read caused the abort, so that the retrying transaction starts from a
-    /// fresh timestamp).  Under the incrementing mode it is a no-op.
+    /// fresh time-stamp).  Under the incrementing baseline it is a no-op.
     #[inline]
     pub fn on_abort(&self, heap: &TxHeap, observed: u64) {
-        if self.mode == ClockMode::Gv6 {
+        if self.scheme.advances_on_abort() {
             heap.fetch_max(self.addr, observed);
         }
     }
 
     /// Advances the clock so that future `read()` calls return at least
-    /// `version`.  Used by runtimes when they install a version obtained via
-    /// `next()` (GV6 keeps the shared counter lagging otherwise, which is
-    /// correct but makes every later writer reuse the same version and spin
-    /// on validation aborts; publishing the installed version bounds that).
+    /// `version`.  Runtimes may use this after installing a version obtained
+    /// from [`GlobalClock::next`] to bound how far the shared counter lags
+    /// (a lagging counter is correct but makes later writers reuse the same
+    /// version and pay validation aborts).
     #[inline]
     pub fn publish(&self, heap: &TxHeap, version: u64) {
-        if self.mode == ClockMode::Gv6 {
+        if self.scheme.advances_on_abort() {
             heap.fetch_max(self.addr, version);
         }
     }
@@ -108,52 +274,104 @@ impl GlobalClock {
 mod tests {
     use super::*;
 
-    fn setup(mode: ClockMode) -> (TxHeap, GlobalClock) {
+    fn setup(scheme: ClockScheme) -> (TxHeap, GlobalClock) {
         let heap = TxHeap::new(8);
-        let clock = GlobalClock::new(Addr(0), mode);
+        let clock = GlobalClock::new(Addr(0), scheme);
         (heap, clock)
     }
 
     #[test]
-    fn incrementing_clock_advances_on_next() {
-        let (heap, clock) = setup(ClockMode::Incrementing);
-        assert_eq!(clock.read(&heap), 0);
-        assert_eq!(clock.next(&heap), 1);
-        assert_eq!(clock.next(&heap), 2);
+    fn strict_commit_advances_and_is_unique() {
+        for scheme in [ClockScheme::GvStrict, ClockScheme::Incrementing] {
+            let (heap, clock) = setup(scheme);
+            assert_eq!(clock.read(&heap), 0);
+            assert_eq!(clock.next_commit(&heap, 0), 1);
+            assert_eq!(clock.next_commit(&heap, 1), 2);
+            assert_eq!(clock.read(&heap), 2, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn gv4_advances_via_cas_and_tolerates_races() {
+        let (heap, clock) = setup(ClockScheme::Gv4);
+        assert_eq!(clock.next_commit(&heap, 0), 1);
+        assert_eq!(clock.read(&heap), 1);
+        // Simulate a concurrent advance between load and CAS: the CAS fails
+        // but the returned version is still stale+1.
+        heap.store(Addr(0), 10);
+        assert_eq!(clock.next_commit(&heap, 1), 11);
+        assert_eq!(clock.read(&heap), 11);
+    }
+
+    #[test]
+    fn gv5_commit_never_writes_the_clock() {
+        let (heap, clock) = setup(ClockScheme::Gv5);
+        assert_eq!(clock.next_commit(&heap, 0), 1);
+        assert_eq!(clock.next_commit(&heap, 1), 1);
+        assert_eq!(clock.read(&heap), 0, "GV5 commits must not write the clock");
+        // The clock catches up on aborts instead.
+        clock.on_abort(&heap, 1);
+        assert_eq!(clock.next_commit(&heap, 2), 2);
+    }
+
+    #[test]
+    fn gv6_samples_the_advance() {
+        let (heap, clock) = setup(ClockScheme::Gv6);
+        // salt = 0 → sampled commit: advances.
+        assert_eq!(clock.next_commit(&heap, 0), 1);
+        assert_eq!(clock.read(&heap), 1);
+        // Non-multiple salts skip the write.
+        for salt in 1..GV6_SAMPLE_PERIOD {
+            assert_eq!(clock.next_commit(&heap, salt), 2);
+        }
+        assert_eq!(clock.read(&heap), 1);
+        // The next sampled commit advances again.
+        assert_eq!(clock.next_commit(&heap, GV6_SAMPLE_PERIOD), 2);
         assert_eq!(clock.read(&heap), 2);
     }
 
     #[test]
-    fn gv6_next_does_not_touch_shared_counter() {
-        let (heap, clock) = setup(ClockMode::Gv6);
-        assert_eq!(clock.next(&heap), 1);
-        assert_eq!(clock.next(&heap), 1);
-        assert_eq!(clock.read(&heap), 0, "GVNext must not write the clock");
+    fn speculative_next_only_incrementing_writes() {
+        for scheme in ClockScheme::ALL {
+            let (heap, clock) = setup(scheme);
+            assert_eq!(clock.next(&heap), 1);
+            if scheme == ClockScheme::Incrementing {
+                assert_eq!(clock.read(&heap), 1);
+            } else {
+                assert_eq!(clock.read(&heap), 0, "{scheme:?} must not write in HTM");
+            }
+        }
     }
 
     #[test]
-    fn gv6_advances_on_abort_and_publish() {
-        let (heap, clock) = setup(ClockMode::Gv6);
+    fn abort_and_publish_advance_gv_schemes_only() {
+        let (heap, clock) = setup(ClockScheme::GvStrict);
         clock.on_abort(&heap, 5);
         assert_eq!(clock.read(&heap), 5);
-        // Never moves backwards.
         clock.on_abort(&heap, 3);
-        assert_eq!(clock.read(&heap), 5);
+        assert_eq!(clock.read(&heap), 5, "never moves backwards");
         clock.publish(&heap, 9);
         assert_eq!(clock.read(&heap), 9);
-        assert_eq!(clock.next(&heap), 10);
-    }
 
-    #[test]
-    fn incrementing_mode_ignores_abort_hints() {
-        let (heap, clock) = setup(ClockMode::Incrementing);
+        let (heap, clock) = setup(ClockScheme::Incrementing);
         clock.on_abort(&heap, 100);
         clock.publish(&heap, 100);
         assert_eq!(clock.read(&heap), 0);
     }
 
     #[test]
-    fn default_mode_is_gv6() {
-        assert_eq!(ClockMode::default(), ClockMode::Gv6);
+    fn default_scheme_is_strict() {
+        assert_eq!(ClockScheme::default(), ClockScheme::GvStrict);
+        assert!(!ClockScheme::GvStrict.advances_in_htm());
+        assert!(ClockScheme::Incrementing.advances_in_htm());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for scheme in ClockScheme::ALL {
+            assert_eq!(ClockScheme::parse(scheme.label()), Some(scheme));
+        }
+        assert_eq!(ClockScheme::parse("GV1"), Some(ClockScheme::Incrementing));
+        assert_eq!(ClockScheme::parse("nonsense"), None);
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! +---------------------------------------------------------------+
-//! | word 0        global version clock (GV6)                      |
+//! | word 0        global version clock (ClockScheme)              |
 //! | word 8        is_RH2_fallback counter                         |
 //! | word 16       is_all_software_slow_path counter               |
 //! | word 24       reserved scratch line (tests, ablations)        |
@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::addr::{Addr, StripeId, CACHE_LINE_WORDS};
-use crate::clock::{ClockMode, GlobalClock};
+use crate::clock::{ClockScheme, GlobalClock};
 use crate::heap::TxHeap;
 
 /// Configuration of the transactional memory layout.
@@ -41,8 +41,10 @@ pub struct MemConfig {
     /// Maximum number of threads that may register.  Determines how many
     /// 64-bit read-mask words each stripe carries (one per 64 threads).
     pub max_threads: usize,
-    /// Which global-clock algorithm to use.
-    pub clock_mode: ClockMode,
+    /// Which global-clock advancement scheme to use (see
+    /// [`ClockScheme`] for the GV4/GV5/GV6 trade-offs; the default strict
+    /// scheme reproduces the paper's figures).
+    pub clock_scheme: ClockScheme,
 }
 
 impl Default for MemConfig {
@@ -51,7 +53,7 @@ impl Default for MemConfig {
             data_words: 1 << 20,
             stripe_shift: 2,
             max_threads: 64,
-            clock_mode: ClockMode::Gv6,
+            clock_scheme: ClockScheme::GvStrict,
         }
     }
 }
@@ -238,7 +240,7 @@ impl TmMemory {
     pub fn new(config: MemConfig) -> Self {
         let layout = MemLayout::new(config);
         let heap = TxHeap::new(layout.total_words());
-        let clock = GlobalClock::new(layout.clock_addr(), layout.config().clock_mode);
+        let clock = GlobalClock::new(layout.clock_addr(), layout.config().clock_scheme);
         let data_base = layout.data_base().0;
         TmMemory {
             heap,
@@ -362,7 +364,7 @@ mod tests {
             data_words: 1024,
             stripe_shift: 2,
             max_threads: 64,
-            clock_mode: ClockMode::Gv6,
+            clock_scheme: ClockScheme::GvStrict,
         };
         let l = MemLayout::new(cfg);
         assert_eq!(l.num_stripes(), 256);

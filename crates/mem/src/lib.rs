@@ -20,8 +20,9 @@
 //!   fallback counters, stripe versions, read masks and the data region,
 //! * [`TmMemory`] — the bundle of heap + layout + bump allocator handed to
 //!   every runtime,
-//! * [`GlobalClock`] — the GV6-style global version clock used by TL2, the
-//!   Standard HyTM and RH1/RH2,
+//! * [`GlobalClock`] / [`ClockScheme`] — the global version clock used by
+//!   TL2, the Standard HyTM and RH1/RH2, with pluggable advancement schemes
+//!   (strict fetch-and-add, GV4 CAS-relaxed, GV5 commit-skip, GV6 sampled),
 //! * [`ThreadRegistry`] — assignment of dense thread ids (needed by the RH2
 //!   read-visibility masks),
 //! * cache-line constants shared with the HTM simulator.
@@ -37,7 +38,7 @@ pub mod stamp;
 pub mod thread;
 
 pub use addr::{Addr, StripeId, CACHE_LINE_WORDS, LINE_SHIFT};
-pub use clock::{ClockMode, GlobalClock};
+pub use clock::{ClockScheme, GlobalClock, GV6_SAMPLE_PERIOD};
 pub use heap::TxHeap;
 pub use layout::{MemConfig, MemLayout, TmMemory};
 pub use thread::{ThreadRegistry, ThreadToken};

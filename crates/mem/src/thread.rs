@@ -7,8 +7,13 @@
 //! recycles them when a [`ThreadToken`] is dropped, so thread pools and
 //! repeated benchmark phases never run out of ids.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks the free-list, tolerating poisoning (a panicking thread cannot
+/// corrupt a plain `Vec<usize>` of ids).
+fn lock_free(free: &Mutex<Vec<usize>>) -> MutexGuard<'_, Vec<usize>> {
+    free.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// Hands out dense thread ids in `0..max_threads`.
 #[derive(Debug)]
@@ -34,7 +39,7 @@ impl ThreadRegistry {
 
     /// Number of ids currently available.
     pub fn available(&self) -> usize {
-        self.free.lock().len()
+        lock_free(&self.free).len()
     }
 
     /// Registers the calling thread, returning a token that releases the id
@@ -45,9 +50,7 @@ impl ThreadRegistry {
     /// Panics if more than `max_threads` threads are registered at once —
     /// that is a configuration error (raise `MemConfig::max_threads`).
     pub fn register(self: &Arc<Self>) -> ThreadToken {
-        let id = self
-            .free
-            .lock()
+        let id = lock_free(&self.free)
             .pop()
             .expect("ThreadRegistry exhausted: more threads than MemConfig::max_threads");
         ThreadToken {
@@ -94,7 +97,7 @@ impl ThreadToken {
 
 impl Drop for ThreadToken {
     fn drop(&mut self) {
-        self.registry.free.lock().push(self.id);
+        lock_free(&self.registry.free).push(self.id);
     }
 }
 
@@ -143,7 +146,11 @@ mod tests {
             assert_eq!(t.mask_word(), t.id() / 64);
             assert_eq!(t.mask_bit(), 1u64 << (t.id() % 64));
             assert_eq!(t.lock_value(), (t.id() as u64) * 2 + 1);
-            assert_eq!(t.lock_value() & 1, 1, "lock values must have the lock bit set");
+            assert_eq!(
+                t.lock_value() & 1,
+                1,
+                "lock values must have the lock bit set"
+            );
         }
     }
 

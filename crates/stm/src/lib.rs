@@ -3,7 +3,7 @@
 //! Software transactional memory baselines:
 //!
 //! * [`Tl2Engine`] / [`Tl2Runtime`] — the TL2 algorithm of Dice, Shalev and
-//!   Shavit (DISC 2006) with the GV6 global clock, exactly the STM the paper
+//!   Shavit (DISC 2006) with a pluggable global clock, exactly the STM the paper
 //!   benchmarks against (and the style of STM the RH1/RH2 slow-paths are
 //!   derived from).  The engine type is reusable: the Standard-HyTM
 //!   baseline embeds it as its software fallback path.

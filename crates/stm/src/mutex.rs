@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use rhtm_api::{PathKind, TmRuntime, TmThread, TxResult, TxStats, Txn};
 use rhtm_htm::{HtmConfig, HtmSim};
@@ -106,7 +106,7 @@ impl TmThread for MutexThread {
         assert!(!self.in_txn, "nested execute is not supported");
         self.in_txn = true;
         let lock = Arc::clone(&self.lock);
-        let guard = lock.lock();
+        let guard = lock.lock().unwrap_or_else(|poison| poison.into_inner());
         let result = loop {
             match body(self) {
                 Ok(r) => {

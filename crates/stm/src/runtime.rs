@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crossbeam::utils::Backoff;
+use rhtm_api::Backoff;
 
 use rhtm_api::{AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn};
 use rhtm_htm::{HtmConfig, HtmSim};

@@ -4,10 +4,12 @@
 //! STM: the transaction body collects a read-set and a write-set; commit
 //! acquires the write-set stripes' locks, validates the read-set against the
 //! transaction's start time-stamp, writes back and releases the locks with a
-//! new time-stamp.  The paper uses TL2 with the GV6 clock as its STM
-//! baseline, and the RH1/RH2 slow-paths are "TL2 minus the locks plus a
-//! hardware commit", so this engine doubles as the reference for their
-//! software halves.
+//! new time-stamp.  The paper uses TL2 as its STM baseline, and the RH1/RH2
+//! slow-paths are "TL2 minus the locks plus a hardware commit", so this
+//! engine doubles as the reference for their software halves.  The commit's
+//! clock discipline is pluggable ([`rhtm_mem::ClockScheme`]): the default
+//! strict fetch-and-add, GV4's fail-soft CAS, GV5's commit-skip or GV6's
+//! sampled advance.
 //!
 //! The engine is deliberately separated from the [`crate::Tl2Runtime`]
 //! wrapper so the Standard-HyTM baseline can embed it as its software
@@ -40,6 +42,9 @@ pub struct Tl2Engine {
     /// from (needed both to restore on abort and to validate read-set
     /// entries that we locked ourselves).
     locked: Vec<(StripeId, u64)>,
+    /// Writing commits performed by this engine; used as the sampling salt
+    /// for the GV6 clock scheme.
+    commit_salt: u64,
     active: bool,
 }
 
@@ -53,6 +58,7 @@ impl Tl2Engine {
             read_set: Vec::with_capacity(64),
             write_set: WriteSet::with_capacity(32),
             locked: Vec::with_capacity(32),
+            commit_salt: 0,
             active: false,
         }
     }
@@ -97,7 +103,7 @@ impl Tl2Engine {
     }
 
     /// Aborts the current attempt: releases any commit-time locks, advances
-    /// the GV6 clock past the version whose observation caused the abort,
+    /// the global clock past the version whose observation caused the abort,
     /// and clears the sets.
     pub fn abort(&mut self, cause: AbortCause, observed_version: u64) -> Abort {
         self.release_locks_unchanged();
@@ -200,16 +206,14 @@ impl Tl2Engine {
             self.locked.push((stripe, current));
         }
 
-        // Phase 2: compute the write version.
-        //
-        // The stand-alone TL2 baseline advances the shared clock at every
-        // writing commit (the classic, provably-serialisable GV1 discipline;
-        // see DESIGN.md "clock soundness" note).  The reduced-hardware
-        // protocols in `rhtm-core` keep the paper's GV6 non-advancing clock:
-        // there the whole commit runs inside one hardware transaction that
-        // has the clock in its read-set, which is what makes the
-        // non-advancing clock sound.
-        let wv = gv::next_advancing(&self.sim);
+        // Phase 2: compute the write version, applying the configured
+        // [`rhtm_mem::ClockScheme`].  Under the default strict scheme this
+        // is the classic fetch-and-add (unique write versions); GV4/GV5/GV6
+        // relax or skip the clock RMW.  Sampling the version *after* the
+        // locks are held is what keeps the relaxed schemes serialisable —
+        // see the ordering argument in `rhtm_mem::clock`.
+        self.commit_salt = self.commit_salt.wrapping_add(1);
+        let wv = gv::next_commit(&self.sim, self.commit_salt);
 
         // Phase 3: validate the read-set.
         for i in 0..self.read_set.len() {
@@ -325,7 +329,7 @@ mod tests {
         w.commit().unwrap();
 
         // A reader that started before that commit (tx_version still 0,
-        // because GV6 does not advance the clock on commit) must abort.
+        // because the stripe now carries a newer version) must abort.
         let mut r = Tl2Engine::new(Arc::clone(&s), 1);
         r.tx_version = 0;
         r.active = true;
@@ -380,7 +384,10 @@ mod tests {
         // b read version 0 but the stripe now has a newer version; b must
         // abort at commit-time validation of its read-set.
         let err = b.commit().unwrap_err();
-        assert!(matches!(err.cause, AbortCause::Validation | AbortCause::Locked));
+        assert!(matches!(
+            err.cause,
+            AbortCause::Validation | AbortCause::Locked
+        ));
         assert_eq!(s.nt_load(addr), 1);
     }
 
@@ -402,7 +409,10 @@ mod tests {
         // The stripe for a0 must have been unlocked again.
         let s0 = layout.stripe_of(a0);
         let w0 = s.nt_load(layout.stripe_version_addr(s0));
-        assert!(!stamp::is_locked(w0), "partially acquired locks must be released");
+        assert!(
+            !stamp::is_locked(w0),
+            "partially acquired locks must be released"
+        );
     }
 
     #[test]

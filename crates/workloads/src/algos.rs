@@ -7,7 +7,7 @@ use std::sync::Arc;
 use rhtm_core::{RhConfig, RhRuntime};
 use rhtm_htm::{HtmConfig, HtmRuntime, HtmSim};
 use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
-use rhtm_mem::{MemConfig, TmMemory};
+use rhtm_mem::{ClockScheme, MemConfig, TmMemory};
 use rhtm_stm::{MutexRuntime, Tl2Runtime};
 
 use crate::driver::{run_benchmark, DriverOpts};
@@ -16,7 +16,7 @@ use crate::workload::Workload;
 
 /// The algorithm variants of the paper's evaluation (plus the global-lock
 /// oracle used by tests).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AlgoKind {
     /// Pure best-effort HTM with no instrumentation ("HTM").
     Htm,
@@ -133,6 +133,29 @@ where
     }
 }
 
+/// [`run_on_algo`] with an explicit global-clock scheme: overrides
+/// `mem_config.clock_scheme` before building the shared memory, so a figure
+/// can sweep `(AlgoKind, ClockScheme, threads)` without assembling
+/// [`MemConfig`]s by hand.
+pub fn run_on_algo_with_clock<W, B>(
+    kind: AlgoKind,
+    scheme: ClockScheme,
+    mem_config: MemConfig,
+    htm_config: HtmConfig,
+    build: B,
+    opts: &DriverOpts,
+) -> BenchResult
+where
+    W: Workload,
+    B: FnOnce(&Arc<HtmSim>) -> W,
+{
+    let mem_config = MemConfig {
+        clock_scheme: scheme,
+        ..mem_config
+    };
+    run_on_algo(kind, mem_config, htm_config, build, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +193,24 @@ mod tests {
                 "RH1 Mixed 100"
             ]
         );
+    }
+
+    #[test]
+    fn clock_scheme_override_reaches_the_runtime() {
+        let elements = 256;
+        for scheme in ClockScheme::ALL {
+            let mem_config =
+                MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 1024);
+            let result = run_on_algo_with_clock(
+                AlgoKind::Tl2,
+                scheme,
+                mem_config,
+                HtmConfig::default(),
+                |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                &DriverOpts::counted(2, 20, 100),
+            );
+            assert_eq!(result.total_ops, 200, "{scheme:?}");
+        }
     }
 
     #[test]

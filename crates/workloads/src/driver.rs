@@ -152,7 +152,10 @@ where
             std::thread::sleep(opts.duration);
             stop.store(true, Ordering::SeqCst);
         }
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
 
     let elapsed = started.elapsed();

@@ -6,7 +6,7 @@ use rhtm_api::{AbortCause, PathKind, TxStats};
 
 /// Single-thread time breakdown, the quantity behind the paper's Figure 2
 /// (bottom) and its embedded `20_100_R` / `80_100_R` tables.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Breakdown {
     /// Nanoseconds spent in transactional reads.
     pub read_ns: u64,
@@ -45,7 +45,7 @@ impl Breakdown {
 
 /// The outcome of one benchmark run (one algorithm, one workload, one
 /// thread count).
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BenchResult {
     /// Algorithm name ("HTM", "TL2", "Standard HyTM", "RH1 Fast", ...).
     pub algorithm: String,
@@ -148,8 +148,77 @@ pub fn format_series(title: &str, results: &[BenchResult]) -> String {
 }
 
 /// Serialises a series to JSON (one object per result) for plotting.
+///
+/// Hand-rolled (the workspace builds without a crates registry, so no
+/// `serde_json`): every numeric field of the result and its merged stats is
+/// emitted, which is what the plotting scripts consume.
 pub fn to_json(results: &[BenchResult]) -> String {
-    serde_json::to_string_pretty(results).expect("benchmark results are serialisable")
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&result_json(r));
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn result_json(r: &BenchResult) -> String {
+    let mut fields = vec![
+        format!("\"algorithm\": {}", json_str(&r.algorithm)),
+        format!("\"workload\": {}", json_str(&r.workload)),
+        format!("\"threads\": {}", r.threads),
+        format!("\"write_percent\": {}", r.write_percent),
+        format!("\"total_ops\": {}", r.total_ops),
+        format!("\"elapsed_secs\": {}", r.elapsed.as_secs_f64()),
+        format!("\"throughput_ops_per_sec\": {}", r.throughput()),
+        format!("\"abort_ratio\": {}", r.abort_ratio()),
+        format!("\"commit_ratio\": {}", r.commit_ratio()),
+        format!("\"commits\": {}", r.stats.commits()),
+        format!("\"aborts\": {}", r.stats.aborts()),
+        format!("\"reads\": {}", r.stats.reads),
+        format!("\"writes\": {}", r.stats.writes),
+        format!("\"htm_commits\": {}", r.stats.htm_commits),
+        format!("\"htm_aborts\": {}", r.stats.htm_aborts),
+    ];
+    for path in PathKind::ALL {
+        fields.push(format!(
+            "\"commits_{}\": {}",
+            path.label().replace('-', "_"),
+            r.stats.commits_on(path)
+        ));
+    }
+    for (cause, n) in r.abort_causes() {
+        fields.push(format!(
+            "\"aborts_{}\": {n}",
+            format!("{cause:?}").to_ascii_lowercase()
+        ));
+    }
+    if let Some(b) = &r.breakdown {
+        fields.push(format!(
+            "\"breakdown_ns\": {{\"read\": {}, \"write\": {}, \"commit\": {}, \"private\": {}, \"intertx\": {}}}",
+            b.read_ns, b.write_ns, b.commit_ns, b.private_ns, b.intertx_ns
+        ));
+    }
+    format!("  {{\n    {}\n  }}", fields.join(",\n    "))
 }
 
 #[cfg(test)]

@@ -164,8 +164,7 @@ mod tests {
     use rhtm_mem::{MemConfig, TmMemory};
 
     fn table(size: u64) -> (HtmRuntime, Arc<ConstantHashTable>) {
-        let mem_cfg =
-            MemConfig::with_data_words(ConstantHashTable::required_words(size) + 1024);
+        let mem_cfg = MemConfig::with_data_words(ConstantHashTable::required_words(size) + 1024);
         let mem = Arc::new(TmMemory::new(mem_cfg));
         let sim = HtmSim::new(mem, HtmConfig::default());
         let table = Arc::new(ConstantHashTable::new(Arc::clone(&sim), size));

@@ -31,12 +31,7 @@ impl RandomArray {
     /// Creates an array of `entries` words; each transaction performs
     /// `accesses_per_txn` random accesses of which `write_percent`% are
     /// writes.
-    pub fn new(
-        sim: Arc<HtmSim>,
-        entries: u64,
-        accesses_per_txn: usize,
-        write_percent: u8,
-    ) -> Self {
+    pub fn new(sim: Arc<HtmSim>, entries: u64, accesses_per_txn: usize, write_percent: u8) -> Self {
         assert!(entries > 0);
         assert!(write_percent <= 100);
         let base = sim.mem().alloc(entries as usize);
@@ -156,12 +151,15 @@ mod tests {
         let (rt, arr) = array(256, 30, 100);
         let mut th = rt.register_thread();
         arr.run_txn(&mut th, 12345);
-        let snapshot: Vec<u64> = (0..256).map(|i| rt.sim().nt_load(arr.base.offset(i))).collect();
+        let snapshot: Vec<u64> = (0..256)
+            .map(|i| rt.sim().nt_load(arr.base.offset(i)))
+            .collect();
         let (rt2, arr2) = array(256, 30, 100);
         let mut th2 = rt2.register_thread();
         arr2.run_txn(&mut th2, 12345);
-        let snapshot2: Vec<u64> =
-            (0..256).map(|i| rt2.sim().nt_load(arr2.base.offset(i))).collect();
+        let snapshot2: Vec<u64> = (0..256)
+            .map(|i| rt2.sim().nt_load(arr2.base.offset(i)))
+            .collect();
         assert_eq!(snapshot, snapshot2);
     }
 

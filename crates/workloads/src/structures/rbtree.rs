@@ -224,8 +224,8 @@ impl Workload for ConstantRbTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rhtm_htm::{HtmConfig, HtmRuntime};
     use rhtm_api::TmRuntime;
+    use rhtm_htm::{HtmConfig, HtmRuntime};
     use rhtm_mem::{MemConfig, TmMemory};
 
     fn tree(size: u64) -> (HtmRuntime, Arc<ConstantRbTree>) {

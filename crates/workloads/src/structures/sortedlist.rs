@@ -147,8 +147,7 @@ mod tests {
     use rhtm_mem::{MemConfig, TmMemory};
 
     fn list(size: u64) -> (HtmRuntime, Arc<ConstantSortedList>) {
-        let mem_cfg =
-            MemConfig::with_data_words(ConstantSortedList::required_words(size) + 1024);
+        let mem_cfg = MemConfig::with_data_words(ConstantSortedList::required_words(size) + 1024);
         let mem = Arc::new(TmMemory::new(mem_cfg));
         let sim = HtmSim::new(mem, HtmConfig::default());
         let list = Arc::new(ConstantSortedList::new(Arc::clone(&sim), size));

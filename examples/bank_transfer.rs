@@ -22,7 +22,8 @@ const TRANSFERS_PER_THREAD: usize = 20_000;
 const INITIAL_BALANCE: u64 = 1_000;
 
 fn run_bank<R: TmRuntime>(runtime: Arc<R>) {
-    let accounts: Arc<Vec<Addr>> = Arc::new((0..ACCOUNTS).map(|_| runtime.mem().alloc(8)).collect());
+    let accounts: Arc<Vec<Addr>> =
+        Arc::new((0..ACCOUNTS).map(|_| runtime.mem().alloc(8)).collect());
     {
         let heap = runtime.mem().heap();
         for &a in accounts.iter() {

@@ -47,9 +47,18 @@ fn main() {
     println!("runtime            : {}", runtime.name());
     println!("total balance      : {total} (must stay 200)");
     println!("commits            : {}", stats.commits());
-    println!("  on hardware fast : {}", stats.commits_on(PathKind::HardwareFast));
-    println!("  on mixed slow    : {}", stats.commits_on(PathKind::MixedSlow));
-    println!("  on software      : {}", stats.commits_on(PathKind::Software));
+    println!(
+        "  on hardware fast : {}",
+        stats.commits_on(PathKind::HardwareFast)
+    );
+    println!(
+        "  on mixed slow    : {}",
+        stats.commits_on(PathKind::MixedSlow)
+    );
+    println!(
+        "  on software      : {}",
+        stats.commits_on(PathKind::Software)
+    );
     println!("aborts             : {}", stats.aborts());
     assert_eq!(total, 200);
 }

@@ -1,0 +1,41 @@
+//! # rhtm — reduced-hardware hybrid transactional memory
+//!
+//! Umbrella crate for the RHTM workspace: it re-exports every sub-crate
+//! under one roof so applications can depend on a single crate, and it owns
+//! the workspace-level integration tests (`tests/`) and examples
+//! (`examples/`).
+//!
+//! See the workspace `README.md` for the project overview and
+//! `docs/ARCHITECTURE.md` for how a transaction flows through the layers.
+//!
+//! ```
+//! use rhtm::api::{TmRuntime, TmThread, Txn};
+//! use rhtm::core::{RhConfig, RhRuntime};
+//! use rhtm::htm::HtmConfig;
+//! use rhtm::mem::MemConfig;
+//!
+//! let rt = RhRuntime::new(
+//!     MemConfig::with_data_words(256),
+//!     HtmConfig::default(),
+//!     RhConfig::rh1_mixed(100),
+//! );
+//! let cell = rt.mem().alloc(1);
+//! let mut th = rt.register_thread();
+//! let v = th.execute(|tx| {
+//!     let v = tx.read(cell)?;
+//!     tx.write(cell, v + 1)?;
+//!     Ok(v + 1)
+//! });
+//! assert_eq!(v, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use rhtm_api as api;
+pub use rhtm_core as core;
+pub use rhtm_htm as htm;
+pub use rhtm_hytm_std as hytm_std;
+pub use rhtm_mem as mem;
+pub use rhtm_stm as stm;
+pub use rhtm_workloads as workloads;

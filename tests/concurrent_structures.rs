@@ -131,7 +131,11 @@ fn sorted_list_remains_a_set_under_concurrent_insert_remove() {
         let snapshot = list.snapshot(&mut th);
         let unique: HashSet<_> = snapshot.iter().copied().collect();
         assert_eq!(unique.len(), snapshot.len(), "duplicate keys in the set");
-        assert_eq!(snapshot.len() as i64, net_inserts, "set size must equal net successful inserts");
+        assert_eq!(
+            snapshot.len() as i64,
+            net_inserts,
+            "set size must equal net successful inserts"
+        );
         assert!(snapshot.iter().all(|&k| k >= 1 && k <= key_space));
     }
 }
@@ -139,7 +143,10 @@ fn sorted_list_remains_a_set_under_concurrent_insert_remove() {
 #[test]
 fn constant_rbtree_shape_is_untouched_by_concurrent_updates() {
     let nodes = 4_096u64;
-    let rt = rh1_runtime(ConstantRbTree::required_words(nodes) + 4096, HtmConfig::default());
+    let rt = rh1_runtime(
+        ConstantRbTree::required_words(nodes) + 4096,
+        HtmConfig::default(),
+    );
     let tree = Arc::new(ConstantRbTree::new(Arc::clone(rt.sim()), nodes));
     let handles: Vec<_> = (0..6)
         .map(|t| {
@@ -160,7 +167,11 @@ fn constant_rbtree_shape_is_untouched_by_concurrent_updates() {
         commits += h.join().unwrap();
     }
     assert_eq!(commits, 6 * 2_000);
-    assert_eq!(tree.count_reachable(), nodes, "updates must never change the shape");
+    assert_eq!(
+        tree.count_reachable(),
+        nodes,
+        "updates must never change the shape"
+    );
 }
 
 #[test]

@@ -53,7 +53,10 @@ fn histogram_workload<R: TmRuntime>(runtime: Arc<R>) -> (Vec<u64>, u64) {
     for h in handles {
         applied += h.join().unwrap();
     }
-    let values = cells.iter().map(|&c| runtime.mem().heap().load(c)).collect();
+    let values = cells
+        .iter()
+        .map(|&c| runtime.mem().heap().load(c))
+        .collect();
     (values, applied)
 }
 
@@ -161,7 +164,10 @@ fn all_runtimes_agree_on_a_deterministic_single_thread_history() {
                 Ok(())
             });
         }
-        cells.iter().map(|&c| runtime.mem().heap().load(c)).collect()
+        cells
+            .iter()
+            .map(|&c| runtime.mem().heap().load(c))
+            .collect()
     }
 
     let mem = || MemConfig::with_data_words(1024);
@@ -170,9 +176,21 @@ fn all_runtimes_agree_on_a_deterministic_single_thread_history() {
     assert_eq!(reference, run(Tl2Runtime::new(mem())));
     assert_eq!(
         reference,
-        run(StdHytmRuntime::new(mem(), HtmConfig::default(), StdHytmConfig::default()))
+        run(StdHytmRuntime::new(
+            mem(),
+            HtmConfig::default(),
+            StdHytmConfig::default()
+        ))
     );
-    for config in [RhConfig::rh1_fast(), RhConfig::rh1_mixed(100), RhConfig::rh1_slow(), RhConfig::rh2()] {
-        assert_eq!(reference, run(RhRuntime::new(mem(), HtmConfig::default(), config)));
+    for config in [
+        RhConfig::rh1_fast(),
+        RhConfig::rh1_mixed(100),
+        RhConfig::rh1_slow(),
+        RhConfig::rh2(),
+    ] {
+        assert_eq!(
+            reference,
+            run(RhRuntime::new(mem(), HtmConfig::default(), config))
+        );
     }
 }

@@ -35,7 +35,11 @@ fn capacity_overflow_commits_on_the_mixed_slow_path() {
     }
     let stats = th.stats();
     assert_eq!(stats.commits(), 50);
-    assert_eq!(stats.commits_on(PathKind::HardwareFast), 0, "cannot fit in hardware");
+    assert_eq!(
+        stats.commits_on(PathKind::HardwareFast),
+        0,
+        "cannot fit in hardware"
+    );
     assert!(stats.commits_on(PathKind::MixedSlow) > 0);
     assert!(stats.aborts_for(AbortCause::Capacity) >= 50);
 }

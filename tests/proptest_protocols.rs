@@ -1,18 +1,47 @@
-//! Property-based tests: randomly generated operation sequences are executed
-//! through the hybrid runtimes and compared against a sequential model, and
-//! randomly generated interleavings of account transfers must conserve the
-//! total balance on every protocol variant.
+//! Property-style tests: pseudo-randomly generated operation sequences are
+//! executed through the hybrid runtimes and compared against a sequential
+//! model, and randomly generated interleavings of account transfers must
+//! conserve the total balance on every protocol variant.
+//!
+//! The original version of this file used the `proptest` crate; the
+//! workspace now builds in offline environments, so the same coverage is
+//! driven by a deterministic splitmix64 generator sweeping a fixed number of
+//! cases per property.  Failures print the case seed, which reproduces the
+//! exact inputs.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-
-use proptest::prelude::*;
 
 use rhtm_api::{TmRuntime, TmThread, Txn};
 use rhtm_core::{ProtocolMode, RhConfig, RhRuntime};
 use rhtm_htm::{HtmConfig, ValidationMode};
 use rhtm_mem::MemConfig;
 use rhtm_workloads::mutable::TxHashMap;
+
+/// Deterministic splitmix64 stream used to generate the cases.
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn new(seed: u64) -> Self {
+        CaseRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.below(options.len() as u64) as usize]
+    }
+}
 
 /// One operation of the key-value model.
 #[derive(Clone, Debug)]
@@ -22,81 +51,83 @@ enum MapOp {
     Get(u64),
 }
 
-fn map_op_strategy() -> impl Strategy<Value = MapOp> {
-    prop_oneof![
-        (0u64..32, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
-        (0u64..32).prop_map(MapOp::Remove),
-        (0u64..32).prop_map(MapOp::Get),
-    ]
+fn random_map_op(rng: &mut CaseRng) -> MapOp {
+    match rng.below(3) {
+        0 => MapOp::Insert(rng.below(32), rng.next()),
+        1 => MapOp::Remove(rng.below(32)),
+        _ => MapOp::Get(rng.below(32)),
+    }
 }
 
-fn rh_config_strategy() -> impl Strategy<Value = RhConfig> {
-    prop_oneof![
-        Just(RhConfig::rh1_fast()),
-        Just(RhConfig::rh1_mixed(10)),
-        Just(RhConfig::rh1_mixed(100)),
-        Just(RhConfig::rh1_slow()),
-        Just(RhConfig::rh2()),
-    ]
+fn random_rh_config(rng: &mut CaseRng) -> RhConfig {
+    match rng.below(5) {
+        0 => RhConfig::rh1_fast(),
+        1 => RhConfig::rh1_mixed(10),
+        2 => RhConfig::rh1_mixed(100),
+        3 => RhConfig::rh1_slow(),
+        _ => RhConfig::rh2(),
+    }
 }
 
-fn htm_config_strategy() -> impl Strategy<Value = HtmConfig> {
-    (
-        prop_oneof![Just(512usize), Just(16), Just(4)],
-        prop_oneof![Just(64usize), Just(4)],
-        prop_oneof![Just(0.0f64), Just(0.2)],
-        prop_oneof![Just(ValidationMode::Incremental), Just(ValidationMode::CommitOnly)],
-    )
-        .prop_map(|(read_cap, write_cap, spurious, validation)| {
-            HtmConfig::with_capacity(read_cap, write_cap)
-                .with_spurious_abort_rate(spurious)
-                .with_validation(validation)
-        })
+fn random_htm_config(rng: &mut CaseRng) -> HtmConfig {
+    let read_cap = rng.pick(&[512usize, 16, 4]);
+    let write_cap = rng.pick(&[64usize, 4]);
+    let spurious = rng.pick(&[0.0f64, 0.2]);
+    let validation = rng.pick(&[ValidationMode::Incremental, ValidationMode::CommitOnly]);
+    HtmConfig::with_capacity(read_cap, write_cap)
+        .with_spurious_abort_rate(spurious)
+        .with_validation(validation)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A single-threaded sequence of map operations behaves exactly like the
+/// sequential model, regardless of the protocol variant, the hardware
+/// capacity and injected spurious aborts.
+#[test]
+fn map_operations_match_model() {
+    for case in 0..48u64 {
+        let mut rng = CaseRng::new(0x4D41_505F ^ case);
+        let config = random_rh_config(&mut rng);
+        let htm = random_htm_config(&mut rng);
+        let num_ops = 1 + rng.below(120) as usize;
 
-    /// A single-threaded sequence of map operations behaves exactly like the
-    /// sequential model, regardless of the protocol variant, the hardware
-    /// capacity and injected spurious aborts.
-    #[test]
-    fn map_operations_match_model(
-        ops in proptest::collection::vec(map_op_strategy(), 1..120),
-        config in rh_config_strategy(),
-        htm in htm_config_strategy(),
-    ) {
         let rt = RhRuntime::new(MemConfig::with_data_words(1 << 14), htm, config);
         let map = TxHashMap::new(Arc::clone(rt.sim()), 32);
         let mut th = rt.register_thread();
         let mut model: HashMap<u64, u64> = HashMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..num_ops {
+            match random_map_op(&mut rng) {
                 MapOp::Insert(k, v) => {
-                    prop_assert_eq!(map.insert(&mut th, k, v), model.insert(k, v));
+                    assert_eq!(map.insert(&mut th, k, v), model.insert(k, v), "case {case}");
                 }
                 MapOp::Remove(k) => {
-                    prop_assert_eq!(map.remove(&mut th, k), model.remove(&k));
+                    assert_eq!(map.remove(&mut th, k), model.remove(&k), "case {case}");
                 }
                 MapOp::Get(k) => {
-                    prop_assert_eq!(map.get(&mut th, k), model.get(&k).copied());
+                    assert_eq!(map.get(&mut th, k), model.get(&k).copied(), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(map.len(&mut th), model.len() as u64);
+        assert_eq!(map.len(&mut th), model.len() as u64, "case {case}");
     }
+}
 
-    /// Concurrent transfers conserve the total balance on every protocol
-    /// variant and hardware configuration.
-    #[test]
-    fn concurrent_transfers_conserve_balance(
-        config in rh_config_strategy(),
-        htm in htm_config_strategy(),
-        threads in 2usize..5,
-        transfers in 200usize..600,
-        accounts in 4usize..12,
-    ) {
-        let rt = Arc::new(RhRuntime::new(MemConfig::with_data_words(1 << 12), htm, config));
+/// Concurrent transfers conserve the total balance on every protocol
+/// variant and hardware configuration.
+#[test]
+fn concurrent_transfers_conserve_balance() {
+    for case in 0..16u64 {
+        let mut rng = CaseRng::new(0xBA1A_0CE5 ^ case);
+        let config = random_rh_config(&mut rng);
+        let htm = random_htm_config(&mut rng);
+        let threads = 2 + rng.below(3) as usize;
+        let transfers = 200 + rng.below(400) as usize;
+        let accounts = 4 + rng.below(8) as usize;
+
+        let rt = Arc::new(RhRuntime::new(
+            MemConfig::with_data_words(1 << 12),
+            htm,
+            config,
+        ));
         let cells: Arc<Vec<_>> = Arc::new((0..accounts).map(|_| rt.mem().alloc(8)).collect());
         for &c in cells.iter() {
             rt.sim().nt_store(c, 100);
@@ -131,17 +162,21 @@ proptest! {
             h.join().unwrap();
         }
         let total: u64 = cells.iter().map(|&c| rt.sim().nt_load(c)).sum();
-        prop_assert_eq!(total, accounts as u64 * 100);
+        assert_eq!(total, accounts as u64 * 100, "case {case}");
     }
+}
 
-    /// The runtime's protocol mode is honoured: an RH2 configuration never
-    /// reports an RH1-specific display name and vice versa.
-    #[test]
-    fn display_names_are_consistent(config in rh_config_strategy()) {
+/// The runtime's protocol mode is honoured: an RH2 configuration never
+/// reports an RH1-specific display name and vice versa.
+#[test]
+fn display_names_are_consistent() {
+    for case in 0..32u64 {
+        let mut rng = CaseRng::new(0x0D15_071A ^ case);
+        let config = random_rh_config(&mut rng);
         let name = config.display_name();
         match config.mode {
-            ProtocolMode::Rh2 => prop_assert_eq!(name, "RH2"),
-            ProtocolMode::Rh1 => prop_assert!(name.starts_with("RH1")),
+            ProtocolMode::Rh2 => assert_eq!(name, "RH2", "case {case}"),
+            ProtocolMode::Rh1 => assert!(name.starts_with("RH1"), "case {case}: {name}"),
         }
     }
 }
