@@ -45,10 +45,14 @@
 
 pub mod abort;
 pub mod backoff;
+pub mod retry;
 pub mod stats;
 pub mod traits;
 
 pub use abort::{Abort, AbortCause, TxResult};
 pub use backoff::Backoff;
+pub use retry::{
+    AttemptContext, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle, RetryRng,
+};
 pub use stats::{PathKind, Stopwatch, TxStats};
 pub use traits::{TmRuntime, TmThread, Txn};

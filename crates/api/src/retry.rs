@@ -1,0 +1,732 @@
+//! Pluggable retry policies: *when* a transaction gives up on its current
+//! execution path.
+//!
+//! Every runtime in the workspace has a retry loop, and before this module
+//! each of them hard-coded its own give-up decision: the RH1 commit-time
+//! hardware transaction counted contention retries against
+//! `commit_htm_retries`, the RH2 write-back counted against
+//! `writeback_htm_retries` (with a different comparison idiom), the Standard
+//! HyTM counted hardware failures against `hw_retries`, and TL2 / pure HTM
+//! retried forever.  This module makes that decision a first-class,
+//! swappable, benchmarkable strategy — the same treatment the
+//! `rhtm_mem::ClockScheme` axis gives the global clock — so contention
+//! management can be measured as an axis (`ablation_retry`) instead of being
+//! re-derived per runtime.
+//!
+//! The division of labour is deliberate:
+//!
+//! * the **policy** decides *when* to stop retrying the current path
+//!   ([`RetryDecision::Demote`]) and how to pace retries
+//!   ([`RetryDecision::RetryHere`] / [`RetryDecision::BackoffThen`]);
+//! * the **runtime** decides *where* a demoted attempt goes (mixed
+//!   slow-path, RH2 commit, all-software write-back, TL2 fallback, or a
+//!   plain transaction restart) — that mapping is protocol correctness, not
+//!   tuning, so it stays in the runtime.
+//!
+//! Two decisions are never delegated, and [`AttemptContext::clamp`] enforces
+//! them for every policy: an abort caused by a *hardware limitation*
+//! (capacity overflow, protected instruction) can never succeed by retrying
+//! in hardware, so it always demotes when a slower tier exists; and a path
+//! with no slower tier ([`AttemptContext::can_demote`] `== false`) never
+//! demotes.  A policy therefore cannot strand a transaction on a path that
+//! can never run it, and cannot affect serialisability at all — but the
+//! clamp does **not** bound contention pacing: a policy that always answers
+//! [`RetryDecision::RetryHere`] (see [`Aggressive`]) keeps a contended
+//! attempt spinning with no give-up bound, a throughput hazard rather than
+//! a correctness one.
+//!
+//! # Retry-budget semantics
+//!
+//! Everywhere a budget appears (`retry_budget` here,
+//! `commit_htm_retries` / `writeback_htm_retries` / `hw_retries` in the
+//! runtime configs) it means **the maximum number of *extra* attempts on the
+//! current path after the first failure**: a budget of `N` allows `N + 1`
+//! total attempts before [`PaperDefault`] demotes.  The pre-refactor loops
+//! expressed this with two different idioms (`count > budget` after the
+//! increment vs `count >= budget` before it) that happened to coincide;
+//! this module makes the semantics explicit and `tests/retry_policies.rs`
+//! asserts it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::abort::AbortCause;
+
+/// Which execution tier the aborted attempt was running on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PathClass {
+    /// An all-hardware attempt: the RH1/RH2 fast-paths, the pure-HTM
+    /// runtime, or a Standard-HyTM hardware attempt.
+    Hardware,
+    /// The commit-time hardware transaction of a software body: the RH1
+    /// slow-path commit or the RH2 write-back.
+    CommitHtm,
+    /// A software attempt: TL2, the Standard-HyTM software fallback, or the
+    /// RH mixed slow-path body.
+    Software,
+}
+
+impl PathClass {
+    /// Short label used in reports and policy traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathClass::Hardware => "hardware",
+            PathClass::CommitHtm => "commit-htm",
+            PathClass::Software => "software",
+        }
+    }
+}
+
+/// Everything a [`RetryPolicy`] may consult when deciding what an aborted
+/// attempt does next.  Built by the runtime at each decision site.
+#[derive(Clone, Copy, Debug)]
+pub struct AttemptContext {
+    /// Failed attempts observed at this decision site so far, **including**
+    /// the one being decided — the first decision after an abort sees
+    /// `attempt == 1`.  Outer transaction loops count failures of the whole
+    /// transaction; the commit-time loops count failures of the current
+    /// commit only.
+    pub attempt: u32,
+    /// The tier the aborted attempt ran on.
+    pub path: PathClass,
+    /// Why the attempt aborted.
+    pub cause: AbortCause,
+    /// Whether a slower tier exists for this site.  `false` for the pure-HTM
+    /// runtime (no fallback), TL2 (already the bottom) and the RH slow-path
+    /// body (must re-execute in software anyway).
+    pub can_demote: bool,
+    /// The configured budget for this site: maximum *extra* attempts after
+    /// the first failure (`u32::MAX` = unbounded).  Carried from the runtime
+    /// config (`commit_htm_retries`, `writeback_htm_retries`, `hw_retries`)
+    /// so thresholds keep living in one place.
+    pub retry_budget: u32,
+    /// The paper's "Mix" parameter for this site: percentage (0–100) of
+    /// budget-exhausted contention aborts that demote.  `100` for sites
+    /// without a probabilistic mix (demote deterministically once the budget
+    /// is spent); only the RH fast-path passes its configured
+    /// `slow_path_percent` here.
+    pub mix_percent: u8,
+    /// Snapshot of the `is_RH2_fallback` counter (0 for runtimes without the
+    /// cascade).
+    pub fallback_rh2: u64,
+    /// Snapshot of the `is_all_software_slow_path` counter (0 for runtimes
+    /// without the cascade).
+    pub fallback_all_software: u64,
+}
+
+impl AttemptContext {
+    /// Is the cascade currently degraded — some transaction is committing
+    /// through the RH2 fallback or an all-software write-back?
+    #[inline]
+    pub fn cascade_degraded(&self) -> bool {
+        self.fallback_rh2 > 0 || self.fallback_all_software > 0
+    }
+
+    /// Enforces the two non-negotiable rules on a policy's decision:
+    ///
+    /// * a hardware-limitation abort ([`AbortCause::is_hardware_limitation`])
+    ///   always demotes when a slower tier exists — retrying it in hardware
+    ///   can never succeed;
+    /// * [`RetryDecision::Demote`] degrades to [`RetryDecision::RetryHere`]
+    ///   when no slower tier exists.
+    ///
+    /// Every runtime clamps through this, so no policy can strand a
+    /// transaction on a path that can never run it (the true-livelock
+    /// case); contention pacing remains the policy's own responsibility.
+    #[inline]
+    pub fn clamp(&self, decision: RetryDecision) -> RetryDecision {
+        if self.can_demote && self.cause.is_hardware_limitation() {
+            return RetryDecision::Demote;
+        }
+        if !self.can_demote && decision == RetryDecision::Demote {
+            return RetryDecision::RetryHere;
+        }
+        decision
+    }
+}
+
+/// What an aborted attempt does next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Retry on the same path, paced by the runtime's default backoff.
+    RetryHere,
+    /// Stop retrying on this path; the runtime demotes the attempt to its
+    /// next recourse for the site (mixed slow-path, RH2 commit, all-software
+    /// write-back, software fallback, or a transaction restart).
+    Demote,
+    /// Retry on the same path after spinning for approximately the given
+    /// number of `spin_loop` hints (replaces the runtime's default backoff
+    /// for this retry).
+    BackoffThen(u32),
+}
+
+/// Spins for `n` `spin_loop` hints — the runtimes' interpreter for
+/// [`RetryDecision::BackoffThen`].  Yields to the scheduler every 4096
+/// hints so an oversubscribed host cannot be starved by a large backoff.
+#[inline]
+pub fn spin(n: u32) {
+    for i in 0..n {
+        if i % 4096 == 4095 {
+            std::thread::yield_now();
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// The xorshift64 generator the policies draw from.
+///
+/// Policies are stateless shared objects; all randomness (the RH "Mix"
+/// draw, backoff jitter) comes from a per-thread instance of this generator
+/// owned by the runtime thread, so runs stay reproducible per seed and
+/// threads never share RNG state.  The update is the same xorshift the RH
+/// runtime has always used for its slow-path-admission draw, which keeps
+/// fixed-seed runs bit-identical across the refactor.
+#[derive(Clone, Debug)]
+pub struct RetryRng {
+    state: u64,
+}
+
+impl RetryRng {
+    /// Creates a generator from a raw non-zero state (a zero seed is mapped
+    /// to an arbitrary odd constant — xorshift fixes the all-zero state).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        RetryRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value (xorshift64: 13/7/17).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform draw in `0..n` (`n == 0` returns 0).
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A contention-management strategy: decides what an aborted attempt does
+/// next, given the [`AttemptContext`].
+///
+/// Implementations must be cheap (the decision runs on every abort) and
+/// stateless across calls — any randomness comes from the caller's
+/// per-thread [`RetryRng`], any cross-attempt memory from
+/// [`AttemptContext::attempt`] and the fallback-counter snapshots.
+pub trait RetryPolicy: fmt::Debug + Send + Sync {
+    /// Stable short name (used by reports, the `ablation_retry` CLI and
+    /// [`RetryPolicyHandle::parse`]).
+    fn label(&self) -> &'static str;
+
+    /// The decision for one aborted attempt.  Runtimes pass the returned
+    /// value through [`AttemptContext::clamp`] before acting on it.
+    fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision;
+
+    /// Whether this policy reads the fallback-counter snapshots
+    /// ([`AttemptContext::fallback_rh2`] /
+    /// [`AttemptContext::fallback_all_software`]).
+    ///
+    /// Loading those counters costs two shared-cache-line reads per abort,
+    /// right inside the retry loops the benchmarks measure; runtimes check
+    /// this (once, at thread registration) and pass zeros when the policy
+    /// does not care.  Defaults to `false`; override when implementing a
+    /// policy like [`Adaptive`] that consults the cascade state.
+    fn wants_fallback_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Identity string used for handle equality: label plus parameters.
+    fn fingerprint(&self) -> String {
+        format!("{}:{:?}", self.label(), self)
+    }
+}
+
+/// The seed thresholds, verbatim: reproduces the pre-refactor loops of all
+/// four runtimes decision-for-decision, so figure outputs are unchanged.
+///
+/// * Hardware limitations demote immediately (when a slower tier exists).
+/// * While `attempt <= retry_budget`, retry on the same path.
+/// * Once the budget is spent, the mix percentage decides: 0 never demotes,
+///   100 always demotes, anything between draws the per-thread RNG — the RH
+///   fast-path's "Mix" parameter, with the same draw sites as the seed
+///   implementation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PaperDefault;
+
+impl RetryPolicy for PaperDefault {
+    fn label(&self) -> &'static str {
+        "paper-default"
+    }
+
+    fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        if ctx.cause.is_hardware_limitation() {
+            return if ctx.can_demote {
+                RetryDecision::Demote
+            } else {
+                RetryDecision::RetryHere
+            };
+        }
+        if !ctx.can_demote || ctx.attempt <= ctx.retry_budget {
+            return RetryDecision::RetryHere;
+        }
+        match ctx.mix_percent {
+            0 => RetryDecision::RetryHere,
+            100 => RetryDecision::Demote,
+            p => {
+                if rng.next_u64() % 100 < p as u64 {
+                    RetryDecision::Demote
+                } else {
+                    RetryDecision::RetryHere
+                }
+            }
+        }
+    }
+}
+
+/// [`PaperDefault`]'s demotion rules with randomised exponential backoff:
+/// each retry waits in a jittered window that doubles per attempt up to a
+/// cap, so threads that aborted together do not retry in lockstep and
+/// re-collide ("retry storms").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CappedExponential {
+    /// Spin window of the first retry.
+    pub base_spins: u32,
+    /// Upper bound on the spin window.
+    pub max_spins: u32,
+}
+
+impl Default for CappedExponential {
+    fn default() -> Self {
+        CappedExponential {
+            base_spins: 32,
+            max_spins: 16_384,
+        }
+    }
+}
+
+impl RetryPolicy for CappedExponential {
+    fn label(&self) -> &'static str {
+        "capped-exp"
+    }
+
+    fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        match PaperDefault.decide(ctx, rng) {
+            RetryDecision::Demote => RetryDecision::Demote,
+            _ => {
+                // Attempt 1 spins within base_spins; each further attempt
+                // doubles the window (shift capped well before overflow).
+                let window = self
+                    .base_spins
+                    .saturating_mul(1u32 << ctx.attempt.saturating_sub(1).min(16))
+                    .clamp(1, self.max_spins);
+                // Jitter uniformly over [window/2, window]: enough spread to
+                // break lockstep, bounded so the backoff still escalates.
+                let spins = window / 2 + rng.next_below(u64::from(window / 2) + 1) as u32;
+                RetryDecision::BackoffThen(spins)
+            }
+        }
+    }
+}
+
+/// Hardware-greedy: never gives up on a hardware path for contention — the
+/// `hw_retries: u32::MAX` style of the paper's "Standard HyTM" measurement
+/// variant, applied everywhere.  Only hardware limitations demote (they
+/// must; the clamp would force it anyway).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Aggressive;
+
+impl RetryPolicy for Aggressive {
+    fn label(&self) -> &'static str {
+        "aggressive"
+    }
+
+    fn decide(&self, ctx: &AttemptContext, _rng: &mut RetryRng) -> RetryDecision {
+        if ctx.can_demote && ctx.cause.is_hardware_limitation() {
+            RetryDecision::Demote
+        } else {
+            RetryDecision::RetryHere
+        }
+    }
+}
+
+/// Demotes early when the cascade is already degraded: if the fallback
+/// counters show an RH2 or all-software commit in flight, hardware attempts
+/// are likely to keep aborting against it, so the first failure demotes
+/// instead of burning `patience` more hardware attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Adaptive {
+    /// Extra same-path attempts tolerated while the cascade is healthy.
+    pub patience: u32,
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive { patience: 2 }
+    }
+}
+
+impl RetryPolicy for Adaptive {
+    fn label(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn wants_fallback_snapshot(&self) -> bool {
+        true
+    }
+
+    fn decide(&self, ctx: &AttemptContext, _rng: &mut RetryRng) -> RetryDecision {
+        if !ctx.can_demote {
+            return RetryDecision::RetryHere;
+        }
+        if ctx.cause.is_hardware_limitation() {
+            return RetryDecision::Demote;
+        }
+        let patience = if ctx.cascade_degraded() {
+            0
+        } else {
+            self.patience
+        };
+        if ctx.attempt > patience {
+            RetryDecision::Demote
+        } else {
+            RetryDecision::RetryHere
+        }
+    }
+}
+
+/// A shared, clonable handle to a [`RetryPolicy`], suitable for embedding
+/// in runtime configs (`Clone + PartialEq + Eq + Debug`; equality compares
+/// [`RetryPolicy::fingerprint`]s).
+#[derive(Clone)]
+pub struct RetryPolicyHandle(Arc<dyn RetryPolicy>);
+
+impl RetryPolicyHandle {
+    /// Wraps a policy in a shareable handle.
+    pub fn new<P: RetryPolicy + 'static>(policy: P) -> Self {
+        RetryPolicyHandle(Arc::new(policy))
+    }
+
+    /// The seed behaviour: [`PaperDefault`].
+    pub fn paper_default() -> Self {
+        Self::new(PaperDefault)
+    }
+
+    /// [`CappedExponential`] with default window parameters.
+    pub fn capped_exponential() -> Self {
+        Self::new(CappedExponential::default())
+    }
+
+    /// [`Aggressive`].
+    pub fn aggressive() -> Self {
+        Self::new(Aggressive)
+    }
+
+    /// [`Adaptive`] with default patience.
+    pub fn adaptive() -> Self {
+        Self::new(Adaptive::default())
+    }
+
+    /// Every built-in policy, in a stable order (used by the
+    /// `ablation_retry` sweep).
+    pub fn builtin() -> Vec<RetryPolicyHandle> {
+        vec![
+            Self::paper_default(),
+            Self::capped_exponential(),
+            Self::aggressive(),
+            Self::adaptive(),
+        ]
+    }
+
+    /// Parses a built-in policy label (`paper-default`, `capped-exp`,
+    /// `aggressive`, `adaptive`) back into a handle.
+    pub fn parse(label: &str) -> Option<RetryPolicyHandle> {
+        let l = label.trim().to_ascii_lowercase();
+        Self::builtin().into_iter().find(|p| p.label() == l)
+    }
+
+    /// The wrapped policy's label.
+    pub fn label(&self) -> &'static str {
+        self.0.label()
+    }
+
+    /// Delegates to [`RetryPolicy::decide`].
+    #[inline]
+    pub fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        self.0.decide(ctx, rng)
+    }
+
+    /// [`RetryPolicy::decide`] followed by [`AttemptContext::clamp`] — what
+    /// every runtime actually acts on.
+    #[inline]
+    pub fn decide_clamped(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        ctx.clamp(self.0.decide(ctx, rng))
+    }
+
+    /// Delegates to [`RetryPolicy::wants_fallback_snapshot`] (runtimes
+    /// cache the answer per thread).
+    pub fn wants_fallback_snapshot(&self) -> bool {
+        self.0.wants_fallback_snapshot()
+    }
+}
+
+impl Default for RetryPolicyHandle {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Debug for RetryPolicyHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RetryPolicyHandle({:?})", self.0)
+    }
+}
+
+impl PartialEq for RetryPolicyHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.fingerprint() == other.0.fingerprint()
+    }
+}
+
+impl Eq for RetryPolicyHandle {}
+
+impl std::ops::Deref for RetryPolicyHandle {
+    type Target = dyn RetryPolicy;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: PathClass, cause: AbortCause, attempt: u32) -> AttemptContext {
+        AttemptContext {
+            attempt,
+            path,
+            cause,
+            can_demote: true,
+            retry_budget: 0,
+            mix_percent: 100,
+            fallback_rh2: 0,
+            fallback_all_software: 0,
+        }
+    }
+
+    #[test]
+    fn paper_default_budget_is_max_extra_attempts() {
+        // Budget N ⇒ attempts 1..=N retry, attempt N+1 demotes — the
+        // unified RH1 (`>`) / RH2 (`>=`) semantics.
+        let mut rng = RetryRng::new(1);
+        for budget in [0u32, 1, 4, 8] {
+            for attempt in 1..=budget {
+                let c = AttemptContext {
+                    retry_budget: budget,
+                    ..ctx(PathClass::CommitHtm, AbortCause::Conflict, attempt)
+                };
+                assert_eq!(
+                    PaperDefault.decide(&c, &mut rng),
+                    RetryDecision::RetryHere,
+                    "budget {budget}, attempt {attempt}"
+                );
+            }
+            let c = AttemptContext {
+                retry_budget: budget,
+                ..ctx(PathClass::CommitHtm, AbortCause::Conflict, budget + 1)
+            };
+            assert_eq!(
+                PaperDefault.decide(&c, &mut rng),
+                RetryDecision::Demote,
+                "budget {budget} must demote on attempt {}",
+                budget + 1
+            );
+        }
+    }
+
+    #[test]
+    fn paper_default_mix_percent_governs_after_budget() {
+        let mut rng = RetryRng::new(7);
+        let base = ctx(PathClass::Hardware, AbortCause::Conflict, 1);
+        let never = AttemptContext {
+            mix_percent: 0,
+            ..base
+        };
+        let always = AttemptContext {
+            mix_percent: 100,
+            ..base
+        };
+        assert_eq!(
+            PaperDefault.decide(&never, &mut rng),
+            RetryDecision::RetryHere
+        );
+        assert_eq!(
+            PaperDefault.decide(&always, &mut rng),
+            RetryDecision::Demote
+        );
+        // A 50% mix must produce both outcomes over many draws.
+        let mixed = AttemptContext {
+            mix_percent: 50,
+            ..base
+        };
+        let mut demotes = 0;
+        for _ in 0..200 {
+            if PaperDefault.decide(&mixed, &mut rng) == RetryDecision::Demote {
+                demotes += 1;
+            }
+        }
+        assert!((40..=160).contains(&demotes), "demotes={demotes}");
+    }
+
+    #[test]
+    fn clamp_enforces_hardware_limitations_and_dead_ends() {
+        let mut c = ctx(PathClass::Hardware, AbortCause::Capacity, 1);
+        assert_eq!(c.clamp(RetryDecision::RetryHere), RetryDecision::Demote);
+        assert_eq!(
+            c.clamp(RetryDecision::BackoffThen(10)),
+            RetryDecision::Demote
+        );
+        c.can_demote = false;
+        assert_eq!(c.clamp(RetryDecision::Demote), RetryDecision::RetryHere);
+        let c = ctx(PathClass::Hardware, AbortCause::Conflict, 1);
+        assert_eq!(
+            c.clamp(RetryDecision::BackoffThen(10)),
+            RetryDecision::BackoffThen(10)
+        );
+    }
+
+    #[test]
+    fn aggressive_only_demotes_on_hardware_limitations() {
+        let mut rng = RetryRng::new(3);
+        let c = ctx(PathClass::Hardware, AbortCause::Conflict, 1_000_000);
+        assert_eq!(Aggressive.decide(&c, &mut rng), RetryDecision::RetryHere);
+        let c = ctx(PathClass::Hardware, AbortCause::Capacity, 1);
+        assert_eq!(Aggressive.decide(&c, &mut rng), RetryDecision::Demote);
+    }
+
+    #[test]
+    fn adaptive_loses_patience_when_the_cascade_degrades() {
+        let mut rng = RetryRng::new(3);
+        let healthy = AttemptContext {
+            retry_budget: u32::MAX,
+            ..ctx(PathClass::Hardware, AbortCause::Conflict, 1)
+        };
+        assert_eq!(
+            Adaptive::default().decide(&healthy, &mut rng),
+            RetryDecision::RetryHere
+        );
+        let degraded = AttemptContext {
+            fallback_all_software: 1,
+            ..healthy
+        };
+        assert_eq!(
+            Adaptive::default().decide(&degraded, &mut rng),
+            RetryDecision::Demote
+        );
+        let exhausted = AttemptContext {
+            attempt: 3,
+            ..healthy
+        };
+        assert_eq!(
+            Adaptive::default().decide(&exhausted, &mut rng),
+            RetryDecision::Demote
+        );
+    }
+
+    #[test]
+    fn capped_exponential_backs_off_within_bounds() {
+        let mut rng = RetryRng::new(11);
+        let policy = CappedExponential::default();
+        let mut last_window_top = 0;
+        for attempt in 1..=20 {
+            let c = AttemptContext {
+                retry_budget: u32::MAX,
+                ..ctx(PathClass::Hardware, AbortCause::Conflict, attempt)
+            };
+            match policy.decide(&c, &mut rng) {
+                RetryDecision::BackoffThen(spins) => {
+                    assert!(spins <= policy.max_spins, "attempt {attempt}: {spins}");
+                    last_window_top = last_window_top.max(spins);
+                }
+                other => panic!("expected backoff, got {other:?}"),
+            }
+        }
+        assert!(
+            last_window_top > policy.base_spins,
+            "backoff never escalated"
+        );
+        // Hardware limitations still demote.
+        let c = ctx(PathClass::Hardware, AbortCause::Unsupported, 1);
+        assert_eq!(policy.decide(&c, &mut rng), RetryDecision::Demote);
+    }
+
+    #[test]
+    fn jitter_streams_diverge_across_threads() {
+        let policy = CappedExponential::default();
+        let c = AttemptContext {
+            retry_budget: u32::MAX,
+            ..ctx(PathClass::Hardware, AbortCause::Conflict, 6)
+        };
+        let mut a = RetryRng::new(1);
+        let mut b = RetryRng::new(2);
+        let draws_a: Vec<_> = (0..8).map(|_| policy.decide(&c, &mut a)).collect();
+        let draws_b: Vec<_> = (0..8).map(|_| policy.decide(&c, &mut b)).collect();
+        assert_ne!(draws_a, draws_b, "seeded jitter must differ per thread");
+    }
+
+    #[test]
+    fn handle_equality_and_parse_round_trip() {
+        for policy in RetryPolicyHandle::builtin() {
+            let reparsed = RetryPolicyHandle::parse(policy.label()).unwrap();
+            assert_eq!(policy, reparsed, "{}", policy.label());
+        }
+        assert_eq!(RetryPolicyHandle::default().label(), "paper-default");
+        assert_ne!(
+            RetryPolicyHandle::paper_default(),
+            RetryPolicyHandle::aggressive()
+        );
+        // Same type, different parameters: distinct fingerprints.
+        assert_ne!(
+            RetryPolicyHandle::new(Adaptive { patience: 1 }),
+            RetryPolicyHandle::new(Adaptive { patience: 9 })
+        );
+        assert_eq!(RetryPolicyHandle::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn rng_matches_the_historical_xorshift() {
+        // The exact sequence RhThread::next_random produced before the
+        // refactor — the RH "Mix" draw must stay bit-identical.
+        let mut rng = RetryRng::new(0x1234_5678_9abc_def1);
+        let mut x: u64 = 0x1234_5678_9abc_def1;
+        for _ in 0..16 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            assert_eq!(rng.next_u64(), x);
+        }
+        assert!(RetryRng::new(0).next_u64() != 0);
+    }
+
+    #[test]
+    fn spin_handles_zero_and_large_counts() {
+        spin(0);
+        spin(10_000);
+    }
+}

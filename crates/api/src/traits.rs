@@ -213,7 +213,7 @@ mod tests {
         assert_eq!(increment::<DirectRuntime>(&mut th, addr), 2);
         assert_eq!(rt.mem().heap().load(addr), 2);
         assert_eq!(th.stats().commits(), 2);
-        assert_eq!(th.thread_id() < 8, true);
+        assert!(th.thread_id() < 8);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Ablation A4: retry policies (paper-default vs capped-exp vs aggressive
+//! vs adaptive) across a thread sweep.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin ablation_retry [paper|quick] [policy...] [threads=N,M,..]
+//! ```
+//!
+//! With no policy arguments every built-in policy
+//! ([`rhtm_api::RetryPolicyHandle::builtin`]) is swept; otherwise only the
+//! named ones (`paper-default`, `capped-exp`, `aggressive`, `adaptive`)
+//! run.  Threads default to a 1–32 sweep (clamped to the host); a
+//! `threads=` argument pins the sweep explicitly (the CI smoke run uses
+//! `threads=2`).
+
+use rhtm_api::RetryPolicyHandle;
+use rhtm_bench::{FigureParams, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut named: Vec<RetryPolicyHandle> = Vec::new();
+    let mut threads_override: Option<Vec<usize>> = None;
+    for arg in &args {
+        if let Some(s) = Scale::parse(arg) {
+            scale = s;
+        } else if let Some(policy) = RetryPolicyHandle::parse(arg) {
+            named.push(policy);
+        } else if let Some(list) = arg.strip_prefix("threads=") {
+            let parsed: Result<Vec<usize>, _> = list.split(',').map(|t| t.trim().parse()).collect();
+            match parsed {
+                Ok(t) if !t.is_empty() && t.iter().all(|&n| n >= 1) => {
+                    threads_override = Some(t);
+                }
+                _ => {
+                    eprintln!("error: bad thread list '{list}' (expected e.g. threads=1,2,4)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!(
+                "error: unknown argument '{arg}' (expected paper|quick, threads=N,.. or a policy: {})",
+                RetryPolicyHandle::builtin()
+                    .iter()
+                    .map(|p| p.label())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            );
+            std::process::exit(2);
+        }
+    }
+    let policies: Vec<RetryPolicyHandle> = if named.is_empty() {
+        RetryPolicyHandle::builtin()
+    } else {
+        named
+    };
+
+    // Contention management is a thread-scaling story: sweep 1–32 threads
+    // (clamped to the host) unless the CLI pins the sweep.
+    let mut params = FigureParams::new(scale);
+    params.thread_counts = threads_override.unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32]);
+    let params = if args.iter().any(|a| a.starts_with("threads=")) {
+        params
+    } else {
+        params.clamp_threads_to_host()
+    };
+
+    println!("# Ablation A4: retry policy (constant RB-tree, 20% writes)");
+    println!("# threads swept: {:?}", params.thread_counts);
+    println!(
+        "{:<14} {:<16} {:>8} {:>14} {:>12} {:>12}",
+        "policy", "algorithm", "threads", "ops/s", "abort-rate", "commit-ctr"
+    );
+    for row in rhtm_bench::ablation_retry_policies(&params, &policies) {
+        println!(
+            "{:<14} {:<16} {:>8} {:>14.0} {:>11.2}% {:>12.3}",
+            row.policy.label(),
+            row.algo.label(),
+            row.result.threads,
+            row.result.throughput(),
+            row.result.abort_ratio() * 100.0,
+            row.result.commit_ratio(),
+        );
+    }
+}

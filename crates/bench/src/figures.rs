@@ -7,11 +7,12 @@
 
 use std::sync::Arc;
 
+use rhtm_api::RetryPolicyHandle;
 use rhtm_htm::{HtmConfig, HtmSim};
 use rhtm_mem::{ClockScheme, MemConfig};
 use rhtm_workloads::{
-    run_on_algo, run_on_algo_with_clock, AlgoKind, BenchResult, ConstantHashTable, ConstantRbTree,
-    ConstantSortedList, DriverOpts, RandomArray,
+    run_on_algo, run_on_algo_with_clock, run_on_algo_with_policy, AlgoKind, BenchResult,
+    ConstantHashTable, ConstantRbTree, ConstantSortedList, DriverOpts, RandomArray,
 };
 
 use crate::params::FigureParams;
@@ -290,6 +291,72 @@ pub fn ablation_clock_schemes(
     rows
 }
 
+/// One row of the retry-policy ablation.
+#[derive(Clone, Debug)]
+pub struct RetryAblationRow {
+    /// The contention-management policy the row was measured under.
+    pub policy: RetryPolicyHandle,
+    /// The algorithm that was run.
+    pub algo: AlgoKind,
+    /// The raw benchmark result (throughput, abort causes, path counts).
+    pub result: BenchResult,
+}
+
+/// **Ablation A4**: retry policies (see [`RetryPolicyHandle::builtin`]) as
+/// a measured axis, swept over `(policy, algorithm, threads)` on the
+/// red-black tree at 20% writes.
+///
+/// The algorithms bracket the decision sites: the RH variants demote
+/// between real tiers (fast-path → mixed slow-path → RH2 → all-software),
+/// so their rows show policies shifting work across the cascade.  The
+/// other three are pacing-only by construction: pure HTM and TL2 have no
+/// slower tier, and `AlgoKind::StdHytm` is the paper's `hardware_only`
+/// measurement variant, whose contract drops contention demotes (its
+/// fallback-enabled demotion is exercised by `tests/retry_policies.rs`
+/// instead).  Rows report commit throughput and abort rate per
+/// `(policy, algorithm, threads)` point.
+pub fn ablation_retry(params: &FigureParams) -> Vec<RetryAblationRow> {
+    ablation_retry_policies(params, &RetryPolicyHandle::builtin())
+}
+
+/// [`ablation_retry`] restricted to the given policies (used by the
+/// `ablation_retry` binary's CLI filter and the CI smoke run, so
+/// unrequested policies are never run).
+pub fn ablation_retry_policies(
+    params: &FigureParams,
+    policies: &[RetryPolicyHandle],
+) -> Vec<RetryAblationRow> {
+    let nodes = params.rbtree_nodes;
+    let algos = [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Mixed(100),
+        AlgoKind::Rh2,
+    ];
+    let mut rows = Vec::new();
+    for policy in policies {
+        for algo in algos {
+            for &threads in &params.thread_counts {
+                let result = run_on_algo_with_policy(
+                    algo,
+                    policy,
+                    mem_config(ConstantRbTree::required_words(nodes)),
+                    HtmConfig::default(),
+                    |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+                    &timed_opts(params, threads, 20),
+                );
+                rows.push(RetryAblationRow {
+                    policy: policy.clone(),
+                    algo,
+                    result,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// **Ablation A3**: the cost of the fallback cascade.  The hash table is run
 /// under RH1 Mixed 100 with progressively smaller hardware capacities, so
 /// transactions are pushed from the fast-path to the mixed slow-path, the
@@ -381,6 +448,26 @@ mod tests {
         }
         assert_eq!(ablation_capacity(&p).len(), 5);
         assert_eq!(ablation_fallback(&p).len(), 5);
+    }
+
+    #[test]
+    fn retry_ablation_produces_committing_rows_per_policy() {
+        let p = tiny_params();
+        let policies = vec![
+            RetryPolicyHandle::paper_default(),
+            RetryPolicyHandle::adaptive(),
+        ];
+        let rows = ablation_retry_policies(&p, &policies);
+        // policies × 5 algorithms × thread counts
+        assert_eq!(rows.len(), policies.len() * 5 * p.thread_counts.len());
+        for row in &rows {
+            assert!(
+                row.result.stats.commits() > 0,
+                "{} × {:?} produced no commits",
+                row.policy.label(),
+                row.algo
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Configuration of the reduced-hardware runtime.
 
+use rhtm_api::RetryPolicyHandle;
 use rhtm_mem::ClockScheme;
 
 /// Which protocol family a fresh transaction starts in.
@@ -29,15 +30,34 @@ pub struct RhConfig {
     /// Aborts caused by hardware limitations (capacity overflow, protected
     /// instructions) always fall back to the slow-path regardless of this
     /// percentage — retrying them in hardware could never succeed.
+    ///
+    /// The percentage reaches the decision through
+    /// [`rhtm_api::AttemptContext::mix_percent`]; how it is interpreted is
+    /// up to [`RhConfig::retry_policy`] (the default [`PaperDefault`]
+    /// applies it exactly as described above).
+    ///
+    /// [`PaperDefault`]: rhtm_api::retry::PaperDefault
     pub slow_path_percent: u8,
-    /// How many consecutive contention failures of the RH1 slow-path
-    /// commit-time hardware transaction are retried before the whole
+    /// Retry budget of the RH1 slow-path commit-time hardware transaction:
+    /// the maximum number of *extra* attempts after its first contention
+    /// failure (so `N` allows `N + 1` attempts in total) before the whole
     /// transaction restarts.
     pub commit_htm_retries: u32,
-    /// How many consecutive contention failures of the RH2 commit-time
-    /// write-back hardware transaction are retried before switching to the
-    /// all-software write-back.
+    /// Retry budget of the RH2 commit-time write-back hardware transaction:
+    /// the maximum number of *extra* attempts after its first contention
+    /// failure (so `N` allows `N + 1` attempts in total) before switching
+    /// to the all-software write-back.
     pub writeback_htm_retries: u32,
+    /// The contention-management policy consulted after every abort: it
+    /// decides when an attempt gives up on its current path (fast-path →
+    /// slow-path, commit/write-back HTM → next fallback) and how retries
+    /// are paced.  The default, [`PaperDefault`], reproduces the paper's
+    /// hardcoded thresholds exactly — the budgets above and
+    /// `slow_path_percent` are carried into each decision's
+    /// [`rhtm_api::AttemptContext`].
+    ///
+    /// [`PaperDefault`]: rhtm_api::retry::PaperDefault
+    pub retry_policy: RetryPolicyHandle,
     /// Run every transaction on the mixed slow-path (no fast-path attempts).
     /// This is the "RH1 Slow" row of the paper's single-thread breakdown
     /// table; it is never the right choice for production use.
@@ -62,6 +82,7 @@ impl Default for RhConfig {
             slow_path_percent: 100,
             commit_htm_retries: 8,
             writeback_htm_retries: 8,
+            retry_policy: RetryPolicyHandle::paper_default(),
             always_slow: false,
             clock_scheme: None,
             seed: 0x5248_544d_5345_4544,
@@ -116,6 +137,12 @@ impl RhConfig {
     /// Returns the configuration with a global-clock scheme override.
     pub fn with_clock_scheme(mut self, scheme: ClockScheme) -> Self {
         self.clock_scheme = Some(scheme);
+        self
+    }
+
+    /// Returns the configuration with a different retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicyHandle) -> Self {
+        self.retry_policy = policy;
         self
     }
 
@@ -179,5 +206,13 @@ mod tests {
         let c = RhConfig::rh2().with_clock_scheme(ClockScheme::Gv6);
         assert_eq!(c.clock_scheme, Some(ClockScheme::Gv6));
         assert_eq!(c.mode, ProtocolMode::Rh2);
+    }
+
+    #[test]
+    fn retry_policy_builder_and_default() {
+        assert_eq!(RhConfig::default().retry_policy.label(), "paper-default");
+        let c = RhConfig::rh1_mixed(100).with_retry_policy(RetryPolicyHandle::adaptive());
+        assert_eq!(c.retry_policy.label(), "adaptive");
+        assert_eq!(c.slow_path_percent, 100);
     }
 }

@@ -18,6 +18,8 @@
 //! counter at its start aborts immediately — the paper's mechanism for
 //! draining incompatible fast-path transactions on a mode switch.
 
+use std::sync::Arc;
+
 use rhtm_htm::HtmSim;
 use rhtm_mem::Addr;
 
@@ -91,6 +93,48 @@ impl FallbackState {
     pub fn leave_all_software(&self, sim: &HtmSim) {
         sim.nt_fetch_sub(self.all_software, 1);
     }
+
+    /// Enters the RH2-fallback region, returning a guard that leaves it on
+    /// drop — so early returns, `?`-propagated aborts and panics can never
+    /// leak the counter increment (a leaked increment would pin every
+    /// fast-path transaction on the slower RH2 fast-path forever).
+    #[must_use = "dropping the guard immediately leaves the region"]
+    pub fn rh2_fallback_region(&self, sim: &Arc<HtmSim>) -> FallbackRegion {
+        self.enter_rh2_fallback(sim);
+        FallbackRegion {
+            sim: Arc::clone(sim),
+            counter: self.rh2_fallback,
+        }
+    }
+
+    /// Enters the all-software write-back region, returning a guard that
+    /// leaves it on drop (see [`FallbackState::rh2_fallback_region`]).
+    #[must_use = "dropping the guard immediately leaves the region"]
+    pub fn all_software_region(&self, sim: &Arc<HtmSim>) -> FallbackRegion {
+        self.enter_all_software(sim);
+        FallbackRegion {
+            sim: Arc::clone(sim),
+            counter: self.all_software,
+        }
+    }
+}
+
+/// RAII guard for a fallback-counter region: the counter was incremented on
+/// creation and is decremented exactly once when the guard drops.
+///
+/// The guard owns its own reference to the simulator (rather than borrowing
+/// the thread that created it), so protocol code can keep mutating the
+/// thread state while the region is open.
+#[derive(Debug)]
+pub struct FallbackRegion {
+    sim: Arc<HtmSim>,
+    counter: Addr,
+}
+
+impl Drop for FallbackRegion {
+    fn drop(&mut self) {
+        self.sim.nt_fetch_sub(self.counter, 1);
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +181,54 @@ mod tests {
             fb.rh2_fallback_addr().line(),
             s.mem().layout().clock_addr().line()
         );
+    }
+
+    #[test]
+    fn region_guards_balance_on_every_exit_path() {
+        let s = sim();
+        let fb = FallbackState::new(&s);
+
+        // Normal scope exit.
+        {
+            let _r = fb.rh2_fallback_region(&s);
+            assert_eq!(fb.rh2_fallback_count(&s), 1);
+            let _r2 = fb.all_software_region(&s);
+            assert_eq!(fb.all_software_count(&s), 1);
+        }
+        assert_eq!(fb.rh2_fallback_count(&s), 0);
+        assert_eq!(fb.all_software_count(&s), 0);
+
+        // Early return.
+        fn early(fb: &FallbackState, s: &Arc<HtmSim>, bail: bool) -> u64 {
+            let _r = fb.rh2_fallback_region(s);
+            if bail {
+                return fb.rh2_fallback_count(s);
+            }
+            fb.rh2_fallback_count(s) + 100
+        }
+        assert_eq!(early(&fb, &s, true), 1);
+        assert_eq!(fb.rh2_fallback_count(&s), 0);
+
+        // Panic unwinding.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _r = fb.all_software_region(&s);
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(fb.all_software_count(&s), 0, "panic leaked the counter");
+    }
+
+    #[test]
+    fn regions_nest_like_raw_counters() {
+        let s = sim();
+        let fb = FallbackState::new(&s);
+        let a = fb.rh2_fallback_region(&s);
+        let b = fb.rh2_fallback_region(&s);
+        assert_eq!(fb.rh2_fallback_count(&s), 2);
+        drop(a);
+        assert_eq!(fb.rh2_fallback_count(&s), 1);
+        drop(b);
+        assert_eq!(fb.rh2_fallback_count(&s), 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! *committed* transaction installed a version strictly greater than any
 //! `tx_version` sampled before its commit.
 
-use rhtm_api::{Abort, AbortCause, PathKind, TxResult};
+use rhtm_api::{retry, Abort, AbortCause, PathKind, RetryDecision, TxResult};
 use rhtm_htm::gv;
 use rhtm_mem::{stamp, Addr};
 
@@ -150,7 +150,8 @@ impl RhThread {
         // The forced-abort-ratio knob models fast-path aborts; the
         // commit-time hardware transaction is not subject to it.
         self.htm.set_forced_abort_injection(false);
-        let mut contention_retries = 0u32;
+        let budget = self.config.commit_htm_retries;
+        let mut failures = 0u32;
         let result = loop {
             match self.rh1_slow_commit_attempt() {
                 Ok(()) => {
@@ -159,29 +160,30 @@ impl RhThread {
                 }
                 Err(abort) => {
                     self.stats.htm_aborts += 1;
-                    match abort.cause {
-                        // The transaction itself is stale: restart the whole
-                        // transaction (the caller's retry loop re-executes
-                        // the body).
-                        AbortCause::Validation | AbortCause::Locked => break Err(abort),
-                        // Hardware limitation: this commit cannot succeed in
-                        // hardware — enter the RH2 fallback (Algorithm 3
-                        // lines 35–39).
-                        cause if cause.is_hardware_limitation() => {
-                            self.fallback.enter_rh2_fallback(&self.sim);
-                            let r = self.rh2_slow_commit();
-                            self.fallback.leave_rh2_fallback(&self.sim);
-                            break r;
-                        }
-                        // Contention (or an injected spurious abort): retry
-                        // the commit transaction a bounded number of times,
-                        // then restart the whole transaction.
-                        _ => {
-                            contention_retries += 1;
-                            if contention_retries > self.config.commit_htm_retries {
-                                break Err(abort);
+                    // A stale transaction cannot be saved by the policy:
+                    // restart the whole transaction (the caller's retry
+                    // loop re-executes the body).
+                    if matches!(abort.cause, AbortCause::Validation | AbortCause::Locked) {
+                        break Err(abort);
+                    }
+                    failures += 1;
+                    match self.decide_commit_retry(failures, abort.cause, budget) {
+                        RetryDecision::RetryHere => std::hint::spin_loop(),
+                        RetryDecision::BackoffThen(spins) => retry::spin(spins),
+                        RetryDecision::Demote => {
+                            if abort.cause.is_hardware_limitation() {
+                                // This commit can never succeed in hardware
+                                // — enter the RH2 fallback (Algorithm 3
+                                // lines 35–39).  The region guard releases
+                                // the counter on every exit path.
+                                let region = self.fallback.rh2_fallback_region(&self.sim);
+                                let r = self.rh2_slow_commit();
+                                drop(region);
+                                break r;
                             }
-                            std::hint::spin_loop();
+                            // Contention budget spent: restart the whole
+                            // transaction with a fresh snapshot.
+                            break Err(abort);
                         }
                     }
                 }

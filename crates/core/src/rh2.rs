@@ -15,7 +15,7 @@
 //! locks its written stripes speculatively so that its data writes and the
 //! locks become visible atomically.  Reads remain uninstrumented.
 
-use rhtm_api::{AbortCause, PathKind, TxResult};
+use rhtm_api::{retry, AbortCause, PathKind, RetryDecision, TxResult};
 use rhtm_htm::gv;
 use rhtm_mem::{stamp, Addr, StripeId};
 
@@ -233,8 +233,9 @@ impl RhThread {
         // fall back to a pure software write-back under the all-software
         // switch if it keeps failing or overflows (Algorithm 5 lines 32–43).
         self.htm.set_forced_abort_injection(false);
+        let budget = self.config.writeback_htm_retries;
         let mut wrote_in_software = false;
-        let mut contention_retries = 0u32;
+        let mut failures = 0u32;
         loop {
             self.htm.begin();
             let attempt: TxResult<()> =
@@ -251,22 +252,25 @@ impl RhThread {
                 }
                 Err(abort) => {
                     self.stats.htm_aborts += 1;
-                    let escalate = abort.cause.is_hardware_limitation()
-                        || contention_retries >= self.config.writeback_htm_retries;
-                    if escalate {
-                        // All-software slow-slow-path: switch every
-                        // fast-path transaction to the slow-read mode for
-                        // the duration of the plain-store write-back.
-                        self.fallback.enter_all_software(&self.sim);
-                        for (addr, value) in self.write_set.iter() {
-                            self.sim.nt_store(addr, value);
+                    failures += 1;
+                    match self.decide_commit_retry(failures, abort.cause, budget) {
+                        RetryDecision::RetryHere => std::hint::spin_loop(),
+                        RetryDecision::BackoffThen(spins) => retry::spin(spins),
+                        RetryDecision::Demote => {
+                            // All-software slow-slow-path: switch every
+                            // fast-path transaction to the slow-read mode
+                            // for the duration of the plain-store
+                            // write-back.  The region guard releases the
+                            // counter on every exit path.
+                            let region = self.fallback.all_software_region(&self.sim);
+                            for (addr, value) in self.write_set.iter() {
+                                self.sim.nt_store(addr, value);
+                            }
+                            drop(region);
+                            wrote_in_software = true;
+                            break;
                         }
-                        self.fallback.leave_all_software(&self.sim);
-                        wrote_in_software = true;
-                        break;
                     }
-                    contention_retries += 1;
-                    std::hint::spin_loop();
                 }
             }
         }

@@ -6,7 +6,8 @@ use std::sync::Arc;
 use rhtm_api::Backoff;
 
 use rhtm_api::{
-    Abort, AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
+    AbortCause, AttemptContext, PathClass, PathKind, RetryDecision, RetryRng, Stopwatch, TmRuntime,
+    TmThread, TxResult, TxStats, Txn,
 };
 use rhtm_htm::linemap::WriteSet;
 use rhtm_htm::{HtmConfig, HtmSim, HtmThread};
@@ -127,10 +128,13 @@ impl TmRuntime for RhRuntime {
     fn register_thread(&self) -> RhThread {
         let token = self.registry.register();
         let htm = HtmThread::new(Arc::clone(&self.sim), token.id() as u64);
-        let rng =
-            self.config.seed ^ ((token.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        let rng = RetryRng::new(
+            self.config.seed ^ ((token.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+        );
+        let policy_wants_fallback = self.config.retry_policy.wants_fallback_snapshot();
         RhThread {
             fallback: FallbackState::new(&self.sim),
+            policy_wants_fallback,
             sim: Arc::clone(&self.sim),
             htm,
             token,
@@ -182,7 +186,13 @@ pub struct RhThread {
     /// clock scheme.
     pub(crate) commit_salt: u64,
     in_txn: bool,
-    rng: u64,
+    /// Per-thread RNG feeding the retry policy (the "Mix" draw, backoff
+    /// jitter) — policies are shared and stateless, randomness lives here.
+    rng: RetryRng,
+    /// Cached [`rhtm_api::RetryPolicy::wants_fallback_snapshot`], so
+    /// policies that ignore the cascade state (the default) cost no
+    /// shared-counter reads on the abort path.
+    policy_wants_fallback: bool,
 }
 
 impl RhThread {
@@ -203,16 +213,6 @@ impl RhThread {
     pub(crate) fn bump_commit_salt(&mut self) -> u64 {
         self.commit_salt = self.commit_salt.wrapping_add(1);
         self.commit_salt
-    }
-
-    #[inline(always)]
-    fn next_random(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
-        x
     }
 
     /// Decides the path of the next attempt.
@@ -279,22 +279,72 @@ impl RhThread {
         }
     }
 
-    /// Decides whether the retry after `abort` should run on the slow-path.
-    fn escalate_to_slow(&mut self, abort: Abort) -> bool {
-        if self.path == Path::Slow {
-            // Already on the slow-path: stay there (the body has to be
-            // re-executed after a validation failure; it still cannot run in
-            // hardware if it could not before).
-            return true;
+    /// Consults the configured retry policy about the `attempt`-th failure
+    /// of the current transaction.
+    ///
+    /// The decision is clamped ([`AttemptContext::clamp`]): a
+    /// hardware-limitation abort always demotes, and a slow-path attempt
+    /// (already the slowest whole-transaction tier) never does — the body
+    /// has to be re-executed after a validation failure, and it still
+    /// cannot run in hardware if it could not before.
+    fn decide_retry(&mut self, attempt: u32, cause: AbortCause) -> RetryDecision {
+        let on_slow = self.path == Path::Slow;
+        let (fallback_rh2, fallback_all_software) = self.fallback_snapshot();
+        let ctx = AttemptContext {
+            attempt,
+            path: if on_slow {
+                PathClass::Software
+            } else {
+                PathClass::Hardware
+            },
+            cause,
+            can_demote: !on_slow,
+            // The fast-path has no fixed retry budget; the "Mix" percentage
+            // governs every contention abort (the paper's policy).
+            retry_budget: 0,
+            mix_percent: self.config.slow_path_percent,
+            fallback_rh2,
+            fallback_all_software,
+        };
+        self.config.retry_policy.decide_clamped(&ctx, &mut self.rng)
+    }
+
+    /// The fallback counters as the policy context wants them: real
+    /// snapshots for policies that consult the cascade state, zeros (no
+    /// shared-line reads on the abort path) for the rest.
+    fn fallback_snapshot(&self) -> (u64, u64) {
+        if self.policy_wants_fallback {
+            (
+                self.fallback.rh2_fallback_count(&self.sim),
+                self.fallback.all_software_count(&self.sim),
+            )
+        } else {
+            (0, 0)
         }
-        if abort.cause.is_hardware_limitation() {
-            return true;
-        }
-        match self.config.slow_path_percent {
-            0 => false,
-            100 => true,
-            p => (self.next_random() % 100) < p as u64,
-        }
+    }
+
+    /// Consults the retry policy at a commit-time decision site (the RH1
+    /// commit transaction or the RH2 write-back), where `attempt` counts
+    /// the failures of the current commit and `budget` is the site's
+    /// configured maximum of *extra* attempts.
+    pub(crate) fn decide_commit_retry(
+        &mut self,
+        attempt: u32,
+        cause: AbortCause,
+        budget: u32,
+    ) -> RetryDecision {
+        let (fallback_rh2, fallback_all_software) = self.fallback_snapshot();
+        let ctx = AttemptContext {
+            attempt,
+            path: PathClass::CommitHtm,
+            cause,
+            can_demote: true,
+            retry_budget: budget,
+            mix_percent: 100,
+            fallback_rh2,
+            fallback_all_software,
+        };
+        self.config.retry_policy.decide_clamped(&ctx, &mut self.rng)
     }
 }
 
@@ -348,6 +398,7 @@ impl TmThread for RhThread {
         self.in_txn = true;
         let backoff = Backoff::new();
         let mut force_slow = false;
+        let mut failures = 0u32;
         let result = loop {
             let path = self.choose_path(force_slow);
             let attempt: TxResult<(R, PathKind)> = self.begin_path(path).and_then(|()| {
@@ -365,8 +416,16 @@ impl TmThread for RhThread {
                 }
                 Err(abort) => {
                     self.stats.record_abort(abort.cause);
-                    force_slow = self.escalate_to_slow(abort);
-                    backoff.snooze();
+                    failures += 1;
+                    let decision = self.decide_retry(failures, abort.cause);
+                    // An aborted slow-path attempt always re-runs on the
+                    // slow-path; a fast-path attempt demotes when the
+                    // policy says so.
+                    force_slow = self.path == Path::Slow || decision == RetryDecision::Demote;
+                    match decision {
+                        RetryDecision::BackoffThen(spins) => rhtm_api::retry::spin(spins),
+                        _ => backoff.snooze(),
+                    }
                 }
             }
         };

@@ -2,7 +2,7 @@
 
 /// How the simulator keeps a running transaction's view consistent
 /// (opacity).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ValidationMode {
     /// Validate the read-set only at commit.  Cheapest; matches the paper's
     /// "constant" benchmark structures, where a stale view can never crash
@@ -14,13 +14,8 @@ pub enum ValidationMode {
     /// consistent) view, which real HTM provides by construction through
     /// eager cache-line invalidation.  Required when transactions navigate
     /// pointer structures that other transactions mutate.
+    #[default]
     Incremental,
-}
-
-impl Default for ValidationMode {
-    fn default() -> Self {
-        ValidationMode::Incremental
-    }
 }
 
 /// Tunable parameters of the simulated HTM.

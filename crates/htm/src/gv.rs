@@ -74,7 +74,7 @@ pub fn next_commit(sim: &HtmSim, salt: u64) -> u64 {
         ClockScheme::Gv4 => cas_advance(sim),
         ClockScheme::Gv5 => sim.nt_load(clock_addr) + 1,
         ClockScheme::Gv6 => {
-            if salt % GV6_SAMPLE_PERIOD == 0 {
+            if salt.is_multiple_of(GV6_SAMPLE_PERIOD) {
                 cas_advance(sim)
             } else {
                 sim.nt_load(clock_addr) + 1

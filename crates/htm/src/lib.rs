@@ -49,6 +49,6 @@ pub mod sim;
 pub mod txn;
 
 pub use config::{HtmConfig, ValidationMode};
-pub use runtime::{HtmRuntime, HtmRuntimeThread};
+pub use runtime::{HtmRuntime, HtmRuntimeConfig, HtmRuntimeThread};
 pub use sim::HtmSim;
 pub use txn::HtmThread;

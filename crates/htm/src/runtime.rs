@@ -12,7 +12,8 @@ use std::sync::Arc;
 use rhtm_api::Backoff;
 
 use rhtm_api::{
-    Abort, AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
+    retry, Abort, AbortCause, AttemptContext, PathClass, PathKind, RetryDecision,
+    RetryPolicyHandle, RetryRng, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
 };
 use rhtm_mem::{Addr, ThreadRegistry, ThreadToken, TmMemory};
 
@@ -20,37 +21,79 @@ use crate::config::HtmConfig;
 use crate::sim::HtmSim;
 use crate::txn::HtmThread;
 
+/// Policy of the pure-HTM *runtime* (as opposed to [`HtmConfig`], which
+/// parameterises the simulated hardware itself).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HtmRuntimeConfig {
+    /// The contention-management policy consulted after every abort.  The
+    /// runtime has no software fallback, so demotion decisions are clamped
+    /// to hardware retries; the policy still controls retry pacing (e.g.
+    /// [`rhtm_api::retry::CappedExponential`] jittered backoff).
+    pub retry_policy: RetryPolicyHandle,
+}
+
+impl HtmRuntimeConfig {
+    /// Returns the configuration with a different retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicyHandle) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+}
+
 /// The pure hardware-TM runtime ("HTM" in the paper's figures).
 pub struct HtmRuntime {
     sim: Arc<HtmSim>,
     registry: Arc<ThreadRegistry>,
+    config: HtmRuntimeConfig,
 }
 
 impl HtmRuntime {
     /// Creates a pure-HTM runtime over its own fresh memory.
     pub fn new(mem_config: rhtm_mem::MemConfig, htm_config: HtmConfig) -> Self {
+        Self::with_config(mem_config, htm_config, HtmRuntimeConfig::default())
+    }
+
+    /// Creates a pure-HTM runtime over its own fresh memory with an
+    /// explicit runtime configuration.
+    pub fn with_config(
+        mem_config: rhtm_mem::MemConfig,
+        htm_config: HtmConfig,
+        config: HtmRuntimeConfig,
+    ) -> Self {
         let max_threads = mem_config.max_threads;
         let mem = Arc::new(TmMemory::new(mem_config));
         let sim = HtmSim::new(mem, htm_config);
         HtmRuntime {
             sim,
             registry: ThreadRegistry::new(max_threads),
+            config,
         }
     }
 
     /// Creates a pure-HTM runtime over an existing simulator (sharing memory
     /// with other runtimes, e.g. in tests).
     pub fn with_sim(sim: Arc<HtmSim>) -> Self {
+        Self::with_sim_config(sim, HtmRuntimeConfig::default())
+    }
+
+    /// [`HtmRuntime::with_sim`] with an explicit runtime configuration.
+    pub fn with_sim_config(sim: Arc<HtmSim>, config: HtmRuntimeConfig) -> Self {
         let max_threads = sim.mem().layout().config().max_threads;
         HtmRuntime {
             sim,
             registry: ThreadRegistry::new(max_threads),
+            config,
         }
     }
 
     /// The underlying simulator.
     pub fn sim(&self) -> &Arc<HtmSim> {
         &self.sim
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &HtmRuntimeConfig {
+        &self.config
     }
 }
 
@@ -68,11 +111,14 @@ impl TmRuntime for HtmRuntime {
     fn register_thread(&self) -> HtmRuntimeThread {
         let token = self.registry.register();
         let htm = HtmThread::new(Arc::clone(&self.sim), token.id() as u64);
+        let rng = RetryRng::new(0x4854_4d52 ^ (token.id() as u64 + 1) << 21);
         HtmRuntimeThread {
             htm,
             token,
+            policy: self.config.retry_policy.clone(),
             stats: TxStats::new(false),
             in_txn: false,
+            rng,
         }
     }
 }
@@ -81,8 +127,11 @@ impl TmRuntime for HtmRuntime {
 pub struct HtmRuntimeThread {
     htm: HtmThread,
     token: ThreadToken,
+    policy: RetryPolicyHandle,
     stats: TxStats,
     in_txn: bool,
+    /// Per-thread RNG feeding the retry policy (backoff jitter).
+    rng: RetryRng,
 }
 
 impl HtmRuntimeThread {
@@ -123,6 +172,7 @@ impl TmThread for HtmRuntimeThread {
         assert!(!self.in_txn, "nested execute is not supported");
         self.in_txn = true;
         let backoff = Backoff::new();
+        let mut failures = 0u32;
         let result = loop {
             self.htm.begin();
             let outcome: TxResult<R> = body(self).and_then(|r| {
@@ -138,8 +188,24 @@ impl TmThread for HtmRuntimeThread {
                     break r;
                 }
                 Err(abort) => {
+                    failures += 1;
                     self.handle_abort(abort);
-                    backoff.snooze();
+                    let ctx = AttemptContext {
+                        attempt: failures,
+                        path: PathClass::Hardware,
+                        cause: abort.cause,
+                        // No software fallback exists: the clamp keeps any
+                        // Demote decision retrying in hardware.
+                        can_demote: false,
+                        retry_budget: u32::MAX,
+                        mix_percent: 0,
+                        fallback_rh2: 0,
+                        fallback_all_software: 0,
+                    };
+                    match self.policy.decide_clamped(&ctx, &mut self.rng) {
+                        RetryDecision::BackoffThen(spins) => retry::spin(spins),
+                        _ => backoff.snooze(),
+                    }
                 }
             }
         };

@@ -23,7 +23,8 @@
 use std::sync::Arc;
 
 use rhtm_api::{
-    AbortCause, Backoff, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
+    retry, AbortCause, AttemptContext, Backoff, PathClass, PathKind, RetryDecision,
+    RetryPolicyHandle, RetryRng, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
 };
 use rhtm_htm::{HtmConfig, HtmSim, HtmThread};
 use rhtm_mem::{stamp, Addr, MemConfig, ThreadRegistry, ThreadToken, TmMemory};
@@ -37,10 +38,23 @@ pub struct StdHytmConfig {
     /// the hardware mode implementation ... without any software fallback").
     /// Transactions that abort for a hardware-limitation reason still fall
     /// back, since retrying them in hardware can never succeed.
+    ///
+    /// This is a contract, not a tunable: besides setting the hardware
+    /// retry budget seen by the retry policy to `u32::MAX`, the runtime
+    /// ignores contention-demote decisions from budget-ignoring policies
+    /// (e.g. `adaptive`), so a `hardware_only` run commits on the software
+    /// path only for hardware limitations, whatever the policy.
     pub hardware_only: bool,
-    /// Number of contention-aborted hardware attempts before falling back to
-    /// the software path (ignored in `hardware_only` mode).
+    /// Hardware retry budget: the maximum number of *extra* hardware
+    /// attempts after the first contention failure (so `N` allows `N + 1`
+    /// hardware attempts in total) before falling back to the software
+    /// path.  Ignored in `hardware_only` mode.
     pub hw_retries: u32,
+    /// The contention-management policy consulted after every abort (see
+    /// [`rhtm_api::RetryPolicy`]).  The default reproduces the seed
+    /// behaviour: demote to software after `hw_retries` extra hardware
+    /// failures, immediately on a hardware limitation.
+    pub retry_policy: RetryPolicyHandle,
 }
 
 impl Default for StdHytmConfig {
@@ -48,6 +62,7 @@ impl Default for StdHytmConfig {
         StdHytmConfig {
             hardware_only: false,
             hw_retries: 4,
+            retry_policy: RetryPolicyHandle::paper_default(),
         }
     }
 }
@@ -58,6 +73,23 @@ impl StdHytmConfig {
         StdHytmConfig {
             hardware_only: true,
             hw_retries: u32::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Returns the configuration with a different retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicyHandle) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// The hardware retry budget the policy sees: unbounded when
+    /// `hardware_only`, the configured `hw_retries` otherwise.
+    fn hw_budget(&self) -> u32 {
+        if self.hardware_only {
+            u32::MAX
+        } else {
+            self.hw_retries
         }
     }
 }
@@ -118,6 +150,7 @@ impl TmRuntime for StdHytmRuntime {
         let token = self.registry.register();
         let htm = HtmThread::new(Arc::clone(&self.sim), token.id() as u64);
         let tl2 = Tl2Engine::new(Arc::clone(&self.sim), token.id());
+        let rng = RetryRng::new(0x5354_4459_544d ^ (token.id() as u64 + 1) << 17);
         StdHytmThread {
             sim: Arc::clone(&self.sim),
             htm,
@@ -128,6 +161,7 @@ impl TmRuntime for StdHytmRuntime {
             on_hardware: true,
             next_ver: 0,
             in_txn: false,
+            rng,
         }
     }
 }
@@ -145,6 +179,8 @@ pub struct StdHytmThread {
     /// Version the hardware path installs on written stripes.
     next_ver: u64,
     in_txn: bool,
+    /// Per-thread RNG feeding the retry policy (backoff jitter).
+    rng: RetryRng,
 }
 
 impl StdHytmThread {
@@ -230,7 +266,9 @@ impl TmThread for StdHytmThread {
         assert!(!self.in_txn, "nested execute is not supported");
         self.in_txn = true;
         let backoff = Backoff::new();
+        let hw_budget = self.config.hw_budget();
         let mut hw_failures = 0u32;
+        let mut sw_failures = 0u32;
         let mut force_software = false;
         let result = loop {
             self.on_hardware = !force_software;
@@ -264,13 +302,38 @@ impl TmThread for StdHytmThread {
                 }
                 Err(abort) => {
                     self.stats.record_abort(abort.cause);
-                    if self.on_hardware {
+                    let (path, attempt, budget) = if self.on_hardware {
                         self.stats.htm_aborts += 1;
                         hw_failures += 1;
-                        force_software = abort.cause.is_hardware_limitation()
-                            || (!self.config.hardware_only && hw_failures > self.config.hw_retries);
+                        (PathClass::Hardware, hw_failures, hw_budget)
+                    } else {
+                        sw_failures += 1;
+                        (PathClass::Software, sw_failures, u32::MAX)
+                    };
+                    let ctx = AttemptContext {
+                        attempt,
+                        path,
+                        cause: abort.cause,
+                        // The software fallback is the bottom tier; only
+                        // hardware attempts can demote.
+                        can_demote: self.on_hardware,
+                        retry_budget: budget,
+                        mix_percent: 100,
+                        fallback_rh2: 0,
+                        fallback_all_software: 0,
+                    };
+                    let decision = self.config.retry_policy.decide_clamped(&ctx, &mut self.rng);
+                    if self.on_hardware {
+                        // `hardware_only` is a contract: a contention
+                        // demote from a budget-ignoring policy is dropped;
+                        // only hardware limitations may fall back.
+                        force_software = decision == RetryDecision::Demote
+                            && (!self.config.hardware_only || abort.cause.is_hardware_limitation());
                     }
-                    backoff.snooze();
+                    match decision {
+                        RetryDecision::BackoffThen(spins) => retry::spin(spins),
+                        _ => backoff.snooze(),
+                    }
                 }
             }
         };
@@ -353,6 +416,7 @@ mod tests {
         let rt = Arc::new(runtime(StdHytmConfig {
             hardware_only: false,
             hw_retries: 0,
+            ..Default::default()
         }));
         let accounts: Vec<Addr> = (0..16).map(|_| rt.mem().alloc(1)).collect();
         for &a in &accounts {
@@ -436,5 +500,78 @@ mod tests {
     #[test]
     fn runtime_name() {
         assert_eq!(runtime(StdHytmConfig::default()).name(), "Standard HyTM");
+    }
+
+    #[test]
+    fn hardware_only_ignores_contention_demotes_from_any_policy() {
+        // `adaptive` demotes after 2 failures regardless of budget; the
+        // hardware_only contract must override it for anything short of a
+        // hardware limitation.
+        for policy in RetryPolicyHandle::builtin() {
+            let rt = StdHytmRuntime::new(
+                MemConfig::with_data_words(8192),
+                HtmConfig::default()
+                    .with_spurious_abort_rate(0.5)
+                    .with_seed(9),
+                StdHytmConfig::hardware_only().with_retry_policy(policy.clone()),
+            );
+            let addr = rt.mem().alloc(1);
+            let mut th = rt.register_thread();
+            for _ in 0..100 {
+                th.execute(|tx| {
+                    let v = tx.read(addr)?;
+                    tx.write(addr, v + 1)?;
+                    Ok(())
+                });
+            }
+            assert_eq!(
+                th.stats().commits_on(PathKind::HardwareFast),
+                100,
+                "{}: hardware_only must stay in hardware",
+                policy.label()
+            );
+            assert_eq!(
+                th.stats().commits_on(PathKind::Software),
+                0,
+                "{}",
+                policy.label()
+            );
+            // The escape hatch stays open: a protected instruction (a
+            // hardware limitation) still reaches the software path.
+            let v = th.execute(|tx| {
+                tx.protected_instruction()?;
+                tx.read(addr)
+            });
+            assert_eq!(v, 100);
+            assert_eq!(
+                th.stats().commits_on(PathKind::Software),
+                1,
+                "{}",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn retry_policy_threads_through_the_config() {
+        let config = StdHytmConfig::default().with_retry_policy(RetryPolicyHandle::aggressive());
+        assert_eq!(config.retry_policy.label(), "aggressive");
+        // An aggressive policy never demotes on contention, so a
+        // zero-budget config still commits everything in hardware.
+        let rt = runtime(StdHytmConfig {
+            hw_retries: 0,
+            ..config
+        });
+        let addr = rt.mem().alloc(1);
+        let mut th = rt.register_thread();
+        for _ in 0..50 {
+            th.execute(|tx| {
+                let v = tx.read(addr)?;
+                tx.write(addr, v + 1)?;
+                Ok(())
+            });
+        }
+        assert_eq!(th.stats().commits_on(PathKind::HardwareFast), 50);
+        assert_eq!(th.stats().commits_on(PathKind::Software), 0);
     }
 }

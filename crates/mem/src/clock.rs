@@ -87,7 +87,7 @@ pub const GV6_SAMPLE_PERIOD: u64 = 8;
 ///
 /// See the [module documentation](self) for the semantics and trade-offs of
 /// each variant.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ClockScheme {
     /// GV1: every version acquisition (software commits *and* hardware
     /// fast-path starts) atomically advances the shared counter.  Ablation
@@ -96,6 +96,7 @@ pub enum ClockScheme {
     /// Every writing software commit advances the clock with a
     /// fetch-and-add; hardware fast-paths read the clock without writing it
     /// (the paper's design).  The default.
+    #[default]
     GvStrict,
     /// Commit-time CAS advance with failure tolerated (TL2's GV4).
     Gv4,
@@ -105,12 +106,6 @@ pub enum ClockScheme {
     /// Sampled GV5: one in [`GV6_SAMPLE_PERIOD`] commits performs the GV4
     /// CAS advance (TL2's GV6).
     Gv6,
-}
-
-impl Default for ClockScheme {
-    fn default() -> Self {
-        ClockScheme::GvStrict
-    }
 }
 
 impl ClockScheme {
@@ -214,7 +209,7 @@ impl GlobalClock {
             ClockScheme::Gv4 => self.cas_advance(heap),
             ClockScheme::Gv5 => heap.load(self.addr) + 1,
             ClockScheme::Gv6 => {
-                if salt % GV6_SAMPLE_PERIOD == 0 {
+                if salt.is_multiple_of(GV6_SAMPLE_PERIOD) {
                     self.cas_advance(heap)
                 } else {
                     heap.load(self.addr) + 1

@@ -23,5 +23,5 @@ pub mod runtime;
 pub mod tl2;
 
 pub use mutex::{MutexRuntime, MutexThread};
-pub use runtime::{Tl2Runtime, Tl2Thread};
+pub use runtime::{Tl2Config, Tl2Runtime, Tl2Thread};
 pub use tl2::Tl2Engine;

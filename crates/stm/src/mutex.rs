@@ -177,6 +177,6 @@ mod tests {
         assert_eq!(th.stats().commits(), 1);
         assert_eq!(th.stats().reads, 1);
         assert_eq!(th.stats().writes, 1);
-        assert_eq!(th.thread_id() < 64, true);
+        assert!(th.thread_id() < 64);
     }
 }

@@ -4,42 +4,83 @@ use std::sync::Arc;
 
 use rhtm_api::Backoff;
 
-use rhtm_api::{AbortCause, PathKind, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn};
+use rhtm_api::{
+    retry, AbortCause, AttemptContext, PathClass, PathKind, RetryDecision, RetryPolicyHandle,
+    RetryRng, Stopwatch, TmRuntime, TmThread, TxResult, TxStats, Txn,
+};
 use rhtm_htm::{HtmConfig, HtmSim};
 use rhtm_mem::{Addr, MemConfig, ThreadRegistry, ThreadToken, TmMemory};
 
 use crate::tl2::Tl2Engine;
 
+/// Policy of the TL2 runtime.
+///
+/// TL2 is the bottom of every fallback cascade, so there is nowhere to
+/// demote to: the retry policy only controls how aborted attempts are
+/// paced (e.g. [`rhtm_api::retry::CappedExponential`] jittered backoff).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tl2Config {
+    /// The contention-management policy consulted after every abort.
+    pub retry_policy: RetryPolicyHandle,
+}
+
+impl Tl2Config {
+    /// Returns the configuration with a different retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicyHandle) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+}
+
 /// The TL2 software transactional memory runtime ("TL2" in the figures).
 pub struct Tl2Runtime {
     sim: Arc<HtmSim>,
     registry: Arc<ThreadRegistry>,
+    config: Tl2Config,
 }
 
 impl Tl2Runtime {
     /// Creates a TL2 runtime over its own fresh memory.
     pub fn new(mem_config: MemConfig) -> Self {
+        Self::with_config(mem_config, Tl2Config::default())
+    }
+
+    /// Creates a TL2 runtime over its own fresh memory with an explicit
+    /// runtime configuration.
+    pub fn with_config(mem_config: MemConfig, config: Tl2Config) -> Self {
         let max_threads = mem_config.max_threads;
         let mem = Arc::new(TmMemory::new(mem_config));
         let sim = HtmSim::new(mem, HtmConfig::default());
         Tl2Runtime {
             sim,
             registry: ThreadRegistry::new(max_threads),
+            config,
         }
     }
 
     /// Creates a TL2 runtime over an existing simulator (shared memory).
     pub fn with_sim(sim: Arc<HtmSim>) -> Self {
+        Self::with_sim_config(sim, Tl2Config::default())
+    }
+
+    /// [`Tl2Runtime::with_sim`] with an explicit runtime configuration.
+    pub fn with_sim_config(sim: Arc<HtmSim>, config: Tl2Config) -> Self {
         let max_threads = sim.mem().layout().config().max_threads;
         Tl2Runtime {
             sim,
             registry: ThreadRegistry::new(max_threads),
+            config,
         }
     }
 
     /// The underlying simulator (shared with any co-resident runtimes).
     pub fn sim(&self) -> &Arc<HtmSim> {
         &self.sim
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &Tl2Config {
+        &self.config
     }
 }
 
@@ -57,11 +98,14 @@ impl TmRuntime for Tl2Runtime {
     fn register_thread(&self) -> Tl2Thread {
         let token = self.registry.register();
         let engine = Tl2Engine::new(Arc::clone(&self.sim), token.id());
+        let rng = RetryRng::new(0x544c_3252 ^ (token.id() as u64 + 1) << 19);
         Tl2Thread {
             engine,
             token,
+            policy: self.config.retry_policy.clone(),
             stats: TxStats::new(false),
             in_txn: false,
+            rng,
         }
     }
 }
@@ -70,8 +114,11 @@ impl TmRuntime for Tl2Runtime {
 pub struct Tl2Thread {
     engine: Tl2Engine,
     token: ThreadToken,
+    policy: RetryPolicyHandle,
     stats: TxStats,
     in_txn: bool,
+    /// Per-thread RNG feeding the retry policy (backoff jitter).
+    rng: RetryRng,
 }
 
 impl Tl2Thread {
@@ -113,6 +160,7 @@ impl TmThread for Tl2Thread {
         assert!(!self.in_txn, "nested execute is not supported");
         self.in_txn = true;
         let backoff = Backoff::new();
+        let mut failures = 0u32;
         let result = loop {
             self.engine.start();
             let outcome: TxResult<R> = body(self).and_then(|r| {
@@ -128,15 +176,34 @@ impl TmThread for Tl2Thread {
                 }
                 Err(abort) => {
                     self.stats.record_abort(abort.cause);
+                    failures += 1;
                     // The engine rolled itself back when it raised the
                     // abort; an abort raised by user code (e.g. an explicit
                     // retry) leaves it active, which `start` discards.
-                    if abort.cause == AbortCause::Explicit {
-                        // Explicit user aborts back off a little harder to
-                        // avoid spinning on a condition that has not changed.
-                        backoff.snooze();
+                    let ctx = AttemptContext {
+                        attempt: failures,
+                        path: PathClass::Software,
+                        cause: abort.cause,
+                        // TL2 is the bottom tier: the clamp keeps any
+                        // Demote decision retrying in software.
+                        can_demote: false,
+                        retry_budget: u32::MAX,
+                        mix_percent: 0,
+                        fallback_rh2: 0,
+                        fallback_all_software: 0,
+                    };
+                    match self.policy.decide_clamped(&ctx, &mut self.rng) {
+                        RetryDecision::BackoffThen(spins) => retry::spin(spins),
+                        _ => {
+                            if abort.cause == AbortCause::Explicit {
+                                // Explicit user aborts back off a little
+                                // harder to avoid spinning on a condition
+                                // that has not changed.
+                                backoff.snooze();
+                            }
+                            backoff.snooze();
+                        }
                     }
-                    backoff.snooze();
                 }
             }
         };

@@ -4,11 +4,12 @@
 
 use std::sync::Arc;
 
+use rhtm_api::RetryPolicyHandle;
 use rhtm_core::{RhConfig, RhRuntime};
-use rhtm_htm::{HtmConfig, HtmRuntime, HtmSim};
+use rhtm_htm::{HtmConfig, HtmRuntime, HtmRuntimeConfig, HtmSim};
 use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
 use rhtm_mem::{ClockScheme, MemConfig, TmMemory};
-use rhtm_stm::{MutexRuntime, Tl2Runtime};
+use rhtm_stm::{MutexRuntime, Tl2Config, Tl2Runtime};
 
 use crate::driver::{run_benchmark, DriverOpts};
 use crate::report::BenchResult;
@@ -102,33 +103,73 @@ where
     W: Workload,
     B: FnOnce(&Arc<HtmSim>) -> W,
 {
+    run_on_algo_inner(kind, None, mem_config, htm_config, build, opts)
+}
+
+fn run_on_algo_inner<W, B>(
+    kind: AlgoKind,
+    policy: Option<&RetryPolicyHandle>,
+    mem_config: MemConfig,
+    htm_config: HtmConfig,
+    build: B,
+    opts: &DriverOpts,
+) -> BenchResult
+where
+    W: Workload,
+    B: FnOnce(&Arc<HtmSim>) -> W,
+{
     let mem = Arc::new(TmMemory::new(mem_config));
     let sim = HtmSim::new(mem, htm_config);
     let workload = build(&sim);
+    // Each runtime reads the override into its own config; `None` leaves
+    // the defaults (PaperDefault everywhere).
+    let rh = |config: RhConfig| match policy {
+        Some(p) => config.with_retry_policy(p.clone()),
+        None => config,
+    };
     match kind {
-        AlgoKind::Htm => run_benchmark(&HtmRuntime::with_sim(sim), &workload, opts),
-        AlgoKind::StdHytm => run_benchmark(
-            &StdHytmRuntime::with_sim(sim, StdHytmConfig::hardware_only()),
-            &workload,
-            opts,
-        ),
-        AlgoKind::Tl2 => run_benchmark(&Tl2Runtime::with_sim(sim), &workload, opts),
+        AlgoKind::Htm => {
+            let config = match policy {
+                Some(p) => HtmRuntimeConfig::default().with_retry_policy(p.clone()),
+                None => HtmRuntimeConfig::default(),
+            };
+            run_benchmark(&HtmRuntime::with_sim_config(sim, config), &workload, opts)
+        }
+        AlgoKind::StdHytm => {
+            let config = match policy {
+                Some(p) => StdHytmConfig::hardware_only().with_retry_policy(p.clone()),
+                None => StdHytmConfig::hardware_only(),
+            };
+            run_benchmark(&StdHytmRuntime::with_sim(sim, config), &workload, opts)
+        }
+        AlgoKind::Tl2 => {
+            let config = match policy {
+                Some(p) => Tl2Config::default().with_retry_policy(p.clone()),
+                None => Tl2Config::default(),
+            };
+            run_benchmark(&Tl2Runtime::with_sim_config(sim, config), &workload, opts)
+        }
         AlgoKind::Rh1Fast => run_benchmark(
-            &RhRuntime::with_sim(sim, RhConfig::rh1_fast()),
+            &RhRuntime::with_sim(sim, rh(RhConfig::rh1_fast())),
             &workload,
             opts,
         ),
         AlgoKind::Rh1Mixed(p) => run_benchmark(
-            &RhRuntime::with_sim(sim, RhConfig::rh1_mixed(p)),
+            &RhRuntime::with_sim(sim, rh(RhConfig::rh1_mixed(p))),
             &workload,
             opts,
         ),
         AlgoKind::Rh1Slow => run_benchmark(
-            &RhRuntime::with_sim(sim, RhConfig::rh1_slow()),
+            &RhRuntime::with_sim(sim, rh(RhConfig::rh1_slow())),
             &workload,
             opts,
         ),
-        AlgoKind::Rh2 => run_benchmark(&RhRuntime::with_sim(sim, RhConfig::rh2()), &workload, opts),
+        AlgoKind::Rh2 => run_benchmark(
+            &RhRuntime::with_sim(sim, rh(RhConfig::rh2())),
+            &workload,
+            opts,
+        ),
+        // The global-lock oracle never retries, so the policy is moot.
         AlgoKind::GlobalLock => run_benchmark(&MutexRuntime::with_sim(sim), &workload, opts),
     }
 }
@@ -154,6 +195,26 @@ where
         ..mem_config
     };
     run_on_algo(kind, mem_config, htm_config, build, opts)
+}
+
+/// [`run_on_algo`] with an explicit retry policy: overrides the runtime's
+/// contention-management policy (every `AlgoKind` except the retry-free
+/// global-lock oracle), so a figure can sweep
+/// `(RetryPolicyHandle, AlgoKind, threads)` without assembling runtime
+/// configs by hand.
+pub fn run_on_algo_with_policy<W, B>(
+    kind: AlgoKind,
+    policy: &RetryPolicyHandle,
+    mem_config: MemConfig,
+    htm_config: HtmConfig,
+    build: B,
+    opts: &DriverOpts,
+) -> BenchResult
+where
+    W: Workload,
+    B: FnOnce(&Arc<HtmSim>) -> W,
+{
+    run_on_algo_inner(kind, Some(policy), mem_config, htm_config, build, opts)
 }
 
 #[cfg(test)]
@@ -210,6 +271,33 @@ mod tests {
                 &DriverOpts::counted(2, 20, 100),
             );
             assert_eq!(result.total_ops, 200, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn retry_policy_override_reaches_every_runtime() {
+        let elements = 256;
+        for policy in RetryPolicyHandle::builtin() {
+            for kind in [
+                AlgoKind::Htm,
+                AlgoKind::StdHytm,
+                AlgoKind::Tl2,
+                AlgoKind::Rh1Mixed(100),
+                AlgoKind::Rh2,
+            ] {
+                let mem_config =
+                    MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 1024);
+                let result = run_on_algo_with_policy(
+                    kind,
+                    &policy,
+                    mem_config,
+                    HtmConfig::default(),
+                    |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                    &DriverOpts::counted(2, 20, 100),
+                );
+                assert_eq!(result.total_ops, 200, "{kind:?} under {}", policy.label());
+                assert_eq!(result.stats.commits(), 200, "{kind:?}");
+            }
         }
     }
 

@@ -109,7 +109,7 @@ where
                 scope.spawn(move || {
                     let mut thread = runtime.register_thread();
                     thread.stats_mut().timing = opts.breakdown;
-                    let mut rng = WorkloadRng::new(opts.seed ^ (tid as u64 + 1) * 0x9E37_79B9);
+                    let mut rng = WorkloadRng::new(opts.seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
                     let mut ops = 0u64;
                     let mut txn_ns = 0u64;
                     let loop_started = Instant::now();
@@ -123,7 +123,7 @@ where
                             None => {
                                 // Check the deadline every few operations to
                                 // keep the check off the per-op critical path.
-                                if ops % 64 == 0 && stop.load(Ordering::Relaxed) {
+                                if ops.is_multiple_of(64) && stop.load(Ordering::Relaxed) {
                                     break;
                                 }
                             }

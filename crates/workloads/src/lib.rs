@@ -44,7 +44,7 @@ pub mod rng;
 pub mod structures;
 pub mod workload;
 
-pub use algos::{run_on_algo, run_on_algo_with_clock, AlgoKind};
+pub use algos::{run_on_algo, run_on_algo_with_clock, run_on_algo_with_policy, AlgoKind};
 pub use driver::{run_benchmark, DriverOpts};
 pub use report::{BenchResult, Breakdown};
 pub use rng::WorkloadRng;

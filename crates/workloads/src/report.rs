@@ -276,7 +276,7 @@ mod tests {
         let r = result("RH1 Fast", 123, 10);
         assert!(r.throughput_row().contains("RH1 Fast"));
         assert!(r.breakdown_row().contains("no breakdown"));
-        let s = format_series("fig1", &[r.clone()]);
+        let s = format_series("fig1", std::slice::from_ref(&r));
         assert!(s.starts_with("# fig1\n"));
         let json = to_json(&[r]);
         assert!(json.contains("\"algorithm\""));

@@ -140,7 +140,7 @@ fn concurrent_threads_survive_mode_switches_without_losing_updates() {
                     // Wide writer: 24 lines written, exceeding both the
                     // fast-path and the RH2 write-back budget.
                     for i in 0..24 {
-                        let addr = big_region.offset(((t * 4096) + (k % 8) * 512 + i * 8) as usize);
+                        let addr = big_region.offset((t * 4096) + (k % 8) * 512 + i * 8);
                         let v = tx.read(addr)?;
                         tx.write(addr, v + 1)?;
                     }
