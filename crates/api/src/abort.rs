@@ -87,6 +87,18 @@ impl AbortCause {
         }
     }
 
+    /// Snake-case key used in machine-readable (JSON) reports.
+    ///
+    /// Part of the stable schema emitted by
+    /// `rhtm_workloads::report::to_json` and the `bench_suite` binary
+    /// (`aborts_<json_key>` fields).  Every label is already a single
+    /// lower-case word, so this is the label itself — the separate method
+    /// exists to make the schema contract explicit at the type level.
+    #[inline]
+    pub fn json_key(self) -> &'static str {
+        self.label()
+    }
+
     /// Does this cause indicate a *hardware limitation* (as opposed to
     /// contention)?  The paper's fallback decisions hinge on this
     /// distinction: contention is retried on the same path, hardware

@@ -45,6 +45,20 @@ impl PathKind {
             PathKind::Software => "software",
         }
     }
+
+    /// Snake-case key used in machine-readable (JSON) reports.
+    ///
+    /// This string is part of the stable schema emitted by
+    /// `rhtm_workloads::report::to_json` and the `bench_suite` binary
+    /// (`commits_<json_key>` fields); renaming it is a breaking schema
+    /// change for downstream plotting scripts.
+    pub fn json_key(self) -> &'static str {
+        match self {
+            PathKind::HardwareFast => "hw_fast",
+            PathKind::MixedSlow => "mixed_slow",
+            PathKind::Software => "software",
+        }
+    }
 }
 
 /// A start/stop timer that is free when timing is disabled.

@@ -1,0 +1,142 @@
+//! The unified benchmark suite: sweep every registered scenario
+//! (`structure × size × mix × distribution`) across the paper's six
+//! algorithms and a thread sweep, and emit **one** JSON document on
+//! stdout (progress goes to stderr).  Schema: `docs/BENCHMARKS.md`.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin bench_suite \
+//!     [paper|quick] [--smoke] [--list] [scenarios=a,b,..] [algos=a,b,..] \
+//!     [threads=N,M,..] [seed=N]
+//! ```
+//!
+//! * `--list` prints the scenario registry (name, structure, paper-scale
+//!   size, distribution, mix, description) and exits.
+//! * `--smoke` is the CI configuration: every scenario and algorithm at
+//!   tiny sizes, 2 threads, 10 ms per point.
+//! * `scenarios=` / `algos=` / `threads=` restrict the sweep;
+//!   `seed=` pins the base RNG seed recorded in the document.
+
+use rhtm_bench::{Scale, SuiteParams};
+use rhtm_workloads::{AlgoKind, Scenario};
+
+fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn print_list() {
+    let header = [
+        "scenario",
+        "structure",
+        "size",
+        "distribution",
+        "mix",
+        "description",
+    ];
+    println!(
+        "{:<26} {:<12} {:>10}  {:<13} {:<15} {}",
+        header[0], header[1], header[2], header[3], header[4], header[5]
+    );
+    for s in Scenario::all() {
+        println!(
+            "{:<26} {:<12} {:>10}  {:<13} {:<15} {}",
+            s.name,
+            s.structure.label(),
+            s.base_size,
+            s.dist.label(),
+            s.mix.label(),
+            s.about
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print_list();
+        return;
+    }
+    let mut scale = Scale::Paper;
+    let mut scale_explicit = false;
+    let mut smoke = false;
+    let mut scenarios: Option<Vec<&'static Scenario>> = None;
+    let mut algos: Option<Vec<AlgoKind>> = None;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut seed: Option<u64> = None;
+    for arg in &args {
+        if let Some(s) = Scale::parse(arg) {
+            scale = s;
+            scale_explicit = true;
+        } else if arg == "--smoke" {
+            smoke = true;
+        } else if let Some(list) = arg.strip_prefix("scenarios=") {
+            let parsed: Option<Vec<_>> = list.split(',').map(Scenario::find).collect();
+            match parsed {
+                Some(s) if !s.is_empty() => scenarios = Some(s),
+                _ => fail(format!(
+                    "bad scenario list '{list}' (see bench_suite --list)"
+                )),
+            }
+        } else if let Some(list) = arg.strip_prefix("algos=") {
+            let parsed: Option<Vec<_>> = list.split(',').map(AlgoKind::parse).collect();
+            match parsed {
+                Some(a) if !a.is_empty() => algos = Some(a),
+                _ => fail(format!("bad algorithm list '{list}'")),
+            }
+        } else if let Some(list) = arg.strip_prefix("threads=") {
+            let parsed: Result<Vec<usize>, _> = list.split(',').map(|t| t.trim().parse()).collect();
+            match parsed {
+                Ok(t) if !t.is_empty() && t.iter().all(|&n| n >= 1) => threads = Some(t),
+                _ => fail(format!(
+                    "bad thread list '{list}' (expected e.g. threads=1,2,4)"
+                )),
+            }
+        } else if let Some(v) = arg.strip_prefix("seed=") {
+            match v.parse() {
+                Ok(v) => seed = Some(v),
+                Err(_) => fail(format!("bad seed '{v}'")),
+            }
+        } else {
+            fail(format!(
+                "unknown argument '{arg}' (expected paper|quick, --smoke, --list, \
+                 scenarios=.., algos=.., threads=.., seed=..)"
+            ));
+        }
+    }
+
+    if smoke && scale_explicit {
+        fail("--smoke is its own scale; drop the paper|quick argument".to_string());
+    }
+    let mut params = if smoke {
+        SuiteParams::smoke()
+    } else {
+        SuiteParams::new(scale)
+    };
+    if let Some(s) = scenarios {
+        params.scenarios = s;
+    }
+    if let Some(a) = algos {
+        params.algos = a;
+    }
+    if let Some(t) = threads {
+        params.thread_counts = t;
+    }
+    if let Some(s) = seed {
+        params.seed = s;
+    }
+
+    let total = params.scenarios.len();
+    eprintln!(
+        "# bench_suite: {} scenarios x {} algos x {:?} threads ({} scale)",
+        total,
+        params.algos.len(),
+        params.thread_counts,
+        params.scale_label
+    );
+    let mut done = 0usize;
+    let json = rhtm_bench::run_suite_to_json(&params, |s, size| {
+        done += 1;
+        eprintln!("# [{done}/{total}] {} (size {size})", s.name);
+    });
+    println!("{json}");
+}

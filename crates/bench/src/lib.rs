@@ -23,6 +23,8 @@
 
 pub mod figures;
 pub mod params;
+pub mod suite;
 
 pub use figures::*;
 pub use params::{FigureParams, Scale};
+pub use suite::{run_suite, run_suite_to_json, SuiteParams};

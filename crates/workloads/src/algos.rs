@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use rhtm_api::RetryPolicyHandle;
+use rhtm_api::{RetryPolicyHandle, TmRuntime};
 use rhtm_core::{RhConfig, RhRuntime};
 use rhtm_htm::{HtmConfig, HtmRuntime, HtmRuntimeConfig, HtmSim};
 use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
@@ -86,6 +86,72 @@ impl AlgoKind {
     }
 }
 
+/// A generic computation over the runtime an [`AlgoKind`] names.
+///
+/// `TmRuntime` is not object-safe (its `Thread` associated type), so "give
+/// me the runtime for this kind" cannot return a trait object; the visitor
+/// inverts the control instead: [`visit_algo`] constructs the concrete
+/// runtime and calls [`AlgoVisitor::visit`] with it.  The benchmark driver
+/// is one visitor ([`run_on_algo`]); the invariant-stress tests are
+/// another (spawning their own threads against the runtime).
+pub trait AlgoVisitor {
+    /// What the computation returns.
+    type Out;
+
+    /// Runs the computation against the constructed runtime.
+    fn visit<R: TmRuntime>(self, runtime: R) -> Self::Out;
+}
+
+/// Instantiates the runtime `kind` names over `sim` (optionally overriding
+/// its contention-management policy) and hands it to `visitor`.
+///
+/// The simulator is shared, so the structure a workload built over it is
+/// visible to the runtime; `policy = None` leaves every runtime's default
+/// (`PaperDefault`).  The global-lock oracle never retries, so the policy
+/// is moot there.
+pub fn visit_algo<V: AlgoVisitor>(
+    kind: AlgoKind,
+    policy: Option<&RetryPolicyHandle>,
+    sim: Arc<HtmSim>,
+    visitor: V,
+) -> V::Out {
+    // Each runtime reads the override into its own config.
+    let rh = |config: RhConfig| match policy {
+        Some(p) => config.with_retry_policy(p.clone()),
+        None => config,
+    };
+    match kind {
+        AlgoKind::Htm => {
+            let config = match policy {
+                Some(p) => HtmRuntimeConfig::default().with_retry_policy(p.clone()),
+                None => HtmRuntimeConfig::default(),
+            };
+            visitor.visit(HtmRuntime::with_sim_config(sim, config))
+        }
+        AlgoKind::StdHytm => {
+            let config = match policy {
+                Some(p) => StdHytmConfig::hardware_only().with_retry_policy(p.clone()),
+                None => StdHytmConfig::hardware_only(),
+            };
+            visitor.visit(StdHytmRuntime::with_sim(sim, config))
+        }
+        AlgoKind::Tl2 => {
+            let config = match policy {
+                Some(p) => Tl2Config::default().with_retry_policy(p.clone()),
+                None => Tl2Config::default(),
+            };
+            visitor.visit(Tl2Runtime::with_sim_config(sim, config))
+        }
+        AlgoKind::Rh1Fast => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_fast()))),
+        AlgoKind::Rh1Mixed(p) => {
+            visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_mixed(p))))
+        }
+        AlgoKind::Rh1Slow => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_slow()))),
+        AlgoKind::Rh2 => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh2()))),
+        AlgoKind::GlobalLock => visitor.visit(MutexRuntime::with_sim(sim)),
+    }
+}
+
 /// Builds a fresh shared memory + simulated HTM, constructs the workload
 /// over it with `build`, instantiates the runtime selected by `kind` on the
 /// *same* memory, and runs the benchmark.
@@ -106,6 +172,19 @@ where
     run_on_algo_inner(kind, None, mem_config, htm_config, build, opts)
 }
 
+struct BenchVisitor<'a, W: Workload> {
+    workload: &'a W,
+    opts: &'a DriverOpts,
+}
+
+impl<W: Workload> AlgoVisitor for BenchVisitor<'_, W> {
+    type Out = BenchResult;
+
+    fn visit<R: TmRuntime>(self, runtime: R) -> BenchResult {
+        run_benchmark(&runtime, self.workload, self.opts)
+    }
+}
+
 fn run_on_algo_inner<W, B>(
     kind: AlgoKind,
     policy: Option<&RetryPolicyHandle>,
@@ -121,57 +200,15 @@ where
     let mem = Arc::new(TmMemory::new(mem_config));
     let sim = HtmSim::new(mem, htm_config);
     let workload = build(&sim);
-    // Each runtime reads the override into its own config; `None` leaves
-    // the defaults (PaperDefault everywhere).
-    let rh = |config: RhConfig| match policy {
-        Some(p) => config.with_retry_policy(p.clone()),
-        None => config,
-    };
-    match kind {
-        AlgoKind::Htm => {
-            let config = match policy {
-                Some(p) => HtmRuntimeConfig::default().with_retry_policy(p.clone()),
-                None => HtmRuntimeConfig::default(),
-            };
-            run_benchmark(&HtmRuntime::with_sim_config(sim, config), &workload, opts)
-        }
-        AlgoKind::StdHytm => {
-            let config = match policy {
-                Some(p) => StdHytmConfig::hardware_only().with_retry_policy(p.clone()),
-                None => StdHytmConfig::hardware_only(),
-            };
-            run_benchmark(&StdHytmRuntime::with_sim(sim, config), &workload, opts)
-        }
-        AlgoKind::Tl2 => {
-            let config = match policy {
-                Some(p) => Tl2Config::default().with_retry_policy(p.clone()),
-                None => Tl2Config::default(),
-            };
-            run_benchmark(&Tl2Runtime::with_sim_config(sim, config), &workload, opts)
-        }
-        AlgoKind::Rh1Fast => run_benchmark(
-            &RhRuntime::with_sim(sim, rh(RhConfig::rh1_fast())),
-            &workload,
+    visit_algo(
+        kind,
+        policy,
+        sim,
+        BenchVisitor {
+            workload: &workload,
             opts,
-        ),
-        AlgoKind::Rh1Mixed(p) => run_benchmark(
-            &RhRuntime::with_sim(sim, rh(RhConfig::rh1_mixed(p))),
-            &workload,
-            opts,
-        ),
-        AlgoKind::Rh1Slow => run_benchmark(
-            &RhRuntime::with_sim(sim, rh(RhConfig::rh1_slow())),
-            &workload,
-            opts,
-        ),
-        AlgoKind::Rh2 => run_benchmark(
-            &RhRuntime::with_sim(sim, rh(RhConfig::rh2())),
-            &workload,
-            opts,
-        ),
-        // The global-lock oracle never retries, so the policy is moot.
-        AlgoKind::GlobalLock => run_benchmark(&MutexRuntime::with_sim(sim), &workload, opts),
-    }
+        },
+    )
 }
 
 /// [`run_on_algo`] with an explicit global-clock scheme: overrides

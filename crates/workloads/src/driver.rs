@@ -1,19 +1,22 @@
 //! The multi-threaded benchmark driver.
 //!
-//! `run_benchmark` reproduces the paper's measurement loop: every worker
-//! thread repeatedly picks a random key, decides lookup-vs-update according
-//! to the write percentage, and executes one transaction, until either the
+//! `run_benchmark` generalises the paper's measurement loop into the
+//! scenario engine's: every worker thread repeatedly draws an operation
+//! kind from the configured [`OpMix`], a key from the configured
+//! [`KeyDist`] sampler, and executes one transaction, until either the
 //! measurement interval elapses or a fixed per-thread operation budget is
 //! exhausted.  Per-thread statistics are merged into a single
-//! [`BenchResult`].
+//! [`BenchResult`].  The paper's loop (uniform keys, binary
+//! lookup/update coin) is the default configuration.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rhtm_api::{TmRuntime, TmThread};
 
+use crate::mix::OpMix;
 use crate::report::{BenchResult, Breakdown};
-use crate::rng::WorkloadRng;
+use crate::rng::{KeyDist, WorkloadRng};
 use crate::workload::Workload;
 
 /// Options of a benchmark run.
@@ -21,8 +24,10 @@ use crate::workload::Workload;
 pub struct DriverOpts {
     /// Number of worker threads.
     pub threads: usize,
-    /// Percentage (0–100) of operations that are updates.
-    pub write_percent: u8,
+    /// The weighted operation mix drawn once per operation.
+    pub mix: OpMix,
+    /// The key-access distribution drawn once per operation.
+    pub dist: KeyDist,
     /// Fixed per-thread operation budget.  When `None`, the run is
     /// time-bounded by `duration`.
     pub ops_per_thread: Option<u64>,
@@ -39,7 +44,8 @@ impl Default for DriverOpts {
     fn default() -> Self {
         DriverOpts {
             threads: 1,
-            write_percent: 20,
+            mix: OpMix::read_update(20),
+            dist: KeyDist::Uniform,
             ops_per_thread: None,
             duration: Duration::from_millis(300),
             breakdown: false,
@@ -49,22 +55,24 @@ impl Default for DriverOpts {
 }
 
 impl DriverOpts {
-    /// A time-bounded run.
+    /// A time-bounded run with the paper's binary read/update mix over
+    /// uniform keys.
     pub fn timed(threads: usize, write_percent: u8, duration: Duration) -> Self {
         DriverOpts {
             threads,
-            write_percent,
+            mix: OpMix::read_update(write_percent),
             duration,
             ..Default::default()
         }
     }
 
     /// An operation-count-bounded run (used by the Criterion benches, whose
-    /// iteration model wants deterministic work per measurement).
+    /// iteration model wants deterministic work per measurement), with the
+    /// paper's binary read/update mix over uniform keys.
     pub fn counted(threads: usize, write_percent: u8, ops_per_thread: u64) -> Self {
         DriverOpts {
             threads,
-            write_percent,
+            mix: OpMix::read_update(write_percent),
             ops_per_thread: Some(ops_per_thread),
             ..Default::default()
         }
@@ -79,6 +87,18 @@ impl DriverOpts {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the operation mix.
+    pub fn with_mix(mut self, mix: OpMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the key-access distribution.
+    pub fn with_dist(mut self, dist: KeyDist) -> Self {
+        self.dist = dist;
         self
     }
 }
@@ -98,20 +118,28 @@ where
     W: Workload,
 {
     assert!(opts.threads >= 1, "at least one worker thread is required");
-    assert!(opts.write_percent <= 100);
+    assert!(workload.key_space() >= 1, "workload key space is empty");
     let stop = AtomicBool::new(false);
-    let started = Instant::now();
+    // Thread registration and sampler construction are setup, not
+    // measured work (the Zipfian sampler does O(key-space) precomputation)
+    // — every worker finishes setup and waits at this barrier before the
+    // measurement clock starts.
+    let ready = std::sync::Barrier::new(opts.threads + 1);
+    let mut started = Instant::now();
 
     let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.threads)
             .map(|tid| {
                 let stop = &stop;
+                let ready = &ready;
                 scope.spawn(move || {
                     let mut thread = runtime.register_thread();
                     thread.stats_mut().timing = opts.breakdown;
                     let mut rng = WorkloadRng::new(opts.seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
+                    let mut sampler = opts.dist.sampler(workload.key_space(), tid, opts.threads);
                     let mut ops = 0u64;
                     let mut txn_ns = 0u64;
+                    ready.wait();
                     let loop_started = Instant::now();
                     loop {
                         match opts.ops_per_thread {
@@ -128,13 +156,14 @@ where
                                 }
                             }
                         }
-                        let is_update = rng.draw_percent(opts.write_percent);
+                        let op = opts.mix.draw(&mut rng);
+                        let key = sampler.sample(&mut rng);
                         if opts.breakdown {
                             let t = Instant::now();
-                            workload.run_op(&mut thread, &mut rng, is_update);
+                            workload.run_op(&mut thread, &mut rng, op, key);
                             txn_ns += t.elapsed().as_nanos() as u64;
                         } else {
-                            workload.run_op(&mut thread, &mut rng, is_update);
+                            workload.run_op(&mut thread, &mut rng, op, key);
                         }
                         ops += 1;
                     }
@@ -148,6 +177,8 @@ where
             })
             .collect();
 
+        ready.wait();
+        started = Instant::now();
         if opts.ops_per_thread.is_none() {
             std::thread::sleep(opts.duration);
             stop.store(true, Ordering::SeqCst);
@@ -186,7 +217,10 @@ where
         algorithm: runtime.name().to_string(),
         workload: workload.name(),
         threads: opts.threads,
-        write_percent: opts.write_percent,
+        write_percent: opts.mix.update_percent(),
+        op_mix: opts.mix.label(),
+        key_dist: opts.dist.label(),
+        seed: opts.seed,
         total_ops,
         elapsed,
         stats,
@@ -255,6 +289,38 @@ mod tests {
         assert!(b.total_ns() > 0);
         let percentages = b.percentages();
         assert!((percentages.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mix_and_dist_are_recorded_in_the_result() {
+        let (rt, table) = setup(512);
+        let opts = DriverOpts::counted(2, 20, 100)
+            .with_mix(OpMix::read_update(35))
+            .with_dist(KeyDist::ZIPF_DEFAULT);
+        let result = run_benchmark(&rt, &table, &opts);
+        assert_eq!(result.write_percent, 35);
+        assert_eq!(result.op_mix, "l65-u35");
+        assert_eq!(result.key_dist, "zipf-0.99");
+        assert_eq!(result.seed, opts.seed);
+        assert_eq!(result.total_ops, 200);
+    }
+
+    #[test]
+    fn every_distribution_drives_the_run_deterministically() {
+        for dist in KeyDist::ALL {
+            let run = || {
+                let (rt, table) = setup(512);
+                run_benchmark(
+                    &rt,
+                    &table,
+                    &DriverOpts::counted(1, 50, 200).with_seed(9).with_dist(dist),
+                )
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.total_ops, 200, "{dist:?}");
+            assert_eq!(a.stats.reads, b.stats.reads, "{dist:?}");
+            assert_eq!(a.stats.writes, b.stats.writes, "{dist:?}");
+        }
     }
 
     #[test]

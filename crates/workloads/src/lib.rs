@@ -1,6 +1,7 @@
 //! # rhtm-workloads
 //!
-//! The paper's benchmark workloads and the multi-threaded driver that runs
+//! The scenario engine: the paper's benchmark workloads, the skew/mix
+//! generalisations beyond them, and the multi-threaded driver that runs
 //! them against every runtime in the workspace.
 //!
 //! ## "Constant" workloads (the paper's emulation methodology)
@@ -23,34 +24,60 @@
 //!
 //! Because the simulated HTM provides real atomicity (the authors' plain
 //! load/store emulation could not), this crate also ships fully mutable
-//! transactional structures — [`mutable::TxHashMap`] and
-//! [`mutable::TxSortedList`] — used by the correctness and property tests.
+//! transactional structures: [`TxSkipList`] (O(log n) ordered map with a
+//! transactional node freelist) and [`TxQueue`] (bounded FIFO ring buffer
+//! — the producer/consumer shape no search structure covers) as
+//! first-class benchmark workloads, plus the [`mutable`] map/list used by
+//! the correctness and property tests.
 //!
-//! ## Driver
+//! ## The scenario engine
 //!
-//! [`driver::run_benchmark`] spawns the requested number of threads, runs a
-//! key-distribution/op-mix loop for a fixed duration or operation count and
-//! merges per-thread [`rhtm_api::TxStats`].  [`algos::AlgoKind`] +
-//! [`algos::run_on_algo`] instantiate any of the paper's algorithm variants
-//! by name, so that a whole figure is a loop over `(AlgoKind, threads)`.
+//! Workload *shape* is pluggable along three axes, all cheap `Copy`
+//! configuration:
+//!
+//! * **Key distribution** ([`KeyDist`] → per-thread [`KeySampler`]):
+//!   uniform, Zipfian skew, hotspot, thread-partitioned.
+//! * **Operation mix** ([`OpMix`] over [`OpKind`]): weighted
+//!   lookup/range-sum/update/insert/remove instead of the paper's binary
+//!   read/update coin.
+//! * **Structure** (everything implementing [`Workload`]).
+//!
+//! [`driver::run_benchmark`] spawns the requested number of threads, draws
+//! `(op, key)` pairs per the configured mix and distribution for a fixed
+//! duration or operation count and merges per-thread
+//! [`rhtm_api::TxStats`].  [`algos::AlgoKind`] + [`algos::run_on_algo`]
+//! (and the generic [`algos::visit_algo`]) instantiate any of the paper's
+//! algorithm variants by name, and the [`scenario`] registry names the
+//! interesting `structure × size × mix × distribution` combinations, so
+//! that a whole benchmark campaign is a loop over
+//! `(Scenario, AlgoKind, threads)` — driven by the `bench_suite` binary in
+//! `rhtm-bench`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod algos;
 pub mod driver;
+pub mod mix;
 pub mod report;
 pub mod rng;
+pub mod scenario;
 pub mod structures;
 pub mod workload;
 
-pub use algos::{run_on_algo, run_on_algo_with_clock, run_on_algo_with_policy, AlgoKind};
+pub use algos::{
+    run_on_algo, run_on_algo_with_clock, run_on_algo_with_policy, visit_algo, AlgoKind, AlgoVisitor,
+};
 pub use driver::{run_benchmark, DriverOpts};
+pub use mix::{OpKind, OpMix};
 pub use report::{BenchResult, Breakdown};
-pub use rng::WorkloadRng;
+pub use rng::{KeyDist, KeySampler, WorkloadRng};
+pub use scenario::{suite_to_json, Scenario, ScenarioRun, StructureKind};
 pub use structures::hashtable::ConstantHashTable;
 pub use structures::mutable;
+pub use structures::queue::TxQueue;
 pub use structures::random_array::RandomArray;
 pub use structures::rbtree::ConstantRbTree;
+pub use structures::skiplist::TxSkipList;
 pub use structures::sortedlist::ConstantSortedList;
 pub use workload::Workload;

@@ -1,0 +1,288 @@
+//! Weighted operation mixes: the generalisation of the paper's binary
+//! read/update split.
+//!
+//! The paper's driver flips one biased coin per operation (`is_update`).
+//! The scenario engine replaces that with an [`OpMix`]: a weight per
+//! [`OpKind`] summing to 100, drawn once per operation.  The binary split
+//! is the special case [`OpMix::read_update`], so every pre-existing
+//! figure is expressible unchanged; the mutable structures (skiplist,
+//! queue) additionally get shape-changing inserts/removals and range
+//! queries as first-class, weighted operations.
+
+use crate::rng::WorkloadRng;
+
+/// The kinds of operation a workload can be asked to run.
+///
+/// Workloads are free to *map* kinds they cannot express onto the nearest
+/// supported operation (the constant structures run `Insert`/`Remove` as
+/// their dummy-payload update, for example) — the mapping must be
+/// documented on the `Workload` impl and must preserve
+/// [`OpKind::is_update`] semantics: a read-only kind must never mutate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read (lookup / search / membership test / queue peek).
+    Lookup,
+    /// Read-only range scan aggregating over consecutive keys.
+    RangeSum,
+    /// In-place value update that never changes the structure's shape.
+    Update,
+    /// Shape-changing insertion (queue: enqueue).
+    Insert,
+    /// Shape-changing removal (queue: dequeue).
+    Remove,
+}
+
+impl OpKind {
+    /// All kinds, in the fixed order mixes are encoded and drawn in.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Lookup,
+        OpKind::RangeSum,
+        OpKind::Update,
+        OpKind::Insert,
+        OpKind::Remove,
+    ];
+
+    /// Dense index for weight arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            OpKind::Lookup => 0,
+            OpKind::RangeSum => 1,
+            OpKind::Update => 2,
+            OpKind::Insert => 3,
+            OpKind::Remove => 4,
+        }
+    }
+
+    /// Does this kind mutate the structure?  Drives the `write_percent`
+    /// reported for a mix and the read/write accounting in results.
+    #[inline]
+    pub const fn is_update(self) -> bool {
+        matches!(self, OpKind::Update | OpKind::Insert | OpKind::Remove)
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Lookup => "lookup",
+            OpKind::RangeSum => "range-sum",
+            OpKind::Update => "update",
+            OpKind::Insert => "insert",
+            OpKind::Remove => "remove",
+        }
+    }
+
+    /// One-letter code used in compact mix labels (`l80-u20`).
+    pub const fn code(self) -> char {
+        match self {
+            OpKind::Lookup => 'l',
+            OpKind::RangeSum => 's',
+            OpKind::Update => 'u',
+            OpKind::Insert => 'i',
+            OpKind::Remove => 'r',
+        }
+    }
+
+    fn from_code(c: char) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.code() == c)
+    }
+}
+
+/// A weighted operation mix: a percentage per [`OpKind`], summing to 100.
+///
+/// A mix is pure configuration (`Copy`, comparable, `const`-constructible
+/// for the scenario registry); drawing an operation takes one percentage
+/// draw from the per-thread [`WorkloadRng`], so it costs the same as the
+/// old binary `is_update` coin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpMix {
+    /// Weight (percent) per kind, indexed by [`OpKind::index`].
+    weights: [u8; 5],
+}
+
+impl OpMix {
+    /// Builds a mix from a weight (percent) per kind, indexed by
+    /// [`OpKind::index`].  Panics unless the weights sum to exactly 100.
+    pub const fn new(weights: [u8; 5]) -> OpMix {
+        let mut sum = 0u32;
+        let mut i = 0;
+        while i < weights.len() {
+            sum += weights[i] as u32;
+            i += 1;
+        }
+        assert!(sum == 100, "operation-mix weights must sum to 100");
+        OpMix { weights }
+    }
+
+    /// The paper's binary split: `write_percent`% in-place updates, the
+    /// rest lookups.
+    pub const fn read_update(write_percent: u8) -> OpMix {
+        assert!(write_percent <= 100);
+        OpMix::new([100 - write_percent, 0, write_percent, 0, 0])
+    }
+
+    /// A search-structure mix: lookups plus shape-changing
+    /// inserts/removals.
+    pub const fn lookup_insert_remove(lookup: u8, insert: u8, remove: u8) -> OpMix {
+        OpMix::new([lookup, 0, 0, insert, remove])
+    }
+
+    /// A producer/consumer mix: `insert`% enqueues, `remove`% dequeues,
+    /// the remainder peeks.
+    pub const fn producer_consumer(insert: u8, remove: u8) -> OpMix {
+        assert!(insert as u32 + remove as u32 <= 100);
+        OpMix::new([100 - insert - remove, 0, 0, insert, remove])
+    }
+
+    /// The weight (percent) of one kind.
+    #[inline]
+    pub fn weight(&self, kind: OpKind) -> u8 {
+        self.weights[kind.index()]
+    }
+
+    /// Total weight of the mutating kinds — the `write_percent` this mix
+    /// reports in results (the generalisation of the paper's knob).
+    pub fn update_percent(&self) -> u8 {
+        OpKind::ALL
+            .into_iter()
+            .filter(|k| k.is_update())
+            .map(|k| self.weights[k.index()])
+            .sum()
+    }
+
+    /// Draws one operation kind (one percentage draw, in [`OpKind::ALL`]
+    /// order, so equal seeds yield identical operation sequences).
+    #[inline]
+    pub fn draw(&self, rng: &mut WorkloadRng) -> OpKind {
+        let p = rng.next_percent();
+        let mut acc = 0u8;
+        for kind in OpKind::ALL {
+            acc += self.weights[kind.index()];
+            if p < acc {
+                return kind;
+            }
+        }
+        // Unreachable while weights sum to 100; keep a deterministic
+        // answer anyway.
+        OpKind::Lookup
+    }
+
+    /// Compact, stable label: the non-zero kinds as `<code><percent>`
+    /// joined by dashes, e.g. `l80-u20`, `i50-r50`, `l40-s30-i15-r15`.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        for kind in OpKind::ALL {
+            let w = self.weights[kind.index()];
+            if w > 0 {
+                parts.push(format!("{}{}", kind.code(), w));
+            }
+        }
+        parts.join("-")
+    }
+
+    /// Parses a [`OpMix::label`] back into a mix; `None` unless every part
+    /// is a known code with a weight and the weights sum to 100.
+    pub fn parse(s: &str) -> Option<OpMix> {
+        let mut weights = [0u8; 5];
+        for part in s.trim().to_ascii_lowercase().split('-') {
+            let mut chars = part.chars();
+            let kind = OpKind::from_code(chars.next()?)?;
+            let w: u8 = chars.as_str().parse().ok()?;
+            if weights[kind.index()] != 0 {
+                return None; // duplicate kind
+            }
+            weights[kind.index()] = w;
+        }
+        if weights.iter().map(|&w| w as u32).sum::<u32>() == 100 {
+            Some(OpMix { weights })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_must_sum_to_100() {
+        let m = OpMix::new([50, 10, 20, 10, 10]);
+        assert_eq!(m.weight(OpKind::Lookup), 50);
+        assert_eq!(m.update_percent(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_weights_panic() {
+        let _ = OpMix::new([50, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn read_update_matches_the_papers_split() {
+        let m = OpMix::read_update(20);
+        assert_eq!(m.weight(OpKind::Lookup), 80);
+        assert_eq!(m.weight(OpKind::Update), 20);
+        assert_eq!(m.update_percent(), 20);
+        assert_eq!(m.label(), "l80-u20");
+        assert_eq!(OpMix::read_update(0).label(), "l100");
+    }
+
+    #[test]
+    fn draw_is_calibrated_and_deterministic() {
+        let m = OpMix::new([40, 10, 20, 15, 15]);
+        let mut a = WorkloadRng::new(9);
+        let mut b = WorkloadRng::new(9);
+        let mut counts = [0u32; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            let k = m.draw(&mut a);
+            assert_eq!(k, m.draw(&mut b), "same seed must draw the same op");
+            counts[k.index()] += 1;
+        }
+        for kind in OpKind::ALL {
+            let got = counts[kind.index()] as f64 / n as f64;
+            let want = m.weight(kind) as f64 / 100.0;
+            assert!((got - want).abs() < 0.01, "{kind:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn extreme_mixes_never_draw_the_other_kind() {
+        let mut rng = WorkloadRng::new(4);
+        let all_removes = OpMix::new([0, 0, 0, 0, 100]);
+        for _ in 0..500 {
+            assert_eq!(all_removes.draw(&mut rng), OpKind::Remove);
+        }
+        let read_only = OpMix::read_update(0);
+        for _ in 0..500 {
+            assert!(!read_only.draw(&mut rng).is_update());
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for m in [
+            OpMix::read_update(20),
+            OpMix::read_update(0),
+            OpMix::lookup_insert_remove(70, 15, 15),
+            OpMix::producer_consumer(50, 50),
+            OpMix::new([40, 30, 0, 15, 15]),
+        ] {
+            assert_eq!(OpMix::parse(&m.label()), Some(m), "{}", m.label());
+        }
+        for bad in ["l80-u21", "x50-l50", "l80u20", "", "l100-l0"] {
+            assert_eq!(OpMix::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn op_kind_codes_are_unique() {
+        for (i, a) in OpKind::ALL.into_iter().enumerate() {
+            assert_eq!(a.index(), i);
+            for b in OpKind::ALL.into_iter().skip(i + 1) {
+                assert_ne!(a.code(), b.code());
+            }
+        }
+    }
+}

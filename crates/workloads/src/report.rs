@@ -53,8 +53,17 @@ pub struct BenchResult {
     pub workload: String,
     /// Number of worker threads.
     pub threads: usize,
-    /// Write (update) percentage of the operation mix.
+    /// Write (update) percentage of the operation mix (the sum of the
+    /// mutating kinds' weights — the paper's knob, derived from `op_mix`).
     pub write_percent: u8,
+    /// Stable label of the weighted operation mix (e.g. `l80-u20`,
+    /// `l70-i15-r15`); see `OpMix::label`.
+    pub op_mix: String,
+    /// Stable label of the key-access distribution (e.g. `uniform`,
+    /// `zipf-0.99`); see `KeyDist::label`.
+    pub key_dist: String,
+    /// Base RNG seed of the run (per-thread streams derive from it).
+    pub seed: u64,
     /// Total committed operations across all threads.
     pub total_ops: u64,
     /// Wall-clock duration of the measurement interval.
@@ -164,7 +173,7 @@ pub fn to_json(results: &[BenchResult]) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -181,12 +190,15 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn result_json(r: &BenchResult) -> String {
+pub(crate) fn result_json(r: &BenchResult) -> String {
     let mut fields = vec![
         format!("\"algorithm\": {}", json_str(&r.algorithm)),
         format!("\"workload\": {}", json_str(&r.workload)),
         format!("\"threads\": {}", r.threads),
         format!("\"write_percent\": {}", r.write_percent),
+        format!("\"op_mix\": {}", json_str(&r.op_mix)),
+        format!("\"key_dist\": {}", json_str(&r.key_dist)),
+        format!("\"seed\": {}", r.seed),
         format!("\"total_ops\": {}", r.total_ops),
         format!("\"elapsed_secs\": {}", r.elapsed.as_secs_f64()),
         format!("\"throughput_ops_per_sec\": {}", r.throughput()),
@@ -202,15 +214,12 @@ fn result_json(r: &BenchResult) -> String {
     for path in PathKind::ALL {
         fields.push(format!(
             "\"commits_{}\": {}",
-            path.label().replace('-', "_"),
+            path.json_key(),
             r.stats.commits_on(path)
         ));
     }
     for (cause, n) in r.abort_causes() {
-        fields.push(format!(
-            "\"aborts_{}\": {n}",
-            format!("{cause:?}").to_ascii_lowercase()
-        ));
+        fields.push(format!("\"aborts_{}\": {n}", cause.json_key()));
     }
     if let Some(b) = &r.breakdown {
         fields.push(format!(
@@ -219,6 +228,168 @@ fn result_json(r: &BenchResult) -> String {
         ));
     }
     format!("  {{\n    {}\n  }}", fields.join(",\n    "))
+}
+
+/// Checks that `s` is one syntactically well-formed JSON value.
+///
+/// A minimal recursive-descent validator (the workspace builds offline with
+/// no `serde_json`), used by tests and the `bench_suite --smoke` CI job to
+/// guarantee the hand-rolled emitters above never produce an unparseable
+/// document.  Validates syntax only — numbers, strings (with escapes),
+/// arrays, objects, literals — not any schema.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected value at byte {}", *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(|c| c.is_ascii_hexdigit()) {
+                        return Err(format!("bad \\u escape at byte {}", *pos));
+                    }
+                    *pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {}", *pos)),
+            },
+            0x00..=0x1f => return Err(format!("raw control character at byte {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -236,6 +407,9 @@ mod tests {
             workload: "unit".to_string(),
             threads: 4,
             write_percent: 20,
+            op_mix: "l80-u20".to_string(),
+            key_dist: "uniform".to_string(),
+            seed: 0xbe6c_c0de,
             total_ops: ops,
             elapsed: Duration::from_millis(millis),
             stats,
@@ -281,6 +455,43 @@ mod tests {
         let json = to_json(&[r]);
         assert!(json.contains("\"algorithm\""));
         assert!(json.contains("RH1 Fast"));
+        for field in [
+            "\"op_mix\": \"l80-u20\"",
+            "\"key_dist\": \"uniform\"",
+            "\"seed\": ",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        validate_json(&json).expect("emitted JSON must parse");
+    }
+
+    #[test]
+    fn validator_accepts_json_and_rejects_non_json() {
+        for good in [
+            "null",
+            "-12.5e+3",
+            "[]",
+            "{}",
+            r#"{"a": [1, 2, {"b": "c\nd"}], "e": true}"#,
+            "  [1]  ",
+            r#""é""#,
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good:?}: {e}"));
+        }
+        for bad in [
+            "",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "01x",
+            "[1 2]",
+            "{1: 2}",
+            "nul",
+            r#""\q""#,
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -1,11 +1,20 @@
-//! A small, fast, deterministic PRNG for workload key selection.
+//! A small, fast, deterministic PRNG for workload key selection, plus the
+//! pluggable key-access distributions ([`KeyDist`]) of the scenario engine.
 //!
-//! The benchmark loops pick a random key and decide lookup-vs-update for
+//! The benchmark loops pick a random key and decide the operation kind for
 //! every operation, so the generator must be cheap enough not to perturb
 //! the measured transaction cost (the paper's operations are O(log n) tree
 //! walks; a ChaCha-class generator would be a visible fraction of that).
 //! xorshift64* is more than random enough for key selection and is seeded
 //! per thread for reproducibility.
+//!
+//! The paper's evaluation only exercises *uniform* key access.  Real
+//! workloads are skewed, and skew changes which TM protocol wins (hot keys
+//! concentrate conflicts on a few cache lines, which is exactly where the
+//! RH1 fast-path's uninstrumented reads stop helping), so the distribution
+//! is a first-class benchmark axis: every [`KeyDist`] turns into a
+//! per-thread [`KeySampler`] that draws keys from the workload's key space
+//! deterministically from the thread's seed.
 
 /// A xorshift64* generator.
 #[derive(Clone, Debug)]
@@ -56,6 +65,241 @@ impl WorkloadRng {
     #[inline(always)]
     pub fn draw_percent(&mut self, percent: u8) -> bool {
         self.next_percent() < percent
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline(always)]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A key-access distribution: *which* keys of a workload's key space the
+/// driver hammers, orthogonal to the operation mix
+/// ([`crate::mix::OpMix`]) and the structure.
+///
+/// A distribution is pure configuration (`Copy`, comparable, parseable);
+/// the per-thread sampling state lives in the [`KeySampler`] built by
+/// [`KeyDist::sampler`].  Skew parameters are stored as scaled integers so
+/// distributions can be compared, hashed and embedded in `const` scenario
+/// tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KeyDist {
+    /// Every key equally likely — the paper's evaluation setting.
+    Uniform,
+    /// Zipfian skew with exponent `theta = theta_centi / 100` (YCSB-style;
+    /// `theta_centi` must be in `1..=99`).  Rank 0 — the lowest key — is
+    /// the hottest, so skew also clusters spatially (adjacent hot keys
+    /// share stripes and cache lines), which is the adversarial case for
+    /// conflict detection.
+    Zipfian {
+        /// Skew exponent in hundredths (99 ⇒ the classic θ = 0.99).
+        theta_centi: u16,
+    },
+    /// A two-class hotspot: `ops_pct`% of operations target the first
+    /// `keys_pct`% of the key space, the rest go to the cold remainder.
+    Hotspot {
+        /// Size of the hot set, as a percentage of the key space (≥ 1 key).
+        keys_pct: u8,
+        /// Share of operations that hit the hot set.
+        ops_pct: u8,
+    },
+    /// Each thread owns an equal contiguous slice of the key space and only
+    /// draws from it — the conflict-free extreme (threads still collide on
+    /// shared structure skeleton: list heads, queue cursors, tree root).
+    Partitioned,
+}
+
+impl KeyDist {
+    /// The classic YCSB Zipfian (θ = 0.99).
+    pub const ZIPF_DEFAULT: KeyDist = KeyDist::Zipfian { theta_centi: 99 };
+
+    /// The classic 90/10 hotspot (90% of operations on 10% of the keys).
+    pub const HOTSPOT_DEFAULT: KeyDist = KeyDist::Hotspot {
+        keys_pct: 10,
+        ops_pct: 90,
+    };
+
+    /// All distribution shapes at their default parameters, in display
+    /// order (used by sweeps and CLI help).
+    pub const ALL: [KeyDist; 4] = [
+        KeyDist::Uniform,
+        KeyDist::ZIPF_DEFAULT,
+        KeyDist::HOTSPOT_DEFAULT,
+        KeyDist::Partitioned,
+    ];
+
+    /// Display label, stable across runs (used in reports and JSON):
+    /// `uniform`, `zipf-0.99`, `hotspot-10-90`, `partitioned`.
+    pub fn label(&self) -> String {
+        match *self {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipfian { theta_centi } => {
+                format!("zipf-{}.{:02}", theta_centi / 100, theta_centi % 100)
+            }
+            KeyDist::Hotspot { keys_pct, ops_pct } => format!("hotspot-{keys_pct}-{ops_pct}"),
+            KeyDist::Partitioned => "partitioned".to_string(),
+        }
+    }
+
+    /// Parses a [`KeyDist::label`] back into a distribution (used by the
+    /// bench binaries' CLI).  `zipf` and `hotspot` without parameters give
+    /// the defaults.
+    pub fn parse(s: &str) -> Option<KeyDist> {
+        let l = s.trim().to_ascii_lowercase();
+        match l.as_str() {
+            "uniform" => return Some(KeyDist::Uniform),
+            "partitioned" => return Some(KeyDist::Partitioned),
+            "zipf" | "zipfian" => return Some(KeyDist::ZIPF_DEFAULT),
+            "hotspot" => return Some(KeyDist::HOTSPOT_DEFAULT),
+            _ => {}
+        }
+        if let Some(theta) = l.strip_prefix("zipf-") {
+            // "0.99" → 99 hundredths.
+            let (int, frac) = theta.split_once('.')?;
+            let int: u16 = int.parse().ok()?;
+            if frac.len() != 2 || int != 0 {
+                return None;
+            }
+            let frac: u16 = frac.parse().ok()?;
+            return match frac {
+                1..=99 => Some(KeyDist::Zipfian { theta_centi: frac }),
+                _ => None,
+            };
+        }
+        if let Some(rest) = l.strip_prefix("hotspot-") {
+            let (keys, ops) = rest.split_once('-')?;
+            let keys_pct: u8 = keys.parse().ok()?;
+            let ops_pct: u8 = ops.parse().ok()?;
+            if (1..=100).contains(&keys_pct) && ops_pct <= 100 {
+                return Some(KeyDist::Hotspot { keys_pct, ops_pct });
+            }
+            return None;
+        }
+        None
+    }
+
+    /// Builds the per-thread sampling state for a key space of `key_space`
+    /// keys (`key_space ≥ 1`), for worker `thread_id` of `thread_count`.
+    ///
+    /// Sampling is deterministic: the randomness comes entirely from the
+    /// [`WorkloadRng`] passed to [`KeySampler::sample`], so equal seeds
+    /// yield identical key sequences for every distribution.
+    pub fn sampler(&self, key_space: u64, thread_id: usize, thread_count: usize) -> KeySampler {
+        assert!(key_space >= 1, "key space must be non-empty");
+        assert!(thread_id < thread_count.max(1));
+        let imp = match *self {
+            KeyDist::Uniform => SamplerImp::Uniform { n: key_space },
+            KeyDist::Zipfian { theta_centi } if key_space == 1 => {
+                debug_assert!((1..=99).contains(&theta_centi));
+                SamplerImp::Uniform { n: key_space }
+            }
+            KeyDist::Zipfian { theta_centi } => {
+                assert!(
+                    (1..=99).contains(&theta_centi),
+                    "zipfian theta must be in 0.01..=0.99"
+                );
+                SamplerImp::Zipfian(ZipfState::new(key_space, theta_centi as f64 / 100.0))
+            }
+            KeyDist::Hotspot { keys_pct, ops_pct } => {
+                assert!((1..=100).contains(&keys_pct) && ops_pct <= 100);
+                let hot = (key_space * keys_pct as u64 / 100).max(1).min(key_space);
+                SamplerImp::Hotspot {
+                    n: key_space,
+                    hot,
+                    ops_pct,
+                }
+            }
+            KeyDist::Partitioned => {
+                let threads = thread_count.max(1) as u64;
+                let tid = thread_id as u64;
+                let base = key_space * tid / threads;
+                let end = key_space * (tid + 1) / threads;
+                // Threads beyond the key space share the last key rather
+                // than sampling an empty slice.
+                let base = base.min(key_space - 1);
+                let len = end.max(base + 1) - base;
+                SamplerImp::Partitioned { base, len }
+            }
+        };
+        KeySampler { imp }
+    }
+}
+
+/// Per-thread sampling state for one [`KeyDist`] over one key space.
+///
+/// Construction may do O(key-space) work (the Zipfian harmonic sum), which
+/// is why samplers are built once per worker thread, not per operation;
+/// [`KeySampler::sample`] itself is O(1).
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    imp: SamplerImp,
+}
+
+#[derive(Clone, Debug)]
+enum SamplerImp {
+    Uniform { n: u64 },
+    Zipfian(ZipfState),
+    Hotspot { n: u64, hot: u64, ops_pct: u8 },
+    Partitioned { base: u64, len: u64 },
+}
+
+/// Bounded Zipfian sampler state (Gray et al., "Quickly generating
+/// billion-record synthetic databases", SIGMOD '94 — the YCSB generator).
+#[derive(Clone, Debug)]
+struct ZipfState {
+    n: u64,
+    zetan: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl ZipfState {
+    fn new(n: u64, theta: f64) -> Self {
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfState {
+            n,
+            zetan,
+            zeta2,
+            alpha,
+            eta,
+        }
+    }
+
+    fn sample(&self, rng: &mut WorkloadRng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.zeta2 {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+impl KeySampler {
+    /// Draws the next key in `[0, key_space)`.
+    #[inline]
+    pub fn sample(&mut self, rng: &mut WorkloadRng) -> u64 {
+        match &self.imp {
+            SamplerImp::Uniform { n } => rng.next_below(*n),
+            SamplerImp::Zipfian(z) => z.sample(rng),
+            SamplerImp::Hotspot { n, hot, ops_pct } => {
+                if rng.draw_percent(*ops_pct) || *hot == *n {
+                    rng.next_below(*hot)
+                } else {
+                    hot + rng.next_below(n - hot)
+                }
+            }
+            SamplerImp::Partitioned { base, len } => base + rng.next_below(*len),
+        }
     }
 }
 
@@ -109,5 +353,118 @@ mod tests {
     fn zero_seed_is_usable() {
         let mut rng = WorkloadRng::new(0);
         assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn dist_labels_round_trip_through_parse() {
+        for dist in KeyDist::ALL {
+            assert_eq!(KeyDist::parse(&dist.label()), Some(dist), "{dist:?}");
+        }
+        assert_eq!(
+            KeyDist::parse("zipf-0.70"),
+            Some(KeyDist::Zipfian { theta_centi: 70 })
+        );
+        assert_eq!(
+            KeyDist::parse("hotspot-5-95"),
+            Some(KeyDist::Hotspot {
+                keys_pct: 5,
+                ops_pct: 95
+            })
+        );
+        assert_eq!(KeyDist::parse("zipf"), Some(KeyDist::ZIPF_DEFAULT));
+        assert_eq!(KeyDist::parse("hotspot"), Some(KeyDist::HOTSPOT_DEFAULT));
+        for bad in ["zipf-1.50", "zipf-0.999", "hotspot-0-50", "gauss", ""] {
+            assert_eq!(KeyDist::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn every_distribution_stays_in_range_and_is_deterministic() {
+        let n = 1_000;
+        for dist in KeyDist::ALL {
+            let mut a = WorkloadRng::new(7);
+            let mut b = WorkloadRng::new(7);
+            let mut sa = dist.sampler(n, 1, 4);
+            let mut sb = dist.sampler(n, 1, 4);
+            for _ in 0..2_000 {
+                let ka = sa.sample(&mut a);
+                assert!(ka < n, "{dist:?} out of range");
+                assert_eq!(ka, sb.sample(&mut b), "{dist:?} not deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_concentrates_mass_on_low_ranks() {
+        let n = 10_000u64;
+        let mut rng = WorkloadRng::new(11);
+        let mut s = KeyDist::ZIPF_DEFAULT.sampler(n, 0, 1);
+        let draws = 50_000;
+        let mut head = 0u64; // keys 0..n/100 — 1% of the key space
+        let mut zero = 0u64;
+        for _ in 0..draws {
+            let k = s.sample(&mut rng);
+            if k < n / 100 {
+                head += 1;
+            }
+            if k == 0 {
+                zero += 1;
+            }
+        }
+        let head_share = head as f64 / draws as f64;
+        assert!(
+            head_share > 0.4,
+            "1% hottest keys should draw >40% of accesses, got {head_share}"
+        );
+        assert!(zero > draws / 100, "rank 0 must be the hottest key");
+    }
+
+    #[test]
+    fn hotspot_is_calibrated() {
+        let n = 10_000u64;
+        let mut rng = WorkloadRng::new(3);
+        let mut s = KeyDist::HOTSPOT_DEFAULT.sampler(n, 0, 1);
+        let draws = 50_000;
+        let hot = (0..draws).filter(|_| s.sample(&mut rng) < n / 10).count() as f64;
+        let share = hot / draws as f64;
+        assert!((share - 0.90).abs() < 0.02, "hot share {share}");
+    }
+
+    #[test]
+    fn partitioned_threads_stay_in_their_slices() {
+        let n = 1_003u64; // deliberately not divisible by the thread count
+        let threads = 4;
+        let mut covered = vec![false; n as usize];
+        for tid in 0..threads {
+            let mut rng = WorkloadRng::new(tid as u64);
+            let mut s = KeyDist::Partitioned.sampler(n, tid, threads);
+            let lo = n * tid as u64 / threads as u64;
+            let hi = n * (tid as u64 + 1) / threads as u64;
+            for _ in 0..5_000 {
+                let k = s.sample(&mut rng);
+                assert!(
+                    k >= lo && k < hi,
+                    "thread {tid} drew {k} outside [{lo},{hi})"
+                );
+                covered[k as usize] = true;
+            }
+        }
+        assert!(covered.iter().filter(|&&c| c).count() > (n as usize * 9 / 10));
+    }
+
+    #[test]
+    fn degenerate_key_spaces_are_safe() {
+        for dist in KeyDist::ALL {
+            let mut rng = WorkloadRng::new(5);
+            let mut s = dist.sampler(1, 0, 8);
+            for _ in 0..50 {
+                assert_eq!(s.sample(&mut rng), 0, "{dist:?}");
+            }
+            // More threads than keys: partitioned threads share the last key.
+            let mut s = dist.sampler(2, 7, 8);
+            for _ in 0..50 {
+                assert!(s.sample(&mut rng) < 2, "{dist:?}");
+            }
+        }
     }
 }

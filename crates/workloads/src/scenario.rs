@@ -1,0 +1,483 @@
+//! The scenario registry: named `structure × size × mix × distribution`
+//! combinations, runnable on any [`AlgoKind`].
+//!
+//! A [`Scenario`] is one point in the workload-shape space the engine can
+//! sweep; the registry ([`Scenario::all`]) names the interesting ones so a
+//! whole benchmark campaign is a loop over
+//! `(Scenario, AlgoKind, threads)` — exactly as PR 1 made the global clock
+//! and PR 2 the retry policy sweepable by name.  The `bench_suite` binary
+//! in `rhtm-bench` drives this registry and emits one machine-readable
+//! JSON document (see [`suite_to_json`]).
+//!
+//! Registered sizes are the paper-like scale; [`Scenario::sized`] scales
+//! them down for quick/smoke runs while keeping every structure above its
+//! interesting minimum.
+
+use std::sync::Arc;
+
+use rhtm_htm::{HtmConfig, HtmSim};
+use rhtm_mem::MemConfig;
+
+use crate::algos::{run_on_algo, AlgoKind};
+use crate::driver::DriverOpts;
+use crate::mix::OpMix;
+use crate::report::{json_str, result_json, BenchResult};
+use crate::rng::KeyDist;
+use crate::structures::hashtable::ConstantHashTable;
+use crate::structures::queue::TxQueue;
+use crate::structures::random_array::RandomArray;
+use crate::structures::rbtree::ConstantRbTree;
+use crate::structures::skiplist::TxSkipList;
+use crate::structures::sortedlist::ConstantSortedList;
+
+/// Accesses per transaction for the random-array scenarios (the paper's
+/// mid-length configuration).
+const RANDOM_ARRAY_TXN_LEN: usize = 100;
+
+/// The structures a scenario can run over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// Constant-shape red-black tree (paper §3.2).
+    RbTree,
+    /// Constant-shape chained hash table (paper §3.3).
+    HashTable,
+    /// Constant-shape sorted linked list (paper §3.4).
+    SortedList,
+    /// Random-access array with configurable transaction length (§3.5).
+    RandomArray,
+    /// Mutable transactional skiplist (shape-changing inserts/removals).
+    SkipList,
+    /// Mutable transactional bounded FIFO queue (producer/consumer).
+    Queue,
+}
+
+impl StructureKind {
+    /// Stable label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StructureKind::RbTree => "rbtree",
+            StructureKind::HashTable => "hashtable",
+            StructureKind::SortedList => "sortedlist",
+            StructureKind::RandomArray => "random-array",
+            StructureKind::SkipList => "skiplist",
+            StructureKind::Queue => "queue",
+        }
+    }
+
+    /// Whether transactions change the structure's shape (see
+    /// `structures::mod` for the constant/mutable split).
+    pub fn is_mutable(&self) -> bool {
+        matches!(self, StructureKind::SkipList | StructureKind::Queue)
+    }
+
+    /// The smallest size at which the structure's workload stays
+    /// meaningful (floor applied by [`Scenario::sized`]).
+    fn min_size(&self) -> u64 {
+        match self {
+            StructureKind::RbTree => 512,
+            StructureKind::HashTable => 256,
+            StructureKind::SortedList => 64,
+            StructureKind::RandomArray => 1_024,
+            StructureKind::SkipList => 256,
+            StructureKind::Queue => 64,
+        }
+    }
+}
+
+/// One named point in the workload-shape space:
+/// `structure × size × mix × distribution`.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Unique registry name (CLI handle and JSON `scenario` field).
+    pub name: &'static str,
+    /// The structure the operations run over.
+    pub structure: StructureKind,
+    /// Size at paper-like scale: elements for the search structures,
+    /// entries for the array, capacity for the queue.
+    pub base_size: u64,
+    /// The weighted operation mix.
+    pub mix: OpMix,
+    /// The key-access distribution.
+    pub dist: KeyDist,
+    /// One-line description shown by `bench_suite --list`.
+    pub about: &'static str,
+}
+
+/// The registry.  Order is display order; names must stay unique and
+/// stable (they key the `BENCH_*.json` trajectory).
+const REGISTRY: &[Scenario] = &[
+    Scenario {
+        name: "rbtree-uniform",
+        structure: StructureKind::RbTree,
+        base_size: 100_000,
+        mix: OpMix::read_update(20),
+        dist: KeyDist::Uniform,
+        about: "the paper's Figure 1/2 point: constant 100K-node tree, 20% dummy updates",
+    },
+    Scenario {
+        name: "rbtree-zipf",
+        structure: StructureKind::RbTree,
+        base_size: 100_000,
+        mix: OpMix::read_update(20),
+        dist: KeyDist::ZIPF_DEFAULT,
+        about: "the Figure 1 tree under YCSB-style zipfian skew (hot subtree contention)",
+    },
+    Scenario {
+        name: "rbtree-write-heavy-hotspot",
+        structure: StructureKind::RbTree,
+        base_size: 100_000,
+        mix: OpMix::read_update(80),
+        dist: KeyDist::HOTSPOT_DEFAULT,
+        about: "80% updates with 90% of operations on 10% of the keys: conflict saturation",
+    },
+    Scenario {
+        name: "hashtable-uniform",
+        structure: StructureKind::HashTable,
+        base_size: 10_000,
+        mix: OpMix::read_update(20),
+        dist: KeyDist::Uniform,
+        about: "the paper's Figure 3 (left): short-transaction constant hash table",
+    },
+    Scenario {
+        name: "hashtable-zipf",
+        structure: StructureKind::HashTable,
+        base_size: 10_000,
+        mix: OpMix::read_update(20),
+        dist: KeyDist::ZIPF_DEFAULT,
+        about: "short transactions with zipfian skew: conflicts without footprint",
+    },
+    Scenario {
+        name: "hashtable-partitioned",
+        structure: StructureKind::HashTable,
+        base_size: 10_000,
+        mix: OpMix::read_update(50),
+        dist: KeyDist::Partitioned,
+        about: "thread-partitioned keys at 50% updates: the conflict-free upper bound",
+    },
+    Scenario {
+        name: "sortedlist-uniform",
+        structure: StructureKind::SortedList,
+        base_size: 1_000,
+        mix: OpMix::read_update(5),
+        dist: KeyDist::Uniform,
+        about: "the paper's Figure 3 (middle): long shared-prefix transactions, 5% updates",
+    },
+    Scenario {
+        name: "sortedlist-hotspot",
+        structure: StructureKind::SortedList,
+        base_size: 1_000,
+        mix: OpMix::read_update(5),
+        dist: KeyDist::HOTSPOT_DEFAULT,
+        about: "the long-transaction list with a 90/10 hotspot at the front",
+    },
+    Scenario {
+        name: "random-array-uniform",
+        structure: StructureKind::RandomArray,
+        base_size: 128 * 1024,
+        mix: OpMix::read_update(20),
+        dist: KeyDist::Uniform,
+        about: "the paper's Figure 3 (right) shape: 100-access transactions, 20% writes",
+    },
+    Scenario {
+        name: "skiplist-uniform",
+        structure: StructureKind::SkipList,
+        base_size: 16_384,
+        mix: OpMix::lookup_insert_remove(70, 15, 15),
+        dist: KeyDist::Uniform,
+        about: "mutable skiplist, shape-changing 70/15/15 lookup/insert/remove churn",
+    },
+    Scenario {
+        name: "skiplist-zipf",
+        structure: StructureKind::SkipList,
+        base_size: 16_384,
+        mix: OpMix::lookup_insert_remove(70, 15, 15),
+        dist: KeyDist::ZIPF_DEFAULT,
+        about: "skiplist churn under zipfian skew: hot towers are rebuilt under contention",
+    },
+    Scenario {
+        name: "skiplist-range-zipf",
+        structure: StructureKind::SkipList,
+        base_size: 16_384,
+        mix: OpMix::new([30, 30, 10, 15, 15]),
+        dist: KeyDist::ZIPF_DEFAULT,
+        about: "30% range sums over a churning skiplist: long reads racing shape changes",
+    },
+    Scenario {
+        name: "queue-balanced",
+        structure: StructureKind::Queue,
+        base_size: 4_096,
+        mix: OpMix::producer_consumer(50, 50),
+        dist: KeyDist::Uniform,
+        about: "bounded FIFO, 50/50 enqueue/dequeue: every transaction fights over two words",
+    },
+    Scenario {
+        name: "queue-producer-heavy",
+        structure: StructureKind::Queue,
+        base_size: 4_096,
+        mix: OpMix::producer_consumer(60, 30),
+        dist: KeyDist::Uniform,
+        about: "producer-heavy FIFO (60/30/10 enqueue/dequeue/peek) driving the queue full",
+    },
+    Scenario {
+        name: "queue-consumer-heavy",
+        structure: StructureKind::Queue,
+        base_size: 4_096,
+        mix: OpMix::producer_consumer(30, 60),
+        dist: KeyDist::Uniform,
+        about: "consumer-heavy FIFO (30/60/10) draining to empty: read-only commit pressure",
+    },
+];
+
+impl Scenario {
+    /// Every registered scenario, in display order.
+    pub fn all() -> &'static [Scenario] {
+        REGISTRY
+    }
+
+    /// Looks a scenario up by its registry name (case-insensitive).
+    pub fn find(name: &str) -> Option<&'static Scenario> {
+        let name = name.trim().to_ascii_lowercase();
+        REGISTRY.iter().find(|s| s.name == name)
+    }
+
+    /// The size to run at when the base size is divided by `divisor`
+    /// (1 = paper scale), floored at the structure's meaningful minimum.
+    pub fn sized(&self, divisor: u64) -> u64 {
+        (self.base_size / divisor.max(1)).max(self.structure.min_size())
+    }
+
+    /// Runs this scenario at `size` elements on `algo`.
+    ///
+    /// `base` supplies threads/duration/seed; its mix and distribution are
+    /// overridden by the scenario's.  Mutable structures are prefilled
+    /// half-full before the workers start, so inserts and removals both
+    /// find work.
+    pub fn run(&self, algo: AlgoKind, size: u64, base: &DriverOpts) -> BenchResult {
+        let opts = DriverOpts {
+            mix: self.mix,
+            dist: self.dist,
+            ..base.clone()
+        };
+        let htm = HtmConfig::default();
+        let mem = |words: usize| MemConfig::with_data_words(words + 4096);
+        match self.structure {
+            StructureKind::RbTree => run_on_algo(
+                algo,
+                mem(ConstantRbTree::required_words(size)),
+                htm,
+                |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), size),
+                &opts,
+            ),
+            StructureKind::HashTable => run_on_algo(
+                algo,
+                mem(ConstantHashTable::required_words(size)),
+                htm,
+                |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), size),
+                &opts,
+            ),
+            StructureKind::SortedList => run_on_algo(
+                algo,
+                mem(ConstantSortedList::required_words(size)),
+                htm,
+                |sim: &Arc<HtmSim>| ConstantSortedList::new(Arc::clone(sim), size),
+                &opts,
+            ),
+            StructureKind::RandomArray => run_on_algo(
+                algo,
+                mem(RandomArray::required_words(size)),
+                htm,
+                // The array's internal write ratio follows the scenario's
+                // mix (see the RandomArray workload docs).
+                |sim: &Arc<HtmSim>| {
+                    RandomArray::new(
+                        Arc::clone(sim),
+                        size,
+                        RANDOM_ARRAY_TXN_LEN,
+                        self.mix.update_percent(),
+                    )
+                },
+                &opts,
+            ),
+            StructureKind::SkipList => run_on_algo(
+                algo,
+                mem(TxSkipList::required_words(size, opts.threads)),
+                htm,
+                |sim: &Arc<HtmSim>| {
+                    let list = TxSkipList::new(Arc::clone(sim), size);
+                    list.prefill_alternate();
+                    list
+                },
+                &opts,
+            ),
+            StructureKind::Queue => run_on_algo(
+                algo,
+                mem(TxQueue::required_words(size)),
+                htm,
+                |sim: &Arc<HtmSim>| {
+                    let queue = TxQueue::new(Arc::clone(sim), size);
+                    queue.seed_fill(0..size / 2);
+                    queue
+                },
+                &opts,
+            ),
+        }
+    }
+}
+
+/// The results of one scenario swept over algorithms and thread counts.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// The registered scenario that produced the rows.
+    pub scenario: &'static Scenario,
+    /// The size the scenario actually ran at (after scaling).
+    pub size: u64,
+    /// One row per `(algorithm, threads)` point.
+    pub results: Vec<BenchResult>,
+}
+
+/// Serialises a whole suite sweep as **one** JSON document.
+///
+/// The schema is stable and documented in `docs/BENCHMARKS.md`:
+///
+/// ```json
+/// {
+///   "suite": "rhtm-bench-suite",
+///   "schema_version": 1,
+///   "scale": "...", "seed": N,
+///   "scenarios": [
+///     { "scenario": "...", "structure": "...", "size": N,
+///       "op_mix": "...", "key_dist": "...",
+///       "results": [ { ...BenchResult row... } ] }
+///   ]
+/// }
+/// ```
+///
+/// Per-result rows repeat `op_mix`/`key_dist`/`seed` so each row is
+/// self-describing when flattened by plotting scripts.
+pub fn suite_to_json(scale: &str, seed: u64, runs: &[ScenarioRun]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"rhtm-bench-suite\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"scale\": {},\n", json_str(scale)));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\n");
+        out.push_str(&format!(
+            "    \"scenario\": {},\n",
+            json_str(run.scenario.name)
+        ));
+        out.push_str(&format!(
+            "    \"structure\": {},\n",
+            json_str(run.scenario.structure.label())
+        ));
+        out.push_str(&format!("    \"size\": {},\n", run.size));
+        out.push_str(&format!(
+            "    \"op_mix\": {},\n",
+            json_str(&run.scenario.mix.label())
+        ));
+        out.push_str(&format!(
+            "    \"key_dist\": {},\n",
+            json_str(&run.scenario.dist.label())
+        ));
+        out.push_str("    \"results\": [\n");
+        for (j, r) in run.results.iter().enumerate() {
+            if j > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&result_json(r));
+        }
+        out.push_str("\n    ]\n  }");
+    }
+    out.push_str("\n  ]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_json;
+
+    #[test]
+    fn registry_is_large_unique_and_findable() {
+        let all = Scenario::all();
+        assert!(all.len() >= 12, "registry must name at least 12 scenarios");
+        for (i, s) in all.iter().enumerate() {
+            assert!(Scenario::find(s.name).is_some(), "{}", s.name);
+            for other in &all[i + 1..] {
+                assert_ne!(s.name, other.name, "duplicate scenario name");
+            }
+        }
+        assert!(Scenario::find("QUEUE-BALANCED").is_some(), "case-folded");
+        assert!(Scenario::find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn registry_covers_the_required_shapes() {
+        let all = Scenario::all();
+        assert!(all
+            .iter()
+            .any(|s| s.structure == StructureKind::SkipList && s.structure.is_mutable()));
+        assert!(all.iter().any(|s| s.structure == StructureKind::Queue));
+        let dists: std::collections::HashSet<_> = all.iter().map(|s| s.dist.label()).collect();
+        assert!(
+            dists.len() >= 2,
+            "at least two key distributions: {dists:?}"
+        );
+        assert!(all.iter().any(|s| s.mix.label().contains('i')), "inserts");
+    }
+
+    #[test]
+    fn sized_scales_down_but_respects_minimums() {
+        let s = Scenario::find("rbtree-uniform").unwrap();
+        assert_eq!(s.sized(1), 100_000);
+        assert_eq!(s.sized(10), 10_000);
+        assert_eq!(s.sized(u64::MAX), s.structure.min_size());
+    }
+
+    #[test]
+    fn every_scenario_runs_on_the_default_algorithm() {
+        for s in Scenario::all() {
+            let size = s.sized(1_024);
+            let opts = DriverOpts::counted(2, 0, 60).with_seed(5);
+            let result = s.run(AlgoKind::Rh1Mixed(100), size, &opts);
+            assert_eq!(result.total_ops, 120, "{}", s.name);
+            assert_eq!(result.stats.commits(), 120, "{}", s.name);
+            assert_eq!(result.op_mix, s.mix.label(), "{}", s.name);
+            assert_eq!(result.key_dist, s.dist.label(), "{}", s.name);
+            assert_eq!(result.write_percent, s.mix.update_percent(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn suite_json_is_valid_and_self_describing() {
+        let scenario = Scenario::find("skiplist-zipf").unwrap();
+        let size = scenario.sized(1_024);
+        let results = vec![scenario.run(
+            AlgoKind::Tl2,
+            size,
+            &DriverOpts::counted(2, 0, 40).with_seed(9),
+        )];
+        let runs = vec![ScenarioRun {
+            scenario,
+            size,
+            results,
+        }];
+        let json = suite_to_json("quick", 9, &runs);
+        validate_json(&json).expect("suite JSON must parse");
+        for field in [
+            "\"suite\": \"rhtm-bench-suite\"",
+            "\"schema_version\": 1",
+            "\"scenario\": \"skiplist-zipf\"",
+            "\"structure\": \"skiplist\"",
+            "\"key_dist\": \"zipf-0.99\"",
+            "\"op_mix\": \"l70-i15-r15\"",
+            "\"seed\": 9",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
+    }
+}

@@ -16,6 +16,7 @@ use rhtm_htm::HtmSim;
 use rhtm_mem::Addr;
 
 use super::{decode_ptr, encode_ptr};
+use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
@@ -140,14 +141,20 @@ impl ConstantHashTable {
     }
 }
 
+/// Kind mapping (constant shape): `Lookup`/`RangeSum` → bucket-chain
+/// query; `Update`/`Insert`/`Remove` → query + dummy-payload write (the
+/// chains never change, per the paper's emulation methodology).
 impl Workload for ConstantHashTable {
     fn name(&self) -> String {
         format!("hashtable-{}k", self.size / 1000)
     }
 
-    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool) {
-        let key = rng.next_below(self.size);
-        if is_update {
+    fn key_space(&self) -> u64 {
+        self.size
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, op: OpKind, key: u64) {
+        if op.is_update() {
             let value = rng.next_u64();
             thread.execute(|tx| self.update(tx, key, value));
         } else {
@@ -203,7 +210,13 @@ mod tests {
         let mut th = rt.register_thread();
         let mut rng = WorkloadRng::new(9);
         for i in 0..300 {
-            table.run_op(&mut th, &mut rng, i % 5 == 0);
+            let op = if i % 5 == 0 {
+                OpKind::Update
+            } else {
+                OpKind::Lookup
+            };
+            let key = rng.next_below(table.key_space());
+            table.run_op(&mut th, &mut rng, op, key);
         }
         assert_eq!(th.stats().commits(), 300);
     }

@@ -1,16 +1,29 @@
 //! Benchmark data structures.
 //!
-//! The "constant" structures ([`rbtree`], [`hashtable`], [`sortedlist`],
-//! [`random_array`]) reproduce the paper's emulation workloads: their shape
-//! is fixed after construction and update operations only touch dummy
-//! payload words.  The [`mutable`] structures are real transactional
-//! containers (inserts and removals change the shape) used by correctness
-//! and property tests.
+//! Two families, split by whether transactions may change the structure's
+//! *shape*:
+//!
+//! * **Constant** structures ([`rbtree`], [`hashtable`], [`sortedlist`],
+//!   [`random_array`]) reproduce the paper's emulation workloads: their
+//!   shape is fixed after construction and update operations only touch
+//!   dummy payload words, never pointers or keys.
+//! * **Mutable** structures are real transactional containers whose
+//!   inserts and removals rewrite pointers: the [`mutable`] map/list used
+//!   by the correctness and property tests, plus the scenario engine's
+//!   benchmark-grade [`skiplist`] (O(log n) ordered map with a
+//!   transactional freelist) and [`queue`] (bounded FIFO ring buffer, the
+//!   producer/consumer shape).
+//!
+//! All six benchmark structures implement [`crate::Workload`]; the
+//! scenario registry ([`crate::scenario`]) names the combinations the
+//! `bench_suite` binary sweeps.
 
 pub mod hashtable;
 pub mod mutable;
+pub mod queue;
 pub mod random_array;
 pub mod rbtree;
+pub mod skiplist;
 pub mod sortedlist;
 
 use rhtm_mem::Addr;

@@ -1,0 +1,299 @@
+//! A transactional bounded FIFO queue — the scenario engine's
+//! producer/consumer workload.
+//!
+//! None of the search-structure workloads exercise this shape: every
+//! operation of a queue fights over the *same two words* (the head and
+//! tail cursors), so the abort behaviour is dominated by write-write
+//! conflicts on two cache lines rather than by footprint or read-set
+//! validation.  That is the worst case for optimistic hardware retries and
+//! the best case for a quick fallback — precisely the trade-off the retry
+//! policies and the RH cascade are about.
+//!
+//! The queue is a ring buffer over a pre-allocated slot array with
+//! monotonically increasing head/tail cursors (`tail - head` = length), so
+//! benchmark runs allocate nothing.  The cursors live on separate cache
+//! lines to keep enqueue/dequeue conflicts semantic (full/empty checks)
+//! rather than false sharing.
+
+use std::sync::Arc;
+
+use rhtm_api::{TmThread, TxResult};
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+use crate::mix::OpKind;
+use crate::rng::WorkloadRng;
+use crate::workload::Workload;
+
+/// A transactional bounded multi-producer/multi-consumer FIFO queue of
+/// `u64` values.
+pub struct TxQueue {
+    sim: Arc<HtmSim>,
+    /// Dequeue cursor (monotonic; slot = cursor % capacity).
+    head: Addr,
+    /// Enqueue cursor (monotonic).
+    tail: Addr,
+    slots: Addr,
+    capacity: u64,
+}
+
+impl TxQueue {
+    /// Creates an empty queue holding at most `capacity` values.
+    pub fn new(sim: Arc<HtmSim>, capacity: u64) -> Self {
+        assert!(capacity >= 1);
+        let head = sim.mem().alloc_line_aligned(1);
+        let tail = sim.mem().alloc_line_aligned(1);
+        let slots = sim.mem().alloc_line_aligned(capacity as usize);
+        let heap = sim.mem().heap();
+        heap.store(head, 0);
+        heap.store(tail, 0);
+        TxQueue {
+            sim,
+            head,
+            tail,
+            slots,
+            capacity,
+        }
+    }
+
+    /// Heap words for a queue of `capacity` slots (slot array plus the
+    /// line-aligned cursors).
+    pub fn required_words(capacity: u64) -> usize {
+        capacity as usize + 64
+    }
+
+    /// The simulator the queue lives in.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// Maximum number of values the queue holds.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    #[inline]
+    fn slot(&self, cursor: u64) -> Addr {
+        self.slots.offset((cursor % self.capacity) as usize)
+    }
+
+    /// In-transaction enqueue; `Ok(false)` when the queue is full.
+    pub fn enqueue_in<T: TmThread>(&self, tx: &mut T, value: u64) -> TxResult<bool> {
+        let tail = tx.read(self.tail)?;
+        let head = tx.read(self.head)?;
+        if tail - head == self.capacity {
+            return Ok(false);
+        }
+        tx.write(self.slot(tail), value)?;
+        tx.write(self.tail, tail + 1)?;
+        Ok(true)
+    }
+
+    /// In-transaction dequeue; `Ok(None)` when the queue is empty.
+    pub fn dequeue_in<T: TmThread>(&self, tx: &mut T) -> TxResult<Option<u64>> {
+        let head = tx.read(self.head)?;
+        let tail = tx.read(self.tail)?;
+        if head == tail {
+            return Ok(None);
+        }
+        let value = tx.read(self.slot(head))?;
+        tx.write(self.head, head + 1)?;
+        Ok(Some(value))
+    }
+
+    /// Transactionally enqueues `value`; `false` when the queue was full.
+    pub fn enqueue<T: TmThread>(&self, thread: &mut T, value: u64) -> bool {
+        thread.execute(|tx| self.enqueue_in(tx, value))
+    }
+
+    /// Transactionally dequeues the oldest value; `None` when empty.
+    pub fn dequeue<T: TmThread>(&self, thread: &mut T) -> Option<u64> {
+        thread.execute(|tx| self.dequeue_in(tx))
+    }
+
+    /// Transactionally reads the oldest value without removing it.
+    pub fn peek<T: TmThread>(&self, thread: &mut T) -> Option<u64> {
+        thread.execute(|tx| {
+            let head = tx.read(self.head)?;
+            let tail = tx.read(self.tail)?;
+            if head == tail {
+                return Ok(None);
+            }
+            Ok(Some(tx.read(self.slot(head))?))
+        })
+    }
+
+    /// Transactionally moves the oldest value to the back of the queue
+    /// (the [`Workload`] impl's `Update`); `false` when empty.
+    pub fn rotate<T: TmThread>(&self, thread: &mut T) -> bool {
+        thread.execute(|tx| {
+            match self.dequeue_in(tx)? {
+                Some(v) => {
+                    // A dequeue frees one slot, so this enqueue cannot fail.
+                    self.enqueue_in(tx, v)?;
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        })
+    }
+
+    /// Transactionally counts the queued values.
+    pub fn len<T: TmThread>(&self, thread: &mut T) -> u64 {
+        thread.execute(|tx| {
+            let head = tx.read(self.head)?;
+            let tail = tx.read(self.tail)?;
+            Ok(tail - head)
+        })
+    }
+
+    /// Seeds `values` into the empty queue during construction, before any
+    /// worker thread exists (the scenario engine's prefill).
+    ///
+    /// Must not run concurrently with transactions; panics when the values
+    /// do not fit.
+    pub fn seed_fill(&self, values: impl IntoIterator<Item = u64>) {
+        let heap = self.sim.mem().heap();
+        let head = heap.load(self.head);
+        let mut tail = heap.load(self.tail);
+        for v in values {
+            assert!(tail - head < self.capacity, "seed_fill overflow");
+            heap.store(self.slot(tail), v);
+            tail += 1;
+        }
+        heap.store(self.tail, tail);
+    }
+
+    /// Non-transactional snapshot of the queued values in FIFO order, for
+    /// tests run after all threads have joined.
+    pub fn snapshot_quiescent(&self) -> Vec<u64> {
+        let head = self.sim.nt_load(self.head);
+        let tail = self.sim.nt_load(self.tail);
+        (head..tail)
+            .map(|c| self.sim.nt_load(self.slot(c)))
+            .collect()
+    }
+}
+
+/// Kind mapping: `Insert` → enqueue (payload = the drawn key),
+/// `Remove` → dequeue, `Update` → rotate (dequeue + re-enqueue in one
+/// transaction), `Lookup`/`RangeSum` → peek.  Full enqueues and empty
+/// dequeues still commit (as read-only transactions), per the
+/// operation-selection contract.
+impl Workload for TxQueue {
+    fn name(&self) -> String {
+        format!("queue-{}", self.capacity)
+    }
+
+    fn key_space(&self) -> u64 {
+        self.capacity
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, _rng: &mut WorkloadRng, op: OpKind, key: u64) {
+        match op {
+            OpKind::Insert => {
+                self.enqueue(thread, key);
+            }
+            OpKind::Remove => {
+                self.dequeue(thread);
+            }
+            OpKind::Update => {
+                self.rotate(thread);
+            }
+            OpKind::Lookup | OpKind::RangeSum => {
+                self.peek(thread);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::TmRuntime;
+    use rhtm_core::{RhConfig, RhRuntime};
+    use rhtm_htm::HtmConfig;
+    use rhtm_mem::MemConfig;
+    use std::collections::VecDeque;
+
+    fn runtime(words: usize) -> RhRuntime {
+        RhRuntime::new(
+            MemConfig::with_data_words(words),
+            HtmConfig::default(),
+            RhConfig::rh1_mixed(100),
+        )
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        let rt = runtime(1 << 12);
+        let q = TxQueue::new(Arc::clone(rt.sim()), 8);
+        let mut th = rt.register_thread();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut rng = WorkloadRng::new(23);
+        for i in 0..2_000u64 {
+            match rng.next_below(4) {
+                0 | 1 => {
+                    let fits = model.len() < 8;
+                    assert_eq!(q.enqueue(&mut th, i), fits);
+                    if fits {
+                        model.push_back(i);
+                    }
+                }
+                2 => assert_eq!(q.dequeue(&mut th), model.pop_front()),
+                _ => assert_eq!(q.peek(&mut th), model.front().copied()),
+            }
+            assert_eq!(q.len(&mut th), model.len() as u64);
+        }
+        assert_eq!(q.snapshot_quiescent(), Vec::from(model));
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let rt = runtime(1 << 12);
+        let q = TxQueue::new(Arc::clone(rt.sim()), 4);
+        let mut th = rt.register_thread();
+        // Cycle far past the capacity so the cursors wrap the slot array.
+        for v in 0..100u64 {
+            assert!(q.enqueue(&mut th, v));
+            assert_eq!(q.dequeue(&mut th), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut th), None);
+        assert!(!q.rotate(&mut th), "rotate on empty reports false");
+        q.seed_fill([7, 8, 9]);
+        assert!(q.rotate(&mut th));
+        assert_eq!(q.snapshot_quiescent(), vec![8, 9, 7]);
+    }
+
+    #[test]
+    fn seed_fill_prefills_in_order() {
+        let rt = runtime(1 << 12);
+        let q = TxQueue::new(Arc::clone(rt.sim()), 16);
+        q.seed_fill((0..10).map(|i| i * 3));
+        let mut th = rt.register_thread();
+        assert_eq!(q.len(&mut th), 10);
+        for i in 0..10 {
+            assert_eq!(q.dequeue(&mut th), Some(i * 3));
+        }
+    }
+
+    #[test]
+    fn workload_ops_commit_once_per_call() {
+        let rt = runtime(1 << 12);
+        let q = TxQueue::new(Arc::clone(rt.sim()), 32);
+        q.seed_fill(0..16);
+        let mut th = rt.register_thread();
+        let mut rng = WorkloadRng::new(6);
+        let mix = crate::mix::OpMix::producer_consumer(40, 40);
+        for _ in 0..500 {
+            let op = mix.draw(&mut rng);
+            let key = rng.next_below(q.key_space());
+            q.run_op(&mut th, &mut rng, op, key);
+        }
+        assert_eq!(th.stats().commits(), 500);
+    }
+
+    // Multi-producer/multi-consumer conservation and FIFO-order stress
+    // lives in `tests/scenarios.rs`, which runs it across all six figure
+    // algorithms.
+}

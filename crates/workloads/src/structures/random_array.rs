@@ -15,6 +15,7 @@ use rhtm_api::{TmThread, TxResult};
 use rhtm_htm::HtmSim;
 use rhtm_mem::Addr;
 
+use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
@@ -92,6 +93,11 @@ impl RandomArray {
     }
 }
 
+/// Kind mapping: every kind runs the same fixed-length random-access
+/// transaction — the reads-to-writes ratio is this workload's *own*
+/// configuration (`write_percent`), not the driver's mix, and the access
+/// pattern is drawn inside the (deterministically replayable) transaction
+/// body, so the driver's `op` and `key` are ignored by design.
 impl Workload for RandomArray {
     fn name(&self) -> String {
         format!(
@@ -102,7 +108,11 @@ impl Workload for RandomArray {
         )
     }
 
-    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, _is_update: bool) {
+    fn key_space(&self) -> u64 {
+        self.entries
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, _op: OpKind, _key: u64) {
         let seed = rng.next_u64();
         self.run_txn(thread, seed);
     }

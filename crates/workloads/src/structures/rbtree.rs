@@ -22,6 +22,7 @@ use rhtm_htm::HtmSim;
 use rhtm_mem::Addr;
 
 use super::{decode_ptr, encode_ptr};
+use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
@@ -204,14 +205,20 @@ impl ConstantRbTree {
     }
 }
 
+/// Kind mapping (constant shape): `Lookup`/`RangeSum` → tree search;
+/// `Update`/`Insert`/`Remove` → search + dummy-payload write (the shape
+/// never changes, per the paper's emulation methodology).
 impl Workload for ConstantRbTree {
     fn name(&self) -> String {
         format!("rbtree-{}k", self.size / 1000)
     }
 
-    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool) {
-        let key = rng.next_below(self.size);
-        if is_update {
+    fn key_space(&self) -> u64 {
+        self.size
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, op: OpKind, key: u64) {
+        if op.is_update() {
             let value = rng.next_u64();
             let coins = rng.next_u64();
             thread.execute(|tx| self.update(tx, key, value, coins));
@@ -272,7 +279,13 @@ mod tests {
         let mut th = rt.register_thread();
         let mut rng = WorkloadRng::new(1);
         for i in 0..200 {
-            tree.run_op(&mut th, &mut rng, i % 5 == 0);
+            let op = if i % 5 == 0 {
+                OpKind::Update
+            } else {
+                OpKind::Lookup
+            };
+            let key = rng.next_below(tree.key_space());
+            tree.run_op(&mut th, &mut rng, op, key);
         }
         assert_eq!(th.stats().commits(), 200);
         assert!(th.stats().reads > 200 * 10, "dummy reads must be issued");

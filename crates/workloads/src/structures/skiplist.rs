@@ -1,0 +1,589 @@
+//! A transactional skiplist — the scenario engine's mutable ordered map.
+//!
+//! The paper's emulation could only run constant-shape structures; the
+//! simulated HTM provides real atomicity, so this skiplist runs genuinely
+//! shape-changing workloads: inserts link and removals unlink whole towers
+//! inside one transaction.  Compared with [`super::mutable::TxSortedList`]
+//! its operations are O(log n), which keeps transactions short enough for
+//! the hardware fast-path even at large sizes — the interesting regime for
+//! the RH protocols.
+//!
+//! Two design points keep benchmark runs deterministic and allocation
+//! bounded:
+//!
+//! * **Deterministic tower heights.**  A node's height is a pure function
+//!   of its key (geometric over a key hash, capped at [`MAX_HEIGHT`]), so
+//!   the structure's shape depends only on its key set — not on insertion
+//!   order, thread count or RNG state — and a reinserted key always fits
+//!   the node that held it before.
+//! * **A transactional freelist.**  Removed nodes are pushed onto an
+//!   in-heap freelist and reused by later inserts *inside the same
+//!   transactional world* (no ABA: every link traversal is a transactional
+//!   read).  The bump allocator is only hit when the freelist is observed
+//!   empty, so steady-state insert/remove churn does not grow the heap —
+//!   a requirement for time-bounded benchmark runs over the append-only
+//!   allocator.
+//!
+//! Keys are in `1..u64::MAX` (0 is the head sentinel); the
+//! [`Workload`] impl translates the driver's `[0, key_space)` keys by +1.
+
+use std::sync::Arc;
+
+use rhtm_api::{TmThread, TxResult};
+use rhtm_htm::HtmSim;
+use rhtm_mem::Addr;
+
+use super::{decode_ptr, encode_ptr};
+use crate::mix::OpKind;
+use crate::rng::WorkloadRng;
+use crate::workload::Workload;
+
+/// Maximum tower height; supports ~2^12 elements at the classic p = 1/2
+/// level geometry without degenerating.
+pub const MAX_HEIGHT: usize = 12;
+
+/// Keys spanned by one `RangeSum` operation of the [`Workload`] impl.
+pub const RANGE_SPAN: u64 = 32;
+
+const KEY: usize = 0;
+const VALUE: usize = 1;
+const HEIGHT: usize = 2;
+const NEXT_BASE: usize = 3;
+const NODE_WORDS: usize = NEXT_BASE + MAX_HEIGHT + 1; // padded to 16
+
+/// A transactional skiplist map (`u64` keys in `1..u64::MAX` → `u64`
+/// values).
+pub struct TxSkipList {
+    sim: Arc<HtmSim>,
+    head: Addr,
+    free_head: Addr,
+    key_space: u64,
+}
+
+/// What one insert attempt decided (see [`TxSkipList::insert`]).
+enum InsertOutcome {
+    Inserted,
+    Updated,
+    /// The freelist was empty inside the transaction and no pre-allocated
+    /// spare was supplied; the caller must allocate one and re-run.
+    NeedNode,
+}
+
+impl TxSkipList {
+    /// Creates an empty skiplist whose [`Workload`] impl addresses
+    /// `key_space` distinct keys (internally `1..=key_space`).
+    pub fn new(sim: Arc<HtmSim>, key_space: u64) -> Self {
+        assert!((1..u64::MAX - 1).contains(&key_space));
+        let head = sim.mem().alloc(NODE_WORDS);
+        let free_head = sim.mem().alloc(1);
+        let heap = sim.mem().heap();
+        heap.store(head.offset(KEY), 0); // sentinel: below every real key
+        heap.store(head.offset(HEIGHT), MAX_HEIGHT as u64);
+        for level in 0..MAX_HEIGHT {
+            heap.store(head.offset(NEXT_BASE + level), encode_ptr(None));
+        }
+        heap.store(free_head, encode_ptr(None));
+        TxSkipList {
+            sim,
+            head,
+            free_head,
+            key_space,
+        }
+    }
+
+    /// Heap words for a list of at most `max_live` elements driven by
+    /// `threads` workers.  Thanks to the freelist, allocation beyond the
+    /// live set is bounded by transient pre-allocated spares (a handful
+    /// per thread), not by the operation count.
+    pub fn required_words(max_live: u64, threads: usize) -> usize {
+        (max_live as usize + 1 + threads.max(1) * 4) * NODE_WORDS + 64
+    }
+
+    /// The simulator the list lives in.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// Keys must leave room for the head sentinel (0) and the pointer
+    /// encoding (`u64::MAX`).
+    fn check_key(key: u64) {
+        assert!(key > 0 && key < u64::MAX, "keys must be in 1..u64::MAX");
+    }
+
+    /// Deterministic tower height for `key`: geometric(1/2) over a
+    /// key hash, in `1..=MAX_HEIGHT`.
+    fn height_for(key: u64) -> usize {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        1 + (z.trailing_zeros() as usize).min(MAX_HEIGHT - 1)
+    }
+
+    /// Finds, per level, the last node with key `< key`, plus the node with
+    /// exactly `key` when present.
+    fn locate<T: TmThread>(
+        &self,
+        tx: &mut T,
+        key: u64,
+    ) -> TxResult<([Addr; MAX_HEIGHT], Option<Addr>)> {
+        let mut preds = [self.head; MAX_HEIGHT];
+        let mut curr = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            loop {
+                match decode_ptr(tx.read(curr.offset(NEXT_BASE + level))?) {
+                    Some(n) if tx.read(n.offset(KEY))? < key => curr = n,
+                    _ => break,
+                }
+            }
+            preds[level] = curr;
+        }
+        let found = match decode_ptr(tx.read(preds[0].offset(NEXT_BASE))?) {
+            Some(n) if tx.read(n.offset(KEY))? == key => Some(n),
+            _ => None,
+        };
+        Ok((preds, found))
+    }
+
+    /// Pushes `node` onto the freelist (its level-0 link doubles as the
+    /// free-chain link; free nodes are unreachable from the list proper).
+    fn push_free_in<T: TmThread>(&self, tx: &mut T, node: Addr) -> TxResult<()> {
+        let old = tx.read(self.free_head)?;
+        tx.write(node.offset(NEXT_BASE), old)?;
+        tx.write(self.free_head, encode_ptr(Some(node)))?;
+        Ok(())
+    }
+
+    fn insert_in<T: TmThread>(
+        &self,
+        tx: &mut T,
+        key: u64,
+        value: u64,
+        spare: Option<Addr>,
+    ) -> TxResult<InsertOutcome> {
+        let (preds, found) = self.locate(tx, key)?;
+        if let Some(n) = found {
+            tx.write(n.offset(VALUE), value)?;
+            // An unused pre-allocated spare is banked, never leaked.
+            if let Some(s) = spare {
+                self.push_free_in(tx, s)?;
+            }
+            return Ok(InsertOutcome::Updated);
+        }
+        let node = match decode_ptr(tx.read(self.free_head)?) {
+            Some(free) => {
+                let next = tx.read(free.offset(NEXT_BASE))?;
+                tx.write(self.free_head, next)?;
+                if let Some(s) = spare {
+                    self.push_free_in(tx, s)?;
+                }
+                free
+            }
+            None => match spare {
+                Some(s) => s,
+                None => return Ok(InsertOutcome::NeedNode),
+            },
+        };
+        let height = Self::height_for(key);
+        tx.write(node.offset(KEY), key)?;
+        tx.write(node.offset(VALUE), value)?;
+        tx.write(node.offset(HEIGHT), height as u64)?;
+        for (level, pred) in preds.iter().enumerate().take(height) {
+            let succ = tx.read(pred.offset(NEXT_BASE + level))?;
+            tx.write(node.offset(NEXT_BASE + level), succ)?;
+            tx.write(pred.offset(NEXT_BASE + level), encode_ptr(Some(node)))?;
+        }
+        Ok(InsertOutcome::Inserted)
+    }
+
+    /// Transactionally inserts `key` (or updates its value when present).
+    /// Returns `true` when the key was newly inserted.
+    ///
+    /// Node memory comes from the freelist when possible; a fresh node is
+    /// pre-allocated *outside* the transaction only when the freelist is
+    /// observed empty, so aborted retries never allocate again.
+    pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64, value: u64) -> bool {
+        Self::check_key(key);
+        let mut spare: Option<Addr> = None;
+        loop {
+            if spare.is_none() && decode_ptr(self.sim.nt_load(self.free_head)).is_none() {
+                spare = Some(self.sim.mem().alloc(NODE_WORDS));
+            }
+            let spare_now = spare;
+            match thread.execute(|tx| self.insert_in(tx, key, value, spare_now)) {
+                InsertOutcome::Inserted => return true,
+                InsertOutcome::Updated => return false,
+                // The freelist drained between the non-transactional check
+                // and the transaction; allocate and re-run.
+                InsertOutcome::NeedNode => spare = Some(self.sim.mem().alloc(NODE_WORDS)),
+            }
+        }
+    }
+
+    /// Transactionally removes `key`, returning its value when present.
+    /// The node is recycled through the freelist.
+    pub fn remove<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
+        Self::check_key(key);
+        thread.execute(|tx| {
+            let (preds, found) = self.locate(tx, key)?;
+            let node = match found {
+                Some(n) => n,
+                None => return Ok(None),
+            };
+            let value = tx.read(node.offset(VALUE))?;
+            let height = tx.read(node.offset(HEIGHT))? as usize;
+            for level in (0..height).rev() {
+                let succ = tx.read(node.offset(NEXT_BASE + level))?;
+                tx.write(preds[level].offset(NEXT_BASE + level), succ)?;
+            }
+            self.push_free_in(tx, node)?;
+            Ok(Some(value))
+        })
+    }
+
+    /// Transactionally gets the value stored under `key`.
+    pub fn get<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
+        Self::check_key(key);
+        thread.execute(|tx| self.get_in(tx, key))
+    }
+
+    /// In-transaction lookup (composable with other operations).
+    pub fn get_in<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<u64>> {
+        let (_, found) = self.locate(tx, key)?;
+        match found {
+            Some(n) => Ok(Some(tx.read(n.offset(VALUE))?)),
+            None => Ok(None),
+        }
+    }
+
+    /// In-transaction value update of an *existing* key (no allocation;
+    /// composable with other operations).  Returns `false` when absent.
+    pub fn update_in<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
+        let (_, found) = self.locate(tx, key)?;
+        match found {
+            Some(n) => {
+                tx.write(n.offset(VALUE), value)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Transactionally tests membership.
+    pub fn contains<T: TmThread>(&self, thread: &mut T, key: u64) -> bool {
+        Self::check_key(key);
+        thread.execute(|tx| Ok(self.locate(tx, key)?.1.is_some()))
+    }
+
+    /// Transactionally sums the values of the keys in
+    /// `[lo, lo + span)` — the scenario engine's range query.
+    pub fn range_sum<T: TmThread>(&self, thread: &mut T, lo: u64, span: u64) -> u64 {
+        Self::check_key(lo);
+        thread.execute(|tx| {
+            let (preds, _) = self.locate(tx, lo)?;
+            let hi = lo.saturating_add(span);
+            let mut sum = 0u64;
+            let mut curr = decode_ptr(tx.read(preds[0].offset(NEXT_BASE))?);
+            while let Some(n) = curr {
+                if tx.read(n.offset(KEY))? >= hi {
+                    break;
+                }
+                sum = sum.wrapping_add(tx.read(n.offset(VALUE))?);
+                curr = decode_ptr(tx.read(n.offset(NEXT_BASE))?);
+            }
+            Ok(sum)
+        })
+    }
+
+    /// Transactionally counts the elements (walks level 0 in one
+    /// transaction — only sensible for small test lists).
+    pub fn len<T: TmThread>(&self, thread: &mut T) -> u64 {
+        thread.execute(|tx| {
+            let mut count = 0;
+            let mut curr = decode_ptr(tx.read(self.head.offset(NEXT_BASE))?);
+            while let Some(n) = curr {
+                count += 1;
+                curr = decode_ptr(tx.read(n.offset(NEXT_BASE))?);
+            }
+            Ok(count)
+        })
+    }
+
+    /// Transactionally collects `(key, value)` pairs in key order (test
+    /// helper).
+    pub fn snapshot<T: TmThread>(&self, thread: &mut T) -> Vec<(u64, u64)> {
+        thread.execute(|tx| {
+            let mut pairs = Vec::new();
+            let mut curr = decode_ptr(tx.read(self.head.offset(NEXT_BASE))?);
+            while let Some(n) = curr {
+                pairs.push((tx.read(n.offset(KEY))?, tx.read(n.offset(VALUE))?));
+                curr = decode_ptr(tx.read(n.offset(NEXT_BASE))?);
+            }
+            Ok(pairs)
+        })
+    }
+
+    /// Non-transactional structural check for tests run after all threads
+    /// have joined: every level is strictly sorted, every tower member is
+    /// reachable at level 0, and no level links to a node shorter than it.
+    pub fn is_well_formed_quiescent(&self) -> bool {
+        let level0: Vec<u64> = {
+            let mut keys = Vec::new();
+            let mut curr = decode_ptr(self.sim.nt_load(self.head.offset(NEXT_BASE)));
+            while let Some(n) = curr {
+                keys.push(self.sim.nt_load(n.offset(KEY)));
+                curr = decode_ptr(self.sim.nt_load(n.offset(NEXT_BASE)));
+            }
+            keys
+        };
+        if level0.windows(2).any(|w| w[0] >= w[1]) {
+            return false;
+        }
+        for level in 1..MAX_HEIGHT {
+            let mut prev = 0u64; // head sentinel key
+            let mut curr = decode_ptr(self.sim.nt_load(self.head.offset(NEXT_BASE + level)));
+            while let Some(n) = curr {
+                let k = self.sim.nt_load(n.offset(KEY));
+                let h = self.sim.nt_load(n.offset(HEIGHT)) as usize;
+                if k <= prev || h <= level || level0.binary_search(&k).is_err() {
+                    return false;
+                }
+                prev = k;
+                curr = decode_ptr(self.sim.nt_load(n.offset(NEXT_BASE + level)));
+            }
+        }
+        true
+    }
+
+    /// Non-transactionally seeds `key → value` during construction, before
+    /// any worker thread exists (the scenario engine's prefill).
+    ///
+    /// Must not run concurrently with transactions.
+    pub fn seed_insert(&self, key: u64, value: u64) {
+        Self::check_key(key);
+        let heap = self.sim.mem().heap();
+        let mut preds = [self.head; MAX_HEIGHT];
+        let mut curr = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            loop {
+                match decode_ptr(heap.load(curr.offset(NEXT_BASE + level))) {
+                    Some(n) if heap.load(n.offset(KEY)) < key => curr = n,
+                    _ => break,
+                }
+            }
+            preds[level] = curr;
+        }
+        if let Some(n) = decode_ptr(heap.load(preds[0].offset(NEXT_BASE))) {
+            if heap.load(n.offset(KEY)) == key {
+                heap.store(n.offset(VALUE), value);
+                return;
+            }
+        }
+        let node = self.sim.mem().alloc(NODE_WORDS);
+        let height = Self::height_for(key);
+        heap.store(node.offset(KEY), key);
+        heap.store(node.offset(VALUE), value);
+        heap.store(node.offset(HEIGHT), height as u64);
+        for (level, pred) in preds.iter().enumerate().take(height) {
+            let succ = heap.load(pred.offset(NEXT_BASE + level));
+            heap.store(node.offset(NEXT_BASE + level), succ);
+            heap.store(pred.offset(NEXT_BASE + level), encode_ptr(Some(node)));
+        }
+    }
+
+    /// Seeds every other key of the key space (`1, 3, 5, …`) with
+    /// `value = key * 10` — the scenario engine's standard half-full
+    /// prefill, leaving room for inserts to grow the set.
+    pub fn prefill_alternate(&self) {
+        let mut key = 1;
+        while key <= self.key_space {
+            self.seed_insert(key, key * 10);
+            key += 2;
+        }
+    }
+}
+
+/// Kind mapping: `Lookup` → membership test, `RangeSum` → value sum over
+/// [`RANGE_SPAN`] consecutive keys, `Update`/`Insert` → upsert (insert or
+/// overwrite), `Remove` → remove.  Driver keys are translated by +1 past
+/// the head sentinel.
+impl Workload for TxSkipList {
+    fn name(&self) -> String {
+        format!("skiplist-{}", self.key_space)
+    }
+
+    fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, op: OpKind, key: u64) {
+        let k = key + 1;
+        match op {
+            OpKind::Lookup => {
+                self.contains(thread, k);
+            }
+            OpKind::RangeSum => {
+                self.range_sum(thread, k, RANGE_SPAN);
+            }
+            OpKind::Update | OpKind::Insert => {
+                self.insert(thread, k, rng.next_u64());
+            }
+            OpKind::Remove => {
+                self.remove(thread, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::TmRuntime;
+    use rhtm_core::{RhConfig, RhRuntime};
+    use rhtm_htm::HtmConfig;
+    use rhtm_mem::MemConfig;
+    use std::collections::BTreeMap;
+
+    fn runtime(words: usize) -> RhRuntime {
+        RhRuntime::new(
+            MemConfig::with_data_words(words),
+            HtmConfig::default(),
+            RhConfig::rh1_mixed(100),
+        )
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        let rt = runtime(1 << 16);
+        let list = TxSkipList::new(Arc::clone(rt.sim()), 128);
+        let mut th = rt.register_thread();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = WorkloadRng::new(17);
+        for _ in 0..3_000 {
+            let key = 1 + rng.next_below(96);
+            match rng.next_below(4) {
+                0 => {
+                    let value = rng.next_u64();
+                    assert_eq!(
+                        list.insert(&mut th, key, value),
+                        model.insert(key, value).is_none()
+                    );
+                }
+                1 => assert_eq!(list.remove(&mut th, key), model.remove(&key)),
+                2 => assert_eq!(list.get(&mut th, key), model.get(&key).copied()),
+                _ => {
+                    let span = 1 + rng.next_below(16);
+                    let want: u64 = model
+                        .range(key..key.saturating_add(span))
+                        .map(|(_, v)| *v)
+                        .fold(0u64, |a, v| a.wrapping_add(v));
+                    assert_eq!(list.range_sum(&mut th, key, span), want);
+                }
+            }
+        }
+        let snapshot = list.snapshot(&mut th);
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(snapshot, want);
+        assert!(list.is_well_formed_quiescent());
+    }
+
+    #[test]
+    fn freelist_recycles_removed_nodes() {
+        let rt = runtime(1 << 14);
+        let list = TxSkipList::new(Arc::clone(rt.sim()), 64);
+        let mut th = rt.register_thread();
+        let used_before = {
+            // Fill once so the first allocations happen...
+            for k in 1..=32u64 {
+                assert!(list.insert(&mut th, k, k));
+            }
+            rt.mem().alloc(0).index()
+        };
+        // ...then churn insert/remove far beyond the live size.
+        for round in 0..200u64 {
+            let k = 1 + (round % 32);
+            assert_eq!(list.remove(&mut th, k), Some(k));
+            assert!(list.insert(&mut th, k, k));
+        }
+        let used_after = rt.mem().alloc(0).index();
+        assert_eq!(
+            used_before, used_after,
+            "steady-state churn must not allocate"
+        );
+        assert!(list.is_well_formed_quiescent());
+    }
+
+    #[test]
+    fn heights_are_deterministic_and_bounded() {
+        for key in 1..2_000u64 {
+            let h = TxSkipList::height_for(key);
+            assert_eq!(h, TxSkipList::height_for(key));
+            assert!((1..=MAX_HEIGHT).contains(&h));
+        }
+        // The geometry must actually produce tall towers somewhere.
+        assert!((1..2_000u64).any(|k| TxSkipList::height_for(k) >= 4));
+    }
+
+    #[test]
+    fn prefill_seeds_every_other_key() {
+        let rt = runtime(1 << 16);
+        let list = TxSkipList::new(Arc::clone(rt.sim()), 100);
+        list.prefill_alternate();
+        let mut th = rt.register_thread();
+        assert_eq!(list.len(&mut th), 50);
+        assert_eq!(list.get(&mut th, 1), Some(10));
+        assert_eq!(list.get(&mut th, 99), Some(990));
+        assert_eq!(list.get(&mut th, 2), None);
+        assert!(list.is_well_formed_quiescent());
+    }
+
+    #[test]
+    fn workload_ops_commit_once_per_call() {
+        let rt = runtime(1 << 16);
+        let list = TxSkipList::new(Arc::clone(rt.sim()), 64);
+        list.prefill_alternate();
+        let mut th = rt.register_thread();
+        let mut rng = WorkloadRng::new(2);
+        let mix = crate::mix::OpMix::new([40, 10, 10, 20, 20]);
+        for _ in 0..400 {
+            let op = mix.draw(&mut rng);
+            let key = rng.next_below(list.key_space());
+            list.run_op(&mut th, &mut rng, op, key);
+        }
+        assert_eq!(th.stats().commits(), 400);
+        assert!(list.is_well_formed_quiescent());
+    }
+
+    #[test]
+    fn concurrent_churn_keeps_the_list_well_formed() {
+        let rt = Arc::new(runtime(1 << 18));
+        let list = Arc::new(TxSkipList::new(Arc::clone(rt.sim()), 64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let rt = Arc::clone(&rt);
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    let mut th = rt.register_thread();
+                    let mut rng = WorkloadRng::new(t as u64);
+                    for _ in 0..1_500 {
+                        let key = 1 + rng.next_below(64);
+                        if rng.draw_percent(50) {
+                            list.insert(&mut th, key, key * 1_000 + t as u64);
+                        } else {
+                            list.remove(&mut th, key);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(list.is_well_formed_quiescent());
+        let mut th = rt.register_thread();
+        let snapshot = list.snapshot(&mut th);
+        for (k, v) in snapshot {
+            assert_eq!(v / 1_000, k, "value {v} never written for key {k}");
+        }
+    }
+}

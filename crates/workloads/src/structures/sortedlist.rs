@@ -13,6 +13,7 @@ use rhtm_htm::HtmSim;
 use rhtm_mem::Addr;
 
 use super::{decode_ptr, encode_ptr};
+use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
@@ -123,14 +124,20 @@ impl ConstantSortedList {
     }
 }
 
+/// Kind mapping (constant shape): `Lookup`/`RangeSum` → linear search;
+/// `Update`/`Insert`/`Remove` → search + dummy-payload write (the list
+/// shape never changes, per the paper's emulation methodology).
 impl Workload for ConstantSortedList {
     fn name(&self) -> String {
         format!("sortedlist-{}", self.size)
     }
 
-    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool) {
-        let key = rng.next_below(self.size);
-        if is_update {
+    fn key_space(&self) -> u64 {
+        self.size
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, op: OpKind, key: u64) {
+        if op.is_update() {
             let value = rng.next_u64();
             thread.execute(|tx| self.update(tx, key, value));
         } else {
@@ -206,7 +213,13 @@ mod tests {
         let mut th = rt.register_thread();
         let mut rng = WorkloadRng::new(4);
         for i in 0..200 {
-            list.run_op(&mut th, &mut rng, i % 20 == 0);
+            let op = if i % 20 == 0 {
+                OpKind::Update
+            } else {
+                OpKind::Lookup
+            };
+            let key = rng.next_below(list.key_space());
+            list.run_op(&mut th, &mut rng, op, key);
         }
         assert_eq!(th.stats().commits(), 200);
     }

@@ -2,21 +2,59 @@
 
 use rhtm_api::TmThread;
 
+use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 
-/// A benchmark workload: a shared data structure plus the operation mix the
-/// paper runs against it.
+/// A benchmark workload: a shared data structure plus the operations the
+/// scenario engine runs against it.
 ///
 /// Implementations are constructed over a runtime's shared memory
 /// (allocating and initialising their nodes with non-transactional stores)
 /// and are then shared read-only between the worker threads; all mutation
 /// happens through the transactions issued in [`Workload::run_op`].
+///
+/// # Operation-selection contract
+///
+/// The *driver* owns operation selection, not the workload: for every
+/// operation it draws one [`OpKind`] from the configured
+/// [`OpMix`](crate::mix::OpMix) and one key from the configured
+/// [`KeyDist`](crate::rng::KeyDist) sampler over `[0, key_space())`, then
+/// calls [`Workload::run_op`] exactly once.  That split is what makes
+/// workload shape a sweepable axis: the same structure can be driven
+/// uniform or Zipfian, read-heavy or churning, without the structure
+/// knowing.
+///
+/// Implementations must uphold:
+///
+/// * **One committed transaction per call.**  Every `run_op` call executes
+///   (at least) one transaction to completion, even when the operation is
+///   a no-op at the semantic level (lookup of an absent key, dequeue from
+///   an empty queue, insert of a present key) — the driver counts calls as
+///   operations.
+/// * **Kind mapping.**  A workload that cannot express a kind maps it to
+///   the nearest supported operation and documents the mapping on its
+///   impl.  The mapping must respect [`OpKind::is_update`]: a read-only
+///   kind (`Lookup`, `RangeSum`) must map to a read-only operation.  The
+///   one sanctioned exception is a workload whose transaction shape is
+///   its *own* configuration ([`RandomArray`](crate::RandomArray) with
+///   its internal `write_percent`): such a workload may ignore `op` and
+///   `key` entirely, must say so on its impl, and is not read-only under
+///   any mix.
+/// * **Key mapping.**  `key` is always in `[0, key_space())`; workloads
+///   with reserved sentinel keys translate internally.
+/// * **Determinism.**  Any extra randomness (payload values, transaction
+///   shapes) must come from `rng`, so fixed-seed runs replay bit-identical
+///   operation sequences.
 pub trait Workload: Send + Sync {
     /// A short name used in reports (e.g. `"rbtree-100k"`).
     fn name(&self) -> String;
 
-    /// Executes one operation on `thread`.  `is_update` selects between the
-    /// workload's read-only operation (lookup/search/query) and its update
-    /// operation, according to the driver's write-percentage draw.
-    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, is_update: bool);
+    /// Number of distinct keys operations address; the driver draws every
+    /// `key` from `[0, key_space())`.  Must be ≥ 1 and constant for the
+    /// lifetime of the run.
+    fn key_space(&self) -> u64;
+
+    /// Executes one operation of kind `op` on `key` (see the
+    /// operation-selection contract above).
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, op: OpKind, key: u64);
 }

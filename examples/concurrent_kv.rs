@@ -1,119 +1,104 @@
-//! A concurrent key-value store built on the transactional hash map, running
-//! on the RH1 hybrid runtime: one writer keeps inserting and deleting while
-//! readers run consistent multi-key read transactions.
+//! A concurrent key-value store driven through the scenario engine: the
+//! transactional skiplist under a *zipfian-skewed* operation stream, on
+//! the RH1 hybrid runtime.
+//!
+//! Where this example used to hand-roll its reader/writer loops, it now
+//! does what the benchmark suite does: pick a registered scenario
+//! (`skiplist-zipf`: mutable skiplist, 70/15/15 lookup/insert/remove,
+//! YCSB-style θ=0.99 skew), let the driver draw `(op, key)` pairs, and
+//! read the merged result — then re-runs the same structure under uniform
+//! keys to show why the distribution is a first-class axis.
 //!
 //! ```text
-//! cargo run -p rhtm-bench --release --example concurrent_kv
+//! cargo run --release --example concurrent_kv
 //! ```
 
-use std::sync::Arc;
-
-use rhtm_api::{TmRuntime, TmThread};
+use rhtm_api::TmRuntime;
 use rhtm_core::{RhConfig, RhRuntime};
 use rhtm_htm::HtmConfig;
 use rhtm_mem::MemConfig;
-use rhtm_workloads::mutable::TxHashMap;
-use rhtm_workloads::WorkloadRng;
+use rhtm_workloads::{AlgoKind, DriverOpts, KeyDist, Scenario, TxSkipList};
+use std::sync::Arc;
+use std::time::Duration;
 
-const KEYS: u64 = 1_000;
-const WRITERS: usize = 2;
-const READERS: usize = 6;
-const OPS_PER_WRITER: usize = 30_000;
+const KEYS: u64 = 4_096;
+const THREADS: usize = 4;
 
 fn main() {
+    let scenario = *Scenario::find("skiplist-zipf").expect("registered scenario");
+    println!("scenario         : {}", scenario.name);
+    println!("structure        : {}", scenario.structure.label());
+    println!("operation mix    : {}", scenario.mix.label());
+    println!("key distribution : {}", scenario.dist.label());
+    println!("description      : {}", scenario.about);
+    println!();
+
+    // Run the registered scenario, then the same shape under uniform keys:
+    // the engine makes the distribution a one-line change.
+    let opts = DriverOpts::timed(THREADS, 0, Duration::from_millis(250)).with_seed(7);
+    for dist in [scenario.dist, KeyDist::Uniform] {
+        let mut s = scenario;
+        s.dist = dist;
+        let result = s.run(AlgoKind::Rh1Mixed(100), KEYS, &opts);
+        println!(
+            "{:<12} {:>12.0} ops/s  abort-ratio {:>6.2}%  ({} ops in {:?})",
+            result.key_dist,
+            result.throughput(),
+            result.abort_ratio() * 100.0,
+            result.total_ops,
+            result.elapsed,
+        );
+    }
+
+    // The same skiplist API composes into application transactions: a
+    // quick consistency check with multi-key transfers under skew.
     let runtime = Arc::new(RhRuntime::new(
-        MemConfig::with_data_words(TxHashMap::required_words(2 * KEYS, 400_000)),
+        MemConfig::with_data_words(TxSkipList::required_words(KEYS, THREADS) + 4096),
         HtmConfig::default(),
         RhConfig::rh1_mixed(100),
     ));
-    let map = Arc::new(TxHashMap::new(Arc::clone(runtime.sim()), 2 * KEYS));
-
-    // Every key starts present with value = key * 10.
-    {
-        let mut th = runtime.register_thread();
-        for k in 0..KEYS {
-            map.insert(&mut th, k, k * 10);
-        }
+    let list = Arc::new(TxSkipList::new(Arc::clone(runtime.sim()), KEYS));
+    for k in 1..=64u64 {
+        list.seed_insert(k, 1_000);
     }
-
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-
-    // Readers: each transaction reads a pair of related keys and checks the
-    // invariant the writers maintain (value is either key*10 or key*10+1,
-    // and paired keys always carry the same "generation" bit).
-    let readers: Vec<_> = (0..READERS)
-        .map(|tid| {
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
             let runtime = Arc::clone(&runtime);
-            let map = Arc::clone(&map);
-            let stop = Arc::clone(&stop);
+            let list = Arc::clone(&list);
             std::thread::spawn(move || {
+                use rhtm_api::TmThread;
                 let mut th = runtime.register_thread();
-                let mut rng = WorkloadRng::new(1_000 + tid as u64);
-                let mut checked = 0u64;
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    let k = rng.next_below(KEYS / 2) * 2;
-                    let pair = th.execute(|tx| {
-                        let a = map.get_in(tx, k)?;
-                        let b = map.get_in(tx, k + 1)?;
-                        Ok((a, b))
-                    });
-                    if let (Some(a), Some(b)) = pair {
-                        // Writers flip both keys of a pair in one transaction,
-                        // so their generation bits must agree.
-                        assert_eq!(a & 1, b & 1, "torn pair observed at key {k}");
+                let mut rng = rhtm_workloads::WorkloadRng::new(t as u64);
+                let mut sampler = KeyDist::ZIPF_DEFAULT.sampler(64, t, THREADS);
+                for _ in 0..5_000 {
+                    let from = 1 + sampler.sample(&mut rng);
+                    let to = 1 + sampler.sample(&mut rng);
+                    if from == to {
+                        continue;
                     }
-                    checked += 1;
-                }
-                checked
-            })
-        })
-        .collect();
-
-    // Writers: flip the generation bit of both keys of a random pair inside
-    // one transaction.
-    let writers: Vec<_> = (0..WRITERS)
-        .map(|tid| {
-            let runtime = Arc::clone(&runtime);
-            let map = Arc::clone(&map);
-            std::thread::spawn(move || {
-                let mut th = runtime.register_thread();
-                let mut rng = WorkloadRng::new(tid as u64);
-                let flip = |v: u64| if v & 1 == 0 { v | 1 } else { v & !1 };
-                for _ in 0..OPS_PER_WRITER {
-                    let k = rng.next_below(KEYS / 2) * 2;
-                    // Flip the generation bit of both keys of the pair in a
-                    // single transaction, so readers never see them disagree.
-                    map_pair_flip(&map, &mut th, k, flip);
+                    th.execute(|tx| {
+                        let f = list.get_in(tx, from)?.expect("seeded");
+                        if f == 0 {
+                            return Ok(());
+                        }
+                        let v = list.get_in(tx, to)?.expect("seeded");
+                        list.update_in(tx, from, f - 1)?;
+                        list.update_in(tx, to, v + 1)?;
+                        Ok(())
+                    });
                 }
                 th.stats().commits()
             })
         })
         .collect();
-
-    let mut writer_commits = 0;
-    for w in writers {
-        writer_commits += w.join().unwrap();
-    }
-    stop.store(true, std::sync::atomic::Ordering::SeqCst);
-    let mut reads = 0;
-    for r in readers {
-        reads += r.join().unwrap();
-    }
+    let commits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
 
     let mut th = runtime.register_thread();
-    println!("runtime          : {}", runtime.name());
-    println!("map size         : {}", map.len(&mut th));
-    println!("writer commits   : {writer_commits}");
-    println!("reader snapshots : {reads} (all consistent)");
-}
-
-/// Atomically flips the generation bit of keys `k` and `k+1`.
-fn map_pair_flip<T: TmThread>(map: &TxHashMap, th: &mut T, k: u64, flip: impl Fn(u64) -> u64) {
-    th.execute(|tx| {
-        let a = map.get_in(tx, k)?.unwrap_or(k * 10);
-        let b = map.get_in(tx, k + 1)?.unwrap_or((k + 1) * 10);
-        map.set_in(tx, k, flip(a))?;
-        map.set_in(tx, k + 1, flip(b))?;
-        Ok(())
-    });
+    let total: u64 = list.snapshot(&mut th).iter().map(|(_, v)| v).sum();
+    println!();
+    println!("transfer commits : {commits}");
+    println!("balance total    : {total} (expected {})", 64 * 1_000);
+    assert_eq!(total, 64 * 1_000, "zipfian transfers must conserve balance");
+    assert!(list.is_well_formed_quiescent());
+    println!("skiplist towers  : well-formed");
 }

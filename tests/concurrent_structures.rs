@@ -10,7 +10,7 @@ use rhtm_core::{RhConfig, RhRuntime};
 use rhtm_htm::HtmConfig;
 use rhtm_mem::MemConfig;
 use rhtm_workloads::mutable::{TxHashMap, TxSortedList};
-use rhtm_workloads::{ConstantRbTree, Workload, WorkloadRng};
+use rhtm_workloads::{ConstantRbTree, OpKind, Workload, WorkloadRng};
 
 fn rh1_runtime(data_words: usize, htm: HtmConfig) -> Arc<RhRuntime> {
     Arc::new(RhRuntime::new(
@@ -156,7 +156,13 @@ fn constant_rbtree_shape_is_untouched_by_concurrent_updates() {
                 let mut th = rt.register_thread();
                 let mut rng = WorkloadRng::new(t);
                 for i in 0..2_000 {
-                    tree.run_op(&mut th, &mut rng, i % 4 == 0);
+                    let op = if i % 4 == 0 {
+                        OpKind::Update
+                    } else {
+                        OpKind::Lookup
+                    };
+                    let key = rng.next_below(tree.key_space());
+                    tree.run_op(&mut th, &mut rng, op, key);
                 }
                 th.stats().commits()
             })

@@ -1,0 +1,271 @@
+//! The scenario engine, end to end.
+//!
+//! * **Determinism** — equal seeds must replay bit-identical `(op, key)`
+//!   sequences for every key distribution and through the whole driver
+//!   (mirroring the fixed-seed guarantees `tests/retry_policies.rs` gives
+//!   the contention-management layer).
+//! * **Invariant stress** — the two new mutable workloads (transactional
+//!   skiplist, bounded FIFO queue) must preserve exact global invariants
+//!   (balance conservation, FIFO/per-producer order, well-formed towers)
+//!   on **all six** figure algorithms, under real concurrency — mirroring
+//!   `tests/clock_schemes.rs` for the clock axis.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rhtm_api::{TmRuntime, TmThread};
+use rhtm_htm::{HtmConfig, HtmSim};
+use rhtm_mem::{MemConfig, TmMemory};
+use rhtm_workloads::scenario::Scenario;
+use rhtm_workloads::structures::{queue::TxQueue, skiplist::TxSkipList};
+use rhtm_workloads::{visit_algo, AlgoKind, AlgoVisitor, DriverOpts, KeyDist, OpMix, WorkloadRng};
+
+// ---------------------------------------------------------------------
+// Determinism: same seed ⇒ identical operation sequence per distribution
+// ---------------------------------------------------------------------
+
+#[test]
+fn same_seed_replays_the_same_op_and_key_sequence_for_every_distribution() {
+    let mix = OpMix::new([40, 10, 20, 15, 15]);
+    for dist in KeyDist::ALL {
+        let mut a = WorkloadRng::new(0xfeed);
+        let mut b = WorkloadRng::new(0xfeed);
+        let mut sa = dist.sampler(4_096, 2, 8);
+        let mut sb = dist.sampler(4_096, 2, 8);
+        let mut diverged = false;
+        let mut c = WorkloadRng::new(0xbeef);
+        let mut sc = dist.sampler(4_096, 2, 8);
+        for _ in 0..5_000 {
+            let (op_a, key_a) = (mix.draw(&mut a), sa.sample(&mut a));
+            let (op_b, key_b) = (mix.draw(&mut b), sb.sample(&mut b));
+            assert_eq!((op_a, key_a), (op_b, key_b), "{dist:?} diverged");
+            let (op_c, key_c) = (mix.draw(&mut c), sc.sample(&mut c));
+            diverged |= (op_a, key_a) != (op_c, key_c);
+        }
+        assert!(diverged, "{dist:?}: different seeds must diverge");
+    }
+}
+
+#[test]
+fn counted_scenario_runs_are_reproducible_for_every_distribution() {
+    let base = *Scenario::find("skiplist-uniform").expect("registered");
+    for dist in KeyDist::ALL {
+        let mut scenario = base;
+        scenario.dist = dist;
+        let run = || {
+            scenario.run(
+                AlgoKind::Rh1Mixed(100),
+                256,
+                &DriverOpts::counted(1, 0, 300).with_seed(42),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.total_ops, 300, "{dist:?}");
+        assert_eq!(a.stats.reads, b.stats.reads, "{dist:?}: reads");
+        assert_eq!(a.stats.writes, b.stats.writes, "{dist:?}: writes");
+        assert_eq!(a.stats.commits(), b.stats.commits(), "{dist:?}: commits");
+        assert_eq!(a.key_dist, dist.label());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bank-style invariant stress: skiplist, all six figure algorithms
+// ---------------------------------------------------------------------
+
+const ACCOUNTS: u64 = 48;
+const BALANCE: u64 = 1_000;
+
+struct SkipListStress {
+    list: Arc<TxSkipList>,
+}
+
+impl AlgoVisitor for SkipListStress {
+    /// The final `(key, value)` snapshot, taken before the runtime drops.
+    type Out = Vec<(u64, u64)>;
+
+    fn visit<R: TmRuntime>(self, runtime: R) -> Vec<(u64, u64)> {
+        let list = &self.list;
+        let runtime = &runtime;
+        std::thread::scope(|scope| {
+            // Transfer threads: move value between two accounts in one
+            // transaction; the total is conserved.
+            for t in 0..3u64 {
+                scope.spawn(move || {
+                    let mut th = runtime.register_thread();
+                    let mut rng = WorkloadRng::new(t);
+                    for _ in 0..600 {
+                        let from = 1 + rng.next_below(ACCOUNTS);
+                        let to = 1 + rng.next_below(ACCOUNTS);
+                        if from == to {
+                            continue;
+                        }
+                        let delta = 1 + rng.next_below(7);
+                        th.execute(|tx| {
+                            let f = list.get_in(tx, from)?.expect("account present");
+                            if f < delta {
+                                return Ok(());
+                            }
+                            let v = list.get_in(tx, to)?.expect("account present");
+                            list.update_in(tx, from, f - delta)?;
+                            list.update_in(tx, to, v + delta)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            // Churn threads: insert/remove a disjoint key range so the
+            // transfers race genuine shape changes.
+            for t in 0..2u64 {
+                scope.spawn(move || {
+                    let mut th = runtime.register_thread();
+                    let mut rng = WorkloadRng::new(100 + t);
+                    for _ in 0..600 {
+                        let key = ACCOUNTS + 1 + rng.next_below(32);
+                        if rng.draw_percent(50) {
+                            list.insert(&mut th, key, key);
+                        } else {
+                            list.remove(&mut th, key);
+                        }
+                    }
+                });
+            }
+        });
+        let mut th = runtime.register_thread();
+        self.list.snapshot(&mut th)
+    }
+}
+
+#[test]
+fn skiplist_bank_transfers_conserve_the_total_on_all_six_algorithms() {
+    for kind in AlgoKind::FIGURE_SET {
+        let words = TxSkipList::required_words(ACCOUNTS + 40, 8) + 4096;
+        let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(words)));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let list = Arc::new(TxSkipList::new(Arc::clone(&sim), ACCOUNTS + 40));
+        for k in 1..=ACCOUNTS {
+            list.seed_insert(k, BALANCE);
+        }
+        let snapshot = visit_algo(
+            kind,
+            None,
+            sim,
+            SkipListStress {
+                list: Arc::clone(&list),
+            },
+        );
+        assert!(list.is_well_formed_quiescent(), "{kind:?}: towers broken");
+        let total: u64 = snapshot
+            .iter()
+            .filter(|(k, _)| *k <= ACCOUNTS)
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, ACCOUNTS * BALANCE, "{kind:?}: balance lost");
+        // Every account key must still be present (transfers never remove).
+        let present = snapshot.iter().filter(|(k, _)| *k <= ACCOUNTS).count();
+        assert_eq!(present as u64, ACCOUNTS, "{kind:?}: account vanished");
+    }
+}
+
+// ---------------------------------------------------------------------
+// FIFO invariant stress: queue, all six figure algorithms
+// ---------------------------------------------------------------------
+
+struct QueueStress {
+    queue: Arc<TxQueue>,
+    consumed: Arc<Mutex<Vec<Vec<u64>>>>,
+}
+
+const PRODUCERS: u64 = 3;
+const PER_PRODUCER: u64 = 400;
+
+impl AlgoVisitor for QueueStress {
+    type Out = ();
+
+    fn visit<R: TmRuntime>(self, runtime: R) {
+        let queue = &self.queue;
+        let runtime = &runtime;
+        let consumed = &self.consumed;
+        let count = AtomicU64::new(0);
+        let count = &count;
+        std::thread::scope(|scope| {
+            for t in 0..PRODUCERS {
+                scope.spawn(move || {
+                    let mut th = runtime.register_thread();
+                    for i in 0..PER_PRODUCER {
+                        let v = (t << 32) | i;
+                        while !queue.enqueue(&mut th, v) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    let mut th = runtime.register_thread();
+                    let mut got = Vec::new();
+                    let target = PRODUCERS * PER_PRODUCER;
+                    while count.load(Ordering::Relaxed) < target {
+                        match queue.dequeue(&mut th) {
+                            Some(v) => {
+                                got.push(v);
+                                count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    consumed.lock().unwrap().push(got);
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn queue_preserves_fifo_and_conserves_values_on_all_six_algorithms() {
+    for kind in AlgoKind::FIGURE_SET {
+        let capacity = 32u64;
+        let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(
+            TxQueue::required_words(capacity) + 4096,
+        )));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let queue = Arc::new(TxQueue::new(Arc::clone(&sim), capacity));
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        visit_algo(
+            kind,
+            None,
+            sim,
+            QueueStress {
+                queue: Arc::clone(&queue),
+                consumed: Arc::clone(&consumed),
+            },
+        );
+        assert_eq!(
+            queue.snapshot_quiescent(),
+            Vec::<u64>::new(),
+            "{kind:?}: queue must drain"
+        );
+        let all = consumed.lock().unwrap();
+        // Conservation: every enqueued value is dequeued exactly once.
+        let mut values: Vec<u64> = all.iter().flatten().copied().collect();
+        values.sort_unstable();
+        let mut want: Vec<u64> = (0..PRODUCERS)
+            .flat_map(|t| (0..PER_PRODUCER).map(move |i| (t << 32) | i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(values, want, "{kind:?}: conservation violated");
+        // FIFO: each consumer sees each producer's values in order.
+        for got in all.iter() {
+            for t in 0..PRODUCERS {
+                let seq: Vec<u64> = got
+                    .iter()
+                    .filter(|v| *v >> 32 == t)
+                    .map(|v| v & 0xffff_ffff)
+                    .collect();
+                assert!(
+                    seq.windows(2).all(|w| w[0] < w[1]),
+                    "{kind:?}: per-producer FIFO order violated"
+                );
+            }
+        }
+    }
+}
