@@ -20,6 +20,16 @@
 //! costs the paper measures are preserved (no virtual dispatch on the hot
 //! path).
 //!
+//! Two layers sit on top of the word-level traits:
+//!
+//! * [`typed`] — the typed transactional data layer ([`TxCell`],
+//!   [`TxPtr`], record layouts, typed + checked allocation): zero-cost
+//!   `#[inline]` wrappers that replace hand-rolled offset arithmetic and
+//!   pointer null-sentinels in data-structure code.
+//! * [`dynamic`] — object-safe, dyn-erased mirrors ([`DynRuntime`],
+//!   [`DynThread`]) so tests and examples can hold *any* runtime as a
+//!   `Box<dyn DynRuntime>` value instead of writing visitor structs.
+//!
 //! ```
 //! use rhtm_api::{Abort, TmRuntime, TmThread, TxResult, Txn};
 //! use rhtm_mem::Addr;
@@ -45,14 +55,22 @@
 
 pub mod abort;
 pub mod backoff;
+pub mod dynamic;
 pub mod retry;
 pub mod stats;
+pub mod test_runtime;
 pub mod traits;
+pub mod typed;
 
 pub use abort::{Abort, AbortCause, TxResult};
 pub use backoff::Backoff;
+pub use dynamic::{DynRuntime, DynThread, DynThreadExt, DynTxn};
 pub use retry::{
     AttemptContext, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle, RetryRng,
 };
 pub use stats::{PathKind, Stopwatch, TxStats};
 pub use traits::{TmRuntime, TmThread, Txn};
+pub use typed::{
+    Codec, Field, FieldArray, LayoutBuilder, OrSized, Record, TxCell, TxFreeList, TxLayout, TxPtr,
+    TxRecords, TxSlice, TypedAlloc, NULL_PTR_WORD,
+};

@@ -1,0 +1,112 @@
+//! A minimal, strictly sequential reference runtime.
+//!
+//! [`DirectRuntime`] executes transaction bodies directly against the heap
+//! with no buffering, no conflict detection and no concurrency support —
+//! one thread at a time, by construction.  It exists so that documentation
+//! examples and unit tests of runtime-agnostic code (the typed data layer,
+//! the dyn-erased handles, workload logic) can run against *something*
+//! without pulling a protocol crate into `rhtm-api`'s dependency graph.
+//!
+//! It is **not** a transactional memory: using it from more than one
+//! thread at a time loses atomicity.  Every real runtime lives in the
+//! protocol crates (`rhtm-htm`, `rhtm-stm`, `rhtm-hytm-std`, `rhtm-core`).
+
+use std::sync::Arc;
+
+use rhtm_mem::{MemConfig, ThreadRegistry, ThreadToken, TmMemory};
+
+use crate::abort::TxResult;
+use crate::stats::{PathKind, TxStats};
+use crate::traits::{TmRuntime, TmThread, Txn};
+
+/// A trivially-sequential runtime for docs and tests (see the
+/// [module docs](self)).
+pub struct DirectRuntime {
+    mem: Arc<TmMemory>,
+    registry: Arc<ThreadRegistry>,
+}
+
+impl DirectRuntime {
+    /// Creates a runtime over a fresh heap with `data_words` data words.
+    pub fn new(data_words: usize) -> Self {
+        DirectRuntime {
+            mem: Arc::new(TmMemory::new(MemConfig::with_data_words(data_words))),
+            registry: ThreadRegistry::new(64),
+        }
+    }
+}
+
+/// The per-thread handle of [`DirectRuntime`].
+pub struct DirectThread {
+    mem: Arc<TmMemory>,
+    token: ThreadToken,
+    stats: TxStats,
+    active: bool,
+}
+
+impl TmRuntime for DirectRuntime {
+    type Thread = DirectThread;
+
+    fn name(&self) -> &'static str {
+        "Direct"
+    }
+
+    fn mem(&self) -> &Arc<TmMemory> {
+        &self.mem
+    }
+
+    fn register_thread(&self) -> DirectThread {
+        DirectThread {
+            mem: Arc::clone(&self.mem),
+            token: self.registry.register(),
+            stats: TxStats::new(false),
+            active: false,
+        }
+    }
+}
+
+impl Txn for DirectThread {
+    fn read(&mut self, addr: rhtm_mem::Addr) -> TxResult<u64> {
+        self.stats.record_read(0);
+        Ok(self.mem.heap().load(addr))
+    }
+
+    fn write(&mut self, addr: rhtm_mem::Addr, value: u64) -> TxResult<()> {
+        self.stats.record_write(0);
+        self.mem.heap().store(addr, value);
+        Ok(())
+    }
+}
+
+impl TmThread for DirectThread {
+    fn execute<R, F>(&mut self, mut body: F) -> R
+    where
+        F: FnMut(&mut Self) -> TxResult<R>,
+    {
+        assert!(!self.active, "nested execute is not supported");
+        self.active = true;
+        let result = loop {
+            match body(self) {
+                Ok(r) => {
+                    self.stats.record_commit(PathKind::Software);
+                    break r;
+                }
+                Err(abort) => self.stats.record_abort(abort.cause),
+            }
+        };
+        self.active = false;
+        result
+    }
+
+    fn thread_id(&self) -> usize {
+        self.token.id()
+    }
+
+    fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut TxStats {
+        &mut self.stats
+    }
+}

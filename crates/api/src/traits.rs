@@ -69,7 +69,11 @@ pub trait TmThread: Txn + Send {
 /// per-thread handles.
 pub trait TmRuntime: Send + Sync + 'static {
     /// The per-thread handle type.
-    type Thread: TmThread;
+    ///
+    /// `'static` so handles can be boxed behind
+    /// [`crate::dynamic::DynThread`]; every handle owns its runtime state
+    /// (via `Arc`s), so the bound costs nothing.
+    type Thread: TmThread + 'static;
 
     /// A short, stable name used in benchmark reports ("HTM", "TL2",
     /// "Standard HyTM", "RH1 Fast", "RH1 Mixed", "RH2", ...).

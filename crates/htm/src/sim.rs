@@ -33,6 +33,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use rhtm_api::typed::{Codec, TxCell};
 use rhtm_mem::{Addr, TmMemory, CACHE_LINE_WORDS};
 
 use crate::config::HtmConfig;
@@ -171,6 +172,20 @@ impl HtmSim {
             }
         }
         self.mem.heap().load(addr)
+    }
+
+    /// Typed variant of [`HtmSim::nt_load`]: strongly-isolated read of a
+    /// typed cell, decoded through its [`Codec`].
+    #[inline(always)]
+    pub fn nt_read<T: Codec>(&self, cell: TxCell<T>) -> T {
+        T::decode(self.nt_load(cell.addr()))
+    }
+
+    /// Typed variant of [`HtmSim::nt_store`]: strongly-isolated write of a
+    /// typed cell.
+    #[inline(always)]
+    pub fn nt_write<T: Codec>(&self, cell: TxCell<T>, value: T) {
+        self.nt_store(cell.addr(), value.encode())
     }
 
     /// Non-transactional, strongly-isolated store of a heap word.

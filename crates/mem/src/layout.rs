@@ -226,6 +226,34 @@ impl MemLayout {
     }
 }
 
+/// Allocation failure: the data region cannot satisfy a request.
+///
+/// Returned by the checked allocation paths ([`TmMemory::try_alloc`],
+/// [`TmMemory::try_alloc_line_aligned`] and the typed layer built on them)
+/// so that workload prefill code can report a sizing error with context
+/// (which structure, which `required_words` helper to use) instead of
+/// dying deep inside the bump allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Words the failed request asked for.
+    pub requested: usize,
+    /// Words that were still available when the request was made.
+    pub remaining: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transactional heap exhausted: requested {} words, {} words remain \
+             (increase MemConfig::data_words)",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
 /// The shared transactional memory handed to every runtime: heap + layout +
 /// a bump allocator over the data region + the global clock.
 pub struct TmMemory {
@@ -275,35 +303,74 @@ impl TmMemory {
     /// # Panics
     ///
     /// Panics when the data region is exhausted: this is a configuration
-    /// error (increase [`MemConfig::data_words`]).
+    /// error (increase [`MemConfig::data_words`]).  Code that can report
+    /// the error with more context should use [`TmMemory::try_alloc`].
     pub fn alloc(&self, words: usize) -> Addr {
-        let start = self.alloc_cursor.fetch_add(words, Ordering::SeqCst);
-        let end = start + words;
-        assert!(
-            end <= self.layout.total_words(),
-            "transactional heap exhausted: requested {} words, {} words remain",
-            words,
-            self.layout.total_words().saturating_sub(start)
-        );
-        Addr(start)
+        match self.try_alloc(words) {
+            Ok(addr) => addr,
+            Err(oom) => panic!("{oom}"),
+        }
     }
 
-    /// Allocates `words` data words aligned to the start of a cache line.
-    pub fn alloc_line_aligned(&self, words: usize) -> Addr {
+    /// Checked variant of [`TmMemory::alloc`]: returns [`OutOfMemory`]
+    /// instead of panicking when the data region cannot satisfy `words`.
+    ///
+    /// Failure has no side effect on the cursor (the reservation is a CAS,
+    /// never a blind bump), so an over-large request can neither fail
+    /// concurrent smaller allocations nor skew their reported `remaining`.
+    pub fn try_alloc(&self, words: usize) -> Result<Addr, OutOfMemory> {
         loop {
             let cur = self.alloc_cursor.load(Ordering::SeqCst);
-            let aligned = cur.next_multiple_of(CACHE_LINE_WORDS);
-            let end = aligned + words;
-            assert!(
-                end <= self.layout.total_words(),
-                "transactional heap exhausted during aligned allocation"
-            );
+            // saturating_add: an absurd request must report, not wrap past
+            // the bounds check and rewind the cursor into live allocations.
+            let end = cur.saturating_add(words);
+            if end > self.layout.total_words() {
+                return Err(OutOfMemory {
+                    requested: words,
+                    remaining: self.layout.total_words().saturating_sub(cur),
+                });
+            }
             if self
                 .alloc_cursor
                 .compare_exchange(cur, end, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                return Addr(aligned);
+                return Ok(Addr(cur));
+            }
+        }
+    }
+
+    /// Allocates `words` data words aligned to the start of a cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the data region is exhausted (see
+    /// [`TmMemory::try_alloc_line_aligned`] for the checked variant).
+    pub fn alloc_line_aligned(&self, words: usize) -> Addr {
+        match self.try_alloc_line_aligned(words) {
+            Ok(addr) => addr,
+            Err(oom) => panic!("{oom} (during line-aligned allocation)"),
+        }
+    }
+
+    /// Checked variant of [`TmMemory::alloc_line_aligned`].
+    pub fn try_alloc_line_aligned(&self, words: usize) -> Result<Addr, OutOfMemory> {
+        loop {
+            let cur = self.alloc_cursor.load(Ordering::SeqCst);
+            let aligned = cur.next_multiple_of(CACHE_LINE_WORDS);
+            let end = aligned.saturating_add(words);
+            if end > self.layout.total_words() {
+                return Err(OutOfMemory {
+                    requested: words,
+                    remaining: self.layout.total_words().saturating_sub(aligned),
+                });
+            }
+            if self
+                .alloc_cursor
+                .compare_exchange(cur, end, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(Addr(aligned));
             }
         }
     }
@@ -417,6 +484,44 @@ mod tests {
     fn alloc_past_end_panics() {
         let mem = TmMemory::new(MemConfig::with_data_words(32));
         let _ = mem.alloc(33);
+    }
+
+    #[test]
+    fn try_alloc_reports_without_consuming() {
+        let mem = TmMemory::new(MemConfig::with_data_words(32));
+        let remaining = mem.remaining_words();
+        let err = mem.try_alloc(remaining + 1).unwrap_err();
+        assert_eq!(err.requested, remaining + 1);
+        assert_eq!(err.remaining, remaining);
+        assert!(err.to_string().contains("exhausted"));
+        // The failed reservation must not consume the region.
+        assert_eq!(mem.remaining_words(), remaining);
+        assert!(mem.try_alloc(remaining).is_ok());
+        assert_eq!(mem.remaining_words(), 0);
+    }
+
+    #[test]
+    fn try_alloc_rejects_wrapping_requests() {
+        let mem = TmMemory::new(MemConfig::with_data_words(64));
+        let before = mem.remaining_words();
+        mem.alloc(8); // a nonzero cursor so `cur + usize::MAX` would wrap
+        assert!(mem.try_alloc(usize::MAX).is_err());
+        assert!(mem.try_alloc(usize::MAX - 4).is_err());
+        assert!(mem.try_alloc_line_aligned(usize::MAX).is_err());
+        // The cursor must not have moved backwards.
+        assert_eq!(mem.remaining_words(), before - 8);
+        assert!(mem.try_alloc(1).is_ok());
+    }
+
+    #[test]
+    fn try_alloc_line_aligned_reports_exhaustion() {
+        let mem = TmMemory::new(MemConfig::with_data_words(16));
+        let err = mem
+            .try_alloc_line_aligned(mem.remaining_words() + CACHE_LINE_WORDS)
+            .unwrap_err();
+        assert!(err.remaining <= mem.remaining_words());
+        let ok = mem.try_alloc_line_aligned(8).unwrap();
+        assert_eq!(ok.0 % CACHE_LINE_WORDS, 0);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod thread;
 pub use addr::{Addr, StripeId, CACHE_LINE_WORDS, LINE_SHIFT};
 pub use clock::{ClockScheme, GlobalClock, GV6_SAMPLE_PERIOD};
 pub use heap::TxHeap;
-pub use layout::{MemConfig, MemLayout, TmMemory};
+pub use layout::{MemConfig, MemLayout, OutOfMemory, TmMemory};
 pub use thread::{ThreadRegistry, ThreadToken};

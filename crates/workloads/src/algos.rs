@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use rhtm_api::{RetryPolicyHandle, TmRuntime};
+use rhtm_api::{DynRuntime, RetryPolicyHandle, TmRuntime};
 use rhtm_core::{RhConfig, RhRuntime};
 use rhtm_htm::{HtmConfig, HtmRuntime, HtmRuntimeConfig, HtmSim};
 use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
@@ -84,16 +84,68 @@ impl AlgoKind {
             }
         }
     }
+
+    /// Instantiates the runtime this kind names over `sim` as a value:
+    /// a boxed [`DynRuntime`] instead of the visitor inversion, for tests
+    /// and examples that want to hold runtimes in variables or
+    /// collections (`policy` as in [`visit_algo`]).
+    ///
+    /// The erased handles cost an indirect call per access, so measured
+    /// benchmark loops should keep using the generic path
+    /// ([`visit_algo`]/[`run_on_algo`]); everything else — setup,
+    /// verification, driving a structure from a test — reads much better
+    /// as a value:
+    ///
+    /// ```
+    /// use rhtm_api::DynThreadExt;
+    /// use rhtm_htm::{HtmConfig, HtmSim};
+    /// use rhtm_mem::{MemConfig, TmMemory};
+    /// use rhtm_workloads::AlgoKind;
+    /// use std::sync::Arc;
+    ///
+    /// let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(64)));
+    /// let sim = HtmSim::new(mem, HtmConfig::default());
+    /// let cell = sim.mem().alloc(1);
+    /// for kind in AlgoKind::FIGURE_SET {
+    ///     let rt = kind.instantiate_dyn(None, Arc::clone(&sim));
+    ///     let mut th = rt.register_dyn();
+    ///     th.run(|tx| {
+    ///         let v = tx.read(cell)?;
+    ///         tx.write(cell, v + 1)
+    ///     });
+    /// }
+    /// assert_eq!(sim.nt_load(cell), AlgoKind::FIGURE_SET.len() as u64);
+    /// ```
+    pub fn instantiate_dyn(
+        &self,
+        policy: Option<&RetryPolicyHandle>,
+        sim: Arc<HtmSim>,
+    ) -> Box<dyn DynRuntime> {
+        struct BoxVisitor;
+        impl AlgoVisitor for BoxVisitor {
+            type Out = Box<dyn DynRuntime>;
+
+            fn visit<R: TmRuntime>(self, runtime: R) -> Box<dyn DynRuntime> {
+                Box::new(runtime)
+            }
+        }
+        visit_algo(*self, policy, sim, BoxVisitor)
+    }
 }
 
 /// A generic computation over the runtime an [`AlgoKind`] names.
 ///
 /// `TmRuntime` is not object-safe (its `Thread` associated type), so "give
-/// me the runtime for this kind" cannot return a trait object; the visitor
-/// inverts the control instead: [`visit_algo`] constructs the concrete
-/// runtime and calls [`AlgoVisitor::visit`] with it.  The benchmark driver
-/// is one visitor ([`run_on_algo`]); the invariant-stress tests are
-/// another (spawning their own threads against the runtime).
+/// me the runtime for this kind" cannot return *the generic trait* as an
+/// object; the visitor inverts the control instead: [`visit_algo`]
+/// constructs the concrete runtime and calls [`AlgoVisitor::visit`] with
+/// it, keeping the whole computation monomorphised.  The benchmark driver
+/// is one visitor ([`run_on_algo`]).
+///
+/// Code that does not need monomorphised access — tests, examples, setup —
+/// should prefer [`AlgoKind::instantiate_dyn`], which hands back the
+/// runtime as a plain `Box<dyn DynRuntime>` value (erased through
+/// [`rhtm_api::dynamic`]) with no visitor struct to write.
 pub trait AlgoVisitor {
     /// What the computation returns.
     type Out;
@@ -335,6 +387,39 @@ mod tests {
                 assert_eq!(result.total_ops, 200, "{kind:?} under {}", policy.label());
                 assert_eq!(result.stats.commits(), 200, "{kind:?}");
             }
+        }
+    }
+
+    #[test]
+    fn instantiate_dyn_names_every_kind_and_runs_transactions() {
+        use rhtm_api::DynThreadExt;
+        use rhtm_htm::HtmSim;
+        use rhtm_mem::TmMemory;
+
+        for kind in [
+            AlgoKind::Htm,
+            AlgoKind::StdHytm,
+            AlgoKind::Tl2,
+            AlgoKind::Rh1Fast,
+            AlgoKind::Rh1Mixed(10),
+            AlgoKind::Rh1Slow,
+            AlgoKind::Rh2,
+            AlgoKind::GlobalLock,
+        ] {
+            let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(64)));
+            let sim = HtmSim::new(mem, HtmConfig::default());
+            let cell = sim.mem().alloc(1);
+            let rt = kind.instantiate_dyn(None, Arc::clone(&sim));
+            assert_eq!(rt.name(), kind.label().as_str(), "{kind:?}");
+            let mut th = rt.register_dyn();
+            for _ in 0..10 {
+                th.run(|tx| {
+                    let v = tx.read(cell)?;
+                    tx.write(cell, v + 1)
+                });
+            }
+            assert_eq!(sim.nt_load(cell), 10, "{kind:?}");
+            assert_eq!(th.stats().commits(), 10, "{kind:?}");
         }
     }
 

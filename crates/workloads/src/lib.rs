@@ -52,6 +52,11 @@
 //! that a whole benchmark campaign is a loop over
 //! `(Scenario, AlgoKind, threads)` — driven by the `bench_suite` binary in
 //! `rhtm-bench`.
+//!
+//! All structures are written on the typed data layer
+//! ([`rhtm_api::typed`]); code that wants a runtime as a *value* rather
+//! than through the visitor (tests, examples, setup) uses
+//! [`AlgoKind::instantiate_dyn`] → `Box<dyn `[`rhtm_api::DynRuntime`]`>`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -11,27 +11,49 @@
 
 use std::sync::Arc;
 
-use rhtm_api::{TmThread, TxResult};
+use rhtm_api::typed::{
+    Field, FieldArray, LayoutBuilder, Record, TxCell, TxLayout, TxPtr, TxSlice, TypedAlloc,
+};
+use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::Addr;
 
-use super::{decode_ptr, encode_ptr};
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
-/// Node word offsets.
-const KEY: usize = 0;
-const NEXT: usize = 1;
-const DUMMY_BASE: usize = 2;
 /// Dummy payload words per node.
 pub const DUMMY_WORDS: usize = 4;
-const NODE_WORDS: usize = 8;
+
+/// The heap record of one chained node.
+pub struct HtNode;
+
+type Link = Option<TxPtr<HtNode>>;
+
+#[allow(clippy::type_complexity)] // the layout-builder tuple idiom
+const NODE: (
+    TxLayout<HtNode>,
+    Field<HtNode, u64>,
+    Field<HtNode, Link>,
+    FieldArray<HtNode, u64>,
+) = {
+    let b = LayoutBuilder::new();
+    let (b, key) = b.field();
+    let (b, next) = b.field();
+    let (b, dummy) = b.array(DUMMY_WORDS);
+    (b.pad_to(8).finish(), key, next, dummy)
+};
+const KEY: Field<HtNode, u64> = NODE.1;
+const NEXT: Field<HtNode, Link> = NODE.2;
+const DUMMY: FieldArray<HtNode, u64> = NODE.3;
+
+impl Record for HtNode {
+    const LAYOUT: TxLayout<HtNode> = NODE.0;
+}
 
 /// The constant hash-table workload.
 pub struct ConstantHashTable {
     sim: Arc<HtmSim>,
-    buckets: Addr,
+    buckets: TxSlice<Link>,
     bucket_mask: u64,
     size: u64,
 }
@@ -44,12 +66,12 @@ impl ConstantHashTable {
         assert!(size > 0);
         let bucket_count = (2 * size).next_power_of_two();
         let mem = sim.mem();
-        let buckets = mem.alloc(bucket_count as usize);
+        let buckets: TxSlice<Link> = mem.alloc_slice(bucket_count as usize);
         let heap = mem.heap();
-        for b in 0..bucket_count as usize {
-            heap.store(buckets.offset(b), encode_ptr(None));
+        for bucket in buckets.iter() {
+            bucket.store(heap, None);
         }
-        let nodes = mem.alloc(size as usize * NODE_WORDS);
+        let nodes = mem.alloc_records::<HtNode>(size as usize);
         let table = ConstantHashTable {
             sim,
             buckets,
@@ -58,16 +80,16 @@ impl ConstantHashTable {
         };
         let heap = table.sim.mem().heap();
         for key in 0..size {
-            let node = nodes.offset(key as usize * NODE_WORDS);
-            heap.store(node.offset(KEY), key);
+            let node = nodes.get(key as usize);
+            node.field(KEY).store(heap, key);
             for d in 0..DUMMY_WORDS {
-                heap.store(node.offset(DUMMY_BASE + d), 0);
+                node.slot(DUMMY, d).store(heap, 0);
             }
             // Push at the head of the bucket chain.
-            let bucket = table.bucket_addr(key);
-            let head = heap.load(bucket);
-            heap.store(node.offset(NEXT), head);
-            heap.store(bucket, encode_ptr(Some(node)));
+            let bucket = table.bucket(key);
+            let head = bucket.load(heap);
+            node.field(NEXT).store(heap, head);
+            bucket.store(heap, Some(node));
         }
         table
     }
@@ -83,36 +105,37 @@ impl ConstantHashTable {
     }
 
     #[inline]
-    fn bucket_addr(&self, key: u64) -> Addr {
+    fn bucket(&self, key: u64) -> TxCell<Link> {
         // Multiply-shift hash, then mask into the bucket array.
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
-        self.buckets.offset((h & self.bucket_mask) as usize)
+        self.buckets.get((h & self.bucket_mask) as usize)
     }
 
     /// Transactionally looks up `key`, reading the dummy payload of the
-    /// matching node.  Returns the node address when found.
-    pub fn query<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<Addr>> {
-        let mut node = decode_ptr(tx.read(self.bucket_addr(key))?);
+    /// matching node.  Returns the node when found.
+    pub fn query<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Link> {
+        let mut node = self.bucket(key).read(tx)?;
         while let Some(n) = node {
-            let k = tx.read(n.offset(KEY))?;
+            let k = n.field(KEY).read(tx)?;
             if k == key {
                 for d in 0..DUMMY_WORDS {
-                    tx.read(n.offset(DUMMY_BASE + d))?;
+                    n.slot(DUMMY, d).read(tx)?;
                 }
                 return Ok(Some(n));
             }
-            node = decode_ptr(tx.read(n.offset(NEXT))?);
+            node = n.field(NEXT).read(tx)?;
         }
         Ok(None)
     }
 
     /// Transactionally "updates" `key`: query followed by dummy writes into
     /// the found node (the structure is never modified).
-    pub fn update<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
+    pub fn update<X: Txn + ?Sized>(&self, tx: &mut X, key: u64, value: u64) -> TxResult<bool> {
         match self.query(tx, key)? {
             Some(node) => {
                 for d in 0..DUMMY_WORDS {
-                    tx.write(node.offset(DUMMY_BASE + d), value.wrapping_add(d as u64))?;
+                    node.slot(DUMMY, d)
+                        .write(tx, value.wrapping_add(d as u64))?;
                 }
                 Ok(true)
             }
@@ -123,7 +146,7 @@ impl ConstantHashTable {
     /// Words required for a table of `size` elements.
     pub fn required_words(size: u64) -> usize {
         let bucket_count = (2 * size).next_power_of_two() as usize;
-        bucket_count + size as usize * NODE_WORDS
+        bucket_count + size as usize * HtNode::WORDS
     }
 
     /// Non-transactional sanity check: number of elements reachable through
@@ -131,10 +154,10 @@ impl ConstantHashTable {
     pub fn count_reachable(&self) -> u64 {
         let mut count = 0;
         for b in 0..=self.bucket_mask {
-            let mut node = decode_ptr(self.sim.nt_load(self.buckets.offset(b as usize)));
+            let mut node = self.sim.nt_read(self.buckets.get(b as usize));
             while let Some(n) = node {
                 count += 1;
-                node = decode_ptr(self.sim.nt_load(n.offset(NEXT)));
+                node = self.sim.nt_read(n.field(NEXT));
             }
         }
         count

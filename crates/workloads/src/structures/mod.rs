@@ -17,6 +17,15 @@
 //! All six benchmark structures implement [`crate::Workload`]; the
 //! scenario registry ([`crate::scenario`]) names the combinations the
 //! `bench_suite` binary sweeps.
+//!
+//! Every structure is written on the typed data layer
+//! ([`rhtm_api::typed`]): node layouts are declared once with
+//! [`rhtm_api::typed::LayoutBuilder`] (no hand-numbered offset
+//! constants), links are `Option<TxPtr<Node>>` cells (the null sentinel
+//! lives in the layer's `Codec`, defined exactly once), and allocation
+//! goes through [`rhtm_api::typed::TypedAlloc`] — including the checked
+//! path that turns prefill sizing mistakes into readable errors naming
+//! the structure's `required_words` helper.
 
 pub mod hashtable;
 pub mod mutable;
@@ -25,37 +34,3 @@ pub mod random_array;
 pub mod rbtree;
 pub mod skiplist;
 pub mod sortedlist;
-
-use rhtm_mem::Addr;
-
-/// Encodes an optional node address into a heap word.
-#[inline]
-pub(crate) fn encode_ptr(ptr: Option<Addr>) -> u64 {
-    match ptr {
-        Some(a) => a.index() as u64,
-        None => u64::MAX,
-    }
-}
-
-/// Decodes a heap word into an optional node address.
-#[inline]
-pub(crate) fn decode_ptr(raw: u64) -> Option<Addr> {
-    if raw == u64::MAX {
-        None
-    } else {
-        Some(Addr(raw as usize))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pointer_encoding_round_trips() {
-        assert_eq!(decode_ptr(encode_ptr(None)), None);
-        assert_eq!(decode_ptr(encode_ptr(Some(Addr(42)))), Some(Addr(42)));
-        assert_eq!(encode_ptr(Some(Addr(0))), 0);
-        assert_eq!(encode_ptr(None), u64::MAX);
-    }
-}

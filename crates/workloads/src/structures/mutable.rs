@@ -6,30 +6,51 @@
 //! structures exercise the protocols on *shape-changing* workloads: inserts
 //! and removals rewrite pointers.  They are used by the correctness and
 //! property tests (checked against a sequential model and against the
-//! global-lock oracle runtime), and by the `concurrent_kv` example.
+//! global-lock oracle runtime), and by the examples.
 //!
-//! Memory for new nodes is taken from the shared bump allocator.  Nodes
-//! removed from a structure are not recycled (the allocator is append-only);
-//! this is deliberate — safe memory reclamation is orthogonal to the TM
-//! protocols and the paper leaves privatization to future work.
+//! Memory for new nodes is taken from the shared bump allocator through
+//! the typed layer ([`rhtm_api::typed::TypedAlloc`]).  Nodes removed from
+//! a structure are not recycled (the allocator is append-only); this is
+//! deliberate — safe memory reclamation is orthogonal to the TM protocols
+//! and the paper leaves privatization to future work.  (The benchmark-grade
+//! [`super::skiplist`] shows the freelist pattern where recycling matters.)
 
 use std::sync::Arc;
 
-use rhtm_api::{TmThread, TxResult};
+use rhtm_api::typed::{Field, LayoutBuilder, Record, TxLayout, TxPtr, TxSlice, TypedAlloc};
+use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::Addr;
 
-use super::{decode_ptr, encode_ptr};
+/// The heap record of a map node: `key`, `value`, `next`.
+pub struct MapNode;
 
-const KEY: usize = 0;
-const VALUE: usize = 1;
-const NEXT: usize = 2;
-const NODE_WORDS: usize = 4;
+type MapLink = Option<TxPtr<MapNode>>;
+
+#[allow(clippy::type_complexity)] // the layout-builder tuple idiom
+const MAP_NODE: (
+    TxLayout<MapNode>,
+    Field<MapNode, u64>,
+    Field<MapNode, u64>,
+    Field<MapNode, MapLink>,
+) = {
+    let b = LayoutBuilder::new();
+    let (b, key) = b.field();
+    let (b, value) = b.field();
+    let (b, next) = b.field();
+    (b.pad_to(4).finish(), key, value, next)
+};
+const M_KEY: Field<MapNode, u64> = MAP_NODE.1;
+const M_VALUE: Field<MapNode, u64> = MAP_NODE.2;
+const M_NEXT: Field<MapNode, MapLink> = MAP_NODE.3;
+
+impl Record for MapNode {
+    const LAYOUT: TxLayout<MapNode> = MAP_NODE.0;
+}
 
 /// A transactional chained hash map with a fixed bucket count.
 pub struct TxHashMap {
     sim: Arc<HtmSim>,
-    buckets: Addr,
+    buckets: TxSlice<MapLink>,
     bucket_mask: u64,
 }
 
@@ -38,10 +59,10 @@ impl TxHashMap {
     /// empty buckets.
     pub fn new(sim: Arc<HtmSim>, bucket_count: u64) -> Self {
         let bucket_count = bucket_count.next_power_of_two();
-        let buckets = sim.mem().alloc(bucket_count as usize);
+        let buckets: TxSlice<MapLink> = sim.mem().alloc_slice(bucket_count as usize);
         let heap = sim.mem().heap();
-        for b in 0..bucket_count as usize {
-            heap.store(buckets.offset(b), encode_ptr(None));
+        for bucket in buckets.iter() {
+            bucket.store(heap, None);
         }
         TxHashMap {
             sim,
@@ -52,13 +73,13 @@ impl TxHashMap {
 
     /// Heap words needed for the bucket array plus `expected_inserts` nodes.
     pub fn required_words(bucket_count: u64, expected_inserts: u64) -> usize {
-        bucket_count.next_power_of_two() as usize + expected_inserts as usize * NODE_WORDS
+        bucket_count.next_power_of_two() as usize + expected_inserts as usize * MapNode::WORDS
     }
 
     #[inline]
-    fn bucket_addr(&self, key: u64) -> Addr {
+    fn bucket(&self, key: u64) -> rhtm_api::typed::TxCell<MapLink> {
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
-        self.buckets.offset((h & self.bucket_mask) as usize)
+        self.buckets.get((h & self.bucket_mask) as usize)
     }
 
     /// Transactionally gets the value stored under `key`.
@@ -67,13 +88,13 @@ impl TxHashMap {
     }
 
     /// In-transaction lookup (composable with other operations).
-    pub fn get_in<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<u64>> {
-        let mut node = decode_ptr(tx.read(self.bucket_addr(key))?);
+    pub fn get_in<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        let mut node = self.bucket(key).read(tx)?;
         while let Some(n) = node {
-            if tx.read(n.offset(KEY))? == key {
-                return Ok(Some(tx.read(n.offset(VALUE))?));
+            if n.field(M_KEY).read(tx)? == key {
+                return Ok(Some(n.field(M_VALUE).read(tx)?));
             }
-            node = decode_ptr(tx.read(n.offset(NEXT))?);
+            node = n.field(M_NEXT).read(tx)?;
         }
         Ok(None)
     }
@@ -83,25 +104,25 @@ impl TxHashMap {
     pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64, value: u64) -> Option<u64> {
         // Pre-allocate the node outside the transaction so an abort/retry
         // does not allocate again; unused nodes are simply wasted words.
-        let node = self.sim.mem().alloc(NODE_WORDS);
+        let node = self.sim.mem().alloc_record::<MapNode>();
         thread.execute(|tx| {
             // Search the chain for the key.
-            let bucket = self.bucket_addr(key);
-            let mut cursor = decode_ptr(tx.read(bucket)?);
+            let bucket = self.bucket(key);
+            let mut cursor = bucket.read(tx)?;
             while let Some(n) = cursor {
-                if tx.read(n.offset(KEY))? == key {
-                    let prev = tx.read(n.offset(VALUE))?;
-                    tx.write(n.offset(VALUE), value)?;
+                if n.field(M_KEY).read(tx)? == key {
+                    let prev = n.field(M_VALUE).read(tx)?;
+                    n.field(M_VALUE).write(tx, value)?;
                     return Ok(Some(prev));
                 }
-                cursor = decode_ptr(tx.read(n.offset(NEXT))?);
+                cursor = n.field(M_NEXT).read(tx)?;
             }
             // Not found: link the pre-allocated node at the head.
-            let head = tx.read(bucket)?;
-            tx.write(node.offset(KEY), key)?;
-            tx.write(node.offset(VALUE), value)?;
-            tx.write(node.offset(NEXT), head)?;
-            tx.write(bucket, encode_ptr(Some(node)))?;
+            let head = bucket.read(tx)?;
+            node.field(M_KEY).write(tx, key)?;
+            node.field(M_VALUE).write(tx, value)?;
+            node.field(M_NEXT).write(tx, head)?;
+            bucket.write(tx, Some(node))?;
             Ok(None)
         })
     }
@@ -109,14 +130,14 @@ impl TxHashMap {
     /// In-transaction update of an *existing* key (composable with other
     /// operations).  Returns `false` when the key is absent; inserting a new
     /// key requires [`TxHashMap::insert`] because it allocates a node.
-    pub fn set_in<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
-        let mut node = decode_ptr(tx.read(self.bucket_addr(key))?);
+    pub fn set_in<X: Txn + ?Sized>(&self, tx: &mut X, key: u64, value: u64) -> TxResult<bool> {
+        let mut node = self.bucket(key).read(tx)?;
         while let Some(n) = node {
-            if tx.read(n.offset(KEY))? == key {
-                tx.write(n.offset(VALUE), value)?;
+            if n.field(M_KEY).read(tx)? == key {
+                n.field(M_VALUE).write(tx, value)?;
                 return Ok(true);
             }
-            node = decode_ptr(tx.read(n.offset(NEXT))?);
+            node = n.field(M_NEXT).read(tx)?;
         }
         Ok(false)
     }
@@ -124,21 +145,21 @@ impl TxHashMap {
     /// Transactionally removes `key`, returning its value if present.
     pub fn remove<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
         thread.execute(|tx| {
-            let bucket = self.bucket_addr(key);
-            let mut prev: Option<Addr> = None;
-            let mut cursor = decode_ptr(tx.read(bucket)?);
+            let bucket = self.bucket(key);
+            let mut prev: Option<TxPtr<MapNode>> = None;
+            let mut cursor = bucket.read(tx)?;
             while let Some(n) = cursor {
-                let next = tx.read(n.offset(NEXT))?;
-                if tx.read(n.offset(KEY))? == key {
-                    let value = tx.read(n.offset(VALUE))?;
+                let next = n.field(M_NEXT).read(tx)?;
+                if n.field(M_KEY).read(tx)? == key {
+                    let value = n.field(M_VALUE).read(tx)?;
                     match prev {
-                        Some(p) => tx.write(p.offset(NEXT), next)?,
-                        None => tx.write(bucket, next)?,
+                        Some(p) => p.field(M_NEXT).write(tx, next)?,
+                        None => bucket.write(tx, next)?,
                     }
                     return Ok(Some(value));
                 }
                 prev = Some(n);
-                cursor = decode_ptr(next);
+                cursor = next;
             }
             Ok(None)
         })
@@ -150,10 +171,10 @@ impl TxHashMap {
         thread.execute(|tx| {
             let mut count = 0;
             for b in 0..=self.bucket_mask {
-                let mut node = decode_ptr(tx.read(self.buckets.offset(b as usize))?);
+                let mut node = self.buckets.get(b as usize).read(tx)?;
                 while let Some(n) = node {
                     count += 1;
-                    node = decode_ptr(tx.read(n.offset(NEXT))?);
+                    node = n.field(M_NEXT).read(tx)?;
                 }
             }
             Ok(count)
@@ -161,29 +182,53 @@ impl TxHashMap {
     }
 }
 
+/// The heap record of a sorted-list node: `key`, `next` (set semantics —
+/// no value field; padded to the map node's four words).
+pub struct ListNode;
+
+type ListLink = Option<TxPtr<ListNode>>;
+
+const LIST_NODE: (
+    TxLayout<ListNode>,
+    Field<ListNode, u64>,
+    Field<ListNode, ListLink>,
+) = {
+    let b = LayoutBuilder::new();
+    let (b, key) = b.field();
+    let (b, next) = b.field();
+    (b.pad_to(4).finish(), key, next)
+};
+const L_KEY: Field<ListNode, u64> = LIST_NODE.1;
+const L_NEXT: Field<ListNode, ListLink> = LIST_NODE.2;
+
+impl Record for ListNode {
+    const LAYOUT: TxLayout<ListNode> = LIST_NODE.0;
+}
+
 /// A transactional sorted singly-linked list (set semantics) with sentinel
 /// head and tail nodes.
 pub struct TxSortedList {
-    head: Addr,
+    head: TxPtr<ListNode>,
     sim: Arc<HtmSim>,
 }
 
 impl TxSortedList {
     /// Creates an empty list.
     pub fn new(sim: Arc<HtmSim>) -> Self {
-        let head = sim.mem().alloc(NODE_WORDS);
-        let tail = sim.mem().alloc(NODE_WORDS);
-        let heap = sim.mem().heap();
-        heap.store(head.offset(KEY), 0); // sentinel: smaller than any real key + 1
-        heap.store(head.offset(NEXT), encode_ptr(Some(tail)));
-        heap.store(tail.offset(KEY), u64::MAX); // sentinel: larger than any real key
-        heap.store(tail.offset(NEXT), encode_ptr(None));
+        let mem = sim.mem();
+        let head = mem.alloc_record::<ListNode>();
+        let tail = mem.alloc_record::<ListNode>();
+        let heap = mem.heap();
+        head.field(L_KEY).store(heap, 0); // sentinel: smaller than any real key + 1
+        head.field(L_NEXT).store(heap, Some(tail));
+        tail.field(L_KEY).store(heap, u64::MAX); // sentinel: larger than any real key
+        tail.field(L_NEXT).store(heap, None);
         TxSortedList { head, sim }
     }
 
     /// Heap words needed for the sentinels plus `expected_inserts` nodes.
     pub fn required_words(expected_inserts: u64) -> usize {
-        (expected_inserts as usize + 2) * NODE_WORDS
+        (expected_inserts as usize + 2) * ListNode::WORDS
     }
 
     /// Keys must leave room for the sentinels.
@@ -193,16 +238,20 @@ impl TxSortedList {
 
     /// Finds the pair `(predecessor, current)` such that
     /// `pred.key < key <= current.key`.
-    fn locate<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<(Addr, Addr, u64)> {
+    fn locate<X: Txn + ?Sized>(
+        &self,
+        tx: &mut X,
+        key: u64,
+    ) -> TxResult<(TxPtr<ListNode>, TxPtr<ListNode>, u64)> {
         let mut pred = self.head;
-        let mut curr = decode_ptr(tx.read(pred.offset(NEXT))?).expect("tail sentinel present");
+        let mut curr = pred.field(L_NEXT).read(tx)?.expect("tail sentinel present");
         loop {
-            let k = tx.read(curr.offset(KEY))?;
+            let k = curr.field(L_KEY).read(tx)?;
             if k >= key {
                 return Ok((pred, curr, k));
             }
             pred = curr;
-            curr = decode_ptr(tx.read(curr.offset(NEXT))?).expect("tail sentinel present");
+            curr = curr.field(L_NEXT).read(tx)?.expect("tail sentinel present");
         }
     }
 
@@ -219,15 +268,15 @@ impl TxSortedList {
     /// present.
     pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64) -> bool {
         Self::check_key(key);
-        let node = self.sim.mem().alloc(NODE_WORDS);
+        let node = self.sim.mem().alloc_record::<ListNode>();
         thread.execute(|tx| {
             let (pred, curr, found_key) = self.locate(tx, key)?;
             if found_key == key {
                 return Ok(false);
             }
-            tx.write(node.offset(KEY), key)?;
-            tx.write(node.offset(NEXT), encode_ptr(Some(curr)))?;
-            tx.write(pred.offset(NEXT), encode_ptr(Some(node)))?;
+            node.field(L_KEY).write(tx, key)?;
+            node.field(L_NEXT).write(tx, Some(curr))?;
+            pred.field(L_NEXT).write(tx, Some(node))?;
             Ok(true)
         })
     }
@@ -240,8 +289,8 @@ impl TxSortedList {
             if found_key != key {
                 return Ok(false);
             }
-            let next = tx.read(curr.offset(NEXT))?;
-            tx.write(pred.offset(NEXT), next)?;
+            let next = curr.field(L_NEXT).read(tx)?;
+            pred.field(L_NEXT).write(tx, next)?;
             Ok(true)
         })
     }
@@ -250,14 +299,14 @@ impl TxSortedList {
     pub fn snapshot<T: TmThread>(&self, thread: &mut T) -> Vec<u64> {
         thread.execute(|tx| {
             let mut keys = Vec::new();
-            let mut node = decode_ptr(tx.read(self.head.offset(NEXT))?);
+            let mut node = self.head.field(L_NEXT).read(tx)?;
             while let Some(n) = node {
-                let k = tx.read(n.offset(KEY))?;
+                let k = n.field(L_KEY).read(tx)?;
                 if k == u64::MAX {
                     break;
                 }
                 keys.push(k);
-                node = decode_ptr(tx.read(n.offset(NEXT))?);
+                node = n.field(L_NEXT).read(tx)?;
             }
             Ok(keys)
         })
@@ -267,9 +316,9 @@ impl TxSortedList {
     /// have joined.
     pub fn is_sorted_quiescent(&self) -> bool {
         let mut prev = 0u64;
-        let mut node = decode_ptr(self.sim.nt_load(self.head.offset(NEXT)));
+        let mut node = self.sim.nt_read(self.head.field(L_NEXT));
         while let Some(n) = node {
-            let k = self.sim.nt_load(n.offset(KEY));
+            let k = self.sim.nt_read(n.field(L_KEY));
             if k == u64::MAX {
                 return true;
             }
@@ -277,7 +326,7 @@ impl TxSortedList {
                 return false;
             }
             prev = k;
-            node = decode_ptr(self.sim.nt_load(n.offset(NEXT)));
+            node = self.sim.nt_read(n.field(L_NEXT));
         }
         true
     }

@@ -9,17 +9,18 @@
 //! the best case for a quick fallback — precisely the trade-off the retry
 //! policies and the RH cascade are about.
 //!
-//! The queue is a ring buffer over a pre-allocated slot array with
-//! monotonically increasing head/tail cursors (`tail - head` = length), so
+//! The queue is a ring buffer over a pre-allocated slot array
+//! ([`rhtm_api::typed::TxSlice`]) with monotonically increasing head/tail
+//! cursors ([`rhtm_api::typed::TxCell`]s; `tail - head` = length), so
 //! benchmark runs allocate nothing.  The cursors live on separate cache
 //! lines to keep enqueue/dequeue conflicts semantic (full/empty checks)
 //! rather than false sharing.
 
 use std::sync::Arc;
 
-use rhtm_api::{TmThread, TxResult};
+use rhtm_api::typed::{OrSized, TxCell, TxSlice, TypedAlloc};
+use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::Addr;
 
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
@@ -30,23 +31,31 @@ use crate::workload::Workload;
 pub struct TxQueue {
     sim: Arc<HtmSim>,
     /// Dequeue cursor (monotonic; slot = cursor % capacity).
-    head: Addr,
+    head: TxCell<u64>,
     /// Enqueue cursor (monotonic).
-    tail: Addr,
-    slots: Addr,
+    tail: TxCell<u64>,
+    slots: TxSlice<u64>,
     capacity: u64,
 }
 
 impl TxQueue {
     /// Creates an empty queue holding at most `capacity` values.
+    ///
+    /// Allocation goes through the checked path: an undersized heap
+    /// reports the sizing hint ([`TxQueue::required_words`]) instead of
+    /// dying inside the bump allocator.
     pub fn new(sim: Arc<HtmSim>, capacity: u64) -> Self {
         assert!(capacity >= 1);
-        let head = sim.mem().alloc_line_aligned(1);
-        let tail = sim.mem().alloc_line_aligned(1);
-        let slots = sim.mem().alloc_line_aligned(capacity as usize);
-        let heap = sim.mem().heap();
-        heap.store(head, 0);
-        heap.store(tail, 0);
+        let mem = sim.mem();
+        const HINT: &str = "TxQueue::required_words(capacity)";
+        let head = mem.try_alloc_cell_line_aligned().or_sized(HINT);
+        let tail = mem.try_alloc_cell_line_aligned().or_sized(HINT);
+        let slots = mem
+            .try_alloc_slice_line_aligned(capacity as usize)
+            .or_sized(HINT);
+        let heap = mem.heap();
+        head.store(heap, 0);
+        tail.store(heap, 0);
         TxQueue {
             sim,
             head,
@@ -73,31 +82,31 @@ impl TxQueue {
     }
 
     #[inline]
-    fn slot(&self, cursor: u64) -> Addr {
-        self.slots.offset((cursor % self.capacity) as usize)
+    fn slot(&self, cursor: u64) -> TxCell<u64> {
+        self.slots.get((cursor % self.capacity) as usize)
     }
 
     /// In-transaction enqueue; `Ok(false)` when the queue is full.
-    pub fn enqueue_in<T: TmThread>(&self, tx: &mut T, value: u64) -> TxResult<bool> {
-        let tail = tx.read(self.tail)?;
-        let head = tx.read(self.head)?;
+    pub fn enqueue_in<X: Txn + ?Sized>(&self, tx: &mut X, value: u64) -> TxResult<bool> {
+        let tail = self.tail.read(tx)?;
+        let head = self.head.read(tx)?;
         if tail - head == self.capacity {
             return Ok(false);
         }
-        tx.write(self.slot(tail), value)?;
-        tx.write(self.tail, tail + 1)?;
+        self.slot(tail).write(tx, value)?;
+        self.tail.write(tx, tail + 1)?;
         Ok(true)
     }
 
     /// In-transaction dequeue; `Ok(None)` when the queue is empty.
-    pub fn dequeue_in<T: TmThread>(&self, tx: &mut T) -> TxResult<Option<u64>> {
-        let head = tx.read(self.head)?;
-        let tail = tx.read(self.tail)?;
+    pub fn dequeue_in<X: Txn + ?Sized>(&self, tx: &mut X) -> TxResult<Option<u64>> {
+        let head = self.head.read(tx)?;
+        let tail = self.tail.read(tx)?;
         if head == tail {
             return Ok(None);
         }
-        let value = tx.read(self.slot(head))?;
-        tx.write(self.head, head + 1)?;
+        let value = self.slot(head).read(tx)?;
+        self.head.write(tx, head + 1)?;
         Ok(Some(value))
     }
 
@@ -114,12 +123,12 @@ impl TxQueue {
     /// Transactionally reads the oldest value without removing it.
     pub fn peek<T: TmThread>(&self, thread: &mut T) -> Option<u64> {
         thread.execute(|tx| {
-            let head = tx.read(self.head)?;
-            let tail = tx.read(self.tail)?;
+            let head = self.head.read(tx)?;
+            let tail = self.tail.read(tx)?;
             if head == tail {
                 return Ok(None);
             }
-            Ok(Some(tx.read(self.slot(head))?))
+            Ok(Some(self.slot(head).read(tx)?))
         })
     }
 
@@ -141,8 +150,8 @@ impl TxQueue {
     /// Transactionally counts the queued values.
     pub fn len<T: TmThread>(&self, thread: &mut T) -> u64 {
         thread.execute(|tx| {
-            let head = tx.read(self.head)?;
-            let tail = tx.read(self.tail)?;
+            let head = self.head.read(tx)?;
+            let tail = self.tail.read(tx)?;
             Ok(tail - head)
         })
     }
@@ -154,23 +163,23 @@ impl TxQueue {
     /// do not fit.
     pub fn seed_fill(&self, values: impl IntoIterator<Item = u64>) {
         let heap = self.sim.mem().heap();
-        let head = heap.load(self.head);
-        let mut tail = heap.load(self.tail);
+        let head = self.head.load(heap);
+        let mut tail = self.tail.load(heap);
         for v in values {
             assert!(tail - head < self.capacity, "seed_fill overflow");
-            heap.store(self.slot(tail), v);
+            self.slot(tail).store(heap, v);
             tail += 1;
         }
-        heap.store(self.tail, tail);
+        self.tail.store(heap, tail);
     }
 
     /// Non-transactional snapshot of the queued values in FIFO order, for
     /// tests run after all threads have joined.
     pub fn snapshot_quiescent(&self) -> Vec<u64> {
-        let head = self.sim.nt_load(self.head);
-        let tail = self.sim.nt_load(self.tail);
+        let head = self.sim.nt_read(self.head);
+        let tail = self.sim.nt_read(self.tail);
         (head..tail)
-            .map(|c| self.sim.nt_load(self.slot(c)))
+            .map(|c| self.sim.nt_read(self.slot(c)))
             .collect()
     }
 }
@@ -275,6 +284,13 @@ mod tests {
         for i in 0..10 {
             assert_eq!(q.dequeue(&mut th), Some(i * 3));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "TxQueue::required_words")]
+    fn undersized_heap_reports_the_sizing_hint() {
+        let rt = runtime(32);
+        let _ = TxQueue::new(Arc::clone(rt.sim()), 1 << 20);
     }
 
     #[test]

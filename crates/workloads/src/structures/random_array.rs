@@ -11,18 +11,23 @@
 
 use std::sync::Arc;
 
-use rhtm_api::{TmThread, TxResult};
+use rhtm_api::typed::{TxSlice, TypedAlloc};
+use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::Addr;
 
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
 /// The random-array workload.
+///
+/// The array is an *untyped word region* on purpose: the workload's whole
+/// point is a configurable raw read/write stream, so it uses the typed
+/// layer's thinnest handle ([`TxSlice<u64>`]) rather than record layouts —
+/// the documented "drop down to raw words" case.
 pub struct RandomArray {
     sim: Arc<HtmSim>,
-    base: Addr,
+    words: TxSlice<u64>,
     entries: u64,
     accesses_per_txn: usize,
     write_percent: u8,
@@ -35,10 +40,10 @@ impl RandomArray {
     pub fn new(sim: Arc<HtmSim>, entries: u64, accesses_per_txn: usize, write_percent: u8) -> Self {
         assert!(entries > 0);
         assert!(write_percent <= 100);
-        let base = sim.mem().alloc(entries as usize);
+        let words = sim.mem().alloc_slice(entries as usize);
         RandomArray {
             sim,
-            base,
+            words,
             entries,
             accesses_per_txn,
             write_percent,
@@ -77,16 +82,16 @@ impl RandomArray {
         thread.execute(|tx| self.txn_body(tx, seed))
     }
 
-    fn txn_body<T: TmThread>(&self, tx: &mut T, seed: u64) -> TxResult<u64> {
+    fn txn_body<X: Txn + ?Sized>(&self, tx: &mut X, seed: u64) -> TxResult<u64> {
         let mut rng = WorkloadRng::new(seed);
         let mut sum = 0u64;
         for _ in 0..self.accesses_per_txn {
             let idx = rng.next_below(self.entries) as usize;
-            let addr = self.base.offset(idx);
+            let cell = self.words.get(idx);
             if rng.draw_percent(self.write_percent) {
-                tx.write(addr, rng.next_u64())?;
+                cell.write(tx, rng.next_u64())?;
             } else {
-                sum = sum.wrapping_add(tx.read(addr)?);
+                sum = sum.wrapping_add(cell.read(tx)?);
             }
         }
         Ok(sum)
@@ -162,13 +167,13 @@ mod tests {
         let mut th = rt.register_thread();
         arr.run_txn(&mut th, 12345);
         let snapshot: Vec<u64> = (0..256)
-            .map(|i| rt.sim().nt_load(arr.base.offset(i)))
+            .map(|i| rt.sim().nt_read(arr.words.get(i)))
             .collect();
         let (rt2, arr2) = array(256, 30, 100);
         let mut th2 = rt2.register_thread();
         arr2.run_txn(&mut th2, 12345);
         let snapshot2: Vec<u64> = (0..256)
-            .map(|i| rt2.sim().nt_load(arr2.base.offset(i)))
+            .map(|i| rt2.sim().nt_read(arr2.words.get(i)))
             .collect();
         assert_eq!(snapshot, snapshot2);
     }

@@ -17,30 +17,55 @@
 
 use std::sync::Arc;
 
-use rhtm_api::{TmThread, TxResult};
+use rhtm_api::typed::{Field, FieldArray, LayoutBuilder, Record, TxLayout, TxPtr, TypedAlloc};
+use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::Addr;
+use rhtm_mem::TxHeap;
 
-use super::{decode_ptr, encode_ptr};
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
-/// Node word offsets.
-const KEY: usize = 0;
-const LEFT: usize = 1;
-const RIGHT: usize = 2;
-const PARENT: usize = 3;
-const DUMMY_BASE: usize = 4;
 /// Number of dummy payload words read per visited node.
 pub const DUMMY_READS_PER_NODE: usize = 10;
-/// Words allocated per node (padded to two cache lines worth of payload).
-const NODE_WORDS: usize = 16;
+
+/// The heap record of one tree node: key, three links, dummy payload
+/// (padded to two cache lines worth of payload).
+pub struct RbNode;
+
+type Link = Option<TxPtr<RbNode>>;
+
+#[allow(clippy::type_complexity)] // the layout-builder tuple idiom
+const NODE: (
+    TxLayout<RbNode>,
+    Field<RbNode, u64>,
+    Field<RbNode, Link>,
+    Field<RbNode, Link>,
+    Field<RbNode, Link>,
+    FieldArray<RbNode, u64>,
+) = {
+    let b = LayoutBuilder::new();
+    let (b, key) = b.field();
+    let (b, left) = b.field();
+    let (b, right) = b.field();
+    let (b, parent) = b.field();
+    let (b, dummy) = b.array(DUMMY_READS_PER_NODE);
+    (b.pad_to(16).finish(), key, left, right, parent, dummy)
+};
+const KEY: Field<RbNode, u64> = NODE.1;
+const LEFT: Field<RbNode, Link> = NODE.2;
+const RIGHT: Field<RbNode, Link> = NODE.3;
+const PARENT: Field<RbNode, Link> = NODE.4;
+const DUMMY: FieldArray<RbNode, u64> = NODE.5;
+
+impl Record for RbNode {
+    const LAYOUT: TxLayout<RbNode> = NODE.0;
+}
 
 /// The constant red-black-tree workload.
 pub struct ConstantRbTree {
     sim: Arc<HtmSim>,
-    root: Addr,
+    root: TxPtr<RbNode>,
     size: u64,
 }
 
@@ -51,41 +76,41 @@ impl ConstantRbTree {
         assert!(size > 0, "tree must have at least one node");
         let mem = sim.mem();
         // Allocate all nodes up front; node i holds key i.
-        let base = mem.alloc(size as usize * NODE_WORDS);
+        let nodes = mem.alloc_records::<RbNode>(size as usize);
         let heap = mem.heap();
-        let node_addr = |key: u64| base.offset(key as usize * NODE_WORDS);
+        let node_at = |key: u64| nodes.get(key as usize);
         // Initialise keys, null pointers and dummy payloads.
         for key in 0..size {
-            let node = node_addr(key);
-            heap.store(node.offset(KEY), key);
-            heap.store(node.offset(LEFT), encode_ptr(None));
-            heap.store(node.offset(RIGHT), encode_ptr(None));
-            heap.store(node.offset(PARENT), encode_ptr(None));
+            let node = node_at(key);
+            node.field(KEY).store(heap, key);
+            node.field(LEFT).store(heap, None);
+            node.field(RIGHT).store(heap, None);
+            node.field(PARENT).store(heap, None);
             for d in 0..DUMMY_READS_PER_NODE {
-                heap.store(node.offset(DUMMY_BASE + d), 0);
+                node.slot(DUMMY, d).store(heap, 0);
             }
         }
         // Link a balanced BST over the sorted key range and record the root.
         fn link(
-            heap: &rhtm_mem::TxHeap,
-            node_addr: &dyn Fn(u64) -> Addr,
+            heap: &TxHeap,
+            node_at: &dyn Fn(u64) -> TxPtr<RbNode>,
             lo: u64,
             hi: u64,
-            parent: Option<Addr>,
-        ) -> Option<Addr> {
+            parent: Link,
+        ) -> Link {
             if lo >= hi {
                 return None;
             }
             let mid = lo + (hi - lo) / 2;
-            let node = node_addr(mid);
-            heap.store(node.offset(PARENT), encode_ptr(parent));
-            let left = link(heap, node_addr, lo, mid, Some(node));
-            let right = link(heap, node_addr, mid + 1, hi, Some(node));
-            heap.store(node.offset(LEFT), encode_ptr(left));
-            heap.store(node.offset(RIGHT), encode_ptr(right));
+            let node = node_at(mid);
+            node.field(PARENT).store(heap, parent);
+            let left = link(heap, node_at, lo, mid, Some(node));
+            let right = link(heap, node_at, mid + 1, hi, Some(node));
+            node.field(LEFT).store(heap, left);
+            node.field(RIGHT).store(heap, right);
             Some(node)
         }
-        let root = link(heap, &node_addr, 0, size, None).expect("non-empty tree");
+        let root = link(heap, &node_at, 0, size, None).expect("non-empty tree");
         ConstantRbTree { sim, root, size }
     }
 
@@ -100,34 +125,38 @@ impl ConstantRbTree {
     }
 
     /// Transactionally searches for `key`, performing the paper's 10 dummy
-    /// reads per visited node.  Returns the node address when found.
-    pub fn lookup<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<Addr>> {
+    /// reads per visited node.  Returns the node when found.
+    pub fn lookup<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Link> {
         let mut node = Some(self.root);
         while let Some(n) = node {
-            let k = tx.read(n.offset(KEY))?;
+            let k = n.field(KEY).read(tx)?;
             for d in 0..DUMMY_READS_PER_NODE {
-                tx.read(n.offset(DUMMY_BASE + d))?;
+                n.slot(DUMMY, d).read(tx)?;
             }
             if key == k {
                 return Ok(Some(n));
             }
-            let next = if key < k {
-                tx.read(n.offset(LEFT))?
+            node = if key < k {
+                n.field(LEFT).read(tx)?
             } else {
-                tx.read(n.offset(RIGHT))?
+                n.field(RIGHT).read(tx)?
             };
-            node = decode_ptr(next);
         }
         Ok(None)
     }
 
     /// Writes the dummy payload of `node` and of its two children, the
     /// paper's "fake modification" unit.
-    fn write_triplet<T: TmThread>(&self, tx: &mut T, node: Addr, value: u64) -> TxResult<()> {
-        tx.write(node.offset(DUMMY_BASE), value)?;
+    fn write_triplet<X: Txn + ?Sized>(
+        &self,
+        tx: &mut X,
+        node: TxPtr<RbNode>,
+        value: u64,
+    ) -> TxResult<()> {
+        node.slot(DUMMY, 0).write(tx, value)?;
         for child_slot in [LEFT, RIGHT] {
-            if let Some(child) = decode_ptr(tx.read(node.offset(child_slot))?) {
-                tx.write(child.offset(DUMMY_BASE), value)?;
+            if let Some(child) = node.field(child_slot).read(tx)? {
+                child.slot(DUMMY, 0).write(tx, value)?;
             }
         }
         Ok(())
@@ -136,9 +165,9 @@ impl ConstantRbTree {
     /// Transactionally "updates" `key`: the usual traversal followed by fake
     /// modifications to the found node, its children, and a geometrically
     /// distributed number of its ancestors (mimicking rotations).
-    pub fn update<T: TmThread>(
+    pub fn update<X: Txn + ?Sized>(
         &self,
-        tx: &mut T,
+        tx: &mut X,
         key: u64,
         value: u64,
         climb_coins: u64,
@@ -156,7 +185,7 @@ impl ConstantRbTree {
         let mut coins = climb_coins;
         while coins & 1 == 1 {
             coins >>= 1;
-            match decode_ptr(tx.read(current.offset(PARENT))?) {
+            match current.field(PARENT).read(tx)? {
                 Some(parent) => {
                     self.write_triplet(tx, parent, value)?;
                     current = parent;
@@ -170,12 +199,12 @@ impl ConstantRbTree {
     /// Non-transactional sanity check used by tests: walks the whole tree
     /// and returns the number of reachable nodes.
     pub fn count_reachable(&self) -> u64 {
-        fn walk(sim: &HtmSim, node: Option<Addr>) -> u64 {
+        fn walk(sim: &HtmSim, node: Link) -> u64 {
             match node {
                 None => 0,
                 Some(n) => {
-                    let left = decode_ptr(sim.nt_load(n.offset(LEFT)));
-                    let right = decode_ptr(sim.nt_load(n.offset(RIGHT)));
+                    let left = sim.nt_read(n.field(LEFT));
+                    let right = sim.nt_read(n.field(RIGHT));
                     1 + walk(sim, left) + walk(sim, right)
                 }
             }
@@ -185,12 +214,12 @@ impl ConstantRbTree {
 
     /// Depth of the deepest leaf (for test assertions about balance).
     pub fn depth(&self) -> u64 {
-        fn walk(sim: &HtmSim, node: Option<Addr>) -> u64 {
+        fn walk(sim: &HtmSim, node: Link) -> u64 {
             match node {
                 None => 0,
                 Some(n) => {
-                    let left = decode_ptr(sim.nt_load(n.offset(LEFT)));
-                    let right = decode_ptr(sim.nt_load(n.offset(RIGHT)));
+                    let left = sim.nt_read(n.field(LEFT));
+                    let right = sim.nt_read(n.field(RIGHT));
                     1 + walk(sim, left).max(walk(sim, right))
                 }
             }
@@ -201,7 +230,7 @@ impl ConstantRbTree {
     /// Number of heap words a tree of `size` nodes needs (for sizing
     /// [`rhtm_mem::MemConfig::data_words`]).
     pub fn required_words(size: u64) -> usize {
-        size as usize * NODE_WORDS
+        size as usize * RbNode::WORDS
     }
 }
 

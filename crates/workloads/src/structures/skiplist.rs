@@ -16,24 +16,26 @@
 //!   the structure's shape depends only on its key set — not on insertion
 //!   order, thread count or RNG state — and a reinserted key always fits
 //!   the node that held it before.
-//! * **A transactional freelist.**  Removed nodes are pushed onto an
-//!   in-heap freelist and reused by later inserts *inside the same
-//!   transactional world* (no ABA: every link traversal is a transactional
-//!   read).  The bump allocator is only hit when the freelist is observed
-//!   empty, so steady-state insert/remove churn does not grow the heap —
-//!   a requirement for time-bounded benchmark runs over the append-only
-//!   allocator.
+//! * **A transactional freelist** ([`rhtm_api::typed::TxFreeList`]).
+//!   Removed nodes are pushed onto an in-heap freelist and reused by later
+//!   inserts *inside the same transactional world* (no ABA: every link
+//!   traversal is a transactional read).  The bump allocator is only hit
+//!   when the freelist is observed empty, so steady-state insert/remove
+//!   churn does not grow the heap — a requirement for time-bounded
+//!   benchmark runs over the append-only allocator.
 //!
 //! Keys are in `1..u64::MAX` (0 is the head sentinel); the
 //! [`Workload`] impl translates the driver's `[0, key_space)` keys by +1.
 
 use std::sync::Arc;
 
-use rhtm_api::{TmThread, TxResult};
+use rhtm_api::typed::{
+    Field, FieldArray, LayoutBuilder, OrSized, Record, TxFreeList, TxLayout, TxPtr, TypedAlloc,
+};
+use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::Addr;
+use rhtm_mem::OutOfMemory;
 
-use super::{decode_ptr, encode_ptr};
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
@@ -45,18 +47,45 @@ pub const MAX_HEIGHT: usize = 12;
 /// Keys spanned by one `RangeSum` operation of the [`Workload`] impl.
 pub const RANGE_SPAN: u64 = 32;
 
-const KEY: usize = 0;
-const VALUE: usize = 1;
-const HEIGHT: usize = 2;
-const NEXT_BASE: usize = 3;
-const NODE_WORDS: usize = NEXT_BASE + MAX_HEIGHT + 1; // padded to 16
+/// The sizing helper named by every allocation-failure panic.
+const SIZING_HINT: &str = "TxSkipList::required_words(max_live, threads)";
+
+/// The heap record of one skiplist node (including the head sentinel).
+pub struct SkipNode;
+
+/// A level link: `None` is end-of-level.
+type Link = Option<TxPtr<SkipNode>>;
+
+#[allow(clippy::type_complexity)] // the layout-builder tuple idiom
+const NODE: (
+    TxLayout<SkipNode>,
+    Field<SkipNode, u64>,
+    Field<SkipNode, u64>,
+    Field<SkipNode, usize>,
+    FieldArray<SkipNode, Link>,
+) = {
+    let b = LayoutBuilder::new();
+    let (b, key) = b.field();
+    let (b, value) = b.field();
+    let (b, height) = b.field();
+    let (b, next) = b.array(MAX_HEIGHT);
+    (b.pad_to(16).finish(), key, value, height, next)
+};
+const KEY: Field<SkipNode, u64> = NODE.1;
+const VALUE: Field<SkipNode, u64> = NODE.2;
+const HEIGHT: Field<SkipNode, usize> = NODE.3;
+const NEXT: FieldArray<SkipNode, Link> = NODE.4;
+
+impl Record for SkipNode {
+    const LAYOUT: TxLayout<SkipNode> = NODE.0;
+}
 
 /// A transactional skiplist map (`u64` keys in `1..u64::MAX` → `u64`
 /// values).
 pub struct TxSkipList {
     sim: Arc<HtmSim>,
-    head: Addr,
-    free_head: Addr,
+    head: TxPtr<SkipNode>,
+    free: TxFreeList<SkipNode>,
     key_space: u64,
 }
 
@@ -74,19 +103,21 @@ impl TxSkipList {
     /// `key_space` distinct keys (internally `1..=key_space`).
     pub fn new(sim: Arc<HtmSim>, key_space: u64) -> Self {
         assert!((1..u64::MAX - 1).contains(&key_space));
-        let head = sim.mem().alloc(NODE_WORDS);
-        let free_head = sim.mem().alloc(1);
-        let heap = sim.mem().heap();
-        heap.store(head.offset(KEY), 0); // sentinel: below every real key
-        heap.store(head.offset(HEIGHT), MAX_HEIGHT as u64);
+        let mem = sim.mem();
+        let head = mem.try_alloc_record::<SkipNode>().or_sized(SIZING_HINT);
+        // The free-chain link reuses each node's level-0 tower link (free
+        // nodes are unreachable from the list proper).
+        let free = TxFreeList::try_new(mem, NEXT.slot_field(0)).or_sized(SIZING_HINT);
+        let heap = mem.heap();
+        head.field(KEY).store(heap, 0); // sentinel: below every real key
+        head.field(HEIGHT).store(heap, MAX_HEIGHT);
         for level in 0..MAX_HEIGHT {
-            heap.store(head.offset(NEXT_BASE + level), encode_ptr(None));
+            head.slot(NEXT, level).store(heap, None);
         }
-        heap.store(free_head, encode_ptr(None));
         TxSkipList {
             sim,
             head,
-            free_head,
+            free,
             key_space,
         }
     }
@@ -96,7 +127,7 @@ impl TxSkipList {
     /// live set is bounded by transient pre-allocated spares (a handful
     /// per thread), not by the operation count.
     pub fn required_words(max_live: u64, threads: usize) -> usize {
-        (max_live as usize + 1 + threads.max(1) * 4) * NODE_WORDS + 64
+        (max_live as usize + 1 + threads.max(1) * 4) * SkipNode::WORDS + 64
     }
 
     /// The simulator the list lives in.
@@ -108,6 +139,18 @@ impl TxSkipList {
     /// encoding (`u64::MAX`).
     fn check_key(key: u64) {
         assert!(key > 0 && key < u64::MAX, "keys must be in 1..u64::MAX");
+    }
+
+    /// Checked node allocation: [`OutOfMemory`] instead of a panic deep in
+    /// the bump allocator, so callers can attach sizing context.
+    fn alloc_node(&self) -> Result<TxPtr<SkipNode>, OutOfMemory> {
+        self.sim.mem().try_alloc_record::<SkipNode>()
+    }
+
+    /// [`alloc_node`](Self::alloc_node) for operation paths, where
+    /// exhaustion is a scenario-sizing bug: panics with the sizing hint.
+    fn alloc_node_or_die(&self) -> TxPtr<SkipNode> {
+        self.alloc_node().or_sized(SIZING_HINT)
     }
 
     /// Deterministic tower height for `key`: geometric(1/2) over a
@@ -122,62 +165,52 @@ impl TxSkipList {
 
     /// Finds, per level, the last node with key `< key`, plus the node with
     /// exactly `key` when present.
-    fn locate<T: TmThread>(
+    #[allow(clippy::type_complexity)]
+    fn locate<X: Txn + ?Sized>(
         &self,
-        tx: &mut T,
+        tx: &mut X,
         key: u64,
-    ) -> TxResult<([Addr; MAX_HEIGHT], Option<Addr>)> {
+    ) -> TxResult<([TxPtr<SkipNode>; MAX_HEIGHT], Option<TxPtr<SkipNode>>)> {
         let mut preds = [self.head; MAX_HEIGHT];
         let mut curr = self.head;
         for level in (0..MAX_HEIGHT).rev() {
             loop {
-                match decode_ptr(tx.read(curr.offset(NEXT_BASE + level))?) {
-                    Some(n) if tx.read(n.offset(KEY))? < key => curr = n,
+                match curr.slot(NEXT, level).read(tx)? {
+                    Some(n) if n.field(KEY).read(tx)? < key => curr = n,
                     _ => break,
                 }
             }
             preds[level] = curr;
         }
-        let found = match decode_ptr(tx.read(preds[0].offset(NEXT_BASE))?) {
-            Some(n) if tx.read(n.offset(KEY))? == key => Some(n),
+        let found = match preds[0].slot(NEXT, 0).read(tx)? {
+            Some(n) if n.field(KEY).read(tx)? == key => Some(n),
             _ => None,
         };
         Ok((preds, found))
     }
 
-    /// Pushes `node` onto the freelist (its level-0 link doubles as the
-    /// free-chain link; free nodes are unreachable from the list proper).
-    fn push_free_in<T: TmThread>(&self, tx: &mut T, node: Addr) -> TxResult<()> {
-        let old = tx.read(self.free_head)?;
-        tx.write(node.offset(NEXT_BASE), old)?;
-        tx.write(self.free_head, encode_ptr(Some(node)))?;
-        Ok(())
-    }
-
-    fn insert_in<T: TmThread>(
+    fn insert_in<X: Txn + ?Sized>(
         &self,
-        tx: &mut T,
+        tx: &mut X,
         key: u64,
         value: u64,
-        spare: Option<Addr>,
+        spare: Option<TxPtr<SkipNode>>,
     ) -> TxResult<InsertOutcome> {
         let (preds, found) = self.locate(tx, key)?;
         if let Some(n) = found {
-            tx.write(n.offset(VALUE), value)?;
+            n.field(VALUE).write(tx, value)?;
             // An unused pre-allocated spare is banked, never leaked.
             if let Some(s) = spare {
-                self.push_free_in(tx, s)?;
+                self.free.push(tx, s)?;
             }
             return Ok(InsertOutcome::Updated);
         }
-        let node = match decode_ptr(tx.read(self.free_head)?) {
-            Some(free) => {
-                let next = tx.read(free.offset(NEXT_BASE))?;
-                tx.write(self.free_head, next)?;
+        let node = match self.free.pop(tx)? {
+            Some(recycled) => {
                 if let Some(s) = spare {
-                    self.push_free_in(tx, s)?;
+                    self.free.push(tx, s)?;
                 }
-                free
+                recycled
             }
             None => match spare {
                 Some(s) => s,
@@ -185,13 +218,13 @@ impl TxSkipList {
             },
         };
         let height = Self::height_for(key);
-        tx.write(node.offset(KEY), key)?;
-        tx.write(node.offset(VALUE), value)?;
-        tx.write(node.offset(HEIGHT), height as u64)?;
+        node.field(KEY).write(tx, key)?;
+        node.field(VALUE).write(tx, value)?;
+        node.field(HEIGHT).write(tx, height)?;
         for (level, pred) in preds.iter().enumerate().take(height) {
-            let succ = tx.read(pred.offset(NEXT_BASE + level))?;
-            tx.write(node.offset(NEXT_BASE + level), succ)?;
-            tx.write(pred.offset(NEXT_BASE + level), encode_ptr(Some(node)))?;
+            let succ = pred.slot(NEXT, level).read(tx)?;
+            node.slot(NEXT, level).write(tx, succ)?;
+            pred.slot(NEXT, level).write(tx, Some(node))?;
         }
         Ok(InsertOutcome::Inserted)
     }
@@ -204,10 +237,10 @@ impl TxSkipList {
     /// observed empty, so aborted retries never allocate again.
     pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64, value: u64) -> bool {
         Self::check_key(key);
-        let mut spare: Option<Addr> = None;
+        let mut spare: Option<TxPtr<SkipNode>> = None;
         loop {
-            if spare.is_none() && decode_ptr(self.sim.nt_load(self.free_head)).is_none() {
-                spare = Some(self.sim.mem().alloc(NODE_WORDS));
+            if spare.is_none() && self.sim.nt_read(self.free.head()).is_none() {
+                spare = Some(self.alloc_node_or_die());
             }
             let spare_now = spare;
             match thread.execute(|tx| self.insert_in(tx, key, value, spare_now)) {
@@ -215,7 +248,7 @@ impl TxSkipList {
                 InsertOutcome::Updated => return false,
                 // The freelist drained between the non-transactional check
                 // and the transaction; allocate and re-run.
-                InsertOutcome::NeedNode => spare = Some(self.sim.mem().alloc(NODE_WORDS)),
+                InsertOutcome::NeedNode => spare = Some(self.alloc_node_or_die()),
             }
         }
     }
@@ -230,13 +263,13 @@ impl TxSkipList {
                 Some(n) => n,
                 None => return Ok(None),
             };
-            let value = tx.read(node.offset(VALUE))?;
-            let height = tx.read(node.offset(HEIGHT))? as usize;
+            let value = node.field(VALUE).read(tx)?;
+            let height = node.field(HEIGHT).read(tx)?;
             for level in (0..height).rev() {
-                let succ = tx.read(node.offset(NEXT_BASE + level))?;
-                tx.write(preds[level].offset(NEXT_BASE + level), succ)?;
+                let succ = node.slot(NEXT, level).read(tx)?;
+                preds[level].slot(NEXT, level).write(tx, succ)?;
             }
-            self.push_free_in(tx, node)?;
+            self.free.push(tx, node)?;
             Ok(Some(value))
         })
     }
@@ -247,22 +280,23 @@ impl TxSkipList {
         thread.execute(|tx| self.get_in(tx, key))
     }
 
-    /// In-transaction lookup (composable with other operations).
-    pub fn get_in<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<u64>> {
+    /// In-transaction lookup (composable with other operations; works
+    /// through `&mut dyn Txn` as well).
+    pub fn get_in<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
         let (_, found) = self.locate(tx, key)?;
         match found {
-            Some(n) => Ok(Some(tx.read(n.offset(VALUE))?)),
+            Some(n) => Ok(Some(n.field(VALUE).read(tx)?)),
             None => Ok(None),
         }
     }
 
     /// In-transaction value update of an *existing* key (no allocation;
     /// composable with other operations).  Returns `false` when absent.
-    pub fn update_in<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
+    pub fn update_in<X: Txn + ?Sized>(&self, tx: &mut X, key: u64, value: u64) -> TxResult<bool> {
         let (_, found) = self.locate(tx, key)?;
         match found {
             Some(n) => {
-                tx.write(n.offset(VALUE), value)?;
+                n.field(VALUE).write(tx, value)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -283,13 +317,13 @@ impl TxSkipList {
             let (preds, _) = self.locate(tx, lo)?;
             let hi = lo.saturating_add(span);
             let mut sum = 0u64;
-            let mut curr = decode_ptr(tx.read(preds[0].offset(NEXT_BASE))?);
+            let mut curr = preds[0].slot(NEXT, 0).read(tx)?;
             while let Some(n) = curr {
-                if tx.read(n.offset(KEY))? >= hi {
+                if n.field(KEY).read(tx)? >= hi {
                     break;
                 }
-                sum = sum.wrapping_add(tx.read(n.offset(VALUE))?);
-                curr = decode_ptr(tx.read(n.offset(NEXT_BASE))?);
+                sum = sum.wrapping_add(n.field(VALUE).read(tx)?);
+                curr = n.slot(NEXT, 0).read(tx)?;
             }
             Ok(sum)
         })
@@ -300,10 +334,10 @@ impl TxSkipList {
     pub fn len<T: TmThread>(&self, thread: &mut T) -> u64 {
         thread.execute(|tx| {
             let mut count = 0;
-            let mut curr = decode_ptr(tx.read(self.head.offset(NEXT_BASE))?);
+            let mut curr = self.head.slot(NEXT, 0).read(tx)?;
             while let Some(n) = curr {
                 count += 1;
-                curr = decode_ptr(tx.read(n.offset(NEXT_BASE))?);
+                curr = n.slot(NEXT, 0).read(tx)?;
             }
             Ok(count)
         })
@@ -314,10 +348,10 @@ impl TxSkipList {
     pub fn snapshot<T: TmThread>(&self, thread: &mut T) -> Vec<(u64, u64)> {
         thread.execute(|tx| {
             let mut pairs = Vec::new();
-            let mut curr = decode_ptr(tx.read(self.head.offset(NEXT_BASE))?);
+            let mut curr = self.head.slot(NEXT, 0).read(tx)?;
             while let Some(n) = curr {
-                pairs.push((tx.read(n.offset(KEY))?, tx.read(n.offset(VALUE))?));
-                curr = decode_ptr(tx.read(n.offset(NEXT_BASE))?);
+                pairs.push((n.field(KEY).read(tx)?, n.field(VALUE).read(tx)?));
+                curr = n.slot(NEXT, 0).read(tx)?;
             }
             Ok(pairs)
         })
@@ -329,10 +363,10 @@ impl TxSkipList {
     pub fn is_well_formed_quiescent(&self) -> bool {
         let level0: Vec<u64> = {
             let mut keys = Vec::new();
-            let mut curr = decode_ptr(self.sim.nt_load(self.head.offset(NEXT_BASE)));
+            let mut curr = self.sim.nt_read(self.head.slot(NEXT, 0));
             while let Some(n) = curr {
-                keys.push(self.sim.nt_load(n.offset(KEY)));
-                curr = decode_ptr(self.sim.nt_load(n.offset(NEXT_BASE)));
+                keys.push(self.sim.nt_read(n.field(KEY)));
+                curr = self.sim.nt_read(n.slot(NEXT, 0));
             }
             keys
         };
@@ -341,54 +375,65 @@ impl TxSkipList {
         }
         for level in 1..MAX_HEIGHT {
             let mut prev = 0u64; // head sentinel key
-            let mut curr = decode_ptr(self.sim.nt_load(self.head.offset(NEXT_BASE + level)));
+            let mut curr = self.sim.nt_read(self.head.slot(NEXT, level));
             while let Some(n) = curr {
-                let k = self.sim.nt_load(n.offset(KEY));
-                let h = self.sim.nt_load(n.offset(HEIGHT)) as usize;
+                let k = self.sim.nt_read(n.field(KEY));
+                let h = self.sim.nt_read(n.field(HEIGHT));
                 if k <= prev || h <= level || level0.binary_search(&k).is_err() {
                     return false;
                 }
                 prev = k;
-                curr = decode_ptr(self.sim.nt_load(n.offset(NEXT_BASE + level)));
+                curr = self.sim.nt_read(n.slot(NEXT, level));
             }
         }
         true
     }
 
     /// Non-transactionally seeds `key → value` during construction, before
-    /// any worker thread exists (the scenario engine's prefill).
+    /// any worker thread exists (the scenario engine's prefill).  Returns
+    /// [`OutOfMemory`] when the heap cannot hold the node, so scenario
+    /// sizing mistakes surface as a readable error instead of an allocator
+    /// panic.
     ///
     /// Must not run concurrently with transactions.
-    pub fn seed_insert(&self, key: u64, value: u64) {
+    pub fn try_seed_insert(&self, key: u64, value: u64) -> Result<(), OutOfMemory> {
         Self::check_key(key);
         let heap = self.sim.mem().heap();
         let mut preds = [self.head; MAX_HEIGHT];
         let mut curr = self.head;
         for level in (0..MAX_HEIGHT).rev() {
             loop {
-                match decode_ptr(heap.load(curr.offset(NEXT_BASE + level))) {
-                    Some(n) if heap.load(n.offset(KEY)) < key => curr = n,
+                match curr.slot(NEXT, level).load(heap) {
+                    Some(n) if n.field(KEY).load(heap) < key => curr = n,
                     _ => break,
                 }
             }
             preds[level] = curr;
         }
-        if let Some(n) = decode_ptr(heap.load(preds[0].offset(NEXT_BASE))) {
-            if heap.load(n.offset(KEY)) == key {
-                heap.store(n.offset(VALUE), value);
-                return;
+        if let Some(n) = preds[0].slot(NEXT, 0).load(heap) {
+            if n.field(KEY).load(heap) == key {
+                n.field(VALUE).store(heap, value);
+                return Ok(());
             }
         }
-        let node = self.sim.mem().alloc(NODE_WORDS);
+        let node = self.alloc_node()?;
         let height = Self::height_for(key);
-        heap.store(node.offset(KEY), key);
-        heap.store(node.offset(VALUE), value);
-        heap.store(node.offset(HEIGHT), height as u64);
+        node.field(KEY).store(heap, key);
+        node.field(VALUE).store(heap, value);
+        node.field(HEIGHT).store(heap, height);
         for (level, pred) in preds.iter().enumerate().take(height) {
-            let succ = heap.load(pred.offset(NEXT_BASE + level));
-            heap.store(node.offset(NEXT_BASE + level), succ);
-            heap.store(pred.offset(NEXT_BASE + level), encode_ptr(Some(node)));
+            let succ = pred.slot(NEXT, level).load(heap);
+            node.slot(NEXT, level).store(heap, succ);
+            pred.slot(NEXT, level).store(heap, Some(node));
         }
+        Ok(())
+    }
+
+    /// [`try_seed_insert`](Self::try_seed_insert), panicking with the
+    /// sizing hint on exhaustion (for tests and examples that size their
+    /// heap correctly by construction).
+    pub fn seed_insert(&self, key: u64, value: u64) {
+        self.try_seed_insert(key, value).or_sized(SIZING_HINT)
     }
 
     /// Seeds every other key of the key space (`1, 3, 5, …`) with
@@ -534,6 +579,27 @@ mod tests {
         assert_eq!(list.get(&mut th, 1), Some(10));
         assert_eq!(list.get(&mut th, 99), Some(990));
         assert_eq!(list.get(&mut th, 2), None);
+        assert!(list.is_well_formed_quiescent());
+    }
+
+    #[test]
+    fn undersized_prefill_reports_out_of_memory() {
+        // A heap with room for the head sentinel but not for 64 seeded
+        // nodes: the checked path must surface OutOfMemory, not panic
+        // inside the allocator.
+        let rt = runtime(4 * SkipNode::WORDS);
+        let list = TxSkipList::new(Arc::clone(rt.sim()), 64);
+        let mut failed = None;
+        for k in 1..=64u64 {
+            if let Err(oom) = list.try_seed_insert(k, k) {
+                failed = Some(oom);
+                break;
+            }
+        }
+        let oom = failed.expect("undersized heap must exhaust");
+        assert_eq!(oom.requested, SkipNode::WORDS);
+        assert!(oom.to_string().contains("exhausted"));
+        // The list must still be well-formed with the keys that did fit.
         assert!(list.is_well_formed_quiescent());
     }
 

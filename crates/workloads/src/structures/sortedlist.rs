@@ -8,26 +8,47 @@
 
 use std::sync::Arc;
 
-use rhtm_api::{TmThread, TxResult};
+use rhtm_api::typed::{Field, FieldArray, LayoutBuilder, Record, TxLayout, TxPtr, TypedAlloc};
+use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::Addr;
 
-use super::{decode_ptr, encode_ptr};
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
-const KEY: usize = 0;
-const NEXT: usize = 1;
-const DUMMY_BASE: usize = 2;
 /// Dummy payload words per node.
 pub const DUMMY_WORDS: usize = 4;
-const NODE_WORDS: usize = 8;
+
+/// The heap record of one list node.
+pub struct ListNode;
+
+type Link = Option<TxPtr<ListNode>>;
+
+#[allow(clippy::type_complexity)] // the layout-builder tuple idiom
+const NODE: (
+    TxLayout<ListNode>,
+    Field<ListNode, u64>,
+    Field<ListNode, Link>,
+    FieldArray<ListNode, u64>,
+) = {
+    let b = LayoutBuilder::new();
+    let (b, key) = b.field();
+    let (b, next) = b.field();
+    let (b, dummy) = b.array(DUMMY_WORDS);
+    (b.pad_to(8).finish(), key, next, dummy)
+};
+const KEY: Field<ListNode, u64> = NODE.1;
+const NEXT: Field<ListNode, Link> = NODE.2;
+const DUMMY: FieldArray<ListNode, u64> = NODE.3;
+
+impl Record for ListNode {
+    const LAYOUT: TxLayout<ListNode> = NODE.0;
+}
 
 /// The constant sorted-list workload.
 pub struct ConstantSortedList {
     sim: Arc<HtmSim>,
-    head: Addr,
+    head: TxPtr<ListNode>,
     size: u64,
 }
 
@@ -36,24 +57,25 @@ impl ConstantSortedList {
     pub fn new(sim: Arc<HtmSim>, size: u64) -> Self {
         assert!(size > 0);
         let mem = sim.mem();
-        let nodes = mem.alloc(size as usize * NODE_WORDS);
+        let nodes = mem.alloc_records::<ListNode>(size as usize);
+        let node_at = |key: u64| nodes.get(key as usize);
         let heap = mem.heap();
         for key in 0..size {
-            let node = nodes.offset(key as usize * NODE_WORDS);
-            heap.store(node.offset(KEY), key);
+            let node = node_at(key);
+            node.field(KEY).store(heap, key);
             let next = if key + 1 < size {
-                Some(nodes.offset((key + 1) as usize * NODE_WORDS))
+                Some(node_at(key + 1))
             } else {
                 None
             };
-            heap.store(node.offset(NEXT), encode_ptr(next));
+            node.field(NEXT).store(heap, next);
             for d in 0..DUMMY_WORDS {
-                heap.store(node.offset(DUMMY_BASE + d), 0);
+                node.slot(DUMMY, d).store(heap, 0);
             }
         }
         ConstantSortedList {
             sim,
-            head: nodes,
+            head: node_at(0),
             size,
         }
     }
@@ -68,31 +90,38 @@ impl ConstantSortedList {
         &self.sim
     }
 
+    /// The first node (test helper for capacity experiments that walk the
+    /// list raw).
+    pub fn head(&self) -> TxPtr<ListNode> {
+        self.head
+    }
+
     /// Transactionally searches for `key` with a linear scan.
-    pub fn search<T: TmThread>(&self, tx: &mut T, key: u64) -> TxResult<Option<Addr>> {
+    pub fn search<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Link> {
         let mut node = Some(self.head);
         while let Some(n) = node {
-            let k = tx.read(n.offset(KEY))?;
+            let k = n.field(KEY).read(tx)?;
             if k == key {
                 for d in 0..DUMMY_WORDS {
-                    tx.read(n.offset(DUMMY_BASE + d))?;
+                    n.slot(DUMMY, d).read(tx)?;
                 }
                 return Ok(Some(n));
             }
             if k > key {
                 return Ok(None);
             }
-            node = decode_ptr(tx.read(n.offset(NEXT))?);
+            node = n.field(NEXT).read(tx)?;
         }
         Ok(None)
     }
 
     /// Transactionally "updates" `key`: search followed by dummy writes.
-    pub fn update<T: TmThread>(&self, tx: &mut T, key: u64, value: u64) -> TxResult<bool> {
+    pub fn update<X: Txn + ?Sized>(&self, tx: &mut X, key: u64, value: u64) -> TxResult<bool> {
         match self.search(tx, key)? {
             Some(node) => {
                 for d in 0..DUMMY_WORDS {
-                    tx.write(node.offset(DUMMY_BASE + d), value.wrapping_add(d as u64))?;
+                    node.slot(DUMMY, d)
+                        .write(tx, value.wrapping_add(d as u64))?;
                 }
                 Ok(true)
             }
@@ -102,7 +131,7 @@ impl ConstantSortedList {
 
     /// Words required for a list of `size` elements.
     pub fn required_words(size: u64) -> usize {
-        size as usize * NODE_WORDS
+        size as usize * ListNode::WORDS
     }
 
     /// Non-transactional sanity check: list length and sortedness.
@@ -112,13 +141,13 @@ impl ConstantSortedList {
         let mut prev_key = None;
         let mut node = Some(self.head);
         while let Some(n) = node {
-            let k = self.sim.nt_load(n.offset(KEY));
+            let k = self.sim.nt_read(n.field(KEY));
             if let Some(p) = prev_key {
                 sorted &= p < k;
             }
             prev_key = Some(k);
             count += 1;
-            node = decode_ptr(self.sim.nt_load(n.offset(NEXT)));
+            node = self.sim.nt_read(n.field(NEXT));
         }
         (count, sorted)
     }
@@ -190,10 +219,10 @@ mod tests {
         let mut htm = rhtm_htm::HtmThread::new(sim, 0);
         htm.begin();
         let mut hit_capacity = false;
-        let mut node = Some(list.head);
+        let mut node = Some(list.head());
         'outer: while let Some(n) = node {
-            for offset in [KEY, NEXT] {
-                match htm.read(n.offset(offset)) {
+            for cell in [n.field(KEY).addr(), n.field(NEXT).addr()] {
+                match htm.read(cell) {
                     Err(a) if a.cause == rhtm_api::AbortCause::Capacity => {
                         hit_capacity = true;
                         break 'outer;
@@ -202,7 +231,7 @@ mod tests {
                     Ok(_) => {}
                 }
             }
-            node = decode_ptr(list.sim.nt_load(n.offset(NEXT)));
+            node = list.sim.nt_read(n.field(NEXT));
         }
         assert!(hit_capacity);
     }

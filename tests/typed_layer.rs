@@ -1,0 +1,419 @@
+//! The typed data layer and the dyn-erased handles, end to end.
+//!
+//! Two guarantees are on trial here:
+//!
+//! * **Bit identity** — every typed access ([`TxCell`], [`TxPtr`],
+//!   [`Codec`]) must perform exactly the raw `Addr` + `u64` word access it
+//!   replaced: same addresses, same encodings (including the old
+//!   `encode_ptr`/`decode_ptr` null sentinel), same statistics.  Checked
+//!   with randomized round-trip property tests over the deterministic
+//!   splitmix-scrambled [`WorkloadRng`] harness, the same style
+//!   `tests/proptest_protocols.rs` uses for the protocols.
+//! * **Erasure transparency** — driving any FIGURE_SET algorithm through
+//!   `Box<dyn DynRuntime>` must produce *identical* [`TxStats`] to the
+//!   same deterministic workload on the generic (visitor) path: the
+//!   erased shims add an indirect call, never an access.
+
+use std::sync::Arc;
+
+use rhtm::api::typed::{
+    Codec, Field, LayoutBuilder, Record, TxCell, TxLayout, TxPtr, TxSlice, TypedAlloc,
+    NULL_PTR_WORD,
+};
+use rhtm::api::{DynThreadExt, TmRuntime, TmThread, TxStats, Txn};
+use rhtm::htm::{HtmConfig, HtmSim};
+use rhtm::mem::{Addr, MemConfig, TmMemory};
+use rhtm_workloads::{mutable::TxHashMap, AlgoKind, AlgoVisitor, TxSkipList, WorkloadRng};
+
+// ---------------------------------------------------------------------
+// Property tests: typed encodings are the raw words
+// ---------------------------------------------------------------------
+
+/// The helpers every structure used to copy, kept verbatim as the golden
+/// reference for the centralized pointer codec.
+fn old_encode_ptr(ptr: Option<Addr>) -> u64 {
+    match ptr {
+        Some(a) => a.index() as u64,
+        None => u64::MAX,
+    }
+}
+
+fn old_decode_ptr(raw: u64) -> Option<Addr> {
+    if raw == u64::MAX {
+        None
+    } else {
+        Some(Addr(raw as usize))
+    }
+}
+
+struct AnyRecord;
+impl Record for AnyRecord {
+    const LAYOUT: TxLayout<AnyRecord> = LayoutBuilder::new().pad_to(4).finish();
+}
+
+#[test]
+fn pointer_codec_is_bit_identical_to_the_replaced_helpers() {
+    let mut rng = WorkloadRng::new(0x7e57_c0de);
+    assert_eq!(<Option<TxPtr<AnyRecord>>>::encode(None), NULL_PTR_WORD);
+    assert_eq!(NULL_PTR_WORD, old_encode_ptr(None));
+    for _ in 0..10_000 {
+        // Any plausible heap index (the heap is far smaller than u64::MAX).
+        let index = rng.next_below(1 << 40) as usize;
+        let addr = Addr(index);
+        let typed = Some(TxPtr::<AnyRecord>::new(addr));
+        assert_eq!(typed.encode(), old_encode_ptr(Some(addr)));
+        let raw = typed.encode();
+        assert_eq!(
+            <Option<TxPtr<AnyRecord>>>::decode(raw).map(TxPtr::addr),
+            old_decode_ptr(raw)
+        );
+    }
+    assert_eq!(
+        <Option<TxPtr<AnyRecord>>>::decode(NULL_PTR_WORD),
+        None::<TxPtr<AnyRecord>>
+    );
+}
+
+#[test]
+fn scalar_codecs_round_trip_random_values() {
+    let mut rng = WorkloadRng::new(0x5eed);
+    for _ in 0..10_000 {
+        let v = rng.next_u64();
+        assert_eq!(u64::decode(u64::encode(v)), v);
+        assert_eq!(u64::encode(v), v, "u64 codec must be the identity");
+        let u = v as usize;
+        assert_eq!(usize::decode(usize::encode(u)), u);
+        let b = v & 1 == 1;
+        assert_eq!(bool::decode(bool::encode(b)), b);
+        assert_eq!(bool::encode(b), u64::from(b));
+    }
+}
+
+/// A typed write followed by a *raw* read (and vice versa) observes the
+/// identical word, through a real TM runtime — the typed layer cannot be
+/// adding or transforming accesses.
+#[test]
+fn typed_and_raw_accesses_alias_the_same_words() {
+    let rt = rhtm::core::RhRuntime::new(
+        MemConfig::with_data_words(4096),
+        HtmConfig::default(),
+        rhtm::core::RhConfig::rh1_mixed(100),
+    );
+    let slice: TxSlice<u64> = rt.mem().alloc_slice(256);
+    let mut th = rt.register_thread();
+    let mut rng = WorkloadRng::new(42);
+    for _ in 0..2_000 {
+        let i = rng.next_below(256) as usize;
+        let v = rng.next_u64();
+        let cell = slice.get(i);
+        let raw_addr = slice.base().offset(i);
+        assert_eq!(cell.addr(), raw_addr, "typed cell must be the raw address");
+        if rng.draw_percent(50) {
+            // Typed write, raw read.
+            th.execute(|tx| cell.write(tx, v));
+            let got = th.execute(|tx| tx.read(raw_addr));
+            assert_eq!(got, v);
+        } else {
+            // Raw write, typed read.
+            th.execute(|tx| tx.write(raw_addr, v));
+            let got = th.execute(|tx| cell.read(tx));
+            assert_eq!(got, v);
+        }
+    }
+}
+
+/// Running the same access sequence typed and raw produces identical
+/// heap contents *and* identical [`TxStats`] — the zero-cost claim at the
+/// level the runtimes can observe.
+#[test]
+fn typed_accesses_cost_exactly_the_raw_statistics() {
+    struct Node;
+    #[allow(clippy::type_complexity)] // the layout-builder tuple idiom
+    const NODE: (
+        TxLayout<Node>,
+        Field<Node, u64>,
+        Field<Node, Option<TxPtr<Node>>>,
+    ) = {
+        let b = LayoutBuilder::new();
+        let (b, value) = b.field();
+        let (b, next) = b.field();
+        (b.pad_to(4).finish(), value, next)
+    };
+    impl Record for Node {
+        const LAYOUT: TxLayout<Node> = NODE.0;
+    }
+    const VALUE: Field<Node, u64> = NODE.1;
+    const NEXT: Field<Node, Option<TxPtr<Node>>> = NODE.2;
+
+    let world = || {
+        rhtm::core::RhRuntime::new(
+            MemConfig::with_data_words(4096),
+            HtmConfig::default(),
+            rhtm::core::RhConfig::rh1_mixed(100),
+        )
+    };
+
+    // Typed world: build a small linked chain and sum it.
+    let rt_typed = world();
+    let typed_sum = {
+        let mem = rt_typed.mem();
+        let mut th = rt_typed.register_thread();
+        let mut head: Option<TxPtr<Node>> = None;
+        for v in 0..32u64 {
+            let node = mem.alloc_record::<Node>();
+            let prev = head;
+            th.execute(|tx| {
+                node.field(VALUE).write(tx, v * 3)?;
+                node.field(NEXT).write(tx, prev)?;
+                Ok(())
+            });
+            head = Some(node);
+        }
+        let sum = th.execute(|tx| {
+            let mut sum = 0u64;
+            let mut curr = head;
+            while let Some(n) = curr {
+                sum += n.field(VALUE).read(tx)?;
+                curr = n.field(NEXT).read(tx)?;
+            }
+            Ok(sum)
+        });
+        (sum, th.stats().clone())
+    };
+
+    // Raw world: the word-poking code the typed version replaced.
+    let rt_raw = world();
+    let raw_sum = {
+        let mem = rt_raw.mem();
+        let mut th = rt_raw.register_thread();
+        let mut head: u64 = NULL_PTR_WORD;
+        for v in 0..32u64 {
+            let node = mem.alloc(4);
+            let prev = head;
+            th.execute(|tx| {
+                tx.write(node.offset(0), v * 3)?;
+                tx.write(node.offset(1), prev)?;
+                Ok(())
+            });
+            head = node.index() as u64;
+        }
+        let sum = th.execute(|tx| {
+            let mut sum = 0u64;
+            let mut curr = head;
+            while curr != NULL_PTR_WORD {
+                let node = Addr(curr as usize);
+                sum += tx.read(node.offset(0))?;
+                curr = tx.read(node.offset(1))?;
+            }
+            Ok(sum)
+        });
+        (sum, th.stats().clone())
+    };
+
+    assert_eq!(typed_sum.0, raw_sum.0);
+    assert_eq!(
+        typed_sum.1, raw_sum.1,
+        "typed and raw versions must read/write/commit identically"
+    );
+    // And the two worlds' heaps hold bit-identical data regions.
+    let (a, b) = (rt_typed.mem(), rt_raw.mem());
+    let base = a.layout().data_base().index();
+    for w in base..a.layout().total_words() {
+        assert_eq!(
+            a.heap().load(Addr(w)),
+            b.heap().load(Addr(w)),
+            "heap word {w} diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dyn erasure: FIGURE_SET parity with the generic path
+// ---------------------------------------------------------------------
+
+/// The deterministic workload both paths run: a prefilled hash map and
+/// skiplist driven by a fixed-seed operation stream, all through the
+/// `_in` composable operations (usable from both `&mut T: TmThread`
+/// closures and `&mut dyn Txn`).
+const DYN_OPS: usize = 300;
+
+fn build_world() -> (Arc<HtmSim>, TxHashMap, TxSkipList) {
+    let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(1 << 16)));
+    let sim = HtmSim::new(mem, HtmConfig::default());
+    let map = TxHashMap::new(Arc::clone(&sim), 64);
+    let list = TxSkipList::new(Arc::clone(&sim), 128);
+    // Prefill every key both paths will touch, so `get_in` hits and
+    // `set_in` genuinely mutates chains in the parity workload (the
+    // single-threaded oracle runtime is discarded before the measured
+    // runtime registers its threads).
+    {
+        let oracle = rhtm::stm::MutexRuntime::with_sim(Arc::clone(&sim));
+        let mut th = oracle.register_thread();
+        for k in 0..64u64 {
+            map.insert(&mut th, k, k * 3);
+        }
+    }
+    for k in 1..=64u64 {
+        list.seed_insert(k, k * 7);
+    }
+    (sim, map, list)
+}
+
+/// One deterministic transaction body; `step` keys the shape.
+fn run_step<X: Txn + ?Sized>(
+    tx: &mut X,
+    map: &TxHashMap,
+    list: &TxSkipList,
+    rng_val: (u64, u64),
+) -> rhtm::api::TxResult<u64> {
+    let (key_draw, value) = rng_val;
+    let map_key = key_draw % 64;
+    let list_key = 1 + key_draw % 64;
+    let mut acc = 0u64;
+    if let Some(v) = map.get_in(tx, map_key)? {
+        acc = acc.wrapping_add(v);
+    }
+    map.set_in(tx, map_key, value)?;
+    if let Some(v) = list.get_in(tx, list_key)? {
+        acc = acc.wrapping_add(v);
+    }
+    list.update_in(tx, list_key, value ^ acc)?;
+    Ok(acc)
+}
+
+/// Pre-draws the operation stream so both paths replay the exact same
+/// sequence regardless of how their closures capture the RNG.
+fn op_stream() -> Vec<(u64, u64)> {
+    let mut rng = WorkloadRng::new(0xd15c);
+    (0..DYN_OPS)
+        .map(|_| (rng.next_u64(), rng.next_u64()))
+        .collect()
+}
+
+struct GenericDriver {
+    ops: Vec<(u64, u64)>,
+    map: TxHashMap,
+    list: TxSkipList,
+}
+
+impl AlgoVisitor for GenericDriver {
+    type Out = (u64, TxStats);
+
+    fn visit<R: TmRuntime>(self, runtime: R) -> (u64, TxStats) {
+        let mut th = runtime.register_thread();
+        let mut total = 0u64;
+        for &drawn in &self.ops {
+            total = total.wrapping_add(th.execute(|tx| run_step(tx, &self.map, &self.list, drawn)));
+        }
+        (total, th.stats().clone())
+    }
+}
+
+#[test]
+fn dyn_erased_runtimes_match_the_generic_path_exactly() {
+    // Seed the map through a throwaway oracle runtime first so both paths
+    // start from a structurally identical world built the same way.
+    for kind in AlgoKind::FIGURE_SET {
+        let ops = op_stream();
+
+        // Generic (visitor) path.
+        let (sim_a, map_a, list_a) = build_world();
+        let (total_a, stats_a) = rhtm_workloads::visit_algo(
+            kind,
+            None,
+            sim_a,
+            GenericDriver {
+                ops: ops.clone(),
+                map: map_a,
+                list: list_a,
+            },
+        );
+
+        // Dyn-erased path: the runtime is a value, the body runs through
+        // `&mut dyn Txn`.
+        let (sim_b, map_b, list_b) = build_world();
+        let rt = kind.instantiate_dyn(None, sim_b);
+        let mut th = rt.register_dyn();
+        let mut total_b = 0u64;
+        for &drawn in &ops {
+            total_b = total_b.wrapping_add(th.run(|tx| run_step(tx, &map_b, &list_b, drawn)));
+        }
+        let stats_b = th.stats().clone();
+
+        assert_eq!(total_a, total_b, "{kind:?}: results diverged");
+        assert_eq!(
+            stats_a, stats_b,
+            "{kind:?}: dyn erasure changed the statistics"
+        );
+        assert_eq!(stats_a.commits(), DYN_OPS as u64, "{kind:?}");
+    }
+}
+
+#[test]
+fn dyn_threads_drive_structures_concurrently() {
+    // The boxed handles are Send: a whole multi-threaded stress over a
+    // typed structure without naming a single concrete runtime type.
+    let (sim, _map, list) = build_world();
+    let rt: Arc<dyn rhtm::api::DynRuntime> =
+        Arc::from(AlgoKind::Rh1Mixed(100).instantiate_dyn(None, sim));
+    let list = Arc::new(list);
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let rt = Arc::clone(&rt);
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                let mut th = rt.register_dyn();
+                let mut rng = WorkloadRng::new(t as u64);
+                for _ in 0..500 {
+                    let from = 1 + rng.next_below(64);
+                    let to = 1 + rng.next_below(64);
+                    if from == to {
+                        continue;
+                    }
+                    // Conserve the total: move one unit between two keys.
+                    th.run(|tx| {
+                        let f = list.get_in(tx, from)?.expect("seeded");
+                        if f == 0 {
+                            return Ok(());
+                        }
+                        let v = list.get_in(tx, to)?.expect("seeded");
+                        list.update_in(tx, from, f - 1)?;
+                        list.update_in(tx, to, v + 1)?;
+                        Ok(())
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let expected: u64 = (1..=64u64).map(|k| k * 7).sum();
+    let rt2 = Arc::clone(&rt);
+    let mut th = rt2.register_dyn();
+    let total: u64 = (1..=64u64)
+        .map(|k| th.run(|tx| list.get_in(tx, k)).expect("seeded"))
+        .sum();
+    assert_eq!(total, expected, "transfers must conserve the total");
+    assert!(list.is_well_formed_quiescent());
+}
+
+// ---------------------------------------------------------------------
+// Checked allocation through the typed layer
+// ---------------------------------------------------------------------
+
+#[test]
+fn typed_checked_allocation_reports_memory_exhaustion_cleanly() {
+    let mem = TmMemory::new(MemConfig::with_data_words(8));
+    let cell: TxCell<u64> = mem.alloc_cell();
+    cell.store(mem.heap(), 5);
+    let err = mem
+        .try_alloc_record::<AnyRecord>()
+        .and(mem.try_alloc_record::<AnyRecord>())
+        .and(mem.try_alloc_record::<AnyRecord>())
+        .unwrap_err();
+    assert_eq!(err.requested, AnyRecord::WORDS);
+    assert!(err.to_string().contains("exhausted"));
+    // A failed allocation must not have corrupted what is already there.
+    assert_eq!(cell.load(mem.heap()), 5);
+}
