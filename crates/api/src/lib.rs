@@ -29,6 +29,9 @@
 //! * [`dynamic`] — object-safe, dyn-erased mirrors ([`DynRuntime`],
 //!   [`DynThread`]) so tests and examples can hold *any* runtime as a
 //!   `Box<dyn DynRuntime>` value instead of writing visitor structs.
+//! * [`session`] — scoped worker sessions ([`TmScopeExt::scope`],
+//!   [`run_scoped`]): structured multi-threaded execution over any
+//!   runtime, replacing hand-rolled spawn/register/barrier/join loops.
 //!
 //! ```
 //! use rhtm_api::{Abort, TmRuntime, TmThread, TxResult, Txn};
@@ -57,6 +60,7 @@ pub mod abort;
 pub mod backoff;
 pub mod dynamic;
 pub mod retry;
+pub mod session;
 pub mod stats;
 pub mod test_runtime;
 pub mod traits;
@@ -68,6 +72,7 @@ pub use dynamic::{DynRuntime, DynThread, DynThreadExt, DynTxn};
 pub use retry::{
     AttemptContext, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle, RetryRng,
 };
+pub use session::{run_scoped, DynScopeExt, ScopeControl, TmScopeExt, WorkerSession};
 pub use stats::{PathKind, Stopwatch, TxStats};
 pub use traits::{TmRuntime, TmThread, Txn};
 pub use typed::{

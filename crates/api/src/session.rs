@@ -1,0 +1,435 @@
+//! Scoped worker sessions: structured multi-threaded execution over any
+//! runtime, without hand-rolled `std::thread` spawn/join loops.
+//!
+//! Every multi-threaded user of a [`TmRuntime`] used to repeat the same
+//! boilerplate: spawn N threads, `register_thread()` in each, hand-build a
+//! `Barrier` so the workers start together, join the handles, remember not
+//! to touch the runtime before the joins finish.  This module owns that
+//! choreography once:
+//!
+//! * [`TmScopeExt::scope`] (blanket-implemented for
+//!   every runtime) runs a closure on `workers` scoped threads.  Each
+//!   worker receives a [`WorkerSession`] wrapping its freshly registered
+//!   thread handle — registration, the synchronised start and the joins
+//!   are all handled internally, and the per-worker results come back in
+//!   worker order.
+//! * [`DynScopeExt::scope_dyn`] is the same API over a dyn-erased
+//!   [`DynRuntime`] (sessions wrap `Box<dyn DynThread>`), so spec-driven
+//!   code can scope workers without naming a concrete runtime type.
+//! * [`run_scoped`] is the primitive beneath both: it additionally hands
+//!   the *calling* thread a [`ScopeControl`], which is what a benchmark
+//!   driver needs — let every worker finish its setup, start the
+//!   measurement clock exactly when they are released, and keep running
+//!   controller logic (deadline sleeps, stop flags) while the workers
+//!   work.
+//!
+//! # Example
+//!
+//! ```
+//! use rhtm_api::session::TmScopeExt;
+//! use rhtm_api::test_runtime::DirectRuntime;
+//! use rhtm_api::{TmRuntime, TmThread, Txn};
+//!
+//! let rt = DirectRuntime::new(64);
+//! let counter = rt.mem().alloc(1);
+//! // Four workers, each with its own registered thread handle; no spawn,
+//! // join or barrier code in sight.
+//! let commits = rt.scope(4, |session| {
+//!     for _ in 0..10 {
+//!         session.execute(|tx| {
+//!             let v = tx.read(counter)?;
+//!             tx.write(counter, v + 1)
+//!         });
+//!     }
+//!     session.stats().commits()
+//! });
+//! assert_eq!(commits, vec![10; 4]);
+//! assert_eq!(rt.mem().heap().load(counter), 40);
+//! ```
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Barrier;
+
+use crate::dynamic::{DynRuntime, DynThread};
+use crate::traits::TmRuntime;
+
+/// One worker's view of a scoped session: its registered thread handle
+/// plus its position in the worker group.
+///
+/// Dereferences to the wrapped thread handle, so `session.execute(..)` /
+/// `session.stats()` read exactly like the plain handle did.
+pub struct WorkerSession<'scope, Th> {
+    thread: Th,
+    index: usize,
+    count: usize,
+    start: &'scope Barrier,
+    /// Shared with the spawn frame's release-on-unwind guard, so a panic
+    /// before the sync point still releases the start barrier exactly
+    /// once (see `run_scoped`).
+    synced: &'scope Cell<bool>,
+}
+
+impl<Th> WorkerSession<'_, Th> {
+    /// This worker's index in the session, `0..worker_count()`.
+    ///
+    /// Distinct from the runtime-assigned
+    /// [`thread_id`](crate::TmThread::thread_id): the index is always the
+    /// dense spawn order of *this* scope, even when the runtime's registry
+    /// has served other threads before.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers in the session.
+    pub fn worker_count(&self) -> usize {
+        self.count
+    }
+
+    /// The wrapped thread handle.
+    pub fn thread_mut(&mut self) -> &mut Th {
+        &mut self.thread
+    }
+
+    /// Waits until every worker (and the controller, if the scope was
+    /// started through [`run_scoped`]) reaches this point, so per-worker
+    /// setup never counts as measured work.  Idempotent: only the first
+    /// call waits.  [`TmScopeExt::scope`] syncs automatically before the
+    /// worker closure runs; closures passed to [`run_scoped`] call this
+    /// themselves once their setup is done (the scope syncs on their
+    /// behalf after the closure returns if they never did).
+    pub fn sync(&mut self) {
+        if !self.synced.get() {
+            self.synced.set(true);
+            self.start.wait();
+        }
+    }
+}
+
+impl<Th> Deref for WorkerSession<'_, Th> {
+    type Target = Th;
+
+    fn deref(&self) -> &Th {
+        &self.thread
+    }
+}
+
+impl<Th> DerefMut for WorkerSession<'_, Th> {
+    fn deref_mut(&mut self) -> &mut Th {
+        &mut self.thread
+    }
+}
+
+/// The calling thread's handle on a running scope (see [`run_scoped`]).
+///
+/// Dropping the control without having called
+/// [`wait_ready`](ScopeControl::wait_ready) waits then, so a controller
+/// that has no setup of its own can simply drop it and the workers are
+/// released.
+pub struct ScopeControl<'scope> {
+    ready: &'scope Barrier,
+    workers: usize,
+    waited: bool,
+}
+
+impl ScopeControl<'_> {
+    /// Number of workers in the session.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Blocks until every worker has finished its setup and reached
+    /// [`WorkerSession::sync`]; returns at the instant the workers are
+    /// released, which is the right moment to start a measurement clock.
+    /// Idempotent: only the first call waits.
+    pub fn wait_ready(&mut self) {
+        if !self.waited {
+            self.waited = true;
+            self.ready.wait();
+        }
+    }
+}
+
+impl Drop for ScopeControl<'_> {
+    fn drop(&mut self) {
+        self.wait_ready();
+    }
+}
+
+/// The scope primitive: runs `worker` on `workers` scoped threads, each
+/// wrapped in a [`WorkerSession`] around whatever `register` returns for
+/// it, while `control` runs on the calling thread.
+///
+/// The session start is synchronised through one barrier shared by the
+/// workers *and* the controller: each worker joins it via
+/// [`WorkerSession::sync`] (automatically after the closure returns, if
+/// the closure never called it), the controller via
+/// [`ScopeControl::wait_ready`] (automatically when the control value
+/// drops).  Worker results come back in worker-index order, joined before
+/// this function returns — together with `control`'s result.
+///
+/// Most callers want the one-liner wrappers instead:
+/// [`TmScopeExt::scope`] for a generic runtime,
+/// [`DynScopeExt::scope_dyn`] for a dyn-erased one.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, and propagates panics from `register` and
+/// the worker closures after all workers have been joined — a panic
+/// before a worker's sync point releases the barrier on unwind, so the
+/// controller and the remaining workers are never stranded.
+pub fn run_scoped<Th, T, O>(
+    workers: usize,
+    register: impl Fn(usize) -> Th + Sync,
+    worker: impl Fn(&mut WorkerSession<'_, Th>) -> T + Sync,
+    control: impl FnOnce(ScopeControl<'_>) -> O,
+) -> (Vec<T>, O)
+where
+    T: Send,
+{
+    assert!(workers >= 1, "a scope needs at least one worker");
+    let start = Barrier::new(workers + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|index| {
+                let start = &start;
+                let register = &register;
+                let worker = &worker;
+                scope.spawn(move || {
+                    // Release the start barrier exactly once no matter how
+                    // this frame exits: a panic in `register` or in the
+                    // worker closure before its sync point must not strand
+                    // the controller and the other workers at the barrier
+                    // (the panic still propagates through the join below).
+                    let synced = Cell::new(false);
+                    struct Release<'a> {
+                        start: &'a Barrier,
+                        synced: &'a Cell<bool>,
+                    }
+                    impl Drop for Release<'_> {
+                        fn drop(&mut self) {
+                            if !self.synced.get() {
+                                self.synced.set(true);
+                                self.start.wait();
+                            }
+                        }
+                    }
+                    let _release = Release {
+                        start,
+                        synced: &synced,
+                    };
+                    let mut session = WorkerSession {
+                        thread: register(index),
+                        index,
+                        count: workers,
+                        start,
+                        synced: &synced,
+                    };
+                    let out = worker(&mut session);
+                    // A worker that never synced still releases the
+                    // barrier (via the guard, as on the panic path).
+                    session.sync();
+                    out
+                })
+            })
+            .collect();
+        let control_out = control(ScopeControl {
+            ready: &start,
+            workers,
+            waited: false,
+        });
+        let outs = handles
+            .into_iter()
+            .map(|h| h.join().expect("scoped worker panicked"))
+            .collect();
+        (outs, control_out)
+    })
+}
+
+/// Scoped worker sessions over any [`TmRuntime`] (blanket-implemented).
+pub trait TmScopeExt: TmRuntime {
+    /// Runs `f` on `workers` scoped threads, each handed a
+    /// [`WorkerSession`] around its own freshly registered
+    /// [`TmThread`](crate::TmThread).  All workers start together (the
+    /// sync happens before `f` is invoked) and their results are returned
+    /// in worker order once every thread has been joined.
+    fn scope<T, F>(&self, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut WorkerSession<'_, Self::Thread>) -> T + Sync,
+    {
+        run_scoped(
+            workers,
+            |_| self.register_thread(),
+            |session| {
+                session.sync();
+                f(session)
+            },
+            |_ctl| (),
+        )
+        .0
+    }
+}
+
+impl<R: TmRuntime> TmScopeExt for R {}
+
+/// Scoped worker sessions over a dyn-erased [`DynRuntime`]
+/// (blanket-implemented, `?Sized` so it works on `dyn DynRuntime` behind
+/// any pointer).
+pub trait DynScopeExt: DynRuntime {
+    /// [`TmScopeExt::scope`] with erased handles: each worker's session
+    /// wraps a `Box<dyn DynThread>` (drive it with
+    /// [`DynThreadExt::run`](crate::DynThreadExt::run)).
+    fn scope_dyn<T, F>(&self, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut WorkerSession<'_, Box<dyn DynThread>>) -> T + Sync,
+    {
+        run_scoped(
+            workers,
+            |_| self.register_dyn(),
+            |session| {
+                session.sync();
+                f(session)
+            },
+            |_ctl| (),
+        )
+        .0
+    }
+}
+
+impl<R: DynRuntime + ?Sized> DynScopeExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynThreadExt;
+    use crate::test_runtime::DirectRuntime;
+    use crate::{TmThread, Txn};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
+
+    #[test]
+    fn scope_registers_runs_and_joins_in_worker_order() {
+        let rt = DirectRuntime::new(64);
+        let cell = TmRuntime::mem(&rt).alloc(1);
+        let outs = rt.scope(4, |session| {
+            for _ in 0..25 {
+                session.execute(|tx| {
+                    let v = tx.read(cell)?;
+                    tx.write(cell, v + 1)
+                });
+            }
+            let commits = TmThread::stats(&**session).commits();
+            (session.index(), session.worker_count(), commits)
+        });
+        assert_eq!(outs.len(), 4);
+        for (i, (index, count, commits)) in outs.iter().enumerate() {
+            assert_eq!(*index, i, "results must come back in worker order");
+            assert_eq!(*count, 4);
+            assert_eq!(*commits, 25);
+        }
+        assert_eq!(TmRuntime::mem(&rt).heap().load(cell), 100);
+    }
+
+    #[test]
+    fn scope_dyn_mirrors_the_generic_scope() {
+        let rt: Box<dyn DynRuntime> = Box::new(DirectRuntime::new(64));
+        let cell = DynRuntime::mem(&*rt).alloc(1);
+        let outs = rt.scope_dyn(3, |session| {
+            session.run(|tx| {
+                let v = tx.read(cell)?;
+                tx.write(cell, v + 1)
+            });
+            DynThread::stats(&***session).commits()
+        });
+        assert_eq!(outs, vec![1, 1, 1]);
+        assert_eq!(DynRuntime::mem(&*rt).heap().load(cell), 3);
+    }
+
+    #[test]
+    fn controller_sees_workers_only_after_their_setup() {
+        // Workers do "setup" (bump a counter) before sync; the controller's
+        // wait_ready must observe every setup completed.
+        let rt = DirectRuntime::new(64);
+        let setups = AtomicUsize::new(0);
+        let (outs, seen) = run_scoped(
+            4,
+            |_| rt.register_thread(),
+            |session| {
+                setups.fetch_add(1, Ordering::SeqCst);
+                session.sync();
+                session.index()
+            },
+            |mut ctl| {
+                assert_eq!(ctl.workers(), 4);
+                ctl.wait_ready();
+                setups.load(Ordering::SeqCst)
+            },
+        );
+        assert_eq!(seen, 4, "controller released before all workers set up");
+        assert_eq!(outs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dropping_the_control_releases_the_workers() {
+        let rt = DirectRuntime::new(64);
+        let started = Instant::now();
+        let (outs, ()) = run_scoped(
+            2,
+            |_| rt.register_thread(),
+            |session| {
+                session.sync();
+                session.index()
+            },
+            |_ctl| (),
+        );
+        assert_eq!(outs, vec![0, 1]);
+        // Guards against a deadlock regression: the whole scope must
+        // complete promptly even though the controller never called
+        // wait_ready explicitly.
+        assert!(started.elapsed().as_secs() < 30);
+    }
+
+    #[test]
+    fn forgotten_sync_still_releases_the_controller() {
+        let rt = DirectRuntime::new(64);
+        let (outs, ()) = run_scoped(
+            2,
+            |_| rt.register_thread(),
+            |session| session.index(), // never calls sync()
+            |_ctl| (),
+        );
+        assert_eq!(outs, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped worker panicked")]
+    fn pre_sync_panic_releases_the_barrier_and_propagates() {
+        // A worker that dies before its sync point (here: registration
+        // itself panics) must not strand the controller at the start
+        // barrier — the scope must end in a panic, not a deadlock.
+        let rt = DirectRuntime::new(64);
+        let (_outs, ()) = run_scoped(
+            2,
+            |index| {
+                if index == 1 {
+                    panic!("registration failed");
+                }
+                rt.register_thread()
+            },
+            |session| {
+                session.sync();
+                session.index()
+            },
+            |_ctl| (),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let rt = DirectRuntime::new(64);
+        rt.scope(0, |_session| ());
+    }
+}

@@ -6,9 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rhtm_bench::{FigureParams, Scale};
 
-use rhtm_htm::HtmConfig;
 use rhtm_mem::MemConfig;
-use rhtm_workloads::{run_on_algo, AlgoKind, ConstantRbTree, DriverOpts};
+use rhtm_workloads::{AlgoKind, ConstantRbTree, DriverOpts, OpMix, TmSpec};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
@@ -31,15 +30,18 @@ fn bench(c: &mut Criterion) {
                 &algo,
                 |b, &algo| {
                     b.iter(|| {
-                        run_on_algo(
-                            algo,
-                            MemConfig::with_data_words(
+                        TmSpec::new(algo)
+                            .mem(MemConfig::with_data_words(
                                 ConstantRbTree::required_words(nodes) + 4096,
-                            ),
-                            HtmConfig::default(),
-                            |sim| ConstantRbTree::new(Arc::clone(sim), nodes),
-                            &DriverOpts::counted(threads, writes, params.ops_per_thread),
-                        )
+                            ))
+                            .bench(
+                                |sim| ConstantRbTree::new(Arc::clone(sim), nodes),
+                                &DriverOpts::counted_mix(
+                                    threads,
+                                    OpMix::read_update(writes),
+                                    params.ops_per_thread,
+                                ),
+                            )
                     })
                 },
             );

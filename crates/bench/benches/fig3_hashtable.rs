@@ -6,9 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rhtm_bench::{FigureParams, Scale};
 
-use rhtm_htm::HtmConfig;
 use rhtm_mem::MemConfig;
-use rhtm_workloads::{run_on_algo, AlgoKind, ConstantHashTable, DriverOpts};
+use rhtm_workloads::{AlgoKind, ConstantHashTable, DriverOpts, OpMix, TmSpec};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
@@ -30,15 +29,18 @@ fn bench(c: &mut Criterion) {
             &algo,
             |b, &algo| {
                 b.iter(|| {
-                    run_on_algo(
-                        algo,
-                        MemConfig::with_data_words(
+                    TmSpec::new(algo)
+                        .mem(MemConfig::with_data_words(
                             ConstantHashTable::required_words(elements) + 4096,
-                        ),
-                        HtmConfig::default(),
-                        |sim| ConstantHashTable::new(Arc::clone(sim), elements),
-                        &DriverOpts::counted(threads, 20, params.ops_per_thread),
-                    )
+                        ))
+                        .bench(
+                            |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                            &DriverOpts::counted_mix(
+                                threads,
+                                OpMix::read_update(20),
+                                params.ops_per_thread,
+                            ),
+                        )
                 })
             },
         );

@@ -6,9 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rhtm_bench::{FigureParams, Scale};
 
-use rhtm_htm::HtmConfig;
 use rhtm_mem::MemConfig;
-use rhtm_workloads::{run_on_algo, AlgoKind, DriverOpts, RandomArray};
+use rhtm_workloads::{AlgoKind, DriverOpts, OpMix, RandomArray, TmSpec};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
@@ -25,13 +24,18 @@ fn bench(c: &mut Criterion) {
                 let id = BenchmarkId::new(algo.label(), format!("writes{writes}"));
                 group.bench_with_input(id, &(algo, writes), |b, &(algo, writes)| {
                     b.iter(|| {
-                        run_on_algo(
-                            algo,
-                            MemConfig::with_data_words(RandomArray::required_words(entries) + 4096),
-                            HtmConfig::default(),
-                            |sim| RandomArray::new(Arc::clone(sim), entries, txn_len, writes),
-                            &DriverOpts::counted(threads, 100, params.ops_per_thread / 8),
-                        )
+                        TmSpec::new(algo)
+                            .mem(MemConfig::with_data_words(
+                                RandomArray::required_words(entries) + 4096,
+                            ))
+                            .bench(
+                                |sim| RandomArray::new(Arc::clone(sim), entries, txn_len, writes),
+                                &DriverOpts::counted_mix(
+                                    threads,
+                                    OpMix::read_update(100),
+                                    params.ops_per_thread / 8,
+                                ),
+                            )
                     })
                 });
             }

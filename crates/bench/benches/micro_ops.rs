@@ -2,14 +2,16 @@
 //! an uninstrumented hardware read (HTM / RH1 fast-path), an instrumented
 //! hardware read (Standard HyTM), a TL2 software read, and the commit-time
 //! hardware transaction of the RH1 mixed slow-path.
+//!
+//! Runtimes are constructed through `TmSpec::visit` — the monomorphised
+//! consumption path — so the measured loops stay free of virtual dispatch
+//! while construction goes through the same spec machinery as everything
+//! else.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rhtm_api::{TmRuntime, TmThread, Txn};
-use rhtm_core::{RhConfig, RhRuntime};
-use rhtm_htm::{HtmConfig, HtmRuntime};
-use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
 use rhtm_mem::MemConfig;
-use rhtm_stm::Tl2Runtime;
+use rhtm_workloads::{AlgoKind, AlgoVisitor, TmSpec};
 
 const READS_PER_TXN: usize = 64;
 
@@ -48,27 +50,35 @@ fn bench_update<R: TmRuntime>(c: &mut Criterion, name: &str, rt: &R) {
     });
 }
 
+struct MicroOps<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl AlgoVisitor for MicroOps<'_> {
+    type Out = ();
+
+    fn visit<R: TmRuntime>(self, runtime: R) {
+        bench_reads(self.c, &self.name, &runtime);
+        bench_update(self.c, &self.name, &runtime);
+    }
+}
+
 fn bench(c: &mut Criterion) {
-    let mem = || MemConfig::with_data_words(1 << 14);
-    let htm = HtmRuntime::new(mem(), HtmConfig::default());
-    bench_reads(c, "HTM", &htm);
-    bench_update(c, "HTM", &htm);
-
-    let rh1 = RhRuntime::new(mem(), HtmConfig::default(), RhConfig::rh1_fast());
-    bench_reads(c, "RH1 Fast", &rh1);
-    bench_update(c, "RH1 Fast", &rh1);
-
-    let rh1_slow = RhRuntime::new(mem(), HtmConfig::default(), RhConfig::rh1_slow());
-    bench_reads(c, "RH1 Slow", &rh1_slow);
-    bench_update(c, "RH1 Slow", &rh1_slow);
-
-    let std_hytm = StdHytmRuntime::new(mem(), HtmConfig::default(), StdHytmConfig::hardware_only());
-    bench_reads(c, "Standard HyTM", &std_hytm);
-    bench_update(c, "Standard HyTM", &std_hytm);
-
-    let tl2 = Tl2Runtime::new(mem());
-    bench_reads(c, "TL2", &tl2);
-    bench_update(c, "TL2", &tl2);
+    for kind in [
+        AlgoKind::Htm,
+        AlgoKind::Rh1Fast,
+        AlgoKind::Rh1Slow,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+    ] {
+        TmSpec::new(kind)
+            .mem(MemConfig::with_data_words(1 << 14))
+            .visit(MicroOps {
+                c,
+                name: kind.label(),
+            });
+    }
 }
 
 criterion_group!(benches, bench);

@@ -1,18 +1,25 @@
 //! Ablation A1: shrinking hardware read capacity pushes RH1 from the fast-path to the mixed slow-path, whose hardware commit only touches the (4x smaller) metadata.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin ablation_capacity [paper|quick] [spec=..]
+//! ```
+//!
+//! The `spec=` axis (comma-separated `TmSpec` labels) replaces the
+//! default RH1-Mixed-100 spec; the capacity sweep runs once per spec.
 
-use rhtm_bench::{FigureParams, Scale};
-
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
+use rhtm_bench::cli;
+use rhtm_bench::FigureParams;
 
 fn main() {
-    let params = FigureParams::new(scale_from_args());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::figure_args(&args, &[]).unwrap_or_else(|e| cli::fail(e));
+    let params = FigureParams::new(parsed.scale);
     println!("# Ablation A1: hardware read-capacity sweep (RH1 Mixed 100, random array, 200 accesses/txn)");
-    for (capacity, row) in rhtm_bench::ablation_capacity(&params) {
+    let rows = match &parsed.specs {
+        Some(specs) => rhtm_bench::ablation_capacity_specs(&params, specs),
+        None => rhtm_bench::ablation_capacity(&params),
+    };
+    for (capacity, row) in rows {
         println!(
             "read-capacity {:>4} lines: {}",
             capacity,

@@ -2,35 +2,43 @@
 //! GV4/GV5/GV6 vs the fully incrementing baseline) across a thread sweep.
 //!
 //! ```text
-//! cargo run -p rhtm-bench --release --bin ablation_clock [paper|quick] [scheme...]
+//! cargo run -p rhtm-bench --release --bin ablation_clock [paper|quick] [scheme...] [spec=..]
 //! ```
 //!
 //! With no scheme arguments every scheme in [`rhtm_mem::ClockScheme::ALL`]
 //! is swept; otherwise only the named ones (`gv-strict`, `gv4`, `gv5`,
-//! `gv6`, `incrementing`) run.  Threads sweep 1–32 (clamped to the host).
+//! `gv6`, `incrementing`) run.  The `spec=` axis (comma-separated `TmSpec`
+//! labels) replaces the default TL2 / RH1-Mixed-100 base specs; each swept
+//! scheme overrides the base spec's clock axis, everything else (algorithm,
+//! retry policy) is honoured as given.  Threads sweep 1–32 (clamped to the
+//! host).
 
+use rhtm_bench::cli;
 use rhtm_bench::{FigureParams, Scale};
 use rhtm_mem::ClockScheme;
+use rhtm_workloads::{AlgoKind, TmSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut named: Vec<ClockScheme> = Vec::new();
+    let specs = cli::spec_axis(&args).unwrap_or_else(|e| cli::fail(e));
     for arg in &args {
         if let Some(s) = Scale::parse(arg) {
             scale = s;
         } else if let Some(scheme) = ClockScheme::parse(arg) {
             named.push(scheme);
+        } else if arg.starts_with("spec=") {
+            // Parsed by cli::spec_axis above.
         } else {
-            eprintln!(
-                "error: unknown argument '{arg}' (expected paper|quick or a scheme: {})",
+            cli::fail(format!(
+                "unknown argument '{arg}' (expected paper|quick, spec=.. or a scheme: {})",
                 ClockScheme::ALL
                     .iter()
                     .map(|s| s.label())
                     .collect::<Vec<_>>()
                     .join("|")
-            );
-            std::process::exit(2);
+            ));
         }
     }
     let schemes: Vec<ClockScheme> = if named.is_empty() {
@@ -38,6 +46,8 @@ fn main() {
     } else {
         named
     };
+    let base_specs: Vec<TmSpec> =
+        specs.unwrap_or_else(|| rhtm_bench::specs_of(&[AlgoKind::Tl2, AlgoKind::Rh1Mixed(100)]));
 
     // The clock bottleneck is a thread-scaling story: sweep 1–32 threads
     // (clamped to the host's parallelism) regardless of the figure scale.
@@ -51,7 +61,7 @@ fn main() {
         "{:<14} {:<16} {:>8} {:>14} {:>12} {:>12}",
         "scheme", "algorithm", "threads", "ops/s", "abort-rate", "commit-ctr"
     );
-    for row in rhtm_bench::ablation_clock_schemes(&params, &schemes) {
+    for row in rhtm_bench::ablation_clock_specs(&params, &schemes, &base_specs) {
         println!(
             "{:<14} {:<16} {:>8} {:>14.0} {:>11.2}% {:>12.3}",
             row.scheme.label(),

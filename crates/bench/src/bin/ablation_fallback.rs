@@ -1,18 +1,25 @@
 //! Ablation A3: the fallback cascade (fast-path, mixed slow-path, RH2 commit, all-software write-back) under shrinking hardware capacity.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin ablation_fallback [paper|quick] [spec=..]
+//! ```
+//!
+//! The `spec=` axis (comma-separated `TmSpec` labels) replaces the
+//! default RH1-Mixed-100 spec; the capacity sweep runs once per spec.
 
-use rhtm_bench::{FigureParams, Scale};
-
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
+use rhtm_bench::cli;
+use rhtm_bench::FigureParams;
 
 fn main() {
-    let params = FigureParams::new(scale_from_args());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::figure_args(&args, &[]).unwrap_or_else(|e| cli::fail(e));
+    let params = FigureParams::new(parsed.scale);
     println!("# Ablation A3: fallback cascade under shrinking hardware capacity (RH1 Mixed 100, constant hash table, 50% writes)");
-    for (capacity, row) in rhtm_bench::ablation_fallback(&params) {
+    let rows = match &parsed.specs {
+        Some(specs) => rhtm_bench::ablation_fallback_specs(&params, specs),
+        None => rhtm_bench::ablation_fallback(&params),
+    };
+    for (capacity, row) in rows {
         println!("capacity {:>4} lines: {}", capacity, row.throughput_row());
         for (cause, count) in row.abort_causes() {
             println!("    aborts[{cause}] = {count}");

@@ -2,29 +2,37 @@
 //! vs adaptive) across a thread sweep.
 //!
 //! ```text
-//! cargo run -p rhtm-bench --release --bin ablation_retry [paper|quick] [policy...] [threads=N,M,..]
+//! cargo run -p rhtm-bench --release --bin ablation_retry [paper|quick] [policy...] [threads=N,M,..] [spec=..]
 //! ```
 //!
 //! With no policy arguments every built-in policy
 //! ([`rhtm_api::RetryPolicyHandle::builtin`]) is swept; otherwise only the
 //! named ones (`paper-default`, `capped-exp`, `aggressive`, `adaptive`)
-//! run.  Threads default to a 1–32 sweep (clamped to the host); a
+//! run.  The `spec=` axis (comma-separated `TmSpec` labels) replaces the
+//! default five-algorithm base specs; each swept policy overrides the base
+//! spec's retry axis, everything else (algorithm, clock) is honoured as
+//! given.  Threads default to a 1–32 sweep (clamped to the host); a
 //! `threads=` argument pins the sweep explicitly (the CI smoke run uses
 //! `threads=2`).
 
 use rhtm_api::RetryPolicyHandle;
+use rhtm_bench::cli;
 use rhtm_bench::{FigureParams, Scale};
+use rhtm_workloads::{AlgoKind, TmSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut named: Vec<RetryPolicyHandle> = Vec::new();
     let mut threads_override: Option<Vec<usize>> = None;
+    let specs = cli::spec_axis(&args).unwrap_or_else(|e| cli::fail(e));
     for arg in &args {
         if let Some(s) = Scale::parse(arg) {
             scale = s;
         } else if let Some(policy) = RetryPolicyHandle::parse(arg) {
             named.push(policy);
+        } else if arg.starts_with("spec=") {
+            // Parsed by cli::spec_axis above.
         } else if let Some(list) = arg.strip_prefix("threads=") {
             let parsed: Result<Vec<usize>, _> = list.split(',').map(|t| t.trim().parse()).collect();
             match parsed {
@@ -32,20 +40,20 @@ fn main() {
                     threads_override = Some(t);
                 }
                 _ => {
-                    eprintln!("error: bad thread list '{list}' (expected e.g. threads=1,2,4)");
-                    std::process::exit(2);
+                    cli::fail(format!(
+                        "bad thread list '{list}' (expected e.g. threads=1,2,4)"
+                    ));
                 }
             }
         } else {
-            eprintln!(
-                "error: unknown argument '{arg}' (expected paper|quick, threads=N,.. or a policy: {})",
+            cli::fail(format!(
+                "unknown argument '{arg}' (expected paper|quick, threads=N,.., spec=.. or a policy: {})",
                 RetryPolicyHandle::builtin()
                     .iter()
                     .map(|p| p.label())
                     .collect::<Vec<_>>()
                     .join("|")
-            );
-            std::process::exit(2);
+            ));
         }
     }
     let policies: Vec<RetryPolicyHandle> = if named.is_empty() {
@@ -53,6 +61,15 @@ fn main() {
     } else {
         named
     };
+    let base_specs: Vec<TmSpec> = specs.unwrap_or_else(|| {
+        rhtm_bench::specs_of(&[
+            AlgoKind::Htm,
+            AlgoKind::StdHytm,
+            AlgoKind::Tl2,
+            AlgoKind::Rh1Mixed(100),
+            AlgoKind::Rh2,
+        ])
+    });
 
     // Contention management is a thread-scaling story: sweep 1–32 threads
     // (clamped to the host) unless the CLI pins the sweep.
@@ -70,7 +87,7 @@ fn main() {
         "{:<14} {:<16} {:>8} {:>14} {:>12} {:>12}",
         "policy", "algorithm", "threads", "ops/s", "abort-rate", "commit-ctr"
     );
-    for row in rhtm_bench::ablation_retry_policies(&params, &policies) {
+    for row in rhtm_bench::ablation_retry_specs(&params, &policies, &base_specs) {
         println!(
             "{:<14} {:<16} {:>8} {:>14.0} {:>11.2}% {:>12.3}",
             row.policy.label(),

@@ -1,27 +1,29 @@
 //! The unified benchmark suite: sweep every registered scenario
-//! (`structure × size × mix × distribution`) across the paper's six
-//! algorithms and a thread sweep, and emit **one** JSON document on
+//! (`structure × size × mix × distribution`) across a series of runtime
+//! points and a thread sweep, and emit **one** JSON document on
 //! stdout (progress goes to stderr).  Schema: `docs/BENCHMARKS.md`.
 //!
 //! ```text
 //! cargo run -p rhtm-bench --release --bin bench_suite \
-//!     [paper|quick] [--smoke] [--list] [scenarios=a,b,..] [algos=a,b,..] \
-//!     [threads=N,M,..] [seed=N]
+//!     [paper|quick] [--smoke] [--list] [scenarios=a,b,..] [spec=a,b,..] \
+//!     [algos=a,b,..] [threads=N,M,..] [seed=N]
 //! ```
 //!
 //! * `--list` prints the scenario registry (name, structure, paper-scale
 //!   size, distribution, mix, description) and exits.
 //! * `--smoke` is the CI configuration: every scenario and algorithm at
 //!   tiny sizes, 2 threads, 10 ms per point.
-//! * `scenarios=` / `algos=` / `threads=` restrict the sweep;
-//!   `seed=` pins the base RNG seed recorded in the document.
+//! * `spec=` selects the runtime points to sweep as `TmSpec` labels
+//!   (`spec=rh2+gv6+adaptive,tl2+gv5`); `algos=` is the algorithm-only
+//!   shorthand (default clock/policy).  The two are mutually exclusive.
+//! * `scenarios=` / `threads=` restrict the sweep; `seed=` pins the base
+//!   RNG seed recorded in the document.
 
-use rhtm_bench::{Scale, SuiteParams};
-use rhtm_workloads::{AlgoKind, Scenario};
+use rhtm_bench::{cli, Scale, SuiteParams};
+use rhtm_workloads::{AlgoKind, Scenario, TmSpec};
 
 fn fail(msg: String) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
+    cli::fail(msg)
 }
 
 fn print_list() {
@@ -61,6 +63,7 @@ fn main() {
     let mut smoke = false;
     let mut scenarios: Option<Vec<&'static Scenario>> = None;
     let mut algos: Option<Vec<AlgoKind>> = None;
+    let specs: Option<Vec<TmSpec>> = cli::spec_axis(&args).unwrap_or_else(|e| fail(e));
     let mut threads: Option<Vec<usize>> = None;
     let mut seed: Option<u64> = None;
     for arg in &args {
@@ -69,6 +72,8 @@ fn main() {
             scale_explicit = true;
         } else if arg == "--smoke" {
             smoke = true;
+        } else if arg.starts_with("spec=") {
+            // Parsed by cli::spec_axis above.
         } else if let Some(list) = arg.strip_prefix("scenarios=") {
             let parsed: Option<Vec<_>> = list.split(',').map(Scenario::find).collect();
             match parsed {
@@ -99,13 +104,16 @@ fn main() {
         } else {
             fail(format!(
                 "unknown argument '{arg}' (expected paper|quick, --smoke, --list, \
-                 scenarios=.., algos=.., threads=.., seed=..)"
+                 scenarios=.., spec=.., algos=.., threads=.., seed=..)"
             ));
         }
     }
 
     if smoke && scale_explicit {
         fail("--smoke is its own scale; drop the paper|quick argument".to_string());
+    }
+    if specs.is_some() && algos.is_some() {
+        fail("spec= and algos= are mutually exclusive (spec= subsumes algos=)".to_string());
     }
     let mut params = if smoke {
         SuiteParams::smoke()
@@ -115,8 +123,10 @@ fn main() {
     if let Some(s) = scenarios {
         params.scenarios = s;
     }
-    if let Some(a) = algos {
-        params.algos = a;
+    if let Some(s) = specs {
+        params.specs = s;
+    } else if let Some(a) = algos {
+        params.specs = a.into_iter().map(TmSpec::new).collect();
     }
     if let Some(t) = threads {
         params.thread_counts = t;
@@ -127,9 +137,9 @@ fn main() {
 
     let total = params.scenarios.len();
     eprintln!(
-        "# bench_suite: {} scenarios x {} algos x {:?} threads ({} scale)",
+        "# bench_suite: {} scenarios x {} specs x {:?} threads ({} scale)",
         total,
-        params.algos.len(),
+        params.specs.len(),
         params.thread_counts,
         params.scale_label
     );

@@ -1,22 +1,29 @@
 //! Figure 1: 100K-node constant red-black tree, 20% mutations — instrumentation cost of the hardware fast-path.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin fig1_rbtree [paper|quick] [spec=..]
+//! ```
+//!
+//! The `spec=` axis (comma-separated `TmSpec` labels, e.g.
+//! `spec=rh2+gv6+adaptive,tl2+gv5`) replaces the figure's paper-default
+//! algorithm series.
 
-use rhtm_bench::{FigureParams, Scale};
+use rhtm_bench::cli;
+use rhtm_bench::FigureParams;
 use rhtm_workloads::report;
 
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
-
 fn main() {
-    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::figure_args(&args, &[]).unwrap_or_else(|e| cli::fail(e));
+    let params = FigureParams::new(parsed.scale).clamp_threads_to_host();
     eprintln!(
         "running Figure 1 (constant RB-tree, 20% writes), threads {:?}",
         params.thread_counts
     );
-    let rows = rhtm_bench::fig1_rbtree(&params);
+    let rows = match &parsed.specs {
+        Some(specs) => rhtm_bench::fig1_rbtree_specs(&params, specs),
+        None => rhtm_bench::fig1_rbtree(&params),
+    };
     println!(
         "{}",
         report::format_series(

@@ -1,28 +1,40 @@
 //! Figure 2 (middle & bottom) and the embedded tables: single-thread speedup and read/write/commit/private/inter-tx time breakdown.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin fig2_breakdown [paper|quick] [spec=..]
+//! ```
+//!
+//! The `spec=` axis (comma-separated `TmSpec` labels) replaces the
+//! table's paper-default algorithm series (speedups stay normalised to
+//! TL2, so include `tl2` in a custom series for meaningful ratios).
 
-use rhtm_bench::{FigureParams, Scale};
-
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
+use rhtm_bench::cli;
+use rhtm_bench::FigureParams;
 
 fn main() {
-    let params = FigureParams::new(scale_from_args());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::figure_args(&args, &[]).unwrap_or_else(|e| cli::fail(e));
+    let params = FigureParams::new(parsed.scale);
     for writes in [20u8, 80] {
         println!(
             "# Single-thread breakdown, {writes}% writes (paper table {}_100_R)",
             writes
         );
-        let rows = rhtm_bench::fig2_breakdown(&params, writes);
+        let rows = match &parsed.specs {
+            Some(specs) => rhtm_bench::fig2_breakdown_specs(&params, specs, writes),
+            None => rhtm_bench::fig2_breakdown(&params, writes),
+        };
         for row in &rows {
             println!("{}", row.breakdown_row());
         }
-        println!("# Single-thread speedup normalised to TL2");
-        for (name, speedup) in rhtm_bench::single_thread_speedups(&rows) {
-            println!("{name:<16} {speedup:>6.2}x");
+        let speedups = rhtm_bench::single_thread_speedups(&rows);
+        if speedups.is_empty() {
+            println!("# (no TL2 row in the series; speedups-normalised-to-TL2 skipped)");
+        } else {
+            println!("# Single-thread speedup normalised to TL2");
+            for (name, speedup) in speedups {
+                println!("{name:<16} {speedup:>6.2}x");
+            }
         }
         println!();
     }

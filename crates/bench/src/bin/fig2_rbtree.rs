@@ -1,32 +1,41 @@
 //! Figure 2 (top): constant red-black tree with the RH1 Mixed slow-path variants; pass `--writes 20|80`.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin fig2_rbtree [paper|quick] [--writes N] [spec=..]
+//! ```
+//!
+//! The `spec=` axis (comma-separated `TmSpec` labels) replaces the
+//! figure's paper-default algorithm series.
 
-use rhtm_bench::{FigureParams, Scale};
+use rhtm_bench::cli;
+use rhtm_bench::FigureParams;
 use rhtm_workloads::report;
 
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
-
-fn write_percent_from_args() -> u8 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--writes")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20)
+fn write_percent_from_args(args: &[String]) -> u8 {
+    match args.iter().position(|a| a == "--writes") {
+        None => 20,
+        Some(i) => {
+            let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+            v.parse().unwrap_or_else(|_| {
+                cli::fail(format!("bad --writes value '{v}' (expected 0..=100)"))
+            })
+        }
+    }
 }
 
 fn main() {
-    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
-    let writes = write_percent_from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::figure_args(&args, &["--writes"]).unwrap_or_else(|e| cli::fail(e));
+    let params = FigureParams::new(parsed.scale).clamp_threads_to_host();
+    let writes = write_percent_from_args(&args);
     eprintln!(
         "running Figure 2 (constant RB-tree, {}% writes), threads {:?}",
         writes, params.thread_counts
     );
-    let rows = rhtm_bench::fig2_rbtree(&params, writes);
+    let rows = match &parsed.specs {
+        Some(specs) => rhtm_bench::fig2_rbtree_specs(&params, specs, writes),
+        None => rhtm_bench::fig2_rbtree(&params, writes),
+    };
     let title = format!("Figure 2: 100K Nodes Constant RB-Tree, {writes}% mutations");
     println!("{}", report::format_series(&title, &rows));
     println!("{}", report::to_json(&rows));

@@ -1,21 +1,33 @@
 //! Figure 3 (right): 128K random array — RH1 speedup over the Standard HyTM across transaction lengths and write ratios.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin fig3_random_array [paper|quick] [spec=..]
+//! ```
+//!
+//! The `spec=` axis takes exactly two `TmSpec` labels —
+//! `spec=treatment,baseline` — replacing the paper's RH1-Fast /
+//! Standard-HyTM pair.
 
-use rhtm_bench::{FigureParams, Scale};
-
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
+use rhtm_bench::cli;
+use rhtm_bench::FigureParams;
 
 fn main() {
-    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::figure_args(&args, &[]).unwrap_or_else(|e| cli::fail(e));
+    let params = FigureParams::new(parsed.scale).clamp_threads_to_host();
     eprintln!(
         "running Figure 3 (random array speedup matrix) at {} threads",
         params.thread_counts.iter().max().unwrap()
     );
-    let points = rhtm_bench::fig3_random_array(&params);
+    let points = match &parsed.specs {
+        Some(specs) if specs.len() == 2 => {
+            rhtm_bench::fig3_random_array_specs(&params, &specs[0], &specs[1])
+        }
+        Some(_) => cli::fail(
+            "fig3_random_array takes exactly two specs: spec=treatment,baseline".to_string(),
+        ),
+        None => rhtm_bench::fig3_random_array(&params),
+    };
     println!("# Figure 3 (right): 128K Random Array — RH1 speedup vs Standard HyTM");
     println!(
         "{:>8} {:>8} {:>14} {:>14} {:>9}",

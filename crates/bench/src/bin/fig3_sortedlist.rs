@@ -1,22 +1,28 @@
 //! Figure 3 (middle): 1K-element constant sorted list, 5% writes.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin fig3_sortedlist [paper|quick] [spec=..]
+//! ```
+//!
+//! The `spec=` axis (comma-separated `TmSpec` labels) replaces the
+//! figure's paper-default algorithm series.
 
-use rhtm_bench::{FigureParams, Scale};
+use rhtm_bench::cli;
+use rhtm_bench::FigureParams;
 use rhtm_workloads::report;
 
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Paper)
-}
-
 fn main() {
-    let params = FigureParams::new(scale_from_args()).clamp_threads_to_host();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::figure_args(&args, &[]).unwrap_or_else(|e| cli::fail(e));
+    let params = FigureParams::new(parsed.scale).clamp_threads_to_host();
     eprintln!(
         "running Figure 3 (constant sorted list, 5% writes), threads {:?}",
         params.thread_counts
     );
-    let rows = rhtm_bench::fig3_sortedlist(&params);
+    let rows = match &parsed.specs {
+        Some(specs) => rhtm_bench::fig3_sortedlist_specs(&params, specs),
+        None => rhtm_bench::fig3_sortedlist(&params),
+    };
     println!(
         "{}",
         report::format_series(

@@ -1,0 +1,142 @@
+//! Shared CLI plumbing for the benchmark binaries.
+//!
+//! Every binary accepts the same `spec=` axis: a comma-separated list of
+//! [`TmSpec`] labels (`spec=rh2+gv6+adaptive,tl2+gv5`) selecting the
+//! runtime points the experiment sweeps instead of its paper-default
+//! series.  The grammar is documented on [`rhtm_workloads::spec`] and in
+//! `docs/BENCHMARKS.md`.
+
+use rhtm_workloads::TmSpec;
+
+use crate::params::Scale;
+
+/// Extracts the `spec=` axis from a binary's raw arguments.
+///
+/// Returns `Ok(None)` when no `spec=` argument is present (the binary
+/// runs its paper-default series), `Ok(Some(specs))` for a well-formed
+/// axis, and `Err` with a printable message for a malformed or duplicated
+/// one.
+pub fn spec_axis(args: &[String]) -> Result<Option<Vec<TmSpec>>, String> {
+    let mut found = None;
+    for arg in args {
+        if let Some(list) = arg.strip_prefix("spec=") {
+            if found.is_some() {
+                return Err("spec= given more than once".to_string());
+            }
+            match TmSpec::parse_list(list) {
+                Some(specs) => found = Some(specs),
+                None => {
+                    return Err(format!(
+                        "bad spec list '{list}' (grammar: algo[+clock][+policy], \
+                         e.g. spec=rh2+gv6+adaptive,tl2+gv5)"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(found)
+}
+
+/// Parses the figure binaries' shared positional arguments: an optional
+/// scale (`paper`/`quick`) plus the `spec=` axis; anything else is an
+/// error.  Extra argument names a binary handles itself (e.g. fig2's
+/// `--writes`) are listed in `extra_with_value`; each consumes exactly
+/// one following **numeric** value, which is validated here so a
+/// forgotten value cannot silently swallow the next real argument
+/// (`--writes quick` is an error, not a paper-scale run).
+pub fn figure_args(args: &[String], extra_with_value: &[&str]) -> Result<FigureArgs, String> {
+    let mut out = FigureArgs {
+        scale: Scale::Paper,
+        specs: spec_axis(args)?,
+    };
+    let mut value_of: Option<&str> = None;
+    for arg in args {
+        if let Some(flag) = value_of.take() {
+            if arg.parse::<i64>().is_err() {
+                return Err(format!("'{flag}' expects a numeric value, got '{arg}'"));
+            }
+            continue;
+        }
+        if extra_with_value.contains(&arg.as_str()) {
+            value_of = Some(arg);
+        } else if let Some(scale) = Scale::parse(arg) {
+            out.scale = scale;
+        } else if arg.starts_with("spec=") {
+            // Validated by spec_axis above.
+        } else {
+            return Err(format!(
+                "unknown argument '{arg}' (expected paper|quick or spec=..)"
+            ));
+        }
+    }
+    if let Some(flag) = value_of {
+        return Err(format!("'{flag}' expects a value"));
+    }
+    Ok(out)
+}
+
+/// The figure binaries' shared arguments (see [`figure_args`]).
+pub struct FigureArgs {
+    /// The experiment scale (defaults to paper scale).
+    pub scale: Scale,
+    /// The `spec=` axis, when given.
+    pub specs: Option<Vec<TmSpec>>,
+}
+
+/// Prints `msg` as an error and exits with status 2 (the binaries' shared
+/// bad-usage convention).
+pub fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn spec_axis_extracts_and_validates() {
+        assert_eq!(spec_axis(&args(&["quick"])).unwrap(), None);
+        let specs = spec_axis(&args(&["spec=rh2+gv6+adaptive,tl2"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].label(), "rh2+gv6+adaptive");
+        assert!(spec_axis(&args(&["spec=rh3"])).is_err());
+        assert!(spec_axis(&args(&["spec=tl2", "spec=rh2"])).is_err());
+    }
+
+    #[test]
+    fn figure_args_parse_scale_spec_and_extras() {
+        let parsed = figure_args(&args(&["quick", "spec=tl2"]), &[]).unwrap();
+        assert_eq!(parsed.scale, Scale::Quick);
+        assert_eq!(
+            parsed.specs.unwrap()[0].label(),
+            "tl2+gv-strict+paper-default"
+        );
+        let parsed = figure_args(&args(&["--writes", "80"]), &["--writes"]).unwrap();
+        assert_eq!(parsed.scale, Scale::Paper);
+        assert!(parsed.specs.is_none());
+        assert!(figure_args(&args(&["bogus"]), &[]).is_err());
+    }
+
+    #[test]
+    fn flag_values_are_validated_not_swallowed() {
+        // A flag given without its value must not eat the next argument.
+        assert!(figure_args(&args(&["--writes", "quick"]), &["--writes"]).is_err());
+        assert!(figure_args(&args(&["--writes", "spec=tl2"]), &["--writes"]).is_err());
+        assert!(figure_args(&args(&["--writes"]), &["--writes"]).is_err());
+        // ...while a proper value composes with the other arguments.
+        let parsed = figure_args(
+            &args(&["quick", "--writes", "80", "spec=tl2"]),
+            &["--writes"],
+        )
+        .unwrap();
+        assert_eq!(parsed.scale, Scale::Quick);
+        assert!(parsed.specs.is_some());
+    }
+}

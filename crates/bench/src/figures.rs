@@ -4,6 +4,13 @@
 //! returns its raw rows; the `fig*` binaries print them at paper scale and
 //! the Criterion benches run them at quick scale.  The workspace `README.md`
 //! maps every binary to the paper's figure/table it regenerates.
+//!
+//! Every experiment is defined over [`TmSpec`]s — the declarative runtime
+//! point (`algorithm × clock × retry policy`) — and comes in two forms:
+//! the paper-default form (`fig1_rbtree`), whose spec series is the
+//! paper's algorithm set, and a `*_specs` form that sweeps any caller-
+//! provided series, which is what the binaries' `spec=` CLI axis feeds
+//! (see `docs/BENCHMARKS.md`).
 
 use std::sync::Arc;
 
@@ -11,8 +18,8 @@ use rhtm_api::RetryPolicyHandle;
 use rhtm_htm::{HtmConfig, HtmSim};
 use rhtm_mem::{ClockScheme, MemConfig};
 use rhtm_workloads::{
-    run_on_algo, run_on_algo_with_clock, run_on_algo_with_policy, AlgoKind, BenchResult,
-    ConstantHashTable, ConstantRbTree, ConstantSortedList, DriverOpts, RandomArray,
+    AlgoKind, BenchResult, ConstantHashTable, ConstantRbTree, ConstantSortedList, DriverOpts,
+    OpMix, RandomArray, TmSpec,
 };
 
 use crate::params::FigureParams;
@@ -22,41 +29,53 @@ fn mem_config(data_words: usize) -> MemConfig {
     MemConfig::with_data_words(data_words + 4096)
 }
 
-fn timed_opts(params: &FigureParams, threads: usize, write_percent: u8) -> DriverOpts {
-    DriverOpts::timed(threads, write_percent, params.duration)
+/// The default spec series for a list of algorithm kinds (clock and retry
+/// policy at their defaults).
+pub fn specs_of(kinds: &[AlgoKind]) -> Vec<TmSpec> {
+    kinds.iter().map(|&k| TmSpec::new(k)).collect()
 }
 
-/// One point of a throughput figure: `algo` on the constant red-black tree.
+fn timed_opts(params: &FigureParams, threads: usize, write_percent: u8) -> DriverOpts {
+    DriverOpts::timed_mix(threads, OpMix::read_update(write_percent), params.duration)
+}
+
+/// One point of a throughput figure: `spec` on the constant red-black tree.
 fn rbtree_point(
     params: &FigureParams,
-    algo: AlgoKind,
+    spec: &TmSpec,
     threads: usize,
     write_percent: u8,
 ) -> BenchResult {
     let nodes = params.rbtree_nodes;
-    run_on_algo(
-        algo,
-        mem_config(ConstantRbTree::required_words(nodes)),
-        HtmConfig::default(),
-        |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
-        &timed_opts(params, threads, write_percent),
-    )
+    spec.clone()
+        .mem(mem_config(ConstantRbTree::required_words(nodes)))
+        .bench(
+            |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+            &timed_opts(params, threads, write_percent),
+        )
 }
 
 /// **Figure 1**: constant red-black tree, 20% mutations, thread sweep over
 /// {HTM, Standard HyTM, TL2, RH1 Fast} — the instrumentation-cost
 /// experiment.
 pub fn fig1_rbtree(params: &FigureParams) -> Vec<BenchResult> {
-    let algos = [
-        AlgoKind::Htm,
-        AlgoKind::StdHytm,
-        AlgoKind::Tl2,
-        AlgoKind::Rh1Fast,
-    ];
+    fig1_rbtree_specs(
+        params,
+        &specs_of(&[
+            AlgoKind::Htm,
+            AlgoKind::StdHytm,
+            AlgoKind::Tl2,
+            AlgoKind::Rh1Fast,
+        ]),
+    )
+}
+
+/// [`fig1_rbtree`] over an arbitrary spec series (the `spec=` CLI axis).
+pub fn fig1_rbtree_specs(params: &FigureParams, specs: &[TmSpec]) -> Vec<BenchResult> {
     let mut rows = Vec::new();
     for &threads in &params.thread_counts {
-        for algo in algos {
-            rows.push(rbtree_point(params, algo, threads, 20));
+        for spec in specs {
+            rows.push(rbtree_point(params, spec, threads, 20));
         }
     }
     rows
@@ -65,10 +84,19 @@ pub fn fig1_rbtree(params: &FigureParams) -> Vec<BenchResult> {
 /// **Figure 2 (top)**: constant red-black tree with the slow-path-mix
 /// variants at the given write percentage (the paper shows 20% and 80%).
 pub fn fig2_rbtree(params: &FigureParams, write_percent: u8) -> Vec<BenchResult> {
+    fig2_rbtree_specs(params, &specs_of(&AlgoKind::FIGURE_SET), write_percent)
+}
+
+/// [`fig2_rbtree`] over an arbitrary spec series (the `spec=` CLI axis).
+pub fn fig2_rbtree_specs(
+    params: &FigureParams,
+    specs: &[TmSpec],
+    write_percent: u8,
+) -> Vec<BenchResult> {
     let mut rows = Vec::new();
     for &threads in &params.thread_counts {
-        for algo in AlgoKind::FIGURE_SET {
-            rows.push(rbtree_point(params, algo, threads, write_percent));
+        for spec in specs {
+            rows.push(rbtree_point(params, spec, threads, write_percent));
         }
     }
     rows
@@ -78,36 +106,60 @@ pub fn fig2_rbtree(params: &FigureParams, write_percent: u8) -> Vec<BenchResult>
 /// single-thread speedup and time breakdown for
 /// {RH1 Slow, TL2, Standard HyTM, RH1 Fast, HTM}.
 pub fn fig2_breakdown(params: &FigureParams, write_percent: u8) -> Vec<BenchResult> {
-    let algos = [
-        AlgoKind::Rh1Slow,
-        AlgoKind::Tl2,
-        AlgoKind::StdHytm,
-        AlgoKind::Rh1Fast,
-        AlgoKind::Htm,
-    ];
+    fig2_breakdown_specs(
+        params,
+        &specs_of(&[
+            AlgoKind::Rh1Slow,
+            AlgoKind::Tl2,
+            AlgoKind::StdHytm,
+            AlgoKind::Rh1Fast,
+            AlgoKind::Htm,
+        ]),
+        write_percent,
+    )
+}
+
+/// [`fig2_breakdown`] over an arbitrary spec series (the `spec=` CLI
+/// axis).
+pub fn fig2_breakdown_specs(
+    params: &FigureParams,
+    specs: &[TmSpec],
+    write_percent: u8,
+) -> Vec<BenchResult> {
     let nodes = params.rbtree_nodes;
-    algos
-        .into_iter()
-        .map(|algo| {
-            run_on_algo(
-                algo,
-                mem_config(ConstantRbTree::required_words(nodes)),
-                HtmConfig::default(),
-                |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
-                &DriverOpts::counted(1, write_percent, params.ops_per_thread).with_breakdown(),
-            )
+    specs
+        .iter()
+        .map(|spec| {
+            spec.clone()
+                .mem(mem_config(ConstantRbTree::required_words(nodes)))
+                .bench(
+                    |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+                    &DriverOpts::counted_mix(
+                        1,
+                        OpMix::read_update(write_percent),
+                        params.ops_per_thread,
+                    )
+                    .with_breakdown(),
+                )
         })
         .collect()
 }
 
 /// Single-thread speedups normalised to TL2 (the paper's Figure 2 middle
 /// charts), computed from breakdown rows.
+///
+/// Returns an empty vector when the series carries no TL2 row (possible
+/// since the `spec=` axis can replace the default series): without the
+/// baseline the ratios would silently be raw throughputs, which callers
+/// must not print as "normalised to TL2".
 pub fn single_thread_speedups(rows: &[BenchResult]) -> Vec<(String, f64)> {
-    let tl2 = rows
+    let Some(tl2) = rows
         .iter()
         .find(|r| r.algorithm == "TL2")
         .map(|r| r.throughput())
-        .unwrap_or(1.0);
+    else {
+        return Vec::new();
+    };
     rows.iter()
         .map(|r| {
             (
@@ -120,23 +172,32 @@ pub fn single_thread_speedups(rows: &[BenchResult]) -> Vec<(String, f64)> {
 
 /// **Figure 3 (left)**: constant hash table, 20% writes.
 pub fn fig3_hashtable(params: &FigureParams) -> Vec<BenchResult> {
-    let algos = [
-        AlgoKind::Htm,
-        AlgoKind::StdHytm,
-        AlgoKind::Tl2,
-        AlgoKind::Rh1Mixed(100),
-    ];
+    fig3_hashtable_specs(
+        params,
+        &specs_of(&[
+            AlgoKind::Htm,
+            AlgoKind::StdHytm,
+            AlgoKind::Tl2,
+            AlgoKind::Rh1Mixed(100),
+        ]),
+    )
+}
+
+/// [`fig3_hashtable`] over an arbitrary spec series (the `spec=` CLI
+/// axis).
+pub fn fig3_hashtable_specs(params: &FigureParams, specs: &[TmSpec]) -> Vec<BenchResult> {
     let elements = params.hashtable_elements;
     let mut rows = Vec::new();
     for &threads in &params.thread_counts {
-        for algo in algos {
-            rows.push(run_on_algo(
-                algo,
-                mem_config(ConstantHashTable::required_words(elements)),
-                HtmConfig::default(),
-                |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), elements),
-                &timed_opts(params, threads, 20),
-            ));
+        for spec in specs {
+            rows.push(
+                spec.clone()
+                    .mem(mem_config(ConstantHashTable::required_words(elements)))
+                    .bench(
+                        |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), elements),
+                        &timed_opts(params, threads, 20),
+                    ),
+            );
         }
     }
     rows
@@ -144,17 +205,24 @@ pub fn fig3_hashtable(params: &FigureParams) -> Vec<BenchResult> {
 
 /// **Figure 3 (middle)**: constant sorted list, 5% writes.
 pub fn fig3_sortedlist(params: &FigureParams) -> Vec<BenchResult> {
+    fig3_sortedlist_specs(params, &specs_of(&AlgoKind::FIGURE_SET))
+}
+
+/// [`fig3_sortedlist`] over an arbitrary spec series (the `spec=` CLI
+/// axis).
+pub fn fig3_sortedlist_specs(params: &FigureParams, specs: &[TmSpec]) -> Vec<BenchResult> {
     let elements = params.sortedlist_elements;
     let mut rows = Vec::new();
     for &threads in &params.thread_counts {
-        for algo in AlgoKind::FIGURE_SET {
-            rows.push(run_on_algo(
-                algo,
-                mem_config(ConstantSortedList::required_words(elements)),
-                HtmConfig::default(),
-                |sim: &Arc<HtmSim>| ConstantSortedList::new(Arc::clone(sim), elements),
-                &timed_opts(params, threads, 5),
-            ));
+        for spec in specs {
+            rows.push(
+                spec.clone()
+                    .mem(mem_config(ConstantSortedList::required_words(elements)))
+                    .bench(
+                        |sim: &Arc<HtmSim>| ConstantSortedList::new(Arc::clone(sim), elements),
+                        &timed_opts(params, threads, 5),
+                    ),
+            );
         }
     }
     rows
@@ -167,11 +235,12 @@ pub struct RandomArrayPoint {
     pub txn_len: usize,
     /// Percentage of those accesses that are writes.
     pub write_percent: u8,
-    /// RH1-Fast throughput (ops/s).
+    /// Treatment throughput (ops/s) — RH1-Fast in the paper's figure.
     pub rh1_ops_per_sec: f64,
-    /// Standard-HyTM throughput (ops/s).
+    /// Baseline throughput (ops/s) — the Standard HyTM in the paper's
+    /// figure.
     pub std_hytm_ops_per_sec: f64,
-    /// The paper's reported quantity: RH1 speedup over the Standard HyTM.
+    /// The paper's reported quantity: treatment speedup over baseline.
     pub speedup: f64,
 }
 
@@ -179,24 +248,38 @@ pub struct RandomArrayPoint {
 /// array, for transaction lengths {400, 200, 100, 40} and write percentages
 /// {0, 20, 50, 90}, at the maximum thread count of the sweep.
 pub fn fig3_random_array(params: &FigureParams) -> Vec<RandomArrayPoint> {
+    fig3_random_array_specs(
+        params,
+        &TmSpec::new(AlgoKind::Rh1Fast),
+        &TmSpec::new(AlgoKind::StdHytm),
+    )
+}
+
+/// [`fig3_random_array`] with explicit treatment/baseline specs (the
+/// `spec=` CLI axis takes exactly two labels:
+/// `spec=treatment,baseline`).
+pub fn fig3_random_array_specs(
+    params: &FigureParams,
+    treatment: &TmSpec,
+    baseline: &TmSpec,
+) -> Vec<RandomArrayPoint> {
     let threads = params.thread_counts.iter().copied().max().unwrap_or(1);
     let entries = params.random_array_entries;
     let mut points = Vec::new();
     for &txn_len in &[400usize, 200, 100, 40] {
         for &write_percent in &[0u8, 20, 50, 90] {
-            let run = |algo: AlgoKind| {
-                run_on_algo(
-                    algo,
-                    mem_config(RandomArray::required_words(entries)),
-                    HtmConfig::default(),
-                    |sim: &Arc<HtmSim>| {
-                        RandomArray::new(Arc::clone(sim), entries, txn_len, write_percent)
-                    },
-                    &timed_opts(params, threads, 100),
-                )
+            let run = |spec: &TmSpec| {
+                spec.clone()
+                    .mem(mem_config(RandomArray::required_words(entries)))
+                    .bench(
+                        |sim: &Arc<HtmSim>| {
+                            RandomArray::new(Arc::clone(sim), entries, txn_len, write_percent)
+                        },
+                        &timed_opts(params, threads, 100),
+                    )
             };
-            let rh1 = run(AlgoKind::Rh1Fast);
-            let std = run(AlgoKind::StdHytm);
+            let rh1 = run(treatment);
+            let std = run(baseline);
             let rh1_tp = rh1.throughput();
             let std_tp = std.throughput();
             points.push(RandomArrayPoint {
@@ -217,19 +300,30 @@ pub fn fig3_random_array(params: &FigureParams) -> Vec<RandomArrayPoint> {
 /// Returns `(read_capacity_lines, result)` rows for RH1 Mixed 100 on the
 /// random array.
 pub fn ablation_capacity(params: &FigureParams) -> Vec<(usize, BenchResult)> {
+    ablation_capacity_specs(params, &[TmSpec::new(AlgoKind::Rh1Mixed(100))])
+}
+
+/// [`ablation_capacity`] over an arbitrary spec series (the `spec=` CLI
+/// axis): the capacity sweep runs once per spec.
+pub fn ablation_capacity_specs(
+    params: &FigureParams,
+    specs: &[TmSpec],
+) -> Vec<(usize, BenchResult)> {
     let entries = params.random_array_entries.min(16 * 1024);
     let txn_len = 200;
     let mut rows = Vec::new();
-    for &capacity in &[512usize, 128, 64, 32, 16] {
-        let htm_config = HtmConfig::with_capacity(capacity, 64);
-        let result = run_on_algo(
-            AlgoKind::Rh1Mixed(100),
-            mem_config(RandomArray::required_words(entries)),
-            htm_config,
-            |sim: &Arc<HtmSim>| RandomArray::new(Arc::clone(sim), entries, txn_len, 20),
-            &DriverOpts::counted(2, 100, params.ops_per_thread / 4),
-        );
-        rows.push((capacity, result));
+    for spec in specs {
+        for &capacity in &[512usize, 128, 64, 32, 16] {
+            let result = spec
+                .clone()
+                .mem(mem_config(RandomArray::required_words(entries)))
+                .htm(HtmConfig::with_capacity(capacity, 64))
+                .bench(
+                    |sim: &Arc<HtmSim>| RandomArray::new(Arc::clone(sim), entries, txn_len, 20),
+                    &DriverOpts::counted_mix(2, OpMix::read_update(100), params.ops_per_thread / 4),
+                );
+            rows.push((capacity, result));
+        }
     }
     rows
 }
@@ -267,22 +361,37 @@ pub fn ablation_clock_schemes(
     params: &FigureParams,
     schemes: &[ClockScheme],
 ) -> Vec<ClockAblationRow> {
+    ablation_clock_specs(
+        params,
+        schemes,
+        &specs_of(&[AlgoKind::Tl2, AlgoKind::Rh1Mixed(100)]),
+    )
+}
+
+/// [`ablation_clock`] over arbitrary base specs (the `spec=` CLI axis):
+/// each swept scheme overrides the base spec's clock axis, everything
+/// else (algorithm, retry policy) is honoured as given.
+pub fn ablation_clock_specs(
+    params: &FigureParams,
+    schemes: &[ClockScheme],
+    base_specs: &[TmSpec],
+) -> Vec<ClockAblationRow> {
     let nodes = params.rbtree_nodes;
     let mut rows = Vec::new();
     for &scheme in schemes {
-        for algo in [AlgoKind::Tl2, AlgoKind::Rh1Mixed(100)] {
+        for base in base_specs {
             for &threads in &params.thread_counts {
-                let result = run_on_algo_with_clock(
-                    algo,
-                    scheme,
-                    mem_config(ConstantRbTree::required_words(nodes)),
-                    HtmConfig::default(),
-                    |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
-                    &timed_opts(params, threads, 20),
-                );
+                let result = base
+                    .clone()
+                    .clock(scheme)
+                    .mem(mem_config(ConstantRbTree::required_words(nodes)))
+                    .bench(
+                        |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+                        &timed_opts(params, threads, 20),
+                    );
                 rows.push(ClockAblationRow {
                     scheme,
-                    algo,
+                    algo: base.algo(),
                     result,
                 });
             }
@@ -326,29 +435,43 @@ pub fn ablation_retry_policies(
     params: &FigureParams,
     policies: &[RetryPolicyHandle],
 ) -> Vec<RetryAblationRow> {
+    ablation_retry_specs(
+        params,
+        policies,
+        &specs_of(&[
+            AlgoKind::Htm,
+            AlgoKind::StdHytm,
+            AlgoKind::Tl2,
+            AlgoKind::Rh1Mixed(100),
+            AlgoKind::Rh2,
+        ]),
+    )
+}
+
+/// [`ablation_retry`] over arbitrary base specs (the `spec=` CLI axis):
+/// each swept policy overrides the base spec's retry axis, everything
+/// else (algorithm, clock) is honoured as given.
+pub fn ablation_retry_specs(
+    params: &FigureParams,
+    policies: &[RetryPolicyHandle],
+    base_specs: &[TmSpec],
+) -> Vec<RetryAblationRow> {
     let nodes = params.rbtree_nodes;
-    let algos = [
-        AlgoKind::Htm,
-        AlgoKind::StdHytm,
-        AlgoKind::Tl2,
-        AlgoKind::Rh1Mixed(100),
-        AlgoKind::Rh2,
-    ];
     let mut rows = Vec::new();
     for policy in policies {
-        for algo in algos {
+        for base in base_specs {
             for &threads in &params.thread_counts {
-                let result = run_on_algo_with_policy(
-                    algo,
-                    policy,
-                    mem_config(ConstantRbTree::required_words(nodes)),
-                    HtmConfig::default(),
-                    |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
-                    &timed_opts(params, threads, 20),
-                );
+                let result = base
+                    .clone()
+                    .retry(policy.clone())
+                    .mem(mem_config(ConstantRbTree::required_words(nodes)))
+                    .bench(
+                        |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), nodes),
+                        &timed_opts(params, threads, 20),
+                    );
                 rows.push(RetryAblationRow {
                     policy: policy.clone(),
-                    algo,
+                    algo: base.algo(),
                     result,
                 });
             }
@@ -363,18 +486,29 @@ pub fn ablation_retry_policies(
 /// RH2 commit and finally the all-software write-back; the result rows show
 /// the path distribution.
 pub fn ablation_fallback(params: &FigureParams) -> Vec<(usize, BenchResult)> {
+    ablation_fallback_specs(params, &[TmSpec::new(AlgoKind::Rh1Mixed(100))])
+}
+
+/// [`ablation_fallback`] over an arbitrary spec series (the `spec=` CLI
+/// axis): the capacity sweep runs once per spec.
+pub fn ablation_fallback_specs(
+    params: &FigureParams,
+    specs: &[TmSpec],
+) -> Vec<(usize, BenchResult)> {
     let elements = params.hashtable_elements;
     let mut rows = Vec::new();
-    for &capacity in &[512usize, 16, 8, 4, 2] {
-        let htm_config = HtmConfig::with_capacity(capacity, capacity.min(8));
-        let result = run_on_algo(
-            AlgoKind::Rh1Mixed(100),
-            mem_config(ConstantHashTable::required_words(elements)),
-            htm_config,
-            |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), elements),
-            &DriverOpts::counted(2, 50, params.ops_per_thread / 4),
-        );
-        rows.push((capacity, result));
+    for spec in specs {
+        for &capacity in &[512usize, 16, 8, 4, 2] {
+            let result = spec
+                .clone()
+                .mem(mem_config(ConstantHashTable::required_words(elements)))
+                .htm(HtmConfig::with_capacity(capacity, capacity.min(8)))
+                .bench(
+                    |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), elements),
+                    &DriverOpts::counted_mix(2, OpMix::read_update(50), params.ops_per_thread / 4),
+                );
+            rows.push((capacity, result));
+        }
     }
     rows
 }
@@ -401,6 +535,7 @@ mod tests {
         let rows = fig1_rbtree(&tiny_params());
         assert_eq!(rows.len(), 2 * 4);
         assert!(rows.iter().all(|r| r.total_ops > 0));
+        assert!(rows.iter().all(|r| !r.spec.is_empty()), "spec recorded");
     }
 
     #[test]
@@ -427,6 +562,26 @@ mod tests {
     }
 
     #[test]
+    fn speedups_without_a_tl2_baseline_are_refused_not_mislabeled() {
+        let rows = fig2_breakdown_specs(&tiny_params(), &specs_of(&[AlgoKind::Htm]), 20);
+        assert!(single_thread_speedups(&rows).is_empty());
+    }
+
+    #[test]
+    fn figures_honour_an_explicit_spec_series() {
+        let p = tiny_params();
+        let specs = vec![
+            TmSpec::parse("rh2+gv6+adaptive").unwrap(),
+            TmSpec::parse("tl2+gv5").unwrap(),
+        ];
+        let rows = fig1_rbtree_specs(&p, &specs);
+        assert_eq!(rows.len(), 2 * 2);
+        assert_eq!(rows[0].spec, "rh2+gv6+adaptive");
+        assert_eq!(rows[1].spec, "tl2+gv5+paper-default");
+        assert!(rows.iter().all(|r| r.total_ops > 0));
+    }
+
+    #[test]
     fn ablations_produce_rows() {
         let p = tiny_params();
         // schemes × {TL2, RH1 Mixed 100} × thread counts
@@ -436,14 +591,16 @@ mod tests {
             ClockScheme::ALL.len() * 2 * p.thread_counts.len()
         );
         assert!(clock_rows.iter().all(|r| r.result.total_ops > 0));
-        // Every scheme must actually commit work on every algorithm.
+        // Every scheme must actually commit work on every algorithm, and
+        // the swept scheme must be recorded in the row's spec label.
         for scheme in ClockScheme::ALL {
             assert!(
                 clock_rows
                     .iter()
                     .filter(|r| r.scheme == scheme)
-                    .all(|r| r.result.stats.commits() > 0),
-                "{scheme:?} produced no commits"
+                    .all(|r| r.result.stats.commits() > 0
+                        && r.result.spec.contains(scheme.label())),
+                "{scheme:?} produced no commits or lost its spec label"
             );
         }
         assert_eq!(ablation_capacity(&p).len(), 5);
@@ -466,6 +623,11 @@ mod tests {
                 "{} × {:?} produced no commits",
                 row.policy.label(),
                 row.algo
+            );
+            assert!(
+                row.result.spec.ends_with(row.policy.label()),
+                "{}: spec label must carry the swept policy",
+                row.result.spec
             );
         }
     }

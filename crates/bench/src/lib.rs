@@ -16,11 +16,15 @@
 //!   through the Criterion benches.
 //!
 //! Each figure function returns the raw [`rhtm_workloads::BenchResult`] rows so binaries,
-//! benches and tests all share one definition of the experiment.
+//! benches and tests all share one definition of the experiment.  Every
+//! experiment is defined over [`rhtm_workloads::TmSpec`] runtime points,
+//! and every binary accepts the shared `spec=` CLI axis ([`cli`]) to
+//! replace its paper-default series — see `docs/BENCHMARKS.md`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cli;
 pub mod figures;
 pub mod params;
 pub mod suite;

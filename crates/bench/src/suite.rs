@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use rhtm_workloads::scenario::{suite_to_json, Scenario, ScenarioRun};
-use rhtm_workloads::{AlgoKind, DriverOpts};
+use rhtm_workloads::{AlgoKind, DriverOpts, OpMix, TmSpec};
 
 use crate::params::Scale;
 
@@ -22,8 +22,9 @@ pub struct SuiteParams {
     pub scale_label: String,
     /// Scenarios to run (defaults to the whole registry).
     pub scenarios: Vec<&'static Scenario>,
-    /// Algorithms each scenario is swept over.
-    pub algos: Vec<AlgoKind>,
+    /// Runtime points each scenario is swept over (the `spec=` CLI axis;
+    /// a plain algorithm sweep is just specs with default clock/policy).
+    pub specs: Vec<TmSpec>,
     /// Thread counts each `(scenario, algorithm)` pair is swept over.
     pub thread_counts: Vec<usize>,
     /// Divisor applied to every scenario's registered (paper-like) size.
@@ -37,7 +38,8 @@ pub struct SuiteParams {
 
 impl SuiteParams {
     /// The default sweep at a scale: the whole registry across the paper's
-    /// six figure algorithms ([`AlgoKind::FIGURE_SET`]).
+    /// six figure algorithms ([`AlgoKind::FIGURE_SET`]) at default
+    /// clock/policy specs.
     pub fn new(scale: Scale) -> Self {
         // Like every other bench binary, never sweep past the host's
         // parallelism by default (an explicit `threads=` override still
@@ -50,7 +52,10 @@ impl SuiteParams {
         SuiteParams {
             scale_label: label.to_string(),
             scenarios: Scenario::all().iter().collect(),
-            algos: AlgoKind::FIGURE_SET.to_vec(),
+            specs: AlgoKind::FIGURE_SET
+                .iter()
+                .map(|&k| TmSpec::new(k))
+                .collect(),
             thread_counts: figure.thread_counts,
             size_divisor: divisor,
             duration: figure.duration,
@@ -86,9 +91,10 @@ pub fn run_suite(
         progress(scenario, size);
         let mut results = Vec::new();
         for &threads in &params.thread_counts {
-            for &algo in &params.algos {
-                let opts = DriverOpts::timed(threads, 0, params.duration).with_seed(params.seed);
-                results.push(scenario.run(algo, size, &opts));
+            for spec in &params.specs {
+                let opts = DriverOpts::timed_mix(threads, OpMix::read_update(0), params.duration)
+                    .with_seed(params.seed);
+                results.push(scenario.run_spec(spec, size, &opts));
             }
         }
         runs.push(ScenarioRun {
@@ -118,7 +124,10 @@ mod tests {
                 Scenario::find("queue-balanced").unwrap(),
                 Scenario::find("hashtable-partitioned").unwrap(),
             ],
-            algos: vec![AlgoKind::Tl2, AlgoKind::Rh1Mixed(100)],
+            specs: vec![
+                TmSpec::parse("tl2+gv5").unwrap(),
+                TmSpec::new(AlgoKind::Rh1Mixed(100)),
+            ],
             thread_counts: vec![2],
             size_divisor: 1_024,
             duration: Duration::from_millis(5),
@@ -141,6 +150,8 @@ mod tests {
                 assert_eq!(r.op_mix, run.scenario.mix.label());
                 assert_eq!(r.seed, params.seed);
             }
+            assert_eq!(run.results[0].spec, "tl2+gv5+paper-default");
+            assert_eq!(run.results[1].spec, "rh1-mixed-100+gv-strict+paper-default");
         }
         let json = suite_to_json(&params.scale_label, params.seed, &runs);
         validate_json(&json).expect("suite JSON must parse");
@@ -148,6 +159,7 @@ mod tests {
             "\"scale\": \"smoke\"",
             "\"key_dist\"",
             "\"op_mix\"",
+            "\"spec\": \"tl2+gv5+paper-default\"",
             "\"seed\"",
         ] {
             assert!(json.contains(field), "missing {field}");
@@ -158,7 +170,7 @@ mod tests {
     fn smoke_params_cover_the_whole_registry() {
         let p = SuiteParams::smoke();
         assert_eq!(p.scenarios.len(), Scenario::all().len());
-        assert_eq!(p.algos.len(), 6, "all six figure algorithms");
+        assert_eq!(p.specs.len(), 6, "all six figure algorithms");
         assert_eq!(p.thread_counts, vec![2]);
     }
 }

@@ -1,18 +1,24 @@
 //! The algorithm registry: every TM variant the paper's evaluation plots,
 //! instantiable by name so a figure is just a loop over `(AlgoKind,
 //! threads)`.
+//!
+//! [`AlgoKind`] names the *algorithm* axis only; the full runtime point
+//! (algorithm × clock scheme × retry policy × memory/HTM shape) is a
+//! [`TmSpec`], which is where runtimes are actually
+//! constructed.  The helpers here are thin delegations kept for
+//! ergonomics: [`visit_algo`] and [`AlgoKind::instantiate_dyn`] for code
+//! that only varies the algorithm, [`run_on_algo`] for the default
+//! benchmark path.
 
 use std::sync::Arc;
 
 use rhtm_api::{DynRuntime, RetryPolicyHandle, TmRuntime};
-use rhtm_core::{RhConfig, RhRuntime};
-use rhtm_htm::{HtmConfig, HtmRuntime, HtmRuntimeConfig, HtmSim};
-use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
-use rhtm_mem::{ClockScheme, MemConfig, TmMemory};
-use rhtm_stm::{MutexRuntime, Tl2Config, Tl2Runtime};
+use rhtm_htm::{HtmConfig, HtmSim};
+use rhtm_mem::{ClockScheme, MemConfig};
 
-use crate::driver::{run_benchmark, DriverOpts};
+use crate::driver::DriverOpts;
 use crate::report::BenchResult;
+use crate::spec::TmSpec;
 use crate::workload::Workload;
 
 /// The algorithm variants of the paper's evaluation (plus the global-lock
@@ -65,7 +71,26 @@ impl AlgoKind {
         }
     }
 
-    /// Parses a label back into a kind (used by the figure binaries' CLI).
+    /// The canonical machine-readable token of this kind: lower-kebab,
+    /// accepted by [`AlgoKind::parse`] and used as the algorithm component
+    /// of the [`TmSpec`] label grammar
+    /// (`rh2+gv6+adaptive`).
+    pub fn slug(&self) -> String {
+        match self {
+            AlgoKind::Htm => "htm".to_string(),
+            AlgoKind::StdHytm => "standard-hytm".to_string(),
+            AlgoKind::Tl2 => "tl2".to_string(),
+            AlgoKind::Rh1Fast => "rh1-fast".to_string(),
+            AlgoKind::Rh1Mixed(p) => format!("rh1-mixed-{p}"),
+            AlgoKind::Rh1Slow => "rh1-slow".to_string(),
+            AlgoKind::Rh2 => "rh2".to_string(),
+            AlgoKind::GlobalLock => "global-lock".to_string(),
+        }
+    }
+
+    /// Parses a label ([`AlgoKind::label`] or [`AlgoKind::slug`] form)
+    /// back into a kind.  Near-miss labels — unknown names, mixed
+    /// percentages outside `0..=100` — are rejected, never defaulted.
     pub fn parse(label: &str) -> Option<AlgoKind> {
         let l = label.trim().to_ascii_lowercase();
         match l.as_str() {
@@ -80,7 +105,10 @@ impl AlgoKind {
                 let rest = l
                     .strip_prefix("rh1-mixed-")
                     .or_else(|| l.strip_prefix("rh1 mixed "))?;
-                rest.parse().ok().map(AlgoKind::Rh1Mixed)
+                rest.parse()
+                    .ok()
+                    .filter(|&p| p <= 100)
+                    .map(AlgoKind::Rh1Mixed)
             }
         }
     }
@@ -88,7 +116,9 @@ impl AlgoKind {
     /// Instantiates the runtime this kind names over `sim` as a value:
     /// a boxed [`DynRuntime`] instead of the visitor inversion, for tests
     /// and examples that want to hold runtimes in variables or
-    /// collections (`policy` as in [`visit_algo`]).
+    /// collections.  Equivalent to
+    /// `TmSpec::new(kind).instantiate_dyn_on(sim)`; use the spec when any
+    /// other axis (clock, retry policy) varies too.
     ///
     /// The erased handles cost an indirect call per access, so measured
     /// benchmark loops should keep using the generic path
@@ -107,7 +137,7 @@ impl AlgoKind {
     /// let sim = HtmSim::new(mem, HtmConfig::default());
     /// let cell = sim.mem().alloc(1);
     /// for kind in AlgoKind::FIGURE_SET {
-    ///     let rt = kind.instantiate_dyn(None, Arc::clone(&sim));
+    ///     let rt = kind.instantiate_dyn(Arc::clone(&sim));
     ///     let mut th = rt.register_dyn();
     ///     th.run(|tx| {
     ///         let v = tx.read(cell)?;
@@ -116,20 +146,8 @@ impl AlgoKind {
     /// }
     /// assert_eq!(sim.nt_load(cell), AlgoKind::FIGURE_SET.len() as u64);
     /// ```
-    pub fn instantiate_dyn(
-        &self,
-        policy: Option<&RetryPolicyHandle>,
-        sim: Arc<HtmSim>,
-    ) -> Box<dyn DynRuntime> {
-        struct BoxVisitor;
-        impl AlgoVisitor for BoxVisitor {
-            type Out = Box<dyn DynRuntime>;
-
-            fn visit<R: TmRuntime>(self, runtime: R) -> Box<dyn DynRuntime> {
-                Box::new(runtime)
-            }
-        }
-        visit_algo(*self, policy, sim, BoxVisitor)
+    pub fn instantiate_dyn(&self, sim: Arc<HtmSim>) -> Box<dyn DynRuntime> {
+        TmSpec::new(*self).instantiate_dyn_on(sim)
     }
 }
 
@@ -137,15 +155,18 @@ impl AlgoKind {
 ///
 /// `TmRuntime` is not object-safe (its `Thread` associated type), so "give
 /// me the runtime for this kind" cannot return *the generic trait* as an
-/// object; the visitor inverts the control instead: [`visit_algo`]
-/// constructs the concrete runtime and calls [`AlgoVisitor::visit`] with
-/// it, keeping the whole computation monomorphised.  The benchmark driver
-/// is one visitor ([`run_on_algo`]).
+/// object; the visitor inverts the control instead:
+/// [`TmSpec::visit`](crate::spec::TmSpec::visit) (or the algorithm-only
+/// [`visit_algo`]) constructs the concrete runtime and calls
+/// [`AlgoVisitor::visit`] with it, keeping the whole computation
+/// monomorphised.  The benchmark driver is one visitor
+/// ([`TmSpec::bench`](crate::spec::TmSpec::bench)).
 ///
 /// Code that does not need monomorphised access — tests, examples, setup —
-/// should prefer [`AlgoKind::instantiate_dyn`], which hands back the
-/// runtime as a plain `Box<dyn DynRuntime>` value (erased through
-/// [`rhtm_api::dynamic`]) with no visitor struct to write.
+/// should prefer [`AlgoKind::instantiate_dyn`] /
+/// [`TmSpec::instantiate_dyn`](crate::spec::TmSpec::instantiate_dyn),
+/// which hand back the runtime as a plain `Box<dyn DynRuntime>` value
+/// (erased through [`rhtm_api::dynamic`]) with no visitor struct to write.
 pub trait AlgoVisitor {
     /// What the computation returns.
     type Out;
@@ -154,59 +175,22 @@ pub trait AlgoVisitor {
     fn visit<R: TmRuntime>(self, runtime: R) -> Self::Out;
 }
 
-/// Instantiates the runtime `kind` names over `sim` (optionally overriding
-/// its contention-management policy) and hands it to `visitor`.
+/// Instantiates the runtime `kind` names over `sim` — every other axis at
+/// its default — and hands it to `visitor`.  Equivalent to
+/// `TmSpec::new(kind).visit_on(sim, visitor)`; build the
+/// [`TmSpec`] yourself when the clock or retry axis
+/// varies too.
 ///
-/// The simulator is shared, so the structure a workload built over it is
-/// visible to the runtime; `policy = None` leaves every runtime's default
-/// (`PaperDefault`).  The global-lock oracle never retries, so the policy
-/// is moot there.
-pub fn visit_algo<V: AlgoVisitor>(
-    kind: AlgoKind,
-    policy: Option<&RetryPolicyHandle>,
-    sim: Arc<HtmSim>,
-    visitor: V,
-) -> V::Out {
-    // Each runtime reads the override into its own config.
-    let rh = |config: RhConfig| match policy {
-        Some(p) => config.with_retry_policy(p.clone()),
-        None => config,
-    };
-    match kind {
-        AlgoKind::Htm => {
-            let config = match policy {
-                Some(p) => HtmRuntimeConfig::default().with_retry_policy(p.clone()),
-                None => HtmRuntimeConfig::default(),
-            };
-            visitor.visit(HtmRuntime::with_sim_config(sim, config))
-        }
-        AlgoKind::StdHytm => {
-            let config = match policy {
-                Some(p) => StdHytmConfig::hardware_only().with_retry_policy(p.clone()),
-                None => StdHytmConfig::hardware_only(),
-            };
-            visitor.visit(StdHytmRuntime::with_sim(sim, config))
-        }
-        AlgoKind::Tl2 => {
-            let config = match policy {
-                Some(p) => Tl2Config::default().with_retry_policy(p.clone()),
-                None => Tl2Config::default(),
-            };
-            visitor.visit(Tl2Runtime::with_sim_config(sim, config))
-        }
-        AlgoKind::Rh1Fast => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_fast()))),
-        AlgoKind::Rh1Mixed(p) => {
-            visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_mixed(p))))
-        }
-        AlgoKind::Rh1Slow => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_slow()))),
-        AlgoKind::Rh2 => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh2()))),
-        AlgoKind::GlobalLock => visitor.visit(MutexRuntime::with_sim(sim)),
-    }
+/// The simulator is shared, so a structure a workload built over it is
+/// visible to the runtime.
+pub fn visit_algo<V: AlgoVisitor>(kind: AlgoKind, sim: Arc<HtmSim>, visitor: V) -> V::Out {
+    TmSpec::new(kind).visit_on(sim, visitor)
 }
 
 /// Builds a fresh shared memory + simulated HTM, constructs the workload
 /// over it with `build`, instantiates the runtime selected by `kind` on the
-/// *same* memory, and runs the benchmark.
+/// *same* memory, and runs the benchmark.  Equivalent to
+/// `TmSpec::new(kind).mem(mem_config).htm(htm_config).bench(build, opts)`.
 ///
 /// `build` receives the simulator so it can allocate and initialise its
 /// nodes; it runs before any worker thread exists.
@@ -221,52 +205,17 @@ where
     W: Workload,
     B: FnOnce(&Arc<HtmSim>) -> W,
 {
-    run_on_algo_inner(kind, None, mem_config, htm_config, build, opts)
+    TmSpec::new(kind)
+        .mem(mem_config)
+        .htm(htm_config)
+        .bench(build, opts)
 }
 
-struct BenchVisitor<'a, W: Workload> {
-    workload: &'a W,
-    opts: &'a DriverOpts,
-}
-
-impl<W: Workload> AlgoVisitor for BenchVisitor<'_, W> {
-    type Out = BenchResult;
-
-    fn visit<R: TmRuntime>(self, runtime: R) -> BenchResult {
-        run_benchmark(&runtime, self.workload, self.opts)
-    }
-}
-
-fn run_on_algo_inner<W, B>(
-    kind: AlgoKind,
-    policy: Option<&RetryPolicyHandle>,
-    mem_config: MemConfig,
-    htm_config: HtmConfig,
-    build: B,
-    opts: &DriverOpts,
-) -> BenchResult
-where
-    W: Workload,
-    B: FnOnce(&Arc<HtmSim>) -> W,
-{
-    let mem = Arc::new(TmMemory::new(mem_config));
-    let sim = HtmSim::new(mem, htm_config);
-    let workload = build(&sim);
-    visit_algo(
-        kind,
-        policy,
-        sim,
-        BenchVisitor {
-            workload: &workload,
-            opts,
-        },
-    )
-}
-
-/// [`run_on_algo`] with an explicit global-clock scheme: overrides
-/// `mem_config.clock_scheme` before building the shared memory, so a figure
-/// can sweep `(AlgoKind, ClockScheme, threads)` without assembling
-/// [`MemConfig`]s by hand.
+/// [`run_on_algo`] with an explicit global-clock scheme.
+#[deprecated(
+    since = "0.5.0",
+    note = "build a TmSpec instead: TmSpec::new(kind).clock(scheme).mem(..).htm(..).bench(..)"
+)]
 pub fn run_on_algo_with_clock<W, B>(
     kind: AlgoKind,
     scheme: ClockScheme,
@@ -279,18 +228,18 @@ where
     W: Workload,
     B: FnOnce(&Arc<HtmSim>) -> W,
 {
-    let mem_config = MemConfig {
-        clock_scheme: scheme,
-        ..mem_config
-    };
-    run_on_algo(kind, mem_config, htm_config, build, opts)
+    TmSpec::new(kind)
+        .clock(scheme)
+        .mem(mem_config)
+        .htm(htm_config)
+        .bench(build, opts)
 }
 
-/// [`run_on_algo`] with an explicit retry policy: overrides the runtime's
-/// contention-management policy (every `AlgoKind` except the retry-free
-/// global-lock oracle), so a figure can sweep
-/// `(RetryPolicyHandle, AlgoKind, threads)` without assembling runtime
-/// configs by hand.
+/// [`run_on_algo`] with an explicit retry policy.
+#[deprecated(
+    since = "0.5.0",
+    note = "build a TmSpec instead: TmSpec::new(kind).retry(policy).mem(..).htm(..).bench(..)"
+)]
 pub fn run_on_algo_with_policy<W, B>(
     kind: AlgoKind,
     policy: &RetryPolicyHandle,
@@ -303,30 +252,44 @@ where
     W: Workload,
     B: FnOnce(&Arc<HtmSim>) -> W,
 {
-    run_on_algo_inner(kind, Some(policy), mem_config, htm_config, build, opts)
+    TmSpec::new(kind)
+        .retry(policy.clone())
+        .mem(mem_config)
+        .htm(htm_config)
+        .bench(build, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mix::OpMix;
     use crate::structures::hashtable::ConstantHashTable;
 
+    const EVERY_ALGO: [AlgoKind; 9] = [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Fast,
+        AlgoKind::Rh1Mixed(10),
+        AlgoKind::Rh1Mixed(100),
+        AlgoKind::Rh1Slow,
+        AlgoKind::Rh2,
+        AlgoKind::GlobalLock,
+    ];
+
+    fn counted(threads: usize, write_percent: u8, ops: u64) -> DriverOpts {
+        DriverOpts::counted_mix(threads, OpMix::read_update(write_percent), ops)
+    }
+
     #[test]
-    fn labels_round_trip_through_parse() {
-        for kind in [
-            AlgoKind::Htm,
-            AlgoKind::StdHytm,
-            AlgoKind::Tl2,
-            AlgoKind::Rh1Fast,
-            AlgoKind::Rh1Mixed(10),
-            AlgoKind::Rh1Mixed(100),
-            AlgoKind::Rh1Slow,
-            AlgoKind::Rh2,
-            AlgoKind::GlobalLock,
-        ] {
+    fn labels_and_slugs_round_trip_through_parse() {
+        for kind in EVERY_ALGO {
             assert_eq!(AlgoKind::parse(&kind.label()), Some(kind), "{kind:?}");
+            assert_eq!(AlgoKind::parse(&kind.slug()), Some(kind), "{kind:?}");
         }
         assert_eq!(AlgoKind::parse("nonsense"), None);
+        assert_eq!(AlgoKind::parse("rh1-mixed-101"), None, "percent > 100");
+        assert_eq!(AlgoKind::parse("rh1-mixed-"), None);
     }
 
     #[test]
@@ -346,7 +309,8 @@ mod tests {
     }
 
     #[test]
-    fn clock_scheme_override_reaches_the_runtime() {
+    #[allow(deprecated)]
+    fn deprecated_clock_shim_still_reaches_the_runtime() {
         let elements = 256;
         for scheme in ClockScheme::ALL {
             let mem_config =
@@ -357,14 +321,20 @@ mod tests {
                 mem_config,
                 HtmConfig::default(),
                 |sim| ConstantHashTable::new(Arc::clone(sim), elements),
-                &DriverOpts::counted(2, 20, 100),
+                &counted(2, 20, 100),
             );
             assert_eq!(result.total_ops, 200, "{scheme:?}");
+            assert_eq!(
+                result.spec,
+                format!("tl2+{}+paper-default", scheme.label()),
+                "{scheme:?}"
+            );
         }
     }
 
     #[test]
-    fn retry_policy_override_reaches_every_runtime() {
+    #[allow(deprecated)]
+    fn deprecated_policy_shim_still_reaches_every_runtime() {
         let elements = 256;
         for policy in RetryPolicyHandle::builtin() {
             for kind in [
@@ -382,10 +352,14 @@ mod tests {
                     mem_config,
                     HtmConfig::default(),
                     |sim| ConstantHashTable::new(Arc::clone(sim), elements),
-                    &DriverOpts::counted(2, 20, 100),
+                    &counted(2, 20, 100),
                 );
                 assert_eq!(result.total_ops, 200, "{kind:?} under {}", policy.label());
                 assert_eq!(result.stats.commits(), 200, "{kind:?}");
+                assert_eq!(
+                    result.spec,
+                    format!("{}+gv-strict+{}", kind.slug(), policy.label())
+                );
             }
         }
     }
@@ -396,20 +370,11 @@ mod tests {
         use rhtm_htm::HtmSim;
         use rhtm_mem::TmMemory;
 
-        for kind in [
-            AlgoKind::Htm,
-            AlgoKind::StdHytm,
-            AlgoKind::Tl2,
-            AlgoKind::Rh1Fast,
-            AlgoKind::Rh1Mixed(10),
-            AlgoKind::Rh1Slow,
-            AlgoKind::Rh2,
-            AlgoKind::GlobalLock,
-        ] {
+        for kind in EVERY_ALGO {
             let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(64)));
             let sim = HtmSim::new(mem, HtmConfig::default());
             let cell = sim.mem().alloc(1);
-            let rt = kind.instantiate_dyn(None, Arc::clone(&sim));
+            let rt = kind.instantiate_dyn(Arc::clone(&sim));
             assert_eq!(rt.name(), kind.label().as_str(), "{kind:?}");
             let mut th = rt.register_dyn();
             for _ in 0..10 {
@@ -443,10 +408,15 @@ mod tests {
                 mem_config,
                 HtmConfig::default(),
                 |sim| ConstantHashTable::new(Arc::clone(sim), elements),
-                &DriverOpts::counted(2, 20, 200),
+                &counted(2, 20, 200),
             );
             assert_eq!(result.total_ops, 400, "{kind:?}");
             assert_eq!(result.algorithm, kind.label().as_str(), "{kind:?}");
+            assert_eq!(
+                result.spec,
+                format!("{}+gv-strict+paper-default", kind.slug()),
+                "{kind:?}"
+            );
         }
     }
 }

@@ -8,10 +8,16 @@
 //! exhausted.  Per-thread statistics are merged into a single
 //! [`BenchResult`].  The paper's loop (uniform keys, binary
 //! lookup/update coin) is the default configuration.
+//!
+//! The spawn/register/barrier/join choreography lives in
+//! [`rhtm_api::session`] ([`run_scoped`]): workers run in scoped
+//! sessions, and the controller closure owns the measurement clock and
+//! the deadline of time-bounded runs.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use rhtm_api::session::run_scoped;
 use rhtm_api::{TmRuntime, TmThread};
 
 use crate::mix::OpMix;
@@ -55,27 +61,51 @@ impl Default for DriverOpts {
 }
 
 impl DriverOpts {
-    /// A time-bounded run with the paper's binary read/update mix over
-    /// uniform keys.
-    pub fn timed(threads: usize, write_percent: u8, duration: Duration) -> Self {
+    /// A time-bounded run with the given operation mix over uniform keys.
+    pub fn timed_mix(threads: usize, mix: OpMix, duration: Duration) -> Self {
         DriverOpts {
             threads,
-            mix: OpMix::read_update(write_percent),
+            mix,
             duration,
             ..Default::default()
         }
     }
 
     /// An operation-count-bounded run (used by the Criterion benches, whose
-    /// iteration model wants deterministic work per measurement), with the
-    /// paper's binary read/update mix over uniform keys.
-    pub fn counted(threads: usize, write_percent: u8, ops_per_thread: u64) -> Self {
+    /// iteration model wants deterministic work per measurement) with the
+    /// given operation mix over uniform keys.
+    pub fn counted_mix(threads: usize, mix: OpMix, ops_per_thread: u64) -> Self {
         DriverOpts {
             threads,
-            mix: OpMix::read_update(write_percent),
+            mix,
             ops_per_thread: Some(ops_per_thread),
             ..Default::default()
         }
+    }
+
+    /// A time-bounded run with the paper's binary read/update mix over
+    /// uniform keys.
+    ///
+    /// The `write_percent: u8` knob duplicates what [`OpMix`] expresses
+    /// (`OpMix::read_update(p)`) and cannot say anything the weighted mix
+    /// cannot; see `docs/BENCHMARKS.md` for the migration.
+    #[deprecated(
+        since = "0.5.0",
+        note = "pass an OpMix: DriverOpts::timed_mix(threads, OpMix::read_update(p), duration)"
+    )]
+    pub fn timed(threads: usize, write_percent: u8, duration: Duration) -> Self {
+        Self::timed_mix(threads, OpMix::read_update(write_percent), duration)
+    }
+
+    /// An operation-count-bounded run with the paper's binary read/update
+    /// mix over uniform keys (see [`DriverOpts::timed`] for the
+    /// deprecation rationale).
+    #[deprecated(
+        since = "0.5.0",
+        note = "pass an OpMix: DriverOpts::counted_mix(threads, OpMix::read_update(p), ops)"
+    )]
+    pub fn counted(threads: usize, write_percent: u8, ops_per_thread: u64) -> Self {
+        Self::counted_mix(threads, OpMix::read_update(write_percent), ops_per_thread)
     }
 
     /// Enables the single-thread time-breakdown mode.
@@ -120,74 +150,68 @@ where
     assert!(opts.threads >= 1, "at least one worker thread is required");
     assert!(workload.key_space() >= 1, "workload key space is empty");
     let stop = AtomicBool::new(false);
-    // Thread registration and sampler construction are setup, not
-    // measured work (the Zipfian sampler does O(key-space) precomputation)
-    // — every worker finishes setup and waits at this barrier before the
-    // measurement clock starts.
-    let ready = std::sync::Barrier::new(opts.threads + 1);
-    let mut started = Instant::now();
 
-    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..opts.threads)
-            .map(|tid| {
-                let stop = &stop;
-                let ready = &ready;
-                scope.spawn(move || {
-                    let mut thread = runtime.register_thread();
-                    thread.stats_mut().timing = opts.breakdown;
-                    let mut rng = WorkloadRng::new(opts.seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
-                    let mut sampler = opts.dist.sampler(workload.key_space(), tid, opts.threads);
-                    let mut ops = 0u64;
-                    let mut txn_ns = 0u64;
-                    ready.wait();
-                    let loop_started = Instant::now();
-                    loop {
-                        match opts.ops_per_thread {
-                            Some(budget) => {
-                                if ops >= budget {
-                                    break;
-                                }
-                            }
-                            None => {
-                                // Check the deadline every few operations to
-                                // keep the check off the per-op critical path.
-                                if ops.is_multiple_of(64) && stop.load(Ordering::Relaxed) {
-                                    break;
-                                }
-                            }
+    let (outcomes, started) = run_scoped(
+        opts.threads,
+        |_| runtime.register_thread(),
+        |session| {
+            // Sampler construction is setup, not measured work (the
+            // Zipfian sampler does O(key-space) precomputation) — the
+            // session sync below holds every worker until setup is done
+            // everywhere, so the measurement clock starts clean.
+            let tid = session.index();
+            session.stats_mut().timing = opts.breakdown;
+            let mut rng = WorkloadRng::new(opts.seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
+            let mut sampler = opts.dist.sampler(workload.key_space(), tid, opts.threads);
+            let mut ops = 0u64;
+            let mut txn_ns = 0u64;
+            session.sync();
+            let loop_started = Instant::now();
+            loop {
+                match opts.ops_per_thread {
+                    Some(budget) => {
+                        if ops >= budget {
+                            break;
                         }
-                        let op = opts.mix.draw(&mut rng);
-                        let key = sampler.sample(&mut rng);
-                        if opts.breakdown {
-                            let t = Instant::now();
-                            workload.run_op(&mut thread, &mut rng, op, key);
-                            txn_ns += t.elapsed().as_nanos() as u64;
-                        } else {
-                            workload.run_op(&mut thread, &mut rng, op, key);
+                    }
+                    None => {
+                        // Check the deadline every few operations to
+                        // keep the check off the per-op critical path.
+                        if ops.is_multiple_of(64) && stop.load(Ordering::Relaxed) {
+                            break;
                         }
-                        ops += 1;
                     }
-                    ThreadOutcome {
-                        ops,
-                        stats: thread.stats().clone(),
-                        txn_ns,
-                        loop_ns: loop_started.elapsed().as_nanos() as u64,
-                    }
-                })
-            })
-            .collect();
-
-        ready.wait();
-        started = Instant::now();
-        if opts.ops_per_thread.is_none() {
-            std::thread::sleep(opts.duration);
-            stop.store(true, Ordering::SeqCst);
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
+                }
+                let op = opts.mix.draw(&mut rng);
+                let key = sampler.sample(&mut rng);
+                if opts.breakdown {
+                    let t = Instant::now();
+                    workload.run_op(session.thread_mut(), &mut rng, op, key);
+                    txn_ns += t.elapsed().as_nanos() as u64;
+                } else {
+                    workload.run_op(session.thread_mut(), &mut rng, op, key);
+                }
+                ops += 1;
+            }
+            ThreadOutcome {
+                ops,
+                stats: session.stats().clone(),
+                txn_ns,
+                loop_ns: loop_started.elapsed().as_nanos() as u64,
+            }
+        },
+        |mut ctl| {
+            // The controller is released exactly when the workers are:
+            // that instant is the start of the measurement interval.
+            ctl.wait_ready();
+            let started = Instant::now();
+            if opts.ops_per_thread.is_none() {
+                std::thread::sleep(opts.duration);
+                stop.store(true, Ordering::SeqCst);
+            }
+            started
+        },
+    );
 
     let elapsed = started.elapsed();
     let mut stats = rhtm_api::TxStats::new(opts.breakdown);
@@ -215,6 +239,9 @@ where
 
     BenchResult {
         algorithm: runtime.name().to_string(),
+        // The driver sees only the runtime, not the axes it was built
+        // from; TmSpec::bench overwrites this with the spec's label.
+        spec: String::new(),
         workload: workload.name(),
         threads: opts.threads,
         write_percent: opts.mix.update_percent(),
@@ -248,7 +275,7 @@ mod tests {
     #[test]
     fn counted_run_executes_exactly_the_budget() {
         let (rt, table) = setup(512);
-        let opts = DriverOpts::counted(2, 20, 250);
+        let opts = DriverOpts::counted_mix(2, OpMix::read_update(20), 250);
         let result = run_benchmark(&rt, &table, &opts);
         assert_eq!(result.total_ops, 500);
         assert_eq!(result.stats.commits(), 500);
@@ -259,7 +286,7 @@ mod tests {
     #[test]
     fn timed_run_stops_near_the_deadline() {
         let (rt, table) = setup(512);
-        let opts = DriverOpts::timed(2, 20, Duration::from_millis(60));
+        let opts = DriverOpts::timed_mix(2, OpMix::read_update(20), Duration::from_millis(60));
         let result = run_benchmark(&rt, &table, &opts);
         assert!(result.total_ops > 0);
         assert!(result.elapsed >= Duration::from_millis(60));
@@ -272,17 +299,25 @@ mod tests {
     #[test]
     fn write_percentage_controls_update_share() {
         let (rt, table) = setup(512);
-        let result = run_benchmark(&rt, &table, &DriverOpts::counted(1, 0, 300));
+        let result = run_benchmark(
+            &rt,
+            &table,
+            &DriverOpts::counted_mix(1, OpMix::read_update(0), 300),
+        );
         assert_eq!(result.stats.writes, 0, "0% writes must never update");
         let (rt, table) = setup(512);
-        let result = run_benchmark(&rt, &table, &DriverOpts::counted(1, 100, 300));
+        let result = run_benchmark(
+            &rt,
+            &table,
+            &DriverOpts::counted_mix(1, OpMix::read_update(100), 300),
+        );
         assert!(result.stats.writes > 0, "100% writes must update");
     }
 
     #[test]
     fn breakdown_mode_accounts_time() {
         let (rt, table) = setup(512);
-        let opts = DriverOpts::counted(1, 20, 400).with_breakdown();
+        let opts = DriverOpts::counted_mix(1, OpMix::read_update(20), 400).with_breakdown();
         let result = run_benchmark(&rt, &table, &opts);
         let b = result.breakdown.expect("breakdown requested");
         assert!(b.read_ns > 0);
@@ -294,7 +329,7 @@ mod tests {
     #[test]
     fn mix_and_dist_are_recorded_in_the_result() {
         let (rt, table) = setup(512);
-        let opts = DriverOpts::counted(2, 20, 100)
+        let opts = DriverOpts::counted_mix(2, OpMix::read_update(20), 100)
             .with_mix(OpMix::read_update(35))
             .with_dist(KeyDist::ZIPF_DEFAULT);
         let result = run_benchmark(&rt, &table, &opts);
@@ -313,7 +348,9 @@ mod tests {
                 run_benchmark(
                     &rt,
                     &table,
-                    &DriverOpts::counted(1, 50, 200).with_seed(9).with_dist(dist),
+                    &DriverOpts::counted_mix(1, OpMix::read_update(50), 200)
+                        .with_seed(9)
+                        .with_dist(dist),
                 )
             };
             let (a, b) = (run(), run());
@@ -326,9 +363,17 @@ mod tests {
     #[test]
     fn results_are_deterministic_for_counted_runs_with_same_seed() {
         let (rt, table) = setup(256);
-        let a = run_benchmark(&rt, &table, &DriverOpts::counted(1, 50, 200).with_seed(9));
+        let a = run_benchmark(
+            &rt,
+            &table,
+            &DriverOpts::counted_mix(1, OpMix::read_update(50), 200).with_seed(9),
+        );
         let (rt, table) = setup(256);
-        let b = run_benchmark(&rt, &table, &DriverOpts::counted(1, 50, 200).with_seed(9));
+        let b = run_benchmark(
+            &rt,
+            &table,
+            &DriverOpts::counted_mix(1, OpMix::read_update(50), 200).with_seed(9),
+        );
         assert_eq!(a.stats.reads, b.stats.reads);
         assert_eq!(a.stats.writes, b.stats.writes);
     }

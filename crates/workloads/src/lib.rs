@@ -45,12 +45,16 @@
 //! [`driver::run_benchmark`] spawns the requested number of threads, draws
 //! `(op, key)` pairs per the configured mix and distribution for a fixed
 //! duration or operation count and merges per-thread
-//! [`rhtm_api::TxStats`].  [`algos::AlgoKind`] + [`algos::run_on_algo`]
-//! (and the generic [`algos::visit_algo`]) instantiate any of the paper's
-//! algorithm variants by name, and the [`scenario`] registry names the
+//! [`rhtm_api::TxStats`].  A [`spec::TmSpec`] names one full runtime
+//! point — `algorithm × clock scheme × retry policy × memory/HTM shape`
+//! — as a single builder with a stable, parseable label
+//! (`rh2+gv6+adaptive`); it is the only place runtime configs are
+//! assembled, and it exposes three consumption paths (monomorphised
+//! [`spec::TmSpec::visit`], erased [`spec::TmSpec::instantiate_dyn`],
+//! driven [`spec::TmSpec::bench`]).  The [`scenario`] registry names the
 //! interesting `structure × size × mix × distribution` combinations, so
 //! that a whole benchmark campaign is a loop over
-//! `(Scenario, AlgoKind, threads)` — driven by the `bench_suite` binary in
+//! `(Scenario, TmSpec, threads)` — driven by the `bench_suite` binary in
 //! `rhtm-bench`.
 //!
 //! All structures are written on the typed data layer
@@ -67,17 +71,19 @@ pub mod mix;
 pub mod report;
 pub mod rng;
 pub mod scenario;
+pub mod spec;
 pub mod structures;
 pub mod workload;
 
-pub use algos::{
-    run_on_algo, run_on_algo_with_clock, run_on_algo_with_policy, visit_algo, AlgoKind, AlgoVisitor,
-};
+pub use algos::{run_on_algo, visit_algo, AlgoKind, AlgoVisitor};
+#[allow(deprecated)]
+pub use algos::{run_on_algo_with_clock, run_on_algo_with_policy};
 pub use driver::{run_benchmark, DriverOpts};
 pub use mix::{OpKind, OpMix};
 pub use report::{BenchResult, Breakdown};
 pub use rng::{KeyDist, KeySampler, WorkloadRng};
 pub use scenario::{suite_to_json, Scenario, ScenarioRun, StructureKind};
+pub use spec::{TmInstance, TmSpec};
 pub use structures::hashtable::ConstantHashTable;
 pub use structures::mutable;
 pub use structures::queue::TxQueue;

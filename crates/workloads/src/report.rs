@@ -49,6 +49,11 @@ impl Breakdown {
 pub struct BenchResult {
     /// Algorithm name ("HTM", "TL2", "Standard HyTM", "RH1 Fast", ...).
     pub algorithm: String,
+    /// The full spec label of the runtime point this row measured
+    /// (`algo+clock+policy`, e.g. `rh2+gv6+adaptive`; see
+    /// `TmSpec::label`).  Empty when the run was driven directly through
+    /// `run_benchmark` without a spec.
+    pub spec: String,
     /// Workload name.
     pub workload: String,
     /// Number of worker threads.
@@ -193,6 +198,7 @@ pub(crate) fn json_str(s: &str) -> String {
 pub(crate) fn result_json(r: &BenchResult) -> String {
     let mut fields = vec![
         format!("\"algorithm\": {}", json_str(&r.algorithm)),
+        format!("\"spec\": {}", json_str(&r.spec)),
         format!("\"workload\": {}", json_str(&r.workload)),
         format!("\"threads\": {}", r.threads),
         format!("\"write_percent\": {}", r.write_percent),
@@ -404,6 +410,7 @@ mod tests {
         stats.record_abort(AbortCause::Conflict);
         BenchResult {
             algorithm: algorithm.to_string(),
+            spec: "tl2+gv-strict+paper-default".to_string(),
             workload: "unit".to_string(),
             threads: 4,
             write_percent: 20,
@@ -458,6 +465,7 @@ mod tests {
         for field in [
             "\"op_mix\": \"l80-u20\"",
             "\"key_dist\": \"uniform\"",
+            "\"spec\": \"tl2+gv-strict+paper-default\"",
             "\"seed\": ",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");

@@ -15,14 +15,15 @@
 
 use std::sync::Arc;
 
-use rhtm_htm::{HtmConfig, HtmSim};
+use rhtm_htm::HtmSim;
 use rhtm_mem::MemConfig;
 
-use crate::algos::{run_on_algo, AlgoKind};
+use crate::algos::AlgoKind;
 use crate::driver::DriverOpts;
 use crate::mix::OpMix;
 use crate::report::{json_str, result_json, BenchResult};
 use crate::rng::KeyDist;
+use crate::spec::TmSpec;
 use crate::structures::hashtable::ConstantHashTable;
 use crate::structures::queue::TxQueue;
 use crate::structures::random_array::RandomArray;
@@ -246,46 +247,50 @@ impl Scenario {
         (self.base_size / divisor.max(1)).max(self.structure.min_size())
     }
 
-    /// Runs this scenario at `size` elements on `algo`.
+    /// Runs this scenario at `size` elements on `algo` with every other
+    /// runtime axis at its default.  Shorthand for
+    /// [`Scenario::run_spec`] with `TmSpec::new(algo)`.
+    pub fn run(&self, algo: AlgoKind, size: u64, base: &DriverOpts) -> BenchResult {
+        self.run_spec(&TmSpec::new(algo), size, base)
+    }
+
+    /// Runs this scenario at `size` elements on the runtime point `spec`
+    /// names.
     ///
     /// `base` supplies threads/duration/seed; its mix and distribution are
-    /// overridden by the scenario's.  Mutable structures are prefilled
-    /// half-full before the workers start, so inserts and removals both
-    /// find work.
-    pub fn run(&self, algo: AlgoKind, size: u64, base: &DriverOpts) -> BenchResult {
+    /// overridden by the scenario's.  The scenario owns the *memory
+    /// sizing* (each structure declares its `required_words`), so the
+    /// spec's [`MemConfig`] is replaced by a scenario-sized one — keeping
+    /// the spec's resolved clock scheme — while its algorithm, retry
+    /// policy and HTM shape are honoured as given.  Mutable structures
+    /// are prefilled half-full before the workers start, so inserts and
+    /// removals both find work.
+    pub fn run_spec(&self, spec: &TmSpec, size: u64, base: &DriverOpts) -> BenchResult {
         let opts = DriverOpts {
             mix: self.mix,
             dist: self.dist,
             ..base.clone()
         };
-        let htm = HtmConfig::default();
-        let mem = |words: usize| MemConfig::with_data_words(words + 4096);
+        let sized = |words: usize| {
+            spec.clone().mem(MemConfig {
+                clock_scheme: spec.clock_scheme(),
+                ..MemConfig::with_data_words(words + 4096)
+            })
+        };
         match self.structure {
-            StructureKind::RbTree => run_on_algo(
-                algo,
-                mem(ConstantRbTree::required_words(size)),
-                htm,
+            StructureKind::RbTree => sized(ConstantRbTree::required_words(size)).bench(
                 |sim: &Arc<HtmSim>| ConstantRbTree::new(Arc::clone(sim), size),
                 &opts,
             ),
-            StructureKind::HashTable => run_on_algo(
-                algo,
-                mem(ConstantHashTable::required_words(size)),
-                htm,
+            StructureKind::HashTable => sized(ConstantHashTable::required_words(size)).bench(
                 |sim: &Arc<HtmSim>| ConstantHashTable::new(Arc::clone(sim), size),
                 &opts,
             ),
-            StructureKind::SortedList => run_on_algo(
-                algo,
-                mem(ConstantSortedList::required_words(size)),
-                htm,
+            StructureKind::SortedList => sized(ConstantSortedList::required_words(size)).bench(
                 |sim: &Arc<HtmSim>| ConstantSortedList::new(Arc::clone(sim), size),
                 &opts,
             ),
-            StructureKind::RandomArray => run_on_algo(
-                algo,
-                mem(RandomArray::required_words(size)),
-                htm,
+            StructureKind::RandomArray => sized(RandomArray::required_words(size)).bench(
                 // The array's internal write ratio follows the scenario's
                 // mix (see the RandomArray workload docs).
                 |sim: &Arc<HtmSim>| {
@@ -298,10 +303,7 @@ impl Scenario {
                 },
                 &opts,
             ),
-            StructureKind::SkipList => run_on_algo(
-                algo,
-                mem(TxSkipList::required_words(size, opts.threads)),
-                htm,
+            StructureKind::SkipList => sized(TxSkipList::required_words(size, opts.threads)).bench(
                 |sim: &Arc<HtmSim>| {
                     let list = TxSkipList::new(Arc::clone(sim), size);
                     list.prefill_alternate();
@@ -309,10 +311,7 @@ impl Scenario {
                 },
                 &opts,
             ),
-            StructureKind::Queue => run_on_algo(
-                algo,
-                mem(TxQueue::required_words(size)),
-                htm,
+            StructureKind::Queue => sized(TxQueue::required_words(size)).bench(
                 |sim: &Arc<HtmSim>| {
                     let queue = TxQueue::new(Arc::clone(sim), size);
                     queue.seed_fill(0..size / 2);
@@ -442,7 +441,7 @@ mod tests {
     fn every_scenario_runs_on_the_default_algorithm() {
         for s in Scenario::all() {
             let size = s.sized(1_024);
-            let opts = DriverOpts::counted(2, 0, 60).with_seed(5);
+            let opts = DriverOpts::counted_mix(2, OpMix::read_update(0), 60).with_seed(5);
             let result = s.run(AlgoKind::Rh1Mixed(100), size, &opts);
             assert_eq!(result.total_ops, 120, "{}", s.name);
             assert_eq!(result.stats.commits(), 120, "{}", s.name);
@@ -453,13 +452,31 @@ mod tests {
     }
 
     #[test]
+    fn every_scenario_honours_a_full_spec() {
+        use rhtm_api::RetryPolicyHandle;
+        use rhtm_mem::ClockScheme;
+
+        let spec = TmSpec::new(AlgoKind::Rh2)
+            .clock(ClockScheme::Gv6)
+            .retry(RetryPolicyHandle::adaptive());
+        for s in Scenario::all() {
+            let size = s.sized(2_048);
+            let opts = DriverOpts::counted_mix(2, OpMix::read_update(0), 40).with_seed(3);
+            let result = s.run_spec(&spec, size, &opts);
+            assert_eq!(result.total_ops, 80, "{}", s.name);
+            assert_eq!(result.spec, "rh2+gv6+adaptive", "{}", s.name);
+            assert_eq!(result.algorithm, "RH2", "{}", s.name);
+        }
+    }
+
+    #[test]
     fn suite_json_is_valid_and_self_describing() {
         let scenario = Scenario::find("skiplist-zipf").unwrap();
         let size = scenario.sized(1_024);
         let results = vec![scenario.run(
             AlgoKind::Tl2,
             size,
-            &DriverOpts::counted(2, 0, 40).with_seed(9),
+            &DriverOpts::counted_mix(2, OpMix::read_update(0), 40).with_seed(9),
         )];
         let runs = vec![ScenarioRun {
             scenario,
@@ -475,6 +492,7 @@ mod tests {
             "\"structure\": \"skiplist\"",
             "\"key_dist\": \"zipf-0.99\"",
             "\"op_mix\": \"l70-i15-r15\"",
+            "\"spec\": \"tl2+gv-strict+paper-default\"",
             "\"seed\": 9",
         ] {
             assert!(json.contains(field), "missing {field}");

@@ -1,0 +1,561 @@
+//! `TmSpec`: one declarative specification of a full runtime point.
+//!
+//! The paper's evaluation is a cross-product sweep — algorithm × threads ×
+//! workload — and every PR since added another orthogonal runtime axis:
+//! the global-clock scheme (PR 1), the retry policy (PR 2), the scenario
+//! shape (PR 3).  Each axis used to come with its own entry point
+//! (`run_on_algo_with_clock`, `run_on_algo_with_policy`) and its own
+//! `with_*` threading through four divergent per-runtime config structs.
+//! [`TmSpec`] collapses all of that into one builder that owns the whole
+//! configuration cross-product:
+//!
+//! ```
+//! use rhtm_api::RetryPolicyHandle;
+//! use rhtm_mem::ClockScheme;
+//! use rhtm_workloads::{AlgoKind, TmSpec};
+//!
+//! let spec = TmSpec::new(AlgoKind::Rh2)
+//!     .clock(ClockScheme::Gv6)
+//!     .retry(RetryPolicyHandle::adaptive());
+//! assert_eq!(spec.label(), "rh2+gv6+adaptive");
+//! assert_eq!(TmSpec::parse("rh2+gv6+adaptive").unwrap().label(), spec.label());
+//! ```
+//!
+//! The spec resolves itself into the correct per-runtime config structs
+//! internally ([`RhConfig`], [`Tl2Config`], [`StdHytmConfig`],
+//! [`HtmRuntimeConfig`]) — no caller assembles them by hand any more — and
+//! exposes **three consumption paths**:
+//!
+//! 1. **Monomorphised**: [`TmSpec::visit`] hands the concrete runtime to
+//!    an [`AlgoVisitor`], keeping the per-access hot path free of virtual
+//!    dispatch (this is what the benchmark driver uses).
+//! 2. **Erased**: [`TmSpec::instantiate_dyn`] returns the runtime as a
+//!    `Box<dyn DynRuntime>` value for tests, examples and setup code.
+//! 3. **Driven**: [`TmSpec::bench`] builds the shared memory, lets a
+//!    workload builder populate it, and runs the multi-threaded benchmark
+//!    driver — recording the spec's label in the
+//!    [`BenchResult::spec`](crate::BenchResult::spec) field of the JSON
+//!    report.
+//!
+//! # The label grammar
+//!
+//! Every spec round-trips through a stable label accepted by every
+//! benchmark binary's `spec=` CLI axis:
+//!
+//! ```text
+//! spec  := algo [ "+" axis ]*        (axes in any order, each at most once)
+//! axis  := clock | policy
+//! algo  := "htm" | "standard-hytm" | "tl2" | "rh1-fast" | "rh1-mixed-N"
+//!        | "rh1-slow" | "rh2" | "global-lock"          (N = 0..=100)
+//! clock := "gv-strict" | "gv4" | "gv5" | "gv6" | "incrementing"
+//! policy:= "paper-default" | "capped-exp" | "aggressive" | "adaptive"
+//! ```
+//!
+//! [`TmSpec::label`] always renders the full three-part form
+//! (`tl2+gv-strict+paper-default`); [`TmSpec::parse`] accepts partial
+//! labels (`tl2`, `tl2+gv5`) and fills the unnamed axes with their
+//! defaults, so `format → parse → format` is bit-identical for every spec
+//! built from the grammar above.  Near-miss labels (`rh1-mixed-101`,
+//! `tl2+gv7`, duplicated axes) are rejected, never silently defaulted.
+//!
+//! Memory and HTM shape ([`TmSpec::mem`] / [`TmSpec::htm`]) are part of
+//! the spec but not of the label: they size the experiment rather than
+//! name the algorithm point, and the benchmark harness picks them per
+//! workload.
+
+use std::sync::Arc;
+
+use rhtm_api::{DynRuntime, DynScopeExt, DynThread, RetryPolicyHandle, TmRuntime, WorkerSession};
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::{HtmConfig, HtmRuntime, HtmRuntimeConfig, HtmSim};
+use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
+use rhtm_mem::{ClockScheme, MemConfig, TmMemory};
+use rhtm_stm::{MutexRuntime, Tl2Config, Tl2Runtime};
+
+use crate::algos::{AlgoKind, AlgoVisitor};
+use crate::driver::{run_benchmark, DriverOpts};
+use crate::report::BenchResult;
+use crate::workload::Workload;
+
+/// A declarative specification of one runtime point in the configuration
+/// cross-product: algorithm × clock scheme × retry policy × memory shape ×
+/// HTM shape.
+///
+/// See the [module documentation](self) for the consumption paths and the
+/// label grammar.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TmSpec {
+    algo: AlgoKind,
+    /// `None` defers to `mem.clock_scheme` (strict by default).
+    clock: Option<ClockScheme>,
+    /// `None` defers to each runtime's default (`paper-default`).
+    retry: Option<RetryPolicyHandle>,
+    mem: MemConfig,
+    htm: HtmConfig,
+}
+
+impl TmSpec {
+    /// A spec for `algo` with every other axis at its default: strict
+    /// clock, paper-default retry policy, default memory and HTM shapes.
+    pub fn new(algo: AlgoKind) -> Self {
+        TmSpec {
+            algo,
+            clock: None,
+            retry: None,
+            mem: MemConfig::default(),
+            htm: HtmConfig::default(),
+        }
+    }
+
+    /// Sets the global-clock advancement scheme (overrides the scheme in
+    /// the [`MemConfig`], which otherwise decides).
+    pub fn clock(mut self, scheme: ClockScheme) -> Self {
+        self.clock = Some(scheme);
+        self
+    }
+
+    /// Sets the contention-management policy for every retry decision site
+    /// of the runtime (the global-lock oracle never retries, so the axis
+    /// is moot there).
+    pub fn retry(mut self, policy: RetryPolicyHandle) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Sets the shared-memory shape (sizing, striping, thread capacity).
+    pub fn mem(mut self, config: MemConfig) -> Self {
+        self.mem = config;
+        self
+    }
+
+    /// Sets the simulated-HTM shape (capacities, spurious-abort rates).
+    pub fn htm(mut self, config: HtmConfig) -> Self {
+        self.htm = config;
+        self
+    }
+
+    /// The algorithm this spec names.
+    pub fn algo(&self) -> AlgoKind {
+        self.algo
+    }
+
+    /// The resolved clock scheme: the explicit [`TmSpec::clock`] axis if
+    /// set, otherwise the [`MemConfig`]'s.
+    pub fn clock_scheme(&self) -> ClockScheme {
+        self.clock.unwrap_or(self.mem.clock_scheme)
+    }
+
+    /// The explicit retry-policy override, if any (`None` means every
+    /// runtime falls back to its `paper-default`).
+    pub fn retry_policy(&self) -> Option<&RetryPolicyHandle> {
+        self.retry.as_ref()
+    }
+
+    /// The resolved retry-policy label (`paper-default` when no override
+    /// is set, matching the runtimes' defaults).
+    pub fn retry_label(&self) -> &'static str {
+        self.retry
+            .as_ref()
+            .map(|p| p.label())
+            .unwrap_or_else(|| RetryPolicyHandle::default().label())
+    }
+
+    /// The configured memory shape.
+    pub fn mem_config(&self) -> &MemConfig {
+        &self.mem
+    }
+
+    /// The configured HTM shape.
+    pub fn htm_config(&self) -> &HtmConfig {
+        &self.htm
+    }
+
+    /// The spec's stable label, always in the full
+    /// `algo+clock+policy` form (see the grammar in the
+    /// [module documentation](self)).
+    pub fn label(&self) -> String {
+        format!(
+            "{}+{}+{}",
+            self.algo.slug(),
+            self.clock_scheme().label(),
+            self.retry_label()
+        )
+    }
+
+    /// Parses a spec label.  Partial labels (`tl2`, `rh2+gv6`) fill the
+    /// unnamed axes with defaults; anything unrecognised — including
+    /// duplicated axes and near-miss algorithm names — returns `None`.
+    pub fn parse(label: &str) -> Option<TmSpec> {
+        let mut parts = label.trim().split('+');
+        let algo = AlgoKind::parse(parts.next()?)?;
+        let mut spec = TmSpec::new(algo);
+        for part in parts {
+            if let Some(scheme) = ClockScheme::parse(part) {
+                if spec.clock.is_some() {
+                    return None;
+                }
+                spec.clock = Some(scheme);
+            } else if let Some(policy) = RetryPolicyHandle::parse(part) {
+                if spec.retry.is_some() {
+                    return None;
+                }
+                spec.retry = Some(policy);
+            } else {
+                return None;
+            }
+        }
+        Some(spec)
+    }
+
+    /// Parses a comma-separated list of spec labels (the benchmark
+    /// binaries' `spec=` axis); `None` if the list is empty or any
+    /// element is malformed.
+    pub fn parse_list(list: &str) -> Option<Vec<TmSpec>> {
+        let specs: Option<Vec<_>> = list.split(',').map(TmSpec::parse).collect();
+        specs.filter(|s| !s.is_empty())
+    }
+
+    /// Builds a fresh shared memory + simulated HTM per this spec (the
+    /// clock axis resolved into the [`MemConfig`]).
+    pub fn build_sim(&self) -> Arc<HtmSim> {
+        let mem_config = MemConfig {
+            clock_scheme: self.clock_scheme(),
+            ..self.mem.clone()
+        };
+        HtmSim::new(Arc::new(TmMemory::new(mem_config)), self.htm.clone())
+    }
+
+    /// **Consumption path 1 (monomorphised)**: builds a fresh simulator
+    /// and hands the concrete runtime to `visitor`
+    /// (see [`AlgoVisitor`] for why this is continuation-passing).
+    pub fn visit<V: AlgoVisitor>(&self, visitor: V) -> V::Out {
+        self.visit_on(self.build_sim(), visitor)
+    }
+
+    /// [`TmSpec::visit`] over an existing simulator, so a structure built
+    /// over `sim` is visible to the runtime.  This is the single place in
+    /// the workspace where the per-runtime config structs are assembled:
+    /// the spec's retry axis is threaded into each runtime's config here.
+    ///
+    /// The clock is a property of the shared heap, so when a simulator is
+    /// passed in, *its* memory's scheme wins over the spec's clock axis
+    /// (fresh-sim paths resolve the axis in [`TmSpec::build_sim`]).
+    pub fn visit_on<V: AlgoVisitor>(&self, sim: Arc<HtmSim>, visitor: V) -> V::Out {
+        let retry = &self.retry;
+        let rh = |config: RhConfig| match retry {
+            Some(p) => config.with_retry_policy(p.clone()),
+            None => config,
+        };
+        match self.algo {
+            AlgoKind::Htm => {
+                let config = match retry {
+                    Some(p) => HtmRuntimeConfig::default().with_retry_policy(p.clone()),
+                    None => HtmRuntimeConfig::default(),
+                };
+                visitor.visit(HtmRuntime::with_sim_config(sim, config))
+            }
+            AlgoKind::StdHytm => {
+                let config = match retry {
+                    Some(p) => StdHytmConfig::hardware_only().with_retry_policy(p.clone()),
+                    None => StdHytmConfig::hardware_only(),
+                };
+                visitor.visit(StdHytmRuntime::with_sim(sim, config))
+            }
+            AlgoKind::Tl2 => {
+                let config = match retry {
+                    Some(p) => Tl2Config::default().with_retry_policy(p.clone()),
+                    None => Tl2Config::default(),
+                };
+                visitor.visit(Tl2Runtime::with_sim_config(sim, config))
+            }
+            AlgoKind::Rh1Fast => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_fast()))),
+            AlgoKind::Rh1Mixed(p) => {
+                visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_mixed(p))))
+            }
+            AlgoKind::Rh1Slow => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh1_slow()))),
+            AlgoKind::Rh2 => visitor.visit(RhRuntime::with_sim(sim, rh(RhConfig::rh2()))),
+            AlgoKind::GlobalLock => visitor.visit(MutexRuntime::with_sim(sim)),
+        }
+    }
+
+    /// **Consumption path 2 (erased)**: the runtime as a value over a
+    /// fresh simulator.  See [`AlgoKind::instantiate_dyn`] for when the
+    /// erased handles are the right tool.
+    pub fn instantiate_dyn(&self) -> Box<dyn DynRuntime> {
+        self.instantiate_dyn_on(self.build_sim())
+    }
+
+    /// [`TmSpec::instantiate_dyn`] over an existing simulator.
+    pub fn instantiate_dyn_on(&self, sim: Arc<HtmSim>) -> Box<dyn DynRuntime> {
+        struct BoxVisitor;
+        impl AlgoVisitor for BoxVisitor {
+            type Out = Box<dyn DynRuntime>;
+
+            fn visit<R: TmRuntime>(self, runtime: R) -> Box<dyn DynRuntime> {
+                Box::new(runtime)
+            }
+        }
+        self.visit_on(sim, BoxVisitor)
+    }
+
+    /// **Consumption path 3 (driven)**: builds a fresh simulator,
+    /// constructs the workload over it with `build` (which runs before any
+    /// worker thread exists), and runs the multi-threaded benchmark
+    /// driver.  The returned row carries this spec's label in
+    /// [`BenchResult::spec`](crate::BenchResult::spec).
+    pub fn bench<W, B>(&self, build: B, opts: &DriverOpts) -> BenchResult
+    where
+        W: Workload,
+        B: FnOnce(&Arc<HtmSim>) -> W,
+    {
+        let sim = self.build_sim();
+        let workload = build(&sim);
+        let mut result = self.visit_on(
+            sim,
+            BenchVisitor {
+                workload: &workload,
+                opts,
+            },
+        );
+        result.spec = self.label();
+        result
+    }
+
+    /// Builds the spec into a live [`TmInstance`]: a fresh simulator plus
+    /// the erased runtime over it, ready for scoped worker sessions
+    /// ([`TmInstance::scope`]).
+    pub fn build(&self) -> TmInstance {
+        let sim = self.build_sim();
+        let runtime = self.instantiate_dyn_on(Arc::clone(&sim));
+        TmInstance {
+            label: self.label(),
+            sim,
+            runtime,
+        }
+    }
+}
+
+struct BenchVisitor<'a, W: Workload> {
+    workload: &'a W,
+    opts: &'a DriverOpts,
+}
+
+impl<W: Workload> AlgoVisitor for BenchVisitor<'_, W> {
+    type Out = BenchResult;
+
+    fn visit<R: TmRuntime>(self, runtime: R) -> BenchResult {
+        run_benchmark(&runtime, self.workload, self.opts)
+    }
+}
+
+/// A built [`TmSpec`]: the shared simulator plus the (dyn-erased) runtime
+/// over it.
+///
+/// This is the value-shaped face of the spec for application-style code —
+/// allocate through [`TmInstance::sim`]/[`TmInstance::mem`], then either
+/// register the calling thread ([`TmInstance::register`]) or fan out
+/// scoped workers ([`TmInstance::scope`]) without ever naming a concrete
+/// runtime type, spawning a thread or building a barrier.
+///
+/// ```
+/// use rhtm_api::DynThreadExt;
+/// use rhtm_workloads::{AlgoKind, TmSpec};
+///
+/// let instance = TmSpec::parse("rh1-mixed-100+gv6").unwrap().build();
+/// let cell = instance.mem().alloc(1);
+/// let totals = instance.scope(4, |session| {
+///     for _ in 0..50 {
+///         session.run(|tx| {
+///             let v = tx.read(cell)?;
+///             tx.write(cell, v + 1)
+///         });
+///     }
+///     session.stats().commits()
+/// });
+/// assert_eq!(totals.iter().sum::<u64>(), 200);
+/// assert_eq!(instance.sim().nt_load(cell), 200);
+/// ```
+pub struct TmInstance {
+    label: String,
+    sim: Arc<HtmSim>,
+    runtime: Box<dyn DynRuntime>,
+}
+
+impl TmInstance {
+    /// The label of the spec this instance was built from.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The shared simulated HTM (non-transactional access for setup and
+    /// verification: `nt_load` / `nt_store`).
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// The shared transactional memory (allocation).
+    pub fn mem(&self) -> &Arc<TmMemory> {
+        self.runtime.mem()
+    }
+
+    /// The erased runtime.
+    pub fn runtime(&self) -> &dyn DynRuntime {
+        &*self.runtime
+    }
+
+    /// Registers the calling thread and returns its erased handle.
+    pub fn register(&self) -> Box<dyn DynThread> {
+        self.runtime.register_dyn()
+    }
+
+    /// Runs `f` on `workers` scoped worker sessions, each handed its own
+    /// registered [`DynThread`] — see
+    /// [`rhtm_api::session`] for the session semantics (synchronised
+    /// start, results in worker order, joins handled internally).
+    pub fn scope<T, F>(&self, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut WorkerSession<'_, Box<dyn DynThread>>) -> T + Sync,
+    {
+        self.runtime.scope_dyn(workers, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::DynThreadExt;
+
+    const EVERY_ALGO: [AlgoKind; 9] = [
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Fast,
+        AlgoKind::Rh1Mixed(10),
+        AlgoKind::Rh1Mixed(100),
+        AlgoKind::Rh1Slow,
+        AlgoKind::Rh2,
+        AlgoKind::GlobalLock,
+    ];
+
+    #[test]
+    fn labels_render_the_full_three_part_form() {
+        assert_eq!(
+            TmSpec::new(AlgoKind::Tl2).label(),
+            "tl2+gv-strict+paper-default"
+        );
+        assert_eq!(
+            TmSpec::new(AlgoKind::Rh2)
+                .clock(ClockScheme::Gv6)
+                .retry(RetryPolicyHandle::adaptive())
+                .label(),
+            "rh2+gv6+adaptive"
+        );
+        assert_eq!(
+            TmSpec::new(AlgoKind::Rh1Mixed(10))
+                .clock(ClockScheme::Gv4)
+                .label(),
+            "rh1-mixed-10+gv4+paper-default"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_partial_labels_and_any_axis_order() {
+        let spec = TmSpec::parse("tl2").unwrap();
+        assert_eq!(spec.algo(), AlgoKind::Tl2);
+        assert_eq!(spec.clock_scheme(), ClockScheme::GvStrict);
+        assert_eq!(spec.retry_label(), "paper-default");
+
+        let a = TmSpec::parse("rh2+gv6+adaptive").unwrap();
+        let b = TmSpec::parse("rh2+adaptive+gv6").unwrap();
+        assert_eq!(a.label(), b.label());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_near_miss_labels() {
+        for bad in [
+            "",
+            "rh3",
+            "tl2+gv7",
+            "tl2+gv5+gv6",                // duplicated clock axis
+            "rh2+adaptive+paper-default", // duplicated policy axis
+            "rh1-mixed-101",              // out-of-range percentage
+            "rh2+",                       // trailing separator
+            "+gv5",                       // missing algorithm
+            "rh2+nonsense",
+        ] {
+            assert!(TmSpec::parse(bad).is_none(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_list_splits_and_rejects() {
+        let specs = TmSpec::parse_list("rh2+gv6+adaptive,tl2").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].label(), "rh2+gv6+adaptive");
+        assert!(TmSpec::parse_list("rh2,,tl2").is_none());
+        assert!(TmSpec::parse_list("").is_none());
+    }
+
+    #[test]
+    fn clock_axis_overrides_the_mem_configs_scheme() {
+        let mem = MemConfig {
+            clock_scheme: ClockScheme::Gv5,
+            ..MemConfig::with_data_words(256)
+        };
+        // Without an explicit axis the MemConfig decides...
+        let spec = TmSpec::new(AlgoKind::Tl2).mem(mem.clone());
+        assert_eq!(spec.clock_scheme(), ClockScheme::Gv5);
+        assert_eq!(spec.build_sim().mem().clock().scheme(), ClockScheme::Gv5);
+        // ...and the explicit axis wins regardless of builder order.
+        let spec = TmSpec::new(AlgoKind::Tl2).clock(ClockScheme::Gv4).mem(mem);
+        assert_eq!(spec.clock_scheme(), ClockScheme::Gv4);
+        assert_eq!(spec.build_sim().mem().clock().scheme(), ClockScheme::Gv4);
+    }
+
+    #[test]
+    fn every_algorithm_instantiates_and_commits_through_the_spec() {
+        for kind in EVERY_ALGO {
+            let spec = TmSpec::new(kind).mem(MemConfig::with_data_words(64));
+            let rt = spec.instantiate_dyn();
+            assert_eq!(rt.name(), kind.label().as_str(), "{kind:?}");
+            let cell = rt.mem().alloc(1);
+            let mut th = rt.register_dyn();
+            for _ in 0..10 {
+                th.run(|tx| {
+                    let v = tx.read(cell)?;
+                    tx.write(cell, v + 1)
+                });
+            }
+            assert_eq!(rt.mem().heap().load(cell), 10, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn built_instances_scope_workers_and_conserve_invariants() {
+        let instance = TmSpec::new(AlgoKind::Rh1Mixed(100))
+            .mem(MemConfig::with_data_words(256))
+            .build();
+        assert_eq!(instance.label(), "rh1-mixed-100+gv-strict+paper-default");
+        let a = instance.mem().alloc(1);
+        let b = instance.mem().alloc(1);
+        instance.sim().nt_store(a, 500);
+        instance.sim().nt_store(b, 500);
+        instance.scope(4, |session| {
+            for i in 0..100u64 {
+                let amount = i % 5;
+                session.run(|tx| {
+                    let va = tx.read(a)?;
+                    if va < amount {
+                        return Ok(());
+                    }
+                    let vb = tx.read(b)?;
+                    tx.write(a, va - amount)?;
+                    tx.write(b, vb + amount)
+                });
+            }
+        });
+        assert_eq!(instance.sim().nt_load(a) + instance.sim().nt_load(b), 1_000);
+    }
+}

@@ -2,108 +2,88 @@
 //! under every runtime in the workspace, and the total balance is checked at
 //! the end — the classic TM litmus test.
 //!
+//! Every runtime point is named by a `TmSpec` label and built through the
+//! spec; the worker fan-out is a scoped session (`instance.scope`), so
+//! there is no per-runtime config assembly and no spawn/join boilerplate
+//! anywhere in the example.
+//!
 //! ```text
 //! cargo run -p rhtm-bench --release --example bank_transfer
 //! ```
 
-use std::sync::Arc;
-
-use rhtm_api::{TmRuntime, TmThread, Txn};
-use rhtm_core::{RhConfig, RhRuntime};
-use rhtm_htm::{HtmConfig, HtmRuntime};
-use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
+use rhtm_api::{DynThread, DynThreadExt};
 use rhtm_mem::{Addr, MemConfig};
-use rhtm_stm::Tl2Runtime;
-use rhtm_workloads::WorkloadRng;
+use rhtm_workloads::{TmInstance, TmSpec, WorkloadRng};
 
 const ACCOUNTS: usize = 64;
 const THREADS: usize = 8;
 const TRANSFERS_PER_THREAD: usize = 20_000;
 const INITIAL_BALANCE: u64 = 1_000;
 
-fn run_bank<R: TmRuntime>(runtime: Arc<R>) {
-    let accounts: Arc<Vec<Addr>> =
-        Arc::new((0..ACCOUNTS).map(|_| runtime.mem().alloc(8)).collect());
-    {
-        let heap = runtime.mem().heap();
-        for &a in accounts.iter() {
-            heap.store(a, INITIAL_BALANCE);
-        }
+fn run_bank(instance: &TmInstance) {
+    let accounts: Vec<Addr> = (0..ACCOUNTS).map(|_| instance.mem().alloc(8)).collect();
+    for &a in &accounts {
+        instance.sim().nt_store(a, INITIAL_BALANCE);
     }
+    let accounts = &accounts;
 
     let started = std::time::Instant::now();
-    let handles: Vec<_> = (0..THREADS)
-        .map(|tid| {
-            let runtime = Arc::clone(&runtime);
-            let accounts = Arc::clone(&accounts);
-            std::thread::spawn(move || {
-                let mut thread = runtime.register_thread();
-                let mut rng = WorkloadRng::new(tid as u64);
-                for _ in 0..TRANSFERS_PER_THREAD {
-                    let from = accounts[rng.next_below(ACCOUNTS as u64) as usize];
-                    let to = accounts[rng.next_below(ACCOUNTS as u64) as usize];
-                    if from == to {
-                        continue;
-                    }
-                    let amount = rng.next_below(10);
-                    thread.execute(|tx| {
-                        let f = tx.read(from)?;
-                        if f < amount {
-                            return Ok(());
-                        }
-                        let t = tx.read(to)?;
-                        tx.write(from, f - amount)?;
-                        tx.write(to, t + amount)?;
-                        Ok(())
-                    });
+    let outcomes = instance.scope(THREADS, |session| {
+        let mut rng = WorkloadRng::new(session.index() as u64);
+        for _ in 0..TRANSFERS_PER_THREAD {
+            let from = accounts[rng.next_below(ACCOUNTS as u64) as usize];
+            let to = accounts[rng.next_below(ACCOUNTS as u64) as usize];
+            if from == to {
+                continue;
+            }
+            let amount = rng.next_below(10);
+            session.run(|tx| {
+                let f = tx.read(from)?;
+                if f < amount {
+                    return Ok(());
                 }
-                (thread.stats().commits(), thread.stats().aborts())
-            })
-        })
-        .collect();
+                let t = tx.read(to)?;
+                tx.write(from, f - amount)?;
+                tx.write(to, t + amount)?;
+                Ok(())
+            });
+        }
+        let stats = DynThread::stats(&***session);
+        (stats.commits(), stats.aborts())
+    });
 
-    let mut commits = 0;
-    let mut aborts = 0;
-    for h in handles {
-        let (c, a) = h.join().unwrap();
-        commits += c;
-        aborts += a;
-    }
+    let commits: u64 = outcomes.iter().map(|(c, _)| c).sum();
+    let aborts: u64 = outcomes.iter().map(|(_, a)| a).sum();
     let elapsed = started.elapsed();
-    let total: u64 = accounts.iter().map(|&a| runtime.mem().heap().load(a)).sum();
+    let total: u64 = accounts.iter().map(|&a| instance.sim().nt_load(a)).sum();
     let expected = (ACCOUNTS as u64) * INITIAL_BALANCE;
     println!(
-        "{:<16} total={total} (expected {expected})  commits={commits}  aborts={aborts}  {:>8.0} txn/s",
-        runtime.name(),
+        "{:<40} total={total} (expected {expected})  commits={commits}  aborts={aborts}  {:>8.0} txn/s",
+        instance.label(),
         commits as f64 / elapsed.as_secs_f64(),
     );
-    assert_eq!(total, expected, "{} lost or created money!", runtime.name());
+    assert_eq!(
+        total,
+        expected,
+        "{} lost or created money!",
+        instance.label()
+    );
 }
 
 fn main() {
-    let mem = || MemConfig::with_data_words(16 * 1024);
     println!("{THREADS} threads x {TRANSFERS_PER_THREAD} transfers over {ACCOUNTS} accounts\n");
-    run_bank(Arc::new(HtmRuntime::new(mem(), HtmConfig::default())));
-    run_bank(Arc::new(Tl2Runtime::new(mem())));
-    run_bank(Arc::new(StdHytmRuntime::new(
-        mem(),
-        HtmConfig::default(),
-        StdHytmConfig::default(),
-    )));
-    run_bank(Arc::new(RhRuntime::new(
-        mem(),
-        HtmConfig::default(),
-        RhConfig::rh1_fast(),
-    )));
-    run_bank(Arc::new(RhRuntime::new(
-        mem(),
-        HtmConfig::default(),
-        RhConfig::rh1_mixed(100),
-    )));
-    run_bank(Arc::new(RhRuntime::new(
-        mem(),
-        HtmConfig::default(),
-        RhConfig::rh2(),
-    )));
+    for label in [
+        "htm",
+        "tl2",
+        "standard-hytm",
+        "rh1-fast",
+        "rh1-mixed-100",
+        "rh2",
+    ] {
+        let spec = TmSpec::parse(label)
+            .expect("registered spec label")
+            .mem(MemConfig::with_data_words(16 * 1024));
+        run_bank(&spec.build());
+    }
     println!("\nevery runtime preserved the total balance");
 }

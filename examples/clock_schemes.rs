@@ -7,69 +7,62 @@
 //! the incrementing baseline shows what happens when even hardware
 //! transactions write the clock.
 //!
+//! Each point is one `TmSpec` (`tl2+gv5`, `rh1-mixed-100+gv6`, ...) — the
+//! clock is just a spec axis — and the worker fan-out is a scoped session.
+//!
 //! ```text
 //! cargo run --release --example clock_schemes
 //! ```
 
-use std::sync::Arc;
-
-use rhtm_api::{TmRuntime, TmThread, Txn};
-use rhtm_core::{RhConfig, RhRuntime};
-use rhtm_htm::HtmConfig;
+use rhtm_api::{DynThread, DynThreadExt};
 use rhtm_mem::{Addr, ClockScheme, MemConfig};
-use rhtm_stm::Tl2Runtime;
-use rhtm_workloads::WorkloadRng;
+use rhtm_workloads::{AlgoKind, TmSpec, WorkloadRng};
 
 const ACCOUNTS: usize = 32;
 const THREADS: usize = 4;
 const TRANSFERS_PER_THREAD: usize = 10_000;
 const INITIAL_BALANCE: u64 = 1_000;
 
-/// Runs the bank workload and returns (ops/s, abort ratio).
-fn run_bank<R: TmRuntime>(runtime: Arc<R>) -> (f64, f64) {
-    let accounts: Arc<Vec<Addr>> =
-        Arc::new((0..ACCOUNTS).map(|_| runtime.mem().alloc(8)).collect());
-    for &a in accounts.iter() {
-        runtime.mem().heap().store(a, INITIAL_BALANCE);
+/// Runs the bank workload on the spec'd runtime point and returns
+/// (ops/s, abort ratio).
+fn run_bank(spec: TmSpec) -> (f64, f64) {
+    let instance = spec.mem(MemConfig::with_data_words(8192)).build();
+    let accounts: Vec<Addr> = (0..ACCOUNTS).map(|_| instance.mem().alloc(8)).collect();
+    for &a in &accounts {
+        instance.sim().nt_store(a, INITIAL_BALANCE);
     }
+    let accounts = &accounts;
 
     let started = std::time::Instant::now();
-    let handles: Vec<_> = (0..THREADS)
-        .map(|tid| {
-            let runtime = Arc::clone(&runtime);
-            let accounts = Arc::clone(&accounts);
-            std::thread::spawn(move || {
-                let mut thread = runtime.register_thread();
-                let mut rng = WorkloadRng::new(tid as u64 * 31 + 7);
-                for _ in 0..TRANSFERS_PER_THREAD {
-                    let from = accounts[rng.next_below(ACCOUNTS as u64) as usize];
-                    let to = accounts[rng.next_below(ACCOUNTS as u64) as usize];
-                    if from == to {
-                        continue;
-                    }
-                    thread.execute(|tx| {
-                        let f = tx.read(from)?;
-                        if f == 0 {
-                            return Ok(());
-                        }
-                        let t = tx.read(to)?;
-                        tx.write(from, f - 1)?;
-                        tx.write(to, t + 1)?;
-                        Ok(())
-                    });
+    let per_thread = instance.scope(THREADS, |session| {
+        let mut rng = WorkloadRng::new(session.index() as u64 * 31 + 7);
+        for _ in 0..TRANSFERS_PER_THREAD {
+            let from = accounts[rng.next_below(ACCOUNTS as u64) as usize];
+            let to = accounts[rng.next_below(ACCOUNTS as u64) as usize];
+            if from == to {
+                continue;
+            }
+            session.run(|tx| {
+                let f = tx.read(from)?;
+                if f == 0 {
+                    return Ok(());
                 }
-                thread.stats().clone()
-            })
-        })
-        .collect();
+                let t = tx.read(to)?;
+                tx.write(from, f - 1)?;
+                tx.write(to, t + 1)?;
+                Ok(())
+            });
+        }
+        DynThread::stats(&***session).clone()
+    });
     let mut stats = rhtm_api::TxStats::new(false);
-    for h in handles {
-        stats.merge(&h.join().unwrap());
+    for s in &per_thread {
+        stats.merge(s);
     }
     let elapsed = started.elapsed();
 
     // The invariant every scheme must preserve.
-    let total: u64 = accounts.iter().map(|&a| runtime.mem().heap().load(a)).sum();
+    let total: u64 = accounts.iter().map(|&a| instance.sim().nt_load(a)).sum();
     assert_eq!(total, ACCOUNTS as u64 * INITIAL_BALANCE, "balance lost!");
 
     (
@@ -87,20 +80,8 @@ fn main() {
         "scheme", "TL2 ops/s", "TL2 aborts", "RH1 ops/s", "RH1 aborts"
     );
     for scheme in ClockScheme::ALL {
-        let mem = || MemConfig {
-            clock_scheme: scheme,
-            ..MemConfig::with_data_words(8192)
-        };
-
-        let tl2 = Arc::new(Tl2Runtime::new(mem()));
-        let (tl2_tp, tl2_ar) = run_bank(tl2);
-
-        let rh1 = Arc::new(RhRuntime::new(
-            mem(),
-            HtmConfig::default(),
-            RhConfig::rh1_mixed(100),
-        ));
-        let (rh1_tp, rh1_ar) = run_bank(rh1);
+        let (tl2_tp, tl2_ar) = run_bank(TmSpec::new(AlgoKind::Tl2).clock(scheme));
+        let (rh1_tp, rh1_ar) = run_bank(TmSpec::new(AlgoKind::Rh1Mixed(100)).clock(scheme));
 
         println!(
             "{:<14} {:>16.0} {:>11.2}%   {:>16.0} {:>11.2}%",

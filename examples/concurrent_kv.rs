@@ -5,19 +5,18 @@
 //! Where this example used to hand-roll its reader/writer loops, it now
 //! does what the benchmark suite does: pick a registered scenario
 //! (`skiplist-zipf`: mutable skiplist, 70/15/15 lookup/insert/remove,
-//! YCSB-style θ=0.99 skew), let the driver draw `(op, key)` pairs, and
-//! read the merged result — then re-runs the same structure under uniform
-//! keys to show why the distribution is a first-class axis.
+//! YCSB-style θ=0.99 skew), name the runtime point with a `TmSpec`, let
+//! the driver draw `(op, key)` pairs, and read the merged result — then
+//! re-runs the same structure under uniform keys to show why the
+//! distribution is a first-class axis.
 //!
 //! ```text
 //! cargo run --release --example concurrent_kv
 //! ```
 
-use rhtm_api::TmRuntime;
-use rhtm_core::{RhConfig, RhRuntime};
-use rhtm_htm::HtmConfig;
+use rhtm_api::DynThreadExt;
 use rhtm_mem::MemConfig;
-use rhtm_workloads::{AlgoKind, DriverOpts, KeyDist, Scenario, TxSkipList};
+use rhtm_workloads::{DriverOpts, KeyDist, OpMix, Scenario, TmSpec, TxSkipList};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,7 +25,9 @@ const THREADS: usize = 4;
 
 fn main() {
     let scenario = *Scenario::find("skiplist-zipf").expect("registered scenario");
+    let spec = TmSpec::parse("rh1-mixed-100").expect("registered spec label");
     println!("scenario         : {}", scenario.name);
+    println!("spec             : {}", spec.label());
     println!("structure        : {}", scenario.structure.label());
     println!("operation mix    : {}", scenario.mix.label());
     println!("key distribution : {}", scenario.dist.label());
@@ -35,11 +36,12 @@ fn main() {
 
     // Run the registered scenario, then the same shape under uniform keys:
     // the engine makes the distribution a one-line change.
-    let opts = DriverOpts::timed(THREADS, 0, Duration::from_millis(250)).with_seed(7);
+    let opts = DriverOpts::timed_mix(THREADS, OpMix::read_update(0), Duration::from_millis(250))
+        .with_seed(7);
     for dist in [scenario.dist, KeyDist::Uniform] {
         let mut s = scenario;
         s.dist = dist;
-        let result = s.run(AlgoKind::Rh1Mixed(100), KEYS, &opts);
+        let result = s.run_spec(&spec, KEYS, &opts);
         println!(
             "{:<12} {:>12.0} ops/s  abort-ratio {:>6.2}%  ({} ops in {:?})",
             result.key_dist,
@@ -51,50 +53,51 @@ fn main() {
     }
 
     // The same skiplist API composes into application transactions: a
-    // quick consistency check with multi-key transfers under skew.
-    let runtime = Arc::new(RhRuntime::new(
-        MemConfig::with_data_words(TxSkipList::required_words(KEYS, THREADS) + 4096),
-        HtmConfig::default(),
-        RhConfig::rh1_mixed(100),
-    ));
-    let list = Arc::new(TxSkipList::new(Arc::clone(runtime.sim()), KEYS));
+    // quick consistency check with multi-key transfers under skew, with
+    // the worker fan-out as a scoped session over the built spec.
+    let instance = spec
+        .mem(MemConfig::with_data_words(
+            TxSkipList::required_words(KEYS, THREADS) + 4096,
+        ))
+        .build();
+    let list = Arc::new(TxSkipList::new(Arc::clone(instance.sim()), KEYS));
     for k in 1..=64u64 {
         list.seed_insert(k, 1_000);
     }
-    let handles: Vec<_> = (0..THREADS)
-        .map(|t| {
-            let runtime = Arc::clone(&runtime);
-            let list = Arc::clone(&list);
-            std::thread::spawn(move || {
-                use rhtm_api::TmThread;
-                let mut th = runtime.register_thread();
-                let mut rng = rhtm_workloads::WorkloadRng::new(t as u64);
-                let mut sampler = KeyDist::ZIPF_DEFAULT.sampler(64, t, THREADS);
-                for _ in 0..5_000 {
-                    let from = 1 + sampler.sample(&mut rng);
-                    let to = 1 + sampler.sample(&mut rng);
-                    if from == to {
-                        continue;
-                    }
-                    th.execute(|tx| {
-                        let f = list.get_in(tx, from)?.expect("seeded");
-                        if f == 0 {
-                            return Ok(());
-                        }
-                        let v = list.get_in(tx, to)?.expect("seeded");
-                        list.update_in(tx, from, f - 1)?;
-                        list.update_in(tx, to, v + 1)?;
-                        Ok(())
-                    });
+    let list = &list;
+    let commits: u64 = instance
+        .scope(THREADS, |session| {
+            let t = session.index();
+            let mut rng = rhtm_workloads::WorkloadRng::new(t as u64);
+            let mut sampler = KeyDist::ZIPF_DEFAULT.sampler(64, t, THREADS);
+            let mut commits = 0u64;
+            for _ in 0..5_000 {
+                let from = 1 + sampler.sample(&mut rng);
+                let to = 1 + sampler.sample(&mut rng);
+                if from == to {
+                    continue;
                 }
-                th.stats().commits()
-            })
+                session.run(|tx| {
+                    let f = list.get_in(tx, from)?.expect("seeded");
+                    if f == 0 {
+                        return Ok(());
+                    }
+                    let v = list.get_in(tx, to)?.expect("seeded");
+                    list.update_in(tx, from, f - 1)?;
+                    list.update_in(tx, to, v + 1)?;
+                    Ok(())
+                });
+                commits += 1;
+            }
+            commits
         })
-        .collect();
-    let commits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        .into_iter()
+        .sum();
 
-    let mut th = runtime.register_thread();
-    let total: u64 = list.snapshot(&mut th).iter().map(|(_, v)| v).sum();
+    let mut th = instance.register();
+    let total: u64 = (1..=64u64)
+        .map(|k| th.run(|tx| list.get_in(tx, k)).expect("seeded"))
+        .sum();
     println!();
     println!("transfer commits : {commits}");
     println!("balance total    : {total} (expected {})", 64 * 1_000);

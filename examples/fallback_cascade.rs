@@ -3,14 +3,18 @@
 //! back to the mixed slow-path, the RH2 commit, or the all-software
 //! write-back — and the statistics show which path each commit took.
 //!
+//! The runtime point is named declaratively: a `TmSpec` with a
+//! deliberately tiny HTM capacity, built into a live instance — no
+//! per-runtime config structs, no `register_thread` plumbing.
+//!
 //! ```text
 //! cargo run -p rhtm-bench --release --example fallback_cascade
 //! ```
 
-use rhtm_api::{PathKind, TmRuntime, TmThread, Txn};
-use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_api::{DynThreadExt, PathKind};
 use rhtm_htm::HtmConfig;
 use rhtm_mem::MemConfig;
+use rhtm_workloads::{AlgoKind, TmSpec};
 
 fn report(label: &str, stats: &rhtm_api::TxStats) {
     println!(
@@ -27,17 +31,17 @@ fn main() {
     // A deliberately tiny hardware capacity (8 cache lines readable, 4
     // writable) so that medium transactions overflow the fast-path, and some
     // overflow even the RH1 slow-path commit.
-    let runtime = RhRuntime::new(
-        MemConfig::with_data_words(64 * 1024),
-        HtmConfig::with_capacity(8, 4),
-        RhConfig::rh1_mixed(100),
-    );
-    let base = runtime.mem().alloc(32 * 1024);
-    let mut thread = runtime.register_thread();
+    let instance = TmSpec::new(AlgoKind::Rh1Mixed(100))
+        .mem(MemConfig::with_data_words(64 * 1024))
+        .htm(HtmConfig::with_capacity(8, 4))
+        .build();
+    println!("spec: {}\n", instance.label());
+    let base = instance.mem().alloc(32 * 1024);
+    let mut thread = instance.register();
 
     // 1. Small transactions: fit the fast-path.
     for i in 0..500u64 {
-        thread.execute(|tx| {
+        thread.run(|tx| {
             let v = tx.read(base.offset((i % 16) as usize))?;
             tx.write(base.offset((i % 16) as usize), v + 1)?;
             Ok(())
@@ -49,10 +53,12 @@ fn main() {
     // 2. Long read-set transactions: overflow the fast-path but fit the
     //    mixed slow-path (its commit only touches the 4x smaller metadata).
     for round in 0..200u64 {
-        thread.execute(|tx| {
+        thread.run(|tx| {
             let mut sum = 0u64;
             for i in 0..24 {
-                sum += tx.read(base.offset((i * 8) as usize))?;
+                // Wrapping: the sums written below feed back into later
+                // reads and grow geometrically over the rounds.
+                sum = sum.wrapping_add(tx.read(base.offset((i * 8) as usize))?);
             }
             tx.write(base.offset((round % 8) as usize * 8), sum)?;
             Ok(())
@@ -64,7 +70,7 @@ fn main() {
     // 3. Transactions with a protected instruction (system call, page fault,
     //    ...): can never run in hardware, always end up on the slow-path.
     for i in 0..200u64 {
-        thread.execute(|tx| {
+        thread.run(|tx| {
             tx.protected_instruction()?;
             let v = tx.read(base.offset(1024 + (i % 4) as usize))?;
             tx.write(base.offset(1024 + (i % 4) as usize), v + 1)?;
@@ -77,7 +83,7 @@ fn main() {
     // 4. Very wide write-sets: too big even for the RH2 hardware write-back,
     //    forcing the all-software slow-slow-path.
     for round in 0..50u64 {
-        thread.execute(|tx| {
+        thread.run(|tx| {
             for i in 0..48 {
                 tx.write(base.offset(4096 + i * 8), round)?;
             }

@@ -1,64 +1,84 @@
-//! Quickstart: create a reduced-hardware TM runtime, run a few transactions,
-//! and look at the execution statistics.
+//! Quickstart: name a runtime point with `TmSpec`, build it, fan out
+//! scoped workers, and look at the execution statistics.
+//!
+//! One declarative builder replaces the old per-runtime config assembly
+//! (`RhConfig` + `MemConfig` + `HtmConfig` + `register_thread` + manual
+//! spawn/join): the spec names the point (`rh1-mixed-100+gv-strict+...`),
+//! `build()` turns it into a live instance, and `scope(n, ..)` hands each
+//! worker its own registered transaction handle.
 //!
 //! ```text
 //! cargo run -p rhtm-bench --release --example quickstart
 //! ```
 
-use rhtm_api::{PathKind, TmRuntime, TmThread, Txn};
-use rhtm_core::{RhConfig, RhRuntime};
-use rhtm_htm::HtmConfig;
+use rhtm_api::{DynThread, DynThreadExt, PathKind};
 use rhtm_mem::MemConfig;
+use rhtm_workloads::{AlgoKind, TmSpec};
+
+const WORKERS: usize = 4;
+const TRANSFERS_PER_WORKER: u64 = 1_000;
 
 fn main() {
-    // 1. A shared transactional memory with a simulated best-effort HTM and
-    //    the full RH1 protocol (fast-path + mixed slow-path + fallbacks).
-    let runtime = RhRuntime::new(
-        MemConfig::with_data_words(4096),
-        HtmConfig::default(),
-        RhConfig::rh1_mixed(100),
-    );
+    // 1. One declarative spec for the whole runtime point: the RH1
+    //    protocol with the full cascade, default clock and retry policy.
+    //    `TmSpec::parse("rh1-mixed-100")` names the same point from a
+    //    string — every benchmark CLI accepts these labels via `spec=`.
+    let spec = TmSpec::new(AlgoKind::Rh1Mixed(100)).mem(MemConfig::with_data_words(4096));
+    let instance = spec.build();
+    println!("spec               : {}", instance.label());
 
     // 2. Allocate two "accounts" in the transactional heap.
-    let alice = runtime.mem().alloc(1);
-    let bob = runtime.mem().alloc(1);
-    runtime.sim().nt_store(alice, 100);
-    runtime.sim().nt_store(bob, 100);
+    let alice = instance.mem().alloc(1);
+    let bob = instance.mem().alloc(1);
+    instance.sim().nt_store(alice, 100);
+    instance.sim().nt_store(bob, 100);
 
-    // 3. Register the current thread and run transactions.
-    let mut thread = runtime.register_thread();
-    for i in 0..1_000u64 {
-        let amount = i % 7;
-        thread.execute(|tx| {
-            let a = tx.read(alice)?;
-            if a < amount {
-                return Ok(false); // not enough funds; commit a no-op
-            }
-            let b = tx.read(bob)?;
-            tx.write(alice, a - amount)?;
-            tx.write(bob, b + amount)?;
-            Ok(true)
-        });
-    }
+    // 3. Fan out scoped workers: registration, the synchronised start and
+    //    the joins are the scope's job, not ours.  Each worker returns its
+    //    thread's statistics.
+    let stats = instance.scope(WORKERS, |session| {
+        for i in 0..TRANSFERS_PER_WORKER {
+            let amount = (session.index() as u64 + i) % 7;
+            session.run(|tx| {
+                let a = tx.read(alice)?;
+                if a < amount {
+                    return Ok(false); // not enough funds; commit a no-op
+                }
+                let b = tx.read(bob)?;
+                tx.write(alice, a - amount)?;
+                tx.write(bob, b + amount)?;
+                Ok(true)
+            });
+        }
+        DynThread::stats(&***session).clone()
+    });
 
     // 4. Inspect the result and where the commits happened.
-    let total = runtime.sim().nt_load(alice) + runtime.sim().nt_load(bob);
-    let stats = thread.stats();
-    println!("runtime            : {}", runtime.name());
+    let total = instance.sim().nt_load(alice) + instance.sim().nt_load(bob);
+    let mut merged = rhtm_api::TxStats::new(false);
+    for s in &stats {
+        merged.merge(s);
+    }
+    println!("workers            : {WORKERS}");
     println!("total balance      : {total} (must stay 200)");
-    println!("commits            : {}", stats.commits());
+    println!("commits            : {}", merged.commits());
     println!(
         "  on hardware fast : {}",
-        stats.commits_on(PathKind::HardwareFast)
+        merged.commits_on(PathKind::HardwareFast)
     );
     println!(
         "  on mixed slow    : {}",
-        stats.commits_on(PathKind::MixedSlow)
+        merged.commits_on(PathKind::MixedSlow)
     );
     println!(
         "  on software      : {}",
-        stats.commits_on(PathKind::Software)
+        merged.commits_on(PathKind::Software)
     );
-    println!("aborts             : {}", stats.aborts());
+    println!("aborts             : {}", merged.aborts());
     assert_eq!(total, 200);
+    assert_eq!(
+        merged.commits(),
+        WORKERS as u64 * TRANSFERS_PER_WORKER,
+        "every transfer transaction must commit exactly once"
+    );
 }

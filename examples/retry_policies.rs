@@ -5,22 +5,22 @@
 //! jittered exponential backoff so colliding threads do not retry in
 //! lockstep; `aggressive` never gives up a hardware path for contention;
 //! `adaptive` demotes on the first abort once the fallback counters show
-//! the cascade is already degraded.  The run uses a small hardware write
-//! capacity so the RH cascade (and therefore the demotion decisions)
-//! actually fires.
+//! the cascade is already degraded.  The RH1 runtime uses a small hardware
+//! write capacity so the cascade (and therefore the demotion decisions)
+//! actually fires; stand-alone RH2 brackets it from the other side.
+//!
+//! Each point is one `TmSpec` (`rh1-mixed-100+adaptive`, `rh2+capped-exp`,
+//! ...) — the policy is just a spec axis — and the worker fan-out is a
+//! scoped session.
 //!
 //! ```text
 //! cargo run --release --example retry_policies
 //! ```
 
-use std::sync::Arc;
-
-use rhtm_api::{PathKind, RetryPolicyHandle, TmRuntime, TmThread, Txn};
-use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_api::{DynThread, DynThreadExt, PathKind, RetryPolicyHandle};
 use rhtm_htm::HtmConfig;
-use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
 use rhtm_mem::{Addr, MemConfig};
-use rhtm_workloads::WorkloadRng;
+use rhtm_workloads::{AlgoKind, TmSpec, WorkloadRng};
 
 const ACCOUNTS: usize = 32;
 const THREADS: usize = 8;
@@ -35,50 +35,44 @@ struct Outcome {
 
 /// Runs the bank workload and returns throughput, abort ratio and the
 /// share of commits that ended up below the hardware fast-path.
-fn run_bank<R: TmRuntime>(runtime: Arc<R>) -> Outcome {
-    let accounts: Arc<Vec<Addr>> =
-        Arc::new((0..ACCOUNTS).map(|_| runtime.mem().alloc(8)).collect());
-    for &a in accounts.iter() {
-        runtime.mem().heap().store(a, INITIAL_BALANCE);
+fn run_bank(spec: TmSpec) -> Outcome {
+    let instance = spec.mem(MemConfig::with_data_words(8192)).build();
+    let accounts: Vec<Addr> = (0..ACCOUNTS).map(|_| instance.mem().alloc(8)).collect();
+    for &a in &accounts {
+        instance.sim().nt_store(a, INITIAL_BALANCE);
     }
+    let accounts = &accounts;
 
     let started = std::time::Instant::now();
-    let handles: Vec<_> = (0..THREADS)
-        .map(|tid| {
-            let runtime = Arc::clone(&runtime);
-            let accounts = Arc::clone(&accounts);
-            std::thread::spawn(move || {
-                let mut thread = runtime.register_thread();
-                let mut rng = WorkloadRng::new(tid as u64 * 77 + 13);
-                for _ in 0..TRANSFERS_PER_THREAD {
-                    let from = accounts[rng.next_below(ACCOUNTS as u64) as usize];
-                    let to = accounts[rng.next_below(ACCOUNTS as u64) as usize];
-                    if from == to {
-                        continue;
-                    }
-                    thread.execute(|tx| {
-                        let f = tx.read(from)?;
-                        if f == 0 {
-                            return Ok(());
-                        }
-                        let t = tx.read(to)?;
-                        tx.write(from, f - 1)?;
-                        tx.write(to, t + 1)?;
-                        Ok(())
-                    });
+    let per_thread = instance.scope(THREADS, |session| {
+        let mut rng = WorkloadRng::new(session.index() as u64 * 77 + 13);
+        for _ in 0..TRANSFERS_PER_THREAD {
+            let from = accounts[rng.next_below(ACCOUNTS as u64) as usize];
+            let to = accounts[rng.next_below(ACCOUNTS as u64) as usize];
+            if from == to {
+                continue;
+            }
+            session.run(|tx| {
+                let f = tx.read(from)?;
+                if f == 0 {
+                    return Ok(());
                 }
-                thread.stats().clone()
-            })
-        })
-        .collect();
+                let t = tx.read(to)?;
+                tx.write(from, f - 1)?;
+                tx.write(to, t + 1)?;
+                Ok(())
+            });
+        }
+        DynThread::stats(&***session).clone()
+    });
     let mut stats = rhtm_api::TxStats::new(false);
-    for h in handles {
-        stats.merge(&h.join().unwrap());
+    for s in &per_thread {
+        stats.merge(s);
     }
     let elapsed = started.elapsed();
 
     // The invariant every policy must preserve.
-    let total: u64 = accounts.iter().map(|&a| runtime.mem().heap().load(a)).sum();
+    let total: u64 = accounts.iter().map(|&a| instance.sim().nt_load(a)).sum();
     assert_eq!(total, ACCOUNTS as u64 * INITIAL_BALANCE, "balance lost!");
 
     let commits = stats.commits().max(1);
@@ -96,28 +90,17 @@ fn main() {
     );
     println!(
         "{:<14} {:>14} {:>10} {:>10}   {:>14} {:>10} {:>10}",
-        "policy", "RH1 ops/s", "aborts", "demoted", "HyTM ops/s", "aborts", "demoted"
+        "policy", "RH1 ops/s", "aborts", "demoted", "RH2 ops/s", "aborts", "demoted"
     );
     for policy in RetryPolicyHandle::builtin() {
         // A small write capacity keeps the RH cascade (and its demotion
         // decisions) busy.
-        let rh1 = Arc::new(RhRuntime::new(
-            MemConfig::with_data_words(8192),
-            HtmConfig::with_capacity(512, 16),
-            RhConfig::rh1_mixed(100).with_retry_policy(policy.clone()),
-        ));
-        let rh1_out = run_bank(rh1);
-
-        let hytm = Arc::new(StdHytmRuntime::new(
-            MemConfig::with_data_words(8192),
-            HtmConfig::default(),
-            StdHytmConfig {
-                hardware_only: false,
-                hw_retries: 2,
-                retry_policy: policy.clone(),
-            },
-        ));
-        let hytm_out = run_bank(hytm);
+        let rh1_out = run_bank(
+            TmSpec::new(AlgoKind::Rh1Mixed(100))
+                .retry(policy.clone())
+                .htm(HtmConfig::with_capacity(512, 16)),
+        );
+        let rh2_out = run_bank(TmSpec::new(AlgoKind::Rh2).retry(policy.clone()));
 
         println!(
             "{:<14} {:>14.0} {:>9.2}% {:>9.2}%   {:>14.0} {:>9.2}% {:>9.2}%",
@@ -125,9 +108,9 @@ fn main() {
             rh1_out.ops_per_sec,
             rh1_out.abort_ratio * 100.0,
             rh1_out.software_share * 100.0,
-            hytm_out.ops_per_sec,
-            hytm_out.abort_ratio * 100.0,
-            hytm_out.software_share * 100.0,
+            rh2_out.ops_per_sec,
+            rh2_out.abort_ratio * 100.0,
+            rh2_out.software_share * 100.0,
         );
     }
     println!("\ntotal balance conserved under every policy ✓");

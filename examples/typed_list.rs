@@ -160,7 +160,7 @@ fn main() {
         let list = Arc::new(TypedList::new(Arc::clone(sim.mem())));
 
         // The runtime is a value — no visitor struct, no generics.
-        let rt: Arc<dyn DynRuntime> = Arc::from(kind.instantiate_dyn(None, sim));
+        let rt: Arc<dyn DynRuntime> = Arc::from(kind.instantiate_dyn(sim));
 
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use rhtm_api::{TmRuntime, TmThread};
+use rhtm_api::{TmRuntime, TmScopeExt, TmThread};
 use rhtm_htm::{HtmConfig, HtmSim};
 use rhtm_mem::{MemConfig, TmMemory};
 use rhtm_workloads::scenario::Scenario;
@@ -56,7 +56,7 @@ fn counted_scenario_runs_are_reproducible_for_every_distribution() {
             scenario.run(
                 AlgoKind::Rh1Mixed(100),
                 256,
-                &DriverOpts::counted(1, 0, 300).with_seed(42),
+                &DriverOpts::counted_mix(1, OpMix::read_update(0), 300).with_seed(42),
             )
         };
         let (a, b) = (run(), run());
@@ -85,49 +85,43 @@ impl AlgoVisitor for SkipListStress {
 
     fn visit<R: TmRuntime>(self, runtime: R) -> Vec<(u64, u64)> {
         let list = &self.list;
-        let runtime = &runtime;
-        std::thread::scope(|scope| {
-            // Transfer threads: move value between two accounts in one
-            // transaction; the total is conserved.
-            for t in 0..3u64 {
-                scope.spawn(move || {
-                    let mut th = runtime.register_thread();
-                    let mut rng = WorkloadRng::new(t);
-                    for _ in 0..600 {
-                        let from = 1 + rng.next_below(ACCOUNTS);
-                        let to = 1 + rng.next_below(ACCOUNTS);
-                        if from == to {
-                            continue;
-                        }
-                        let delta = 1 + rng.next_below(7);
-                        th.execute(|tx| {
-                            let f = list.get_in(tx, from)?.expect("account present");
-                            if f < delta {
-                                return Ok(());
-                            }
-                            let v = list.get_in(tx, to)?.expect("account present");
-                            list.update_in(tx, from, f - delta)?;
-                            list.update_in(tx, to, v + delta)?;
-                            Ok(())
-                        });
+        // Five scoped workers: the first three transfer value between two
+        // accounts per transaction (the total is conserved), the last two
+        // insert/remove a disjoint key range so the transfers race genuine
+        // shape changes.  No spawn/register/join boilerplate: the session
+        // scope owns the choreography.
+        runtime.scope(5, |session| {
+            let t = session.index() as u64;
+            if t < 3 {
+                let mut rng = WorkloadRng::new(t);
+                for _ in 0..600 {
+                    let from = 1 + rng.next_below(ACCOUNTS);
+                    let to = 1 + rng.next_below(ACCOUNTS);
+                    if from == to {
+                        continue;
                     }
-                });
-            }
-            // Churn threads: insert/remove a disjoint key range so the
-            // transfers race genuine shape changes.
-            for t in 0..2u64 {
-                scope.spawn(move || {
-                    let mut th = runtime.register_thread();
-                    let mut rng = WorkloadRng::new(100 + t);
-                    for _ in 0..600 {
-                        let key = ACCOUNTS + 1 + rng.next_below(32);
-                        if rng.draw_percent(50) {
-                            list.insert(&mut th, key, key);
-                        } else {
-                            list.remove(&mut th, key);
+                    let delta = 1 + rng.next_below(7);
+                    session.execute(|tx| {
+                        let f = list.get_in(tx, from)?.expect("account present");
+                        if f < delta {
+                            return Ok(());
                         }
+                        let v = list.get_in(tx, to)?.expect("account present");
+                        list.update_in(tx, from, f - delta)?;
+                        list.update_in(tx, to, v + delta)?;
+                        Ok(())
+                    });
+                }
+            } else {
+                let mut rng = WorkloadRng::new(100 + (t - 3));
+                for _ in 0..600 {
+                    let key = ACCOUNTS + 1 + rng.next_below(32);
+                    if rng.draw_percent(50) {
+                        list.insert(session.thread_mut(), key, key);
+                    } else {
+                        list.remove(session.thread_mut(), key);
                     }
-                });
+                }
             }
         });
         let mut th = runtime.register_thread();
@@ -147,7 +141,6 @@ fn skiplist_bank_transfers_conserve_the_total_on_all_six_algorithms() {
         }
         let snapshot = visit_algo(
             kind,
-            None,
             sim,
             SkipListStress {
                 list: Arc::clone(&list),
@@ -183,38 +176,33 @@ impl AlgoVisitor for QueueStress {
 
     fn visit<R: TmRuntime>(self, runtime: R) {
         let queue = &self.queue;
-        let runtime = &runtime;
         let consumed = &self.consumed;
         let count = AtomicU64::new(0);
         let count = &count;
-        std::thread::scope(|scope| {
-            for t in 0..PRODUCERS {
-                scope.spawn(move || {
-                    let mut th = runtime.register_thread();
-                    for i in 0..PER_PRODUCER {
-                        let v = (t << 32) | i;
-                        while !queue.enqueue(&mut th, v) {
-                            std::thread::yield_now();
-                        }
+        // PRODUCERS + 2 scoped workers: producers enqueue their tagged
+        // sequence, the last two drain until every value is accounted for.
+        runtime.scope(PRODUCERS as usize + 2, |session| {
+            let t = session.index() as u64;
+            if t < PRODUCERS {
+                for i in 0..PER_PRODUCER {
+                    let v = (t << 32) | i;
+                    while !queue.enqueue(session.thread_mut(), v) {
+                        std::thread::yield_now();
                     }
-                });
-            }
-            for _ in 0..2 {
-                scope.spawn(move || {
-                    let mut th = runtime.register_thread();
-                    let mut got = Vec::new();
-                    let target = PRODUCERS * PER_PRODUCER;
-                    while count.load(Ordering::Relaxed) < target {
-                        match queue.dequeue(&mut th) {
-                            Some(v) => {
-                                got.push(v);
-                                count.fetch_add(1, Ordering::Relaxed);
-                            }
-                            None => std::thread::yield_now(),
+                }
+            } else {
+                let mut got = Vec::new();
+                let target = PRODUCERS * PER_PRODUCER;
+                while count.load(Ordering::Relaxed) < target {
+                    match queue.dequeue(session.thread_mut()) {
+                        Some(v) => {
+                            got.push(v);
+                            count.fetch_add(1, Ordering::Relaxed);
                         }
+                        None => std::thread::yield_now(),
                     }
-                    consumed.lock().unwrap().push(got);
-                });
+                }
+                consumed.lock().unwrap().push(got);
             }
         });
     }
@@ -232,7 +220,6 @@ fn queue_preserves_fifo_and_conserves_values_on_all_six_algorithms() {
         let consumed = Arc::new(Mutex::new(Vec::new()));
         visit_algo(
             kind,
-            None,
             sim,
             QueueStress {
                 queue: Arc::clone(&queue),

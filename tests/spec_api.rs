@@ -1,0 +1,314 @@
+//! The `TmSpec` surface, end to end.
+//!
+//! * **Label round-trip property** — every spec label over the whole
+//!   grammar (all `AlgoKind`s *including every* `Rh1Mixed(p)` percentage ×
+//!   clock schemes × builtin retry policies) must round-trip
+//!   `format → parse → format` bit-identically, and near-miss labels must
+//!   be rejected instead of silently defaulted.
+//! * **Golden stats** — a runtime constructed through `TmSpec` must
+//!   produce `TxStats` identical to the same runtime assembled by hand
+//!   from `RhConfig` / `Tl2Config` / `StdHytmConfig` / `HtmRuntimeConfig`
+//!   for a fixed seeded workload: the spec resolution layer may not drift
+//!   the configuration silently.
+//!
+//! Like the rest of the workspace's property tests, the sweep is driven by
+//! a deterministic splitmix64 generator (offline build, no `proptest`);
+//! failures print the inputs that reproduce them.
+
+use std::sync::Arc;
+
+use rhtm_api::RetryPolicyHandle;
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::{HtmConfig, HtmRuntime, HtmRuntimeConfig, HtmSim};
+use rhtm_hytm_std::{StdHytmConfig, StdHytmRuntime};
+use rhtm_mem::{ClockScheme, MemConfig, TmMemory};
+use rhtm_stm::{MutexRuntime, Tl2Config, Tl2Runtime};
+use rhtm_workloads::{
+    run_benchmark, AlgoKind, BenchResult, ConstantHashTable, DriverOpts, OpMix, TmSpec,
+};
+
+/// Deterministic splitmix64 stream for the fuzzed near-miss sweep.
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn new(seed: u64) -> Self {
+        CaseRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Every algorithm kind in the grammar, including *all* 101 mixed
+/// percentages.
+fn every_algo() -> Vec<AlgoKind> {
+    let mut kinds = vec![
+        AlgoKind::Htm,
+        AlgoKind::StdHytm,
+        AlgoKind::Tl2,
+        AlgoKind::Rh1Fast,
+        AlgoKind::Rh1Slow,
+        AlgoKind::Rh2,
+        AlgoKind::GlobalLock,
+    ];
+    kinds.extend((0..=100).map(AlgoKind::Rh1Mixed));
+    kinds
+}
+
+// ---------------------------------------------------------------------
+// Property: format → parse → format is bit-identical over the grammar
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_spec_label_round_trips_bit_identically() {
+    let mut checked = 0usize;
+    for kind in every_algo() {
+        for scheme in ClockScheme::ALL {
+            for policy in RetryPolicyHandle::builtin() {
+                let spec = TmSpec::new(kind).clock(scheme).retry(policy.clone());
+                let label = spec.label();
+                let reparsed =
+                    TmSpec::parse(&label).unwrap_or_else(|| panic!("{label:?} must parse"));
+                assert_eq!(reparsed.label(), label, "format→parse→format drifted");
+                assert_eq!(reparsed.algo(), kind, "{label}");
+                assert_eq!(reparsed.clock_scheme(), scheme, "{label}");
+                assert_eq!(reparsed.retry_label(), policy.label(), "{label}");
+                checked += 1;
+            }
+        }
+    }
+    // (7 fixed + 101 mixed) kinds × 5 schemes × 4 policies.
+    assert_eq!(checked, 108 * 5 * 4);
+}
+
+#[test]
+fn partial_labels_reformat_to_the_canonical_full_form() {
+    for (partial, full) in [
+        ("rh2", "rh2+gv-strict+paper-default"),
+        ("tl2+gv5", "tl2+gv5+paper-default"),
+        ("htm+adaptive", "htm+gv-strict+adaptive"),
+        ("rh1-mixed-37+adaptive+gv6", "rh1-mixed-37+gv6+adaptive"),
+        ("  RH2+GV6  ", "rh2+gv6+paper-default"),
+    ] {
+        let spec = TmSpec::parse(partial).unwrap_or_else(|| panic!("{partial:?} must parse"));
+        assert_eq!(spec.label(), full, "{partial}");
+        // And the canonical form is a fixed point.
+        assert_eq!(TmSpec::parse(full).unwrap().label(), full);
+    }
+}
+
+#[test]
+fn near_miss_labels_are_rejected_not_defaulted() {
+    // Hand-picked near-misses for every grammar production.
+    for bad in [
+        "rh3",
+        "rh1-mixed-101",
+        "rh1-mixed-256",
+        "rh1-mixed--1",
+        "rh1-mixed-",
+        "tl2+gv7",
+        "tl2+gv",
+        "tl2+paper",
+        "tl2+gv5+gv6",
+        "tl2+adaptive+aggressive",
+        "tl2++adaptive",
+        "+tl2",
+        "tl2+",
+        "",
+        "+",
+        "gv5+tl2", // axis in algorithm position
+    ] {
+        assert!(TmSpec::parse(bad).is_none(), "{bad:?} must be rejected");
+        assert!(
+            AlgoKind::parse(bad).is_none() || TmSpec::parse(bad).is_none(),
+            "{bad:?}"
+        );
+    }
+    // Fuzzed single-character mutations of valid labels: whatever still
+    // parses must re-format canonically (never silently become a
+    // *different* point than its own label claims).
+    let mut rng = CaseRng::new(0x5bec_1abe);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789+-".chars().collect();
+    for case in 0..2_000 {
+        let kinds = every_algo();
+        let kind = kinds[rng.below(kinds.len() as u64) as usize];
+        let scheme = ClockScheme::ALL[rng.below(5) as usize];
+        let policy = &RetryPolicyHandle::builtin()[rng.below(4) as usize];
+        let label = TmSpec::new(kind)
+            .clock(scheme)
+            .retry(policy.clone())
+            .label();
+        let mut chars: Vec<char> = label.chars().collect();
+        let pos = rng.below(chars.len() as u64) as usize;
+        match rng.below(3) {
+            0 => chars[pos] = alphabet[rng.below(alphabet.len() as u64) as usize],
+            1 => {
+                chars.remove(pos);
+            }
+            _ => chars.insert(pos, alphabet[rng.below(alphabet.len() as u64) as usize]),
+        }
+        let mutated: String = chars.into_iter().collect();
+        if let Some(spec) = TmSpec::parse(&mutated) {
+            let canonical = spec.label();
+            assert_eq!(
+                TmSpec::parse(&canonical).unwrap().label(),
+                canonical,
+                "case {case}: mutated {mutated:?} parsed to a non-canonical point"
+            );
+        }
+    }
+}
+
+#[test]
+fn algo_parse_rejects_out_of_range_mixed_percentages() {
+    for p in [101u32, 150, 255, 1000] {
+        let label = format!("rh1-mixed-{p}");
+        assert_eq!(AlgoKind::parse(&label), None, "{label}");
+    }
+    assert_eq!(
+        AlgoKind::parse("rh1-mixed-100"),
+        Some(AlgoKind::Rh1Mixed(100))
+    );
+    assert_eq!(AlgoKind::parse("rh1-mixed-0"), Some(AlgoKind::Rh1Mixed(0)));
+}
+
+// ---------------------------------------------------------------------
+// Golden stats: TmSpec construction == hand-assembled configs
+// ---------------------------------------------------------------------
+
+const ELEMENTS: u64 = 256;
+
+fn golden_opts() -> DriverOpts {
+    // Single-threaded + counted + fixed seed ⇒ the run is deterministic,
+    // so equal configurations must produce bit-equal statistics.
+    DriverOpts::counted_mix(1, OpMix::read_update(40), 400).with_seed(0xdead_cafe)
+}
+
+fn hand_built_sim(scheme: ClockScheme) -> (Arc<HtmSim>, ConstantHashTable) {
+    let mem_cfg = MemConfig {
+        clock_scheme: scheme,
+        ..MemConfig::with_data_words(ConstantHashTable::required_words(ELEMENTS) + 4096)
+    };
+    let sim = HtmSim::new(Arc::new(TmMemory::new(mem_cfg)), HtmConfig::default());
+    let table = ConstantHashTable::new(Arc::clone(&sim), ELEMENTS);
+    (sim, table)
+}
+
+fn spec_result(kind: AlgoKind, scheme: ClockScheme, policy: &RetryPolicyHandle) -> BenchResult {
+    TmSpec::new(kind)
+        .clock(scheme)
+        .retry(policy.clone())
+        .mem(MemConfig::with_data_words(
+            ConstantHashTable::required_words(ELEMENTS) + 4096,
+        ))
+        .bench(
+            |sim| ConstantHashTable::new(Arc::clone(sim), ELEMENTS),
+            &golden_opts(),
+        )
+}
+
+fn assert_golden(kind: AlgoKind, via_spec: BenchResult, hand: BenchResult) {
+    assert_eq!(via_spec.total_ops, hand.total_ops, "{kind:?}: ops diverged");
+    assert_eq!(
+        via_spec.stats, hand.stats,
+        "{kind:?}: TmSpec construction drifted from the hand-assembled config"
+    );
+}
+
+#[test]
+fn spec_matches_hand_assembled_rh_configs() {
+    let policy = RetryPolicyHandle::adaptive();
+    let scheme = ClockScheme::Gv6;
+    for (kind, config) in [
+        (AlgoKind::Rh1Fast, RhConfig::rh1_fast()),
+        (AlgoKind::Rh1Mixed(100), RhConfig::rh1_mixed(100)),
+        (AlgoKind::Rh1Slow, RhConfig::rh1_slow()),
+        (AlgoKind::Rh2, RhConfig::rh2()),
+    ] {
+        let (sim, table) = hand_built_sim(scheme);
+        let runtime = RhRuntime::with_sim(sim, config.with_retry_policy(policy.clone()));
+        let hand = run_benchmark(&runtime, &table, &golden_opts());
+        assert_golden(kind, spec_result(kind, scheme, &policy), hand);
+    }
+}
+
+#[test]
+fn spec_matches_hand_assembled_tl2_and_htm_configs() {
+    let policy = RetryPolicyHandle::capped_exponential();
+    let scheme = ClockScheme::Gv5;
+
+    let (sim, table) = hand_built_sim(scheme);
+    let tl2 =
+        Tl2Runtime::with_sim_config(sim, Tl2Config::default().with_retry_policy(policy.clone()));
+    let hand = run_benchmark(&tl2, &table, &golden_opts());
+    assert_golden(
+        AlgoKind::Tl2,
+        spec_result(AlgoKind::Tl2, scheme, &policy),
+        hand,
+    );
+
+    let (sim, table) = hand_built_sim(scheme);
+    let htm = HtmRuntime::with_sim_config(
+        sim,
+        HtmRuntimeConfig::default().with_retry_policy(policy.clone()),
+    );
+    let hand = run_benchmark(&htm, &table, &golden_opts());
+    assert_golden(
+        AlgoKind::Htm,
+        spec_result(AlgoKind::Htm, scheme, &policy),
+        hand,
+    );
+}
+
+#[test]
+fn spec_matches_hand_assembled_std_hytm_and_global_lock() {
+    let policy = RetryPolicyHandle::paper_default();
+    let scheme = ClockScheme::GvStrict;
+
+    let (sim, table) = hand_built_sim(scheme);
+    let hytm = StdHytmRuntime::with_sim(
+        sim,
+        StdHytmConfig::hardware_only().with_retry_policy(policy.clone()),
+    );
+    let hand = run_benchmark(&hytm, &table, &golden_opts());
+    assert_golden(
+        AlgoKind::StdHytm,
+        spec_result(AlgoKind::StdHytm, scheme, &policy),
+        hand,
+    );
+
+    let (sim, table) = hand_built_sim(scheme);
+    let lock = MutexRuntime::with_sim(sim);
+    let hand = run_benchmark(&lock, &table, &golden_opts());
+    assert_golden(
+        AlgoKind::GlobalLock,
+        spec_result(AlgoKind::GlobalLock, scheme, &policy),
+        hand,
+    );
+}
+
+// ---------------------------------------------------------------------
+// The spec label is carried into the report row
+// ---------------------------------------------------------------------
+
+#[test]
+fn bench_records_the_spec_label_in_the_result_row() {
+    let policy = RetryPolicyHandle::aggressive();
+    let result = spec_result(AlgoKind::Rh2, ClockScheme::Gv4, &policy);
+    assert_eq!(result.spec, "rh2+gv4+aggressive");
+    assert_eq!(result.algorithm, "RH2");
+    // Direct driver runs have no spec to record.
+    let (sim, table) = hand_built_sim(ClockScheme::GvStrict);
+    let runtime = MutexRuntime::with_sim(sim);
+    let direct = run_benchmark(&runtime, &table, &golden_opts());
+    assert!(direct.spec.is_empty());
+}

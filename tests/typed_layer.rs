@@ -320,7 +320,6 @@ fn dyn_erased_runtimes_match_the_generic_path_exactly() {
         let (sim_a, map_a, list_a) = build_world();
         let (total_a, stats_a) = rhtm_workloads::visit_algo(
             kind,
-            None,
             sim_a,
             GenericDriver {
                 ops: ops.clone(),
@@ -332,7 +331,7 @@ fn dyn_erased_runtimes_match_the_generic_path_exactly() {
         // Dyn-erased path: the runtime is a value, the body runs through
         // `&mut dyn Txn`.
         let (sim_b, map_b, list_b) = build_world();
-        let rt = kind.instantiate_dyn(None, sim_b);
+        let rt = kind.instantiate_dyn(sim_b);
         let mut th = rt.register_dyn();
         let mut total_b = 0u64;
         for &drawn in &ops {
@@ -355,7 +354,7 @@ fn dyn_threads_drive_structures_concurrently() {
     // typed structure without naming a single concrete runtime type.
     let (sim, _map, list) = build_world();
     let rt: Arc<dyn rhtm::api::DynRuntime> =
-        Arc::from(AlgoKind::Rh1Mixed(100).instantiate_dyn(None, sim));
+        Arc::from(AlgoKind::Rh1Mixed(100).instantiate_dyn(sim));
     let list = Arc::new(list);
     let handles: Vec<_> = (0..4)
         .map(|t| {
