@@ -73,7 +73,7 @@ pub use retry::{
     AttemptContext, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle, RetryRng,
 };
 pub use session::{run_scoped, DynScopeExt, ScopeControl, TmScopeExt, WorkerSession};
-pub use stats::{PathKind, Stopwatch, TxStats};
+pub use stats::{PathKind, PathProbe, Stopwatch, TxStats};
 pub use traits::{TmRuntime, TmThread, Txn};
 pub use typed::{
     Codec, Field, FieldArray, LayoutBuilder, OrSized, Record, TxCell, TxFreeList, TxLayout, TxPtr,

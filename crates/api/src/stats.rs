@@ -61,6 +61,63 @@ impl PathKind {
     }
 }
 
+/// A before/after snapshot of the per-path commit counters, used to tag an
+/// individual operation with the commit path it actually took.
+///
+/// The runtimes record commits into [`TxStats::commits_by_path`] but expose
+/// no per-transaction signal; diffing the counters around one operation
+/// recovers it after the fact.  History recorders use this to annotate each
+/// recorded event, so a failed invariant can report *which* commit path the
+/// offending operations ran on — the difference between "RH1's mixed
+/// slow-path lost an update" and "the software fallback did" without
+/// re-running anything.
+///
+/// ```
+/// use rhtm_api::test_runtime::DirectRuntime;
+/// use rhtm_api::{PathKind, PathProbe, TmRuntime, TmThread, Txn};
+///
+/// let rt = DirectRuntime::new(64);
+/// let addr = rt.mem().alloc(1);
+/// let mut th = rt.register_thread();
+/// let probe = PathProbe::start(th.stats());
+/// th.execute(|tx| tx.write(addr, 7));
+/// assert_eq!(probe.finish(th.stats()), Some(PathKind::Software));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PathProbe {
+    before: [u64; 3],
+}
+
+impl PathProbe {
+    /// Snapshots the commit counters before the operation runs.
+    #[inline]
+    pub fn start(stats: &TxStats) -> Self {
+        PathProbe {
+            before: stats.commits_by_path,
+        }
+    }
+
+    /// Diffs against the counters after the operation: the path whose
+    /// counter grew the most (ties broken in [`PathKind::ALL`] order), or
+    /// `None` when no commit was recorded in between.
+    ///
+    /// An operation that retried across paths (e.g. a helper loop that
+    /// committed several transactions) reports its *dominant* path.
+    #[inline]
+    pub fn finish(self, stats: &TxStats) -> Option<PathKind> {
+        let mut best: Option<PathKind> = None;
+        let mut best_delta = 0u64;
+        for path in PathKind::ALL {
+            let delta = stats.commits_by_path[path.index()] - self.before[path.index()];
+            if delta > best_delta {
+                best_delta = delta;
+                best = Some(path);
+            }
+        }
+        best
+    }
+}
+
 /// A start/stop timer that is free when timing is disabled.
 ///
 /// Runtimes wrap their read/write/commit sections with a `Stopwatch` and add
@@ -333,6 +390,26 @@ mod tests {
         let sw = Stopwatch::start(true);
         std::thread::sleep(Duration::from_millis(1));
         assert!(sw.stop() > 0);
+    }
+
+    #[test]
+    fn path_probe_reports_the_dominant_path() {
+        let mut s = TxStats::new(false);
+        s.record_commit(PathKind::HardwareFast);
+        let probe = PathProbe::start(&s);
+        assert_eq!(probe.finish(&s), None, "no commit in between");
+        let probe = PathProbe::start(&s);
+        s.record_commit(PathKind::MixedSlow);
+        assert_eq!(probe.finish(&s), Some(PathKind::MixedSlow));
+        let probe = PathProbe::start(&s);
+        s.record_commit(PathKind::Software);
+        s.record_commit(PathKind::Software);
+        s.record_commit(PathKind::HardwareFast);
+        assert_eq!(
+            probe.finish(&s),
+            Some(PathKind::Software),
+            "dominant path wins when several committed"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```
 //!
 //! * `--list` prints the scenario registry (name, structure, paper-scale
-//!   size, distribution, mix, description) and exits.
+//!   size, distribution, mix, phase plan, description) and exits.
 //! * `--smoke` is the CI configuration: every scenario and algorithm at
 //!   tiny sizes, 2 threads, 10 ms per point.
 //! * `spec=` selects the runtime points to sweep as `TmSpec` labels
@@ -33,20 +33,22 @@ fn print_list() {
         "size",
         "distribution",
         "mix",
+        "phases",
         "description",
     ];
     println!(
-        "{:<26} {:<12} {:>10}  {:<13} {:<15} {}",
-        header[0], header[1], header[2], header[3], header[4], header[5]
+        "{:<26} {:<12} {:>10}  {:<13} {:<15} {:<13} {}",
+        header[0], header[1], header[2], header[3], header[4], header[5], header[6]
     );
     for s in Scenario::all() {
         println!(
-            "{:<26} {:<12} {:>10}  {:<13} {:<15} {}",
+            "{:<26} {:<12} {:>10}  {:<13} {:<15} {:<13} {}",
             s.name,
             s.structure.label(),
             s.base_size,
             s.dist.label(),
             s.mix.label(),
+            s.phases_label(),
             s.about
         );
     }

@@ -1,0 +1,1057 @@
+//! The reusable history/invariant checker.
+//!
+//! Stress tests in this workspace all share one shape: many scoped
+//! workers hammer a transactional structure, then a single thread
+//! inspects the final state.  Checking only the *final* state misses a
+//! whole class of serializability bugs — a torn analytics scan, a
+//! dequeue served out of FIFO order, an update applied twice — that are
+//! only visible in what each thread *observed* along the way.  This
+//! module closes the gap:
+//!
+//! 1. Each worker records its invocation/response pairs as [`Event`]s in
+//!    a per-thread [`HistoryRecorder`] — no cross-thread synchronisation
+//!    on the hot path, so recording barely perturbs the interleaving
+//!    under test.
+//! 2. Every event carries the **commit path** that served it
+//!    ([`rhtm_api::PathKind`], captured by diffing
+//!    [`rhtm_api::TxStats::commits_by_path`] around the operation with
+//!    [`rhtm_api::PathProbe`]).  When a checker rejects a history, the
+//!    violation's `path_hint` says whether the offending operation
+//!    committed on the hardware fast path, the mixed slow path or the
+//!    software fallback — which localises an RH1-vs-RH2 protocol bug to
+//!    the path that produced it.
+//! 3. After the scope joins, the recorders merge into a [`History`] and
+//!    pluggable [`Checker`]s verify it offline: [`MapChecker`] (set/map
+//!    semantics), [`FifoChecker`] (queue order + conservation),
+//!    [`BankChecker`] (cross-structure conservation for the composed
+//!    [`TxBank`]), [`ScanChecker`] (snapshot atomicity).
+//!
+//! The checkers are deliberately *order-free*: they verify invariants
+//! that must hold for **every** legal serialization (presence arithmetic,
+//! value provenance, multiset conservation, per-producer FIFO order,
+//! balance replay), so they never need the true commit order — which the
+//! recorder, by design, does not capture.  That keeps them sound (no
+//! false alarms on legal interleavings) while still rejecting every
+//! hand-crafted bug in the mutation self-tests.
+//!
+//! The [`record_map_churn`], [`record_queue_stress`] and
+//! [`record_bank_stress`] drivers package the whole recipe — scope,
+//! record, snapshot, pair with the right checker — for any
+//! [`TmRuntime`], so integration tests run one line per (structure,
+//! spec) combination.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::yield_now;
+
+use rhtm_api::{PathKind, PathProbe, TmRuntime, TmScopeExt, TmThread};
+
+use crate::rng::WorkloadRng;
+use crate::structures::bank::{BankSnapshot, TransferOutcome, TxBank};
+use crate::structures::queue::TxQueue;
+use crate::structures::skiplist::TxSkipList;
+use crate::workload::Workload;
+
+/// One completed operation, as observed by the thread that invoked it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Map/set insert-or-update: `inserted` is `true` when the key was
+    /// absent (a shape change), `false` for an in-place value update.
+    Insert {
+        /// The key operated on.
+        key: u64,
+        /// The value written (on both the insert and the update path).
+        value: u64,
+        /// Whether the key was newly inserted.
+        inserted: bool,
+    },
+    /// Map/set remove: `removed` is the value the operation took out,
+    /// `None` when the key was absent.
+    Remove {
+        /// The key operated on.
+        key: u64,
+        /// The value removed, when the key was present.
+        removed: Option<u64>,
+    },
+    /// Map/set lookup and the value it observed.
+    Lookup {
+        /// The key operated on.
+        key: u64,
+        /// The value observed, when the key was present.
+        value: Option<u64>,
+    },
+    /// Queue enqueue: `accepted` is `false` when the queue was full.
+    Enqueue {
+        /// The value offered.
+        value: u64,
+        /// Whether the queue took it.
+        accepted: bool,
+    },
+    /// Queue dequeue and the value it returned (`None` when empty).
+    Dequeue {
+        /// The value taken, when the queue was non-empty.
+        value: Option<u64>,
+    },
+    /// A composed [`TxBank`] transfer: `applied` is `false` for declined
+    /// transfers (which must leave no trace).
+    Transfer {
+        /// Debited account.
+        from: u64,
+        /// Credited account.
+        to: u64,
+        /// Amount moved.
+        amount: u64,
+        /// Whether balances moved and the audit log recorded it.
+        applied: bool,
+    },
+    /// A full read-only scan and the total it observed (the analytics
+    /// query; atomicity demands one exact answer).
+    Scan {
+        /// The observed total.
+        sum: u64,
+    },
+}
+
+/// An [`EventKind`] tagged with the commit path that served it (`None`
+/// when the probe saw no commit, e.g. hand-crafted histories).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Which commit path served it, per [`rhtm_api::PathProbe`].
+    pub path: Option<PathKind>,
+}
+
+/// Per-thread event log; the hot path is one `Vec::push`, nothing shared.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    events: Vec<Event>,
+}
+
+impl HistoryRecorder {
+    /// An empty recorder (one per worker).
+    pub fn new() -> Self {
+        HistoryRecorder { events: Vec::new() }
+    }
+
+    /// Appends one completed operation.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, path: Option<PathKind>) {
+        self.events.push(Event { kind, path });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A complete multi-threaded run: one event sequence per worker, in
+/// worker-index order.
+#[derive(Debug, Default)]
+pub struct History {
+    threads: Vec<Vec<Event>>,
+}
+
+impl History {
+    /// Merges per-worker recorders (in worker-index order, e.g. straight
+    /// from [`TmScopeExt::scope`]'s output vector).
+    pub fn from_recorders(recorders: Vec<HistoryRecorder>) -> Self {
+        History {
+            threads: recorders.into_iter().map(|r| r.events).collect(),
+        }
+    }
+
+    /// Builds a history from raw per-thread event kinds (hand-crafted
+    /// histories in mutation tests; events carry no path tag).
+    pub fn from_kinds(threads: Vec<Vec<EventKind>>) -> Self {
+        History {
+            threads: threads
+                .into_iter()
+                .map(|events| {
+                    events
+                        .into_iter()
+                        .map(|kind| Event { kind, path: None })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// The per-thread event sequences.
+    pub fn threads(&self) -> &[Vec<Event>] {
+        &self.threads
+    }
+
+    /// All events, thread by thread (program order within a thread; no
+    /// cross-thread order is implied).
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.threads.iter().flatten()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events served per commit path (in [`PathKind::ALL`] order), plus
+    /// the count of untagged events.
+    pub fn path_counts(&self) -> ([u64; 3], u64) {
+        let mut tagged = [0u64; 3];
+        let mut untagged = 0u64;
+        for e in self.events() {
+            match e.path {
+                Some(p) => tagged[p.index()] += 1,
+                None => untagged += 1,
+            }
+        }
+        (tagged, untagged)
+    }
+
+    /// The path that served the most events, when any event is tagged.
+    pub fn dominant_path(&self) -> Option<PathKind> {
+        let (tagged, _) = self.path_counts();
+        PathKind::ALL
+            .into_iter()
+            .filter(|p| tagged[p.index()] > 0)
+            .max_by_key(|p| tagged[p.index()])
+    }
+}
+
+/// A rejected history: which checker, what broke, and — when the
+/// offending operation is identifiable — the commit path that served it
+/// (the RH1-vs-RH2 bug-localisation handle).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// [`Checker::name`] of the rejecting checker.
+    pub checker: &'static str,
+    /// Human-readable description of the broken invariant.
+    pub detail: String,
+    /// Commit path of the offending operation, when attributable.
+    pub path_hint: Option<PathKind>,
+}
+
+impl Violation {
+    fn new(checker: &'static str, detail: String, path_hint: Option<PathKind>) -> Self {
+        Violation {
+            checker,
+            detail,
+            path_hint,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.checker, self.detail)?;
+        match self.path_hint {
+            Some(p) => write!(f, " (commit path: {p:?})"),
+            None => write!(f, " (commit path: unknown)"),
+        }
+    }
+}
+
+/// An offline history verifier (see the [module docs](self) for the
+/// soundness contract: reject only histories wrong in **every** legal
+/// serialization).
+pub trait Checker {
+    /// Stable name, quoted in violations.
+    fn name(&self) -> &'static str;
+
+    /// Verifies a recorded history; `Err` describes the first broken
+    /// invariant found.
+    fn check(&self, history: &History) -> Result<(), Violation>;
+}
+
+const MAP_CHECKER: &str = "map-semantics";
+
+/// Set/map semantics for keyed structures (hashtable, skiplist).
+///
+/// Verifies, per key, order-free invariants over [`EventKind::Insert`] /
+/// [`EventKind::Remove`] / [`EventKind::Lookup`] events:
+///
+/// * **Presence arithmetic** — every successful insert flips the key
+///   absent→present and every successful remove present→absent, so
+///   `initial presence + inserts − removes = final presence` in any
+///   legal serialization.  Double-granted inserts (the classic lost
+///   update on the shape) break the equation.
+/// * **Value provenance** — every observed value (lookup hits, removed
+///   values, the final snapshot) must have been written by *some* insert
+///   or be the key's initial value; anything else was conjured.
+pub struct MapChecker {
+    initial: BTreeMap<u64, u64>,
+    final_state: BTreeMap<u64, u64>,
+}
+
+impl MapChecker {
+    /// Checker for a run that started from `initial` and ended (after all
+    /// workers joined) at `final_state`.
+    pub fn new(
+        initial: impl IntoIterator<Item = (u64, u64)>,
+        final_state: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
+        MapChecker {
+            initial: initial.into_iter().collect(),
+            final_state: final_state.into_iter().collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct KeyLedger {
+    net: i64,
+    removes: u64,
+    written: Vec<u64>,
+}
+
+impl Checker for MapChecker {
+    fn name(&self) -> &'static str {
+        MAP_CHECKER
+    }
+
+    fn check(&self, history: &History) -> Result<(), Violation> {
+        let mut ledgers: BTreeMap<u64, KeyLedger> = BTreeMap::new();
+        // Pass 1: accumulate writes so provenance sees writers on other
+        // threads, regardless of event order.
+        for event in history.events() {
+            if let EventKind::Insert { key, value, .. } = event.kind {
+                ledgers.entry(key).or_default().written.push(value);
+            }
+        }
+        let provenance_ok = |key: u64, value: u64, ledgers: &BTreeMap<u64, KeyLedger>| {
+            self.initial.get(&key) == Some(&value)
+                || ledgers
+                    .get(&key)
+                    .is_some_and(|l| l.written.contains(&value))
+        };
+        // Pass 2: presence arithmetic + provenance of observed values.
+        for event in history.events() {
+            match event.kind {
+                EventKind::Insert {
+                    key,
+                    inserted: true,
+                    ..
+                } => {
+                    ledgers.entry(key).or_default().net += 1;
+                }
+                EventKind::Remove {
+                    key,
+                    removed: Some(value),
+                } => {
+                    let ledger = ledgers.entry(key).or_default();
+                    ledger.net -= 1;
+                    ledger.removes += 1;
+                    if !provenance_ok(key, value, &ledgers) {
+                        return Err(Violation::new(
+                            MAP_CHECKER,
+                            format!("remove({key}) returned value {value} nobody wrote"),
+                            event.path,
+                        ));
+                    }
+                }
+                EventKind::Lookup {
+                    key,
+                    value: Some(value),
+                } if !provenance_ok(key, value, &ledgers) => {
+                    return Err(Violation::new(
+                        MAP_CHECKER,
+                        format!("lookup({key}) observed value {value} nobody wrote"),
+                        event.path,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let keys: Vec<u64> = ledgers
+            .keys()
+            .chain(self.initial.keys())
+            .chain(self.final_state.keys())
+            .copied()
+            .collect();
+        for key in keys {
+            let ledger = ledgers.get(&key);
+            let net = ledger.map_or(0, |l| l.net);
+            let initially = i64::from(self.initial.contains_key(&key));
+            let finally = i64::from(self.final_state.contains_key(&key));
+            if initially + net != finally {
+                return Err(Violation::new(
+                    MAP_CHECKER,
+                    format!(
+                        "key {key}: initial presence {initially} + {net} net successful \
+                         inserts does not give final presence {finally}"
+                    ),
+                    history.dominant_path(),
+                ));
+            }
+            if let Some(&value) = self.final_state.get(&key) {
+                let from_writes = ledger.is_some_and(|l| l.written.contains(&value));
+                let from_initial = self.initial.get(&key) == Some(&value);
+                let wrote = ledger.is_some_and(|l| !l.written.is_empty());
+                let removes = ledger.map_or(0, |l| l.removes);
+                // With writers and no successful remove, some write is
+                // serialized last, so the final value must be a written
+                // one — a final still holding the initial value means
+                // every update was lost.
+                let ok = if removes == 0 && wrote {
+                    from_writes
+                } else {
+                    from_writes || from_initial
+                };
+                if !ok {
+                    return Err(Violation::new(
+                        MAP_CHECKER,
+                        format!("key {key}: final value {value} was never written"),
+                        history.dominant_path(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+const FIFO_CHECKER: &str = "fifo-order";
+
+/// FIFO semantics for [`TxQueue`] histories with **distinct** values
+/// (drivers tag values with the producer id, so distinctness is free).
+///
+/// * **Conservation** — `initial ⊎ accepted enqueues` must equal
+///   `successful dequeues ⊎ final contents` as multisets; a dequeue of a
+///   value nobody enqueued, a lost element or a duplicated element all
+///   break it.
+/// * **Per-producer order** — any one consumer must see any one
+///   producer's values in enqueue order (the order-free core of FIFO:
+///   true in every legal serialization even with concurrent producers).
+/// * **Residue order** — values still queued at the end must be, per
+///   producer, the *latest* of that producer's accepted values, in
+///   order.
+pub struct FifoChecker {
+    initial: Vec<u64>,
+    final_state: Vec<u64>,
+}
+
+impl FifoChecker {
+    /// Checker for a run over a queue that started holding `initial`
+    /// (front first) and ended holding `final_state`.
+    pub fn new(initial: Vec<u64>, final_state: Vec<u64>) -> Self {
+        FifoChecker {
+            initial,
+            final_state,
+        }
+    }
+}
+
+impl Checker for FifoChecker {
+    fn name(&self) -> &'static str {
+        FIFO_CHECKER
+    }
+
+    fn check(&self, history: &History) -> Result<(), Violation> {
+        // Source id 0 is the initial contents; producers are 1 + thread.
+        let mut source: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+        let mut tag = |value: u64, src: usize, seq: usize| -> Result<(), Violation> {
+            if source.insert(value, (src, seq)).is_some() {
+                return Err(Violation::new(
+                    FIFO_CHECKER,
+                    format!("value {value} enqueued twice; the checker needs distinct values"),
+                    None,
+                ));
+            }
+            Ok(())
+        };
+        for (seq, &value) in self.initial.iter().enumerate() {
+            tag(value, 0, seq)?;
+        }
+        for (thread, events) in history.threads().iter().enumerate() {
+            let mut seq = 0usize;
+            for event in events {
+                if let EventKind::Enqueue {
+                    value,
+                    accepted: true,
+                } = event.kind
+                {
+                    tag(value, 1 + thread, seq)?;
+                    seq += 1;
+                }
+            }
+        }
+        // Conservation: in-flow and out-flow must match as multisets.
+        let mut flow: BTreeMap<u64, i64> = BTreeMap::new();
+        for &value in source.keys() {
+            *flow.entry(value).or_default() += 1;
+        }
+        for event in history.events() {
+            if let EventKind::Dequeue { value: Some(value) } = event.kind {
+                if !source.contains_key(&value) {
+                    return Err(Violation::new(
+                        FIFO_CHECKER,
+                        format!("dequeued value {value} was never enqueued"),
+                        event.path,
+                    ));
+                }
+                *flow.entry(value).or_default() -= 1;
+            }
+        }
+        for &value in &self.final_state {
+            *flow.entry(value).or_default() -= 1;
+        }
+        if let Some((&value, &net)) = flow.iter().find(|(_, &net)| net != 0) {
+            let fate = if net > 0 { "lost" } else { "duplicated" };
+            return Err(Violation::new(
+                FIFO_CHECKER,
+                format!("value {value} was {fate} (net flow {net})"),
+                history.dominant_path(),
+            ));
+        }
+        // Per-producer order at each consumer.
+        for events in history.threads() {
+            let mut last_seen: BTreeMap<usize, usize> = BTreeMap::new();
+            for event in events {
+                if let EventKind::Dequeue { value: Some(value) } = event.kind {
+                    let (src, seq) = source[&value];
+                    if let Some(&prev) = last_seen.get(&src) {
+                        if seq <= prev {
+                            return Err(Violation::new(
+                                FIFO_CHECKER,
+                                format!(
+                                    "consumer saw source {src} out of order: \
+                                     seq {seq} after seq {prev} (value {value})"
+                                ),
+                                event.path,
+                            ));
+                        }
+                    }
+                    last_seen.insert(src, seq);
+                }
+            }
+        }
+        // Residue: per producer, what's left must be its newest values in
+        // order (everything older was dequeued first).
+        let mut max_dequeued: BTreeMap<usize, usize> = BTreeMap::new();
+        for event in history.events() {
+            if let EventKind::Dequeue { value: Some(value) } = event.kind {
+                let (src, seq) = source[&value];
+                let entry = max_dequeued.entry(src).or_insert(seq);
+                *entry = (*entry).max(seq);
+            }
+        }
+        let mut last_final: BTreeMap<usize, usize> = BTreeMap::new();
+        for &value in &self.final_state {
+            let (src, seq) = source[&value];
+            if let Some(&dequeued) = max_dequeued.get(&src) {
+                if seq < dequeued {
+                    return Err(Violation::new(
+                        FIFO_CHECKER,
+                        format!(
+                            "source {src} seq {seq} still queued although its \
+                             seq {dequeued} was already dequeued"
+                        ),
+                        history.dominant_path(),
+                    ));
+                }
+            }
+            if let Some(&prev) = last_final.get(&src) {
+                if seq <= prev {
+                    return Err(Violation::new(
+                        FIFO_CHECKER,
+                        format!("final contents hold source {src} out of order"),
+                        history.dominant_path(),
+                    ));
+                }
+            }
+            last_final.insert(src, seq);
+        }
+        Ok(())
+    }
+}
+
+const BANK_CHECKER: &str = "bank-conservation";
+
+/// Cross-structure conservation for the composed [`TxBank`].
+///
+/// Verifies the recorded [`EventKind::Transfer`] / [`EventKind::Scan`] /
+/// [`EventKind::Lookup`] events against the final [`BankSnapshot`]:
+///
+/// * the balance total is conserved and every account's final balance
+///   **replays** from the applied transfers (initial + in − out);
+/// * the audit sequence equals the number of applied transfers, and
+///   every surviving audit-ring entry is contiguous and matches an
+///   applied transfer event;
+/// * every scan observed exactly the conserved total (snapshot
+///   atomicity — this is where a torn RH2 commit shows up), and every
+///   observed balance is individually plausible (≤ total).
+pub struct BankChecker {
+    accounts: u64,
+    initial_balance: u64,
+    snapshot: BankSnapshot,
+}
+
+impl BankChecker {
+    /// Checker for a run over `bank`, ended at `snapshot`.
+    pub fn new(bank: &TxBank, snapshot: BankSnapshot) -> Self {
+        BankChecker {
+            accounts: bank.accounts(),
+            initial_balance: bank.initial_balance(),
+            snapshot,
+        }
+    }
+
+    /// Checker from raw parameters (hand-crafted histories).
+    pub fn with_params(accounts: u64, initial_balance: u64, snapshot: BankSnapshot) -> Self {
+        BankChecker {
+            accounts,
+            initial_balance,
+            snapshot,
+        }
+    }
+}
+
+impl Checker for BankChecker {
+    fn name(&self) -> &'static str {
+        BANK_CHECKER
+    }
+
+    fn check(&self, history: &History) -> Result<(), Violation> {
+        let expected_total = self.accounts * self.initial_balance;
+        if self.snapshot.balances.len() as u64 != self.accounts {
+            return Err(Violation::new(
+                BANK_CHECKER,
+                format!(
+                    "snapshot holds {} accounts, expected {}",
+                    self.snapshot.balances.len(),
+                    self.accounts
+                ),
+                None,
+            ));
+        }
+        let mut applied: Vec<(u64, u64, u64)> = Vec::new();
+        let mut delta: BTreeMap<u64, i128> = BTreeMap::new();
+        for event in history.events() {
+            match event.kind {
+                EventKind::Transfer {
+                    from,
+                    to,
+                    amount,
+                    applied: true,
+                } => {
+                    applied.push((from, to, amount));
+                    *delta.entry(from).or_default() -= i128::from(amount);
+                    *delta.entry(to).or_default() += i128::from(amount);
+                }
+                EventKind::Scan { sum } if sum != expected_total => {
+                    return Err(Violation::new(
+                        BANK_CHECKER,
+                        format!(
+                            "scan observed total {sum}, conservation demands \
+                             {expected_total} in every serialization"
+                        ),
+                        event.path,
+                    ));
+                }
+                EventKind::Lookup {
+                    value: Some(value), ..
+                } if value > expected_total => {
+                    return Err(Violation::new(
+                        BANK_CHECKER,
+                        format!("observed balance {value} exceeds the total {expected_total}"),
+                        event.path,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let total: u64 = self.snapshot.balances.iter().sum();
+        if total != expected_total {
+            return Err(Violation::new(
+                BANK_CHECKER,
+                format!("final balances sum to {total}, expected {expected_total}"),
+                history.dominant_path(),
+            ));
+        }
+        for (account, &balance) in self.snapshot.balances.iter().enumerate() {
+            let replayed = i128::from(self.initial_balance)
+                + delta.get(&(account as u64)).copied().unwrap_or(0);
+            if i128::from(balance) != replayed {
+                return Err(Violation::new(
+                    BANK_CHECKER,
+                    format!(
+                        "account {account}: final balance {balance} but the applied \
+                         transfers replay to {replayed}"
+                    ),
+                    history.dominant_path(),
+                ));
+            }
+        }
+        if self.snapshot.audit_seq != applied.len() as u64 {
+            return Err(Violation::new(
+                BANK_CHECKER,
+                format!(
+                    "audit sequence {} but {} transfers were applied",
+                    self.snapshot.audit_seq,
+                    applied.len()
+                ),
+                history.dominant_path(),
+            ));
+        }
+        if self.snapshot.audit.len() as u64 > self.snapshot.audit_seq {
+            return Err(Violation::new(
+                BANK_CHECKER,
+                format!(
+                    "audit ring holds {} entries but only {} transfers ever applied",
+                    self.snapshot.audit.len(),
+                    self.snapshot.audit_seq
+                ),
+                history.dominant_path(),
+            ));
+        }
+        let first_live = self.snapshot.audit_seq - self.snapshot.audit.len() as u64;
+        for (offset, &(seq, packed)) in self.snapshot.audit.iter().enumerate() {
+            if seq != first_live + offset as u64 {
+                return Err(Violation::new(
+                    BANK_CHECKER,
+                    format!("audit ring is not contiguous at entry {seq}"),
+                    history.dominant_path(),
+                ));
+            }
+            let entry = crate::structures::bank::unpack_entry(packed);
+            if !applied.contains(&entry) {
+                return Err(Violation::new(
+                    BANK_CHECKER,
+                    format!("audit entry {seq} records a transfer {entry:?} nobody applied"),
+                    history.dominant_path(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+const SCAN_CHECKER: &str = "scan-atomicity";
+
+/// Snapshot atomicity for any structure with a conserved aggregate:
+/// every [`EventKind::Scan`] must observe exactly `expected` — a phantom
+/// read (a concurrent writer's half-applied transaction leaking into the
+/// scan) shows up as any other value.
+pub struct ScanChecker {
+    /// The conserved total every scan must observe.
+    pub expected: u64,
+}
+
+impl Checker for ScanChecker {
+    fn name(&self) -> &'static str {
+        SCAN_CHECKER
+    }
+
+    fn check(&self, history: &History) -> Result<(), Violation> {
+        for event in history.events() {
+            if let EventKind::Scan { sum } = event.kind {
+                if sum != self.expected {
+                    return Err(Violation::new(
+                        SCAN_CHECKER,
+                        format!(
+                            "scan observed {sum}, expected the conserved total {}",
+                            self.expected
+                        ),
+                        event.path,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `checkers` against `history`, collecting every violation (the
+/// one-line driver for "this history must be clean" assertions).
+pub fn check_all(history: &History, checkers: &[&dyn Checker]) -> Vec<Violation> {
+    checkers
+        .iter()
+        .filter_map(|c| c.check(history).err())
+        .collect()
+}
+
+/// Scoped insert/remove/lookup churn over a [`TxSkipList`], recorded and
+/// paired with the matching [`MapChecker`] — the reusable
+/// stress-driver for keyed structures (also the freelist-recycling
+/// regression rig: churn forces node slots through remove→insert reuse,
+/// and the checker rejects any key whose presence or value provenance is
+/// corrupted by a double-free).
+///
+/// Values encode `(worker, op)` so provenance is exact; keys are drawn
+/// from the list's key space with the per-worker seeds derived from
+/// `seed`, so runs replay deterministically on a deterministic runtime.
+pub fn record_map_churn<R: TmRuntime>(
+    runtime: &R,
+    list: &TxSkipList,
+    workers: usize,
+    ops_per_worker: u64,
+    seed: u64,
+) -> (MapChecker, History) {
+    let initial = {
+        let mut th = runtime.register_thread();
+        list.snapshot(&mut th)
+    };
+    let key_span = list.key_space().max(2) - 1;
+    let recorders = runtime.scope(workers, |session| {
+        let mut recorder = HistoryRecorder::new();
+        let mut rng = WorkloadRng::new(seed ^ (0x9E37_79B9 * (1 + session.index() as u64)));
+        for op in 0..ops_per_worker {
+            let key = 1 + rng.next_below(key_span);
+            let roll = rng.next_below(10);
+            let probe = PathProbe::start(session.stats());
+            let kind = if roll < 4 {
+                let value = ((session.index() as u64 + 1) << 32) | op;
+                let inserted = list.insert(session.thread_mut(), key, value);
+                EventKind::Insert {
+                    key,
+                    value,
+                    inserted,
+                }
+            } else if roll < 7 {
+                let removed = list.remove(session.thread_mut(), key);
+                EventKind::Remove { key, removed }
+            } else {
+                let value = list.get(session.thread_mut(), key);
+                EventKind::Lookup { key, value }
+            };
+            recorder.record(kind, probe.finish(session.stats()));
+        }
+        recorder
+    });
+    let final_state = {
+        let mut th = runtime.register_thread();
+        list.snapshot(&mut th)
+    };
+    (
+        MapChecker::new(initial, final_state),
+        History::from_recorders(recorders),
+    )
+}
+
+/// Scoped producer/consumer stress over an (initially empty) [`TxQueue`],
+/// recorded and paired with the matching [`FifoChecker`].  The first
+/// `producers` workers each enqueue `per_producer` tagged values
+/// (retrying on full); the remaining workers dequeue until everything
+/// has been consumed.  Wait loops yield, so it stays live on one core.
+pub fn record_queue_stress<R: TmRuntime>(
+    runtime: &R,
+    queue: &TxQueue,
+    producers: usize,
+    consumers: usize,
+    per_producer: u64,
+) -> (FifoChecker, History) {
+    let total = producers as u64 * per_producer;
+    let consumed = AtomicU64::new(0);
+    let recorders = runtime.scope(producers + consumers, |session| {
+        let mut recorder = HistoryRecorder::new();
+        if session.index() < producers {
+            for i in 0..per_producer {
+                let value = ((session.index() as u64 + 1) << 32) | i;
+                loop {
+                    let probe = PathProbe::start(session.stats());
+                    let accepted = queue.enqueue(session.thread_mut(), value);
+                    recorder.record(
+                        EventKind::Enqueue { value, accepted },
+                        probe.finish(session.stats()),
+                    );
+                    if accepted {
+                        break;
+                    }
+                    yield_now();
+                }
+            }
+        } else {
+            while consumed.load(Ordering::Relaxed) < total {
+                let probe = PathProbe::start(session.stats());
+                match queue.dequeue(session.thread_mut()) {
+                    Some(value) => {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                        recorder.record(
+                            EventKind::Dequeue { value: Some(value) },
+                            probe.finish(session.stats()),
+                        );
+                    }
+                    None => yield_now(),
+                }
+            }
+        }
+        recorder
+    });
+    (
+        FifoChecker::new(Vec::new(), queue.snapshot_quiescent()),
+        History::from_recorders(recorders),
+    )
+}
+
+/// Scoped OLTP churn + analytics scans over a [`TxBank`], recorded and
+/// paired with the matching [`BankChecker`] — the composed-transaction
+/// stress: roughly 10% full-table scans, 20% balance lookups, 70%
+/// two-structure transfers per worker.
+pub fn record_bank_stress<R: TmRuntime>(
+    runtime: &R,
+    bank: &TxBank,
+    workers: usize,
+    ops_per_worker: u64,
+    seed: u64,
+) -> (BankChecker, History) {
+    let accounts = bank.accounts();
+    let recorders = runtime.scope(workers, |session| {
+        let mut recorder = HistoryRecorder::new();
+        let mut rng = WorkloadRng::new(seed ^ (0xC2B2_AE35 * (1 + session.index() as u64)));
+        for _ in 0..ops_per_worker {
+            let roll = rng.next_below(10);
+            let probe = PathProbe::start(session.stats());
+            let kind = if roll < 1 {
+                let sum = bank.scan_total(session.thread_mut());
+                EventKind::Scan { sum }
+            } else if roll < 3 {
+                let key = rng.next_below(accounts);
+                let value = bank.balance(session.thread_mut(), key);
+                EventKind::Lookup { key, value }
+            } else {
+                let from = rng.next_below(accounts);
+                let to = (from + 1 + rng.next_below(accounts.max(2) - 1)) % accounts;
+                let amount = 1 + rng.next_below(crate::structures::bank::MAX_TRANSFER_AMOUNT);
+                let outcome = bank.transfer(session.thread_mut(), from, to, amount);
+                EventKind::Transfer {
+                    from,
+                    to,
+                    amount,
+                    applied: outcome == TransferOutcome::Applied,
+                }
+            };
+            recorder.record(kind, probe.finish(session.stats()));
+        }
+        recorder
+    });
+    let snapshot = {
+        let mut th = runtime.register_thread();
+        bank.snapshot(&mut th)
+    };
+    (
+        BankChecker::new(bank, snapshot),
+        History::from_recorders(recorders),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use rhtm_core::{RhConfig, RhRuntime};
+    use rhtm_htm::HtmConfig;
+    use rhtm_mem::MemConfig;
+
+    fn runtime(words: usize) -> RhRuntime {
+        RhRuntime::new(
+            MemConfig::with_data_words(words),
+            HtmConfig::default(),
+            RhConfig::rh1_mixed(100),
+        )
+    }
+
+    #[test]
+    fn recorded_map_churn_passes_its_checker() {
+        let rt = runtime(1 << 15);
+        let list = TxSkipList::new(Arc::clone(rt.sim()), 48);
+        let (checker, history) = record_map_churn(&rt, &list, 3, 150, 11);
+        assert_eq!(history.len(), 450);
+        checker.check(&history).unwrap();
+        let (tagged, untagged) = history.path_counts();
+        assert_eq!(untagged, 0, "every event must be path-tagged");
+        assert!(tagged.iter().sum::<u64>() >= 450);
+        assert!(history.dominant_path().is_some());
+    }
+
+    #[test]
+    fn recorded_queue_stress_passes_its_checker() {
+        let rt = runtime(1 << 13);
+        let queue = TxQueue::new(Arc::clone(rt.sim()), 16);
+        let (checker, history) = record_queue_stress(&rt, &queue, 2, 2, 80);
+        checker.check(&history).unwrap();
+        assert!(queue.snapshot_quiescent().is_empty());
+    }
+
+    #[test]
+    fn recorded_bank_stress_passes_its_checker() {
+        let rt = runtime(TxBank::required_words(24, 32, 4) + 4096);
+        let bank = TxBank::new(Arc::clone(rt.sim()), 24, 500, 32);
+        let (checker, history) = record_bank_stress(&rt, &bank, 3, 120, 7);
+        checker.check(&history).unwrap();
+        assert_eq!(history.len(), 360);
+    }
+
+    #[test]
+    fn map_checker_rejects_a_double_granted_insert() {
+        let checker = MapChecker::new([], [(5, 1)]);
+        let history = History::from_kinds(vec![
+            vec![EventKind::Insert {
+                key: 5,
+                value: 1,
+                inserted: true,
+            }],
+            vec![EventKind::Insert {
+                key: 5,
+                value: 1,
+                inserted: true,
+            }],
+        ]);
+        let violation = checker.check(&history).unwrap_err();
+        assert!(violation.detail.contains("presence"), "{violation}");
+    }
+
+    #[test]
+    fn fifo_checker_rejects_reordering_and_loss() {
+        // Reordered: producer 0 enqueued seq 0 then 1; consumer saw 1, 0.
+        let checker = FifoChecker::new(vec![], vec![]);
+        let reordered = History::from_kinds(vec![
+            vec![
+                EventKind::Enqueue {
+                    value: 10,
+                    accepted: true,
+                },
+                EventKind::Enqueue {
+                    value: 11,
+                    accepted: true,
+                },
+            ],
+            vec![
+                EventKind::Dequeue { value: Some(11) },
+                EventKind::Dequeue { value: Some(10) },
+            ],
+        ]);
+        assert!(checker
+            .check(&reordered)
+            .unwrap_err()
+            .detail
+            .contains("order"));
+        let lost = History::from_kinds(vec![vec![EventKind::Enqueue {
+            value: 10,
+            accepted: true,
+        }]]);
+        assert!(checker.check(&lost).unwrap_err().detail.contains("lost"));
+    }
+
+    #[test]
+    fn scan_checker_flags_any_unexpected_total() {
+        let checker = ScanChecker { expected: 100 };
+        let ok = History::from_kinds(vec![vec![EventKind::Scan { sum: 100 }]]);
+        checker.check(&ok).unwrap();
+        let torn = History::from_kinds(vec![vec![EventKind::Scan { sum: 99 }]]);
+        let violation = checker.check(&torn).unwrap_err();
+        assert_eq!(violation.checker, "scan-atomicity");
+        assert_eq!(check_all(&torn, &[&checker]).len(), 1);
+    }
+}

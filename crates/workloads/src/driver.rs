@@ -21,8 +21,9 @@ use rhtm_api::session::run_scoped;
 use rhtm_api::{TmRuntime, TmThread};
 
 use crate::mix::OpMix;
+use crate::phase::{PhasePlan, PhasedSampler};
 use crate::report::{BenchResult, Breakdown};
-use crate::rng::{KeyDist, WorkloadRng};
+use crate::rng::{KeyDist, KeySampler, WorkloadRng};
 use crate::workload::Workload;
 
 /// Options of a benchmark run.
@@ -34,6 +35,11 @@ pub struct DriverOpts {
     pub mix: OpMix,
     /// The key-access distribution drawn once per operation.
     pub dist: KeyDist,
+    /// Optional time-varying load schedule.  When set, it *replaces*
+    /// `dist`: each worker samples from the [`LoadPhase`](crate::phase::LoadPhase)
+    /// active at the run's current progress (operations done for counted
+    /// runs, wall-clock share for timed runs).
+    pub phases: Option<PhasePlan>,
     /// Fixed per-thread operation budget.  When `None`, the run is
     /// time-bounded by `duration`.
     pub ops_per_thread: Option<u64>,
@@ -52,6 +58,7 @@ impl Default for DriverOpts {
             threads: 1,
             mix: OpMix::read_update(20),
             dist: KeyDist::Uniform,
+            phases: None,
             ops_per_thread: None,
             duration: Duration::from_millis(300),
             breakdown: false,
@@ -131,6 +138,70 @@ impl DriverOpts {
         self.dist = dist;
         self
     }
+
+    /// Sets (or clears) the time-varying load schedule.
+    pub fn with_phases(mut self, phases: Option<PhasePlan>) -> Self {
+        self.phases = phases;
+        self
+    }
+}
+
+/// The per-worker key source: a stationary sampler, or a phased one plus
+/// the state needed to track run progress.
+enum KeySource {
+    Stationary(KeySampler),
+    Phased {
+        sampler: PhasedSampler,
+        /// Cached progress percentage, refreshed every
+        /// [`PROGRESS_REFRESH`] operations for timed runs (counted runs
+        /// recompute exactly — integer math is free).
+        progress: u8,
+    },
+}
+
+/// Operations between wall-clock progress refreshes of timed phased runs
+/// (matches the deadline-check cadence).
+const PROGRESS_REFRESH: u64 = 64;
+
+impl KeySource {
+    fn new(opts: &DriverOpts, key_space: u64, tid: usize) -> Self {
+        match opts.phases {
+            Some(plan) => KeySource::Phased {
+                sampler: plan.sampler(key_space, tid, opts.threads),
+                progress: 0,
+            },
+            None => KeySource::Stationary(opts.dist.sampler(key_space, tid, opts.threads)),
+        }
+    }
+
+    #[inline]
+    fn sample(
+        &mut self,
+        rng: &mut WorkloadRng,
+        ops: u64,
+        opts: &DriverOpts,
+        started: &Instant,
+    ) -> u64 {
+        match self {
+            KeySource::Stationary(s) => s.sample(rng),
+            KeySource::Phased { sampler, progress } => {
+                match opts.ops_per_thread {
+                    // Counted runs: progress is exact and deterministic.
+                    Some(budget) => *progress = (ops * 100 / budget.max(1)).min(99) as u8,
+                    // Timed runs: refresh from the wall clock at the same
+                    // cadence as the deadline check.
+                    None => {
+                        if ops.is_multiple_of(PROGRESS_REFRESH) {
+                            let total = opts.duration.as_nanos().max(1);
+                            let done = started.elapsed().as_nanos() * 100 / total;
+                            *progress = done.min(99) as u8;
+                        }
+                    }
+                }
+                sampler.sample(rng, *progress)
+            }
+        }
+    }
 }
 
 struct ThreadOutcome {
@@ -162,7 +233,7 @@ where
             let tid = session.index();
             session.stats_mut().timing = opts.breakdown;
             let mut rng = WorkloadRng::new(opts.seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
-            let mut sampler = opts.dist.sampler(workload.key_space(), tid, opts.threads);
+            let mut source = KeySource::new(opts, workload.key_space(), tid);
             let mut ops = 0u64;
             let mut txn_ns = 0u64;
             session.sync();
@@ -183,7 +254,7 @@ where
                     }
                 }
                 let op = opts.mix.draw(&mut rng);
-                let key = sampler.sample(&mut rng);
+                let key = source.sample(&mut rng, ops, opts, &loop_started);
                 if opts.breakdown {
                     let t = Instant::now();
                     workload.run_op(session.thread_mut(), &mut rng, op, key);
@@ -358,6 +429,40 @@ mod tests {
             assert_eq!(a.stats.reads, b.stats.reads, "{dist:?}");
             assert_eq!(a.stats.writes, b.stats.writes, "{dist:?}");
         }
+    }
+
+    #[test]
+    fn phased_counted_runs_complete_and_replay_deterministically() {
+        for plan in PhasePlan::ALL {
+            // Single-threaded so abort/retry noise cannot perturb the
+            // read/write counts (as in the stationary determinism test).
+            let run = || {
+                let (rt, table) = setup(512);
+                run_benchmark(
+                    &rt,
+                    &table,
+                    &DriverOpts::counted_mix(1, OpMix::read_update(30), 400)
+                        .with_seed(4)
+                        .with_phases(Some(plan)),
+                )
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.total_ops, 400, "{plan:?}");
+            assert_eq!(a.stats.commits(), 400, "{plan:?}");
+            assert_eq!(a.stats.reads, b.stats.reads, "{plan:?}");
+            assert_eq!(a.stats.writes, b.stats.writes, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn phased_timed_runs_stop_at_the_deadline() {
+        let (rt, table) = setup(512);
+        let opts = DriverOpts::timed_mix(2, OpMix::read_update(20), Duration::from_millis(40))
+            .with_phases(Some(PhasePlan::FlashCrowd));
+        let result = run_benchmark(&rt, &table, &opts);
+        assert!(result.total_ops > 0);
+        assert!(result.elapsed >= Duration::from_millis(40));
+        assert!(result.elapsed < Duration::from_millis(2_000));
     }
 
     #[test]

@@ -57,6 +57,22 @@
 //! `(Scenario, TmSpec, threads)` — driven by the `bench_suite` binary in
 //! `rhtm-bench`.
 //!
+//! Two generalisations layer on top: [`TxBank`] composes a *pair* of
+//! structures (hash-table accounts + skiplist audit ring) inside one
+//! transaction, and [`PhasePlan`] schedules time-varying key
+//! distributions (diurnal ramp, flash crowd, hot-spot migration) over any
+//! [`KeyDist`] via [`DriverOpts::with_phases`].
+//!
+//! ## Correctness checking
+//!
+//! The [`check`] module is the reusable history/invariant checker:
+//! stress drivers record per-thread invocation/response [`Event`]s
+//! (tagged with the commit path that served each one, via
+//! [`rhtm_api::PathProbe`]) into a [`HistoryRecorder`], merge them into a
+//! [`History`], and verify it offline with pluggable [`Checker`]s —
+//! set/map semantics, FIFO order, bank conservation, scan atomicity.
+//! See `docs/ARCHITECTURE.md` § "Correctness checking".
+//!
 //! All structures are written on the typed data layer
 //! ([`rhtm_api::typed`]); code that wants a runtime as a *value* rather
 //! than through the visitor (tests, examples, setup) uses
@@ -66,8 +82,10 @@
 #![deny(unsafe_code)]
 
 pub mod algos;
+pub mod check;
 pub mod driver;
 pub mod mix;
+pub mod phase;
 pub mod report;
 pub mod rng;
 pub mod scenario;
@@ -78,12 +96,15 @@ pub mod workload;
 pub use algos::{run_on_algo, visit_algo, AlgoKind, AlgoVisitor};
 #[allow(deprecated)]
 pub use algos::{run_on_algo_with_clock, run_on_algo_with_policy};
+pub use check::{Checker, Event, EventKind, History, HistoryRecorder, Violation};
 pub use driver::{run_benchmark, DriverOpts};
 pub use mix::{OpKind, OpMix};
+pub use phase::{LoadPhase, PhasePlan, PhasedSampler};
 pub use report::{BenchResult, Breakdown};
 pub use rng::{KeyDist, KeySampler, WorkloadRng};
 pub use scenario::{suite_to_json, Scenario, ScenarioRun, StructureKind};
 pub use spec::{TmInstance, TmSpec};
+pub use structures::bank::{BankSnapshot, TransferOutcome, TxBank};
 pub use structures::hashtable::ConstantHashTable;
 pub use structures::mutable;
 pub use structures::queue::TxQueue;

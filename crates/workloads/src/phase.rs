@@ -1,0 +1,313 @@
+//! Time-varying load phases: key-access patterns that *change mid-run*.
+//!
+//! Every [`KeyDist`] is stationary — the same keys are hot from the first
+//! operation to the last.  Real workloads are not: traffic ramps up and
+//! down (diurnal load), a single key suddenly goes viral (flash crowd), or
+//! the hot set itself drifts across the key space (hot-spot migration).
+//! Those transitions are adversarial for a hybrid TM because the *path
+//! decision* machinery (retry policies, fallback thresholds) is tuned by
+//! recent history — a phase shift invalidates it at once.
+//!
+//! A [`LoadPhase`] is one stationary segment: a [`KeyDist`] plus a key-space
+//! rotation (so a "hotspot at the front" distribution can be re-aimed at
+//! any region without new distribution variants) and the percentage of the
+//! run it occupies.  A [`PhasePlan`] is a named, `const` schedule of phases
+//! whose weights sum to 100; the driver maps run progress (operations done
+//! or time elapsed, as a percentage) onto the schedule via a
+//! [`PhasedSampler`].  Plans are parseable labels, so phase-shift scenarios
+//! register in the scenario table and sweep through `bench_suite` like any
+//! other axis.
+
+use crate::rng::{KeyDist, KeySampler, WorkloadRng};
+
+/// One stationary segment of a time-varying load schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LoadPhase {
+    /// The key-access distribution active during this phase.
+    pub dist: KeyDist,
+    /// Rotation of the sampled key, as a percentage of the key space:
+    /// `key ← (key + key_space·rotate_pct/100) mod key_space`.  This moves
+    /// a distribution's hot region (Zipfian rank 0, the hotspot's first
+    /// keys) to another part of the key space, which is how hot-spot
+    /// migration is expressed without new [`KeyDist`] variants.
+    pub rotate_pct: u8,
+    /// Share of the run this phase occupies, in percent.  A plan's phase
+    /// weights must sum to exactly 100.
+    pub weight: u8,
+}
+
+/// A named schedule of [`LoadPhase`]s (weights summing to 100).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhasePlan {
+    /// Quiet uniform traffic ramping into a broad peak-hour hotspot and
+    /// back down — the retry policy must adapt twice.
+    Diurnal,
+    /// Uniform traffic, then 95% of operations slam onto 1% of the keys
+    /// for the rest of the run: the sudden-contention worst case.
+    FlashCrowd,
+    /// A 90/10 hotspot whose hot region jumps to a different third of the
+    /// key space twice mid-run: locality assumptions break, conflict
+    /// footprints move.
+    HotMigration,
+}
+
+const DIURNAL: &[LoadPhase] = &[
+    LoadPhase {
+        dist: KeyDist::Uniform,
+        rotate_pct: 0,
+        weight: 30,
+    },
+    LoadPhase {
+        dist: KeyDist::Hotspot {
+            keys_pct: 20,
+            ops_pct: 60,
+        },
+        rotate_pct: 0,
+        weight: 40,
+    },
+    LoadPhase {
+        dist: KeyDist::Uniform,
+        rotate_pct: 0,
+        weight: 30,
+    },
+];
+
+const FLASH_CROWD: &[LoadPhase] = &[
+    LoadPhase {
+        dist: KeyDist::Uniform,
+        rotate_pct: 0,
+        weight: 50,
+    },
+    LoadPhase {
+        dist: KeyDist::Hotspot {
+            keys_pct: 1,
+            ops_pct: 95,
+        },
+        rotate_pct: 0,
+        weight: 50,
+    },
+];
+
+const HOT_MIGRATION: &[LoadPhase] = &[
+    LoadPhase {
+        dist: KeyDist::HOTSPOT_DEFAULT,
+        rotate_pct: 0,
+        weight: 34,
+    },
+    LoadPhase {
+        dist: KeyDist::HOTSPOT_DEFAULT,
+        rotate_pct: 33,
+        weight: 33,
+    },
+    LoadPhase {
+        dist: KeyDist::HOTSPOT_DEFAULT,
+        rotate_pct: 66,
+        weight: 33,
+    },
+];
+
+impl PhasePlan {
+    /// All plans, in display order.
+    pub const ALL: [PhasePlan; 3] = [
+        PhasePlan::Diurnal,
+        PhasePlan::FlashCrowd,
+        PhasePlan::HotMigration,
+    ];
+
+    /// The plan's phases, in run order; weights sum to 100.
+    pub fn schedule(&self) -> &'static [LoadPhase] {
+        match self {
+            PhasePlan::Diurnal => DIURNAL,
+            PhasePlan::FlashCrowd => FLASH_CROWD,
+            PhasePlan::HotMigration => HOT_MIGRATION,
+        }
+    }
+
+    /// Stable label used in scenario tables, reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhasePlan::Diurnal => "diurnal",
+            PhasePlan::FlashCrowd => "flash-crowd",
+            PhasePlan::HotMigration => "hot-migration",
+        }
+    }
+
+    /// Parses a [`PhasePlan::label`] back into a plan (case-insensitive).
+    pub fn parse(s: &str) -> Option<PhasePlan> {
+        let l = s.trim().to_ascii_lowercase();
+        PhasePlan::ALL.into_iter().find(|p| p.label() == l)
+    }
+
+    /// Builds the per-thread sampling state over a key space of
+    /// `key_space` keys, for worker `thread_id` of `thread_count`
+    /// (same contract as [`KeyDist::sampler`]).
+    pub fn sampler(&self, key_space: u64, thread_id: usize, thread_count: usize) -> PhasedSampler {
+        let phases = self
+            .schedule()
+            .iter()
+            .map(|p| PhaseState {
+                sampler: p.dist.sampler(key_space, thread_id, thread_count),
+                shift: key_space * p.rotate_pct as u64 / 100,
+                weight: p.weight,
+            })
+            .collect();
+        PhasedSampler { phases, key_space }
+    }
+}
+
+struct PhaseState {
+    sampler: KeySampler,
+    /// Absolute key shift precomputed from the phase's `rotate_pct`.
+    shift: u64,
+    weight: u8,
+}
+
+/// Per-thread sampling state for one [`PhasePlan`] over one key space.
+///
+/// The per-phase [`KeySampler`]s are built once up front (the Zipfian
+/// sampler does O(key-space) precomputation), so a phase transition costs
+/// nothing at sample time.  Sampling is deterministic: the phase is chosen
+/// by the *caller-supplied* progress percentage and the randomness comes
+/// entirely from the [`WorkloadRng`], so counted runs with equal seeds
+/// replay identical key sequences.
+pub struct PhasedSampler {
+    phases: Vec<PhaseState>,
+    key_space: u64,
+}
+
+impl PhasedSampler {
+    /// Draws the next key in `[0, key_space)` for run progress
+    /// `progress_pct` (0–99; values ≥ 100 are clamped into the final
+    /// phase).
+    #[inline]
+    pub fn sample(&mut self, rng: &mut WorkloadRng, progress_pct: u8) -> u64 {
+        let mut acc = 0u32;
+        let last = self.phases.len() - 1;
+        let mut chosen = last;
+        for (i, p) in self.phases.iter().enumerate() {
+            acc += p.weight as u32;
+            if (progress_pct as u32) < acc {
+                chosen = i;
+                break;
+            }
+        }
+        let p = &mut self.phases[chosen];
+        let key = p.sampler.sample(rng);
+        if p.shift == 0 {
+            key
+        } else {
+            (key + p.shift) % self.key_space
+        }
+    }
+
+    /// Index of the phase active at `progress_pct` (for tests and
+    /// reporting).
+    pub fn phase_at(&self, progress_pct: u8) -> usize {
+        let mut acc = 0u32;
+        for (i, p) in self.phases.iter().enumerate() {
+            acc += p.weight as u32;
+            if (progress_pct as u32) < acc {
+                return i;
+            }
+        }
+        self.phases.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_plan_has_weights_summing_to_100() {
+        for plan in PhasePlan::ALL {
+            let total: u32 = plan.schedule().iter().map(|p| p.weight as u32).sum();
+            assert_eq!(total, 100, "{plan:?}");
+            assert!(!plan.schedule().is_empty());
+            for p in plan.schedule() {
+                assert!(p.rotate_pct < 100, "{plan:?}");
+                assert!(p.weight > 0, "{plan:?}: zero-weight phase is dead");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for plan in PhasePlan::ALL {
+            assert_eq!(PhasePlan::parse(plan.label()), Some(plan));
+            assert_eq!(
+                PhasePlan::parse(&plan.label().to_ascii_uppercase()),
+                Some(plan)
+            );
+        }
+        assert_eq!(PhasePlan::parse("no-such-plan"), None);
+        assert_eq!(PhasePlan::parse(""), None);
+    }
+
+    #[test]
+    fn progress_selects_phases_in_schedule_order() {
+        let s = PhasePlan::Diurnal.sampler(1_000, 0, 1);
+        assert_eq!(s.phase_at(0), 0);
+        assert_eq!(s.phase_at(29), 0);
+        assert_eq!(s.phase_at(30), 1);
+        assert_eq!(s.phase_at(69), 1);
+        assert_eq!(s.phase_at(70), 2);
+        assert_eq!(s.phase_at(99), 2);
+        assert_eq!(s.phase_at(255), 2, "overshoot clamps to the last phase");
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_are_deterministic() {
+        let n = 997; // deliberately not a round number
+        for plan in PhasePlan::ALL {
+            let mut a = plan.sampler(n, 1, 4);
+            let mut b = plan.sampler(n, 1, 4);
+            let mut ra = WorkloadRng::new(11);
+            let mut rb = WorkloadRng::new(11);
+            for i in 0..3_000u64 {
+                let progress = (i * 100 / 3_000) as u8;
+                let ka = a.sample(&mut ra, progress);
+                assert!(ka < n, "{plan:?} out of range");
+                assert_eq!(ka, b.sample(&mut rb, progress), "{plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_migration_actually_moves_the_hot_region() {
+        let n = 3_000u64;
+        let mut s = PhasePlan::HotMigration.sampler(n, 0, 1);
+        let mut rng = WorkloadRng::new(5);
+        let region = |progress: u8, rng: &mut WorkloadRng, s: &mut PhasedSampler| {
+            let mut counts = [0u64; 3];
+            for _ in 0..10_000 {
+                counts[(s.sample(rng, progress) * 3 / n) as usize] += 1;
+            }
+            (0..3).max_by_key(|&i| counts[i]).unwrap()
+        };
+        let early = region(10, &mut rng, &mut s);
+        let mid = region(50, &mut rng, &mut s);
+        let late = region(90, &mut rng, &mut s);
+        assert_eq!(early, 0, "phase 1 hot region at the front");
+        assert_ne!(mid, early, "mid-run migration");
+        assert_ne!(late, mid, "second migration");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_late_traffic() {
+        let n = 10_000u64;
+        let mut s = PhasePlan::FlashCrowd.sampler(n, 0, 1);
+        let mut rng = WorkloadRng::new(9);
+        let hot_share = |progress: u8, rng: &mut WorkloadRng, s: &mut PhasedSampler| {
+            let hits = (0..10_000)
+                .filter(|_| s.sample(rng, progress) < n / 100)
+                .count();
+            hits as f64 / 10_000.0
+        };
+        assert!(hot_share(10, &mut rng, &mut s) < 0.05, "pre-crowd uniform");
+        assert!(
+            hot_share(80, &mut rng, &mut s) > 0.9,
+            "the crowd hits 1% of the keys"
+        );
+    }
+}

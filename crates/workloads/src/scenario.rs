@@ -21,9 +21,11 @@ use rhtm_mem::MemConfig;
 use crate::algos::AlgoKind;
 use crate::driver::DriverOpts;
 use crate::mix::OpMix;
+use crate::phase::PhasePlan;
 use crate::report::{json_str, result_json, BenchResult};
 use crate::rng::KeyDist;
 use crate::spec::TmSpec;
+use crate::structures::bank::TxBank;
 use crate::structures::hashtable::ConstantHashTable;
 use crate::structures::queue::TxQueue;
 use crate::structures::random_array::RandomArray;
@@ -50,6 +52,9 @@ pub enum StructureKind {
     SkipList,
     /// Mutable transactional bounded FIFO queue (producer/consumer).
     Queue,
+    /// Composed bank: hash-table accounts + skiplist audit ring in one
+    /// transaction (see [`crate::structures::bank`]).
+    Bank,
 }
 
 impl StructureKind {
@@ -62,13 +67,18 @@ impl StructureKind {
             StructureKind::RandomArray => "random-array",
             StructureKind::SkipList => "skiplist",
             StructureKind::Queue => "queue",
+            StructureKind::Bank => "bank",
         }
     }
 
     /// Whether transactions change the structure's shape (see
-    /// `structures::mod` for the constant/mutable split).
+    /// `structures::mod` for the constant/mutable split; the composed
+    /// bank counts as mutable through its audit ring).
     pub fn is_mutable(&self) -> bool {
-        matches!(self, StructureKind::SkipList | StructureKind::Queue)
+        matches!(
+            self,
+            StructureKind::SkipList | StructureKind::Queue | StructureKind::Bank
+        )
     }
 
     /// The smallest size at which the structure's workload stays
@@ -81,9 +91,19 @@ impl StructureKind {
             StructureKind::RandomArray => 1_024,
             StructureKind::SkipList => 256,
             StructureKind::Queue => 64,
+            StructureKind::Bank => 32,
         }
     }
 }
+
+/// Audit-ring capacity for the bank scenarios: large enough that smoke
+/// runs never cycle it, small enough that sustained runs exercise the
+/// insert-and-evict recycling path.
+const BANK_AUDIT_CAP: u64 = 128;
+
+/// Every bank account starts with this balance (the conserved quantity
+/// is `size × BANK_INITIAL_BALANCE`).
+const BANK_INITIAL_BALANCE: u64 = 1_000;
 
 /// One named point in the workload-shape space:
 /// `structure × size × mix × distribution`.
@@ -100,6 +120,10 @@ pub struct Scenario {
     pub mix: OpMix,
     /// The key-access distribution.
     pub dist: KeyDist,
+    /// Optional time-varying load schedule layered over `dist` (the
+    /// phase plan replaces `dist` as the sampler when set; see
+    /// [`crate::phase`]).
+    pub phases: Option<PhasePlan>,
     /// One-line description shown by `bench_suite --list`.
     pub about: &'static str,
 }
@@ -113,6 +137,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 100_000,
         mix: OpMix::read_update(20),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "the paper's Figure 1/2 point: constant 100K-node tree, 20% dummy updates",
     },
     Scenario {
@@ -121,6 +146,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 100_000,
         mix: OpMix::read_update(20),
         dist: KeyDist::ZIPF_DEFAULT,
+        phases: None,
         about: "the Figure 1 tree under YCSB-style zipfian skew (hot subtree contention)",
     },
     Scenario {
@@ -129,6 +155,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 100_000,
         mix: OpMix::read_update(80),
         dist: KeyDist::HOTSPOT_DEFAULT,
+        phases: None,
         about: "80% updates with 90% of operations on 10% of the keys: conflict saturation",
     },
     Scenario {
@@ -137,6 +164,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 10_000,
         mix: OpMix::read_update(20),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "the paper's Figure 3 (left): short-transaction constant hash table",
     },
     Scenario {
@@ -145,6 +173,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 10_000,
         mix: OpMix::read_update(20),
         dist: KeyDist::ZIPF_DEFAULT,
+        phases: None,
         about: "short transactions with zipfian skew: conflicts without footprint",
     },
     Scenario {
@@ -153,6 +182,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 10_000,
         mix: OpMix::read_update(50),
         dist: KeyDist::Partitioned,
+        phases: None,
         about: "thread-partitioned keys at 50% updates: the conflict-free upper bound",
     },
     Scenario {
@@ -161,6 +191,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 1_000,
         mix: OpMix::read_update(5),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "the paper's Figure 3 (middle): long shared-prefix transactions, 5% updates",
     },
     Scenario {
@@ -169,6 +200,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 1_000,
         mix: OpMix::read_update(5),
         dist: KeyDist::HOTSPOT_DEFAULT,
+        phases: None,
         about: "the long-transaction list with a 90/10 hotspot at the front",
     },
     Scenario {
@@ -177,6 +209,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 128 * 1024,
         mix: OpMix::read_update(20),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "the paper's Figure 3 (right) shape: 100-access transactions, 20% writes",
     },
     Scenario {
@@ -185,6 +218,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 16_384,
         mix: OpMix::lookup_insert_remove(70, 15, 15),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "mutable skiplist, shape-changing 70/15/15 lookup/insert/remove churn",
     },
     Scenario {
@@ -193,6 +227,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 16_384,
         mix: OpMix::lookup_insert_remove(70, 15, 15),
         dist: KeyDist::ZIPF_DEFAULT,
+        phases: None,
         about: "skiplist churn under zipfian skew: hot towers are rebuilt under contention",
     },
     Scenario {
@@ -201,6 +236,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 16_384,
         mix: OpMix::new([30, 30, 10, 15, 15]),
         dist: KeyDist::ZIPF_DEFAULT,
+        phases: None,
         about: "30% range sums over a churning skiplist: long reads racing shape changes",
     },
     Scenario {
@@ -209,6 +245,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 4_096,
         mix: OpMix::producer_consumer(50, 50),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "bounded FIFO, 50/50 enqueue/dequeue: every transaction fights over two words",
     },
     Scenario {
@@ -217,6 +254,7 @@ const REGISTRY: &[Scenario] = &[
         base_size: 4_096,
         mix: OpMix::producer_consumer(60, 30),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "producer-heavy FIFO (60/30/10 enqueue/dequeue/peek) driving the queue full",
     },
     Scenario {
@@ -225,7 +263,63 @@ const REGISTRY: &[Scenario] = &[
         base_size: 4_096,
         mix: OpMix::producer_consumer(30, 60),
         dist: KeyDist::Uniform,
+        phases: None,
         about: "consumer-heavy FIFO (30/60/10) draining to empty: read-only commit pressure",
+    },
+    Scenario {
+        name: "bank-transfer-uniform",
+        structure: StructureKind::Bank,
+        base_size: 4_096,
+        mix: OpMix::new([30, 0, 70, 0, 0]),
+        dist: KeyDist::Uniform,
+        phases: None,
+        about: "composed transfers: hash-table debit + skiplist audit append in one txn",
+    },
+    Scenario {
+        name: "bank-transfer-zipf",
+        structure: StructureKind::Bank,
+        base_size: 4_096,
+        mix: OpMix::new([30, 0, 70, 0, 0]),
+        dist: KeyDist::ZIPF_DEFAULT,
+        phases: None,
+        about:
+            "composed transfers with zipfian account skew: hot accounts serialize both structures",
+    },
+    Scenario {
+        name: "bank-analytics-scan",
+        structure: StructureKind::Bank,
+        base_size: 4_096,
+        mix: OpMix::new([20, 10, 70, 0, 0]),
+        dist: KeyDist::Uniform,
+        phases: None,
+        about: "10% full-table analytics scans racing OLTP transfers: the capacity-abort stress",
+    },
+    Scenario {
+        name: "bank-diurnal",
+        structure: StructureKind::Bank,
+        base_size: 4_096,
+        mix: OpMix::new([30, 0, 70, 0, 0]),
+        dist: KeyDist::Uniform,
+        phases: Some(PhasePlan::Diurnal),
+        about: "composed transfers under a diurnal ramp: uniform -> 60/20 hotspot -> uniform",
+    },
+    Scenario {
+        name: "skiplist-flash-crowd",
+        structure: StructureKind::SkipList,
+        base_size: 16_384,
+        mix: OpMix::lookup_insert_remove(70, 15, 15),
+        dist: KeyDist::Uniform,
+        phases: Some(PhasePlan::FlashCrowd),
+        about: "skiplist churn hit by a flash crowd: 95% of late traffic on 1% of the keys",
+    },
+    Scenario {
+        name: "skiplist-hot-migration",
+        structure: StructureKind::SkipList,
+        base_size: 16_384,
+        mix: OpMix::lookup_insert_remove(70, 15, 15),
+        dist: KeyDist::Uniform,
+        phases: Some(PhasePlan::HotMigration),
+        about: "a 90/10 hotspot migrating across thirds of the key space as the run progresses",
     },
 ];
 
@@ -269,6 +363,7 @@ impl Scenario {
         let opts = DriverOpts {
             mix: self.mix,
             dist: self.dist,
+            phases: self.phases,
             ..base.clone()
         };
         let sized = |words: usize| {
@@ -319,7 +414,21 @@ impl Scenario {
                 },
                 &opts,
             ),
+            StructureKind::Bank => {
+                sized(TxBank::required_words(size, BANK_AUDIT_CAP, opts.threads)).bench(
+                    |sim: &Arc<HtmSim>| {
+                        TxBank::new(Arc::clone(sim), size, BANK_INITIAL_BALANCE, BANK_AUDIT_CAP)
+                    },
+                    &opts,
+                )
+            }
         }
+    }
+
+    /// The phase-plan label, `"none"` for stationary scenarios (reports
+    /// and JSON).
+    pub fn phases_label(&self) -> &'static str {
+        self.phases.map_or("none", |p| p.label())
     }
 }
 
@@ -382,6 +491,10 @@ pub fn suite_to_json(scale: &str, seed: u64, runs: &[ScenarioRun]) -> String {
             "    \"key_dist\": {},\n",
             json_str(&run.scenario.dist.label())
         ));
+        out.push_str(&format!(
+            "    \"phases\": {},\n",
+            json_str(run.scenario.phases_label())
+        ));
         out.push_str("    \"results\": [\n");
         for (j, r) in run.results.iter().enumerate() {
             if j > 0 {
@@ -403,7 +516,7 @@ mod tests {
     #[test]
     fn registry_is_large_unique_and_findable() {
         let all = Scenario::all();
-        assert!(all.len() >= 12, "registry must name at least 12 scenarios");
+        assert!(all.len() >= 20, "registry must name at least 20 scenarios");
         for (i, s) in all.iter().enumerate() {
             assert!(Scenario::find(s.name).is_some(), "{}", s.name);
             for other in &all[i + 1..] {
@@ -427,6 +540,15 @@ mod tests {
             "at least two key distributions: {dists:?}"
         );
         assert!(all.iter().any(|s| s.mix.label().contains('i')), "inserts");
+        assert!(
+            all.iter().any(|s| s.structure == StructureKind::Bank),
+            "composed bank scenarios"
+        );
+        let plans: std::collections::HashSet<_> = all.iter().filter_map(|s| s.phases).collect();
+        assert!(
+            plans.len() >= 3,
+            "all three phase plans must be registered: {plans:?}"
+        );
     }
 
     #[test]
@@ -492,6 +614,7 @@ mod tests {
             "\"structure\": \"skiplist\"",
             "\"key_dist\": \"zipf-0.99\"",
             "\"op_mix\": \"l70-i15-r15\"",
+            "\"phases\": \"none\"",
             "\"spec\": \"tl2+gv-strict+paper-default\"",
             "\"seed\": 9",
         ] {

@@ -1,0 +1,472 @@
+//! A composed two-structure transaction: hash-table accounts debited
+//! atomically with an append to a skiplist audit log.
+//!
+//! Every other workload touches a single structure, so a protocol bug that
+//! only shows when one transaction spans *independently built* structures
+//! (separate allocations, separate access patterns, mixed constant/mutable
+//! shape) would slip through.  `TxBank` is that workload: a
+//! [`ConstantHashTable`] holds the account balances (the constant-shape
+//! family — the balance lives in the node's first payload word), and a
+//! [`TxSkipList`] holds a bounded audit ring (the mutable family — every
+//! applied transfer links a node in and unlinks the oldest, inside the
+//! same transaction).
+//!
+//! Three invariants make it a checker workload:
+//!
+//! * **Conservation** — transfers move value, never create it: the balance
+//!   total equals `accounts × initial_balance` in every serialization.
+//! * **Audit completeness** — the audit sequence number equals the number
+//!   of applied transfers, and every ring entry unpacks to a transfer that
+//!   actually happened.
+//! * **Snapshot atomicity** — [`TxBank::scan_total`] reads *every*
+//!   balance in one transaction (the read-only analytics scan racing the
+//!   OLTP churn), so any value other than the conserved total is a
+//!   serializability violation — the capacity-abort stress where RH2's
+//!   reduced hardware commit must not tear.
+//!
+//! The audit ring keeps allocation bounded for time-limited runs: entry
+//! `seq` is keyed `seq + 1` in the skiplist, and once `seq ≥ capacity` the
+//! transfer that appends entry `seq` also removes entry `seq − capacity`,
+//! recycling its node through the skiplist freelist — steady-state churn
+//! allocates nothing, exactly like the skiplist workload itself.
+
+use std::sync::Arc;
+
+use rhtm_api::typed::{OrSized, TxCell, TxPtr, TypedAlloc};
+use rhtm_api::{TmThread, TxResult, Txn};
+use rhtm_htm::HtmSim;
+
+use crate::mix::OpKind;
+use crate::rng::WorkloadRng;
+use crate::structures::hashtable::ConstantHashTable;
+use crate::structures::skiplist::{InsertOutcome, SkipNode, TxSkipList};
+use crate::workload::Workload;
+
+/// The sizing helper named by every allocation-failure panic.
+const SIZING_HINT: &str = "TxBank::required_words(accounts, audit_cap, threads)";
+
+/// Largest amount one [`Workload`] transfer moves (drawn uniformly from
+/// `1..=MAX_TRANSFER_AMOUNT`).
+pub const MAX_TRANSFER_AMOUNT: u64 = 8;
+
+/// Bits per packed audit field (`from`/`to`/`amount` each fit 20 bits).
+const FIELD_BITS: u32 = 20;
+const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
+
+/// Packs one applied transfer into an audit-log value.
+pub fn pack_entry(from: u64, to: u64, amount: u64) -> u64 {
+    debug_assert!(from <= FIELD_MASK && to <= FIELD_MASK && amount <= FIELD_MASK);
+    (from << (2 * FIELD_BITS)) | (to << FIELD_BITS) | amount
+}
+
+/// Unpacks an audit-log value back into `(from, to, amount)`.
+pub fn unpack_entry(packed: u64) -> (u64, u64, u64) {
+    (
+        (packed >> (2 * FIELD_BITS)) & FIELD_MASK,
+        (packed >> FIELD_BITS) & FIELD_MASK,
+        packed & FIELD_MASK,
+    )
+}
+
+/// What one transfer decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// Both balances moved and the audit log recorded the transfer.
+    Applied,
+    /// Nothing changed: unknown account, self-transfer, zero amount or
+    /// insufficient funds.  The transaction still commits (read-only).
+    Declined,
+    /// Only from [`TxBank::transfer_in`]: the audit freelist was empty and
+    /// no spare node was supplied; allocate one
+    /// ([`TxSkipList::alloc_spare`] on [`TxBank::audit`]) and re-run.
+    /// [`TxBank::transfer`] handles this internally and never returns it.
+    NeedNode,
+}
+
+/// A quiescent snapshot of the whole bank (see [`TxBank::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct BankSnapshot {
+    /// Balance per account, indexed by account id.
+    pub balances: Vec<u64>,
+    /// The audit sequence number: total applied transfers since creation.
+    pub audit_seq: u64,
+    /// The audit ring's live `(seq, packed_entry)` pairs, oldest first
+    /// (decode with [`unpack_entry`]; `seq` is the skiplist key − 1).
+    pub audit: Vec<(u64, u64)>,
+}
+
+/// The composed bank workload (see the [module docs](self)).
+pub struct TxBank {
+    sim: Arc<HtmSim>,
+    accounts: ConstantHashTable,
+    audit: TxSkipList,
+    audit_seq: TxCell<u64>,
+    accounts_n: u64,
+    audit_cap: u64,
+    initial_balance: u64,
+}
+
+impl TxBank {
+    /// Creates a bank of `accounts` accounts (ids `0..accounts`), each
+    /// seeded with `initial_balance`, auditing the last `audit_cap`
+    /// applied transfers.
+    pub fn new(sim: Arc<HtmSim>, accounts: u64, initial_balance: u64, audit_cap: u64) -> Self {
+        assert!(
+            (1..=FIELD_MASK).contains(&accounts),
+            "account ids must pack into {FIELD_BITS} bits"
+        );
+        assert!(audit_cap >= 1);
+        assert!(
+            sim.mem().remaining_words() >= Self::required_words(accounts, audit_cap, 0),
+            "TxBank heap too small; size with {SIZING_HINT}"
+        );
+        let table = ConstantHashTable::new(Arc::clone(&sim), accounts);
+        for a in 0..accounts {
+            table.seed_value(a, initial_balance);
+        }
+        let audit = TxSkipList::new(Arc::clone(&sim), audit_cap.max(2));
+        let audit_seq = sim
+            .mem()
+            .try_alloc_cell_line_aligned()
+            .or_sized(SIZING_HINT);
+        audit_seq.store(sim.mem().heap(), 0);
+        TxBank {
+            sim,
+            accounts: table,
+            audit,
+            audit_seq,
+            accounts_n: accounts,
+            audit_cap,
+            initial_balance,
+        }
+    }
+
+    /// Heap words for a bank of `accounts` accounts with an `audit_cap`
+    /// ring driven by `threads` workers.
+    pub fn required_words(accounts: u64, audit_cap: u64, threads: usize) -> usize {
+        ConstantHashTable::required_words(accounts)
+            + TxSkipList::required_words(audit_cap + 2, threads)
+            + 128
+    }
+
+    /// The simulator the bank lives in.
+    pub fn sim(&self) -> &Arc<HtmSim> {
+        &self.sim
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> u64 {
+        self.accounts_n
+    }
+
+    /// The audit-log skiplist (for spare-node management around
+    /// [`TxBank::transfer_in`]).
+    pub fn audit(&self) -> &TxSkipList {
+        &self.audit
+    }
+
+    /// The balance every account started with.
+    pub fn initial_balance(&self) -> u64 {
+        self.initial_balance
+    }
+
+    /// The conserved balance total: `accounts × initial_balance`.
+    pub fn expected_total(&self) -> u64 {
+        self.accounts_n * self.initial_balance
+    }
+
+    /// In-transaction read of one account's balance (`None` for an
+    /// unknown account).
+    pub fn balance_in<X: Txn + ?Sized>(&self, tx: &mut X, account: u64) -> TxResult<Option<u64>> {
+        self.accounts.read_value(tx, account)
+    }
+
+    /// Transactionally reads one account's balance.
+    pub fn balance<T: TmThread>(&self, thread: &mut T, account: u64) -> Option<u64> {
+        thread.execute(|tx| self.balance_in(tx, account))
+    }
+
+    /// The composed transfer, composable with further operations in the
+    /// same transaction: debit `from`, credit `to` and append to the audit
+    /// ring (evicting the oldest entry once the ring is full) — two
+    /// structures, one serialization point.
+    ///
+    /// `spare` follows the skiplist's pre-allocation idiom
+    /// ([`TxSkipList::insert_in`]): a committed transaction always consumes
+    /// a supplied spare (links it or banks it on the freelist — declined
+    /// transfers bank it too, so spares never leak).
+    pub fn transfer_in<X: Txn + ?Sized>(
+        &self,
+        tx: &mut X,
+        from: u64,
+        to: u64,
+        amount: u64,
+        spare: Option<TxPtr<SkipNode>>,
+    ) -> TxResult<TransferOutcome> {
+        let from_balance = match self.accounts.read_value(tx, from)? {
+            Some(b) => b,
+            None => return self.decline(tx, spare),
+        };
+        let to_balance = match self.accounts.read_value(tx, to)? {
+            Some(b) => b,
+            None => return self.decline(tx, spare),
+        };
+        if from == to || amount == 0 || from_balance < amount {
+            return self.decline(tx, spare);
+        }
+        let seq = self.audit_seq.read(tx)?;
+        let entry = pack_entry(from, to, amount);
+        if self.audit.insert_in(tx, seq + 1, entry, spare)? == InsertOutcome::NeedNode {
+            return Ok(TransferOutcome::NeedNode);
+        }
+        if seq >= self.audit_cap {
+            self.audit.remove_in(tx, seq + 1 - self.audit_cap)?;
+        }
+        self.audit_seq.write(tx, seq + 1)?;
+        self.accounts.write_value(tx, from, from_balance - amount)?;
+        self.accounts.write_value(tx, to, to_balance + amount)?;
+        Ok(TransferOutcome::Applied)
+    }
+
+    /// Banks an unused spare so a declined transfer still consumes it.
+    fn decline<X: Txn + ?Sized>(
+        &self,
+        tx: &mut X,
+        spare: Option<TxPtr<SkipNode>>,
+    ) -> TxResult<TransferOutcome> {
+        if let Some(s) = spare {
+            self.audit.bank_spare(tx, s)?;
+        }
+        Ok(TransferOutcome::Declined)
+    }
+
+    /// Transactionally transfers `amount` from `from` to `to`, recording
+    /// the applied transfer in the audit ring.  Handles audit-node
+    /// pre-allocation internally (the [`TxSkipList::insert`] retry loop),
+    /// so it never returns [`TransferOutcome::NeedNode`].
+    pub fn transfer<T: TmThread>(
+        &self,
+        thread: &mut T,
+        from: u64,
+        to: u64,
+        amount: u64,
+    ) -> TransferOutcome {
+        let mut spare: Option<TxPtr<SkipNode>> = None;
+        loop {
+            // A committed transaction always consumes the spare (linked or
+            // banked); only an explicit NeedNode leaves us without one.
+            let spare_now = match spare.take() {
+                Some(s) => Some(s),
+                None if self.audit.needs_spare() => Some(self.audit.alloc_spare()),
+                None => None,
+            };
+            match thread.execute(|tx| self.transfer_in(tx, from, to, amount, spare_now)) {
+                TransferOutcome::NeedNode => spare = Some(self.audit.alloc_spare()),
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// In-transaction read of **every** balance, summed — the analytics
+    /// scan.  Its read set covers the whole account table, so it is the
+    /// capacity-abort stress for hardware paths; atomicity demands the
+    /// result equal [`TxBank::expected_total`] in every serialization.
+    pub fn scan_total_in<X: Txn + ?Sized>(&self, tx: &mut X) -> TxResult<u64> {
+        let mut total = 0u64;
+        for a in 0..self.accounts_n {
+            match self.accounts.read_value(tx, a)? {
+                Some(b) => total += b,
+                None => unreachable!("constant table lost account {a}"),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Transactionally sums every balance (see [`TxBank::scan_total_in`]).
+    pub fn scan_total<T: TmThread>(&self, thread: &mut T) -> u64 {
+        thread.execute(|tx| self.scan_total_in(tx))
+    }
+
+    /// Collects the whole bank state in one thread after the workers are
+    /// done (each piece is its own transaction — quiescence is the
+    /// caller's responsibility, as for the other structures' snapshots).
+    pub fn snapshot<T: TmThread>(&self, thread: &mut T) -> BankSnapshot {
+        let balances = (0..self.accounts_n)
+            .map(|a| self.balance(thread, a).expect("account present"))
+            .collect();
+        let audit_seq = thread.execute(|tx| self.audit_seq.read(tx));
+        let audit = self
+            .audit
+            .snapshot(thread)
+            .into_iter()
+            .map(|(key, packed)| (key - 1, packed))
+            .collect();
+        BankSnapshot {
+            balances,
+            audit_seq,
+            audit,
+        }
+    }
+}
+
+/// Kind mapping: `Lookup` → single-balance read, `RangeSum` → full
+/// analytics scan ([`TxBank::scan_total`]), `Update`/`Insert`/`Remove` →
+/// composed transfer from `key` to a random other account (amount in
+/// `1..=`[`MAX_TRANSFER_AMOUNT`], both drawn from `rng` so fixed seeds
+/// replay).
+impl Workload for TxBank {
+    fn name(&self) -> String {
+        format!("bank-{}", self.accounts_n)
+    }
+
+    fn key_space(&self) -> u64 {
+        self.accounts_n
+    }
+
+    fn run_op<T: TmThread>(&self, thread: &mut T, rng: &mut WorkloadRng, op: OpKind, key: u64) {
+        match op {
+            OpKind::Lookup => {
+                self.balance(thread, key);
+            }
+            OpKind::RangeSum => {
+                self.scan_total(thread);
+            }
+            OpKind::Update | OpKind::Insert | OpKind::Remove => {
+                if self.accounts_n < 2 {
+                    self.balance(thread, key);
+                    return;
+                }
+                let to = (key + 1 + rng.next_below(self.accounts_n - 1)) % self.accounts_n;
+                let amount = 1 + rng.next_below(MAX_TRANSFER_AMOUNT);
+                self.transfer(thread, key, to, amount);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_api::TmRuntime;
+    use rhtm_core::{RhConfig, RhRuntime};
+    use rhtm_htm::HtmConfig;
+    use rhtm_mem::MemConfig;
+
+    fn runtime(words: usize) -> RhRuntime {
+        RhRuntime::new(
+            MemConfig::with_data_words(words),
+            HtmConfig::default(),
+            RhConfig::rh1_mixed(100),
+        )
+    }
+
+    fn bank(accounts: u64, audit_cap: u64) -> (RhRuntime, TxBank) {
+        let words = TxBank::required_words(accounts, audit_cap, 1) + 1024;
+        let rt = runtime(words);
+        let bank = TxBank::new(Arc::clone(rt.sim()), accounts, 100, audit_cap);
+        (rt, bank)
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        for (f, t, a) in [(0, 1, 1), (7, 3, 8), (FIELD_MASK, 0, FIELD_MASK)] {
+            assert_eq!(unpack_entry(pack_entry(f, t, a)), (f, t, a));
+        }
+    }
+
+    #[test]
+    fn transfers_move_value_and_append_to_the_audit_log() {
+        let (rt, bank) = bank(8, 16);
+        let mut th = rt.register_thread();
+        assert_eq!(bank.transfer(&mut th, 0, 1, 30), TransferOutcome::Applied);
+        assert_eq!(bank.transfer(&mut th, 1, 2, 50), TransferOutcome::Applied);
+        assert_eq!(bank.balance(&mut th, 0), Some(70));
+        assert_eq!(bank.balance(&mut th, 1), Some(80));
+        assert_eq!(bank.balance(&mut th, 2), Some(150));
+        let snap = bank.snapshot(&mut th);
+        assert_eq!(snap.audit_seq, 2);
+        assert_eq!(
+            snap.audit,
+            vec![(0, pack_entry(0, 1, 30)), (1, pack_entry(1, 2, 50))]
+        );
+        assert_eq!(bank.scan_total(&mut th), bank.expected_total());
+    }
+
+    #[test]
+    fn declined_transfers_change_nothing() {
+        let (rt, bank) = bank(4, 8);
+        let mut th = rt.register_thread();
+        for (from, to, amount) in [
+            (0, 0, 5),   // self-transfer
+            (0, 1, 0),   // zero amount
+            (0, 1, 101), // insufficient funds
+            (9, 1, 5),   // unknown source
+            (0, 9, 5),   // unknown destination
+        ] {
+            assert_eq!(
+                bank.transfer(&mut th, from, to, amount),
+                TransferOutcome::Declined,
+                "({from},{to},{amount})"
+            );
+        }
+        let snap = bank.snapshot(&mut th);
+        assert_eq!(snap.audit_seq, 0);
+        assert!(snap.audit.is_empty());
+        assert_eq!(snap.balances, vec![100; 4]);
+    }
+
+    #[test]
+    fn audit_ring_evicts_and_stops_allocating() {
+        let (rt, bank) = bank(4, 8);
+        let mut th = rt.register_thread();
+        // Warm the ring one past capacity (the first eviction seeds the
+        // freelist, so later inserts recycle instead of allocating)...
+        for i in 0..9u64 {
+            assert_eq!(
+                bank.transfer(&mut th, i % 3, 3, 1),
+                TransferOutcome::Applied
+            );
+        }
+        let used_before = rt.mem().alloc(0).index();
+        // ...then keep transferring far past it: evicted nodes recycle.
+        for i in 0..100u64 {
+            assert_eq!(
+                bank.transfer(&mut th, 3, i % 3, 1),
+                TransferOutcome::Applied
+            );
+        }
+        assert_eq!(
+            rt.mem().alloc(0).index(),
+            used_before,
+            "steady-state audit churn must not allocate"
+        );
+        let snap = bank.snapshot(&mut th);
+        assert_eq!(snap.audit_seq, 109);
+        assert_eq!(snap.audit.len(), 8, "ring holds exactly audit_cap entries");
+        assert_eq!(snap.audit.first().unwrap().0, 101, "oldest entry evicted");
+        assert_eq!(snap.balances.iter().sum::<u64>(), bank.expected_total());
+        assert!(bank.audit.is_well_formed_quiescent());
+    }
+
+    #[test]
+    fn workload_ops_commit_and_conserve() {
+        let (rt, bank) = bank(16, 32);
+        let mut th = rt.register_thread();
+        let mut rng = WorkloadRng::new(5);
+        let mix = crate::mix::OpMix::new([20, 10, 70, 0, 0]);
+        for _ in 0..300 {
+            let op = mix.draw(&mut rng);
+            let key = rng.next_below(bank.key_space());
+            bank.run_op(&mut th, &mut rng, op, key);
+        }
+        assert!(th.stats().commits() >= 300);
+        assert_eq!(bank.scan_total(&mut th), bank.expected_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "TxBank::required_words")]
+    fn undersized_heap_reports_the_sizing_hint() {
+        let rt = runtime(16);
+        let _ = TxBank::new(Arc::clone(rt.sim()), 64, 100, 8);
+    }
+}

@@ -111,21 +111,73 @@ impl ConstantHashTable {
         self.buckets.get((h & self.bucket_mask) as usize)
     }
 
-    /// Transactionally looks up `key`, reading the dummy payload of the
-    /// matching node.  Returns the node when found.
-    pub fn query<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Link> {
+    /// Walks `key`'s bucket chain without touching the payload (the
+    /// minimal-footprint search shared by every operation).
+    fn find<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Link> {
         let mut node = self.bucket(key).read(tx)?;
         while let Some(n) = node {
-            let k = n.field(KEY).read(tx)?;
-            if k == key {
-                for d in 0..DUMMY_WORDS {
-                    n.slot(DUMMY, d).read(tx)?;
-                }
+            if n.field(KEY).read(tx)? == key {
                 return Ok(Some(n));
             }
             node = n.field(NEXT).read(tx)?;
         }
         Ok(None)
+    }
+
+    /// Transactionally looks up `key`, reading the dummy payload of the
+    /// matching node.  Returns the node when found.
+    pub fn query<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Link> {
+        match self.find(tx, key)? {
+            Some(n) => {
+                for d in 0..DUMMY_WORDS {
+                    n.slot(DUMMY, d).read(tx)?;
+                }
+                Ok(Some(n))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// In-transaction read of `key`'s *value* — the first dummy word, which
+    /// composed workloads (the [`TxBank`](crate::structures::bank::TxBank)
+    /// accounts) use as real state rather than dummy payload.  `None` when
+    /// the key is absent.  Unlike [`ConstantHashTable::query`] it touches
+    /// only that one payload word, keeping the footprint minimal for
+    /// composition with other structures in the same transaction.
+    pub fn read_value<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        match self.find(tx, key)? {
+            Some(n) => Ok(Some(n.slot(DUMMY, 0).read(tx)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// In-transaction write of `key`'s value slot (see
+    /// [`ConstantHashTable::read_value`]); `false` when the key is absent.
+    /// The structure's shape is untouched.
+    pub fn write_value<X: Txn + ?Sized>(&self, tx: &mut X, key: u64, value: u64) -> TxResult<bool> {
+        match self.find(tx, key)? {
+            Some(n) => {
+                n.slot(DUMMY, 0).write(tx, value)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Non-transactionally seeds `key`'s value slot (construction-time
+    /// prefill; must not race transactions).  Panics when `key` was never
+    /// inserted.
+    pub fn seed_value(&self, key: u64, value: u64) {
+        let heap = self.sim.mem().heap();
+        let mut node = self.bucket(key).load(heap);
+        while let Some(n) = node {
+            if n.field(KEY).load(heap) == key {
+                n.slot(DUMMY, 0).store(heap, value);
+                return;
+            }
+            node = n.field(NEXT).load(heap);
+        }
+        panic!("seed_value: key {key} not present");
     }
 
     /// Transactionally "updates" `key`: query followed by dummy writes into
@@ -225,6 +277,20 @@ mod tests {
         assert!(th.execute(|tx| table.update(tx, 7, 0x1234)));
         assert_eq!(table.count_reachable(), 100);
         assert!(!th.execute(|tx| table.update(tx, 100, 1)));
+    }
+
+    #[test]
+    fn value_slot_round_trips_and_respects_absence() {
+        let (rt, table) = table(64);
+        let mut th = rt.register_thread();
+        assert_eq!(th.execute(|tx| table.read_value(tx, 3)), Some(0));
+        assert!(th.execute(|tx| table.write_value(tx, 3, 77)));
+        assert_eq!(th.execute(|tx| table.read_value(tx, 3)), Some(77));
+        table.seed_value(5, 1_000);
+        assert_eq!(th.execute(|tx| table.read_value(tx, 5)), Some(1_000));
+        assert_eq!(th.execute(|tx| table.read_value(tx, 64)), None);
+        assert!(!th.execute(|tx| table.write_value(tx, 64, 1)));
+        assert_eq!(table.count_reachable(), 64, "shape untouched");
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //!   benchmark-grade [`skiplist`] (O(log n) ordered map with a
 //!   transactional freelist) and [`queue`] (bounded FIFO ring buffer, the
 //!   producer/consumer shape).
+//! * The composed [`bank`] spans *both* families in one transaction: a
+//!   constant-shape hash table of accounts debited atomically with an
+//!   append to a mutable skiplist audit log.
 //!
-//! All six benchmark structures implement [`crate::Workload`]; the
+//! All benchmark structures implement [`crate::Workload`]; the
 //! scenario registry ([`crate::scenario`]) names the combinations the
 //! `bench_suite` binary sweeps.
 //!
@@ -27,6 +30,7 @@
 //! path that turns prefill sizing mistakes into readable errors naming
 //! the structure's `required_words` helper.
 
+pub mod bank;
 pub mod hashtable;
 pub mod mutable;
 pub mod queue;

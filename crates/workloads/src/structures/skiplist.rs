@@ -89,12 +89,17 @@ pub struct TxSkipList {
     key_space: u64,
 }
 
-/// What one insert attempt decided (see [`TxSkipList::insert`]).
-enum InsertOutcome {
+/// What one in-transaction insert attempt decided (see
+/// [`TxSkipList::insert_in`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was absent and a node was linked in.
     Inserted,
+    /// The key was present; its value was overwritten.
     Updated,
     /// The freelist was empty inside the transaction and no pre-allocated
-    /// spare was supplied; the caller must allocate one and re-run.
+    /// spare was supplied; the caller must allocate one
+    /// ([`TxSkipList::alloc_spare`]) and re-run the transaction.
     NeedNode,
 }
 
@@ -189,7 +194,18 @@ impl TxSkipList {
         Ok((preds, found))
     }
 
-    fn insert_in<X: Txn + ?Sized>(
+    /// In-transaction insert/upsert, composable with other operations in
+    /// the same transaction (the [`TxBank`](crate::structures::bank::TxBank)
+    /// audit log appends through this).
+    ///
+    /// Node memory comes from the in-heap freelist; when the freelist is
+    /// empty the caller-supplied `spare` (pre-allocated *outside* the
+    /// transaction via [`TxSkipList::alloc_spare`]) is consumed, and with
+    /// no spare the attempt returns [`InsertOutcome::NeedNode`] — still a
+    /// committed (read-mostly) transaction — so the caller can allocate
+    /// and re-run.  An unused spare is banked on the freelist, never
+    /// leaked.  See [`TxSkipList::insert`] for the canonical retry loop.
+    pub fn insert_in<X: Txn + ?Sized>(
         &self,
         tx: &mut X,
         key: u64,
@@ -239,8 +255,8 @@ impl TxSkipList {
         Self::check_key(key);
         let mut spare: Option<TxPtr<SkipNode>> = None;
         loop {
-            if spare.is_none() && self.sim.nt_read(self.free.head()).is_none() {
-                spare = Some(self.alloc_node_or_die());
+            if spare.is_none() && self.needs_spare() {
+                spare = Some(self.alloc_spare());
             }
             let spare_now = spare;
             match thread.execute(|tx| self.insert_in(tx, key, value, spare_now)) {
@@ -253,25 +269,55 @@ impl TxSkipList {
         }
     }
 
+    /// Whether an insert needs a pre-allocated spare node right now: the
+    /// freelist is (non-transactionally) observed empty.  The observation
+    /// may race concurrent pushes/pops — [`InsertOutcome::NeedNode`] is
+    /// the authoritative in-transaction answer; this check only avoids
+    /// allocating spares that would immediately be banked.
+    pub fn needs_spare(&self) -> bool {
+        self.sim.nt_read(self.free.head()).is_none()
+    }
+
+    /// Pre-allocates a spare node for [`TxSkipList::insert_in`] from the
+    /// bump allocator (outside any transaction, so aborted retries never
+    /// allocate again); panics with the sizing hint on exhaustion.
+    pub fn alloc_spare(&self) -> TxPtr<SkipNode> {
+        self.alloc_node_or_die()
+    }
+
+    /// In-transaction deposit of an unused spare onto the freelist, for
+    /// composed callers whose transaction decides *not* to insert after
+    /// all (e.g. a declined [`TxBank`](crate::structures::bank::TxBank)
+    /// transfer): the spare is consumed either way, so retry loops can
+    /// treat "transaction committed" as "spare gone".
+    pub fn bank_spare<X: Txn + ?Sized>(&self, tx: &mut X, spare: TxPtr<SkipNode>) -> TxResult<()> {
+        self.free.push(tx, spare)
+    }
+
+    /// In-transaction remove, composable with other operations in the same
+    /// transaction.  Returns the removed value, or `None` when absent; the
+    /// node is recycled through the freelist.
+    pub fn remove_in<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        let (preds, found) = self.locate(tx, key)?;
+        let node = match found {
+            Some(n) => n,
+            None => return Ok(None),
+        };
+        let value = node.field(VALUE).read(tx)?;
+        let height = node.field(HEIGHT).read(tx)?;
+        for level in (0..height).rev() {
+            let succ = node.slot(NEXT, level).read(tx)?;
+            preds[level].slot(NEXT, level).write(tx, succ)?;
+        }
+        self.free.push(tx, node)?;
+        Ok(Some(value))
+    }
+
     /// Transactionally removes `key`, returning its value when present.
     /// The node is recycled through the freelist.
     pub fn remove<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
         Self::check_key(key);
-        thread.execute(|tx| {
-            let (preds, found) = self.locate(tx, key)?;
-            let node = match found {
-                Some(n) => n,
-                None => return Ok(None),
-            };
-            let value = node.field(VALUE).read(tx)?;
-            let height = node.field(HEIGHT).read(tx)?;
-            for level in (0..height).rev() {
-                let succ = node.slot(NEXT, level).read(tx)?;
-                preds[level].slot(NEXT, level).write(tx, succ)?;
-            }
-            self.free.push(tx, node)?;
-            Ok(Some(value))
-        })
+        thread.execute(|tx| self.remove_in(tx, key))
     }
 
     /// Transactionally gets the value stored under `key`.

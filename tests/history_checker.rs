@@ -1,0 +1,357 @@
+//! The history/invariant checker, adversarially.
+//!
+//! A checker that never rejects anything is worse than no checker: it
+//! blesses broken runs.  So before trusting `rhtm_workloads::check` to
+//! guard the stress suites, every checker is fed **hand-crafted
+//! known-bad histories** — a lost update, broken FIFO order, a
+//! non-conserving transfer, a phantom read inside a scan — and must
+//! reject each one (mutation testing for the checkers themselves).
+//! The flip side is soundness: recorded histories from real runs on
+//! real runtimes must check clean, including the `check-suite` sweep
+//! over three full `TmSpec` points and a freelist-recycling churn that
+//! would surface a skiplist ABA/double-free as a map-semantics
+//! violation.
+
+use std::sync::Arc;
+
+use rhtm_api::TmRuntime;
+use rhtm_core::{RhConfig, RhRuntime};
+use rhtm_htm::HtmConfig;
+use rhtm_mem::MemConfig;
+use rhtm_workloads::check::{
+    check_all, record_bank_stress, record_map_churn, record_queue_stress, BankChecker, Checker,
+    FifoChecker, MapChecker, ScanChecker,
+};
+use rhtm_workloads::structures::bank::{pack_entry, BankSnapshot};
+use rhtm_workloads::{AlgoVisitor, EventKind, History, TmSpec, TxBank, TxQueue, TxSkipList};
+
+fn runtime(words: usize) -> RhRuntime {
+    RhRuntime::new(
+        MemConfig::with_data_words(words),
+        HtmConfig::default(),
+        RhConfig::rh1_mixed(100),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Mutation self-tests: every checker must reject its known-bad history
+// ---------------------------------------------------------------------
+
+#[test]
+fn map_checker_rejects_a_lost_update() {
+    // Key 5 starts at 10; two writers update it to 1 and 2; the final
+    // state still says 10 — every update was lost.  No serialization
+    // allows it, because some write must be ordered last.
+    let checker = MapChecker::new([(5, 10)], [(5, 10)]);
+    let history = History::from_kinds(vec![
+        vec![EventKind::Insert {
+            key: 5,
+            value: 1,
+            inserted: false,
+        }],
+        vec![EventKind::Insert {
+            key: 5,
+            value: 2,
+            inserted: false,
+        }],
+    ]);
+    let violation = checker.check(&history).unwrap_err();
+    assert!(violation.detail.contains("never written"), "{violation}");
+    // The same events with a surviving write are a legal history.
+    MapChecker::new([(5, 10)], [(5, 2)])
+        .check(&history)
+        .unwrap();
+}
+
+#[test]
+fn map_checker_rejects_a_double_free_shaped_duplicate_insert() {
+    // A freelist double-free hands the same node to two inserts: both
+    // report `inserted: true` for a key that can only be absent once.
+    let checker = MapChecker::new([], [(7, 1)]);
+    let history = History::from_kinds(vec![
+        vec![EventKind::Insert {
+            key: 7,
+            value: 1,
+            inserted: true,
+        }],
+        vec![EventKind::Insert {
+            key: 7,
+            value: 1,
+            inserted: true,
+        }],
+    ]);
+    let violation = checker.check(&history).unwrap_err();
+    assert!(violation.detail.contains("presence"), "{violation}");
+}
+
+#[test]
+fn map_checker_rejects_a_conjured_lookup_value() {
+    let checker = MapChecker::new([(3, 30)], [(3, 30)]);
+    let history = History::from_kinds(vec![vec![EventKind::Lookup {
+        key: 3,
+        value: Some(99),
+    }]]);
+    let violation = checker.check(&history).unwrap_err();
+    assert!(violation.detail.contains("nobody wrote"), "{violation}");
+}
+
+#[test]
+fn fifo_checker_rejects_broken_fifo_order() {
+    // Producer (thread 0) enqueues 10 then 11; the consumer dequeues
+    // them swapped.
+    let checker = FifoChecker::new(vec![], vec![]);
+    let history = History::from_kinds(vec![
+        vec![
+            EventKind::Enqueue {
+                value: 10,
+                accepted: true,
+            },
+            EventKind::Enqueue {
+                value: 11,
+                accepted: true,
+            },
+        ],
+        vec![
+            EventKind::Dequeue { value: Some(11) },
+            EventKind::Dequeue { value: Some(10) },
+        ],
+    ]);
+    let violation = checker.check(&history).unwrap_err();
+    assert!(violation.detail.contains("out of order"), "{violation}");
+}
+
+#[test]
+fn fifo_checker_rejects_loss_duplication_and_phantoms() {
+    let checker = FifoChecker::new(vec![], vec![]);
+    let lost = History::from_kinds(vec![vec![EventKind::Enqueue {
+        value: 1,
+        accepted: true,
+    }]]);
+    assert!(checker.check(&lost).unwrap_err().detail.contains("lost"));
+    let duplicated = History::from_kinds(vec![vec![
+        EventKind::Enqueue {
+            value: 1,
+            accepted: true,
+        },
+        EventKind::Dequeue { value: Some(1) },
+        EventKind::Dequeue { value: Some(1) },
+    ]]);
+    assert!(checker
+        .check(&duplicated)
+        .unwrap_err()
+        .detail
+        .contains("duplicated"));
+    let phantom = History::from_kinds(vec![vec![EventKind::Dequeue { value: Some(42) }]]);
+    assert!(checker
+        .check(&phantom)
+        .unwrap_err()
+        .detail
+        .contains("never enqueued"));
+}
+
+#[test]
+fn bank_checker_rejects_a_non_conserving_transfer() {
+    // One applied transfer of 30 from account 0 to 1, but the snapshot
+    // credited 31: value was created out of thin air.
+    let history = History::from_kinds(vec![vec![EventKind::Transfer {
+        from: 0,
+        to: 1,
+        amount: 30,
+        applied: true,
+    }]]);
+    let bad = BankChecker::with_params(
+        2,
+        100,
+        BankSnapshot {
+            balances: vec![70, 131],
+            audit_seq: 1,
+            audit: vec![(0, pack_entry(0, 1, 30))],
+        },
+    );
+    let violation = bad.check(&history).unwrap_err();
+    assert!(violation.detail.contains("sum to"), "{violation}");
+    // The honest snapshot passes.
+    BankChecker::with_params(
+        2,
+        100,
+        BankSnapshot {
+            balances: vec![70, 130],
+            audit_seq: 1,
+            audit: vec![(0, pack_entry(0, 1, 30))],
+        },
+    )
+    .check(&history)
+    .unwrap();
+}
+
+#[test]
+fn bank_checker_rejects_unlogged_and_misreplayed_transfers() {
+    let history = History::from_kinds(vec![vec![EventKind::Transfer {
+        from: 0,
+        to: 1,
+        amount: 30,
+        applied: true,
+    }]]);
+    // Conserving, but the money moved between the wrong accounts.
+    let misreplayed = BankChecker::with_params(
+        3,
+        100,
+        BankSnapshot {
+            balances: vec![100, 130, 70],
+            audit_seq: 1,
+            audit: vec![(0, pack_entry(0, 1, 30))],
+        },
+    );
+    let violation = misreplayed.check(&history).unwrap_err();
+    assert!(violation.detail.contains("replay"), "{violation}");
+    // Applied transfer missing from the audit sequence.
+    let unlogged = BankChecker::with_params(
+        2,
+        100,
+        BankSnapshot {
+            balances: vec![70, 130],
+            audit_seq: 0,
+            audit: vec![],
+        },
+    );
+    let violation = unlogged.check(&history).unwrap_err();
+    assert!(violation.detail.contains("audit sequence"), "{violation}");
+}
+
+#[test]
+fn scan_checkers_reject_a_phantom_read() {
+    // A scan racing a transfer observed a half-applied state: the debit
+    // without the credit.
+    let history = History::from_kinds(vec![
+        vec![EventKind::Transfer {
+            from: 0,
+            to: 1,
+            amount: 30,
+            applied: true,
+        }],
+        vec![EventKind::Scan { sum: 170 }],
+    ]);
+    let scan = ScanChecker { expected: 200 };
+    let violation = scan.check(&history).unwrap_err();
+    assert!(violation.detail.contains("170"), "{violation}");
+    // BankChecker flags the same phantom independently of the snapshot.
+    let bank = BankChecker::with_params(
+        2,
+        100,
+        BankSnapshot {
+            balances: vec![70, 130],
+            audit_seq: 1,
+            audit: vec![(0, pack_entry(0, 1, 30))],
+        },
+    );
+    assert!(bank.check(&history).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Freelist ABA/double-free regression: churn forces node recycling
+// ---------------------------------------------------------------------
+
+#[test]
+fn skiplist_freelist_recycling_churn_checks_clean() {
+    // A tiny key space with insert/remove-heavy traffic cycles every
+    // node through remove -> freelist -> insert repeatedly; an ABA slip
+    // or double-free in `TxSkipList::remove` would seat one node under
+    // two keys and break presence arithmetic or value provenance.
+    let rt = runtime(1 << 14);
+    let list = TxSkipList::new(Arc::clone(rt.sim()), 12);
+    for k in 1..=6u64 {
+        list.seed_insert(k, k);
+    }
+    let (checker, history) = record_map_churn(&rt, &list, 4, 400, 0xABA);
+    assert_eq!(history.len(), 1_600);
+    if let Err(v) = checker.check(&history) {
+        panic!("freelist churn corrupted the map: {v}");
+    }
+    assert!(list.is_well_formed_quiescent());
+}
+
+// ---------------------------------------------------------------------
+// check-suite: recorded stress across three full TmSpec points
+// ---------------------------------------------------------------------
+
+/// The spec sweep CI's `check-suite` job runs: RH2 on GV6 with adaptive
+/// retries, TL2 on GV5 with capped exponential backoff, and the
+/// standard-HyTM baseline.
+const CHECK_SUITE_SPECS: [&str; 3] = ["rh2+gv6+adaptive", "tl2+gv5+capped-exp", "standard-hytm"];
+
+#[test]
+fn check_suite_specs_pass_all_recorded_checkers() {
+    for label in CHECK_SUITE_SPECS {
+        let spec = TmSpec::parse(label).unwrap_or_else(|| panic!("spec label {label}"));
+        // Map churn.
+        {
+            let spec = spec.clone().mem(MemConfig::with_data_words(
+                TxSkipList::required_words(64, 4) + 8192,
+            ));
+            let sim = spec.build_sim();
+            let list = Arc::new(TxSkipList::new(Arc::clone(&sim), 32));
+            for k in 1..=16u64 {
+                list.seed_insert(k, k);
+            }
+            struct MapStress(Arc<TxSkipList>);
+            impl AlgoVisitor for MapStress {
+                type Out = Vec<String>;
+                fn visit<R: TmRuntime>(self, rt: R) -> Vec<String> {
+                    let (checker, history) = record_map_churn(&rt, &self.0, 3, 250, 0x51);
+                    check_all(&history, &[&checker])
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect()
+                }
+            }
+            let violations = spec.visit_on(sim, MapStress(Arc::clone(&list)));
+            assert!(violations.is_empty(), "{label}: map churn: {violations:?}");
+        }
+        // Producer/consumer FIFO.
+        {
+            let spec = spec.clone().mem(MemConfig::with_data_words(
+                TxQueue::required_words(16) + 8192,
+            ));
+            let sim = spec.build_sim();
+            let queue = Arc::new(TxQueue::new(Arc::clone(&sim), 16));
+            struct QueueStress(Arc<TxQueue>);
+            impl AlgoVisitor for QueueStress {
+                type Out = Vec<String>;
+                fn visit<R: TmRuntime>(self, rt: R) -> Vec<String> {
+                    let (checker, history) = record_queue_stress(&rt, &self.0, 2, 2, 60);
+                    check_all(&history, &[&checker])
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect()
+                }
+            }
+            let violations = spec.visit_on(sim, QueueStress(Arc::clone(&queue)));
+            assert!(violations.is_empty(), "{label}: queue: {violations:?}");
+        }
+        // Composed bank with analytics scans.
+        {
+            let spec = spec.clone().mem(MemConfig::with_data_words(
+                TxBank::required_words(16, 32, 3) + 8192,
+            ));
+            let sim = spec.build_sim();
+            let bank = Arc::new(TxBank::new(Arc::clone(&sim), 16, 400, 32));
+            struct BankStress(Arc<TxBank>);
+            impl AlgoVisitor for BankStress {
+                type Out = Vec<String>;
+                fn visit<R: TmRuntime>(self, rt: R) -> Vec<String> {
+                    let (checker, history) = record_bank_stress(&rt, &self.0, 3, 150, 0x77);
+                    let scans = ScanChecker {
+                        expected: self.0.expected_total(),
+                    };
+                    check_all(&history, &[&checker as &dyn Checker, &scans])
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect()
+                }
+            }
+            let violations = spec.visit_on(sim, BankStress(Arc::clone(&bank)));
+            assert!(violations.is_empty(), "{label}: bank: {violations:?}");
+            assert!(bank.audit().is_well_formed_quiescent(), "{label}");
+        }
+    }
+}

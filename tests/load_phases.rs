@@ -1,0 +1,222 @@
+//! Property tests for time-varying load phases and the composed scenario
+//! pack: fuzzed schedule invariants, label round-trips, and per-seed
+//! replay determinism of the new scenarios.
+//!
+//! The determinism tests run **single-threaded**: with concurrent
+//! workers, abort/retry noise perturbs the read/write counters even for
+//! identical key sequences, so only 1-thread counted runs are exact
+//! replays.
+
+use rhtm_workloads::{
+    AlgoKind, DriverOpts, OpMix, PhasePlan, Scenario, StructureKind, TmSpec, WorkloadRng,
+};
+
+/// Deterministic splitmix64 stream for the fuzzed sweeps.
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn new(seed: u64) -> Self {
+        CaseRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Phase index implied by the schedule's weight prefix sums — the
+/// reference model `PhasedSampler::phase_at` must agree with.
+fn model_phase(plan: PhasePlan, progress: u8) -> usize {
+    let schedule = plan.schedule();
+    let mut acc = 0u32;
+    for (i, p) in schedule.iter().enumerate() {
+        acc += p.weight as u32;
+        if (progress as u32) < acc {
+            return i;
+        }
+    }
+    schedule.len() - 1
+}
+
+#[test]
+fn fuzzed_samplers_stay_in_range_and_match_the_phase_model() {
+    let mut rng = CaseRng::new(0x10ad);
+    for case in 0..300u64 {
+        let plan = PhasePlan::ALL[rng.below(3) as usize];
+        let key_space = 2 + rng.below(5_000);
+        let threads = 1 + rng.below(4) as usize;
+        let tid = rng.below(threads as u64) as usize;
+        let mut sampler = plan.sampler(key_space, tid, threads);
+        let mut keys = WorkloadRng::new(case);
+        for _ in 0..200 {
+            let progress = rng.below(130) as u8; // deliberately overshoots 100
+            assert_eq!(
+                sampler.phase_at(progress),
+                model_phase(plan, progress),
+                "{plan:?} at {progress}%"
+            );
+            let key = sampler.sample(&mut keys, progress);
+            assert!(
+                key < key_space,
+                "{plan:?}: key {key} outside space {key_space}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzzed_equal_seeds_replay_identical_key_streams() {
+    let mut rng = CaseRng::new(0xd00d);
+    for case in 0..100u64 {
+        let plan = PhasePlan::ALL[rng.below(3) as usize];
+        let key_space = 2 + rng.below(2_000);
+        let threads = 1 + rng.below(4) as usize;
+        let tid = rng.below(threads as u64) as usize;
+        let mut a = plan.sampler(key_space, tid, threads);
+        let mut b = plan.sampler(key_space, tid, threads);
+        let mut ra = WorkloadRng::new(case ^ 0xABCD);
+        let mut rb = WorkloadRng::new(case ^ 0xABCD);
+        for op in 0..300u64 {
+            let progress = (op * 100 / 300) as u8;
+            assert_eq!(
+                a.sample(&mut ra, progress),
+                b.sample(&mut rb, progress),
+                "{plan:?} diverged at op {op}"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_selection_is_monotone_in_progress() {
+    for plan in PhasePlan::ALL {
+        let sampler = plan.sampler(100, 0, 1);
+        let mut last = 0;
+        for progress in 0..=120u16 {
+            let phase = sampler.phase_at(progress.min(255) as u8);
+            assert!(
+                phase >= last,
+                "{plan:?}: phase went backwards at {progress}%"
+            );
+            assert!(phase < plan.schedule().len());
+            last = phase;
+        }
+        assert_eq!(
+            last,
+            plan.schedule().len() - 1,
+            "{plan:?}: the final phase must be reached"
+        );
+    }
+}
+
+#[test]
+fn phase_plan_labels_round_trip_and_reject_near_misses() {
+    for plan in PhasePlan::ALL {
+        assert_eq!(PhasePlan::parse(plan.label()), Some(plan));
+        assert_eq!(
+            PhasePlan::parse(&format!("  {}  ", plan.label())),
+            Some(plan)
+        );
+        assert_eq!(
+            PhasePlan::parse(&plan.label().to_ascii_uppercase()),
+            Some(plan)
+        );
+    }
+    // Fuzzed near-misses: mutate one character of a valid label.
+    let mut rng = CaseRng::new(0xbad_1abe1);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz-".chars().collect();
+    for _ in 0..500 {
+        let plan = PhasePlan::ALL[rng.below(3) as usize];
+        let mut chars: Vec<char> = plan.label().chars().collect();
+        let at = rng.below(chars.len() as u64) as usize;
+        let replacement = alphabet[rng.below(alphabet.len() as u64) as usize];
+        if chars[at] == replacement {
+            continue;
+        }
+        chars[at] = replacement;
+        let mutated: String = chars.into_iter().collect();
+        assert_eq!(
+            PhasePlan::parse(&mutated),
+            None,
+            "near-miss '{mutated}' must not parse"
+        );
+    }
+}
+
+#[test]
+fn scenario_labels_round_trip_including_the_composed_pack() {
+    for s in Scenario::all() {
+        assert_eq!(
+            Scenario::find(s.name).map(|f| f.name),
+            Some(s.name),
+            "{} must find itself",
+            s.name
+        );
+        assert_eq!(
+            Scenario::find(&s.name.to_ascii_uppercase()).map(|f| f.name),
+            Some(s.name)
+        );
+        // The phases column round-trips: "none" for stationary
+        // scenarios, a parseable plan label otherwise.
+        match s.phases {
+            None => assert_eq!(s.phases_label(), "none", "{}", s.name),
+            Some(plan) => assert_eq!(PhasePlan::parse(s.phases_label()), Some(plan), "{}", s.name),
+        }
+    }
+    for name in [
+        "bank-transfer-uniform",
+        "bank-transfer-zipf",
+        "bank-analytics-scan",
+        "bank-diurnal",
+        "skiplist-flash-crowd",
+        "skiplist-hot-migration",
+    ] {
+        let s = Scenario::find(name)
+            .unwrap_or_else(|| panic!("composed-pack scenario '{name}' is not registered"));
+        assert!(
+            s.structure == StructureKind::Bank || s.phases.is_some(),
+            "{name} is neither composed nor phased"
+        );
+    }
+}
+
+#[test]
+fn composed_and_phased_scenarios_replay_deterministically_per_seed() {
+    let spec = TmSpec::new(AlgoKind::Rh1Mixed(100));
+    let pack: Vec<&Scenario> = Scenario::all()
+        .iter()
+        .filter(|s| s.structure == StructureKind::Bank || s.phases.is_some())
+        .collect();
+    assert!(pack.len() >= 6);
+    for s in pack {
+        let size = s.sized(256);
+        for seed in [3u64, 17] {
+            let opts = DriverOpts::counted_mix(1, OpMix::read_update(0), 120).with_seed(seed);
+            let a = s.run_spec(&spec, size, &opts);
+            let b = s.run_spec(&spec, size, &opts);
+            assert_eq!(a.total_ops, 120, "{}", s.name);
+            assert_eq!(a.total_ops, b.total_ops, "{}", s.name);
+            assert_eq!(a.stats.commits(), b.stats.commits(), "{}", s.name);
+            assert_eq!(
+                a.stats.reads, b.stats.reads,
+                "{} seed {seed}: read counts must replay",
+                s.name
+            );
+            assert_eq!(
+                a.stats.writes, b.stats.writes,
+                "{} seed {seed}: write counts must replay",
+                s.name
+            );
+            assert_eq!(a.key_dist, b.key_dist, "{}", s.name);
+            assert_eq!(a.seed, seed, "{}", s.name);
+        }
+    }
+}

@@ -16,9 +16,13 @@ use std::sync::{Arc, Mutex};
 use rhtm_api::{TmRuntime, TmScopeExt, TmThread};
 use rhtm_htm::{HtmConfig, HtmSim};
 use rhtm_mem::{MemConfig, TmMemory};
+use rhtm_workloads::check::{check_all, record_bank_stress, ScanChecker};
 use rhtm_workloads::scenario::Scenario;
 use rhtm_workloads::structures::{queue::TxQueue, skiplist::TxSkipList};
-use rhtm_workloads::{visit_algo, AlgoKind, AlgoVisitor, DriverOpts, KeyDist, OpMix, WorkloadRng};
+use rhtm_workloads::{
+    visit_algo, AlgoKind, AlgoVisitor, DriverOpts, KeyDist, OpMix, StructureKind, TxBank,
+    WorkloadRng,
+};
 
 // ---------------------------------------------------------------------
 // Determinism: same seed ⇒ identical operation sequence per distribution
@@ -253,6 +257,82 @@ fn queue_preserves_fifo_and_conserves_values_on_all_six_algorithms() {
                     "{kind:?}: per-producer FIFO order violated"
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composed transactions through the history checker, all six algorithms
+// ---------------------------------------------------------------------
+
+const BANK_ACCOUNTS: u64 = 24;
+const BANK_BALANCE: u64 = 500;
+const BANK_AUDIT: u64 = 64;
+
+/// Runs the composed-bank stress (OLTP transfers + analytics scans +
+/// balance lookups) through the recorded-history checker and returns the
+/// violations, so the test can name the algorithm that produced them.
+struct BankCheckedStress {
+    bank: Arc<TxBank>,
+}
+
+impl AlgoVisitor for BankCheckedStress {
+    type Out = Vec<String>;
+
+    fn visit<R: TmRuntime>(self, runtime: R) -> Vec<String> {
+        let (checker, history) = record_bank_stress(&runtime, &self.bank, 4, 150, 0xA5);
+        let scans = ScanChecker {
+            expected: self.bank.expected_total(),
+        };
+        check_all(&history, &[&checker, &scans])
+            .iter()
+            .map(|v| v.to_string())
+            .collect()
+    }
+}
+
+#[test]
+fn composed_bank_histories_check_clean_on_all_six_algorithms() {
+    for kind in AlgoKind::FIGURE_SET {
+        let words = TxBank::required_words(BANK_ACCOUNTS, BANK_AUDIT, 4) + 4096;
+        let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(words)));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let bank = Arc::new(TxBank::new(
+            Arc::clone(&sim),
+            BANK_ACCOUNTS,
+            BANK_BALANCE,
+            BANK_AUDIT,
+        ));
+        let violations = visit_algo(
+            kind,
+            sim,
+            BankCheckedStress {
+                bank: Arc::clone(&bank),
+            },
+        );
+        assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+        assert!(bank.audit().is_well_formed_quiescent(), "{kind:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// New registered scenarios run end-to-end on every figure algorithm
+// ---------------------------------------------------------------------
+
+#[test]
+fn bank_and_phased_scenarios_run_on_all_six_algorithms() {
+    let fresh: Vec<&Scenario> = Scenario::all()
+        .iter()
+        .filter(|s| s.structure == StructureKind::Bank || s.phases.is_some())
+        .collect();
+    assert!(fresh.len() >= 6, "expected the six new scenarios");
+    for kind in AlgoKind::FIGURE_SET {
+        for s in &fresh {
+            let size = s.sized(1_024);
+            let opts = DriverOpts::counted_mix(2, OpMix::read_update(0), 40).with_seed(11);
+            let result = s.run(kind, size, &opts);
+            assert_eq!(result.total_ops, 80, "{kind:?}/{}", s.name);
+            assert_eq!(result.op_mix, s.mix.label(), "{kind:?}/{}", s.name);
         }
     }
 }
