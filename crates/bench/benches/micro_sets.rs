@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the transaction-local set structures every software
+//! read and write goes through: [`LineMap`] (read-marks, write-set index)
+//! and [`WriteSet`] (deferred writes).  Footprints of 8, 64 and 1024 keys
+//! cover a small RMW transaction, a typical traversal and a worst-case
+//! large-write-set commit.  These are the structures the PR-7 speed pass
+//! targets (epoch-stamped clear, single-probe insert, fingerprint-gated
+//! misses), so regressions here surface before they show up in the
+//! figure-level runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rhtm_htm::linemap::{LineMap, WriteSet};
+use rhtm_mem::Addr;
+
+const FOOTPRINTS: [usize; 3] = [8, 64, 1024];
+
+/// Key stream with the same shape the runtimes produce: word addresses a
+/// stripe apart, permuted so probes do not walk the table in order.
+fn keys(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9).wrapping_add(7)) % (4 * n as u64))
+        .collect()
+}
+
+fn bench_linemap(c: &mut Criterion) {
+    for n in FOOTPRINTS {
+        let ks = keys(n);
+
+        let mut m = LineMap::with_capacity(n);
+        c.bench_function(&format!("linemap_insert_clear/{n}"), |b| {
+            b.iter(|| {
+                for &k in &ks {
+                    m.insert_if_absent(k, k);
+                }
+                let len = m.len();
+                m.clear();
+                len
+            })
+        });
+
+        let mut m = LineMap::with_capacity(n);
+        for &k in &ks {
+            m.insert_if_absent(k, k);
+        }
+        c.bench_function(&format!("linemap_get_hit/{n}"), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for &k in &ks {
+                    sum = sum.wrapping_add(m.get(k).unwrap_or(0));
+                }
+                sum
+            })
+        });
+        c.bench_function(&format!("linemap_get_miss/{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &ks {
+                    // Shifted past the populated key range: all misses.
+                    hits += usize::from(m.get(k + (8 * n) as u64).is_some());
+                }
+                hits
+            })
+        });
+    }
+}
+
+fn bench_writeset(c: &mut Criterion) {
+    for n in FOOTPRINTS {
+        let ks = keys(n);
+
+        let mut w = WriteSet::with_capacity(n);
+        c.bench_function(&format!("writeset_insert_clear/{n}"), |b| {
+            b.iter(|| {
+                for &k in &ks {
+                    w.insert(Addr(k as usize), k);
+                }
+                let len = w.len();
+                w.clear();
+                len
+            })
+        });
+
+        let mut w = WriteSet::with_capacity(n);
+        for &k in &ks {
+            w.insert(Addr(k as usize), k);
+        }
+        c.bench_function(&format!("writeset_get_hit/{n}"), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for &k in &ks {
+                    sum = sum.wrapping_add(w.get(Addr(k as usize)).unwrap_or(0));
+                }
+                sum
+            })
+        });
+        // The read path's common case: a read probing a write-set that does
+        // not contain the address (the fingerprint filter's fast miss).
+        c.bench_function(&format!("writeset_get_miss/{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &ks {
+                    hits += usize::from(w.get(Addr(k as usize + 8 * n)).is_some());
+                }
+                hits
+            })
+        });
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    bench_linemap(c);
+    bench_writeset(c);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

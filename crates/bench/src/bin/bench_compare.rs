@@ -1,0 +1,186 @@
+//! Diffs, schema-checks and merges perf-trajectory documents
+//! (`rhtm-trajectory-v1`, produced by `bench_trajectory`).
+//!
+//! ```text
+//! bench_compare BASELINE.json CANDIDATE.json [--tolerance=0.15] [--raw]
+//! bench_compare --check FILE.json
+//! bench_compare --merge BEFORE.json AFTER.json [--pr=N]
+//! ```
+//!
+//! * Default mode compares candidate medians against the baseline
+//!   point-by-point and **exits 1 if any point regresses past the
+//!   tolerance** (this is the CI gate).  Per-point ratios are first
+//!   normalized by their geometric mean, so a uniform machine-speed
+//!   difference between the committed baseline and the CI host cancels
+//!   out and only *relative* regressions are flagged.
+//! * `--raw` skips the normalization — use it for same-machine A/B runs,
+//!   where absolute throughput is directly comparable.
+//! * `--check` validates a document's schema and exits (1 on failure).
+//! * `--merge` folds a same-machine before/after pair into the committed
+//!   `BENCH_<n>.json` form: the after document, each point annotated with
+//!   its before median, plus per-optimization rows derived from the fixed
+//!   probe mapping ([`rhtm_bench::trajectory::OPTIMIZATION_PROBES`]).
+//!
+//! See `docs/BENCHMARKS.md`, "Perf trajectory".
+
+use rhtm_bench::trajectory::{
+    self, compare_trajectories, parse_full_trajectory, parse_trajectory, point_key,
+    OptimizationRow, TrajectoryPoint,
+};
+use rhtm_workloads::TmSpec;
+
+fn fail(msg: String) -> ! {
+    rhtm_bench::cli::fail(msg)
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")))
+}
+
+fn check(path: &str) -> ! {
+    match parse_trajectory(&read(path)) {
+        Ok(doc) => {
+            println!(
+                "ok: {path} is a valid trajectory ({} points)",
+                doc.points.len()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn find_median(points: &[TrajectoryPoint], key: &str) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| point_key(&p.scenario, &p.spec, p.threads) == key)
+        .map(|p| p.median_ops_per_sec)
+}
+
+fn merge(before_path: &str, after_path: &str, pr: u64) -> ! {
+    let (_, before) = parse_full_trajectory(&read(before_path))
+        .unwrap_or_else(|e| fail(format!("{before_path}: {e}")));
+    let (params, after) = parse_full_trajectory(&read(after_path))
+        .unwrap_or_else(|e| fail(format!("{after_path}: {e}")));
+    let before_medians: Vec<(String, f64)> = before
+        .iter()
+        .map(|p| {
+            (
+                point_key(&p.scenario, &p.spec, p.threads),
+                p.median_ops_per_sec,
+            )
+        })
+        .collect();
+    let mut optimizations = Vec::new();
+    for (name, scenario, kind) in trajectory::OPTIMIZATION_PROBES {
+        let spec = TmSpec::new(kind).label();
+        let key = point_key(scenario, &spec, params.threads);
+        let (Some(b), Some(a)) = (find_median(&before, &key), find_median(&after, &key)) else {
+            fail(format!(
+                "probe point '{key}' missing from an input document"
+            ));
+        };
+        optimizations.push(OptimizationRow {
+            name: name.to_string(),
+            probe: format!("{scenario} / {spec}"),
+            before_ops_per_sec: b,
+            after_ops_per_sec: a,
+        });
+    }
+    print!(
+        "{}",
+        trajectory::trajectory_to_json(pr, &params, &after, &before_medians, &optimizations)
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut tolerance = 0.15f64;
+    let mut raw = false;
+    let mut mode_check = false;
+    let mut mode_merge = false;
+    let mut pr = 7u64;
+    for arg in &args {
+        if arg == "--check" {
+            mode_check = true;
+        } else if arg == "--merge" {
+            mode_merge = true;
+        } else if arg == "--raw" {
+            raw = true;
+        } else if let Some(v) = arg.strip_prefix("--tolerance=") {
+            tolerance = v
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad tolerance '{v}'")));
+            if !(0.0..1.0).contains(&tolerance) {
+                fail(format!("tolerance {tolerance} must be in [0, 1)"));
+            }
+        } else if let Some(v) = arg.strip_prefix("--pr=") {
+            pr = v.parse().unwrap_or_else(|_| fail(format!("bad pr '{v}'")));
+        } else if arg.starts_with("--") {
+            fail(format!(
+                "unknown flag '{arg}' (expected --check, --merge, --raw, \
+                 --tolerance=, --pr=)"
+            ));
+        } else {
+            files.push(arg);
+        }
+    }
+
+    if mode_check {
+        match files.as_slice() {
+            [path] => check(path),
+            _ => fail("--check takes exactly one file".to_string()),
+        }
+    }
+    if mode_merge {
+        match files.as_slice() {
+            [before, after] => merge(before, after, pr),
+            _ => fail("--merge takes BEFORE.json AFTER.json".to_string()),
+        }
+    }
+    let [base_path, new_path] = files.as_slice() else {
+        fail("expected BASELINE.json CANDIDATE.json (or --check/--merge)".to_string());
+    };
+    let base =
+        parse_trajectory(&read(base_path)).unwrap_or_else(|e| fail(format!("{base_path}: {e}")));
+    let new =
+        parse_trajectory(&read(new_path)).unwrap_or_else(|e| fail(format!("{new_path}: {e}")));
+    let compared = compare_trajectories(&base, &new, tolerance, !raw)
+        .unwrap_or_else(|e| fail(format!("cannot compare: {e}")));
+
+    println!(
+        "{:<58} {:>14} {:>14} {:>8}  verdict",
+        "point", "baseline", "candidate", "ratio"
+    );
+    let mut regressions = 0usize;
+    for p in &compared {
+        println!(
+            "{:<58} {:>14.0} {:>14.0} {:>8.3}  {}",
+            p.key,
+            p.base,
+            p.new,
+            p.ratio,
+            if p.regressed { "REGRESSED" } else { "ok" }
+        );
+        regressions += p.regressed as usize;
+    }
+    let mode = if raw { "raw" } else { "normalized" };
+    if regressions > 0 {
+        eprintln!(
+            "error: {regressions}/{} points regressed past the {:.0}% tolerance ({mode})",
+            compared.len(),
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: no point regressed past the {:.0}% tolerance ({mode}, {} points)",
+        tolerance * 100.0,
+        compared.len()
+    );
+}

@@ -1,0 +1,72 @@
+//! Runs the canonical perf-trajectory subset and prints one
+//! `rhtm-trajectory-v1` JSON document on stdout (progress on stderr).
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin bench_trajectory \
+//!     [--pr=N] [--reps=N] [--duration-ms=N] [--threads=N] \
+//!     [--seed=N] [--size-divisor=N]
+//! ```
+//!
+//! The defaults are the committed-baseline configuration (see
+//! `docs/BENCHMARKS.md`, "Perf trajectory"); pass flags only for local
+//! experiments — a document produced with non-default parameters is not
+//! comparable to the committed `BENCH_<n>.json`.
+
+use std::time::Duration;
+
+use rhtm_bench::trajectory::{self, TrajectoryParams};
+
+fn fail(msg: String) -> ! {
+    rhtm_bench::cli::fail(msg)
+}
+
+fn num_arg(arg: &str, prefix: &str) -> Option<u64> {
+    arg.strip_prefix(prefix).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(format!("bad value '{v}' for {prefix}")))
+    })
+}
+
+fn main() {
+    let mut params = TrajectoryParams::default();
+    let mut pr = 7u64;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = num_arg(&arg, "--pr=") {
+            pr = v;
+        } else if let Some(v) = num_arg(&arg, "--reps=") {
+            params.reps = v as usize;
+        } else if let Some(v) = num_arg(&arg, "--duration-ms=") {
+            params.duration = Duration::from_millis(v);
+        } else if let Some(v) = num_arg(&arg, "--threads=") {
+            params.threads = (v as usize).max(1);
+        } else if let Some(v) = num_arg(&arg, "--seed=") {
+            params.seed = v;
+        } else if let Some(v) = num_arg(&arg, "--size-divisor=") {
+            params.size_divisor = v.max(1);
+        } else {
+            fail(format!(
+                "unknown argument '{arg}' (expected --pr=, --reps=, \
+                 --duration-ms=, --threads=, --seed=, --size-divisor=)"
+            ));
+        }
+    }
+
+    let total = trajectory::CANONICAL_SCENARIOS.len() * trajectory::CANONICAL_ALGOS.len();
+    eprintln!(
+        "# bench_trajectory: {} points ({} reps x {} ms, {} threads, seed {:#x})",
+        total,
+        params.reps,
+        params.duration.as_millis(),
+        params.threads,
+        params.seed
+    );
+    let mut done = 0usize;
+    let points = trajectory::run_trajectory(&params, |scenario, spec| {
+        done += 1;
+        eprintln!("# [{done}/{total}] {scenario} / {spec}");
+    });
+    print!(
+        "{}",
+        trajectory::trajectory_to_json(pr, &params, &points, &[], &[])
+    );
+}

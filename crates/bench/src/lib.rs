@@ -28,7 +28,9 @@ pub mod cli;
 pub mod figures;
 pub mod params;
 pub mod suite;
+pub mod trajectory;
 
 pub use figures::*;
 pub use params::{FigureParams, Scale};
 pub use suite::{run_suite, run_suite_to_json, SuiteParams};
+pub use trajectory::{run_trajectory, TrajectoryParams, TrajectoryPoint};

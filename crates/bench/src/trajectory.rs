@@ -1,0 +1,796 @@
+//! The persisted perf trajectory: a canonical subset of the scenario
+//! registry, run at a fixed seed/thread-count and emitted as a small,
+//! schema-stable JSON document (`BENCH_<n>.json` at the repo root).
+//!
+//! The full `bench_suite` sweep is hours at paper scale; the trajectory is
+//! the receipts-sized complement — a handful of scenarios chosen to cover
+//! the hot paths this crate optimises (short transactions, large write-set
+//! commits, duplicate-heavy range scans) across the three software commit
+//! paths (TL2, the RH1 mixed slow-path, RH2).  Three binaries drive it:
+//!
+//! * `bench_trajectory` — runs the canonical subset and prints a trajectory
+//!   document on stdout,
+//! * `bench_compare` — diffs two trajectory documents with a noise
+//!   tolerance and exits non-zero on a median regression (the CI gate),
+//! * `bench_compare --merge` — folds a before/after pair into the
+//!   committed `BENCH_<n>.json` form, attributing probe scenarios to the
+//!   named optimizations of the PR.
+//!
+//! See `docs/BENCHMARKS.md` ("Perf trajectory") for the workflow.
+
+use std::time::Duration;
+
+use rhtm_workloads::{AlgoKind, DriverOpts, OpMix, Scenario, TmSpec};
+
+/// Escapes a string as a JSON string literal (the workspace builds
+/// offline, so the emitters here are hand-rolled like the ones in
+/// `rhtm_workloads::report`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Schema tag of every trajectory document (bump on breaking changes).
+pub const TRAJECTORY_SCHEMA: &str = "rhtm-trajectory-v1";
+
+/// The canonical scenario subset.  Chosen to exercise every optimisation
+/// target: short-transaction overhead (hashtable/rbtree/queue), large
+/// write-set commits (random-array), duplicate-heavy range scans
+/// (skiplist-range, bank-analytics) and ordered-structure read chains
+/// (sortedlist).  Names key the registry in
+/// `rhtm_workloads::scenario`; they must stay stable.
+pub const CANONICAL_SCENARIOS: [&str; 7] = [
+    "hashtable-uniform",
+    "rbtree-uniform",
+    "sortedlist-uniform",
+    "random-array-uniform",
+    "skiplist-range-zipf",
+    "bank-analytics-scan",
+    "queue-balanced",
+];
+
+/// The canonical spec axis: the three software commit paths the speed pass
+/// touches (TL2 engine, RH1 mixed slow-path, RH2 slow-path).
+pub const CANONICAL_ALGOS: [AlgoKind; 3] = [AlgoKind::Tl2, AlgoKind::Rh1Mixed(100), AlgoKind::Rh2];
+
+/// Parameters of one trajectory run.
+#[derive(Clone, Debug)]
+pub struct TrajectoryParams {
+    /// Worker threads per point (fixed; 1 keeps CI noise down and measures
+    /// exactly the per-transaction software overhead this crate optimises).
+    pub threads: usize,
+    /// Repetitions per point; the median is recorded.
+    pub reps: usize,
+    /// Measurement interval of each repetition.
+    pub duration: Duration,
+    /// Divisor applied to each scenario's registered (paper-like) size.
+    pub size_divisor: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrajectoryParams {
+    fn default() -> Self {
+        TrajectoryParams {
+            threads: 1,
+            reps: 5,
+            duration: Duration::from_millis(40),
+            size_divisor: 8,
+            seed: 0xbe6c_c0de,
+        }
+    }
+}
+
+/// One measured `(scenario, spec, threads)` point of the trajectory.
+#[derive(Clone, Debug)]
+pub struct TrajectoryPoint {
+    /// Scenario name (registry key).
+    pub scenario: String,
+    /// Full spec label of the runtime point (`algo+clock+policy`).
+    pub spec: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Median committed-ops/s over the repetitions.
+    pub median_ops_per_sec: f64,
+    /// Fastest repetition.
+    pub max_ops_per_sec: f64,
+    /// Slowest repetition.
+    pub min_ops_per_sec: f64,
+    /// Commits of the median repetition.
+    pub commits: u64,
+    /// Aborts of the median repetition.
+    pub aborts: u64,
+}
+
+/// Runs the canonical subset, calling `progress` before each point.
+///
+/// # Panics
+///
+/// Panics if a canonical scenario name is missing from the registry — the
+/// names key the persisted trajectory, so a silent skip would corrupt every
+/// future comparison.
+pub fn run_trajectory(
+    params: &TrajectoryParams,
+    mut progress: impl FnMut(&str, &str),
+) -> Vec<TrajectoryPoint> {
+    let mut points = Vec::new();
+    for name in CANONICAL_SCENARIOS {
+        let scenario = Scenario::find(name)
+            .unwrap_or_else(|| panic!("canonical scenario '{name}' missing from the registry"));
+        let size = scenario.sized(params.size_divisor);
+        for kind in CANONICAL_ALGOS {
+            let spec = TmSpec::new(kind);
+            progress(name, &spec.label());
+            let opts =
+                DriverOpts::timed_mix(params.threads, OpMix::read_update(0), params.duration)
+                    .with_seed(params.seed);
+            let mut reps: Vec<(f64, u64, u64)> = (0..params.reps.max(1))
+                .map(|_| {
+                    let r = scenario.run_spec(&spec, size, &opts);
+                    (r.throughput(), r.stats.commits(), r.stats.aborts())
+                })
+                .collect();
+            reps.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let median = reps[reps.len() / 2];
+            points.push(TrajectoryPoint {
+                scenario: name.to_string(),
+                spec: spec.label(),
+                threads: params.threads,
+                median_ops_per_sec: median.0,
+                max_ops_per_sec: reps.last().unwrap().0,
+                min_ops_per_sec: reps[0].0,
+                commits: median.1,
+                aborts: median.2,
+            });
+        }
+    }
+    points
+}
+
+/// A before/after row attributing one named optimization to a probe point
+/// of the trajectory (the committed `BENCH_<n>.json` carries one per
+/// optimization of the PR).
+#[derive(Clone, Debug)]
+pub struct OptimizationRow {
+    /// Optimization name (matches the PR/ARCHITECTURE.md terminology).
+    pub name: String,
+    /// The `(scenario, spec)` probe whose median the row reports.
+    pub probe: String,
+    /// Median ops/s before the optimization.
+    pub before_ops_per_sec: f64,
+    /// Median ops/s after.
+    pub after_ops_per_sec: f64,
+}
+
+impl OptimizationRow {
+    /// Relative change in percent (positive = faster).
+    pub fn delta_percent(&self) -> f64 {
+        if self.before_ops_per_sec <= 0.0 {
+            0.0
+        } else {
+            (self.after_ops_per_sec / self.before_ops_per_sec - 1.0) * 100.0
+        }
+    }
+}
+
+/// Maps each named optimization of the speed pass to the trajectory probe
+/// most sensitive to it (scenario name, algorithm of the spec axis).
+///
+/// The attribution is a measurement aid, not a claim of isolation: every
+/// probe runs all optimizations at once, and the microbenches
+/// (`benches/micro_sets.rs`) are the per-layer A/B instrument.
+pub const OPTIMIZATION_PROBES: [(&str, &str, AlgoKind); 5] = [
+    (
+        "generation-stamped-clear",
+        "hashtable-uniform",
+        AlgoKind::Tl2,
+    ),
+    (
+        "allocation-free-commit",
+        "random-array-uniform",
+        AlgoKind::Tl2,
+    ),
+    ("read-set-dedup", "skiplist-range-zipf", AlgoKind::Tl2),
+    (
+        "write-set-fast-miss-filter",
+        "rbtree-uniform",
+        AlgoKind::Tl2,
+    ),
+    (
+        "cache-line-padding",
+        "bank-analytics-scan",
+        AlgoKind::Rh1Mixed(100),
+    ),
+];
+
+/// Serialises a trajectory document.  `pr` tags the document with the PR
+/// that produced it; `optimizations` is empty for fresh runs and populated
+/// by the `--merge` mode; `before` supplies per-point before-medians keyed
+/// like [`point_key`].
+pub fn trajectory_to_json(
+    pr: u64,
+    params: &TrajectoryParams,
+    points: &[TrajectoryPoint],
+    before: &[(String, f64)],
+    optimizations: &[OptimizationRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema\": {},\n",
+        json_escape(TRAJECTORY_SCHEMA)
+    ));
+    out.push_str(&format!("  \"pr\": {pr},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", params.seed));
+    out.push_str(&format!("  \"threads\": {},\n", params.threads));
+    out.push_str(&format!("  \"reps\": {},\n", params.reps));
+    out.push_str(&format!(
+        "  \"duration_ms\": {},\n",
+        params.duration.as_millis()
+    ));
+    out.push_str(&format!("  \"size_divisor\": {},\n", params.size_divisor));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let mut fields = vec![
+            format!("\"scenario\": {}", json_escape(&p.scenario)),
+            format!("\"spec\": {}", json_escape(&p.spec)),
+            format!("\"threads\": {}", p.threads),
+            format!("\"median_ops_per_sec\": {:.1}", p.median_ops_per_sec),
+            format!("\"min_ops_per_sec\": {:.1}", p.min_ops_per_sec),
+            format!("\"max_ops_per_sec\": {:.1}", p.max_ops_per_sec),
+            format!("\"commits\": {}", p.commits),
+            format!("\"aborts\": {}", p.aborts),
+        ];
+        let key = point_key(&p.scenario, &p.spec, p.threads);
+        if let Some((_, b)) = before.iter().find(|(k, _)| *k == key) {
+            fields.push(format!("\"before_median_ops_per_sec\": {b:.1}"));
+        }
+        out.push_str(&format!("    {{{}}}", fields.join(", ")));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"optimizations\": [\n");
+    for (i, o) in optimizations.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"probe\": {}, \"before_ops_per_sec\": {:.1}, \
+             \"after_ops_per_sec\": {:.1}, \"delta_percent\": {:.1}}}",
+            json_escape(&o.name),
+            json_escape(&o.probe),
+            o.before_ops_per_sec,
+            o.after_ops_per_sec,
+            o.delta_percent()
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The identity of a trajectory point inside a document.
+pub fn point_key(scenario: &str, spec: &str, threads: usize) -> String {
+    format!("{scenario}|{spec}|{threads}")
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON value parser (the workspace builds offline, so no
+// serde_json).  The emitters above and in `rhtm_workloads::report` are
+// hand-rolled too; this is their reading half, used by `bench_compare`.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always carried as `f64`; the trajectory's counters fit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        let escaped = match b.get(*pos + 1) {
+                            Some(b'"') => '"',
+                            Some(b'\\') => '\\',
+                            Some(b'/') => '/',
+                            Some(b'n') => '\n',
+                            Some(b't') => '\t',
+                            Some(b'r') => '\r',
+                            Some(b'b') => '\u{8}',
+                            Some(b'f') => '\u{c}',
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 6;
+                                continue;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        };
+                        s.push(escaped);
+                        *pos += 2;
+                    }
+                    Some(&c) if c < 0x20 => {
+                        return Err(format!("raw control character at byte {pos}"))
+                    }
+                    Some(&c) if c < 0x80 => {
+                        s.push(c as char);
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8: copy the whole code point.
+                        let rest = std::str::from_utf8(&b[*pos..])
+                            .map_err(|_| "invalid UTF-8".to_string())?;
+                        let ch = rest.chars().next().unwrap();
+                        s.push(ch);
+                        *pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') => parse_literal(b, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null").map(|_| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            if b.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while b.get(*pos).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII number");
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{text}' at byte {start}"))
+        }
+        _ => Err(format!("unexpected value at byte {pos}")),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Document-level helpers shared by bench_compare and the tests.
+// ---------------------------------------------------------------------
+
+/// A trajectory document reduced to its comparable points.
+#[derive(Clone, Debug)]
+pub struct TrajectoryDoc {
+    /// `(point key, median ops/s)` per point, in document order.
+    pub points: Vec<(String, f64)>,
+}
+
+/// Parses and schema-checks a trajectory document.
+pub fn parse_trajectory(text: &str) -> Result<TrajectoryDoc, String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != TRAJECTORY_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got '{schema}', expected '{TRAJECTORY_SCHEMA}'"
+        ));
+    }
+    for field in ["seed", "threads", "reps", "duration_ms", "size_divisor"] {
+        doc.get(field)
+            .and_then(Json::as_num)
+            .ok_or(format!("missing numeric \"{field}\""))?;
+    }
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"points\" array")?;
+    if points.is_empty() {
+        return Err("empty \"points\" array".to_string());
+    }
+    let mut out = Vec::with_capacity(points.len());
+    for p in points {
+        let scenario = p
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("point missing \"scenario\"")?;
+        let spec = p
+            .get("spec")
+            .and_then(Json::as_str)
+            .ok_or("point missing \"spec\"")?;
+        let threads = p
+            .get("threads")
+            .and_then(Json::as_num)
+            .ok_or("point missing \"threads\"")? as usize;
+        let median = p
+            .get("median_ops_per_sec")
+            .and_then(Json::as_num)
+            .ok_or("point missing \"median_ops_per_sec\"")?;
+        for field in ["min_ops_per_sec", "max_ops_per_sec", "commits", "aborts"] {
+            p.get(field)
+                .and_then(Json::as_num)
+                .ok_or(format!("point missing numeric \"{field}\""))?;
+        }
+        out.push((point_key(scenario, spec, threads), median));
+    }
+    Ok(TrajectoryDoc { points: out })
+}
+
+/// Parses a trajectory document back into its full run form (parameters
+/// and complete points) — the reading half of [`trajectory_to_json`],
+/// used by `bench_compare --merge` to re-emit the merged document.
+pub fn parse_full_trajectory(
+    text: &str,
+) -> Result<(TrajectoryParams, Vec<TrajectoryPoint>), String> {
+    parse_trajectory(text)?; // schema check first, for uniform errors
+    let doc = Json::parse(text)?;
+    let num = |field: &str| -> Result<f64, String> {
+        doc.get(field)
+            .and_then(Json::as_num)
+            .ok_or(format!("missing numeric \"{field}\""))
+    };
+    let params = TrajectoryParams {
+        threads: num("threads")? as usize,
+        reps: num("reps")? as usize,
+        duration: Duration::from_millis(num("duration_ms")? as u64),
+        size_divisor: num("size_divisor")? as u64,
+        seed: num("seed")? as u64,
+    };
+    let mut points = Vec::new();
+    for p in doc.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+        let field = |name: &str| -> Result<f64, String> {
+            p.get(name)
+                .and_then(Json::as_num)
+                .ok_or(format!("point missing numeric \"{name}\""))
+        };
+        points.push(TrajectoryPoint {
+            scenario: p
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("point missing \"scenario\"")?
+                .to_string(),
+            spec: p
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or("point missing \"spec\"")?
+                .to_string(),
+            threads: field("threads")? as usize,
+            median_ops_per_sec: field("median_ops_per_sec")?,
+            min_ops_per_sec: field("min_ops_per_sec")?,
+            max_ops_per_sec: field("max_ops_per_sec")?,
+            commits: field("commits")? as u64,
+            aborts: field("aborts")? as u64,
+        });
+    }
+    Ok((params, points))
+}
+
+/// The verdict of one compared point.
+#[derive(Clone, Debug)]
+pub struct ComparedPoint {
+    /// Point key ([`point_key`]).
+    pub key: String,
+    /// Baseline median ops/s.
+    pub base: f64,
+    /// Candidate median ops/s.
+    pub new: f64,
+    /// Candidate/baseline ratio after normalization.
+    pub ratio: f64,
+    /// `true` when the point regresses past the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares two trajectory documents point-by-point.
+///
+/// With `normalize` the per-point ratios are divided by the geometric mean
+/// of all ratios first, so a uniform machine-speed difference between the
+/// two runs (the committed baseline was produced on different hardware than
+/// CI) cancels out and only *relative* regressions are flagged.  Without it
+/// the ratios are compared raw (same-machine A/B).
+pub fn compare_trajectories(
+    base: &TrajectoryDoc,
+    new: &TrajectoryDoc,
+    tolerance: f64,
+    normalize: bool,
+) -> Result<Vec<ComparedPoint>, String> {
+    let mut pairs = Vec::new();
+    for (key, b) in &base.points {
+        let n = new
+            .points
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .ok_or(format!("candidate is missing point '{key}'"))?;
+        if *b <= 0.0 {
+            return Err(format!("baseline point '{key}' has non-positive median"));
+        }
+        pairs.push((key.clone(), *b, n));
+    }
+    let scale = if normalize {
+        let log_sum: f64 = pairs.iter().map(|(_, b, n)| (n / b).ln()).sum();
+        (log_sum / pairs.len() as f64).exp()
+    } else {
+        1.0
+    };
+    Ok(pairs
+        .into_iter()
+        .map(|(key, base, new)| {
+            let ratio = (new / base) / scale;
+            ComparedPoint {
+                key,
+                base,
+                new,
+                ratio,
+                regressed: ratio < 1.0 - tolerance,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(points: &[(&str, f64)]) -> TrajectoryDoc {
+        TrajectoryDoc {
+            points: points.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn canonical_scenarios_exist_in_the_registry() {
+        for name in CANONICAL_SCENARIOS {
+            assert!(Scenario::find(name).is_some(), "missing scenario {name}");
+        }
+        for (_, probe, _) in OPTIMIZATION_PROBES {
+            assert!(
+                CANONICAL_SCENARIOS.contains(&probe),
+                "probe {probe} not in the canonical subset"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_roundtrips_through_emit_and_parse() {
+        let params = TrajectoryParams {
+            reps: 1,
+            duration: Duration::from_millis(2),
+            size_divisor: 512,
+            ..TrajectoryParams::default()
+        };
+        // A tiny real run over one scenario to keep the test fast.
+        let scenario = Scenario::find("hashtable-uniform").unwrap();
+        let spec = TmSpec::new(AlgoKind::Tl2);
+        let opts =
+            DriverOpts::timed_mix(1, OpMix::read_update(0), params.duration).with_seed(params.seed);
+        let r = scenario.run_spec(&spec, scenario.sized(params.size_divisor), &opts);
+        let points = vec![TrajectoryPoint {
+            scenario: scenario.name.to_string(),
+            spec: spec.label(),
+            threads: 1,
+            median_ops_per_sec: r.throughput(),
+            min_ops_per_sec: r.throughput(),
+            max_ops_per_sec: r.throughput(),
+            commits: r.stats.commits(),
+            aborts: r.stats.aborts(),
+        }];
+        let json = trajectory_to_json(7, &params, &points, &[], &[]);
+        rhtm_workloads::report::validate_json(&json).expect("emitted JSON must parse");
+        let parsed = parse_trajectory(&json).expect("document must schema-check");
+        assert_eq!(parsed.points.len(), 1);
+        assert!(parsed.points[0].0.starts_with("hashtable-uniform|tl2+"));
+    }
+
+    #[test]
+    fn merge_fields_appear_in_the_document() {
+        let params = TrajectoryParams::default();
+        let point = TrajectoryPoint {
+            scenario: "s".into(),
+            spec: "tl2+gv-strict+paper-default".into(),
+            threads: 1,
+            median_ops_per_sec: 200.0,
+            min_ops_per_sec: 190.0,
+            max_ops_per_sec: 210.0,
+            commits: 10,
+            aborts: 0,
+        };
+        let key = point_key("s", "tl2+gv-strict+paper-default", 1);
+        let opt = OptimizationRow {
+            name: "read-set-dedup".into(),
+            probe: "s / tl2".into(),
+            before_ops_per_sec: 100.0,
+            after_ops_per_sec: 200.0,
+        };
+        let json = trajectory_to_json(7, &params, &[point], &[(key, 100.0)], &[opt]);
+        assert!(json.contains("\"before_median_ops_per_sec\": 100.0"));
+        assert!(json.contains("\"delta_percent\": 100.0"));
+        rhtm_workloads::report::validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn json_parser_reads_values_and_rejects_garbage() {
+        let v = Json::parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_num(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        for bad in ["", "[1,]", "{\"a\" 1}", "{\"a\": 1} x", "\"oops", "tru"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn compare_flags_relative_regressions_only_after_normalization() {
+        let base = doc(&[("a", 100.0), ("b", 100.0), ("c", 100.0)]);
+        // The candidate machine is uniformly 2x slower, and point c
+        // additionally regressed ~30% relative to its peers.
+        let new = doc(&[("a", 50.0), ("b", 50.0), ("c", 35.0)]);
+        let raw = compare_trajectories(&base, &new, 0.15, false).unwrap();
+        assert!(raw.iter().all(|p| p.regressed), "raw mode sees the 2x");
+        let norm = compare_trajectories(&base, &new, 0.15, true).unwrap();
+        assert!(!norm[0].regressed && !norm[1].regressed);
+        assert!(norm[2].regressed, "relative regression must survive");
+    }
+
+    #[test]
+    fn compare_requires_matching_points() {
+        let base = doc(&[("a", 100.0)]);
+        let new = doc(&[("b", 100.0)]);
+        assert!(compare_trajectories(&base, &new, 0.1, true).is_err());
+    }
+}

@@ -82,6 +82,8 @@ impl RhThread {
     pub(crate) fn slow_begin(&mut self) {
         self.tx_version = gv::read(&self.sim);
         self.read_set.clear();
+        self.read_marks.clear();
+        self.last_read_stripe = u64::MAX;
         self.write_set.clear();
         self.locked.clear();
         self.visible.clear();
@@ -124,7 +126,19 @@ impl RhThread {
             };
             return Err(self.slow_abort(cause, observed));
         }
-        self.read_set.push(stripe);
+        // Record the stripe once per attempt: commit-time revalidation is
+        // idempotent, so duplicates only inflate the validation loop (and,
+        // for RH1, the commit-time hardware transaction's read footprint
+        // stays unchanged — duplicate stripes share their version line).
+        // The one-entry cache short-circuits the same-stripe streaks scans
+        // produce before the filter probe.
+        let key = stripe.0 as u64;
+        if key != self.last_read_stripe {
+            self.last_read_stripe = key;
+            if self.read_marks.test_and_set(stripe.0) {
+                self.read_set.push(stripe);
+            }
+        }
         Ok(value)
     }
 

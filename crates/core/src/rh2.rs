@@ -17,7 +17,7 @@
 
 use rhtm_api::{retry, AbortCause, PathKind, RetryDecision, TxResult};
 use rhtm_htm::gv;
-use rhtm_mem::{stamp, Addr, StripeId};
+use rhtm_mem::{stamp, Addr};
 
 use crate::runtime::RhThread;
 
@@ -159,17 +159,22 @@ impl RhThread {
         debug_assert!(!self.write_set.is_empty());
         let lock_word = self.lock_word();
 
-        // Phase 1: lock the write-set stripes (Algorithm 7, LOCK_WRITE_SET).
-        let mut stripes: Vec<StripeId> = {
+        // Phase 1: lock the write-set stripes (Algorithm 7, LOCK_WRITE_SET),
+        // collected into the thread-owned scratch buffer so the commit
+        // performs no allocation.
+        self.commit_stripes.clear();
+        {
             let layout = self.sim.mem().layout();
-            self.write_set
-                .iter()
-                .map(|(addr, _)| layout.stripe_of(addr))
-                .collect()
-        };
-        stripes.sort_unstable();
-        stripes.dedup();
-        for stripe in stripes {
+            self.commit_stripes.extend(
+                self.write_set
+                    .iter()
+                    .map(|(addr, _)| layout.stripe_of(addr)),
+            );
+        }
+        self.commit_stripes.sort_unstable();
+        self.commit_stripes.dedup();
+        for i in 0..self.commit_stripes.len() {
+            let stripe = self.commit_stripes[i];
             let ver_addr = self.sim.mem().layout().stripe_version_addr(stripe);
             let current = self.sim.nt_load(ver_addr);
             if current == lock_word {

@@ -9,7 +9,7 @@ use rhtm_api::{
     AbortCause, AttemptContext, PathClass, PathKind, RetryDecision, RetryRng, Stopwatch, TmRuntime,
     TmThread, TxResult, TxStats, Txn,
 };
-use rhtm_htm::linemap::WriteSet;
+use rhtm_htm::linemap::{StripeMarks, WriteSet};
 use rhtm_htm::{HtmConfig, HtmSim, HtmThread};
 use rhtm_mem::{Addr, MemConfig, StripeId, ThreadRegistry, ThreadToken, TmMemory};
 
@@ -145,8 +145,11 @@ impl TmRuntime for RhRuntime {
             tx_version: 0,
             fp_write_stripes: Vec::with_capacity(16),
             read_set: Vec::with_capacity(64),
+            read_marks: StripeMarks::with_capacity(512),
+            last_read_stripe: u64::MAX,
             write_set: WriteSet::with_capacity(32),
             locked: Vec::with_capacity(16),
+            commit_stripes: Vec::with_capacity(16),
             visible: Vec::with_capacity(64),
             commit_salt: 0,
             in_txn: false,
@@ -172,13 +175,23 @@ pub struct RhThread {
     /// RH2 fast-path: stripes written speculatively (checked against read
     /// masks and locked at commit).
     pub(crate) fp_write_stripes: Vec<StripeId>,
-    /// Slow-path read-set (stripes).
+    /// Slow-path read-set (distinct stripes, first-read order).
     pub(crate) read_set: Vec<StripeId>,
+    /// Per-stripe membership filter deduplicating `read_set` inserts, so
+    /// commit-time revalidation is O(distinct stripes) instead of O(reads).
+    /// Generation-stamped: clearing it between attempts is O(1).
+    pub(crate) read_marks: StripeMarks,
+    /// Stripe recorded by the most recent slow-path read (`u64::MAX` =
+    /// none); a one-entry cache in front of `read_marks` for scan streaks.
+    pub(crate) last_read_stripe: u64,
     /// Slow-path write-set (deferred writes in program order).
     pub(crate) write_set: WriteSet,
     /// Stripes locked by an RH2 slow-path commit, with their pre-lock
     /// version words.
     pub(crate) locked: Vec<(StripeId, u64)>,
+    /// Scratch for the sorted, deduplicated write-stripe list built by the
+    /// RH2 slow commit, reused so a commit performs no allocation.
+    pub(crate) commit_stripes: Vec<StripeId>,
     /// Stripes whose read mask currently carries this thread's visibility
     /// bit.
     pub(crate) visible: Vec<StripeId>,

@@ -1,16 +1,35 @@
-//! Allocation-free-on-the-hot-path collections used by the simulated HTM:
-//! an open-addressing map keyed by cache-line index ([`LineMap`]) and a
-//! write buffer that preserves program order ([`WriteSet`]).
+//! Allocation-free-on-the-hot-path collections used by the simulated HTM
+//! and the software commit paths: an open-addressing map keyed by
+//! cache-line index ([`LineMap`]), a write buffer that preserves
+//! program order ([`WriteSet`]) and a stripe membership bitset
+//! ([`StripeMarks`]).
 //!
 //! Transactions run millions of times per second in the benchmarks, so the
-//! per-transaction collections must avoid hashing overhead from the standard
-//! library's SipHash and avoid re-allocating every transaction.  Both
-//! structures are owned by the per-thread [`crate::HtmThread`] and reused
-//! across transactions: `clear` keeps the backing storage.
+//! per-transaction collections must avoid hashing overhead from the
+//! standard library's SipHash and avoid re-allocating every transaction.
+//! Both structures are owned by the per-thread transaction state and
+//! reused across transactions.
+//!
+//! Two idioms keep the per-transaction cost flat (see
+//! `docs/ARCHITECTURE.md`, "Generation-stamped resets"):
+//!
+//! * **Generation-stamped slots** — every `LineMap` slot (and every
+//!   `StripeMarks` word) carries the 32-bit epoch it was written in,
+//!   packed above its payload.  A slot is live only when its stamp equals
+//!   the structure's current epoch, so [`LineMap::clear`] and
+//!   [`StripeMarks::clear`] are a counter bump (O(1)) instead of an
+//!   O(capacity) `fill` — the dominant cost for short transactions over
+//!   structures sized for occasional large ones.
+//! * **Write-set fingerprint** — [`WriteSet`] keeps a 128-bit membership
+//!   filter over the words written this transaction; a clear bit proves a
+//!   word was never written, so the common read-of-never-written-word case
+//!   in the STM read paths costs one AND + branch instead of a table probe.
 
 use rhtm_mem::Addr;
 
-const EMPTY: u64 = u64::MAX;
+/// Low 32 bits of a slot word: the key.  The high 32 bits hold the epoch
+/// stamp of the clear-generation the slot was written in.
+const KEY_MASK: u64 = 0xFFFF_FFFF;
 
 #[inline(always)]
 fn hash_key(key: u64, mask: usize) -> usize {
@@ -22,13 +41,16 @@ fn hash_key(key: u64, mask: usize) -> usize {
 /// An open-addressing hash map from a `u64` key (cache-line index or word
 /// address) to a `u64` value, tuned for small transactional footprints.
 ///
-/// Keys must never equal `u64::MAX` (that is the empty marker); heap sizes
-/// are far below that.
+/// Keys must fit in 32 bits (heap word counts and line indices are far
+/// below that); the slot's upper half stores the clear-generation stamp.
 #[derive(Clone, Debug)]
 pub struct LineMap {
-    keys: Vec<u64>,
+    /// `(epoch << 32) | key` per slot; live iff the stamp equals `epoch`.
+    slots: Vec<u64>,
     values: Vec<u64>,
     len: usize,
+    /// Current clear-generation; never 0 (0 marks never-written slots).
+    epoch: u32,
 }
 
 impl LineMap {
@@ -37,9 +59,10 @@ impl LineMap {
     pub fn with_capacity(capacity_hint: usize) -> Self {
         let cap = (capacity_hint.max(8) * 2).next_power_of_two();
         LineMap {
-            keys: vec![EMPTY; cap],
+            slots: vec![0; cap],
             values: vec![0; cap],
             len: 0,
+            epoch: 1,
         }
     }
 
@@ -55,26 +78,46 @@ impl LineMap {
         self.len == 0
     }
 
-    /// Removes every entry, keeping the allocation.
+    /// Current slot-array capacity (grow boundary = 3/4 of this).
+    #[inline(always)]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Removes every entry, keeping the allocation.  O(1): bumping the
+    /// epoch invalidates every stamp at once.  The slots are physically
+    /// rewritten only when the 32-bit epoch wraps (once per 2^32 clears),
+    /// so stale stamps from the previous epoch cycle cannot resurrect.
+    #[inline]
     pub fn clear(&mut self) {
-        if self.len > 0 {
-            self.keys.fill(EMPTY);
-            self.len = 0;
+        self.len = 0;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.slots.fill(0);
+            self.epoch = 1;
         }
+    }
+
+    /// The live-stamp in slot-word position.
+    #[inline(always)]
+    fn live_stamp(&self) -> u64 {
+        (self.epoch as u64) << 32
     }
 
     /// Looks up `key`.
     #[inline]
     pub fn get(&self, key: u64) -> Option<u64> {
-        debug_assert_ne!(key, EMPTY);
-        let mask = self.keys.len() - 1;
+        debug_assert!(key <= KEY_MASK);
+        let live_key = self.live_stamp() | key;
+        let mask = self.slots.len() - 1;
         let mut idx = hash_key(key, mask);
         loop {
-            let k = self.keys[idx];
-            if k == key {
+            let s = self.slots[idx];
+            if s == live_key {
                 return Some(self.values[idx]);
             }
-            if k == EMPTY {
+            if s & !KEY_MASK != self.live_stamp() {
+                // Stale or never-written slot: free, terminates the probe.
                 return None;
             }
             idx = (idx + 1) & mask;
@@ -86,19 +129,20 @@ impl LineMap {
     /// the read-set wants the *first* observed version).
     #[inline]
     pub fn insert_if_absent(&mut self, key: u64, value: u64) -> Option<u64> {
-        debug_assert_ne!(key, EMPTY);
-        if (self.len + 1) * 4 >= self.keys.len() * 3 {
+        debug_assert!(key <= KEY_MASK);
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
             self.grow();
         }
-        let mask = self.keys.len() - 1;
+        let live_key = self.live_stamp() | key;
+        let mask = self.slots.len() - 1;
         let mut idx = hash_key(key, mask);
         loop {
-            let k = self.keys[idx];
-            if k == key {
+            let s = self.slots[idx];
+            if s == live_key {
                 return Some(self.values[idx]);
             }
-            if k == EMPTY {
-                self.keys[idx] = key;
+            if s & !KEY_MASK != self.live_stamp() {
+                self.slots[idx] = live_key;
                 self.values[idx] = value;
                 self.len += 1;
                 return None;
@@ -111,21 +155,22 @@ impl LineMap {
     /// previous value if the key was present.
     #[inline]
     pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
-        debug_assert_ne!(key, EMPTY);
-        if (self.len + 1) * 4 >= self.keys.len() * 3 {
+        debug_assert!(key <= KEY_MASK);
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
             self.grow();
         }
-        let mask = self.keys.len() - 1;
+        let live_key = self.live_stamp() | key;
+        let mask = self.slots.len() - 1;
         let mut idx = hash_key(key, mask);
         loop {
-            let k = self.keys[idx];
-            if k == key {
+            let s = self.slots[idx];
+            if s == live_key {
                 let prev = self.values[idx];
                 self.values[idx] = value;
                 return Some(prev);
             }
-            if k == EMPTY {
-                self.keys[idx] = key;
+            if s & !KEY_MASK != self.live_stamp() {
+                self.slots[idx] = live_key;
                 self.values[idx] = value;
                 self.len += 1;
                 return None;
@@ -136,25 +181,53 @@ impl LineMap {
 
     /// Iterates over `(key, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.keys
+        let live = self.live_stamp();
+        self.slots
             .iter()
             .zip(self.values.iter())
-            .filter(|(k, _)| **k != EMPTY)
-            .map(|(k, v)| (*k, *v))
+            .filter(move |(s, _)| **s & !KEY_MASK == live)
+            .map(|(s, v)| (*s & KEY_MASK, *v))
     }
 
+    /// Doubles the table with a dedicated rehash loop.  Live entries are
+    /// placed directly into free slots: re-entering the public `insert`
+    /// here would re-check the load factor (and could recurse into `grow`)
+    /// on every re-inserted key.
     #[cold]
     fn grow(&mut self) {
-        let new_cap = self.keys.len() * 2;
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let new_cap = self.slots.len() * 2;
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; new_cap]);
         let old_values = std::mem::replace(&mut self.values, vec![0; new_cap]);
-        self.len = 0;
-        for (k, v) in old_keys.into_iter().zip(old_values) {
-            if k != EMPTY {
-                self.insert(k, v);
+        let live = self.live_stamp();
+        let mask = new_cap - 1;
+        for (s, v) in old_slots.into_iter().zip(old_values) {
+            if s & !KEY_MASK == live {
+                let mut idx = hash_key(s & KEY_MASK, mask);
+                while self.slots[idx] & !KEY_MASK == live {
+                    idx = (idx + 1) & mask;
+                }
+                self.slots[idx] = s;
+                self.values[idx] = v;
             }
         }
+        // `len` is unchanged: the rehash moves exactly the live entries.
     }
+
+    /// Test hook: jump to an arbitrary epoch to exercise wrap-around.
+    #[cfg(test)]
+    fn force_epoch(&mut self, epoch: u32) {
+        self.slots.fill(0);
+        self.len = 0;
+        self.epoch = epoch.max(1);
+    }
+}
+
+/// Picks the fingerprint word/bit for a word address (top 7 hash bits, so
+/// the filter uses the bits the table index doesn't).
+#[inline(always)]
+fn fp_bit(key: u64) -> (usize, u64) {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57;
+    ((h >> 6) as usize, 1u64 << (h & 63))
 }
 
 /// A transactional write buffer: word address → buffered value, preserving
@@ -165,6 +238,10 @@ pub struct WriteSet {
     entries: Vec<(usize, u64)>,
     /// word address → index into `entries`.
     index: LineMap,
+    /// 128-bit membership fingerprint over the words written this
+    /// transaction.  A clear bit proves absence, short-circuiting
+    /// [`WriteSet::get`] for reads of never-written words.
+    fp: [u64; 2],
 }
 
 impl WriteSet {
@@ -173,6 +250,7 @@ impl WriteSet {
         WriteSet {
             entries: Vec::with_capacity(capacity_hint),
             index: LineMap::with_capacity(capacity_hint),
+            fp: [0; 2],
         }
     }
 
@@ -192,35 +270,137 @@ impl WriteSet {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.index.clear();
+        self.fp = [0; 2];
     }
 
     /// Buffers `value` for `addr`.  A second write to the same word updates
     /// the buffered value in place (keeping the word's position in the
-    /// publication order at its first write).
+    /// publication order at its first write).  Single probe: the tentative
+    /// slot is claimed with `insert_if_absent`, which hands back the
+    /// existing slot on a repeat write.
     #[inline]
     pub fn insert(&mut self, addr: Addr, value: u64) {
         let key = addr.index() as u64;
-        match self.index.get(key) {
-            Some(slot) => self.entries[slot as usize].1 = value,
-            None => {
-                let slot = self.entries.len() as u64;
-                self.entries.push((addr.index(), value));
-                self.index.insert(key, slot);
-            }
+        let (w, b) = fp_bit(key);
+        self.fp[w] |= b;
+        let slot = self.entries.len() as u64;
+        match self.index.insert_if_absent(key, slot) {
+            Some(existing) => self.entries[existing as usize].1 = value,
+            None => self.entries.push((addr.index(), value)),
         }
     }
 
     /// Returns the buffered value for `addr`, if any (read-own-writes).
     #[inline]
     pub fn get(&self, addr: Addr) -> Option<u64> {
+        // Read-only transactions probe an empty set on every read: settle
+        // that with one predictable branch before touching the fingerprint.
+        if self.entries.is_empty() {
+            return None;
+        }
+        let key = addr.index() as u64;
+        let (w, b) = fp_bit(key);
+        if self.fp[w] & b == 0 {
+            return None;
+        }
         self.index
-            .get(addr.index() as u64)
+            .get(key)
             .map(|slot| self.entries[slot as usize].1)
     }
 
     /// Iterates `(address, value)` in first-write program order.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
         self.entries.iter().map(|&(a, v)| (Addr(a), v))
+    }
+}
+
+/// A generation-stamped membership bitset over the dense stripe index
+/// space, used to deduplicate read-set inserts.
+///
+/// Stripe ids are small dense integers, so membership needs no hashing at
+/// all: each 64-bit word stores the 32-bit epoch stamp above 32 mark bits
+/// covering 32 consecutive stripes.  A word's marks count only when its
+/// stamp equals the current epoch, so [`StripeMarks::clear`] is the same
+/// O(1) counter bump as [`LineMap::clear`] — but the membership test is a
+/// shift, one indexed load and a compare, cheaper than any table probe.
+/// This sits on the software read path of every STM/slow-path read, where
+/// even one multiply per read is measurable.
+#[derive(Clone, Debug, Default)]
+pub struct StripeMarks {
+    /// `(epoch << 32) | marks` per word; word `w` covers stripes
+    /// `[32w, 32w + 32)` and its marks are live iff the stamp is current.
+    words: Vec<u64>,
+    /// Current clear-generation; never 0 (0 marks never-written words).
+    epoch: u32,
+}
+
+impl StripeMarks {
+    /// Creates an empty mark set covering `stripe_hint` stripes before the
+    /// first grow.
+    pub fn with_capacity(stripe_hint: usize) -> Self {
+        StripeMarks {
+            words: vec![0; stripe_hint.div_ceil(32).max(4)],
+            epoch: 1,
+        }
+    }
+
+    /// Unmarks every stripe, keeping the allocation.  O(1): bumping the
+    /// epoch invalidates every stamp at once; the words are physically
+    /// zeroed only when the 32-bit epoch wraps.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.words.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `stripe`; returns `true` if it was not yet marked this
+    /// generation (i.e. this call changed its state).
+    #[inline]
+    pub fn test_and_set(&mut self, stripe: usize) -> bool {
+        let w = stripe >> 5;
+        if w >= self.words.len() {
+            self.grow_to(w);
+        }
+        let bit = 1u64 << (stripe & 31);
+        let stamp = (self.epoch as u64) << 32;
+        let cur = self.words[w];
+        // Branchless: whether the word's stamp is current is data-dependent
+        // and mispredicts badly under random stripe access, so fold both
+        // cases into conditional moves.  A stale word contributes no live
+        // bits (`live == 0`), so this generation owns it from `stamp`.
+        let current_gen = cur & !KEY_MASK == stamp;
+        let live = if current_gen { cur } else { stamp };
+        self.words[w] = live | bit;
+        live & bit == 0
+    }
+
+    /// Returns `true` if `stripe` is marked in the current generation.
+    #[inline]
+    pub fn contains(&self, stripe: usize) -> bool {
+        let w = stripe >> 5;
+        match self.words.get(w) {
+            Some(&cur) => {
+                cur & !KEY_MASK == (self.epoch as u64) << 32 && cur & (1u64 << (stripe & 31)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Extends coverage to include word `w`.  New words are zero, which no
+    /// live epoch ever stamps, so they read as unmarked.
+    #[cold]
+    fn grow_to(&mut self, w: usize) {
+        self.words.resize((w + 1).next_power_of_two(), 0);
+    }
+
+    /// Test hook: jump to an arbitrary epoch to exercise wrap-around.
+    #[cfg(test)]
+    fn force_epoch(&mut self, epoch: u32) {
+        self.words.fill(0);
+        self.epoch = epoch.max(1);
     }
 }
 
@@ -264,6 +444,33 @@ mod tests {
     }
 
     #[test]
+    fn linemap_grow_boundary_preserves_every_entry() {
+        // Regression for the old `grow` re-entering the public `insert`:
+        // fill to exactly one below the load-factor boundary, then push one
+        // entry across it and verify the rehash kept everything, exactly
+        // once, with `len` intact.
+        let mut m = LineMap::with_capacity(4);
+        let cap = m.capacity();
+        // Grow triggers when (len+1)*4 >= cap*3, so the last insert that
+        // stays in place brings len to cap*3/4 - 1.
+        let boundary = (cap * 3) / 4 - 1;
+        for i in 0..boundary as u64 {
+            m.insert(i, i + 500);
+            assert_eq!(m.capacity(), cap, "must not grow below the boundary");
+        }
+        m.insert(boundary as u64, boundary as u64 + 500);
+        assert!(m.capacity() > cap, "crossing the boundary must grow");
+        assert_eq!(m.len(), boundary + 1);
+        for i in 0..=boundary as u64 {
+            assert_eq!(m.get(i), Some(i + 500));
+        }
+        let mut seen: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), boundary + 1, "rehash must not duplicate");
+    }
+
+    #[test]
     fn linemap_clear_retains_capacity_and_empties() {
         let mut m = LineMap::with_capacity(4);
         for i in 0..100u64 {
@@ -276,6 +483,39 @@ mod tests {
         }
         m.insert(5, 50);
         assert_eq!(m.get(5), Some(50));
+    }
+
+    #[test]
+    fn linemap_clear_is_independent_across_generations() {
+        // The epoch bump must fully isolate generations: values written in
+        // one generation are invisible in the next, even at the same slots.
+        let mut m = LineMap::with_capacity(8);
+        for gen in 0..200u64 {
+            for i in 0..10u64 {
+                assert_eq!(m.get(i), None, "gen {gen}: stale entry resurfaced");
+                m.insert(i, gen * 100 + i);
+            }
+            assert_eq!(m.len(), 10);
+            for i in 0..10u64 {
+                assert_eq!(m.get(i), Some(gen * 100 + i));
+            }
+            m.clear();
+            assert!(m.is_empty());
+        }
+    }
+
+    #[test]
+    fn linemap_epoch_wrap_does_not_resurrect_entries() {
+        let mut m = LineMap::with_capacity(8);
+        m.force_epoch(u32::MAX);
+        m.insert(3, 33);
+        assert_eq!(m.get(3), Some(33));
+        m.clear(); // wraps: must fall back to the physical fill
+        assert_eq!(m.get(3), None);
+        m.insert(4, 44);
+        assert_eq!(m.get(4), Some(44));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.len(), 1);
     }
 
     #[test]
@@ -294,6 +534,52 @@ mod tests {
     }
 
     #[test]
+    fn stripemarks_test_and_set_dedups() {
+        let mut m = StripeMarks::with_capacity(64);
+        assert!(!m.contains(7));
+        assert!(m.test_and_set(7), "first mark changes state");
+        assert!(!m.test_and_set(7), "second mark is a duplicate");
+        assert!(m.contains(7));
+        assert!(m.test_and_set(8), "neighbouring stripe is independent");
+        assert!(!m.contains(9));
+    }
+
+    #[test]
+    fn stripemarks_clear_is_independent_across_generations() {
+        let mut m = StripeMarks::with_capacity(32);
+        for gen in 0..200usize {
+            for s in 0..40 {
+                assert!(!m.contains(s), "gen {gen}: stale mark resurfaced");
+                assert!(m.test_and_set(s));
+                assert!(!m.test_and_set(s));
+            }
+            m.clear();
+        }
+    }
+
+    #[test]
+    fn stripemarks_grows_past_initial_coverage() {
+        let mut m = StripeMarks::with_capacity(4);
+        assert!(m.test_and_set(10_000));
+        assert!(!m.test_and_set(10_000));
+        assert!(m.contains(10_000));
+        assert!(!m.contains(10_001));
+        // Pre-grow marks survive the resize.
+        assert!(m.test_and_set(1));
+        assert!(m.contains(1));
+    }
+
+    #[test]
+    fn stripemarks_epoch_wrap_does_not_resurrect_marks() {
+        let mut m = StripeMarks::with_capacity(32);
+        m.force_epoch(u32::MAX);
+        assert!(m.test_and_set(3));
+        m.clear(); // wraps: must fall back to the physical fill
+        assert!(!m.contains(3));
+        assert!(m.test_and_set(3));
+    }
+
+    #[test]
     fn writeset_read_own_writes_and_order() {
         let mut ws = WriteSet::with_capacity(4);
         assert!(ws.is_empty());
@@ -309,6 +595,36 @@ mod tests {
     }
 
     #[test]
+    fn writeset_single_probe_insert_preserves_publication_order() {
+        // Interleave first writes and repeat writes across enough words to
+        // force index grows; the publication order must stay first-write
+        // order with repeat writes updating in place.
+        let mut ws = WriteSet::with_capacity(2);
+        for i in 0..200usize {
+            ws.insert(Addr(i), i as u64);
+            ws.insert(Addr(i / 2), 1000 + i as u64); // repeat half the time
+        }
+        assert_eq!(ws.len(), 200);
+        let order: Vec<_> = ws.iter().map(|(a, _)| a.index()).collect();
+        assert_eq!(order, (0..200).collect::<Vec<_>>());
+        assert_eq!(ws.get(Addr(99)), Some(1000 + 199));
+    }
+
+    #[test]
+    fn writeset_fingerprint_misses_do_not_hide_collisions() {
+        // Words that share a fingerprint bit must still resolve through
+        // the index; absent words must miss whether or not their bit is set.
+        let mut ws = WriteSet::with_capacity(4);
+        for i in 0..512usize {
+            ws.insert(Addr(i * 2), i as u64); // even words only
+        }
+        for i in 0..512usize {
+            assert_eq!(ws.get(Addr(i * 2)), Some(i as u64));
+            assert_eq!(ws.get(Addr(i * 2 + 1)), None, "odd words never written");
+        }
+    }
+
+    #[test]
     fn writeset_clear_resets() {
         let mut ws = WriteSet::with_capacity(2);
         for i in 0..100 {
@@ -320,6 +636,29 @@ mod tests {
         assert_eq!(ws.get(Addr(1)), None);
         ws.insert(Addr(1), 9);
         assert_eq!(ws.iter().collect::<Vec<_>>(), vec![(Addr(1), 9)]);
+    }
+
+    #[test]
+    fn writeset_growth_walk_keeps_lookups_and_order() {
+        // Grow the set one entry at a time (across the index's grow
+        // boundary for a capacity-2 hint) with duplicate writes at every
+        // size, checking lookups, in-place updates and publication order
+        // at each step.
+        let mut ws = WriteSet::with_capacity(2);
+        let addr = |i: usize| Addr(i * 11 + 3);
+        for i in 0..11 {
+            ws.insert(addr(i), i as u64);
+            ws.insert(addr(i / 2), 1000 + i as u64); // duplicate, updates in place
+            assert_eq!(ws.len(), i + 1, "dup insert must not grow the set");
+            for j in 0..=i {
+                assert!(ws.get(addr(j)).is_some(), "lost key {j} at size {i}");
+            }
+            assert_eq!(ws.get(addr(i / 2)), Some(1000 + i as u64));
+            assert_eq!(ws.get(Addr(usize::MAX / 2)), None);
+            // Publication order stays first-write order.
+            let order: Vec<Addr> = ws.iter().map(|(a, _)| a).collect();
+            assert_eq!(order, (0..=i).map(addr).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rhtm_api::typed::{Codec, TxCell};
-use rhtm_mem::{Addr, TmMemory, CACHE_LINE_WORDS};
+use rhtm_mem::{Addr, CachePadded, TmMemory, CACHE_LINE_WORDS};
 
 use crate::config::HtmConfig;
 
@@ -46,8 +46,10 @@ pub struct HtmSim {
     lines: Box<[AtomicU64]>,
     /// Incremented after every modification that could invalidate a running
     /// transaction's view (hardware commit publish or non-transactional
-    /// store).  Used by `ValidationMode::Incremental`.
-    write_seq: AtomicU64,
+    /// store).  Used by `ValidationMode::Incremental`.  Padded onto its own
+    /// cache line: every committer RMWs it, and without the padding it
+    /// false-shares with the read-mostly fields around it.
+    write_seq: CachePadded<AtomicU64>,
 }
 
 impl HtmSim {
@@ -60,7 +62,7 @@ impl HtmSim {
             mem,
             config,
             lines: lines.into_boxed_slice(),
-            write_seq: AtomicU64::new(0),
+            write_seq: CachePadded::new(AtomicU64::new(0)),
         })
     }
 

@@ -79,6 +79,9 @@ pub struct HtmThread {
     write_lines: LineMap,
     /// Scratch buffer of (line, locked-from-version) reused across commits.
     locked: Vec<(usize, u64)>,
+    /// Scratch buffer for the sorted written-line list built at commit,
+    /// reused so a writing commit performs no heap allocation.
+    commit_lines: Vec<usize>,
     /// Global write sequence observed at begin / last revalidation.
     start_seq: u64,
     active: bool,
@@ -106,6 +109,7 @@ impl HtmThread {
             write_set: WriteSet::with_capacity(32),
             write_lines: LineMap::with_capacity(32),
             locked: Vec::with_capacity(32),
+            commit_lines: Vec::with_capacity(32),
             start_seq: 0,
             active: false,
             forced_injection: true,
@@ -314,9 +318,12 @@ impl HtmThread {
         // Lock the written lines in ascending order (try-lock; any busy or
         // moved line is a conflict).
         self.locked.clear();
-        let mut lines: Vec<usize> = self.write_lines.iter().map(|(l, _)| l as usize).collect();
-        lines.sort_unstable();
-        for line in lines {
+        self.commit_lines.clear();
+        self.commit_lines
+            .extend(self.write_lines.iter().map(|(l, _)| l as usize));
+        self.commit_lines.sort_unstable();
+        for i in 0..self.commit_lines.len() {
+            let line = self.commit_lines[i];
             let v = self.sim.line_version(line);
             if HtmSim::line_is_locked(v) || !self.sim.try_lock_line(line, v) {
                 self.release_locked_unchanged();

@@ -12,6 +12,18 @@
 //! any host and keeps the safety argument simple.  The cost is identical for
 //! every runtime, so relative comparisons (the paper's subject) are
 //! unaffected.
+//!
+//! ## Layout note (cache-line padding audit)
+//!
+//! The heap is deliberately a flat `Box<[AtomicU64]>` rather than an array
+//! of 64-byte-aligned line groups.  Storing it as `[repr(align(64))]` lines
+//! was measured and rejected: the two-level index (plus the word-granular
+//! bound check the rounded-up line array then needs) costs several percent
+//! on the software read path, which performs three heap loads per
+//! transactional read, while the alignment only tightens false-sharing at
+//! line *boundaries* that the region map already keeps metadata away from.
+//! Hot words that need real isolation are padded individually with
+//! [`crate::CachePadded`] instead.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

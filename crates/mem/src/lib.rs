@@ -25,6 +25,8 @@
 //!   (strict fetch-and-add, GV4 CAS-relaxed, GV5 commit-skip, GV6 sampled),
 //! * [`ThreadRegistry`] — assignment of dense thread ids (needed by the RH2
 //!   read-visibility masks),
+//! * [`CachePadded`] — 64-byte padding/alignment for hot shared words, so
+//!   unrelated counters never share a *real* cache line,
 //! * cache-line constants shared with the HTM simulator.
 
 #![warn(missing_docs)]
@@ -34,6 +36,7 @@ pub mod addr;
 pub mod clock;
 pub mod heap;
 pub mod layout;
+pub mod pad;
 pub mod stamp;
 pub mod thread;
 
@@ -41,4 +44,5 @@ pub use addr::{Addr, StripeId, CACHE_LINE_WORDS, LINE_SHIFT};
 pub use clock::{ClockScheme, GlobalClock, GV6_SAMPLE_PERIOD};
 pub use heap::TxHeap;
 pub use layout::{MemConfig, MemLayout, OutOfMemory, TmMemory};
+pub use pad::CachePadded;
 pub use thread::{ThreadRegistry, ThreadToken};

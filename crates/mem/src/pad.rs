@@ -1,0 +1,81 @@
+//! Cache-line padding for hot shared words.
+//!
+//! The simulator's hottest shared state — the global version clock, the
+//! fallback counters, the per-line version words and the write-sequence
+//! counter — are plain `AtomicU64`s.  Without padding, unrelated words
+//! land on the same *real* cache line, and every RMW on one of them
+//! invalidates the others on every core: false sharing that the paper's
+//! "reduced hardware" argument explicitly budgets away.  [`CachePadded`]
+//! aligns a value to a 64-byte boundary and pads it to a full line, so
+//! wrapping a hot word isolates its traffic.
+
+/// Pads and aligns `T` to a 64-byte cache line.
+///
+/// `#[repr(align(64))]` both aligns the struct and rounds its size up to a
+/// multiple of 64, so consecutive `CachePadded` fields (or array elements)
+/// can never share a line.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consumes the wrapper, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline(always)]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_values_occupy_full_aligned_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
+        // An array of padded words puts every element on its own line.
+        let arr = [
+            CachePadded::new(AtomicU64::new(0)),
+            CachePadded::new(AtomicU64::new(0)),
+        ];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert_eq!(a % 64, 0);
+        assert_eq!(b - a, 64);
+    }
+
+    #[test]
+    fn deref_reaches_the_inner_value() {
+        let c = CachePadded::new(AtomicU64::new(7));
+        c.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 8);
+        assert_eq!(c.into_inner().into_inner(), 8);
+        let mut m = CachePadded::new(5u64);
+        *m += 1;
+        assert_eq!(*m, 6);
+    }
+}

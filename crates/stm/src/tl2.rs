@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use rhtm_api::{Abort, AbortCause, TxResult};
 use rhtm_htm::gv;
-use rhtm_htm::linemap::WriteSet;
+use rhtm_htm::linemap::{StripeMarks, WriteSet};
 use rhtm_htm::HtmSim;
 use rhtm_mem::{stamp, Addr, StripeId};
 
@@ -34,14 +34,25 @@ pub struct Tl2Engine {
     /// Start-time value of the global version clock (`rv` in the TL2
     /// paper, `tx_version` in the RH paper).
     tx_version: u64,
-    /// Stripes read so far (duplicates allowed; validation is idempotent).
+    /// Distinct stripes read so far, in first-read order.
     read_set: Vec<StripeId>,
+    /// Per-stripe membership filter deduplicating `read_set` inserts, so
+    /// commit-time validation is O(distinct stripes) instead of O(reads).
+    /// Generation-stamped: clearing it between attempts is O(1).
+    read_marks: StripeMarks,
+    /// Stripe recorded by the most recent read (`u64::MAX` = none).  Scans
+    /// touch the same stripe many times in a row, so this one-entry cache
+    /// answers most membership queries without probing `read_marks`.
+    last_read_stripe: u64,
     /// Deferred writes in program order.
     write_set: WriteSet,
     /// Stripes locked during commit, with the version word each was locked
     /// from (needed both to restore on abort and to validate read-set
     /// entries that we locked ourselves).
     locked: Vec<(StripeId, u64)>,
+    /// Scratch for the sorted, deduplicated write-stripe list built in
+    /// commit Phase 1, reused so a writing commit performs no allocation.
+    commit_stripes: Vec<StripeId>,
     /// Writing commits performed by this engine; used as the sampling salt
     /// for the GV6 clock scheme.
     commit_salt: u64,
@@ -56,8 +67,11 @@ impl Tl2Engine {
             thread_id,
             tx_version: 0,
             read_set: Vec::with_capacity(64),
+            read_marks: StripeMarks::with_capacity(512),
+            last_read_stripe: u64::MAX,
             write_set: WriteSet::with_capacity(32),
             locked: Vec::with_capacity(32),
+            commit_stripes: Vec::with_capacity(32),
             commit_salt: 0,
             active: false,
         }
@@ -81,7 +95,8 @@ impl Tl2Engine {
         self.active
     }
 
-    /// Number of stripes recorded in the read-set so far.
+    /// Number of **distinct** stripes recorded in the read-set so far
+    /// (repeat reads of a stripe are deduplicated at insert).
     #[inline(always)]
     pub fn read_set_len(&self) -> usize {
         self.read_set.len()
@@ -97,6 +112,8 @@ impl Tl2Engine {
     pub fn start(&mut self) {
         self.tx_version = gv::read(&self.sim);
         self.read_set.clear();
+        self.read_marks.clear();
+        self.last_read_stripe = u64::MAX;
         self.write_set.clear();
         self.locked.clear();
         self.active = true;
@@ -109,6 +126,8 @@ impl Tl2Engine {
         self.release_locks_unchanged();
         gv::on_abort(&self.sim, observed_version);
         self.read_set.clear();
+        self.read_marks.clear();
+        self.last_read_stripe = u64::MAX;
         self.write_set.clear();
         self.active = false;
         Abort::new(cause)
@@ -157,7 +176,18 @@ impl Tl2Engine {
             };
             return Err(self.abort(cause, observed));
         }
-        self.read_set.push(stripe);
+        // Record the stripe once per attempt: repeat reads contribute
+        // nothing to validation, and the filter's O(1) epoch reset keeps
+        // this cheaper than scanning or re-validating duplicates.  The
+        // one-entry cache short-circuits the streak of same-stripe reads a
+        // scan produces (a stripe holds several adjacent words).
+        let key = stripe.0 as u64;
+        if key != self.last_read_stripe {
+            self.last_read_stripe = key;
+            if self.read_marks.test_and_set(stripe.0) {
+                self.read_set.push(stripe);
+            }
+        }
         Ok(value)
     }
 
@@ -177,6 +207,9 @@ impl Tl2Engine {
         if self.write_set.is_empty() {
             self.active = false;
             self.read_set.clear();
+            self.read_marks.clear();
+            self.last_read_stripe = u64::MAX;
+            self.last_read_stripe = u64::MAX;
             return Ok(());
         }
 
@@ -184,15 +217,20 @@ impl Tl2Engine {
         let lock_word = stamp::lock_word(self.thread_id);
 
         // Phase 1: lock the write-set stripes (sorted for determinism; the
-        // try-lock discipline makes deadlock impossible regardless).
-        let mut stripes: Vec<StripeId> = self
-            .write_set
-            .iter()
-            .map(|(addr, _)| layout.stripe_of(addr))
-            .collect();
-        stripes.sort_unstable();
-        stripes.dedup();
-        for stripe in stripes {
+        // try-lock discipline makes deadlock impossible regardless).  The
+        // dedup is load-bearing: this phase has no locked-by-us check, so a
+        // repeated stripe would self-conflict.  Built in the engine-owned
+        // scratch buffer, so a writing commit performs no allocation.
+        self.commit_stripes.clear();
+        self.commit_stripes.extend(
+            self.write_set
+                .iter()
+                .map(|(addr, _)| layout.stripe_of(addr)),
+        );
+        self.commit_stripes.sort_unstable();
+        self.commit_stripes.dedup();
+        for i in 0..self.commit_stripes.len() {
+            let stripe = self.commit_stripes[i];
             let ver_addr = layout.stripe_version_addr(stripe);
             let current = self.sim.nt_load(ver_addr);
             if stamp::is_locked(current) {
@@ -260,6 +298,8 @@ impl Tl2Engine {
 
         self.active = false;
         self.read_set.clear();
+        self.read_marks.clear();
+        self.last_read_stripe = u64::MAX;
         self.write_set.clear();
         Ok(())
     }
@@ -413,6 +453,34 @@ mod tests {
             !stamp::is_locked(w0),
             "partially acquired locks must be released"
         );
+    }
+
+    #[test]
+    fn duplicate_reads_of_one_stripe_record_once() {
+        let s = sim();
+        let a = s.mem().alloc(1);
+        let _spacer = s.mem().alloc(64);
+        let b = s.mem().alloc(1); // a different stripe from a
+        let mut e = Tl2Engine::new(Arc::clone(&s), 0);
+        e.start();
+        for _ in 0..10 {
+            e.read(a).unwrap();
+        }
+        assert_eq!(e.read_set_len(), 1, "repeat reads must dedup");
+        e.read(b).unwrap();
+        assert_eq!(e.read_set_len(), 2, "a distinct stripe must record");
+        for _ in 0..10 {
+            e.read(b).unwrap();
+            e.read(a).unwrap();
+        }
+        assert_eq!(e.read_set_len(), 2);
+        e.write(a, 1).unwrap();
+        e.commit().unwrap();
+        // The next attempt starts from an empty, fully reset filter.
+        e.start();
+        e.read(a).unwrap();
+        assert_eq!(e.read_set_len(), 1);
+        e.commit().unwrap();
     }
 
     #[test]

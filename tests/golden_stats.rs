@@ -1,0 +1,214 @@
+//! Golden-TxStats bit-identity tests.
+//!
+//! The PR-7 speed pass (generation-stamped set clears, allocation-free
+//! commits, read-set dedup, write-set fast-miss filter, cache-line
+//! padding) must be **observationally identical** to the code it replaces:
+//! same commits and aborts per path, same abort causes, same final memory.
+//! Each test below drives one algorithm through a deterministic
+//! single-threaded workload with injected spurious/forced aborts and a
+//! tiny hardware capacity (so every fallback path runs), then compares a
+//! fingerprint of the resulting [`TxStats`] and memory against a golden
+//! value captured **before** the optimizations landed.
+//!
+//! If an intentional behavior change ever invalidates a golden, recapture
+//! with:
+//!
+//! ```text
+//! cargo test --release --test golden_stats -- --ignored --nocapture print_goldens
+//! ```
+//!
+//! and paste the printed table over [`GOLDENS`] — but for a pure
+//! performance PR the values must not move.
+
+use std::sync::Arc;
+
+use rhtm_api::{AbortCause, DynThreadExt, PathKind};
+use rhtm_htm::{HtmConfig, HtmSim};
+use rhtm_mem::{Addr, MemConfig, TmMemory};
+use rhtm_workloads::{AlgoKind, WorkloadRng};
+
+/// Cells live one per simulated cache line so the wide transactions
+/// genuinely overflow the 8-line hardware capacity below.
+const CELLS: usize = 64;
+const ROUNDS: usize = 300;
+
+/// The golden fingerprints, captured on the pre-optimization hot paths
+/// (commit `013a6bf`) via `print_goldens`.  FIGURE_SET plus RH2 so every
+/// software commit path in the tree is pinned.
+const GOLDENS: &[(&str, &str)] = &[
+    ("htm", "commits=300 aborts=88 htm_commits=300 htm_aborts=88 reads=4091 writes=798 hw_fast=300 mixed_slow=0 software=0 Conflict=0 Capacity=0 Explicit=0 Spurious=17 Forced=71 Validation=0 Locked=0 Unsupported=0 mem=0xca22f16c7f3f52ab"),
+    ("standard-hytm", "commits=300 aborts=291 htm_commits=75 htm_aborts=245 reads=6885 writes=2789 hw_fast=75 mixed_slow=0 software=225 Conflict=0 Capacity=225 Explicit=0 Spurious=3 Forced=17 Validation=46 Locked=0 Unsupported=0 mem=0x367604fdaf389eab"),
+    ("tl2", "commits=300 aborts=0 htm_commits=0 htm_aborts=0 reads=5098 writes=2023 hw_fast=0 mixed_slow=0 software=300 Conflict=0 Capacity=0 Explicit=0 Spurious=0 Forced=0 Validation=0 Locked=0 Unsupported=0 mem=0x367604fdaf389eab"),
+    ("rh1-fast", "commits=300 aborts=268 htm_commits=150 htm_aborts=150 reads=7581 writes=3069 hw_fast=150 mixed_slow=75 software=75 Conflict=0 Capacity=150 Explicit=0 Spurious=9 Forced=43 Validation=66 Locked=0 Unsupported=0 mem=0x367604fdaf389eab"),
+    ("rh1-mixed-10", "commits=300 aborts=269 htm_commits=150 htm_aborts=151 reads=7555 writes=3072 hw_fast=145 mixed_slow=80 software=75 Conflict=0 Capacity=150 Explicit=0 Spurious=6 Forced=47 Validation=66 Locked=0 Unsupported=0 mem=0x367604fdaf389eab"),
+    ("rh1-mixed-100", "commits=300 aborts=252 htm_commits=150 htm_aborts=151 reads=7157 writes=3051 hw_fast=114 mixed_slow=111 software=75 Conflict=0 Capacity=150 Explicit=0 Spurious=7 Forced=29 Validation=66 Locked=0 Unsupported=0 mem=0x367604fdaf389eab"),
+    ("rh2", "commits=300 aborts=244 htm_commits=150 htm_aborts=79 reads=8586 writes=2661 hw_fast=56 mixed_slow=169 software=75 Conflict=0 Capacity=225 Explicit=0 Spurious=3 Forced=16 Validation=0 Locked=0 Unsupported=0 mem=0x367604fdaf389eab"),
+];
+
+fn golden_kinds() -> Vec<AlgoKind> {
+    let mut kinds: Vec<AlgoKind> = AlgoKind::FIGURE_SET.to_vec();
+    kinds.push(AlgoKind::Rh2);
+    kinds
+}
+
+/// Widths of the wide-writer and read-only-scan transactions for `kind`.
+///
+/// Pure HTM has no software fallback (`can_demote` is clamped off), so an
+/// over-capacity transaction would retry forever; its shapes stay within
+/// the 8-line hardware budget.  Every other algorithm gets shapes that
+/// deliberately overflow it, driving the fallback cascades.
+fn shapes_for(kind: AlgoKind) -> (usize, usize) {
+    match kind {
+        AlgoKind::Htm => (5, 6),
+        _ => (24, 12),
+    }
+}
+
+/// Runs the deterministic workload on `kind` and fingerprints the result.
+///
+/// The workload interleaves four transaction shapes chosen to exercise
+/// every optimized path: two-cell increments (short commits), wide
+/// writers (capacity aborts, fallback cascades, large write-set sort),
+/// duplicate-heavy scans (read-set dedup) and read-only scans (read-only
+/// commit fast path).
+fn fingerprint(kind: AlgoKind) -> String {
+    let (wide, scan) = shapes_for(kind);
+    let mem = Arc::new(TmMemory::new(MemConfig::with_data_words(4096)));
+    let sim = HtmSim::new(
+        mem,
+        HtmConfig::with_capacity(8, 8)
+            .with_spurious_abort_rate(0.05)
+            .with_forced_abort_ratio(0.2)
+            .with_seed(0xC0FFEE),
+    );
+    // One cell per cache line (alloc in line-sized chunks).
+    let cells: Vec<Addr> = (0..CELLS).map(|_| sim.mem().alloc(8)).collect();
+    let rt = kind.instantiate_dyn(Arc::clone(&sim));
+    let mut th = rt.register_dyn();
+    let mut rng = WorkloadRng::new(0x5EED_7007);
+
+    for round in 0..ROUNDS {
+        match round % 4 {
+            0 => {
+                // Short read-modify-write over two distinct cells.
+                let a = cells[rng.next_below(CELLS as u64) as usize];
+                let b = cells[rng.next_below(CELLS as u64) as usize];
+                th.run(|tx| {
+                    let va = tx.read(a)?;
+                    tx.write(a, va.wrapping_add(1))?;
+                    if a != b {
+                        let vb = tx.read(b)?;
+                        tx.write(b, vb ^ 0x2b)?;
+                    }
+                    Ok(())
+                });
+            }
+            1 => {
+                // Wide writer over distinct lines — past the 8-line
+                // hardware write capacity for every fallback-capable
+                // algorithm, forcing the cascade and a large commit-time
+                // stripe sort.
+                let start = rng.next_below(CELLS as u64) as usize;
+                th.run(|tx| {
+                    for i in 0..wide {
+                        let c = cells[(start + i * 5) % CELLS];
+                        let v = tx.read(c)?;
+                        tx.write(c, v.wrapping_add(i as u64 + 1))?;
+                    }
+                    Ok(())
+                });
+            }
+            2 => {
+                // Duplicate-heavy scan: 30 reads over only 6 distinct
+                // cells, then one write keyed off the sum.
+                let base = rng.next_below(CELLS as u64) as usize;
+                let out = cells[(base + 7) % CELLS];
+                th.run(|tx| {
+                    let mut sum = 0u64;
+                    for i in 0..30 {
+                        sum = sum.wrapping_add(tx.read(cells[(base + i % 6) % CELLS])?);
+                    }
+                    tx.write(out, sum)
+                });
+            }
+            _ => {
+                // Read-only scan (read-only commit path).
+                let base = rng.next_below(CELLS as u64) as usize;
+                th.run(|tx| {
+                    let mut acc = 0u64;
+                    for i in 0..scan {
+                        acc = acc.wrapping_add(tx.read(cells[(base + i) % CELLS])?);
+                    }
+                    std::hint::black_box(acc);
+                    Ok(())
+                });
+            }
+        }
+    }
+
+    let stats = th.stats();
+    let mut fp = format!(
+        "commits={} aborts={} htm_commits={} htm_aborts={} reads={} writes={}",
+        stats.commits(),
+        stats.aborts(),
+        stats.htm_commits,
+        stats.htm_aborts,
+        stats.reads,
+        stats.writes
+    );
+    for path in PathKind::ALL {
+        fp.push_str(&format!(" {}={}", path.json_key(), stats.commits_on(path)));
+    }
+    for cause in AbortCause::ALL {
+        fp.push_str(&format!(" {:?}={}", cause, stats.aborts_for(cause)));
+    }
+    let checksum = cells.iter().enumerate().fold(0u64, |acc, (i, &c)| {
+        acc.rotate_left(7)
+            .wrapping_add(sim.mem().heap().load(c))
+            .wrapping_add(i as u64)
+    });
+    fp.push_str(&format!(" mem={checksum:#018x}"));
+    fp
+}
+
+fn golden_for(kind: AlgoKind) -> &'static str {
+    let slug = kind.slug();
+    GOLDENS
+        .iter()
+        .find(|(s, _)| *s == slug)
+        .unwrap_or_else(|| panic!("no golden recorded for {slug}"))
+        .1
+}
+
+#[test]
+fn figure_set_and_rh2_match_their_goldens() {
+    for kind in golden_kinds() {
+        assert_eq!(
+            fingerprint(kind),
+            golden_for(kind),
+            "{} drifted from its golden TxStats fingerprint — the hot-path \
+             change is observable, not a pure optimization",
+            kind.slug()
+        );
+    }
+}
+
+#[test]
+fn fingerprint_is_deterministic() {
+    // The goldens are only meaningful if the harness itself is stable.
+    assert_eq!(fingerprint(AlgoKind::Tl2), fingerprint(AlgoKind::Tl2));
+    assert_eq!(
+        fingerprint(AlgoKind::Rh1Mixed(100)),
+        fingerprint(AlgoKind::Rh1Mixed(100))
+    );
+}
+
+/// Prints the current fingerprints in `GOLDENS` table form (see the module
+/// docs for the capture command).
+#[test]
+#[ignore = "golden capture helper, run with --ignored --nocapture"]
+fn print_goldens() {
+    for kind in golden_kinds() {
+        println!("    ({:?}, \"{}\"),", kind.slug(), fingerprint(kind));
+    }
+}
