@@ -60,6 +60,7 @@ pub mod abort;
 pub mod backoff;
 pub mod dynamic;
 pub mod retry;
+pub mod retry2;
 pub mod session;
 pub mod stats;
 pub mod test_runtime;
@@ -72,8 +73,11 @@ pub use dynamic::{DynRuntime, DynThread, DynThreadExt, DynTxn};
 pub use retry::{
     AttemptContext, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle, RetryRng,
 };
+pub use retry2::{
+    Budgeted, CircuitBreaker, CircuitBreakerConfig, FibonacciBackoff, FullJitter, RetryBudget,
+};
 pub use session::{run_scoped, DynScopeExt, ScopeControl, TmScopeExt, WorkerSession};
-pub use stats::{PathKind, PathProbe, Stopwatch, TxStats};
+pub use stats::{PathKind, PathProbe, RetryMetrics, Stopwatch, TxStats};
 pub use traits::{TmRuntime, TmThread, Txn};
 pub use typed::{
     Codec, Field, FieldArray, LayoutBuilder, OrSized, Record, TxCell, TxFreeList, TxLayout, TxPtr,

@@ -51,6 +51,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::abort::AbortCause;
+use crate::stats::RetryMetrics;
 
 /// Which execution tier the aborted attempt was running on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -181,6 +182,24 @@ pub fn spin(n: u32) {
 /// threads never share RNG state.  The update is the same xorshift the RH
 /// runtime has always used for its slow-path-admission draw, which keeps
 /// fixed-seed runs bit-identical across the refactor.
+///
+/// # Seeding contract
+///
+/// Each runtime thread owns exactly **one** `RetryRng`, seeded from the run
+/// seed and the thread id at registration; every policy attached to that
+/// thread draws from it.  Two rules keep those draws independent:
+///
+/// * a policy must never cache raw `next_u64` values across decisions —
+///   cross-attempt memory belongs in [`AttemptContext::attempt`];
+/// * a policy *instance* that turns draws into pacing (backoff jitter) must
+///   not consume the shared stream directly, because a second instance on
+///   the same thread would then read the **same** values one position
+///   apart and pace its retries in near-lockstep with the first (correlated
+///   jitter was a latent bug in the pre-Retry-2.0 jitter policies).
+///   Instead it calls [`RetryRng::fork`] with a per-instance salt: the
+///   parent stream advances exactly once (identically for every instance,
+///   preserving fixed-seed reproducibility of all *shared* draws like the
+///   RH "Mix" admission), while the forked value is decorrelated per salt.
 #[derive(Clone, Debug)]
 pub struct RetryRng {
     state: u64,
@@ -220,6 +239,24 @@ impl RetryRng {
             self.next_u64() % n
         }
     }
+
+    /// Forks a decorrelated child generator for a policy instance (see the
+    /// type-level *seeding contract*).
+    ///
+    /// Advances the parent stream exactly once — the advancement is
+    /// salt-independent, so every instance sharing the thread moves the
+    /// shared stream identically — then finalises `parent-draw ⊕ salt`
+    /// through SplitMix64, whose avalanche guarantees that nearby salts
+    /// (consecutive instance ids) produce unrelated child streams.
+    #[inline]
+    pub fn fork(&mut self, salt: u64) -> RetryRng {
+        let mut z = self
+            .next_u64()
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        RetryRng::new(z ^ (z >> 31))
+    }
 }
 
 /// A contention-management strategy: decides what an aborted attempt does
@@ -237,6 +274,42 @@ pub trait RetryPolicy: fmt::Debug + Send + Sync {
     /// The decision for one aborted attempt.  Runtimes pass the returned
     /// value through [`AttemptContext::clamp`] before acting on it.
     fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision;
+
+    /// The decision for one aborted attempt, with access to the thread's
+    /// [`RetryMetrics`] so stateful policies (the Retry 2.0 circuit breaker
+    /// and budget in [`crate::retry2`]) can record state transitions.
+    ///
+    /// Runtimes call this (through
+    /// [`RetryPolicyHandle::decide_clamped_observed`]) rather than
+    /// [`RetryPolicy::decide`]; the default implementation ignores the
+    /// metrics and delegates, so plain policies only implement `decide`.
+    fn decide_observed(
+        &self,
+        ctx: &AttemptContext,
+        rng: &mut RetryRng,
+        metrics: &mut RetryMetrics,
+    ) -> RetryDecision {
+        let _ = metrics;
+        self.decide(ctx, rng)
+    }
+
+    /// Notifies the policy of a committed transaction on this thread
+    /// (`hardware` is true for all-hardware fast-path commits).
+    ///
+    /// Only called when [`RetryPolicy::wants_commit_hook`] returns true —
+    /// runtimes cache that answer at thread registration so the common
+    /// stateless policies pay nothing on the commit fast path.  The Retry
+    /// 2.0 policies use this to refill the token bucket and to track the
+    /// circuit breaker's half-open close streak.
+    fn on_commit(&self, hardware: bool, metrics: &mut RetryMetrics) {
+        let _ = (hardware, metrics);
+    }
+
+    /// Whether this policy needs [`RetryPolicy::on_commit`] notifications.
+    /// Defaults to `false`; see the hook's docs for the caching contract.
+    fn wants_commit_hook(&self) -> bool {
+        false
+    }
 
     /// Whether this policy reads the fallback-counter snapshots
     /// ([`AttemptContext::fallback_rh2`] /
@@ -442,22 +515,62 @@ impl RetryPolicyHandle {
         Self::new(Adaptive::default())
     }
 
+    /// [`crate::retry2::FullJitter`] with default window parameters.
+    pub fn full_jitter() -> Self {
+        Self::new(crate::retry2::FullJitter::default())
+    }
+
+    /// [`crate::retry2::FibonacciBackoff`] with default window parameters.
+    pub fn fibonacci() -> Self {
+        Self::new(crate::retry2::FibonacciBackoff::default())
+    }
+
+    /// [`crate::retry2::CircuitBreaker`] around [`PaperDefault`] with the
+    /// default breaker configuration (label `cb`).
+    pub fn circuit_breaker() -> Self {
+        Self::new(crate::retry2::CircuitBreaker::paper_default())
+    }
+
+    /// [`crate::retry2::Budgeted`] around [`PaperDefault`] with the default
+    /// token bucket (label `budgeted`).
+    pub fn budgeted() -> Self {
+        Self::new(crate::retry2::Budgeted::paper_default())
+    }
+
     /// Every built-in policy, in a stable order (used by the
-    /// `ablation_retry` sweep).
+    /// `ablation_retry` / `ablation_retry2` sweeps).  Append-only: sweep
+    /// outputs and the spec-grammar tests key off this order.
     pub fn builtin() -> Vec<RetryPolicyHandle> {
         vec![
             Self::paper_default(),
             Self::capped_exponential(),
             Self::aggressive(),
             Self::adaptive(),
+            Self::full_jitter(),
+            Self::fibonacci(),
+            Self::circuit_breaker(),
+            Self::budgeted(),
         ]
     }
 
     /// Parses a built-in policy label (`paper-default`, `capped-exp`,
-    /// `aggressive`, `adaptive`) back into a handle.
+    /// `aggressive`, `adaptive`, `full-jitter`, `fib`, `cb`, `budgeted`)
+    /// back into a handle.
+    ///
+    /// Each call constructs a **fresh** policy instance: stateful Retry 2.0
+    /// policies parsed into different specs never share a breaker state or
+    /// token bucket (handle equality still compares configurations, via
+    /// [`RetryPolicy::fingerprint`]).
     pub fn parse(label: &str) -> Option<RetryPolicyHandle> {
         let l = label.trim().to_ascii_lowercase();
         Self::builtin().into_iter().find(|p| p.label() == l)
+    }
+
+    /// The shared policy object, for composition: Retry 2.0 wrappers
+    /// ([`crate::retry2::CircuitBreaker`], [`crate::retry2::Budgeted`])
+    /// take any handle as their inner policy.
+    pub fn shared(&self) -> Arc<dyn RetryPolicy> {
+        Arc::clone(&self.0)
     }
 
     /// The wrapped policy's label.
@@ -476,6 +589,40 @@ impl RetryPolicyHandle {
     #[inline]
     pub fn decide_clamped(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
         ctx.clamp(self.0.decide(ctx, rng))
+    }
+
+    /// [`RetryPolicy::decide_observed`] followed by
+    /// [`AttemptContext::clamp`], recording the observed abort cause and
+    /// the post-clamp outcome into the thread's [`RetryMetrics`] — the
+    /// Retry 2.0 decision entry point every runtime calls.
+    #[inline]
+    pub fn decide_clamped_observed(
+        &self,
+        ctx: &AttemptContext,
+        rng: &mut RetryRng,
+        metrics: &mut RetryMetrics,
+    ) -> RetryDecision {
+        metrics.record_cause(ctx.cause);
+        let decision = ctx.clamp(self.0.decide_observed(ctx, rng, metrics));
+        match decision {
+            RetryDecision::RetryHere => metrics.retry_here += 1,
+            RetryDecision::Demote => metrics.demote += 1,
+            RetryDecision::BackoffThen(_) => metrics.backoff += 1,
+        }
+        decision
+    }
+
+    /// Delegates to [`RetryPolicy::on_commit`] (guarded by the cached
+    /// [`RetryPolicyHandle::wants_commit_hook`] answer in the runtimes).
+    #[inline]
+    pub fn on_commit(&self, hardware: bool, metrics: &mut RetryMetrics) {
+        self.0.on_commit(hardware, metrics);
+    }
+
+    /// Delegates to [`RetryPolicy::wants_commit_hook`] (runtimes cache the
+    /// answer per thread).
+    pub fn wants_commit_hook(&self) -> bool {
+        self.0.wants_commit_hook()
     }
 
     /// Delegates to [`RetryPolicy::wants_fallback_snapshot`] (runtimes
@@ -728,5 +875,94 @@ mod tests {
     fn spin_handles_zero_and_large_counts() {
         spin(0);
         spin(10_000);
+    }
+
+    #[test]
+    fn fork_decorrelates_salts_but_advances_parents_identically() {
+        let mut a = RetryRng::new(42);
+        let mut b = RetryRng::new(42);
+        let child_a = a.fork(1).next_u64();
+        let child_b = b.fork(2).next_u64();
+        assert_ne!(child_a, child_b, "different salts, different child streams");
+        // The parent advancement is salt-independent.
+        assert_eq!(a.next_u64(), b.next_u64());
+        // Repeated forks with one salt still differ (the parent advanced).
+        let mut c = RetryRng::new(42);
+        assert_ne!(c.fork(1).next_u64(), c.fork(1).next_u64());
+    }
+
+    #[test]
+    fn decide_clamped_observed_records_causes_and_outcomes() {
+        use crate::stats::RetryMetrics;
+
+        let mut rng = RetryRng::new(4);
+        let mut m = RetryMetrics::default();
+        let policy = RetryPolicyHandle::paper_default();
+        // Budget 1 ⇒ attempt 1 retries, attempt 2 demotes.
+        let retrying = AttemptContext {
+            retry_budget: 1,
+            ..ctx(PathClass::Hardware, AbortCause::Conflict, 1)
+        };
+        assert_eq!(
+            policy.decide_clamped_observed(&retrying, &mut rng, &mut m),
+            RetryDecision::RetryHere
+        );
+        let exhausted = AttemptContext {
+            attempt: 2,
+            ..retrying
+        };
+        assert_eq!(
+            policy.decide_clamped_observed(&exhausted, &mut rng, &mut m),
+            RetryDecision::Demote
+        );
+        // A capacity abort is clamped to Demote and recorded post-clamp.
+        let capacity = ctx(PathClass::Hardware, AbortCause::Capacity, 1);
+        assert_eq!(
+            policy.decide_clamped_observed(&capacity, &mut rng, &mut m),
+            RetryDecision::Demote
+        );
+        // Backoff outcomes are recorded as backoff.
+        let backoff = RetryPolicyHandle::capped_exponential();
+        let paced = AttemptContext {
+            retry_budget: u32::MAX,
+            ..ctx(PathClass::Hardware, AbortCause::Conflict, 1)
+        };
+        assert!(matches!(
+            backoff.decide_clamped_observed(&paced, &mut rng, &mut m),
+            RetryDecision::BackoffThen(_)
+        ));
+        assert_eq!(m.retry_here, 1);
+        assert_eq!(m.demote, 2);
+        assert_eq!(m.backoff, 1);
+        assert_eq!(m.decisions(), 4);
+        assert_eq!(m.cause_count(AbortCause::Conflict), 3);
+        assert_eq!(m.cause_count(AbortCause::Capacity), 1);
+    }
+
+    #[test]
+    fn builtin_is_append_only_with_stable_labels() {
+        let labels: Vec<_> = RetryPolicyHandle::builtin()
+            .iter()
+            .map(|p| p.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "paper-default",
+                "capped-exp",
+                "aggressive",
+                "adaptive",
+                "full-jitter",
+                "fib",
+                "cb",
+                "budgeted",
+            ]
+        );
+        // The stateless policies keep their cheap hook defaults; the
+        // stateful Retry 2.0 policies opt into the commit hook.
+        for p in RetryPolicyHandle::builtin() {
+            let stateful = matches!(p.label(), "cb" | "budgeted");
+            assert_eq!(p.wants_commit_hook(), stateful, "{}", p.label());
+        }
     }
 }

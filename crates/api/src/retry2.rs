@@ -1,0 +1,857 @@
+//! Retry 2.0: production-shaped contention management on top of the
+//! [`RetryPolicy`] axis — a per-thread **circuit breaker**, a shared
+//! **retry budget** (token bucket), and two further jittered backoff
+//! shapes (**full-jitter** and **fibonacci**).
+//!
+//! The PR-2 policies decide from the *current attempt* only; under the
+//! phase-shifting loads of PR 6 (diurnal ramps, flash crowds, hot-spot
+//! migration) that is exactly wrong — a fixed retry counter keeps paying
+//! the full hardware-retry budget on every transaction of a contention
+//! storm it has already lost.  The two stateful policies here carry cheap
+//! cross-transaction memory instead:
+//!
+//! * [`CircuitBreaker`] watches consecutive hardware-path failures.  After
+//!   `open_threshold` of them the circuit **opens**: decisions go straight
+//!   to [`RetryDecision::Demote`], skipping the doomed hardware retries
+//!   entirely.  After `probe_interval` demoted decisions the circuit turns
+//!   **half-open** and re-admits a single probe attempt onto the hardware
+//!   path; `close_streak` consecutive hardware commits close the circuit
+//!   again, while a probe failure re-opens it.  State is **per thread, per
+//!   policy instance** — contention is a property of what *this* thread
+//!   keeps colliding with.
+//! * [`Budgeted`] shares one [`RetryBudget`] token bucket across all
+//!   threads of a run: every retry (any non-demote decision) drains a
+//!   token, every commit refills `refill_per_commit` of them.  When a
+//!   contention storm drives the retry rate past what commits pay for, the
+//!   bucket empties and retries are shed into demotions instead of
+//!   amplifying the storm.  Exhaustion can never strand a transaction: the
+//!   universal [`AttemptContext::clamp`] turns `Demote` back into
+//!   `RetryHere` on bottom-tier paths, so a solo TL2 thread just keeps
+//!   retrying (see `tests/retry2_state_machine.rs`).
+//!
+//! Both wrappers compose over any inner policy (`cb` and `budgeted` parse
+//! as spec-label slugs wrapping [`PaperDefault`]) and both record their
+//! state transitions into the thread's [`RetryMetrics`], which every
+//! runtime snapshots into [`crate::stats::TxStats`] and the benchmark JSON.
+//!
+//! The jitter policies ([`FullJitter`], [`FibonacciBackoff`]) follow the
+//! [`RetryRng`] *seeding contract*: each instance draws its spin windows
+//! from [`RetryRng::fork`] with a unique per-instance salt, so two
+//! instances sharing a thread never pace their retries in lockstep.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::retry::{
+    AttemptContext, PaperDefault, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle,
+    RetryRng,
+};
+use crate::stats::RetryMetrics;
+
+/// Allocator for per-policy-instance identities.
+///
+/// The id keys the per-thread breaker state and salts the forked jitter
+/// streams.  It is deliberately **excluded** from every fingerprint, so two
+/// separately parsed handles of the same configuration still compare equal.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+fn next_instance() -> u64 {
+    NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------
+
+/// Tuning knobs of the [`CircuitBreaker`] state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive hardware-path failures (capacity, conflict, any abort
+    /// decided on [`PathClass::Hardware`]) that open the circuit.
+    /// `u32::MAX` never opens — the breaker then delegates every decision,
+    /// byte-identically to its inner policy.
+    pub open_threshold: u32,
+    /// Hardware-path decisions spent demoting while open before a
+    /// half-open probe is admitted.
+    pub probe_interval: u32,
+    /// Consecutive hardware commits in the half-open state that close the
+    /// circuit.
+    pub close_streak: u32,
+}
+
+impl Default for CircuitBreakerConfig {
+    fn default() -> Self {
+        CircuitBreakerConfig {
+            open_threshold: 4,
+            probe_interval: 8,
+            close_streak: 2,
+        }
+    }
+}
+
+/// The breaker's per-thread state (see [`CircuitState::label`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CircuitState {
+    /// Hardware admission is normal; counts consecutive failures.
+    Closed { failures: u32 },
+    /// Hardware admission is cut; counts decisions until the next probe.
+    Open { since: u32 },
+    /// One probe is in flight; counts consecutive hardware commits.
+    HalfOpen { streak: u32 },
+}
+
+impl CircuitState {
+    fn label(self) -> &'static str {
+        match self {
+            CircuitState::Closed { .. } => "closed",
+            CircuitState::Open { .. } => "open",
+            CircuitState::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+thread_local! {
+    /// Breaker states of all [`CircuitBreaker`] instances this thread has
+    /// touched, keyed by instance id.  Thread-local by design (see the
+    /// module docs); runtime worker threads are born per run, so state
+    /// never leaks between benchmark runs.
+    static CIRCUITS: RefCell<HashMap<u64, CircuitState>> = RefCell::new(HashMap::new());
+}
+
+/// A per-thread circuit breaker over hardware-path admission (spec-label
+/// slug `cb`; see the module docs for the state machine).
+///
+/// Decisions on non-hardware paths ([`PathClass::CommitHtm`],
+/// [`PathClass::Software`]) and on paths with no slower tier are delegated
+/// to the inner policy untouched — the breaker only governs whether the
+/// *demotable hardware fast path* is worth retrying.
+pub struct CircuitBreaker {
+    inner: Arc<dyn RetryPolicy>,
+    config: CircuitBreakerConfig,
+    instance: u64,
+}
+
+impl CircuitBreaker {
+    /// Wraps `inner` with breaker `config`.
+    pub fn new(inner: &RetryPolicyHandle, config: CircuitBreakerConfig) -> Self {
+        CircuitBreaker {
+            inner: inner.shared(),
+            config,
+            instance: next_instance(),
+        }
+    }
+
+    /// The `cb` slug: default breaker configuration over [`PaperDefault`].
+    pub fn paper_default() -> Self {
+        Self::new(
+            &RetryPolicyHandle::paper_default(),
+            CircuitBreakerConfig::default(),
+        )
+    }
+
+    /// The breaker configuration.
+    pub fn config(&self) -> CircuitBreakerConfig {
+        self.config
+    }
+
+    /// The calling thread's current breaker state, as a label
+    /// (`closed` / `open` / `half-open`) — for tests and debugging.
+    pub fn state_label(&self) -> &'static str {
+        self.load().label()
+    }
+
+    /// Resets the calling thread's breaker state to closed (tests).
+    pub fn reset_thread_state(&self) {
+        self.store(CircuitState::Closed { failures: 0 });
+    }
+
+    fn load(&self) -> CircuitState {
+        CIRCUITS.with(|m| {
+            *m.borrow_mut()
+                .entry(self.instance)
+                .or_insert(CircuitState::Closed { failures: 0 })
+        })
+    }
+
+    fn store(&self, state: CircuitState) {
+        CIRCUITS.with(|m| {
+            m.borrow_mut().insert(self.instance, state);
+        });
+    }
+}
+
+impl fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("inner", &self.inner)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl RetryPolicy for CircuitBreaker {
+    fn label(&self) -> &'static str {
+        "cb"
+    }
+
+    fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        self.decide_observed(ctx, rng, &mut RetryMetrics::default())
+    }
+
+    fn decide_observed(
+        &self,
+        ctx: &AttemptContext,
+        rng: &mut RetryRng,
+        metrics: &mut RetryMetrics,
+    ) -> RetryDecision {
+        // The breaker governs demotable hardware admission only.
+        if ctx.path != PathClass::Hardware || !ctx.can_demote {
+            return self.inner.decide_observed(ctx, rng, metrics);
+        }
+        match self.load() {
+            CircuitState::Closed { failures } => {
+                let failures = failures.saturating_add(1);
+                if failures >= self.config.open_threshold {
+                    self.store(CircuitState::Open { since: 0 });
+                    metrics.circuit_opens += 1;
+                    RetryDecision::Demote
+                } else {
+                    self.store(CircuitState::Closed { failures });
+                    self.inner.decide_observed(ctx, rng, metrics)
+                }
+            }
+            CircuitState::Open { since } => {
+                let since = since.saturating_add(1);
+                if since >= self.config.probe_interval {
+                    // Re-admit one probe attempt onto the hardware path.
+                    self.store(CircuitState::HalfOpen { streak: 0 });
+                    metrics.circuit_probes += 1;
+                    self.inner.decide_observed(ctx, rng, metrics)
+                } else {
+                    self.store(CircuitState::Open { since });
+                    RetryDecision::Demote
+                }
+            }
+            CircuitState::HalfOpen { .. } => {
+                // The probe aborted before building its close streak.
+                self.store(CircuitState::Open { since: 0 });
+                metrics.circuit_opens += 1;
+                RetryDecision::Demote
+            }
+        }
+    }
+
+    fn wants_commit_hook(&self) -> bool {
+        true
+    }
+
+    fn on_commit(&self, hardware: bool, metrics: &mut RetryMetrics) {
+        self.inner.on_commit(hardware, metrics);
+        if !hardware {
+            return;
+        }
+        match self.load() {
+            CircuitState::Closed { failures } => {
+                if failures != 0 {
+                    self.store(CircuitState::Closed { failures: 0 });
+                }
+            }
+            CircuitState::Open { .. } => {}
+            CircuitState::HalfOpen { streak } => {
+                let streak = streak.saturating_add(1);
+                if streak >= self.config.close_streak {
+                    self.store(CircuitState::Closed { failures: 0 });
+                    metrics.circuit_closes += 1;
+                } else {
+                    self.store(CircuitState::HalfOpen { streak });
+                }
+            }
+        }
+    }
+
+    fn wants_fallback_snapshot(&self) -> bool {
+        self.inner.wants_fallback_snapshot()
+    }
+
+    fn fingerprint(&self) -> String {
+        // Excludes the instance id: equality is configuration identity.
+        format!(
+            "cb[open={},probe={},close={}]:{}",
+            self.config.open_threshold,
+            self.config.probe_interval,
+            self.config.close_streak,
+            self.inner.fingerprint()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retry budget (token bucket)
+// ---------------------------------------------------------------------
+
+/// A token bucket shared by every thread of a run: retries drain it,
+/// commits refill it (see [`Budgeted`]).
+#[derive(Debug)]
+pub struct RetryBudget {
+    tokens: AtomicU64,
+    capacity: u64,
+    refill_per_commit: u64,
+}
+
+impl RetryBudget {
+    /// A bucket starting full at `capacity`, refilled by
+    /// `refill_per_commit` tokens per committed transaction.
+    pub fn new(capacity: u64, refill_per_commit: u64) -> Self {
+        RetryBudget {
+            tokens: AtomicU64::new(capacity),
+            capacity,
+            refill_per_commit,
+        }
+    }
+
+    /// The bucket's capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Tokens refilled per committed transaction.
+    pub fn refill_per_commit(&self) -> u64 {
+        self.refill_per_commit
+    }
+
+    /// Current token count (racy snapshot; exact in single-thread tests).
+    pub fn tokens(&self) -> u64 {
+        self.tokens.load(Ordering::Relaxed)
+    }
+
+    /// Takes one token; `false` when the bucket is empty.
+    pub fn try_drain(&self) -> bool {
+        self.tokens
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Adds the per-commit refill, saturating at capacity.
+    pub fn refill(&self) {
+        let _ = self
+            .tokens
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some((t + self.refill_per_commit).min(self.capacity))
+            });
+    }
+}
+
+/// Wraps an inner policy with a shared [`RetryBudget`] (spec-label slug
+/// `budgeted`): any retry the inner policy grants must also be paid for
+/// from the bucket, and an empty bucket sheds the retry into a demotion
+/// (recorded as [`RetryMetrics::budget_exhausted`]).
+pub struct Budgeted {
+    inner: Arc<dyn RetryPolicy>,
+    budget: Arc<RetryBudget>,
+}
+
+impl Budgeted {
+    /// Wraps `inner` with `budget`.
+    pub fn new(inner: &RetryPolicyHandle, budget: RetryBudget) -> Self {
+        Budgeted {
+            inner: inner.shared(),
+            budget: Arc::new(budget),
+        }
+    }
+
+    /// The `budgeted` slug: a 256-token bucket refilling 2 tokens per
+    /// commit, over [`PaperDefault`].  Steady-state loads (a retry or two
+    /// per commit) never exhaust it; a storm retrying far faster than it
+    /// commits does, and sheds.
+    pub fn paper_default() -> Self {
+        Self::new(
+            &RetryPolicyHandle::paper_default(),
+            RetryBudget::new(256, 2),
+        )
+    }
+
+    /// The shared bucket (tests observe drain/refill arithmetic).
+    pub fn budget(&self) -> &RetryBudget {
+        &self.budget
+    }
+}
+
+impl fmt::Debug for Budgeted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Budgeted")
+            .field("inner", &self.inner)
+            .field("capacity", &self.budget.capacity)
+            .field("refill_per_commit", &self.budget.refill_per_commit)
+            .finish()
+    }
+}
+
+impl RetryPolicy for Budgeted {
+    fn label(&self) -> &'static str {
+        "budgeted"
+    }
+
+    fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        self.decide_observed(ctx, rng, &mut RetryMetrics::default())
+    }
+
+    fn decide_observed(
+        &self,
+        ctx: &AttemptContext,
+        rng: &mut RetryRng,
+        metrics: &mut RetryMetrics,
+    ) -> RetryDecision {
+        match self.inner.decide_observed(ctx, rng, metrics) {
+            RetryDecision::Demote => RetryDecision::Demote,
+            retry => {
+                if self.budget.try_drain() {
+                    retry
+                } else {
+                    metrics.budget_exhausted += 1;
+                    // On bottom-tier paths the clamp turns this back into
+                    // RetryHere, so exhaustion can never deadlock a thread
+                    // that has nowhere to demote to.
+                    RetryDecision::Demote
+                }
+            }
+        }
+    }
+
+    fn wants_commit_hook(&self) -> bool {
+        true
+    }
+
+    fn on_commit(&self, hardware: bool, metrics: &mut RetryMetrics) {
+        self.inner.on_commit(hardware, metrics);
+        self.budget.refill();
+    }
+
+    fn wants_fallback_snapshot(&self) -> bool {
+        self.inner.wants_fallback_snapshot()
+    }
+
+    fn fingerprint(&self) -> String {
+        // Excludes the bucket's current fill: configuration identity only.
+        format!(
+            "budgeted[cap={},refill={}]:{}",
+            self.budget.capacity,
+            self.budget.refill_per_commit,
+            self.inner.fingerprint()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Jittered backoff variants
+// ---------------------------------------------------------------------
+
+/// [`PaperDefault`]'s demotion rules with *full-jitter* backoff: each retry
+/// spins uniformly in `[0, window]` where the window doubles per attempt up
+/// to a cap (the AWS "full jitter" shape — maximum spread, best collision
+/// avoidance at the cost of occasional zero waits).
+#[derive(Clone, Copy)]
+pub struct FullJitter {
+    /// Backoff window of the first retry.
+    pub base_spins: u32,
+    /// Upper bound on the window.
+    pub max_spins: u32,
+    salt: u64,
+}
+
+impl FullJitter {
+    /// A full-jitter policy with the given window bounds.
+    pub fn new(base_spins: u32, max_spins: u32) -> Self {
+        FullJitter {
+            base_spins,
+            max_spins,
+            salt: next_instance(),
+        }
+    }
+}
+
+impl Default for FullJitter {
+    fn default() -> Self {
+        Self::new(32, 16_384)
+    }
+}
+
+impl fmt::Debug for FullJitter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FullJitter")
+            .field("base_spins", &self.base_spins)
+            .field("max_spins", &self.max_spins)
+            .finish()
+    }
+}
+
+impl RetryPolicy for FullJitter {
+    fn label(&self) -> &'static str {
+        "full-jitter"
+    }
+
+    fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        match PaperDefault.decide(ctx, rng) {
+            RetryDecision::Demote => RetryDecision::Demote,
+            _ => {
+                let window = self
+                    .base_spins
+                    .saturating_mul(1u32 << ctx.attempt.saturating_sub(1).min(16))
+                    .clamp(1, self.max_spins);
+                let spins = rng.fork(self.salt).next_below(u64::from(window) + 1) as u32;
+                RetryDecision::BackoffThen(spins)
+            }
+        }
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "full-jitter[base={},max={}]",
+            self.base_spins, self.max_spins
+        )
+    }
+}
+
+/// [`PaperDefault`]'s demotion rules with fibonacci backoff: the window
+/// grows along the fibonacci sequence (`base·fib(attempt)`, capped) —
+/// gentler early escalation than doubling — jittered over
+/// `[window/2, window]`.
+#[derive(Clone, Copy)]
+pub struct FibonacciBackoff {
+    /// Backoff window of the first retry (`fib(1) == 1`).
+    pub base_spins: u32,
+    /// Upper bound on the window.
+    pub max_spins: u32,
+    salt: u64,
+}
+
+impl FibonacciBackoff {
+    /// A fibonacci-backoff policy with the given window bounds.
+    pub fn new(base_spins: u32, max_spins: u32) -> Self {
+        FibonacciBackoff {
+            base_spins,
+            max_spins,
+            salt: next_instance(),
+        }
+    }
+
+    /// `fib(n)` saturating in `u32` (`fib(1) == fib(2) == 1`).
+    fn fib(n: u32) -> u32 {
+        let (mut a, mut b) = (1u32, 1u32);
+        for _ in 2..n.min(64) {
+            let next = a.saturating_add(b);
+            a = b;
+            b = next;
+        }
+        if n == 0 {
+            1
+        } else {
+            b
+        }
+    }
+}
+
+impl Default for FibonacciBackoff {
+    fn default() -> Self {
+        Self::new(32, 16_384)
+    }
+}
+
+impl fmt::Debug for FibonacciBackoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FibonacciBackoff")
+            .field("base_spins", &self.base_spins)
+            .field("max_spins", &self.max_spins)
+            .finish()
+    }
+}
+
+impl RetryPolicy for FibonacciBackoff {
+    fn label(&self) -> &'static str {
+        "fib"
+    }
+
+    fn decide(&self, ctx: &AttemptContext, rng: &mut RetryRng) -> RetryDecision {
+        match PaperDefault.decide(ctx, rng) {
+            RetryDecision::Demote => RetryDecision::Demote,
+            _ => {
+                let window = self
+                    .base_spins
+                    .saturating_mul(Self::fib(ctx.attempt))
+                    .clamp(1, self.max_spins);
+                let spins =
+                    window / 2 + rng.fork(self.salt).next_below(u64::from(window / 2) + 1) as u32;
+                RetryDecision::BackoffThen(spins)
+            }
+        }
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("fib[base={},max={}]", self.base_spins, self.max_spins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abort::AbortCause;
+
+    fn hw_ctx(attempt: u32) -> AttemptContext {
+        AttemptContext {
+            attempt,
+            path: PathClass::Hardware,
+            cause: AbortCause::Conflict,
+            can_demote: true,
+            retry_budget: u32::MAX,
+            mix_percent: 100,
+            fallback_rh2: 0,
+            fallback_all_software: 0,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_back() {
+        let cb = CircuitBreaker::new(
+            &RetryPolicyHandle::aggressive(),
+            CircuitBreakerConfig {
+                open_threshold: 3,
+                probe_interval: 2,
+                close_streak: 1,
+            },
+        );
+        let mut rng = RetryRng::new(5);
+        let mut m = RetryMetrics::default();
+        let ctx = hw_ctx(1);
+        assert_eq!(
+            cb.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::RetryHere
+        );
+        assert_eq!(
+            cb.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::RetryHere
+        );
+        assert_eq!(cb.state_label(), "closed");
+        // Third consecutive failure opens.
+        assert_eq!(
+            cb.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::Demote
+        );
+        assert_eq!(cb.state_label(), "open");
+        assert_eq!(m.circuit_opens, 1);
+        // One more demote, then the probe interval elapses.
+        assert_eq!(
+            cb.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::Demote
+        );
+        assert_eq!(
+            cb.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::RetryHere
+        );
+        assert_eq!(cb.state_label(), "half-open");
+        assert_eq!(m.circuit_probes, 1);
+        // The probe commits in hardware: close.
+        cb.on_commit(true, &mut m);
+        assert_eq!(cb.state_label(), "closed");
+        assert_eq!(m.circuit_closes, 1);
+    }
+
+    #[test]
+    fn breaker_commit_resets_the_closed_failure_count() {
+        let cb = CircuitBreaker::new(
+            &RetryPolicyHandle::aggressive(),
+            CircuitBreakerConfig {
+                open_threshold: 2,
+                probe_interval: 1,
+                close_streak: 1,
+            },
+        );
+        let mut rng = RetryRng::new(5);
+        let mut m = RetryMetrics::default();
+        let ctx = hw_ctx(1);
+        cb.decide_observed(&ctx, &mut rng, &mut m);
+        cb.on_commit(true, &mut m); // resets failures
+        cb.decide_observed(&ctx, &mut rng, &mut m);
+        assert_eq!(cb.state_label(), "closed", "streak was broken by a commit");
+        cb.decide_observed(&ctx, &mut rng, &mut m);
+        assert_eq!(cb.state_label(), "open");
+    }
+
+    #[test]
+    fn breaker_ignores_non_hardware_decisions() {
+        let cb = CircuitBreaker::new(
+            &RetryPolicyHandle::aggressive(),
+            CircuitBreakerConfig {
+                open_threshold: 1,
+                probe_interval: 1,
+                close_streak: 1,
+            },
+        );
+        let mut rng = RetryRng::new(5);
+        let mut m = RetryMetrics::default();
+        let sw = AttemptContext {
+            path: PathClass::Software,
+            can_demote: false,
+            ..hw_ctx(1)
+        };
+        for _ in 0..10 {
+            assert_eq!(
+                cb.decide_observed(&sw, &mut rng, &mut m),
+                RetryDecision::RetryHere
+            );
+        }
+        assert_eq!(cb.state_label(), "closed");
+        assert_eq!(m.circuit_opens, 0);
+    }
+
+    #[test]
+    fn budget_drains_refills_and_sheds() {
+        let b = Budgeted::new(&RetryPolicyHandle::aggressive(), RetryBudget::new(2, 3));
+        let mut rng = RetryRng::new(5);
+        let mut m = RetryMetrics::default();
+        let ctx = hw_ctx(1);
+        assert_eq!(
+            b.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::RetryHere
+        );
+        assert_eq!(
+            b.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::RetryHere
+        );
+        assert_eq!(b.budget().tokens(), 0);
+        assert_eq!(
+            b.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::Demote
+        );
+        assert_eq!(m.budget_exhausted, 1);
+        // A commit refills (saturating at capacity).
+        b.on_commit(false, &mut m);
+        assert_eq!(b.budget().tokens(), 2, "refill saturates at capacity");
+        assert_eq!(
+            b.decide_observed(&ctx, &mut rng, &mut m),
+            RetryDecision::RetryHere
+        );
+    }
+
+    #[test]
+    fn infinite_threshold_breaker_delegates_forever() {
+        let inner = RetryPolicyHandle::paper_default();
+        let cb = CircuitBreaker::new(
+            &inner,
+            CircuitBreakerConfig {
+                open_threshold: u32::MAX,
+                ..CircuitBreakerConfig::default()
+            },
+        );
+        let mut rng_a = RetryRng::new(77);
+        let mut rng_b = RetryRng::new(77);
+        let mut ma = RetryMetrics::default();
+        for attempt in 1..=200u32 {
+            let ctx = AttemptContext {
+                mix_percent: 50,
+                retry_budget: 2,
+                ..hw_ctx(attempt % 7 + 1)
+            };
+            assert_eq!(
+                cb.decide_observed(&ctx, &mut rng_a, &mut ma),
+                inner.decide(&ctx, &mut rng_b),
+                "attempt {attempt}"
+            );
+        }
+        assert_eq!(cb.state_label(), "closed");
+        assert_eq!(
+            (ma.circuit_opens, ma.circuit_probes, ma.circuit_closes),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn jitter_policies_stay_in_window_and_decorrelate_instances() {
+        let a = FullJitter::default();
+        let b = FullJitter::default();
+        let mut rng_a = RetryRng::new(9);
+        let mut rng_b = RetryRng::new(9);
+        let mut spins_a = Vec::new();
+        let mut spins_b = Vec::new();
+        for attempt in 1..=24 {
+            let ctx = hw_ctx(attempt);
+            match (a.decide(&ctx, &mut rng_a), b.decide(&ctx, &mut rng_b)) {
+                (RetryDecision::BackoffThen(x), RetryDecision::BackoffThen(y)) => {
+                    assert!(x <= a.max_spins && y <= b.max_spins);
+                    spins_a.push(x);
+                    spins_b.push(y);
+                }
+                other => panic!("expected backoffs, got {other:?}"),
+            }
+        }
+        assert_ne!(
+            spins_a, spins_b,
+            "two instances on identical thread streams must not correlate"
+        );
+
+        let f = FibonacciBackoff::default();
+        let mut rng = RetryRng::new(3);
+        let mut windows = Vec::new();
+        for attempt in 1..=20 {
+            match f.decide(&hw_ctx(attempt), &mut rng) {
+                RetryDecision::BackoffThen(s) => {
+                    assert!(s <= f.max_spins, "attempt {attempt}: {s}");
+                    windows.push(s);
+                }
+                other => panic!("expected backoff, got {other:?}"),
+            }
+        }
+        assert!(
+            windows.iter().max().unwrap() > &f.base_spins,
+            "fib escalates"
+        );
+        // The fibonacci sequence itself.
+        assert_eq!(
+            (1..=10).map(FibonacciBackoff::fib).collect::<Vec<_>>(),
+            vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+        );
+        assert_eq!(FibonacciBackoff::fib(0), 1);
+        assert_eq!(
+            FibonacciBackoff::fib(64),
+            FibonacciBackoff::fib(1000),
+            "saturated"
+        );
+    }
+
+    #[test]
+    fn retry2_fingerprints_are_configuration_identity() {
+        // Fresh instances of the same configuration compare equal...
+        assert_eq!(
+            RetryPolicyHandle::circuit_breaker(),
+            RetryPolicyHandle::circuit_breaker()
+        );
+        assert_eq!(RetryPolicyHandle::budgeted(), RetryPolicyHandle::budgeted());
+        assert_eq!(
+            RetryPolicyHandle::full_jitter(),
+            RetryPolicyHandle::full_jitter()
+        );
+        assert_eq!(
+            RetryPolicyHandle::fibonacci(),
+            RetryPolicyHandle::fibonacci()
+        );
+        // ...different configurations do not.
+        assert_ne!(
+            RetryPolicyHandle::new(CircuitBreaker::new(
+                &RetryPolicyHandle::paper_default(),
+                CircuitBreakerConfig {
+                    open_threshold: 9,
+                    ..CircuitBreakerConfig::default()
+                },
+            )),
+            RetryPolicyHandle::circuit_breaker()
+        );
+        assert_ne!(
+            RetryPolicyHandle::new(Budgeted::new(
+                &RetryPolicyHandle::paper_default(),
+                RetryBudget::new(1, 1),
+            )),
+            RetryPolicyHandle::budgeted()
+        );
+    }
+}

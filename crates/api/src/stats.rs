@@ -148,6 +148,74 @@ impl Stopwatch {
     }
 }
 
+/// Always-on observability counters for the retry layer ("Retry 2.0").
+///
+/// Every runtime records the post-clamp outcome of each retry decision and
+/// the abort cause that triggered it; the Retry 2.0 policies
+/// ([`crate::retry2`]) additionally record circuit-breaker state
+/// transitions and retry-budget exhaustion events.  All counters are plain
+/// per-thread `u64` increments on the abort path (never on the commit fast
+/// path), so the surface is cheap enough to stay on in every benchmark —
+/// the numbers flow through [`TxStats::merge`] into the `bench_suite` /
+/// `bench_trajectory` JSON as the `retry_metrics` object.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryMetrics {
+    /// Post-clamp decisions that retried on the same path.
+    pub retry_here: u64,
+    /// Post-clamp decisions that demoted to a slower tier.
+    pub demote: u64,
+    /// Post-clamp decisions that retried after an explicit backoff window.
+    pub backoff: u64,
+    /// Abort causes observed at retry decision sites, indexed by
+    /// [`AbortCause::index`].  This is the retry layer's own histogram: it
+    /// counts causes *as seen by the policy*, which a runtime-level abort
+    /// counter cannot split out per decision site.
+    pub causes: [u64; 8],
+    /// Circuit-breaker transitions into `Open` (including a failed
+    /// half-open probe re-opening the circuit).
+    pub circuit_opens: u64,
+    /// Half-open probes admitted back onto the hardware path.
+    pub circuit_probes: u64,
+    /// Circuit-breaker transitions from `HalfOpen` back to `Closed`.
+    pub circuit_closes: u64,
+    /// Retry-budget exhaustion events (token bucket empty, retry shed into
+    /// a demotion).
+    pub budget_exhausted: u64,
+}
+
+impl RetryMetrics {
+    /// Total retry decisions recorded.
+    #[inline]
+    pub fn decisions(&self) -> u64 {
+        self.retry_here + self.demote + self.backoff
+    }
+
+    /// Records the abort cause observed at a decision site.
+    #[inline(always)]
+    pub fn record_cause(&mut self, cause: AbortCause) {
+        self.causes[cause.index()] += 1;
+    }
+
+    /// Abort causes recorded for one specific cause at decision sites.
+    pub fn cause_count(&self, cause: AbortCause) -> u64 {
+        self.causes[cause.index()]
+    }
+
+    /// Merges another thread's retry metrics into this one.
+    pub fn merge(&mut self, other: &RetryMetrics) {
+        self.retry_here += other.retry_here;
+        self.demote += other.demote;
+        self.backoff += other.backoff;
+        for i in 0..self.causes.len() {
+            self.causes[i] += other.causes[i];
+        }
+        self.circuit_opens += other.circuit_opens;
+        self.circuit_probes += other.circuit_probes;
+        self.circuit_closes += other.circuit_closes;
+        self.budget_exhausted += other.budget_exhausted;
+    }
+}
+
 /// Per-thread transactional execution statistics.
 ///
 /// Counters are plain `u64`s updated by the owning thread only; the
@@ -175,6 +243,8 @@ pub struct TxStats {
     pub write_ns: u64,
     /// Nanoseconds spent inside commit (timing mode only).
     pub commit_ns: u64,
+    /// Always-on retry-layer observability counters (see [`RetryMetrics`]).
+    pub retry: RetryMetrics,
     /// Whether fine-grained timing is enabled for this thread.
     pub timing: bool,
 }
@@ -276,6 +346,7 @@ impl TxStats {
         self.read_ns += other.read_ns;
         self.write_ns += other.write_ns;
         self.commit_ns += other.commit_ns;
+        self.retry.merge(&other.retry);
         self.timing |= other.timing;
     }
 
@@ -372,6 +443,47 @@ mod tests {
         assert_eq!(a.commits(), 1);
         assert_eq!(a.aborts(), 1);
         assert!(a.timing, "timing flag is sticky under merge");
+    }
+
+    #[test]
+    fn retry_metrics_merge_adds_every_counter() {
+        let mut a = RetryMetrics {
+            retry_here: 3,
+            ..Default::default()
+        };
+        a.record_cause(AbortCause::Conflict);
+        let mut b = RetryMetrics {
+            retry_here: 1,
+            demote: 2,
+            backoff: 4,
+            circuit_opens: 5,
+            circuit_probes: 6,
+            circuit_closes: 7,
+            budget_exhausted: 8,
+            ..Default::default()
+        };
+        b.record_cause(AbortCause::Conflict);
+        b.record_cause(AbortCause::Capacity);
+        a.merge(&b);
+        assert_eq!(a.retry_here, 4);
+        assert_eq!(a.demote, 2);
+        assert_eq!(a.backoff, 4);
+        assert_eq!(a.decisions(), 10);
+        assert_eq!(a.cause_count(AbortCause::Conflict), 2);
+        assert_eq!(a.cause_count(AbortCause::Capacity), 1);
+        assert_eq!(a.circuit_opens, 5);
+        assert_eq!(a.circuit_probes, 6);
+        assert_eq!(a.circuit_closes, 7);
+        assert_eq!(a.budget_exhausted, 8);
+
+        // And TxStats::merge carries the nested metrics along.
+        let mut sa = TxStats::new(false);
+        sa.retry.retry_here = 1;
+        let mut sb = TxStats::new(false);
+        sb.retry.budget_exhausted = 9;
+        sa.merge(&sb);
+        assert_eq!(sa.retry.retry_here, 1);
+        assert_eq!(sa.retry.budget_exhausted, 9);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Ablation A5: the Retry 2.0 policies (circuit breaker, retry budget,
+//! full-jitter and fibonacci backoff) under a flash crowd.
+//!
+//! ```text
+//! cargo run -p rhtm-bench --release --bin ablation_retry2 [paper|quick] [policy...] [threads=N,M,..] [spec=..]
+//! ```
+//!
+//! Runs the phased `skiplist-flash-crowd` scenario (uniform load, then
+//! 95% of operations on 1% of the keys) and prints one row per
+//! `(policy, algorithm, threads)` point, including the always-on retry
+//! observability counters: circuit opens/probes/closes and budget
+//! exhaustions.  With no policy arguments the Retry 2.0 series
+//! ([`rhtm_bench::retry2_policies`]: `paper-default` baseline plus
+//! `full-jitter`, `fib`, `cb`, `budgeted`) is swept; otherwise only the
+//! named ones run.  The `spec=` axis (comma-separated `TmSpec` labels)
+//! replaces the default base specs; each swept policy overrides the base
+//! spec's retry axis, everything else (algorithm, clock) is honoured as
+//! given.  Threads default to a 1–32 sweep (clamped to the host); a
+//! `threads=` argument pins the sweep explicitly (the CI smoke run uses
+//! `threads=2`).
+
+use rhtm_api::RetryPolicyHandle;
+use rhtm_bench::cli;
+use rhtm_bench::{FigureParams, Scale};
+use rhtm_workloads::{AlgoKind, TmSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut named: Vec<RetryPolicyHandle> = Vec::new();
+    let mut threads_override: Option<Vec<usize>> = None;
+    let specs = cli::spec_axis(&args).unwrap_or_else(|e| cli::fail(e));
+    for arg in &args {
+        if let Some(s) = Scale::parse(arg) {
+            scale = s;
+        } else if let Some(policy) = RetryPolicyHandle::parse(arg) {
+            named.push(policy);
+        } else if arg.starts_with("spec=") {
+            // Parsed by cli::spec_axis above.
+        } else if let Some(list) = arg.strip_prefix("threads=") {
+            let parsed: Result<Vec<usize>, _> = list.split(',').map(|t| t.trim().parse()).collect();
+            match parsed {
+                Ok(t) if !t.is_empty() && t.iter().all(|&n| n >= 1) => {
+                    threads_override = Some(t);
+                }
+                _ => {
+                    cli::fail(format!(
+                        "bad thread list '{list}' (expected e.g. threads=1,2,4)"
+                    ));
+                }
+            }
+        } else {
+            cli::fail(format!(
+                "unknown argument '{arg}' (expected paper|quick, threads=N,.., spec=.. or a policy: {})",
+                RetryPolicyHandle::builtin()
+                    .iter()
+                    .map(|p| p.label())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            ));
+        }
+    }
+    let policies: Vec<RetryPolicyHandle> = if named.is_empty() {
+        rhtm_bench::retry2_policies()
+    } else {
+        named
+    };
+    let base_specs: Vec<TmSpec> = specs.unwrap_or_else(|| {
+        rhtm_bench::specs_of(&[
+            AlgoKind::Rh1Mixed(10),
+            AlgoKind::Rh1Mixed(100),
+            AlgoKind::Rh2,
+        ])
+    });
+
+    // The breaker/budget story is a contention story: sweep 1–32 threads
+    // (clamped to the host) unless the CLI pins the sweep.
+    let mut params = FigureParams::new(scale);
+    params.thread_counts = threads_override.unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32]);
+    let params = if args.iter().any(|a| a.starts_with("threads=")) {
+        params
+    } else {
+        params.clamp_threads_to_host()
+    };
+
+    println!(
+        "# Ablation A5: Retry 2.0 policies ({} scenario)",
+        rhtm_bench::ABLATION_RETRY2_SCENARIO
+    );
+    println!("# threads swept: {:?}", params.thread_counts);
+    println!(
+        "{:<14} {:<16} {:>8} {:>14} {:>12} {:>7} {:>7} {:>7} {:>9}",
+        "policy",
+        "algorithm",
+        "threads",
+        "ops/s",
+        "abort-rate",
+        "opens",
+        "probes",
+        "closes",
+        "exhausted"
+    );
+    for row in rhtm_bench::ablation_retry2_specs(&params, &policies, &base_specs) {
+        let m = &row.result.stats.retry;
+        println!(
+            "{:<14} {:<16} {:>8} {:>14.0} {:>11.2}% {:>7} {:>7} {:>7} {:>9}",
+            row.policy.label(),
+            row.algo.label(),
+            row.result.threads,
+            row.result.throughput(),
+            row.result.abort_ratio() * 100.0,
+            m.circuit_opens,
+            m.circuit_probes,
+            m.circuit_closes,
+            m.budget_exhausted,
+        );
+    }
+}

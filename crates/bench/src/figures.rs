@@ -19,7 +19,7 @@ use rhtm_htm::{HtmConfig, HtmSim};
 use rhtm_mem::{ClockScheme, MemConfig};
 use rhtm_workloads::{
     AlgoKind, BenchResult, ConstantHashTable, ConstantRbTree, ConstantSortedList, DriverOpts,
-    OpMix, RandomArray, TmSpec,
+    OpMix, RandomArray, Scenario, TmSpec,
 };
 
 use crate::params::FigureParams;
@@ -480,6 +480,95 @@ pub fn ablation_retry_specs(
     rows
 }
 
+/// The scenario the Retry 2.0 ablation runs on: the registry's phased
+/// flash-crowd skiplist, where a contention spike arrives mid-run — the
+/// load shape the circuit breaker and the retry budget were built for.
+pub const ABLATION_RETRY2_SCENARIO: &str = "skiplist-flash-crowd";
+
+/// The Retry 2.0 policy series: the paper-default baseline plus the four
+/// PR-8 policies (full-jitter and fibonacci backoff, the per-thread
+/// circuit breaker and the shared retry budget, all at their defaults).
+pub fn retry2_policies() -> Vec<RetryPolicyHandle> {
+    vec![
+        RetryPolicyHandle::paper_default(),
+        RetryPolicyHandle::full_jitter(),
+        RetryPolicyHandle::fibonacci(),
+        RetryPolicyHandle::circuit_breaker(),
+        RetryPolicyHandle::budgeted(),
+    ]
+}
+
+/// **Ablation A5 (Retry 2.0)**: the circuit-breaker/budget/jitter policies
+/// under a flash crowd, swept over `(policy, algorithm, threads)` on the
+/// phased [`ABLATION_RETRY2_SCENARIO`] skiplist.
+///
+/// Unlike [`ablation_retry`] (stationary rb-tree), this sweep's load is
+/// *non-stationary*: the first half is uniform, then 95% of operations
+/// land on 1% of the keys.  A fixed pacing policy keeps feeding hardware
+/// retries into the crowd; the breaker demotes early and probes its way
+/// back, and the budget sheds retries globally — the rows' retry-metrics
+/// counters (`circuit_opens`, `budget_exhausted`, ...) show it happening.
+pub fn ablation_retry2(params: &FigureParams) -> Vec<RetryAblationRow> {
+    ablation_retry2_policies(params, &retry2_policies())
+}
+
+/// [`ablation_retry2`] restricted to the given policies (the
+/// `ablation_retry2` binary's CLI filter and the CI smoke run).
+pub fn ablation_retry2_policies(
+    params: &FigureParams,
+    policies: &[RetryPolicyHandle],
+) -> Vec<RetryAblationRow> {
+    // The default algorithms bracket demote-willingness: RH1 Mixed 10
+    // retries contention aborts in hardware 90% of the time (the breaker's
+    // best case), RH1 Mixed 100 demotes on first contention (pacing-bound),
+    // and RH2 is the slow-path-only bound.
+    ablation_retry2_specs(
+        params,
+        policies,
+        &specs_of(&[
+            AlgoKind::Rh1Mixed(10),
+            AlgoKind::Rh1Mixed(100),
+            AlgoKind::Rh2,
+        ]),
+    )
+}
+
+/// [`ablation_retry2`] over arbitrary base specs (the `spec=` CLI axis):
+/// each swept policy overrides the base spec's retry axis, everything
+/// else (algorithm, clock) is honoured as given.
+pub fn ablation_retry2_specs(
+    params: &FigureParams,
+    policies: &[RetryPolicyHandle],
+    base_specs: &[TmSpec],
+) -> Vec<RetryAblationRow> {
+    let scenario =
+        Scenario::find(ABLATION_RETRY2_SCENARIO).expect("the flash-crowd scenario is registered");
+    // Scale the registered (paper-like) skiplist size in proportion to the
+    // figure's rb-tree size so quick-scale runs shrink with the rest of
+    // the figures; `sized` floors at the structure's minimum.
+    let divisor = (100_000 / params.rbtree_nodes.max(1)).max(1);
+    let size = scenario.sized(divisor);
+    let mut rows = Vec::new();
+    for policy in policies {
+        for base in base_specs {
+            for &threads in &params.thread_counts {
+                let spec = base.clone().retry(policy.clone());
+                let result = scenario.run_spec(
+                    &spec,
+                    size,
+                    &DriverOpts::timed_mix(threads, OpMix::read_update(0), params.duration),
+                );
+                rows.push(RetryAblationRow {
+                    policy: policy.clone(),
+                    algo: base.algo(),
+                    result,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// **Ablation A3**: the cost of the fallback cascade.  The hash table is run
 /// under RH1 Mixed 100 with progressively smaller hardware capacities, so
 /// transactions are pushed from the fast-path to the mixed slow-path, the
@@ -629,6 +718,48 @@ mod tests {
                 "{}: spec label must carry the swept policy",
                 row.result.spec
             );
+        }
+    }
+
+    #[test]
+    fn retry2_ablation_runs_the_phased_scenario_per_policy() {
+        let p = tiny_params();
+        let policies = vec![
+            RetryPolicyHandle::paper_default(),
+            RetryPolicyHandle::circuit_breaker(),
+        ];
+        let rows = ablation_retry2_policies(&p, &policies);
+        // policies × 3 algorithms × thread counts
+        assert_eq!(rows.len(), policies.len() * 3 * p.thread_counts.len());
+        for row in &rows {
+            assert!(
+                row.result.stats.commits() > 0,
+                "{} × {:?} produced no commits",
+                row.policy.label(),
+                row.algo
+            );
+            assert!(
+                row.result.spec.ends_with(row.policy.label()),
+                "{}: spec label must carry the swept policy",
+                row.result.spec
+            );
+            // The flash-crowd scenario drives the workload name.
+            assert!(
+                row.result.workload.contains("skiplist"),
+                "unexpected workload {}",
+                row.result.workload
+            );
+        }
+        // The always-on metrics stay internally consistent: every circuit
+        // close requires a preceding open and an admitted probe, and only
+        // the breaker rows may report circuit transitions at all.
+        for row in &rows {
+            let m = &row.result.stats.retry;
+            assert!(m.circuit_closes <= m.circuit_opens, "{}", row.result.spec);
+            assert!(m.circuit_closes <= m.circuit_probes, "{}", row.result.spec);
+            if row.policy.label() != "cb" {
+                assert_eq!(m.circuit_opens, 0, "{}", row.result.spec);
+            }
         }
     }
 

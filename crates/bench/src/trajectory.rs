@@ -20,6 +20,7 @@
 
 use std::time::Duration;
 
+use rhtm_htm::HtmConfig;
 use rhtm_workloads::{AlgoKind, DriverOpts, OpMix, Scenario, TmSpec};
 
 /// Escapes a string as a JSON string literal (the workspace builds
@@ -65,6 +66,47 @@ pub const CANONICAL_SCENARIOS: [&str; 7] = [
 /// The canonical spec axis: the three software commit paths the speed pass
 /// touches (TL2 engine, RH1 mixed slow-path, RH2 slow-path).
 pub const CANONICAL_ALGOS: [AlgoKind; 3] = [AlgoKind::Tl2, AlgoKind::Rh1Mixed(100), AlgoKind::Rh2];
+
+/// Retry 2.0 probe points appended to every trajectory run:
+/// `(scenario, spec label, threads)`.
+///
+/// The phased flash-crowd skiplist is run under the paper-default pacing
+/// policy and under the circuit breaker, on RH1 Mixed 10 (which retries
+/// contention aborts in hardware 90% of the time — the load shape the
+/// breaker was built to shed).  The pairs document the breaker's win in
+/// the committed `BENCH_<n>.json`; `bench_compare` gates only on points
+/// present in the *baseline* document, so the probes ride along without
+/// widening the regression gate retroactively.
+pub const RETRY2_PROBES: [(&str, &str, usize); 4] = [
+    (
+        "skiplist-flash-crowd",
+        "rh1-mixed-10+gv-strict+paper-default",
+        2,
+    ),
+    ("skiplist-flash-crowd", "rh1-mixed-10+gv-strict+cb", 2),
+    (
+        "skiplist-flash-crowd",
+        "rh1-mixed-10+gv-strict+paper-default",
+        4,
+    ),
+    ("skiplist-flash-crowd", "rh1-mixed-10+gv-strict+cb", 4),
+];
+
+/// The HTM shape the probe points run under: the paper's §3.1 abort-ratio
+/// emulation, forcing aborts onto the hardware fast path so the flash
+/// crowd produces the storm the breaker exists for.  Genuine conflicts on
+/// a small (or single-core, time-sliced) CI host are far too rare to
+/// separate the two pacing policies; the injected ratios make the probe
+/// pairs meaningful anywhere.  Probe points are only ever compared
+/// probe-vs-probe (both sides of a pair share this shape), never against
+/// the canonical uninjected points.
+pub fn retry2_probe_htm() -> HtmConfig {
+    HtmConfig {
+        forced_abort_ratio: 0.4,
+        spurious_abort_rate: 0.25,
+        ..HtmConfig::default()
+    }
+}
 
 /// Parameters of one trajectory run.
 #[derive(Clone, Debug)]
@@ -126,36 +168,45 @@ pub fn run_trajectory(
     params: &TrajectoryParams,
     mut progress: impl FnMut(&str, &str),
 ) -> Vec<TrajectoryPoint> {
-    let mut points = Vec::new();
-    for name in CANONICAL_SCENARIOS {
+    let run_point = |name: &str, spec: &TmSpec, threads: usize| -> TrajectoryPoint {
         let scenario = Scenario::find(name)
             .unwrap_or_else(|| panic!("canonical scenario '{name}' missing from the registry"));
         let size = scenario.sized(params.size_divisor);
+        let opts = DriverOpts::timed_mix(threads, OpMix::read_update(0), params.duration)
+            .with_seed(params.seed);
+        let mut reps: Vec<(f64, u64, u64)> = (0..params.reps.max(1))
+            .map(|_| {
+                let r = scenario.run_spec(spec, size, &opts);
+                (r.throughput(), r.stats.commits(), r.stats.aborts())
+            })
+            .collect();
+        reps.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let median = reps[reps.len() / 2];
+        TrajectoryPoint {
+            scenario: name.to_string(),
+            spec: spec.label(),
+            threads,
+            median_ops_per_sec: median.0,
+            max_ops_per_sec: reps.last().unwrap().0,
+            min_ops_per_sec: reps[0].0,
+            commits: median.1,
+            aborts: median.2,
+        }
+    };
+    let mut points = Vec::new();
+    for name in CANONICAL_SCENARIOS {
         for kind in CANONICAL_ALGOS {
             let spec = TmSpec::new(kind);
             progress(name, &spec.label());
-            let opts =
-                DriverOpts::timed_mix(params.threads, OpMix::read_update(0), params.duration)
-                    .with_seed(params.seed);
-            let mut reps: Vec<(f64, u64, u64)> = (0..params.reps.max(1))
-                .map(|_| {
-                    let r = scenario.run_spec(&spec, size, &opts);
-                    (r.throughput(), r.stats.commits(), r.stats.aborts())
-                })
-                .collect();
-            reps.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let median = reps[reps.len() / 2];
-            points.push(TrajectoryPoint {
-                scenario: name.to_string(),
-                spec: spec.label(),
-                threads: params.threads,
-                median_ops_per_sec: median.0,
-                max_ops_per_sec: reps.last().unwrap().0,
-                min_ops_per_sec: reps[0].0,
-                commits: median.1,
-                aborts: median.2,
-            });
+            points.push(run_point(name, &spec, params.threads));
         }
+    }
+    for (name, label, threads) in RETRY2_PROBES {
+        let spec = TmSpec::parse(label)
+            .unwrap_or_else(|| panic!("retry2 probe spec '{label}' failed to parse"))
+            .htm(retry2_probe_htm());
+        progress(name, label);
+        points.push(run_point(name, &spec, threads));
     }
     points
 }
@@ -698,6 +749,15 @@ mod tests {
                 CANONICAL_SCENARIOS.contains(&probe),
                 "probe {probe} not in the canonical subset"
             );
+        }
+        for (scenario, label, threads) in RETRY2_PROBES {
+            assert!(
+                Scenario::find(scenario).is_some(),
+                "missing probe scenario {scenario}"
+            );
+            let spec = TmSpec::parse(label).expect(label);
+            assert_eq!(spec.label(), label, "probe labels must be canonical");
+            assert!(threads >= 2, "the probes need contention to be meaningful");
         }
     }
 

@@ -132,9 +132,11 @@ impl TmRuntime for RhRuntime {
             self.config.seed ^ ((token.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
         );
         let policy_wants_fallback = self.config.retry_policy.wants_fallback_snapshot();
+        let policy_wants_commit = self.config.retry_policy.wants_commit_hook();
         RhThread {
             fallback: FallbackState::new(&self.sim),
             policy_wants_fallback,
+            policy_wants_commit,
             sim: Arc::clone(&self.sim),
             htm,
             token,
@@ -206,6 +208,9 @@ pub struct RhThread {
     /// policies that ignore the cascade state (the default) cost no
     /// shared-counter reads on the abort path.
     policy_wants_fallback: bool,
+    /// Cached [`rhtm_api::RetryPolicy::wants_commit_hook`], so stateless
+    /// policies (the default) cost nothing on the commit fast path.
+    policy_wants_commit: bool,
 }
 
 impl RhThread {
@@ -319,7 +324,9 @@ impl RhThread {
             fallback_rh2,
             fallback_all_software,
         };
-        self.config.retry_policy.decide_clamped(&ctx, &mut self.rng)
+        self.config
+            .retry_policy
+            .decide_clamped_observed(&ctx, &mut self.rng, &mut self.stats.retry)
     }
 
     /// The fallback counters as the policy context wants them: real
@@ -357,7 +364,9 @@ impl RhThread {
             fallback_rh2,
             fallback_all_software,
         };
-        self.config.retry_policy.decide_clamped(&ctx, &mut self.rng)
+        self.config
+            .retry_policy
+            .decide_clamped_observed(&ctx, &mut self.rng, &mut self.stats.retry)
     }
 }
 
@@ -425,6 +434,11 @@ impl TmThread for RhThread {
             match attempt {
                 Ok((r, kind)) => {
                     self.stats.record_commit(kind);
+                    if self.policy_wants_commit {
+                        self.config
+                            .retry_policy
+                            .on_commit(kind == PathKind::HardwareFast, &mut self.stats.retry);
+                    }
                     break r;
                 }
                 Err(abort) => {

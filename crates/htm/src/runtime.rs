@@ -112,10 +112,12 @@ impl TmRuntime for HtmRuntime {
         let token = self.registry.register();
         let htm = HtmThread::new(Arc::clone(&self.sim), token.id() as u64);
         let rng = RetryRng::new(0x4854_4d52 ^ (token.id() as u64 + 1) << 21);
+        let policy_wants_commit = self.config.retry_policy.wants_commit_hook();
         HtmRuntimeThread {
             htm,
             token,
             policy: self.config.retry_policy.clone(),
+            policy_wants_commit,
             stats: TxStats::new(false),
             in_txn: false,
             rng,
@@ -128,6 +130,8 @@ pub struct HtmRuntimeThread {
     htm: HtmThread,
     token: ThreadToken,
     policy: RetryPolicyHandle,
+    /// Cached [`rhtm_api::RetryPolicy::wants_commit_hook`] answer.
+    policy_wants_commit: bool,
     stats: TxStats,
     in_txn: bool,
     /// Per-thread RNG feeding the retry policy (backoff jitter).
@@ -185,6 +189,9 @@ impl TmThread for HtmRuntimeThread {
                 Ok(r) => {
                     self.stats.htm_commits += 1;
                     self.stats.record_commit(PathKind::HardwareFast);
+                    if self.policy_wants_commit {
+                        self.policy.on_commit(true, &mut self.stats.retry);
+                    }
                     break r;
                 }
                 Err(abort) => {
@@ -202,7 +209,11 @@ impl TmThread for HtmRuntimeThread {
                         fallback_rh2: 0,
                         fallback_all_software: 0,
                     };
-                    match self.policy.decide_clamped(&ctx, &mut self.rng) {
+                    match self.policy.decide_clamped_observed(
+                        &ctx,
+                        &mut self.rng,
+                        &mut self.stats.retry,
+                    ) {
                         RetryDecision::BackoffThen(spins) => retry::spin(spins),
                         _ => backoff.snooze(),
                     }

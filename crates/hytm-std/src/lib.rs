@@ -151,12 +151,14 @@ impl TmRuntime for StdHytmRuntime {
         let htm = HtmThread::new(Arc::clone(&self.sim), token.id() as u64);
         let tl2 = Tl2Engine::new(Arc::clone(&self.sim), token.id());
         let rng = RetryRng::new(0x5354_4459_544d ^ (token.id() as u64 + 1) << 17);
+        let policy_wants_commit = self.config.retry_policy.wants_commit_hook();
         StdHytmThread {
             sim: Arc::clone(&self.sim),
             htm,
             tl2,
             token,
             config: self.config.clone(),
+            policy_wants_commit,
             stats: TxStats::new(false),
             on_hardware: true,
             next_ver: 0,
@@ -173,6 +175,8 @@ pub struct StdHytmThread {
     tl2: Tl2Engine,
     token: ThreadToken,
     config: StdHytmConfig,
+    /// Cached [`rhtm_api::RetryPolicy::wants_commit_hook`] answer.
+    policy_wants_commit: bool,
     stats: TxStats,
     /// Whether the attempt in progress runs on the hardware path.
     on_hardware: bool,
@@ -298,6 +302,11 @@ impl TmThread for StdHytmThread {
                     } else {
                         self.stats.record_commit(PathKind::Software);
                     }
+                    if self.policy_wants_commit {
+                        self.config
+                            .retry_policy
+                            .on_commit(self.on_hardware, &mut self.stats.retry);
+                    }
                     break r;
                 }
                 Err(abort) => {
@@ -322,7 +331,11 @@ impl TmThread for StdHytmThread {
                         fallback_rh2: 0,
                         fallback_all_software: 0,
                     };
-                    let decision = self.config.retry_policy.decide_clamped(&ctx, &mut self.rng);
+                    let decision = self.config.retry_policy.decide_clamped_observed(
+                        &ctx,
+                        &mut self.rng,
+                        &mut self.stats.retry,
+                    );
                     if self.on_hardware {
                         // `hardware_only` is a contract: a contention
                         // demote from a budget-ignoring policy is dropped;

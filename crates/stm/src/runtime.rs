@@ -99,10 +99,12 @@ impl TmRuntime for Tl2Runtime {
         let token = self.registry.register();
         let engine = Tl2Engine::new(Arc::clone(&self.sim), token.id());
         let rng = RetryRng::new(0x544c_3252 ^ (token.id() as u64 + 1) << 19);
+        let policy_wants_commit = self.config.retry_policy.wants_commit_hook();
         Tl2Thread {
             engine,
             token,
             policy: self.config.retry_policy.clone(),
+            policy_wants_commit,
             stats: TxStats::new(false),
             in_txn: false,
             rng,
@@ -115,6 +117,8 @@ pub struct Tl2Thread {
     engine: Tl2Engine,
     token: ThreadToken,
     policy: RetryPolicyHandle,
+    /// Cached [`rhtm_api::RetryPolicy::wants_commit_hook`] answer.
+    policy_wants_commit: bool,
     stats: TxStats,
     in_txn: bool,
     /// Per-thread RNG feeding the retry policy (backoff jitter).
@@ -172,6 +176,9 @@ impl TmThread for Tl2Thread {
             match outcome {
                 Ok(r) => {
                     self.stats.record_commit(PathKind::Software);
+                    if self.policy_wants_commit {
+                        self.policy.on_commit(false, &mut self.stats.retry);
+                    }
                     break r;
                 }
                 Err(abort) => {
@@ -192,7 +199,11 @@ impl TmThread for Tl2Thread {
                         fallback_rh2: 0,
                         fallback_all_software: 0,
                     };
-                    match self.policy.decide_clamped(&ctx, &mut self.rng) {
+                    match self.policy.decide_clamped_observed(
+                        &ctx,
+                        &mut self.rng,
+                        &mut self.stats.retry,
+                    ) {
                         RetryDecision::BackoffThen(spins) => retry::spin(spins),
                         _ => {
                             if abort.cause == AbortCause::Explicit {

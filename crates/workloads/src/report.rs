@@ -227,6 +227,21 @@ pub(crate) fn result_json(r: &BenchResult) -> String {
     for (cause, n) in r.abort_causes() {
         fields.push(format!("\"aborts_{}\": {n}", cause.json_key()));
     }
+    // Retry 2.0 observability: always emitted (all-zero for runs that never
+    // abort) so downstream schema checks can rely on the fields existing.
+    let m = &r.stats.retry;
+    fields.push(format!(
+        "\"retry_metrics\": {{\"retry_here\": {}, \"demote\": {}, \"backoff\": {}, \
+         \"circuit_opens\": {}, \"circuit_probes\": {}, \"circuit_closes\": {}, \
+         \"budget_exhausted\": {}}}",
+        m.retry_here,
+        m.demote,
+        m.backoff,
+        m.circuit_opens,
+        m.circuit_probes,
+        m.circuit_closes,
+        m.budget_exhausted
+    ));
     if let Some(b) = &r.breakdown {
         fields.push(format!(
             "\"breakdown_ns\": {{\"read\": {}, \"write\": {}, \"commit\": {}, \"private\": {}, \"intertx\": {}}}",
@@ -467,6 +482,9 @@ mod tests {
             "\"key_dist\": \"uniform\"",
             "\"spec\": \"tl2+gv-strict+paper-default\"",
             "\"seed\": ",
+            "\"retry_metrics\": ",
+            "\"circuit_opens\": 0",
+            "\"budget_exhausted\": 0",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

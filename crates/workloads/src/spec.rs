@@ -49,6 +49,7 @@
 //!        | "rh1-slow" | "rh2" | "global-lock"          (N = 0..=100)
 //! clock := "gv-strict" | "gv4" | "gv5" | "gv6" | "incrementing"
 //! policy:= "paper-default" | "capped-exp" | "aggressive" | "adaptive"
+//!        | "full-jitter" | "fib" | "cb" | "budgeted"   (Retry 2.0, PR 8)
 //! ```
 //!
 //! [`TmSpec::label`] always renders the full three-part form

@@ -275,9 +275,18 @@ fn skiplist_freelist_recycling_churn_checks_clean() {
 // ---------------------------------------------------------------------
 
 /// The spec sweep CI's `check-suite` job runs: RH2 on GV6 with adaptive
-/// retries, TL2 on GV5 with capped exponential backoff, and the
-/// standard-HyTM baseline.
-const CHECK_SUITE_SPECS: [&str; 3] = ["rh2+gv6+adaptive", "tl2+gv5+capped-exp", "standard-hytm"];
+/// retries, TL2 on GV5 with capped exponential backoff, the standard-HyTM
+/// baseline, and two Retry 2.0 points — the circuit breaker on the
+/// breaker-sensitive RH1 Mixed 10 configuration and the shared retry
+/// budget on RH2 — so demote-shedding policies are exercised under the
+/// recorded linearizability checkers, not just the throughput driver.
+const CHECK_SUITE_SPECS: [&str; 5] = [
+    "rh2+gv6+adaptive",
+    "tl2+gv5+capped-exp",
+    "standard-hytm",
+    "rh1-mixed-10+gv-strict+cb",
+    "rh2+gv6+budgeted",
+];
 
 #[test]
 fn check_suite_specs_pass_all_recorded_checkers() {

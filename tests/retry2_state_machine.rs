@@ -1,0 +1,321 @@
+//! Retry 2.0 state-machine pack: the circuit breaker's
+//! Closed → Open → HalfOpen transitions and the retry budget's token
+//! arithmetic, locked down deterministically.
+//!
+//! Every test scripts [`AttemptContext`] sequences straight into the
+//! policies — no runtime, no simulated HTM — so each transition fires at
+//! an *exact*, asserted step.  The runtimes' integration with the same
+//! policies is covered by `tests/retry2_phases.rs` and the cross-runtime
+//! packs; this file is the specification of the state machines themselves.
+
+use rhtm_api::{
+    AbortCause, AttemptContext, Budgeted, CircuitBreaker, CircuitBreakerConfig, PathClass,
+    RetryBudget, RetryDecision, RetryMetrics, RetryPolicy, RetryPolicyHandle, RetryRng,
+};
+
+/// A demotable hardware-path context: the only class of decision the
+/// breaker governs.
+fn hw(attempt: u32, cause: AbortCause) -> AttemptContext {
+    AttemptContext {
+        attempt,
+        path: PathClass::Hardware,
+        cause,
+        can_demote: true,
+        retry_budget: u32::MAX,
+        mix_percent: 100,
+        fallback_rh2: 0,
+        fallback_all_software: 0,
+    }
+}
+
+/// A bottom-tier software context (TL2 / RH2 slow-path): nowhere to demote
+/// to, so the universal clamp must keep the thread retrying.
+fn bottom_tier(attempt: u32) -> AttemptContext {
+    AttemptContext {
+        attempt,
+        path: PathClass::Software,
+        cause: AbortCause::Validation,
+        can_demote: false,
+        retry_budget: u32::MAX,
+        mix_percent: 0,
+        fallback_rh2: 0,
+        fallback_all_software: 0,
+    }
+}
+
+/// A breaker whose inner policy always answers `RetryHere` (the
+/// `aggressive` built-in on a conflict context), so every decision the
+/// test observes is the breaker's own.
+fn breaker(open_threshold: u32, probe_interval: u32, close_streak: u32) -> CircuitBreaker {
+    CircuitBreaker::new(
+        &RetryPolicyHandle::aggressive(),
+        CircuitBreakerConfig {
+            open_threshold,
+            probe_interval,
+            close_streak,
+        },
+    )
+}
+
+#[test]
+fn breaker_opens_on_exactly_the_nth_capacity_abort() {
+    let cb = breaker(4, 8, 2);
+    let mut rng = RetryRng::new(1);
+    let mut m = RetryMetrics::default();
+    // Failures 1..=3 stay closed; the 4th consecutive capacity abort opens.
+    for attempt in 1..=3u32 {
+        cb.decide_observed(&hw(attempt, AbortCause::Capacity), &mut rng, &mut m);
+        assert_eq!(
+            cb.state_label(),
+            "closed",
+            "failure {attempt} must not open"
+        );
+        assert_eq!(m.circuit_opens, 0);
+    }
+    let opened = cb.decide_observed(&hw(4, AbortCause::Capacity), &mut rng, &mut m);
+    assert_eq!(opened, RetryDecision::Demote);
+    assert_eq!(cb.state_label(), "open");
+    assert_eq!(m.circuit_opens, 1);
+}
+
+#[test]
+fn breaker_counts_conflict_and_capacity_failures_alike() {
+    let cb = breaker(3, 8, 1);
+    let mut rng = RetryRng::new(2);
+    let mut m = RetryMetrics::default();
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m);
+    cb.decide_observed(&hw(2, AbortCause::Capacity), &mut rng, &mut m);
+    assert_eq!(cb.state_label(), "closed");
+    cb.decide_observed(&hw(3, AbortCause::Conflict), &mut rng, &mut m);
+    assert_eq!(
+        cb.state_label(),
+        "open",
+        "mixed causes still open the circuit"
+    );
+}
+
+#[test]
+fn open_breaker_demotes_until_the_probe_interval_elapses() {
+    let cb = breaker(1, 3, 1);
+    let mut rng = RetryRng::new(3);
+    let mut m = RetryMetrics::default();
+    // First failure opens immediately (threshold 1).
+    assert_eq!(
+        cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m),
+        RetryDecision::Demote
+    );
+    assert_eq!(cb.state_label(), "open");
+    // Open decisions 1 and 2 are shed demotions; the 3rd admits the probe.
+    for i in 1..=2u32 {
+        assert_eq!(
+            cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m),
+            RetryDecision::Demote,
+            "open decision {i} must shed"
+        );
+        assert_eq!(cb.state_label(), "open");
+        assert_eq!(m.circuit_probes, 0);
+    }
+    assert_eq!(
+        cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m),
+        RetryDecision::RetryHere,
+        "the probe re-admits one hardware attempt"
+    );
+    assert_eq!(cb.state_label(), "half-open");
+    assert_eq!(m.circuit_probes, 1);
+}
+
+#[test]
+fn half_open_closes_after_the_commit_streak() {
+    let cb = breaker(1, 1, 2);
+    let mut rng = RetryRng::new(4);
+    let mut m = RetryMetrics::default();
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m); // opens
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m); // probe
+    assert_eq!(cb.state_label(), "half-open");
+    // One hardware commit is not enough for close_streak = 2...
+    cb.on_commit(true, &mut m);
+    assert_eq!(cb.state_label(), "half-open");
+    assert_eq!(m.circuit_closes, 0);
+    // ...the second closes.
+    cb.on_commit(true, &mut m);
+    assert_eq!(cb.state_label(), "closed");
+    assert_eq!(m.circuit_closes, 1);
+}
+
+#[test]
+fn half_open_probe_failure_reopens_and_restarts_the_interval() {
+    let cb = breaker(1, 2, 1);
+    let mut rng = RetryRng::new(5);
+    let mut m = RetryMetrics::default();
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m); // opens
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m); // shed 1
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m); // probe
+    assert_eq!(cb.state_label(), "half-open");
+    // The probe aborts: back to open, counted as a fresh opening, and the
+    // probe interval restarts from zero (2 more sheds before the next probe).
+    assert_eq!(
+        cb.decide_observed(&hw(2, AbortCause::Conflict), &mut rng, &mut m),
+        RetryDecision::Demote
+    );
+    assert_eq!(cb.state_label(), "open");
+    assert_eq!(m.circuit_opens, 2);
+    assert_eq!(
+        cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m),
+        RetryDecision::Demote,
+        "interval restarted: first post-reopen decision sheds"
+    );
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m);
+    assert_eq!(
+        cb.state_label(),
+        "half-open",
+        "second probe admitted on schedule"
+    );
+    assert_eq!(m.circuit_probes, 2);
+}
+
+#[test]
+fn software_commits_do_not_close_a_half_open_breaker() {
+    let cb = breaker(1, 1, 1);
+    let mut rng = RetryRng::new(6);
+    let mut m = RetryMetrics::default();
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m); // opens
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m); // probe
+    assert_eq!(cb.state_label(), "half-open");
+    // The demoted siblings keep committing in software; that says nothing
+    // about hardware viability, so the circuit must not close.
+    for _ in 0..5 {
+        cb.on_commit(false, &mut m);
+    }
+    assert_eq!(cb.state_label(), "half-open");
+    assert_eq!(m.circuit_closes, 0);
+    cb.on_commit(true, &mut m);
+    assert_eq!(cb.state_label(), "closed");
+}
+
+#[test]
+fn breaker_state_is_per_thread() {
+    let cb = std::sync::Arc::new(breaker(1, 8, 1));
+    let mut rng = RetryRng::new(7);
+    let mut m = RetryMetrics::default();
+    cb.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m);
+    assert_eq!(cb.state_label(), "open");
+    // Another thread sharing the same policy instance starts closed.
+    let other = std::sync::Arc::clone(&cb);
+    let other_label = std::thread::spawn(move || {
+        let label = other.state_label();
+        let mut rng = RetryRng::new(8);
+        let mut m = RetryMetrics::default();
+        other.decide_observed(&hw(1, AbortCause::Conflict), &mut rng, &mut m);
+        (label, other.state_label())
+    })
+    .join()
+    .unwrap();
+    assert_eq!(
+        other_label,
+        ("closed", "open"),
+        "fresh thread, fresh circuit"
+    );
+    // ...and this thread's circuit was untouched by the other's trip.
+    assert_eq!(cb.state_label(), "open");
+}
+
+#[test]
+fn token_bucket_drain_and_refill_arithmetic_is_exact() {
+    let bucket = RetryBudget::new(3, 2);
+    assert_eq!((bucket.capacity(), bucket.refill_per_commit()), (3, 2));
+    assert_eq!(bucket.tokens(), 3, "a bucket starts full");
+    assert!(bucket.try_drain());
+    assert!(bucket.try_drain());
+    assert!(bucket.try_drain());
+    assert_eq!(bucket.tokens(), 0);
+    assert!(!bucket.try_drain(), "an empty bucket refuses");
+    assert_eq!(bucket.tokens(), 0, "a refused drain takes nothing");
+    bucket.refill();
+    assert_eq!(bucket.tokens(), 2);
+    bucket.refill();
+    assert_eq!(bucket.tokens(), 3, "refill saturates at capacity");
+    bucket.refill();
+    assert_eq!(bucket.tokens(), 3);
+}
+
+#[test]
+fn budget_exhaustion_demotes_and_is_counted() {
+    let b = Budgeted::new(&RetryPolicyHandle::aggressive(), RetryBudget::new(1, 1));
+    let mut rng = RetryRng::new(9);
+    let mut m = RetryMetrics::default();
+    let ctx = hw(1, AbortCause::Conflict);
+    assert_eq!(
+        b.decide_observed(&ctx, &mut rng, &mut m),
+        RetryDecision::RetryHere,
+        "the last token buys a retry"
+    );
+    assert_eq!(b.budget().tokens(), 0);
+    assert_eq!(
+        b.decide_observed(&ctx, &mut rng, &mut m),
+        RetryDecision::Demote,
+        "exhaustion sheds the retry into a demotion"
+    );
+    assert_eq!(m.budget_exhausted, 1);
+}
+
+#[test]
+fn inner_demotes_do_not_pay_tokens() {
+    // PaperDefault demotes a capacity abort on its own; the bucket must
+    // not be charged for a retry that was never granted.
+    let b = Budgeted::new(&RetryPolicyHandle::paper_default(), RetryBudget::new(4, 1));
+    let mut rng = RetryRng::new(10);
+    let mut m = RetryMetrics::default();
+    assert_eq!(
+        b.decide_observed(&hw(1, AbortCause::Capacity), &mut rng, &mut m),
+        RetryDecision::Demote
+    );
+    assert_eq!(b.budget().tokens(), 4, "a pass-through demote is free");
+    assert_eq!(m.budget_exhausted, 0);
+}
+
+#[test]
+fn exhausted_budget_never_deadlocks_a_bottom_tier_thread() {
+    // A solo TL2 thread (or the RH2 slow path) has nowhere to demote to.
+    // The handle's clamped decision path must turn the exhaustion-demote
+    // back into RetryHere — forever — or a single validation-aborting
+    // thread would spin on Demote with no tier below it.
+    let handle = RetryPolicyHandle::new(Budgeted::new(
+        &RetryPolicyHandle::aggressive(),
+        RetryBudget::new(0, 1),
+    ));
+    let mut rng = RetryRng::new(11);
+    let mut m = RetryMetrics::default();
+    for attempt in 1..=50u32 {
+        assert_eq!(
+            handle.decide_clamped_observed(&bottom_tier(attempt), &mut rng, &mut m),
+            RetryDecision::RetryHere,
+            "attempt {attempt}: the clamp must keep a bottom-tier thread alive"
+        );
+    }
+    assert_eq!(m.budget_exhausted, 50, "every shed is still observed");
+    assert_eq!(m.retry_here, 50, "...and lands as a clamped retry");
+    assert_eq!(m.demote, 0);
+}
+
+#[test]
+fn clamped_observation_splits_decisions_by_outcome() {
+    // One scripted storm through the handle's observed path: the decision
+    // counters must partition exactly (retry_here + demote + backoff ==
+    // decisions()) and the cause histogram must follow the script.
+    let handle = RetryPolicyHandle::circuit_breaker(); // opens after 4
+    let mut rng = RetryRng::new(12);
+    let mut m = RetryMetrics::default();
+    for attempt in 1..=10u32 {
+        handle.decide_clamped_observed(&hw(attempt, AbortCause::Conflict), &mut rng, &mut m);
+    }
+    assert_eq!(m.decisions(), 10);
+    assert_eq!(
+        m.retry_here + m.demote + m.backoff,
+        m.decisions(),
+        "outcome counters partition the decisions"
+    );
+    assert_eq!(m.cause_count(AbortCause::Conflict), 10);
+    assert_eq!(m.cause_count(AbortCause::Capacity), 0);
+    assert_eq!(m.circuit_opens, 1, "the storm tripped the breaker once");
+    assert!(m.demote >= 1, "post-open decisions shed");
+}

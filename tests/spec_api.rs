@@ -86,8 +86,9 @@ fn every_spec_label_round_trips_bit_identically() {
             }
         }
     }
-    // (7 fixed + 101 mixed) kinds × 5 schemes × 4 policies.
-    assert_eq!(checked, 108 * 5 * 4);
+    // (7 fixed + 101 mixed) kinds × 5 schemes × 8 policies (the PR-2 four
+    // plus the Retry 2.0 full-jitter/fib/cb/budgeted slugs).
+    assert_eq!(checked, 108 * 5 * 8);
 }
 
 #[test]
@@ -126,6 +127,17 @@ fn near_miss_labels_are_rejected_not_defaulted() {
         "",
         "+",
         "gv5+tl2", // axis in algorithm position
+        // Retry 2.0 slug near-misses.
+        "rh2+cbb",
+        "rh2+c-b",
+        "rh2+circuit-breaker",
+        "rh2+budget",
+        "rh2+budgetted",
+        "rh2+full-jitter-",
+        "rh2+fulljitter",
+        "rh2+fibb",
+        "rh2+fibonacci",
+        "rh2+cb+budgeted", // two policies in one label
     ] {
         assert!(TmSpec::parse(bad).is_none(), "{bad:?} must be rejected");
         assert!(
@@ -142,7 +154,8 @@ fn near_miss_labels_are_rejected_not_defaulted() {
         let kinds = every_algo();
         let kind = kinds[rng.below(kinds.len() as u64) as usize];
         let scheme = ClockScheme::ALL[rng.below(5) as usize];
-        let policy = &RetryPolicyHandle::builtin()[rng.below(4) as usize];
+        let policies = RetryPolicyHandle::builtin();
+        let policy = &policies[rng.below(policies.len() as u64) as usize];
         let label = TmSpec::new(kind)
             .clock(scheme)
             .retry(policy.clone())
