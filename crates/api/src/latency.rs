@@ -1,0 +1,343 @@
+//! A mergeable HDR-style latency histogram for open-loop load generation.
+//!
+//! Closed-loop benchmarking reports throughput means; a service judged on
+//! tail latency needs the full distribution, recorded cheaply on the
+//! request path and merged across worker threads afterwards — the same
+//! per-thread-then-merge shape as [`TxStats`](crate::TxStats).
+//!
+//! The histogram is **log-bucketed with linear sub-buckets** (the HdrHistogram
+//! layout): values below [`SUB_BUCKETS`] are recorded exactly; above that,
+//! each power-of-two range is split into [`SUB_BUCKETS`] equal sub-buckets,
+//! so the relative quantization error is bounded by `1/SUB_BUCKETS`
+//! (~3.1%) at every magnitude while the whole table stays a flat array of
+//! `u64` counters — constant-time record, alloc-free after construction.
+//!
+//! Quantile queries return the **upper bound** of the bucket holding the
+//! requested rank, so a reported quantile never understates the true
+//! sample quantile and overstates it by at most the bucket width (the
+//! property the fuzz tests pin down).
+
+/// Linear sub-buckets per power-of-two range (32 → ≤3.1% relative error).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// `log2(SUB_BUCKETS)`.
+const SUB_BITS: u32 = 5;
+
+/// Power-of-two groups needed to cover the full `u64` range: group 0 is
+/// the exact range `[0, SUB_BUCKETS)`, group `g ≥ 1` covers
+/// `[SUB_BUCKETS << (g-1), SUB_BUCKETS << g)`.
+const GROUPS: usize = (64 - SUB_BITS as usize) + 1;
+
+/// Total counter slots.
+const BUCKETS: usize = GROUPS * SUB_BUCKETS as usize;
+
+/// A log-bucketed latency histogram (values are nanoseconds by
+/// convention, but any `u64` magnitude works).
+///
+/// Per-thread instances are recorded into without synchronisation and
+/// [merged](LatencyHistogram::merge) afterwards; merging is element-wise
+/// and therefore associative and commutative, so any merge tree gives the
+/// same result.
+///
+/// ```
+/// use rhtm_api::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in [100, 200, 300, 400, 500] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// let p50 = h.value_at_quantile(0.5);
+/// assert!((300..=310).contains(&p50)); // ≤ 1/32 above the true median
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// The flat bucket index of `value`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            value as usize
+        } else {
+            let msb = 63 - value.leading_zeros() as u64;
+            let group = msb - SUB_BITS as u64 + 1;
+            let sub = (value >> (group - 1)) - SUB_BUCKETS;
+            (group * SUB_BUCKETS + sub) as usize
+        }
+    }
+
+    /// The inclusive `[low, high]` value range of bucket `index` — every
+    /// value in the range maps back to `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        let group = index as u64 / SUB_BUCKETS;
+        let sub = index as u64 % SUB_BUCKETS;
+        if group == 0 {
+            (sub, sub)
+        } else {
+            let width = 1u64 << (group - 1);
+            let low = (SUB_BUCKETS + sub) << (group - 1);
+            (low, low + (width - 1))
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded so far (including via merges).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded value, exact (not bucket-quantized); 0 when
+    /// empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds `other` into `self` (element-wise counter addition:
+    /// associative and commutative, so worker histograms can be merged in
+    /// any order or tree shape).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): the upper bound of
+    /// the bucket containing the rank-`⌈q·count⌉` observation, so the
+    /// result is `≥` the true sample quantile and exceeds it by less than
+    /// the bucket width (relative error `≤ 1/`[`SUB_BUCKETS`]).  Returns 0
+    /// for an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, high) = Self::bucket_bounds(i);
+                // The true maximum is exact, so never report past it.
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for the p50/p90/p99/p99.9 tail summary the benchmark
+    /// reports emit.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+            p999: self.value_at_quantile(0.999),
+            max: self.max,
+        }
+    }
+}
+
+/// The fixed percentile set reported by the benchmark JSON (see
+/// `docs/BENCHMARKS.md`, "bench_kv").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Observations behind the summary.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A self-contained splitmix64 (the workspace RNG contract) so the
+    /// fuzz tests below are deterministic without a dev-dependency.
+    struct SplitMix(u64);
+    impl SplitMix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_goldens() {
+        // Group 0: exact singleton buckets.
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(31), 31);
+        assert_eq!(LatencyHistogram::bucket_bounds(0), (0, 0));
+        assert_eq!(LatencyHistogram::bucket_bounds(31), (31, 31));
+        // First log group: width 1 still (values 32..64).
+        assert_eq!(LatencyHistogram::bucket_index(32), 32);
+        assert_eq!(LatencyHistogram::bucket_index(63), 63);
+        assert_eq!(LatencyHistogram::bucket_bounds(32), (32, 32));
+        // Second group: width 2 (values 64..128).
+        assert_eq!(LatencyHistogram::bucket_index(64), 64);
+        assert_eq!(LatencyHistogram::bucket_index(65), 64);
+        assert_eq!(LatencyHistogram::bucket_index(66), 65);
+        assert_eq!(LatencyHistogram::bucket_bounds(64), (64, 65));
+        // A mid-range golden: 1000 = 0b1111101000, msb 9, group 5,
+        // sub = (1000 >> 4) - 32 = 30 → index 5*32 + 30 = 190.
+        assert_eq!(LatencyHistogram::bucket_index(1000), 190);
+        assert_eq!(LatencyHistogram::bucket_bounds(190), (992, 1007));
+        // The extremes stay in range.
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+        let (low, high) = LatencyHistogram::bucket_bounds(BUCKETS - 1);
+        assert!(low < high && high == u64::MAX);
+    }
+
+    #[test]
+    fn bounds_and_index_are_inverse_everywhere() {
+        let mut rng = SplitMix(7);
+        for _ in 0..20_000 {
+            let v = rng.next() >> (rng.next() % 64);
+            let i = LatencyHistogram::bucket_index(v);
+            let (low, high) = LatencyHistogram::bucket_bounds(i);
+            assert!(
+                low <= v && v <= high,
+                "value {v} outside its bucket {i} [{low}, {high}]"
+            );
+            assert_eq!(LatencyHistogram::bucket_index(low), i);
+            assert_eq!(LatencyHistogram::bucket_index(high), i);
+            // Relative bucket width is bounded by 1/SUB_BUCKETS.
+            assert!(high - low <= low.max(1) / SUB_BUCKETS + 1);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut rng = SplitMix(42);
+        let parts: Vec<LatencyHistogram> = (0..4)
+            .map(|_| {
+                let mut h = LatencyHistogram::new();
+                for _ in 0..500 {
+                    h.record(rng.next() >> (rng.next() % 50));
+                }
+                h
+            })
+            .collect();
+        // ((a+b)+c)+d
+        let mut left = parts[0].clone();
+        for p in &parts[1..] {
+            left.merge(p);
+        }
+        // a+((b+c)+d), built right-to-left
+        let mut right = parts[3].clone();
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        bc.merge(&right);
+        right = parts[0].clone();
+        right.merge(&bc);
+        // d+c+b+a (reversed order)
+        let mut rev = parts[3].clone();
+        for p in parts[..3].iter().rev() {
+            rev.merge(p);
+        }
+        for h in [&right, &rev] {
+            assert_eq!(left.count(), h.count());
+            assert_eq!(left.max(), h.max());
+            assert_eq!(left.counts, h.counts);
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                assert_eq!(left.value_at_quantile(q), h.value_at_quantile(q));
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_quantiles_bound_the_true_sample_quantiles() {
+        for seed in 0..8u64 {
+            let mut rng = SplitMix(seed);
+            let n = 200 + (rng.next() % 4000) as usize;
+            let mut h = LatencyHistogram::new();
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Mix magnitudes: shift by a random amount so every group
+                // gets traffic.
+                let v = rng.next() >> (rng.next() % 60);
+                samples.push(v);
+                h.record(v);
+            }
+            samples.sort_unstable();
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let truth = samples[rank - 1];
+                let reported = h.value_at_quantile(q);
+                assert!(
+                    reported >= truth,
+                    "seed {seed} q {q}: reported {reported} < true {truth}"
+                );
+                // Upper bound: within one bucket width of the truth.
+                let (low, high) =
+                    LatencyHistogram::bucket_bounds(LatencyHistogram::bucket_index(truth));
+                assert!(
+                    reported <= high,
+                    "seed {seed} q {q}: reported {reported} above bucket \
+                     [{low}, {high}] of true {truth}"
+                );
+            }
+            assert_eq!(h.value_at_quantile(1.0), *samples.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.summary().p999, 0);
+        let mut h = LatencyHistogram::new();
+        h.record(777);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.value_at_quantile(q), 777.min(h.max()));
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.max), (1, 777));
+    }
+}

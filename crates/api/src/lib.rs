@@ -59,6 +59,7 @@
 pub mod abort;
 pub mod backoff;
 pub mod dynamic;
+pub mod latency;
 pub mod retry;
 pub mod retry2;
 pub mod session;
@@ -70,6 +71,7 @@ pub mod typed;
 pub use abort::{Abort, AbortCause, TxResult};
 pub use backoff::Backoff;
 pub use dynamic::{DynRuntime, DynThread, DynThreadExt, DynTxn};
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use retry::{
     AttemptContext, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle, RetryRng,
 };

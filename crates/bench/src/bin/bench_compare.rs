@@ -24,8 +24,8 @@
 //! See `docs/BENCHMARKS.md`, "Perf trajectory".
 
 use rhtm_bench::trajectory::{
-    self, compare_trajectories, parse_full_trajectory, parse_trajectory, point_key,
-    OptimizationRow, TrajectoryPoint,
+    self, compare_latencies, compare_trajectories, parse_full_trajectory, parse_trajectory,
+    point_key, OptimizationRow, TrajectoryPoint,
 };
 use rhtm_workloads::TmSpec;
 
@@ -104,7 +104,7 @@ fn main() {
     let mut raw = false;
     let mut mode_check = false;
     let mut mode_merge = false;
-    let mut pr = 7u64;
+    let mut pr = 9u64;
     for arg in &args {
         if arg == "--check" {
             mode_check = true;
@@ -152,6 +152,8 @@ fn main() {
         parse_trajectory(&read(new_path)).unwrap_or_else(|e| fail(format!("{new_path}: {e}")));
     let compared = compare_trajectories(&base, &new, tolerance, !raw)
         .unwrap_or_else(|e| fail(format!("cannot compare: {e}")));
+    let lat_compared = compare_latencies(&base, &new, tolerance, !raw)
+        .unwrap_or_else(|e| fail(format!("cannot compare latencies: {e}")));
 
     println!(
         "{:<58} {:>14} {:>14} {:>8}  verdict",
@@ -169,18 +171,37 @@ fn main() {
         );
         regressions += p.regressed as usize;
     }
+    if !lat_compared.is_empty() {
+        println!(
+            "{:<58} {:>14} {:>14} {:>8}  verdict",
+            "point (p99 latency, ns)", "baseline", "candidate", "ratio"
+        );
+        for p in &lat_compared {
+            println!(
+                "{:<58} {:>14.0} {:>14.0} {:>8.3}  {}",
+                p.key,
+                p.base,
+                p.new,
+                p.ratio,
+                if p.regressed { "REGRESSED" } else { "ok" }
+            );
+            regressions += p.regressed as usize;
+        }
+    }
     let mode = if raw { "raw" } else { "normalized" };
+    let total = compared.len() + lat_compared.len();
     if regressions > 0 {
         eprintln!(
-            "error: {regressions}/{} points regressed past the {:.0}% tolerance ({mode})",
-            compared.len(),
+            "error: {regressions}/{total} points regressed past the {:.0}% tolerance ({mode})",
             tolerance * 100.0
         );
         std::process::exit(1);
     }
     println!(
-        "ok: no point regressed past the {:.0}% tolerance ({mode}, {} points)",
+        "ok: no point regressed past the {:.0}% tolerance ({mode}, {} throughput \
+         + {} latency points)",
         tolerance * 100.0,
-        compared.len()
+        compared.len(),
+        lat_compared.len()
     );
 }

@@ -29,7 +29,7 @@ fn num_arg(arg: &str, prefix: &str) -> Option<u64> {
 
 fn main() {
     let mut params = TrajectoryParams::default();
-    let mut pr = 8u64;
+    let mut pr = 9u64;
     for arg in std::env::args().skip(1) {
         if let Some(v) = num_arg(&arg, "--pr=") {
             pr = v;
@@ -52,7 +52,8 @@ fn main() {
     }
 
     let total = trajectory::CANONICAL_SCENARIOS.len() * trajectory::CANONICAL_ALGOS.len()
-        + trajectory::RETRY2_PROBES.len();
+        + trajectory::RETRY2_PROBES.len()
+        + trajectory::KV_PROBES.len();
     eprintln!(
         "# bench_trajectory: {} points ({} reps x {} ms, {} threads, seed {:#x})",
         total,

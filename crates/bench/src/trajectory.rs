@@ -21,6 +21,7 @@
 use std::time::Duration;
 
 use rhtm_htm::HtmConfig;
+use rhtm_kv::{run_open_loop, KvScenario, LoadOpts};
 use rhtm_workloads::{AlgoKind, DriverOpts, OpMix, Scenario, TmSpec};
 
 /// Escapes a string as a JSON string literal (the workspace builds
@@ -108,6 +109,31 @@ pub fn retry2_probe_htm() -> HtmConfig {
     }
 }
 
+/// Offered-load probe points appended to every trajectory run:
+/// `(KV scenario, shards, offered req/s, spec label)`.
+///
+/// These are **open-loop** points from the `rhtm_kv` sharded service
+/// (Poisson arrivals, one worker, see `docs/BENCHMARKS.md`): the recorded
+/// median is *goodput* at the configured offered rate, and each point
+/// additionally carries the p99 request latency, which `bench_compare`
+/// gates alongside throughput once a baseline document contains it.  The
+/// pairs cover two shard counts at each of two rates — the scaling story
+/// (1 -> 4 shards on single-key traffic) and the cross-shard commit story
+/// (2 -> 4 shards under transfers).
+pub const KV_PROBES: [(&str, usize, u64, &str); 4] = [
+    ("kv-point-ops", 1, 20_000, "tl2+gv-strict+paper-default"),
+    ("kv-point-ops", 4, 20_000, "tl2+gv-strict+paper-default"),
+    ("kv-transfer", 2, 10_000, "rh2+gv-strict+paper-default"),
+    ("kv-transfer", 4, 10_000, "rh2+gv-strict+paper-default"),
+];
+
+/// The synthetic scenario string identifying one KV probe inside a
+/// trajectory document (the probe axes are folded into the name so the
+/// flat [`point_key`] identity keeps working).
+pub fn kv_probe_scenario(name: &str, shards: usize, rate: u64) -> String {
+    format!("{name}[shards={shards},rate={rate},arrival=poisson]")
+}
+
 /// Parameters of one trajectory run.
 #[derive(Clone, Debug)]
 pub struct TrajectoryParams {
@@ -155,6 +181,10 @@ pub struct TrajectoryPoint {
     pub commits: u64,
     /// Aborts of the median repetition.
     pub aborts: u64,
+    /// p99 request latency (ns) of the median repetition — only present
+    /// on open-loop points (the [`KV_PROBES`]); closed-loop points have
+    /// no per-request latency to report.
+    pub p99_ns: Option<u64>,
 }
 
 /// Runs the canonical subset, calling `progress` before each point.
@@ -191,6 +221,7 @@ pub fn run_trajectory(
             min_ops_per_sec: reps[0].0,
             commits: median.1,
             aborts: median.2,
+            p99_ns: None,
         }
     };
     let mut points = Vec::new();
@@ -207,6 +238,47 @@ pub fn run_trajectory(
             .htm(retry2_probe_htm());
         progress(name, label);
         points.push(run_point(name, &spec, threads));
+    }
+    for (name, shards, rate, label) in KV_PROBES {
+        let kv = KvScenario::find(name)
+            .unwrap_or_else(|| panic!("KV probe scenario '{name}' missing from the registry"));
+        let spec = TmSpec::parse(label)
+            .unwrap_or_else(|| panic!("KV probe spec '{label}' failed to parse"));
+        let scenario = kv_probe_scenario(name, shards, rate);
+        progress(&scenario, label);
+        // One worker keeps the plan (and thus the probe) fully
+        // deterministic per seed; the service is rebuilt per repetition
+        // so every rep starts from the seeded state.
+        let workers = 1;
+        let mut reps: Vec<(f64, u64, u64, u64)> = (0..params.reps.max(1))
+            .map(|_| {
+                let service = kv.service(&spec, shards, workers);
+                let opts = LoadOpts::new(rate as f64, params.duration)
+                    .with_workers(workers)
+                    .with_mix(kv.mix)
+                    .with_seed(params.seed);
+                let report = run_open_loop(&service, &opts);
+                (
+                    report.goodput,
+                    report.commits,
+                    report.aborts,
+                    report.latency.value_at_quantile(0.99),
+                )
+            })
+            .collect();
+        reps.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let median = reps[reps.len() / 2];
+        points.push(TrajectoryPoint {
+            scenario,
+            spec: spec.label(),
+            threads: workers,
+            median_ops_per_sec: median.0,
+            max_ops_per_sec: reps.last().unwrap().0,
+            min_ops_per_sec: reps[0].0,
+            commits: median.1,
+            aborts: median.2,
+            p99_ns: Some(median.3),
+        });
     }
     points
 }
@@ -308,6 +380,9 @@ pub fn trajectory_to_json(
             format!("\"commits\": {}", p.commits),
             format!("\"aborts\": {}", p.aborts),
         ];
+        if let Some(p99) = p.p99_ns {
+            fields.push(format!("\"p99_ns\": {p99}"));
+        }
         let key = point_key(&p.scenario, &p.spec, p.threads);
         if let Some((_, b)) = before.iter().find(|(k, _)| *k == key) {
             fields.push(format!("\"before_median_ops_per_sec\": {b:.1}"));
@@ -564,6 +639,9 @@ fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
 pub struct TrajectoryDoc {
     /// `(point key, median ops/s)` per point, in document order.
     pub points: Vec<(String, f64)>,
+    /// `(point key, p99 latency ns)` for the points that carry one (the
+    /// open-loop KV probes; documents from before PR 9 have none).
+    pub lat_points: Vec<(String, f64)>,
 }
 
 /// Parses and schema-checks a trajectory document.
@@ -591,6 +669,7 @@ pub fn parse_trajectory(text: &str) -> Result<TrajectoryDoc, String> {
         return Err("empty \"points\" array".to_string());
     }
     let mut out = Vec::with_capacity(points.len());
+    let mut lat_points = Vec::new();
     for p in points {
         let scenario = p
             .get("scenario")
@@ -613,9 +692,19 @@ pub fn parse_trajectory(text: &str) -> Result<TrajectoryDoc, String> {
                 .and_then(Json::as_num)
                 .ok_or(format!("point missing numeric \"{field}\""))?;
         }
-        out.push((point_key(scenario, spec, threads), median));
+        let key = point_key(scenario, spec, threads);
+        if let Some(p99) = p.get("p99_ns").and_then(Json::as_num) {
+            if p99 <= 0.0 {
+                return Err(format!("point '{key}' has non-positive \"p99_ns\""));
+            }
+            lat_points.push((key.clone(), p99));
+        }
+        out.push((key, median));
     }
-    Ok(TrajectoryDoc { points: out })
+    Ok(TrajectoryDoc {
+        points: out,
+        lat_points,
+    })
 }
 
 /// Parses a trajectory document back into its full run form (parameters
@@ -662,6 +751,7 @@ pub fn parse_full_trajectory(
             max_ops_per_sec: field("max_ops_per_sec")?,
             commits: field("commits")? as u64,
             aborts: field("aborts")? as u64,
+            p99_ns: p.get("p99_ns").and_then(Json::as_num).map(|v| v as u64),
         });
     }
     Ok((params, points))
@@ -729,6 +819,57 @@ pub fn compare_trajectories(
         .collect())
 }
 
+/// Compares the p99 latency of the points that carry one, mirroring
+/// [`compare_trajectories`] with the verdict inverted: latency regresses
+/// *upward*, so a point is flagged when its normalized ratio exceeds
+/// `1 + tolerance`.
+///
+/// Only points present in the **baseline's** `lat_points` are gated (a
+/// candidate must still carry every one of them), so a baseline from
+/// before PR 9 — no `p99_ns` fields anywhere — yields an empty result and
+/// the latency gate passes vacuously.  Normalization uses its own
+/// geometric mean: machine-speed differences shift latency and throughput
+/// by different factors.
+pub fn compare_latencies(
+    base: &TrajectoryDoc,
+    new: &TrajectoryDoc,
+    tolerance: f64,
+    normalize: bool,
+) -> Result<Vec<ComparedPoint>, String> {
+    let mut pairs = Vec::new();
+    for (key, b) in &base.lat_points {
+        let n = new
+            .lat_points
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .ok_or(format!("candidate is missing p99 for point '{key}'"))?;
+        pairs.push((key.clone(), *b, n));
+    }
+    if pairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let scale = if normalize {
+        let log_sum: f64 = pairs.iter().map(|(_, b, n)| (n / b).ln()).sum();
+        (log_sum / pairs.len() as f64).exp()
+    } else {
+        1.0
+    };
+    Ok(pairs
+        .into_iter()
+        .map(|(key, base, new)| {
+            let ratio = (new / base) / scale;
+            ComparedPoint {
+                key,
+                base,
+                new,
+                ratio,
+                regressed: ratio > 1.0 + tolerance,
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -736,6 +877,17 @@ mod tests {
     fn doc(points: &[(&str, f64)]) -> TrajectoryDoc {
         TrajectoryDoc {
             points: points.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            lat_points: Vec::new(),
+        }
+    }
+
+    fn lat_doc(lat_points: &[(&str, f64)]) -> TrajectoryDoc {
+        TrajectoryDoc {
+            points: Vec::new(),
+            lat_points: lat_points
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
         }
     }
 
@@ -784,6 +936,7 @@ mod tests {
             max_ops_per_sec: r.throughput(),
             commits: r.stats.commits(),
             aborts: r.stats.aborts(),
+            p99_ns: None,
         }];
         let json = trajectory_to_json(7, &params, &points, &[], &[]);
         rhtm_workloads::report::validate_json(&json).expect("emitted JSON must parse");
@@ -804,6 +957,7 @@ mod tests {
             max_ops_per_sec: 210.0,
             commits: 10,
             aborts: 0,
+            p99_ns: None,
         };
         let key = point_key("s", "tl2+gv-strict+paper-default", 1);
         let opt = OptimizationRow {
@@ -852,5 +1006,82 @@ mod tests {
         let base = doc(&[("a", 100.0)]);
         let new = doc(&[("b", 100.0)]);
         assert!(compare_trajectories(&base, &new, 0.1, true).is_err());
+    }
+
+    #[test]
+    fn kv_probes_resolve_against_both_registries() {
+        for (name, shards, rate, label) in KV_PROBES {
+            let kv = KvScenario::find(name).unwrap_or_else(|| panic!("missing KV probe {name}"));
+            assert!(shards >= 1 && kv.key_space as usize >= shards);
+            assert!(rate > 0);
+            let spec = TmSpec::parse(label).expect(label);
+            assert_eq!(spec.label(), label, "probe labels must be canonical");
+        }
+        // The probes cover at least two shard counts and two rates.
+        let shard_counts: std::collections::HashSet<_> =
+            KV_PROBES.iter().map(|&(_, s, _, _)| s).collect();
+        let rates: std::collections::HashSet<_> = KV_PROBES.iter().map(|&(_, _, r, _)| r).collect();
+        assert!(shard_counts.len() >= 2 && rates.len() >= 2);
+    }
+
+    #[test]
+    fn p99_round_trips_through_emit_and_parse() {
+        let params = TrajectoryParams::default();
+        let with_lat = TrajectoryPoint {
+            scenario: kv_probe_scenario("kv-point-ops", 2, 20_000),
+            spec: "tl2+gv-strict+paper-default".into(),
+            threads: 1,
+            median_ops_per_sec: 19_000.0,
+            min_ops_per_sec: 18_500.0,
+            max_ops_per_sec: 19_400.0,
+            commits: 800,
+            aborts: 2,
+            p99_ns: Some(42_000),
+        };
+        let without = TrajectoryPoint {
+            scenario: "hashtable-uniform".into(),
+            spec: "tl2+gv-strict+paper-default".into(),
+            threads: 1,
+            median_ops_per_sec: 100.0,
+            min_ops_per_sec: 90.0,
+            max_ops_per_sec: 110.0,
+            commits: 10,
+            aborts: 0,
+            p99_ns: None,
+        };
+        let json = trajectory_to_json(9, &params, &[with_lat.clone(), without], &[], &[]);
+        assert!(json.contains("\"p99_ns\": 42000"));
+        let parsed = parse_trajectory(&json).unwrap();
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.lat_points.len(), 1, "only the KV probe carries p99");
+        assert_eq!(parsed.lat_points[0].1, 42_000.0);
+        let (_, full) = parse_full_trajectory(&json).unwrap();
+        assert_eq!(full[0].p99_ns, Some(42_000));
+        assert_eq!(full[1].p99_ns, None);
+        // Re-emitting the parsed form preserves the field (the --merge path).
+        let again = trajectory_to_json(9, &params, &full, &[], &[]);
+        assert!(again.contains("\"p99_ns\": 42000"));
+    }
+
+    #[test]
+    fn latency_compare_flags_upward_regressions_and_skips_bare_baselines() {
+        let base = lat_doc(&[("a", 1000.0), ("b", 1000.0), ("c", 1000.0)]);
+        // Uniformly 2x slower machine, with c an extra ~40% worse.
+        let new = lat_doc(&[("a", 2000.0), ("b", 2000.0), ("c", 2800.0)]);
+        let norm = compare_latencies(&base, &new, 0.15, true).unwrap();
+        assert!(!norm[0].regressed && !norm[1].regressed);
+        assert!(norm[2].regressed, "relative latency regression must fire");
+        // An improvement is never a regression.
+        let faster = lat_doc(&[("a", 500.0), ("b", 500.0), ("c", 500.0)]);
+        let ok = compare_latencies(&base, &faster, 0.15, false).unwrap();
+        assert!(ok.iter().all(|p| !p.regressed));
+        // Pre-PR-9 baseline: no lat points at all -> vacuous pass, even
+        // when the candidate has them.
+        let bare = lat_doc(&[]);
+        assert!(compare_latencies(&bare, &new, 0.15, true)
+            .unwrap()
+            .is_empty());
+        // But a baseline point whose p99 the candidate dropped is an error.
+        assert!(compare_latencies(&base, &bare, 0.15, true).is_err());
     }
 }

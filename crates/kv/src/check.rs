@@ -1,0 +1,226 @@
+//! The cross-shard conservation checker.
+//!
+//! The per-structure checkers in [`rhtm_workloads::check`] verify one
+//! runtime instance.  A sharded service adds a failure mode none of them
+//! can see: a **lost cross-shard transfer** — the debit commits on shard
+//! A, the credit never lands on shard B, and *each shard's own history is
+//! perfectly consistent*.  Catching it requires merging evidence across
+//! shards, which is exactly what [`ShardedBankChecker`] does: it replays
+//! every applied transfer from the merged per-worker history (transfers
+//! commute, so no cross-thread ordering is needed) and compares the
+//! expected balances against a merged final snapshot of **all** shards.
+
+use std::collections::HashMap;
+
+use rhtm_workloads::check::{Checker, EventKind, History, Violation};
+
+use crate::service::KvService;
+
+const CHECKER: &str = "sharded-bank";
+
+/// Conservation + per-account replay across every shard of a
+/// [`KvService`].
+///
+/// Applies to histories whose only balance-mutating operations are
+/// transfers (the [`crate::KvMix::transfer_mix`] workloads — see
+/// [`crate::KvMix::conserves_balance`]); non-transfer events in the
+/// history are ignored.  Two invariants are checked, order-free:
+///
+/// 1. **Conservation**: the final balances sum to
+///    `accounts × initial_value` — an applied debit whose credit was lost
+///    shrinks the total and is caught here even when every shard is
+///    individually consistent.
+/// 2. **Per-account replay**: each account's final balance equals
+///    `initial + Σ credits − Σ debits` over the applied transfers.
+pub struct ShardedBankChecker {
+    /// Number of accounts (global keys `0..accounts`).
+    pub accounts: u64,
+    /// The balance every account was seeded with.
+    pub initial_value: u64,
+    /// The merged final snapshot across all shards, `(key, balance)`.
+    pub finals: Vec<(u64, u64)>,
+}
+
+impl ShardedBankChecker {
+    /// Captures the checker inputs from a quiesced service: its seeding
+    /// parameters and a merged snapshot of every shard.
+    pub fn for_service(service: &KvService) -> Self {
+        ShardedBankChecker {
+            accounts: service.key_space(),
+            initial_value: service.initial_value(),
+            finals: service.snapshot(),
+        }
+    }
+
+    fn violation(&self, detail: String) -> Violation {
+        Violation {
+            checker: CHECKER,
+            detail,
+            path_hint: None,
+        }
+    }
+}
+
+impl Checker for ShardedBankChecker {
+    fn name(&self) -> &'static str {
+        CHECKER
+    }
+
+    fn check(&self, history: &History) -> Result<(), Violation> {
+        // Conservation first: the headline cross-shard invariant.
+        let expected_total = u128::from(self.accounts) * u128::from(self.initial_value);
+        let total: u128 = self.finals.iter().map(|&(_, v)| u128::from(v)).sum();
+        if total != expected_total {
+            return Err(self.violation(format!(
+                "balance not conserved across shards: final total {total} != \
+                 {} accounts x {} = {expected_total} (a debit without its \
+                 matching credit, or vice versa)",
+                self.accounts, self.initial_value
+            )));
+        }
+        // Replay: transfers commute, so per-account deltas need no
+        // cross-thread order.
+        let mut delta: HashMap<u64, i128> = HashMap::new();
+        for event in history.events() {
+            if let EventKind::Transfer {
+                from,
+                to,
+                amount,
+                applied: true,
+            } = event.kind
+            {
+                *delta.entry(from).or_default() -= i128::from(amount);
+                *delta.entry(to).or_default() += i128::from(amount);
+            }
+        }
+        let final_map: HashMap<u64, u64> = self.finals.iter().copied().collect();
+        if final_map.len() != self.finals.len() {
+            return Err(self.violation(
+                "final snapshot lists a key twice (shard routing overlap)".to_string(),
+            ));
+        }
+        for account in 0..self.accounts {
+            let expected =
+                i128::from(self.initial_value) + delta.get(&account).copied().unwrap_or(0);
+            match final_map.get(&account) {
+                None => {
+                    return Err(self.violation(format!(
+                        "account {account} missing from the final snapshot \
+                         (expected balance {expected})"
+                    )))
+                }
+                Some(&got) if i128::from(got) != expected => {
+                    return Err(self.violation(format!(
+                        "account {account}: final balance {got} != replayed \
+                         {expected} (initial {} {} transfer delta {})",
+                        self.initial_value,
+                        if expected >= i128::from(self.initial_value) {
+                            "+"
+                        } else {
+                            "-"
+                        },
+                        (expected - i128::from(self.initial_value)).abs()
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(&(key, _)) = self.finals.iter().find(|&&(k, _)| k >= self.accounts) {
+            return Err(self.violation(format!(
+                "final snapshot contains key {key} outside the {} accounts",
+                self.accounts
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-account, 2-shard layout: accounts 0/2 live on shard 0,
+    /// accounts 1/3 on shard 1, all seeded with 100.
+    fn checker(finals: Vec<(u64, u64)>) -> ShardedBankChecker {
+        ShardedBankChecker {
+            accounts: 4,
+            initial_value: 100,
+            finals,
+        }
+    }
+
+    fn transfer(from: u64, to: u64, amount: u64, applied: bool) -> EventKind {
+        EventKind::Transfer {
+            from,
+            to,
+            amount,
+            applied,
+        }
+    }
+
+    #[test]
+    fn accepts_a_consistent_cross_shard_history() {
+        // 1 -> 2 is cross-shard in the 2-shard layout; both legs landed.
+        let history = History::from_kinds(vec![
+            vec![transfer(1, 2, 50, true)],
+            vec![transfer(0, 1, 25, true), transfer(3, 0, 1000, false)],
+        ]);
+        let c = checker(vec![(0, 75), (1, 75), (2, 150), (3, 100)]);
+        assert!(c.check(&history).is_ok());
+    }
+
+    #[test]
+    fn rejects_a_lost_cross_shard_transfer() {
+        // The mutation of satellite fame: the debit of 1 -> 2 committed on
+        // shard 1 (account 1 is down 50) but the credit never landed on
+        // shard 0 (account 2 still holds its seed).  Each shard's own
+        // history is self-consistent; only the merged view can reject it.
+        let history = History::from_kinds(vec![vec![transfer(1, 2, 50, true)]]);
+        let lost = checker(vec![(0, 100), (1, 50), (2, 100), (3, 100)]);
+        let violation = lost
+            .check(&history)
+            .expect_err("lost credit must be caught");
+        assert_eq!(violation.checker, "sharded-bank");
+        assert!(
+            violation.detail.contains("not conserved"),
+            "conservation names the failure: {}",
+            violation.detail
+        );
+        // The repaired snapshot (credit landed) is accepted.
+        let repaired = checker(vec![(0, 100), (1, 50), (2, 150), (3, 100)]);
+        assert!(repaired.check(&history).is_ok());
+    }
+
+    #[test]
+    fn rejects_a_conserving_but_misrouted_credit() {
+        // Total conserved, but the credit landed on the wrong account:
+        // replay pins the per-account mismatch.
+        let history = History::from_kinds(vec![vec![transfer(1, 2, 50, true)]]);
+        let misrouted = checker(vec![(0, 150), (1, 50), (2, 100), (3, 100)]);
+        let violation = misrouted.check(&history).expect_err("misroute");
+        assert!(
+            violation.detail.contains("account 0"),
+            "{}",
+            violation.detail
+        );
+    }
+
+    #[test]
+    fn rejects_missing_and_phantom_accounts() {
+        let history = History::from_kinds(vec![Vec::new()]);
+        let missing = checker(vec![(0, 100), (1, 100), (2, 200)]);
+        assert!(missing.check(&history).is_err(), "missing account 3");
+        let phantom = checker(vec![(0, 100), (1, 100), (2, 100), (9, 100)]);
+        assert!(phantom.check(&history).is_err(), "phantom key 9");
+    }
+
+    #[test]
+    fn declined_transfers_do_not_move_money() {
+        let history = History::from_kinds(vec![vec![
+            transfer(0, 1, 40, false),
+            transfer(2, 3, 10_000, false),
+        ]]);
+        let unchanged = checker(vec![(0, 100), (1, 100), (2, 100), (3, 100)]);
+        assert!(unchanged.check(&history).is_ok());
+    }
+}

@@ -1,0 +1,66 @@
+//! # rhtm-kv
+//!
+//! A production-shaped consumer of the reduced-hardware runtimes: a
+//! sharded transactional key-value service driven by an **open-loop**
+//! traffic generator and judged on tail latency, not closed-loop
+//! throughput.
+//!
+//! ## Sharding model
+//!
+//! [`KvService`] partitions a global key space `0..key_space` across `S`
+//! shards by `key % S`.  Each shard is a fully independent runtime
+//! instance built from one [`rhtm_workloads::TmSpec`] — its **own**
+//! simulated HTM, heap, global clock and fallback machinery — hosting a
+//! [`rhtm_workloads::TxSkipList`]-backed map.  Nothing is shared between
+//! shards, so cross-shard cache-coherence traffic (the scaling limit the
+//! paper's protocols fight) dies by construction; single-key operations
+//! touch exactly one runtime.
+//!
+//! Multi-key operations compose per-shard transactions:
+//!
+//! * [`KvWorker::transfer`] — the two-shard commit path: a debit
+//!   transaction on the source shard, a credit transaction on the
+//!   destination shard, and a compensating credit-back when the
+//!   destination account is missing.  Money is conserved on every path;
+//!   the [`check::ShardedBankChecker`] verifies this offline across all
+//!   shards by extending the history-checker scheme of
+//!   [`rhtm_workloads::check`].
+//! * [`KvWorker::multi_get`] — one read transaction per touched shard.
+//!
+//! Each per-shard leg is individually serializable on its runtime;
+//! cross-shard operations are *not* globally atomic (a reader may observe
+//! the window between debit and credit).  The service guarantees —
+//! and the checker verifies — per-shard linearizability plus global
+//! balance conservation, the classic partitioned-store contract.
+//!
+//! ## Open-loop load
+//!
+//! [`load::run_open_loop`] drives the service at a configured offered
+//! rate with Poisson or bursty arrivals ([`load::Arrival`]).  Arrival
+//! times and operations are pure functions of the seed (the splitmix RNG
+//! contract of [`rhtm_workloads::WorkloadRng`]), generated up-front, and
+//! every generated request is served even past the measurement horizon —
+//! so the op stream is machine-independent and per-op latency is measured
+//! against the *scheduled* arrival time (queueing delay included; no
+//! coordinated omission).  Latencies land in a mergeable
+//! [`rhtm_api::LatencyHistogram`]; goodput is completed operations over
+//! the time to drain them.
+//!
+//! The `bench_kv` binary in `rhtm-bench` sweeps
+//! `spec × shards × rate × arrival` and emits one JSON document
+//! ([`report::kv_suite_to_json`]); see `docs/BENCHMARKS.md`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod check;
+pub mod load;
+pub mod report;
+pub mod scenario;
+pub mod service;
+
+pub use check::ShardedBankChecker;
+pub use load::{plan_worker, run_open_loop, Arrival, KvMix, KvOp, LoadOpts, LoadReport, PlannedOp};
+pub use report::{kv_suite_to_json, KvRow};
+pub use scenario::KvScenario;
+pub use service::{KvConfig, KvService, KvWorker, TransferOutcome};

@@ -1,0 +1,546 @@
+//! The open-loop traffic generator.
+//!
+//! Closed-loop drivers (the `rhtm_workloads` benchmark driver) issue the
+//! next operation the moment the previous one finishes, so a slow server
+//! silently slows the *offered* load and hides queueing delay.  An
+//! open-loop generator schedules arrivals from a clock that does not care
+//! how the server is doing: requests that arrive while the worker is busy
+//! queue up, and their latency — measured from the **scheduled arrival**,
+//! not from when the worker got around to them — includes that queueing
+//! delay (the coordinated-omission-free measurement).
+//!
+//! Determinism: arrival times, operation kinds and keys are derived from
+//! [`WorkloadRng`] streams seeded only by `(seed, worker index)` and are
+//! generated **up front** over the configured horizon; the worker then
+//! serves every planned request even if that takes longer than the
+//! horizon.  The op stream is therefore a pure function of the seed —
+//! identical on any machine at any service speed — which is what makes
+//! single-threaded runs replayable ([`plan_worker`]).
+
+use std::time::{Duration, Instant};
+
+use rhtm_api::LatencyHistogram;
+use rhtm_workloads::check::{EventKind, HistoryRecorder};
+use rhtm_workloads::WorkloadRng;
+
+use crate::service::{KvService, TransferOutcome};
+
+/// The arrival process of the open-loop generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrival {
+    /// Exponential interarrival times (a Poisson process) at the offered
+    /// rate.
+    Poisson,
+    /// Batches of `N` back-to-back requests; batch starts form a Poisson
+    /// process at `rate / N`, so the mean offered rate is unchanged but
+    /// the instantaneous load is spiky.
+    Burst(u32),
+}
+
+impl Arrival {
+    /// Parses an arrival label: `poisson`, or `burst-N` with `N ≥ 2`.
+    pub fn parse(label: &str) -> Option<Arrival> {
+        let label = label.trim().to_ascii_lowercase();
+        if label == "poisson" {
+            return Some(Arrival::Poisson);
+        }
+        let n: u32 = label.strip_prefix("burst-")?.parse().ok()?;
+        (n >= 2).then_some(Arrival::Burst(n))
+    }
+
+    /// The stable label (`parse` round-trips it).
+    pub fn label(&self) -> String {
+        match self {
+            Arrival::Poisson => "poisson".to_string(),
+            Arrival::Burst(n) => format!("burst-{n}"),
+        }
+    }
+}
+
+/// The weighted operation mix of the generator, in percent.  The
+/// remainder up to 100 is two-key [`KvOp::MultiGet`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct KvMix {
+    /// Single-key reads.
+    pub get_pct: u8,
+    /// Single-key upserts.
+    pub put_pct: u8,
+    /// Single-key deletes.
+    pub delete_pct: u8,
+    /// Two-key transfers (the two-shard commit path).
+    pub transfer_pct: u8,
+}
+
+impl KvMix {
+    /// A mix; panics if the percentages exceed 100.
+    pub fn new(get_pct: u8, put_pct: u8, delete_pct: u8, transfer_pct: u8) -> Self {
+        assert!(
+            get_pct as u32 + put_pct as u32 + delete_pct as u32 + transfer_pct as u32 <= 100,
+            "mix percentages exceed 100"
+        );
+        KvMix {
+            get_pct,
+            put_pct,
+            delete_pct,
+            transfer_pct,
+        }
+    }
+
+    /// The point-op workload: 70% get, 20% put, 10% delete.
+    pub fn point_ops() -> Self {
+        KvMix::new(70, 20, 10, 0)
+    }
+
+    /// The conservation-checkable workload: 30% get, 60% transfer, 10%
+    /// multi-get — no puts or deletes, so the global balance total is
+    /// invariant and [`crate::ShardedBankChecker`] applies.
+    pub fn transfer_mix() -> Self {
+        KvMix::new(30, 0, 0, 60)
+    }
+
+    /// Percentage of two-key multi-gets (the remainder).
+    pub fn multi_get_pct(&self) -> u8 {
+        100 - self.get_pct - self.put_pct - self.delete_pct - self.transfer_pct
+    }
+
+    /// Stable mix label, e.g. `g70-p20-d10-t0-m0`.
+    pub fn label(&self) -> String {
+        format!(
+            "g{}-p{}-d{}-t{}-m{}",
+            self.get_pct,
+            self.put_pct,
+            self.delete_pct,
+            self.transfer_pct,
+            self.multi_get_pct()
+        )
+    }
+
+    /// Whether the mix can change the conserved balance total (puts and
+    /// deletes create/destroy value; transfers and reads do not).
+    pub fn conserves_balance(&self) -> bool {
+        self.put_pct == 0 && self.delete_pct == 0
+    }
+}
+
+/// One generated request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Single-key read.
+    Get {
+        /// Global key.
+        key: u64,
+    },
+    /// Single-key upsert.
+    Put {
+        /// Global key.
+        key: u64,
+        /// Value written.
+        value: u64,
+    },
+    /// Single-key delete.
+    Delete {
+        /// Global key.
+        key: u64,
+    },
+    /// Two-key transfer.
+    Transfer {
+        /// Debited key.
+        from: u64,
+        /// Credited key.
+        to: u64,
+        /// Amount moved.
+        amount: u64,
+    },
+    /// Two-key read.
+    MultiGet {
+        /// First key.
+        a: u64,
+        /// Second key.
+        b: u64,
+    },
+}
+
+/// A request with its scheduled arrival offset from run start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedOp {
+    /// Scheduled arrival, nanoseconds after the run starts.
+    pub at_ns: u64,
+    /// The request.
+    pub op: KvOp,
+}
+
+/// Parameters of one open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadOpts {
+    /// Worker threads; the offered rate is split evenly across them.
+    pub workers: usize,
+    /// Aggregate offered load, requests per second.
+    pub offered_rate: f64,
+    /// The arrival process.
+    pub arrival: Arrival,
+    /// Generation horizon: arrivals are scheduled in `[0, duration)`.
+    pub duration: Duration,
+    /// The operation mix.
+    pub mix: KvMix,
+    /// Base RNG seed (arrival and op streams derive from it per worker).
+    pub seed: u64,
+    /// Transfer amounts are drawn uniformly from `1..=amount_cap`.
+    pub amount_cap: u64,
+}
+
+impl LoadOpts {
+    /// An open-loop run at `offered_rate` req/s over `duration`:
+    /// 1 worker, Poisson arrivals, the point-op mix, the workspace seed.
+    pub fn new(offered_rate: f64, duration: Duration) -> Self {
+        LoadOpts {
+            workers: 1,
+            offered_rate,
+            arrival: Arrival::Poisson,
+            duration,
+            mix: KvMix::point_ops(),
+            seed: 0xbe6c_c0de,
+            amount_cap: 8,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the operation mix.
+    pub fn with_mix(mut self, mix: KvMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What one open-loop run measured.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The configured aggregate offered rate (req/s).
+    pub offered_rate: f64,
+    /// The arrival process that was run.
+    pub arrival: Arrival,
+    /// Requests generated over the horizon (pure function of the seed).
+    pub generated: u64,
+    /// Requests completed (every generated request is served, so this
+    /// equals `generated` once the run drains).
+    pub completed: u64,
+    /// Applied transfers.
+    pub applied_transfers: u64,
+    /// Declined transfers (insufficient funds / missing account).
+    pub declined_transfers: u64,
+    /// Run start to last completion.
+    pub elapsed: Duration,
+    /// Completed requests per second of `max(horizon, elapsed)` — under
+    /// overload the drain time stretches and goodput falls below the
+    /// offered rate.
+    pub goodput: f64,
+    /// Per-request latency from scheduled arrival to completion, merged
+    /// across workers.
+    pub latency: LatencyHistogram,
+    /// Committed transactions across all workers and shards.
+    pub commits: u64,
+    /// Aborted transaction attempts across all workers and shards.
+    pub aborts: u64,
+    /// Per-worker transfer event logs (globally-keyed), ready for
+    /// [`rhtm_workloads::check::History::from_recorders`] and the
+    /// [`crate::ShardedBankChecker`].
+    pub histories: Vec<HistoryRecorder>,
+}
+
+/// Per-worker RNG stream separators (arbitrary odd constants; the
+/// splitmix scramble in [`WorkloadRng::new`] decorrelates the streams).
+const ARRIVAL_STREAM: u64 = 0xA24B_AED4_963E_E407;
+const OP_STREAM: u64 = 0x9E6D_62D0_6F6A_9A9B;
+
+/// Generates worker `worker_id`'s complete request plan: arrival offsets
+/// and operations over the horizon, a pure function of
+/// `(opts.seed, worker_id)`.
+pub fn plan_worker(opts: &LoadOpts, key_space: u64, worker_id: usize) -> Vec<PlannedOp> {
+    assert!(opts.offered_rate > 0.0, "offered rate must be positive");
+    assert!(key_space >= 2, "the two-key ops need at least two keys");
+    let lambda = opts.offered_rate / opts.workers.max(1) as f64; // req/s
+    let horizon_ns = opts.duration.as_nanos() as u64;
+    let wid = worker_id as u64 + 1;
+    let mut arrivals = WorkloadRng::new(opts.seed ^ wid.wrapping_mul(ARRIVAL_STREAM));
+    let mut ops = WorkloadRng::new(opts.seed ^ wid.wrapping_mul(OP_STREAM));
+    let mut plan = Vec::new();
+    let draw_op = |ops: &mut WorkloadRng| -> KvOp {
+        let roll = ops.next_below(100) as u8;
+        let key = ops.next_below(key_space);
+        let m = &opts.mix;
+        if roll < m.get_pct {
+            KvOp::Get { key }
+        } else if roll < m.get_pct + m.put_pct {
+            KvOp::Put {
+                key,
+                value: 1 + ops.next_below(1_000_000),
+            }
+        } else if roll < m.get_pct + m.put_pct + m.delete_pct {
+            KvOp::Delete { key }
+        } else if roll < m.get_pct + m.put_pct + m.delete_pct + m.transfer_pct {
+            let mut to = ops.next_below(key_space);
+            if to == key {
+                to = (to + 1) % key_space;
+            }
+            KvOp::Transfer {
+                from: key,
+                to,
+                amount: 1 + ops.next_below(opts.amount_cap.max(1)),
+            }
+        } else {
+            KvOp::MultiGet {
+                a: key,
+                b: ops.next_below(key_space),
+            }
+        }
+    };
+    // Exponential interarrival in ns at `per_sec` events/s.
+    let exp_ns = |rng: &mut WorkloadRng, per_sec: f64| -> f64 {
+        let u = rng.next_f64();
+        -(1.0 - u).ln() / per_sec * 1e9
+    };
+    let mut t = 0.0f64;
+    match opts.arrival {
+        Arrival::Poisson => loop {
+            t += exp_ns(&mut arrivals, lambda);
+            if t as u64 >= horizon_ns {
+                break;
+            }
+            plan.push(PlannedOp {
+                at_ns: t as u64,
+                op: draw_op(&mut ops),
+            });
+        },
+        Arrival::Burst(batch) => loop {
+            t += exp_ns(&mut arrivals, lambda / batch as f64);
+            if t as u64 >= horizon_ns {
+                break;
+            }
+            for _ in 0..batch {
+                plan.push(PlannedOp {
+                    at_ns: t as u64,
+                    op: draw_op(&mut ops),
+                });
+            }
+        },
+    }
+    plan
+}
+
+/// Serves one worker's plan against the service, recording latency from
+/// each request's scheduled arrival and transfer events for the checker.
+fn serve_worker(
+    service: &KvService,
+    plan: &[PlannedOp],
+    start: Instant,
+) -> (LatencyHistogram, HistoryRecorder, u64, u64, u64, u64) {
+    let mut worker = service.worker();
+    let mut latency = LatencyHistogram::new();
+    let mut recorder = HistoryRecorder::new();
+    let (mut applied, mut declined) = (0u64, 0u64);
+    for p in plan {
+        let deadline = start + Duration::from_nanos(p.at_ns);
+        // Open-loop pacing: wait for the scheduled arrival.  Sleep while
+        // far out, spin the last stretch for precision.
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let ahead = deadline - now;
+            // Sleep only when far out, with a wide wake-early margin:
+            // kernel oversleep past the deadline would read as tail
+            // latency.  The last stretch is spun for precision.
+            if ahead > Duration::from_millis(1) {
+                std::thread::sleep(ahead - Duration::from_micros(500));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        match p.op {
+            KvOp::Get { key } => {
+                worker.get(key);
+            }
+            KvOp::Put { key, value } => {
+                worker.put(key, value);
+            }
+            KvOp::Delete { key } => {
+                worker.delete(key);
+            }
+            KvOp::Transfer { from, to, amount } => {
+                let outcome = worker.transfer(from, to, amount);
+                let ok = outcome == TransferOutcome::Applied;
+                if ok {
+                    applied += 1;
+                } else {
+                    declined += 1;
+                }
+                recorder.record(
+                    EventKind::Transfer {
+                        from,
+                        to,
+                        amount,
+                        applied: ok,
+                    },
+                    None,
+                );
+            }
+            KvOp::MultiGet { a, b } => {
+                worker.multi_get(&[a, b]);
+            }
+        }
+        let served_at = Instant::now();
+        latency.record(served_at.saturating_duration_since(deadline).as_nanos() as u64);
+    }
+    let (commits, aborts) = worker.stats();
+    (latency, recorder, applied, declined, commits, aborts)
+}
+
+/// Runs one open-loop measurement: plans every worker's request stream,
+/// serves all of it (draining past the horizon under overload) and merges
+/// the per-worker results.
+pub fn run_open_loop(service: &KvService, opts: &LoadOpts) -> LoadReport {
+    let workers = opts.workers.max(1);
+    let plans: Vec<Vec<PlannedOp>> = (0..workers)
+        .map(|w| plan_worker(opts, service.key_space(), w))
+        .collect();
+    let generated: u64 = plans.iter().map(|p| p.len() as u64).sum();
+    // The clock origin sits a grace period in the future so thread spawn
+    // and per-shard registration are done before the first deadline —
+    // otherwise startup cost reads as tail latency on the earliest
+    // requests (visible at low rates, where few samples dilute it).
+    let start = Instant::now() + Duration::from_millis(2);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| scope.spawn(move || serve_worker(service, plan, start)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop worker panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut latency = LatencyHistogram::new();
+    let mut histories = Vec::with_capacity(results.len());
+    let (mut applied, mut declined, mut commits, mut aborts) = (0u64, 0u64, 0u64, 0u64);
+    for (h, rec, ap, de, co, ab) in results {
+        latency.merge(&h);
+        histories.push(rec);
+        applied += ap;
+        declined += de;
+        commits += co;
+        aborts += ab;
+    }
+    let completed = latency.count();
+    let denom = elapsed.max(opts.duration).as_secs_f64();
+    LoadReport {
+        offered_rate: opts.offered_rate,
+        arrival: opts.arrival,
+        generated,
+        completed,
+        applied_transfers: applied,
+        declined_transfers: declined,
+        elapsed,
+        goodput: if denom > 0.0 {
+            completed as f64 / denom
+        } else {
+            0.0
+        },
+        latency,
+        commits,
+        aborts,
+        histories,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::KvConfig;
+    use rhtm_workloads::{AlgoKind, TmSpec};
+
+    #[test]
+    fn arrival_labels_round_trip() {
+        assert_eq!(Arrival::parse("poisson"), Some(Arrival::Poisson));
+        assert_eq!(Arrival::parse("burst-16"), Some(Arrival::Burst(16)));
+        assert_eq!(Arrival::parse("BURST-4"), Some(Arrival::Burst(4)));
+        for bad in ["burst-1", "burst-0", "burst-", "uniform", ""] {
+            assert_eq!(Arrival::parse(bad), None, "{bad:?}");
+        }
+        for a in [Arrival::Poisson, Arrival::Burst(16)] {
+            assert_eq!(Arrival::parse(&a.label()), Some(a));
+        }
+    }
+
+    #[test]
+    fn mix_labels_and_conservation_flags() {
+        assert_eq!(KvMix::point_ops().label(), "g70-p20-d10-t0-m0");
+        assert_eq!(KvMix::transfer_mix().label(), "g30-p0-d0-t60-m10");
+        assert!(!KvMix::point_ops().conserves_balance());
+        assert!(KvMix::transfer_mix().conserves_balance());
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_rate_shaped() {
+        let opts = LoadOpts::new(50_000.0, Duration::from_millis(100));
+        let a = plan_worker(&opts, 1024, 0);
+        let b = plan_worker(&opts, 1024, 0);
+        assert_eq!(a, b, "same seed, same plan");
+        // ~5000 expected arrivals; Poisson keeps it within a wide band.
+        assert!((4000..6500).contains(&a.len()), "got {}", a.len());
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let other = plan_worker(&opts, 1024, 1);
+        assert_ne!(a, other, "workers draw distinct streams");
+        let reseeded = plan_worker(&LoadOpts { seed: 1, ..opts }, 1024, 0);
+        assert_ne!(a, reseeded, "seed changes the plan");
+    }
+
+    #[test]
+    fn burst_plans_arrive_in_batches_at_the_same_mean_rate() {
+        let opts =
+            LoadOpts::new(50_000.0, Duration::from_millis(100)).with_arrival(Arrival::Burst(16));
+        let plan = plan_worker(&opts, 1024, 0);
+        assert!((3500..7000).contains(&plan.len()), "got {}", plan.len());
+        assert_eq!(plan.len() % 16, 0, "whole batches only");
+        // Every batch shares one arrival instant.
+        for batch in plan.chunks(16) {
+            assert!(batch.iter().all(|p| p.at_ns == batch[0].at_ns));
+        }
+    }
+
+    #[test]
+    fn open_loop_serves_every_generated_request() {
+        let spec = TmSpec::new(AlgoKind::Rh2);
+        let service = KvService::new(&spec, &KvConfig::new(2, 256, 2));
+        let opts = LoadOpts::new(20_000.0, Duration::from_millis(40))
+            .with_workers(2)
+            .with_mix(KvMix::transfer_mix());
+        let report = run_open_loop(&service, &opts);
+        assert_eq!(report.completed, report.generated);
+        assert!(report.generated > 200, "got {}", report.generated);
+        assert_eq!(report.latency.count(), report.completed);
+        assert!(report.goodput > 0.0);
+        assert!(report.commits >= report.completed, "≥1 txn per request");
+        assert_eq!(
+            report.applied_transfers + report.declined_transfers,
+            report.histories.iter().map(|h| h.len() as u64).sum::<u64>()
+        );
+    }
+}

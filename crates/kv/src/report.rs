@@ -1,0 +1,192 @@
+//! The `bench_kv` JSON document (`rhtm-kv-bench` schema), hand-rolled
+//! like every emitter in this offline workspace.
+
+use rhtm_api::LatencySummary;
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One measured `(scenario, spec, shards, rate, arrival)` point.
+#[derive(Clone, Debug)]
+pub struct KvRow {
+    /// KV scenario name ([`crate::KvScenario`]).
+    pub scenario: String,
+    /// Full spec label every shard runs (`algo+clock+policy`).
+    pub spec: String,
+    /// Shard count of the run.
+    pub shards: usize,
+    /// Global key space.
+    pub key_space: u64,
+    /// Mix label ([`crate::KvMix::label`]).
+    pub op_mix: String,
+    /// Configured offered load (req/s).
+    pub offered_rate: f64,
+    /// Arrival-process label ([`crate::Arrival::label`]).
+    pub arrival: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Requests generated over the horizon.
+    pub generated: u64,
+    /// Requests completed (equals `generated` after the drain).
+    pub completed: u64,
+    /// Applied transfers.
+    pub applied_transfers: u64,
+    /// Declined transfers.
+    pub declined_transfers: u64,
+    /// Completed requests per second of `max(horizon, drain time)`.
+    pub goodput_ops_per_sec: f64,
+    /// Committed transactions across workers and shards.
+    pub commits: u64,
+    /// Aborted attempts across workers and shards.
+    pub aborts: u64,
+    /// The latency tail summary (nanoseconds).
+    pub latency: LatencySummary,
+}
+
+/// Serialises a `bench_kv` sweep as one JSON document:
+///
+/// ```json
+/// {
+///   "suite": "rhtm-kv-bench",
+///   "schema_version": 1,
+///   "seed": N, "threads": N, "duration_ms": N,
+///   "rows": [
+///     { "scenario": "...", "spec": "...", "shards": N, "key_space": N,
+///       "op_mix": "...", "offered_rate": X, "arrival": "...",
+///       "threads": N, "generated": N, "completed": N,
+///       "applied_transfers": N, "declined_transfers": N,
+///       "goodput_ops_per_sec": X, "commits": N, "aborts": N,
+///       "latency": { "count": N, "p50_ns": N, "p90_ns": N,
+///                    "p99_ns": N, "p999_ns": N, "max_ns": N } }
+///   ]
+/// }
+/// ```
+///
+/// Sweeping `rate=` at fixed shape makes `(offered_rate,
+/// goodput_ops_per_sec, latency.p99_ns)` rows the goodput-vs-offered-load
+/// curve; see `docs/BENCHMARKS.md`.
+pub fn kv_suite_to_json(seed: u64, duration_ms: u64, threads: usize, rows: &[KvRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"rhtm-kv-bench\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"duration_ms\": {duration_ms},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"scenario\": {},\n", json_str(&r.scenario)));
+        out.push_str(&format!("      \"spec\": {},\n", json_str(&r.spec)));
+        out.push_str(&format!("      \"shards\": {},\n", r.shards));
+        out.push_str(&format!("      \"key_space\": {},\n", r.key_space));
+        out.push_str(&format!("      \"op_mix\": {},\n", json_str(&r.op_mix)));
+        out.push_str(&format!("      \"offered_rate\": {:.1},\n", r.offered_rate));
+        out.push_str(&format!("      \"arrival\": {},\n", json_str(&r.arrival)));
+        out.push_str(&format!("      \"threads\": {},\n", r.threads));
+        out.push_str(&format!("      \"generated\": {},\n", r.generated));
+        out.push_str(&format!("      \"completed\": {},\n", r.completed));
+        out.push_str(&format!(
+            "      \"applied_transfers\": {},\n",
+            r.applied_transfers
+        ));
+        out.push_str(&format!(
+            "      \"declined_transfers\": {},\n",
+            r.declined_transfers
+        ));
+        out.push_str(&format!(
+            "      \"goodput_ops_per_sec\": {:.1},\n",
+            r.goodput_ops_per_sec
+        ));
+        out.push_str(&format!("      \"commits\": {},\n", r.commits));
+        out.push_str(&format!("      \"aborts\": {},\n", r.aborts));
+        out.push_str(&format!(
+            "      \"latency\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}\n",
+            r.latency.count,
+            r.latency.p50,
+            r.latency.p90,
+            r.latency.p99,
+            r.latency.p999,
+            r.latency.max
+        ));
+        out.push_str("    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_valid_json_with_the_promised_fields() {
+        let row = KvRow {
+            scenario: "kv-point-ops".into(),
+            spec: "rh2+gv6+adaptive".into(),
+            shards: 4,
+            key_space: 8192,
+            op_mix: "g70-p20-d10-t0-m0".into(),
+            offered_rate: 20_000.0,
+            arrival: "poisson".into(),
+            threads: 2,
+            generated: 2000,
+            completed: 2000,
+            applied_transfers: 0,
+            declined_transfers: 0,
+            goodput_ops_per_sec: 19_800.5,
+            commits: 2000,
+            aborts: 3,
+            latency: LatencySummary {
+                count: 2000,
+                p50: 1200,
+                p90: 2500,
+                p99: 9000,
+                p999: 30_000,
+                max: 41_000,
+            },
+        };
+        let json = kv_suite_to_json(7, 100, 2, &[row]);
+        rhtm_workloads::report::validate_json(&json).expect("must parse");
+        for field in [
+            "\"suite\": \"rhtm-kv-bench\"",
+            "\"schema_version\": 1",
+            "\"scenario\": \"kv-point-ops\"",
+            "\"shards\": 4",
+            "\"offered_rate\": 20000.0",
+            "\"arrival\": \"poisson\"",
+            "\"goodput_ops_per_sec\": 19800.5",
+            "\"latency\": {\"count\": 2000",
+            "\"p50_ns\": 1200",
+            "\"p99_ns\": 9000",
+            "\"p999_ns\": 30000",
+        ] {
+            assert!(json.contains(field), "missing {field}\n{json}");
+        }
+    }
+
+    #[test]
+    fn empty_sweeps_are_still_valid_documents() {
+        let json = kv_suite_to_json(0, 0, 1, &[]);
+        rhtm_workloads::report::validate_json(&json).expect("must parse");
+    }
+}

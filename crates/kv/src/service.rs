@@ -1,0 +1,467 @@
+//! The sharded service: routing, per-shard runtimes, and the multi-key
+//! commit paths.
+
+use std::sync::Arc;
+
+use rhtm_api::{DynThread, DynThreadExt};
+use rhtm_mem::MemConfig;
+use rhtm_workloads::structures::skiplist::InsertOutcome;
+use rhtm_workloads::{TmInstance, TmSpec, TxSkipList};
+
+/// Static shape of a [`KvService`].
+#[derive(Clone, Copy, Debug)]
+pub struct KvConfig {
+    /// Number of independent shards (runtime instances).
+    pub shards: usize,
+    /// Global key space: keys are `0..key_space`.
+    pub key_space: u64,
+    /// Expected concurrent workers (per-shard heap sizing: each worker
+    /// holds one thread handle per shard and a few transient spare nodes).
+    pub workers: usize,
+    /// Every key is seeded with this value; for the transfer workloads it
+    /// is the per-account starting balance, so the conserved global total
+    /// is `key_space × initial_value`.
+    pub initial_value: u64,
+}
+
+impl KvConfig {
+    /// A config with the given shard count and key space, sized for
+    /// `workers` workers and the default starting balance of 100.
+    pub fn new(shards: usize, key_space: u64, workers: usize) -> Self {
+        KvConfig {
+            shards,
+            key_space,
+            workers,
+            initial_value: 100,
+        }
+    }
+}
+
+/// One shard: an independent runtime instance plus its map.
+struct KvShard {
+    instance: TmInstance,
+    map: TxSkipList,
+}
+
+/// A key-value service partitioned across independent runtime instances.
+///
+/// Construction seeds **every** key of the global key space with
+/// [`KvConfig::initial_value`], so lookups start warm and the transfer
+/// workloads begin from a known conserved total.  All operations go
+/// through a per-thread [`KvWorker`] (see [`KvService::worker`]).
+pub struct KvService {
+    spec_label: String,
+    shards: Vec<KvShard>,
+    key_space: u64,
+    initial_value: u64,
+}
+
+/// What a [`KvWorker::transfer`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// Debit and credit both committed; money moved.
+    Applied,
+    /// The source account held less than the amount; nothing moved.
+    InsufficientFunds,
+    /// The source account does not exist; nothing moved.
+    MissingFrom,
+    /// The destination account does not exist.  On the two-shard path the
+    /// already-committed debit was compensated by a credit-back
+    /// transaction on the source shard; no money was created or lost.
+    MissingTo,
+}
+
+impl KvService {
+    /// Builds `config.shards` independent runtime instances from `spec`
+    /// (each with its own heap and clock, sized for its slice of the key
+    /// space) and seeds every key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard count or an empty key space.
+    pub fn new(spec: &TmSpec, config: &KvConfig) -> Self {
+        assert!(config.shards >= 1, "a service needs at least one shard");
+        assert!(config.key_space >= 1, "a service needs at least one key");
+        let local_space = config.key_space.div_ceil(config.shards as u64);
+        let shards: Vec<KvShard> = (0..config.shards)
+            .map(|_| {
+                // +1 thread: the service's own prefill/snapshot handle can
+                // coexist with a full complement of workers.
+                let words =
+                    TxSkipList::required_words(local_space, config.workers.max(1) + 1) + 4096;
+                let instance = spec
+                    .clone()
+                    .mem(MemConfig {
+                        clock_scheme: spec.clock_scheme(),
+                        ..MemConfig::with_data_words(words)
+                    })
+                    .build();
+                let map = TxSkipList::new(Arc::clone(instance.sim()), local_space);
+                KvShard { instance, map }
+            })
+            .collect();
+        let service = KvService {
+            spec_label: spec.label(),
+            shards,
+            key_space: config.key_space,
+            initial_value: config.initial_value,
+        };
+        for key in 0..config.key_space {
+            let (s, local) = service.route(key);
+            service.shards[s]
+                .map
+                .seed_insert(local, config.initial_value);
+        }
+        service
+    }
+
+    /// The label of the spec every shard was built from.
+    pub fn spec_label(&self) -> &str {
+        &self.spec_label
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global key space (keys are `0..key_space`).
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
+    /// The value every key was seeded with.
+    pub fn initial_value(&self) -> u64 {
+        self.initial_value
+    }
+
+    /// Routes a global key to `(shard index, shard-local key)`.  Local
+    /// keys start at 1 because 0 is the skiplist's head sentinel.
+    #[inline]
+    pub fn route(&self, key: u64) -> (usize, u64) {
+        debug_assert!(key < self.key_space, "key {key} out of the key space");
+        let s = (key % self.shards.len() as u64) as usize;
+        (s, 1 + key / self.shards.len() as u64)
+    }
+
+    /// The inverse of [`KvService::route`].
+    #[inline]
+    fn unroute(&self, shard: usize, local: u64) -> u64 {
+        (local - 1) * self.shards.len() as u64 + shard as u64
+    }
+
+    /// Registers a worker: one thread handle per shard, all operations
+    /// routed through it.
+    pub fn worker(&self) -> KvWorker<'_> {
+        KvWorker {
+            service: self,
+            threads: self.shards.iter().map(|s| s.instance.register()).collect(),
+        }
+    }
+
+    /// A merged, globally-keyed snapshot of every present key, sorted by
+    /// key.  Each shard is read in its own transaction (per-shard atomic;
+    /// run it on a quiesced service for an exact global state, e.g. for
+    /// the [`crate::ShardedBankChecker`]).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut th = shard.instance.register();
+            let local_space = self.key_space.div_ceil(self.shards.len() as u64);
+            for local in 1..=local_space {
+                let global = self.unroute(s, local);
+                if global >= self.key_space {
+                    continue;
+                }
+                if let Some(v) = th.run(|tx| shard.map.get_in(tx, local)) {
+                    out.push((global, v));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The sum of all present values (the conserved quantity of the
+    /// transfer workloads).
+    pub fn total_balance(&self) -> u128 {
+        self.snapshot().iter().map(|&(_, v)| u128::from(v)).sum()
+    }
+}
+
+/// A per-thread handle onto a [`KvService`]: one registered runtime
+/// thread per shard.  Not `Sync` — create one per worker thread.
+pub struct KvWorker<'a> {
+    service: &'a KvService,
+    threads: Vec<Box<dyn DynThread>>,
+}
+
+impl KvWorker<'_> {
+    /// Transactionally reads `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let service = self.service;
+        let (s, local) = service.route(key);
+        let shard = &service.shards[s];
+        self.threads[s].run(|tx| shard.map.get_in(tx, local))
+    }
+
+    /// Transactionally inserts or overwrites `key`.  Returns `true` when
+    /// the key was newly inserted.
+    pub fn put(&mut self, key: u64, value: u64) -> bool {
+        let service = self.service;
+        let (s, local) = service.route(key);
+        let shard = &service.shards[s];
+        let mut spare = None;
+        loop {
+            if spare.is_none() && shard.map.needs_spare() {
+                spare = Some(shard.map.alloc_spare());
+            }
+            let sp = spare;
+            match self.threads[s].run(|tx| shard.map.insert_in(tx, local, value, sp)) {
+                InsertOutcome::Inserted => return true,
+                InsertOutcome::Updated => return false,
+                // The freelist emptied inside the transaction and no spare
+                // was pre-allocated; allocate one and re-run.
+                InsertOutcome::NeedNode => spare = Some(shard.map.alloc_spare()),
+            }
+        }
+    }
+
+    /// Transactionally removes `key`, returning the removed value.
+    pub fn delete(&mut self, key: u64) -> Option<u64> {
+        let service = self.service;
+        let (s, local) = service.route(key);
+        let shard = &service.shards[s];
+        self.threads[s].run(|tx| shard.map.remove_in(tx, local))
+    }
+
+    /// Reads several keys with one transaction per touched shard.  Each
+    /// shard's reads are atomic; the combined result is not a global
+    /// snapshot (see the crate docs for the consistency model).
+    pub fn multi_get(&mut self, keys: &[u64]) -> Vec<Option<u64>> {
+        let service = self.service;
+        let mut out = vec![None; keys.len()];
+        let mut by_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); service.shard_count()];
+        for (i, &k) in keys.iter().enumerate() {
+            let (s, local) = service.route(k);
+            by_shard[s].push((i, local));
+        }
+        for (s, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &service.shards[s];
+            let values: Vec<Option<u64>> = self.threads[s].run(|tx| {
+                group
+                    .iter()
+                    .map(|&(_, local)| shard.map.get_in(tx, local))
+                    .collect()
+            });
+            for (&(slot, _), v) in group.iter().zip(values) {
+                out[slot] = v;
+            }
+        }
+        out
+    }
+
+    /// Moves `amount` from `from` to `to`.
+    ///
+    /// Same-shard transfers are a single transaction.  Cross-shard
+    /// transfers are the two-shard commit path: a debit transaction on the
+    /// source shard, then a credit transaction on the destination shard;
+    /// if the destination account is missing, a compensating transaction
+    /// credits the amount back on the source shard (as an upsert, so
+    /// compensation succeeds even if the source account was concurrently
+    /// deleted).  Every path conserves the global balance total.
+    pub fn transfer(&mut self, from: u64, to: u64, amount: u64) -> TransferOutcome {
+        let service = self.service;
+        let (sf, lf) = service.route(from);
+        let (st, lt) = service.route(to);
+        if sf == st {
+            let shard = &service.shards[sf];
+            return self.threads[sf].run(|tx| {
+                let Some(bal_from) = shard.map.get_in(tx, lf)? else {
+                    return Ok(TransferOutcome::MissingFrom);
+                };
+                if bal_from < amount {
+                    return Ok(TransferOutcome::InsufficientFunds);
+                }
+                if lf == lt {
+                    return Ok(TransferOutcome::Applied);
+                }
+                let Some(bal_to) = shard.map.get_in(tx, lt)? else {
+                    return Ok(TransferOutcome::MissingTo);
+                };
+                shard.map.update_in(tx, lf, bal_from - amount)?;
+                shard.map.update_in(tx, lt, bal_to + amount)?;
+                Ok(TransferOutcome::Applied)
+            });
+        }
+        // Leg 1: debit on the source shard.
+        let debited = {
+            let shard = &service.shards[sf];
+            self.threads[sf].run(|tx| match shard.map.get_in(tx, lf)? {
+                None => Ok(None),
+                Some(b) if b < amount => Ok(Some(false)),
+                Some(b) => {
+                    shard.map.update_in(tx, lf, b - amount)?;
+                    Ok(Some(true))
+                }
+            })
+        };
+        match debited {
+            None => return TransferOutcome::MissingFrom,
+            Some(false) => return TransferOutcome::InsufficientFunds,
+            Some(true) => {}
+        }
+        // Leg 2: credit on the destination shard (the account must exist).
+        let credited = {
+            let shard = &service.shards[st];
+            self.threads[st].run(|tx| match shard.map.get_in(tx, lt)? {
+                None => Ok(false),
+                Some(b) => {
+                    shard.map.update_in(tx, lt, b + amount)?;
+                    Ok(true)
+                }
+            })
+        };
+        if credited {
+            return TransferOutcome::Applied;
+        }
+        // Compensation: the debit already committed, so credit the amount
+        // back on the source shard.
+        self.credit_upsert(sf, lf, amount);
+        TransferOutcome::MissingTo
+    }
+
+    /// Unconditional credit: add to an existing account, or recreate it
+    /// holding exactly `amount` (the compensation path must conserve money
+    /// even when the source account vanished between the two legs).
+    fn credit_upsert(&mut self, s: usize, local: u64, amount: u64) {
+        let service = self.service;
+        let shard = &service.shards[s];
+        let mut spare = None;
+        loop {
+            if spare.is_none() && shard.map.needs_spare() {
+                spare = Some(shard.map.alloc_spare());
+            }
+            let sp = spare;
+            let outcome = self.threads[s].run(|tx| match shard.map.get_in(tx, local)? {
+                Some(b) => {
+                    shard.map.update_in(tx, local, b + amount)?;
+                    if let Some(sp) = sp {
+                        // Bank the unused pre-allocated spare, never leak.
+                        shard.map.bank_spare(tx, sp)?;
+                    }
+                    Ok(InsertOutcome::Updated)
+                }
+                None => shard.map.insert_in(tx, local, amount, sp),
+            });
+            match outcome {
+                InsertOutcome::NeedNode => spare = Some(shard.map.alloc_spare()),
+                _ => return,
+            }
+        }
+    }
+
+    /// Total `(commits, aborts)` across this worker's per-shard threads.
+    pub fn stats(&self) -> (u64, u64) {
+        self.threads.iter().fold((0, 0), |(c, a), t| {
+            (c + t.stats().commits(), a + t.stats().aborts())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhtm_workloads::AlgoKind;
+
+    fn service(shards: usize, keys: u64) -> KvService {
+        KvService::new(&TmSpec::new(AlgoKind::Tl2), &KvConfig::new(shards, keys, 2))
+    }
+
+    #[test]
+    fn routing_is_a_bijection_onto_shard_local_keys() {
+        let svc = service(3, 100);
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..100 {
+            let (s, local) = svc.route(key);
+            assert!(s < 3);
+            assert!(local >= 1, "local key 0 is the skiplist sentinel");
+            assert!(seen.insert((s, local)), "collision at key {key}");
+            assert_eq!(svc.unroute(s, local), key);
+        }
+    }
+
+    #[test]
+    fn point_ops_roundtrip_across_shards() {
+        let svc = service(4, 64);
+        let mut w = svc.worker();
+        for key in 0..64 {
+            assert_eq!(w.get(key), Some(100), "seeded value at {key}");
+        }
+        assert!(!w.put(7, 7000), "overwrite of a seeded key");
+        assert_eq!(w.get(7), Some(7000));
+        assert_eq!(w.delete(7), Some(7000));
+        assert_eq!(w.get(7), None);
+        assert!(w.put(7, 7), "reinsert after delete");
+        assert_eq!(w.delete(63), Some(100));
+        assert_eq!(w.delete(63), None, "double delete");
+        let snap = svc.snapshot();
+        assert_eq!(snap.len(), 63, "64 seeded keys minus the deleted 63");
+        assert!(snap.contains(&(7, 7)));
+        assert!(!snap.iter().any(|&(k, _)| k == 63));
+    }
+
+    #[test]
+    fn multi_get_spans_shards_and_preserves_order() {
+        let svc = service(3, 30);
+        let mut w = svc.worker();
+        w.put(4, 44);
+        w.delete(5);
+        let got = w.multi_get(&[4, 5, 6, 4]);
+        assert_eq!(got, vec![Some(44), None, Some(100), Some(44)]);
+    }
+
+    #[test]
+    fn transfers_conserve_on_every_path() {
+        let svc = service(2, 10); // keys 0,2,4.. on shard 0; 1,3,5.. on shard 1
+        let total0 = svc.total_balance();
+        let mut w = svc.worker();
+        // Same-shard (0 and 2), cross-shard (0 and 1), self, declined.
+        assert_eq!(w.transfer(0, 2, 30), TransferOutcome::Applied);
+        assert_eq!(w.transfer(0, 1, 30), TransferOutcome::Applied);
+        assert_eq!(w.transfer(3, 3, 10), TransferOutcome::Applied);
+        assert_eq!(w.transfer(0, 1, 1000), TransferOutcome::InsufficientFunds);
+        w.delete(9);
+        assert_eq!(w.transfer(9, 0, 5), TransferOutcome::MissingFrom);
+        // Missing destination: cross-shard debit then compensation.
+        assert_eq!(w.transfer(4, 9, 5), TransferOutcome::MissingTo);
+        assert_eq!(w.get(4), Some(100), "compensated in full");
+        assert_eq!(svc.total_balance(), total0 - 100, "only the delete left");
+        assert_eq!(w.get(0), Some(40));
+        assert_eq!(w.get(2), Some(130));
+        assert_eq!(w.get(1), Some(130));
+    }
+
+    #[test]
+    fn shards_are_independent_runtimes() {
+        let svc = service(2, 8);
+        // Distinct simulators and heaps per shard.
+        assert!(!Arc::ptr_eq(
+            svc.shards[0].instance.sim(),
+            svc.shards[1].instance.sim()
+        ));
+        let (commits_before, _) = {
+            let w = svc.worker();
+            w.stats()
+        };
+        assert_eq!(commits_before, 0);
+        let mut w = svc.worker();
+        w.get(0);
+        w.get(1);
+        let (commits, _) = w.stats();
+        assert_eq!(commits, 2);
+    }
+}

@@ -12,9 +12,9 @@
 
 use std::sync::Arc;
 
-use rhtm_api::{DynRuntime, RetryPolicyHandle, TmRuntime};
+use rhtm_api::{DynRuntime, TmRuntime};
 use rhtm_htm::{HtmConfig, HtmSim};
-use rhtm_mem::{ClockScheme, MemConfig};
+use rhtm_mem::MemConfig;
 
 use crate::driver::DriverOpts;
 use crate::report::BenchResult;
@@ -211,59 +211,13 @@ where
         .bench(build, opts)
 }
 
-/// [`run_on_algo`] with an explicit global-clock scheme.
-#[deprecated(
-    since = "0.5.0",
-    note = "build a TmSpec instead: TmSpec::new(kind).clock(scheme).mem(..).htm(..).bench(..)"
-)]
-pub fn run_on_algo_with_clock<W, B>(
-    kind: AlgoKind,
-    scheme: ClockScheme,
-    mem_config: MemConfig,
-    htm_config: HtmConfig,
-    build: B,
-    opts: &DriverOpts,
-) -> BenchResult
-where
-    W: Workload,
-    B: FnOnce(&Arc<HtmSim>) -> W,
-{
-    TmSpec::new(kind)
-        .clock(scheme)
-        .mem(mem_config)
-        .htm(htm_config)
-        .bench(build, opts)
-}
-
-/// [`run_on_algo`] with an explicit retry policy.
-#[deprecated(
-    since = "0.5.0",
-    note = "build a TmSpec instead: TmSpec::new(kind).retry(policy).mem(..).htm(..).bench(..)"
-)]
-pub fn run_on_algo_with_policy<W, B>(
-    kind: AlgoKind,
-    policy: &RetryPolicyHandle,
-    mem_config: MemConfig,
-    htm_config: HtmConfig,
-    build: B,
-    opts: &DriverOpts,
-) -> BenchResult
-where
-    W: Workload,
-    B: FnOnce(&Arc<HtmSim>) -> W,
-{
-    TmSpec::new(kind)
-        .retry(policy.clone())
-        .mem(mem_config)
-        .htm(htm_config)
-        .bench(build, opts)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mix::OpMix;
     use crate::structures::hashtable::ConstantHashTable;
+    use rhtm_api::RetryPolicyHandle;
+    use rhtm_mem::ClockScheme;
 
     const EVERY_ALGO: [AlgoKind; 9] = [
         AlgoKind::Htm,
@@ -309,20 +263,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_clock_shim_still_reaches_the_runtime() {
+    fn spec_builder_reaches_every_clock_scheme() {
         let elements = 256;
         for scheme in ClockScheme::ALL {
             let mem_config =
                 MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 1024);
-            let result = run_on_algo_with_clock(
-                AlgoKind::Tl2,
-                scheme,
-                mem_config,
-                HtmConfig::default(),
-                |sim| ConstantHashTable::new(Arc::clone(sim), elements),
-                &counted(2, 20, 100),
-            );
+            let result = TmSpec::new(AlgoKind::Tl2)
+                .clock(scheme)
+                .mem(mem_config)
+                .htm(HtmConfig::default())
+                .bench(
+                    |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                    &counted(2, 20, 100),
+                );
             assert_eq!(result.total_ops, 200, "{scheme:?}");
             assert_eq!(
                 result.spec,
@@ -333,8 +286,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_policy_shim_still_reaches_every_runtime() {
+    fn spec_builder_reaches_every_retry_policy_and_runtime() {
         let elements = 256;
         for policy in RetryPolicyHandle::builtin() {
             for kind in [
@@ -346,14 +298,14 @@ mod tests {
             ] {
                 let mem_config =
                     MemConfig::with_data_words(ConstantHashTable::required_words(elements) + 1024);
-                let result = run_on_algo_with_policy(
-                    kind,
-                    &policy,
-                    mem_config,
-                    HtmConfig::default(),
-                    |sim| ConstantHashTable::new(Arc::clone(sim), elements),
-                    &counted(2, 20, 100),
-                );
+                let result = TmSpec::new(kind)
+                    .retry(policy.clone())
+                    .mem(mem_config)
+                    .htm(HtmConfig::default())
+                    .bench(
+                        |sim| ConstantHashTable::new(Arc::clone(sim), elements),
+                        &counted(2, 20, 100),
+                    );
                 assert_eq!(result.total_ops, 200, "{kind:?} under {}", policy.label());
                 assert_eq!(result.stats.commits(), 200, "{kind:?}");
                 assert_eq!(

@@ -90,31 +90,6 @@ impl DriverOpts {
         }
     }
 
-    /// A time-bounded run with the paper's binary read/update mix over
-    /// uniform keys.
-    ///
-    /// The `write_percent: u8` knob duplicates what [`OpMix`] expresses
-    /// (`OpMix::read_update(p)`) and cannot say anything the weighted mix
-    /// cannot; see `docs/BENCHMARKS.md` for the migration.
-    #[deprecated(
-        since = "0.5.0",
-        note = "pass an OpMix: DriverOpts::timed_mix(threads, OpMix::read_update(p), duration)"
-    )]
-    pub fn timed(threads: usize, write_percent: u8, duration: Duration) -> Self {
-        Self::timed_mix(threads, OpMix::read_update(write_percent), duration)
-    }
-
-    /// An operation-count-bounded run with the paper's binary read/update
-    /// mix over uniform keys (see [`DriverOpts::timed`] for the
-    /// deprecation rationale).
-    #[deprecated(
-        since = "0.5.0",
-        note = "pass an OpMix: DriverOpts::counted_mix(threads, OpMix::read_update(p), ops)"
-    )]
-    pub fn counted(threads: usize, write_percent: u8, ops_per_thread: u64) -> Self {
-        Self::counted_mix(threads, OpMix::read_update(write_percent), ops_per_thread)
-    }
-
     /// Enables the single-thread time-breakdown mode.
     pub fn with_breakdown(mut self) -> Self {
         self.breakdown = true;

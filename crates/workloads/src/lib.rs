@@ -94,8 +94,6 @@ pub mod structures;
 pub mod workload;
 
 pub use algos::{run_on_algo, visit_algo, AlgoKind, AlgoVisitor};
-#[allow(deprecated)]
-pub use algos::{run_on_algo_with_clock, run_on_algo_with_policy};
 pub use check::{Checker, Event, EventKind, History, HistoryRecorder, Violation};
 pub use driver::{run_benchmark, DriverOpts};
 pub use mix::{OpKind, OpMix};

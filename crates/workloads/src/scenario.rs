@@ -321,6 +321,24 @@ const REGISTRY: &[Scenario] = &[
         phases: Some(PhasePlan::HotMigration),
         about: "a 90/10 hotspot migrating across thirds of the key space as the run progresses",
     },
+    Scenario {
+        name: "kv-shard-local-point",
+        structure: StructureKind::SkipList,
+        base_size: 2_048,
+        mix: OpMix::lookup_insert_remove(70, 20, 10),
+        dist: KeyDist::Uniform,
+        phases: None,
+        about: "one rhtm_kv shard's slice of point traffic: closed-loop ceiling for bench_kv",
+    },
+    Scenario {
+        name: "kv-shard-local-hot",
+        structure: StructureKind::SkipList,
+        base_size: 1_024,
+        mix: OpMix::lookup_insert_remove(50, 25, 25),
+        dist: KeyDist::HOTSPOT_DEFAULT,
+        phases: None,
+        about: "a hot kv shard partition: small key slice, churn-heavy, 90/10 hotspot",
+    },
 ];
 
 impl Scenario {

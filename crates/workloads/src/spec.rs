@@ -3,9 +3,9 @@
 //! The paper's evaluation is a cross-product sweep — algorithm × threads ×
 //! workload — and every PR since added another orthogonal runtime axis:
 //! the global-clock scheme (PR 1), the retry policy (PR 2), the scenario
-//! shape (PR 3).  Each axis used to come with its own entry point
-//! (`run_on_algo_with_clock`, `run_on_algo_with_policy`) and its own
-//! `with_*` threading through four divergent per-runtime config structs.
+//! shape (PR 3).  Each axis used to come with its own entry point and its
+//! own `with_*` threading through four divergent per-runtime config
+//! structs (the `run_on_algo_with_*` shims, removed in PR 9).
 //! [`TmSpec`] collapses all of that into one builder that owns the whole
 //! configuration cross-product:
 //!

@@ -36,6 +36,7 @@ pub use rhtm_api as api;
 pub use rhtm_core as core;
 pub use rhtm_htm as htm;
 pub use rhtm_hytm_std as hytm_std;
+pub use rhtm_kv as kv;
 pub use rhtm_mem as mem;
 pub use rhtm_stm as stm;
 pub use rhtm_workloads as workloads;

@@ -1,0 +1,84 @@
+//! Workspace-level integration tests for the `rhtm_kv` sharded service:
+//! cross-shard conservation under concurrent open-loop load on multiple
+//! runtime specs, and single-worker determinism of the whole pipeline
+//! (plan -> serve -> snapshot).
+
+use std::time::Duration;
+
+use rhtm::kv::{run_open_loop, KvConfig, KvMix, KvService, LoadOpts, ShardedBankChecker};
+use rhtm::workloads::check::{Checker, History};
+use rhtm::workloads::TmSpec;
+
+/// A transfer-only mix so every run is conservation-checkable.
+fn transfer_mix() -> KvMix {
+    KvMix::transfer_mix()
+}
+
+#[test]
+fn cross_shard_transfers_conserve_under_concurrency_on_every_spec() {
+    // Two shards force cross-shard traffic on ~half the transfers; four
+    // workers race the two-transaction commit path.  The checker merges
+    // every worker's history against a full-service snapshot, so a lost
+    // credit on either spec fails here.
+    for label in ["tl2", "rh2+gv6+adaptive", "rh1-mixed-100"] {
+        let spec = TmSpec::parse(label).expect(label);
+        let workers = 4;
+        let service = KvService::new(&spec, &KvConfig::new(2, 256, workers));
+        let opts = LoadOpts::new(30_000.0, Duration::from_millis(40))
+            .with_workers(workers)
+            .with_mix(transfer_mix())
+            .with_seed(0x5eed_0000 + u64::from(label.len() as u32));
+        let report = run_open_loop(&service, &opts);
+        assert_eq!(report.generated, report.completed, "{label}: full drain");
+        assert!(
+            report.applied_transfers > 0,
+            "{label}: the run must exercise the transfer path"
+        );
+        let checker = ShardedBankChecker::for_service(&service);
+        let history = History::from_recorders(report.histories);
+        checker
+            .check(&history)
+            .unwrap_or_else(|v| panic!("{label}: {}", v.detail));
+        assert_eq!(
+            service.total_balance(),
+            256 * 100,
+            "{label}: balance conserved in the raw totals too"
+        );
+    }
+}
+
+#[test]
+fn single_worker_runs_are_deterministic_per_seed() {
+    // Two fresh services, same spec/seed/shape: identical plans, identical
+    // final state, identical operation counts.  (Latency histograms are
+    // wall-clock and may differ; everything derived from the RNG must not.)
+    let run = || {
+        let spec = TmSpec::parse("rh2").expect("rh2");
+        let service = KvService::new(&spec, &KvConfig::new(3, 128, 1));
+        let opts = LoadOpts::new(25_000.0, Duration::from_millis(30))
+            .with_mix(transfer_mix())
+            .with_seed(0xd37e_0001);
+        let report = run_open_loop(&service, &opts);
+        (
+            report.generated,
+            report.completed,
+            report.applied_transfers,
+            report.declined_transfers,
+            service.snapshot(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce the exact same run");
+    let spec = TmSpec::parse("rh2").expect("rh2");
+    let service = KvService::new(&spec, &KvConfig::new(3, 128, 1));
+    let opts = LoadOpts::new(25_000.0, Duration::from_millis(30))
+        .with_mix(transfer_mix())
+        .with_seed(0x0bad_5eed);
+    let other = run_open_loop(&service, &opts);
+    assert_ne!(
+        (other.applied_transfers, other.declined_transfers),
+        (a.2, a.3),
+        "a different seed must drive a different run"
+    );
+}
