@@ -26,6 +26,10 @@
 //!   [`TxPtr`], record layouts, typed + checked allocation): zero-cost
 //!   `#[inline]` wrappers that replace hand-rolled offset arithmetic and
 //!   pointer null-sentinels in data-structure code.
+//! * [`reclaim`] — typed node pools with epoch-based reclamation
+//!   ([`NodePool`], [`EpochGuard`]): allocation over the per-thread arenas
+//!   of `rhtm_mem`, retire-on-remove and physical reuse once every thread
+//!   has passed the retiring epoch.
 //! * [`dynamic`] — object-safe, dyn-erased mirrors ([`DynRuntime`],
 //!   [`DynThread`]) so tests and examples can hold *any* runtime as a
 //!   `Box<dyn DynRuntime>` value instead of writing visitor structs.
@@ -60,6 +64,7 @@ pub mod abort;
 pub mod backoff;
 pub mod dynamic;
 pub mod latency;
+pub mod reclaim;
 pub mod retry;
 pub mod retry2;
 pub mod session;
@@ -72,6 +77,7 @@ pub use abort::{Abort, AbortCause, TxResult};
 pub use backoff::Backoff;
 pub use dynamic::{DynRuntime, DynThread, DynThreadExt, DynTxn};
 pub use latency::{LatencyHistogram, LatencySummary};
+pub use reclaim::{EpochGuard, NodePool};
 pub use retry::{
     AttemptContext, PathClass, RetryDecision, RetryPolicy, RetryPolicyHandle, RetryRng,
 };

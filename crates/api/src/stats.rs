@@ -4,6 +4,8 @@
 
 use std::time::{Duration, Instant};
 
+use rhtm_mem::MemMetrics;
+
 use crate::abort::AbortCause;
 
 /// Which execution path a transaction committed on.
@@ -245,6 +247,11 @@ pub struct TxStats {
     pub commit_ns: u64,
     /// Always-on retry-layer observability counters (see [`RetryMetrics`]).
     pub retry: RetryMetrics,
+    /// Always-on memory-subsystem counters (arena allocation, retire and
+    /// reclaim, epoch advances; see [`rhtm_mem::MemMetrics`]).  Updated by
+    /// the structure wrappers' `rhtm_api::reclaim` pools, merged here and
+    /// emitted in every bench JSON row as the `mem_metrics` object.
+    pub mem: MemMetrics,
     /// Whether fine-grained timing is enabled for this thread.
     pub timing: bool,
 }
@@ -347,6 +354,7 @@ impl TxStats {
         self.write_ns += other.write_ns;
         self.commit_ns += other.commit_ns;
         self.retry.merge(&other.retry);
+        self.mem.merge(&other.mem);
         self.timing |= other.timing;
     }
 

@@ -371,6 +371,21 @@ impl<T: Codec> TxCell<T> {
     pub fn store(self, heap: &TxHeap, value: T) {
         heap.store(self.addr, value.encode())
     }
+
+    /// Relaxed (non-transactional) load; sound only on data no other
+    /// thread is concurrently writing (construction, quiescent checks).
+    #[inline(always)]
+    pub fn load_relaxed(self, heap: &TxHeap) -> T {
+        T::decode(heap.load_relaxed(self.addr))
+    }
+
+    /// Relaxed (non-transactional) store — the bulk-prefill path.  Only
+    /// sound during single-threaded construction, before any worker thread
+    /// exists; spawning the workers publishes these stores.
+    #[inline(always)]
+    pub fn store_relaxed(self, heap: &TxHeap, value: T) {
+        heap.store_relaxed(self.addr, value.encode())
+    }
 }
 
 impl<T> Clone for TxCell<T> {
@@ -890,9 +905,18 @@ impl<T> OrSized<T> for Result<T, OutOfMemory> {
 
 /// A transactional in-heap freelist of `R` records.
 ///
-/// The idiom shape-changing structures need for time-bounded runs over the
-/// append-only bump allocator: removed records are pushed here and reused
-/// by later inserts *inside the same transactional world* — every link
+/// **Legacy compatibility API.**  The workspace structures have migrated
+/// to [`crate::reclaim::NodePool`], which recycles through per-thread
+/// epoch-stamped pools instead of a shared transactional chain: pushing
+/// the free link through the write set made every remove/insert pair
+/// conflict on the freelist head, and nodes were recycled the instant the
+/// remove committed, which is only sound while *all* traversals are fully
+/// transactional.  The type stays for out-of-tree users of the idiom and
+/// as the reference point the epoch scheme is argued against (see
+/// `docs/ARCHITECTURE.md`, "Memory subsystem").
+///
+/// The original idiom: removed records are pushed here and reused by
+/// later inserts *inside the same transactional world* — every link
 /// traversal is a transactional read, so there is no ABA.  One designated
 /// link field of the record doubles as the free-chain link (free records
 /// are unreachable from the live structure, so the reuse is safe).

@@ -187,6 +187,12 @@ fn main() {
             );
             regressions += p.regressed as usize;
         }
+    } else if !base.lat_points.is_empty() && base.p99_estimator != new.p99_estimator {
+        eprintln!(
+            "note: latency gate skipped — the documents name different p99 \
+             estimators ({:?} vs {:?})",
+            base.p99_estimator, new.p99_estimator
+        );
     }
     let mode = if raw { "raw" } else { "normalized" };
     let total = compared.len() + lat_compared.len();

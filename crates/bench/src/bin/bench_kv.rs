@@ -7,15 +7,18 @@
 //! ```text
 //! cargo run -p rhtm-bench --release --bin bench_kv -- \
 //!     [--smoke] [--list] [scenarios=a,b,..] [spec=l1,l2,..] \
-//!     [shards=N,M,..] [rate=N,M,..] [arrival=poisson|burst-N] \
-//!     [threads=N] [--duration-ms=N] [--seed=N]
+//!     [shards=N,M,..] [rate=N,M,..] [keys=N,M,..] \
+//!     [arrival=poisson|burst-N] [threads=N] [--duration-ms=N] [--seed=N]
 //! ```
 //!
 //! * `--list` prints the KV scenario registry and exits.
 //! * `--smoke` is the CI configuration: two scenarios, two shard counts,
 //!   two offered rates, short horizons.
-//! * `shards=` / `rate=` are sweep axes (every combination runs);
-//!   omitting `shards=` uses each scenario's registered default.
+//! * `shards=` / `rate=` / `keys=` are sweep axes (every combination
+//!   runs); omitting `shards=` uses each scenario's registered default,
+//!   omitting `keys=` uses each scenario's registered key space.  `keys=`
+//!   scales the footprint without changing the mix — the axis behind the
+//!   million-key memory-subsystem runs.
 //! * `threads=` sets the open-loop *worker* count.  One worker (the
 //!   default) makes each run a pure function of the seed.
 //!
@@ -55,6 +58,7 @@ struct Sweep {
     scenarios: Vec<&'static KvScenario>,
     specs: Vec<TmSpec>,
     shards: Option<Vec<usize>>,
+    keys: Option<Vec<u64>>,
     rates: Vec<u64>,
     arrival: Arrival,
     workers: usize,
@@ -71,6 +75,7 @@ impl Sweep {
                 .collect(),
             specs: vec![TmSpec::parse("rh2").expect("rh2")],
             shards: Some(vec![1, 2]),
+            keys: None,
             rates: vec![10_000, 40_000],
             arrival: Arrival::Poisson,
             workers: 1,
@@ -87,6 +92,7 @@ impl Sweep {
                 .map(|l| TmSpec::parse(l).expect("default spec"))
                 .collect(),
             shards: None,
+            keys: None,
             rates: vec![20_000],
             arrival: Arrival::Poisson,
             workers: 1,
@@ -131,6 +137,14 @@ fn main() {
                     "bad shard list '{list}' (expected e.g. shards=1,2,4)"
                 )),
             }
+        } else if let Some(list) = arg.strip_prefix("keys=") {
+            let parsed: Result<Vec<u64>, _> = list.split(',').map(|s| s.trim().parse()).collect();
+            match parsed {
+                Ok(k) if !k.is_empty() && k.iter().all(|&n| n >= 1) => sweep.keys = Some(k),
+                _ => fail(format!(
+                    "bad key-space list '{list}' (expected e.g. keys=8192,1000000)"
+                )),
+            }
         } else if let Some(list) = arg.strip_prefix("rate=") {
             let parsed: Result<Vec<u64>, _> = list.split(',').map(|s| s.trim().parse()).collect();
             match parsed {
@@ -159,7 +173,8 @@ fn main() {
         } else {
             fail(format!(
                 "unknown argument '{arg}' (expected --smoke, --list, scenarios=, \
-                 spec=, shards=, rate=, arrival=, threads=, --duration-ms=, --seed=)"
+                 spec=, shards=, rate=, keys=, arrival=, threads=, --duration-ms=, \
+                 --seed=)"
             ));
         }
     }
@@ -167,6 +182,7 @@ fn main() {
     let total = sweep.scenarios.len()
         * sweep.specs.len()
         * sweep.shards.as_ref().map_or(1, Vec::len)
+        * sweep.keys.as_ref().map_or(1, Vec::len)
         * sweep.rates.len();
     eprintln!(
         "# bench_kv: {total} rows ({} ms horizon, {} worker(s), {} arrivals, seed {:#x})",
@@ -181,50 +197,57 @@ fn main() {
             .shards
             .clone()
             .unwrap_or_else(|| vec![scenario.shards]);
+        let key_axis = sweep
+            .keys
+            .clone()
+            .unwrap_or_else(|| vec![scenario.key_space]);
         for spec in &sweep.specs {
             for &shards in &shard_axis {
-                for &rate in &sweep.rates {
-                    eprintln!(
-                        "# [{}/{total}] {} / {} / {shards} shard(s) @ {rate}/s",
-                        rows.len() + 1,
-                        scenario.name,
-                        spec.label()
-                    );
-                    let service = scenario.service(spec, shards, sweep.workers);
-                    let opts = LoadOpts::new(rate as f64, sweep.duration)
-                        .with_workers(sweep.workers)
-                        .with_arrival(sweep.arrival)
-                        .with_mix(scenario.mix)
-                        .with_seed(sweep.seed);
-                    let report = run_open_loop(&service, &opts);
-                    if scenario.mix.conserves_balance() {
-                        let checker = ShardedBankChecker::for_service(&service);
-                        let history = History::from_recorders(report.histories);
-                        if let Err(v) = checker.check(&history) {
-                            fail(format!(
-                                "consistency violation in {} ({} shards): {}",
-                                scenario.name, shards, v.detail
-                            ));
+                for &keys in &key_axis {
+                    for &rate in &sweep.rates {
+                        eprintln!(
+                            "# [{}/{total}] {} / {} / {shards} shard(s) / {keys} keys @ {rate}/s",
+                            rows.len() + 1,
+                            scenario.name,
+                            spec.label()
+                        );
+                        let service = scenario.service_with_keys(spec, shards, sweep.workers, keys);
+                        let opts = LoadOpts::new(rate as f64, sweep.duration)
+                            .with_workers(sweep.workers)
+                            .with_arrival(sweep.arrival)
+                            .with_mix(scenario.mix)
+                            .with_seed(sweep.seed);
+                        let report = run_open_loop(&service, &opts);
+                        if scenario.mix.conserves_balance() {
+                            let checker = ShardedBankChecker::for_service(&service);
+                            let history = History::from_recorders(report.histories);
+                            if let Err(v) = checker.check(&history) {
+                                fail(format!(
+                                    "consistency violation in {} ({} shards): {}",
+                                    scenario.name, shards, v.detail
+                                ));
+                            }
                         }
+                        rows.push(KvRow {
+                            scenario: scenario.name.to_string(),
+                            spec: spec.label(),
+                            shards,
+                            key_space: keys,
+                            op_mix: scenario.mix.label(),
+                            offered_rate: report.offered_rate,
+                            arrival: report.arrival.label(),
+                            threads: sweep.workers,
+                            generated: report.generated,
+                            completed: report.completed,
+                            applied_transfers: report.applied_transfers,
+                            declined_transfers: report.declined_transfers,
+                            goodput_ops_per_sec: report.goodput,
+                            commits: report.commits,
+                            aborts: report.aborts,
+                            mem: report.mem,
+                            latency: report.latency.summary(),
+                        });
                     }
-                    rows.push(KvRow {
-                        scenario: scenario.name.to_string(),
-                        spec: spec.label(),
-                        shards,
-                        key_space: scenario.key_space,
-                        op_mix: scenario.mix.label(),
-                        offered_rate: report.offered_rate,
-                        arrival: report.arrival.label(),
-                        threads: sweep.workers,
-                        generated: report.generated,
-                        completed: report.completed,
-                        applied_transfers: report.applied_transfers,
-                        declined_transfers: report.declined_transfers,
-                        goodput_ops_per_sec: report.goodput,
-                        commits: report.commits,
-                        aborts: report.aborts,
-                        latency: report.latency.summary(),
-                    });
                 }
             }
         }

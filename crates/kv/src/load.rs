@@ -20,6 +20,7 @@
 use std::time::{Duration, Instant};
 
 use rhtm_api::LatencyHistogram;
+use rhtm_mem::MemMetrics;
 use rhtm_workloads::check::{EventKind, HistoryRecorder};
 use rhtm_workloads::WorkloadRng;
 
@@ -257,6 +258,9 @@ pub struct LoadReport {
     pub commits: u64,
     /// Aborted transaction attempts across all workers and shards.
     pub aborts: u64,
+    /// Allocation/reclamation counters merged across all workers and
+    /// shards (fresh words, retired/reclaimed nodes, epoch advances).
+    pub mem: MemMetrics,
     /// Per-worker transfer event logs (globally-keyed), ready for
     /// [`rhtm_workloads::check::History::from_recorders`] and the
     /// [`crate::ShardedBankChecker`].
@@ -349,7 +353,15 @@ fn serve_worker(
     service: &KvService,
     plan: &[PlannedOp],
     start: Instant,
-) -> (LatencyHistogram, HistoryRecorder, u64, u64, u64, u64) {
+) -> (
+    LatencyHistogram,
+    HistoryRecorder,
+    u64,
+    u64,
+    u64,
+    u64,
+    MemMetrics,
+) {
     let mut worker = service.worker();
     let mut latency = LatencyHistogram::new();
     let mut recorder = HistoryRecorder::new();
@@ -409,7 +421,8 @@ fn serve_worker(
         latency.record(served_at.saturating_duration_since(deadline).as_nanos() as u64);
     }
     let (commits, aborts) = worker.stats();
-    (latency, recorder, applied, declined, commits, aborts)
+    let mem = worker.mem_metrics();
+    (latency, recorder, applied, declined, commits, aborts, mem)
 }
 
 /// Runs one open-loop measurement: plans every worker's request stream,
@@ -440,13 +453,15 @@ pub fn run_open_loop(service: &KvService, opts: &LoadOpts) -> LoadReport {
     let mut latency = LatencyHistogram::new();
     let mut histories = Vec::with_capacity(results.len());
     let (mut applied, mut declined, mut commits, mut aborts) = (0u64, 0u64, 0u64, 0u64);
-    for (h, rec, ap, de, co, ab) in results {
+    let mut mem = MemMetrics::default();
+    for (h, rec, ap, de, co, ab, m) in results {
         latency.merge(&h);
         histories.push(rec);
         applied += ap;
         declined += de;
         commits += co;
         aborts += ab;
+        mem.merge(&m);
     }
     let completed = latency.count();
     let denom = elapsed.max(opts.duration).as_secs_f64();
@@ -466,6 +481,7 @@ pub fn run_open_loop(service: &KvService, opts: &LoadOpts) -> LoadReport {
         latency,
         commits,
         aborts,
+        mem,
         histories,
     }
 }
@@ -542,5 +558,23 @@ mod tests {
             report.applied_transfers + report.declined_transfers,
             report.histories.iter().map(|h| h.len() as u64).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn churn_mixes_report_allocation_and_reclamation() {
+        let spec = TmSpec::new(AlgoKind::Rh2);
+        let service = KvService::new(&spec, &KvConfig::new(2, 256, 2));
+        let opts = LoadOpts::new(20_000.0, Duration::from_millis(40))
+            .with_workers(2)
+            .with_mix(KvMix::new(20, 40, 40, 0));
+        let report = run_open_loop(&service, &opts);
+        assert_eq!(report.completed, report.generated);
+        // Deletes retire nodes and steady churn reclaims them; fresh
+        // allocation (alloc_words) stays *optional* because cross-slot
+        // stealing can satisfy every re-insert from recycled memory.
+        assert!(report.mem.retired > 0, "{:?}", report.mem);
+        assert!(report.mem.reclaimed > 0, "{:?}", report.mem);
+        assert!(report.mem.reclaimed <= report.mem.retired);
+        assert!(report.mem.epoch_advances > 0, "{:?}", report.mem);
     }
 }

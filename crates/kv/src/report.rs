@@ -2,6 +2,7 @@
 //! like every emitter in this offline workspace.
 
 use rhtm_api::LatencySummary;
+use rhtm_mem::MemMetrics;
 
 /// Escapes a string as a JSON string literal.
 fn json_str(s: &str) -> String {
@@ -55,6 +56,8 @@ pub struct KvRow {
     pub commits: u64,
     /// Aborted attempts across workers and shards.
     pub aborts: u64,
+    /// Allocation/reclamation counters merged across workers and shards.
+    pub mem: MemMetrics,
     /// The latency tail summary (nanoseconds).
     pub latency: LatencySummary,
 }
@@ -72,6 +75,8 @@ pub struct KvRow {
 ///       "threads": N, "generated": N, "completed": N,
 ///       "applied_transfers": N, "declined_transfers": N,
 ///       "goodput_ops_per_sec": X, "commits": N, "aborts": N,
+///       "mem_metrics": { "alloc_words": N, "retired": N,
+///                        "reclaimed": N, "epoch_advances": N },
 ///       "latency": { "count": N, "p50_ns": N, "p90_ns": N,
 ///                    "p99_ns": N, "p999_ns": N, "max_ns": N } }
 ///   ]
@@ -119,6 +124,11 @@ pub fn kv_suite_to_json(seed: u64, duration_ms: u64, threads: usize, rows: &[KvR
         out.push_str(&format!("      \"commits\": {},\n", r.commits));
         out.push_str(&format!("      \"aborts\": {},\n", r.aborts));
         out.push_str(&format!(
+            "      \"mem_metrics\": {{\"alloc_words\": {}, \"retired\": {}, \
+             \"reclaimed\": {}, \"epoch_advances\": {}}},\n",
+            r.mem.alloc_words, r.mem.retired, r.mem.reclaimed, r.mem.epoch_advances
+        ));
+        out.push_str(&format!(
             "      \"latency\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
              \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}\n",
             r.latency.count,
@@ -156,6 +166,12 @@ mod tests {
             goodput_ops_per_sec: 19_800.5,
             commits: 2000,
             aborts: 3,
+            mem: MemMetrics {
+                alloc_words: 4800,
+                retired: 190,
+                reclaimed: 185,
+                epoch_advances: 12,
+            },
             latency: LatencySummary {
                 count: 2000,
                 p50: 1200,
@@ -175,6 +191,8 @@ mod tests {
             "\"offered_rate\": 20000.0",
             "\"arrival\": \"poisson\"",
             "\"goodput_ops_per_sec\": 19800.5",
+            "\"mem_metrics\": {\"alloc_words\": 4800, \"retired\": 190, \
+             \"reclaimed\": 185, \"epoch_advances\": 12}",
             "\"latency\": {\"count\": 2000",
             "\"p50_ns\": 1200",
             "\"p99_ns\": 9000",

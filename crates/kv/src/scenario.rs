@@ -74,6 +74,19 @@ const REGISTRY: &[KvScenario] = &[
         },
         about: "eight-way partition with a trickle of cross-shard work: the scaling shape",
     },
+    KvScenario {
+        name: "kv-churn-1m",
+        shards: 4,
+        key_space: 1_000_000,
+        mix: KvMix {
+            get_pct: 40,
+            put_pct: 30,
+            delete_pct: 30,
+            transfer_pct: 0,
+        },
+        about: "insert/remove steady state over a million keys: the memory-subsystem shape \
+                (segmented heaps, arena allocation, epoch reclamation)",
+    },
 ];
 
 impl KvScenario {
@@ -92,7 +105,19 @@ impl KvScenario {
     /// (pass [`KvScenario::shards`] for the registered default), sized
     /// for `workers` concurrent workers.
     pub fn service(&self, spec: &TmSpec, shards: usize, workers: usize) -> KvService {
-        KvService::new(spec, &KvConfig::new(shards, self.key_space, workers))
+        self.service_with_keys(spec, shards, workers, self.key_space)
+    }
+
+    /// [`KvScenario::service`] with the key space overridden (the
+    /// `keys=` CLI axis): same mix and shape, different footprint.
+    pub fn service_with_keys(
+        &self,
+        spec: &TmSpec,
+        shards: usize,
+        workers: usize,
+        key_space: u64,
+    ) -> KvService {
+        KvService::new(spec, &KvConfig::new(shards, key_space, workers))
     }
 }
 

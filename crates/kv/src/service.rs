@@ -3,10 +3,14 @@
 
 use std::sync::Arc;
 
+use rhtm_api::typed::OrSized;
 use rhtm_api::{DynThread, DynThreadExt};
-use rhtm_mem::MemConfig;
+use rhtm_mem::{MemConfig, MemMetrics};
 use rhtm_workloads::structures::skiplist::InsertOutcome;
 use rhtm_workloads::{TmInstance, TmSpec, TxSkipList};
+
+/// The sizing helper named when a shard heap cannot hold its prefill.
+const SIZING_HINT: &str = "TxSkipList::required_words(max_live, threads)";
 
 /// Static shape of a [`KvService`].
 #[derive(Clone, Copy, Debug)]
@@ -100,19 +104,28 @@ impl KvService {
                 KvShard { instance, map }
             })
             .collect();
-        let service = KvService {
+        // Bulk prefill: the key loop hands each shard its local keys in
+        // ascending order, so every insert takes the seeder's O(1)
+        // tail-append path and node memory is carved in chunks — prefill
+        // cost is proportional to live data, which is what lets the
+        // million-key scenarios start in seconds.
+        {
+            let mut seeders: Vec<_> = shards.iter().map(|sh| sh.map.seeder()).collect();
+            let n = config.shards as u64;
+            for key in 0..config.key_space {
+                let s = (key % n) as usize;
+                let local = 1 + key / n;
+                seeders[s]
+                    .insert(local, config.initial_value)
+                    .or_sized(SIZING_HINT);
+            }
+        }
+        KvService {
             spec_label: spec.label(),
             shards,
             key_space: config.key_space,
             initial_value: config.initial_value,
-        };
-        for key in 0..config.key_space {
-            let (s, local) = service.route(key);
-            service.shards[s]
-                .map
-                .seed_insert(local, config.initial_value);
         }
-        service
     }
 
     /// The label of the spec every shard was built from.
@@ -207,32 +220,49 @@ impl KvWorker<'_> {
 
     /// Transactionally inserts or overwrites `key`.  Returns `true` when
     /// the key was newly inserted.
+    ///
+    /// Follows the pool life cycle: the spare node is allocated (recycled
+    /// when possible) before the pinned transaction, and goes back to the
+    /// pool when the key turned out to exist.  Exactly one transaction
+    /// commits per call.
     pub fn put(&mut self, key: u64, value: u64) -> bool {
         let service = self.service;
         let (s, local) = service.route(key);
         let shard = &service.shards[s];
-        let mut spare = None;
-        loop {
-            if spare.is_none() && shard.map.needs_spare() {
-                spare = Some(shard.map.alloc_spare());
+        let th = &mut self.threads[s];
+        let tid = th.thread_id();
+        let spare = shard.map.alloc_spare(tid, &mut th.stats_mut().mem);
+        let outcome = {
+            let _guard = shard.map.pin(tid);
+            th.run(|tx| shard.map.insert_in(tx, local, value, Some(spare)))
+        };
+        match outcome {
+            InsertOutcome::Inserted => true,
+            InsertOutcome::Updated => {
+                shard.map.give_back_spare(tid, spare);
+                false
             }
-            let sp = spare;
-            match self.threads[s].run(|tx| shard.map.insert_in(tx, local, value, sp)) {
-                InsertOutcome::Inserted => return true,
-                InsertOutcome::Updated => return false,
-                // The freelist emptied inside the transaction and no spare
-                // was pre-allocated; allocate one and re-run.
-                InsertOutcome::NeedNode => spare = Some(shard.map.alloc_spare()),
-            }
+            InsertOutcome::NeedNode => unreachable!("a spare was supplied"),
         }
     }
 
-    /// Transactionally removes `key`, returning the removed value.
+    /// Transactionally removes `key`, returning the removed value.  The
+    /// node is retired once the remove commits and recycled into later
+    /// puts after every thread has passed the retiring epoch.
     pub fn delete(&mut self, key: u64) -> Option<u64> {
         let service = self.service;
         let (s, local) = service.route(key);
         let shard = &service.shards[s];
-        self.threads[s].run(|tx| shard.map.remove_in(tx, local))
+        let th = &mut self.threads[s];
+        let tid = th.thread_id();
+        let removed = {
+            let _guard = shard.map.pin(tid);
+            th.run(|tx| shard.map.remove_in(tx, local))
+        };
+        removed.map(|(value, node)| {
+            shard.map.retire_node(tid, node, &mut th.stats_mut().mem);
+            value
+        })
     }
 
     /// Reads several keys with one transaction per touched shard.  Each
@@ -340,27 +370,21 @@ impl KvWorker<'_> {
     fn credit_upsert(&mut self, s: usize, local: u64, amount: u64) {
         let service = self.service;
         let shard = &service.shards[s];
-        let mut spare = None;
-        loop {
-            if spare.is_none() && shard.map.needs_spare() {
-                spare = Some(shard.map.alloc_spare());
-            }
-            let sp = spare;
-            let outcome = self.threads[s].run(|tx| match shard.map.get_in(tx, local)? {
+        let th = &mut self.threads[s];
+        let tid = th.thread_id();
+        let spare = shard.map.alloc_spare(tid, &mut th.stats_mut().mem);
+        let outcome = {
+            let _guard = shard.map.pin(tid);
+            th.run(|tx| match shard.map.get_in(tx, local)? {
                 Some(b) => {
                     shard.map.update_in(tx, local, b + amount)?;
-                    if let Some(sp) = sp {
-                        // Bank the unused pre-allocated spare, never leak.
-                        shard.map.bank_spare(tx, sp)?;
-                    }
                     Ok(InsertOutcome::Updated)
                 }
-                None => shard.map.insert_in(tx, local, amount, sp),
-            });
-            match outcome {
-                InsertOutcome::NeedNode => spare = Some(shard.map.alloc_spare()),
-                _ => return,
-            }
+                None => shard.map.insert_in(tx, local, amount, Some(spare)),
+            })
+        };
+        if outcome != InsertOutcome::Inserted {
+            shard.map.give_back_spare(tid, spare);
         }
     }
 
@@ -369,6 +393,16 @@ impl KvWorker<'_> {
         self.threads.iter().fold((0, 0), |(c, a), t| {
             (c + t.stats().commits(), a + t.stats().aborts())
         })
+    }
+
+    /// Summed allocation/reclamation metrics across this worker's
+    /// per-shard threads.
+    pub fn mem_metrics(&self) -> MemMetrics {
+        let mut merged = MemMetrics::default();
+        for t in &self.threads {
+            merged.merge(&t.stats().mem);
+        }
+        merged
     }
 }
 

@@ -1,0 +1,235 @@
+//! The memory-subsystem primitives shared by allocation and reclamation:
+//! per-thread allocation metrics and the epoch set.
+//!
+//! This module holds the *mechanism* layer of the memory subsystem.  The
+//! per-thread arena allocator itself lives on [`crate::TmMemory`]
+//! (`arena_try_alloc`), because it carves blocks out of the memory
+//! region's bump cursor; the typed node pools that combine arenas with
+//! epoch-based reclamation live one crate up, in `rhtm_api::reclaim`.
+//!
+//! ## Epoch scheme
+//!
+//! [`EpochSet`] is a classic three-epoch reclamation clock.  A global
+//! epoch counter starts at 2 (so the value 0 can mean "unpinned" in the
+//! per-thread pin slots).  A thread *pins* the current epoch around any
+//! operation that may traverse shared nodes, and *unpins* (writes 0) when
+//! done.  The epoch advances (`try_advance`) only when every pin slot is
+//! either unpinned or already at the current epoch — so after **two**
+//! advances past an epoch `e`, no thread can still hold a reference
+//! acquired at `e`, and anything retired at `e` is physically reclaimable
+//! (`is_safe`).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::pad::CachePadded;
+
+/// Per-thread allocation/reclamation counters, merged into
+/// `rhtm_api::TxStats` and emitted in every bench JSON row.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemMetrics {
+    /// Heap words handed out by fresh (arena or global) allocation —
+    /// recycled nodes do not count.
+    pub alloc_words: u64,
+    /// Nodes retired (logically freed inside a committed remove).
+    pub retired: u64,
+    /// Retired nodes physically reclaimed after their epoch passed.
+    pub reclaimed: u64,
+    /// Successful global epoch advances driven by this thread.
+    pub epoch_advances: u64,
+}
+
+impl MemMetrics {
+    /// Accumulates `other` into `self` (all counters are additive).
+    pub fn merge(&mut self, other: &MemMetrics) {
+        self.alloc_words += other.alloc_words;
+        self.retired += other.retired;
+        self.reclaimed += other.reclaimed;
+        self.epoch_advances += other.epoch_advances;
+    }
+}
+
+/// The value of an unpinned slot.  The global epoch starts at
+/// [`EpochSet::FIRST_EPOCH`] and only grows, so a pin slot can never
+/// legitimately hold 0.
+const UNPINNED: u64 = 0;
+
+/// A global epoch counter plus per-thread pin slots, one epoch domain per
+/// [`crate::TmMemory`] (one per shard/runtime instance).
+pub struct EpochSet {
+    global: CachePadded<AtomicU64>,
+    pins: Box<[CachePadded<AtomicU64>]>,
+    /// One past the highest thread id that ever pinned: `try_advance`
+    /// scans only this prefix, so a 64-slot set costs a single-threaded
+    /// run one pin-slot load per advance attempt, not 64.
+    watermark: AtomicUsize,
+}
+
+impl EpochSet {
+    /// The initial global epoch.
+    pub const FIRST_EPOCH: u64 = 2;
+
+    /// An epoch set with `max_threads` pin slots.
+    pub fn new(max_threads: usize) -> Self {
+        let pins = (0..max_threads)
+            .map(|_| CachePadded::new(AtomicU64::new(UNPINNED)))
+            .collect();
+        EpochSet {
+            global: CachePadded::new(AtomicU64::new(Self::FIRST_EPOCH)),
+            pins,
+            watermark: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of pin slots.
+    pub fn capacity(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The current global epoch.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Pins `thread_id` at the current epoch and returns it.
+    ///
+    /// The store-then-recheck loop closes the classic race where the
+    /// global advances between reading it and publishing the pin: the pin
+    /// only returns once the published value matches the global, so an
+    /// advancer that missed this pin cannot have advanced *past* it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `thread_id` is outside the configured capacity.
+    pub fn pin(&self, thread_id: usize) -> u64 {
+        if thread_id >= self.watermark.load(Ordering::Relaxed) {
+            self.watermark.fetch_max(thread_id + 1, Ordering::SeqCst);
+        }
+        loop {
+            let e = self.global.load(Ordering::SeqCst);
+            self.pins[thread_id].store(e, Ordering::SeqCst);
+            if self.global.load(Ordering::SeqCst) == e {
+                return e;
+            }
+        }
+    }
+
+    /// Clears `thread_id`'s pin.
+    #[inline]
+    pub fn unpin(&self, thread_id: usize) {
+        self.pins[thread_id].store(UNPINNED, Ordering::SeqCst);
+    }
+
+    /// Tries to advance the global epoch by one.  Succeeds only when every
+    /// pin slot is unpinned or already at the current epoch; returns
+    /// whether this call performed the advance.
+    pub fn try_advance(&self) -> bool {
+        let e = self.global.load(Ordering::SeqCst);
+        let scan = self.watermark.load(Ordering::SeqCst);
+        for pin in &self.pins[..scan] {
+            let v = pin.load(Ordering::SeqCst);
+            if v != UNPINNED && v != e {
+                return false;
+            }
+        }
+        self.global
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Whether something retired at `retired_at` is physically
+    /// reclaimable: the global epoch has advanced at least twice past it,
+    /// so no thread can still hold a reference acquired before the
+    /// retiring remove committed.
+    #[inline]
+    pub fn is_safe(&self, retired_at: u64) -> bool {
+        self.current() >= retired_at + 2
+    }
+}
+
+impl std::fmt::Debug for EpochSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochSet")
+            .field("global", &self.current())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_merge_is_additive() {
+        let mut a = MemMetrics {
+            alloc_words: 1,
+            retired: 2,
+            reclaimed: 3,
+            epoch_advances: 4,
+        };
+        let b = MemMetrics {
+            alloc_words: 10,
+            retired: 20,
+            reclaimed: 30,
+            epoch_advances: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            MemMetrics {
+                alloc_words: 11,
+                retired: 22,
+                reclaimed: 33,
+                epoch_advances: 44,
+            }
+        );
+        let mut fresh = MemMetrics::default();
+        fresh.merge(&a);
+        assert_eq!(fresh, a);
+    }
+
+    #[test]
+    fn epochs_start_at_two_and_advance_when_unpinned() {
+        let e = EpochSet::new(4);
+        assert_eq!(e.current(), 2);
+        assert!(e.try_advance());
+        assert_eq!(e.current(), 3);
+        assert!(!e.is_safe(2), "needs two advances past the retire epoch");
+        assert!(e.try_advance());
+        assert!(e.is_safe(2));
+        assert!(!e.is_safe(3));
+    }
+
+    #[test]
+    fn a_lagging_pin_blocks_the_advance() {
+        let e = EpochSet::new(4);
+        assert_eq!(e.pin(1), 2);
+        // A pin at the current epoch does not block (it has already seen
+        // this epoch's world).
+        assert!(e.try_advance());
+        assert_eq!(e.current(), 3);
+        // But now slot 1 lags at 2, so the next advance is blocked.
+        assert!(!e.try_advance());
+        assert_eq!(e.current(), 3);
+        e.unpin(1);
+        assert!(e.try_advance());
+        assert_eq!(e.current(), 4);
+    }
+
+    #[test]
+    fn repinning_catches_up_to_the_current_epoch() {
+        let e = EpochSet::new(2);
+        assert_eq!(e.pin(0), 2);
+        e.unpin(0);
+        assert!(e.try_advance());
+        assert_eq!(e.pin(0), 3, "pin returns the live epoch");
+    }
+
+    #[test]
+    #[should_panic]
+    fn pinning_past_capacity_panics() {
+        let e = EpochSet::new(2);
+        e.pin(2);
+    }
+}

@@ -1,23 +1,48 @@
 //! The word-addressed transactional heap.
 //!
-//! [`TxHeap`] is a fixed-size array of `AtomicU64` words.  Every access the
+//! [`TxHeap`] is a segmented array of `AtomicU64` words.  Every access the
 //! protocols perform — speculative or not — ultimately lands here.  The heap
 //! deliberately exposes only *word* operations (load, store, CAS,
 //! fetch-add): the transactional semantics (buffering, conflict detection,
 //! versioning) are implemented by the runtimes layered on top.
 //!
-//! All orderings are `SeqCst`.  The protocols in the paper are described on
-//! a TSO machine (x86) where every shared access is strongly ordered enough
-//! for the algorithms' arguments; `SeqCst` keeps the simulation faithful on
-//! any host and keeps the safety argument simple.  The cost is identical for
-//! every runtime, so relative comparisons (the paper's subject) are
-//! unaffected.
+//! All transactional-path orderings are `SeqCst`.  The protocols in the
+//! paper are described on a TSO machine (x86) where every shared access is
+//! strongly ordered enough for the algorithms' arguments; `SeqCst` keeps the
+//! simulation faithful on any host and keeps the safety argument simple.
+//! The cost is identical for every runtime, so relative comparisons (the
+//! paper's subject) are unaffected.  The `*_relaxed` variants exist only for
+//! single-threaded construction (prefill before any worker spawns; the
+//! spawn itself is the synchronisation point).
+//!
+//! ## Segment table
+//!
+//! The heap used to be one flat `Box<[AtomicU64]>`, which meant a
+//! million-key shard paid for — and zeroed — its whole worst-case footprint
+//! at construction.  It is now a table of fixed-size segments
+//! ([`SEGMENT_WORDS`] words each; the last segment is truncated to the
+//! configured length so out-of-bounds accesses still panic at the exact
+//! word).  The [`Addr`] space is unchanged and stable: `addr >>
+//! SEGMENT_SHIFT` selects the segment, the low bits index into it.
+//! Segments materialise lazily on first touch, so construction is O(1) and
+//! resident memory is proportional to the data actually touched, not to
+//! `MemConfig::data_words`.
+//!
+//! A heap of at most [`FLAT_MAX_WORDS`] words — every closed-loop benchmark
+//! workload; only the million-key KV shards exceed it — skips the table
+//! entirely: it is stored as one flat, eagerly-zeroed array, so the word
+//! path keeps the original single-bounds-check load.  The segment
+//! indirection (an `OnceLock` acquire plus a second bounds check, on a
+//! path that performs three heap loads per transactional read) was
+//! measured at 30-45% on the pointer-chasing read workloads (rbtree,
+//! sorted list) under TL2; the flat fast path confines that cost to heaps
+//! big enough that lazy materialisation genuinely pays for it.
 //!
 //! ## Layout note (cache-line padding audit)
 //!
-//! The heap is deliberately a flat `Box<[AtomicU64]>` rather than an array
-//! of 64-byte-aligned line groups.  Storing it as `[repr(align(64))]` lines
-//! was measured and rejected: the two-level index (plus the word-granular
+//! Each segment is a flat `Box<[AtomicU64]>` rather than an array of
+//! 64-byte-aligned line groups.  Storing it as `[repr(align(64))]` lines
+//! was measured and rejected: the extra index level (plus the word-granular
 //! bound check the rounded-up line array then needs) costs several percent
 //! on the software read path, which performs three heap loads per
 //! transactional read, while the alignment only tightens false-sharing at
@@ -26,40 +51,148 @@
 //! [`crate::CachePadded`] instead.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::addr::Addr;
 
-/// A fixed-size, word-addressed shared heap of `AtomicU64` cells.
+/// log2 of the words in one fully-sized heap segment: 2^18 words = 2 MiB.
+///
+/// Small enough that toy test heaps stay one short segment, large enough
+/// that a million-key shard is a few dozen segments.
+pub const SEGMENT_SHIFT: usize = 18;
+
+/// Words in one fully-sized heap segment (the last segment of a heap is
+/// truncated to the configured length).
+pub const SEGMENT_WORDS: usize = 1 << SEGMENT_SHIFT;
+
+/// Largest heap (in words — 2^21 words = 16 MiB) stored flat rather than
+/// segmented.  Below this, eager zero-fill costs at most a few
+/// milliseconds and the hot word path keeps its single bounds check;
+/// above it (the million-key KV shards, tens of MiB per shard), lazy
+/// per-segment materialisation wins.
+pub const FLAT_MAX_WORDS: usize = 1 << 21;
+
+/// One lazily-materialised run of heap words.
+struct Segment {
+    words: OnceLock<Box<[AtomicU64]>>,
+    len: usize,
+}
+
+impl Segment {
+    /// The segment's words, zero-filled on first touch.
+    #[inline]
+    fn words(&self) -> &[AtomicU64] {
+        self.words.get_or_init(|| {
+            let mut v = Vec::with_capacity(self.len);
+            v.resize_with(self.len, || AtomicU64::new(0));
+            v.into_boxed_slice()
+        })
+    }
+}
+
+/// A fixed-size, word-addressed shared heap of `AtomicU64` cells, stored
+/// flat up to [`FLAT_MAX_WORDS`] and as a table of lazily-materialised
+/// segments behind a stable [`Addr`] space otherwise.
+///
+/// The two representations are sibling slices (exactly one is non-empty)
+/// rather than an enum: on the hot path the flat slice's bounds check
+/// doubles as the representation dispatch, so flat heaps pay no
+/// discriminant load — `cell` compiles to the same single-bounds-check
+/// indexing the pre-segmentation heap had.
 pub struct TxHeap {
-    words: Box<[AtomicU64]>,
+    /// The whole heap for flat heaps; empty for segmented ones.
+    flat: Box<[AtomicU64]>,
+    /// The segment table for segmented heaps; empty for flat ones.
+    segments: Box<[Segment]>,
+    len: usize,
 }
 
 impl TxHeap {
-    /// Creates a heap of `len` words, all initialised to zero.
+    /// Creates a heap of `len` words, all logically zero.  Heaps up to
+    /// [`FLAT_MAX_WORDS`] are allocated (and zeroed) eagerly; larger heaps
+    /// materialise each segment on first access, so construction cost does
+    /// not scale with `len`.
     pub fn new(len: usize) -> Self {
-        let mut v = Vec::with_capacity(len);
-        v.resize_with(len, || AtomicU64::new(0));
+        let (flat, segments) = if len <= FLAT_MAX_WORDS {
+            let mut v = Vec::with_capacity(len);
+            v.resize_with(len, || AtomicU64::new(0));
+            (v.into_boxed_slice(), Box::from([]))
+        } else {
+            let segments: Box<[Segment]> = (0..len.div_ceil(SEGMENT_WORDS))
+                .map(|i| Segment {
+                    words: OnceLock::new(),
+                    len: (len - i * SEGMENT_WORDS).min(SEGMENT_WORDS),
+                })
+                .collect();
+            (Box::from([]), segments)
+        };
         TxHeap {
-            words: v.into_boxed_slice(),
+            flat,
+            segments,
+            len,
         }
     }
 
     /// Number of words in the heap.
     #[inline(always)]
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// Returns `true` if the heap has no words (only possible for a
     /// zero-sized configuration, which no runtime uses).
     #[inline(always)]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
+    }
+
+    /// Total number of segments backing this heap's address space (1 for
+    /// a flat heap).
+    pub fn segment_count(&self) -> usize {
+        if self.segments.is_empty() {
+            1
+        } else {
+            self.segments.len()
+        }
+    }
+
+    /// Number of segments materialised so far — the resident footprint, as
+    /// opposed to the configured address space.  A flat heap is fully
+    /// resident from construction.
+    pub fn resident_segments(&self) -> usize {
+        if self.segments.is_empty() {
+            1
+        } else {
+            self.segments
+                .iter()
+                .filter(|s| s.words.get().is_some())
+                .count()
+        }
     }
 
     #[inline(always)]
     fn cell(&self, addr: Addr) -> &AtomicU64 {
-        &self.words[addr.0]
+        // All indexings panic on out-of-range addresses: the empty-table
+        // segment lookup for a flat heap's out-of-range address, the
+        // segment lookup for addresses past the last segment, the word
+        // lookup for addresses inside the (truncated) last segment but
+        // past `len`.
+        if let Some(cell) = self.flat.get(addr.0) {
+            return cell;
+        }
+        self.segmented_cell(addr)
+    }
+
+    /// The segment-table lookup, deliberately outlined: inlining the
+    /// `OnceLock` materialisation machinery into every heap-access site
+    /// bloats the runtimes' hot loops enough to cost several percent on
+    /// the flat (benchmark-sized) heaps that never execute it.  Segmented
+    /// heaps pay one direct call per access, which is noise next to their
+    /// per-access second bounds check.
+    #[cold]
+    #[inline(never)]
+    fn segmented_cell(&self, addr: Addr) -> &AtomicU64 {
+        &self.segments[addr.0 >> SEGMENT_SHIFT].words()[addr.0 & (SEGMENT_WORDS - 1)]
     }
 
     /// Plain (non-transactional) load of a word.
@@ -72,6 +205,22 @@ impl TxHeap {
     #[inline(always)]
     pub fn store(&self, addr: Addr, value: u64) {
         self.cell(addr).store(value, Ordering::SeqCst)
+    }
+
+    /// Relaxed load of a word.  Only sound on data that no other thread is
+    /// concurrently writing — i.e. during single-threaded construction and
+    /// quiescent inspection.
+    #[inline(always)]
+    pub fn load_relaxed(&self, addr: Addr) -> u64 {
+        self.cell(addr).load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store of a word, for bulk single-threaded initialisation
+    /// (prefill) before any worker thread exists.  Spawning the workers is
+    /// the synchronisation point that publishes these stores.
+    #[inline(always)]
+    pub fn store_relaxed(&self, addr: Addr, value: u64) {
+        self.cell(addr).store(value, Ordering::Relaxed)
     }
 
     /// Compare-and-swap on a word. Returns `Ok(previous)` when the swap
@@ -124,6 +273,15 @@ impl TxHeap {
             self.store(start.offset(i), value);
         }
     }
+
+    /// Fills the address range `[start, start + len)` with `value` using
+    /// relaxed stores — the bulk-prefill path.  Same soundness contract as
+    /// [`TxHeap::store_relaxed`]: single-threaded construction only.
+    pub fn fill_relaxed(&self, start: Addr, len: usize, value: u64) {
+        for i in 0..len {
+            self.store_relaxed(start.offset(i), value);
+        }
+    }
 }
 
 impl std::fmt::Debug for TxHeap {
@@ -131,6 +289,8 @@ impl std::fmt::Debug for TxHeap {
         f.debug_struct("TxHeap")
             .field("len_words", &self.len())
             .field("len_bytes", &(self.len() * 8))
+            .field("segments", &self.segment_count())
+            .field("resident_segments", &self.resident_segments())
             .finish()
     }
 }
@@ -157,6 +317,19 @@ mod tests {
         assert_eq!(h.load(Addr(3)), 0xdead_beef);
         assert_eq!(h.load(Addr(2)), 0);
         assert_eq!(h.load(Addr(4)), 0);
+    }
+
+    #[test]
+    fn relaxed_roundtrip_matches_seqcst_view() {
+        let h = TxHeap::new(16);
+        h.store_relaxed(Addr(5), 77);
+        assert_eq!(h.load(Addr(5)), 77);
+        h.store(Addr(6), 78);
+        assert_eq!(h.load_relaxed(Addr(6)), 78);
+        h.fill_relaxed(Addr(0), 4, 9);
+        for i in 0..4 {
+            assert_eq!(h.load(Addr(i)), 9);
+        }
     }
 
     #[test]
@@ -227,5 +400,52 @@ mod tests {
     fn out_of_bounds_access_panics() {
         let h = TxHeap::new(4);
         let _ = h.load(Addr(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_past_the_segment_table_panics() {
+        let h = TxHeap::new(4);
+        let _ = h.load(Addr(SEGMENT_WORDS + 1));
+    }
+
+    #[test]
+    fn heaps_up_to_the_flat_threshold_are_flat_and_fully_resident() {
+        let h = TxHeap::new(FLAT_MAX_WORDS);
+        assert_eq!(h.segment_count(), 1);
+        assert_eq!(h.resident_segments(), 1, "flat heaps are eager");
+        h.store(Addr(FLAT_MAX_WORDS - 1), 5);
+        assert_eq!(h.load(Addr(FLAT_MAX_WORDS - 1)), 5);
+    }
+
+    #[test]
+    fn segments_materialise_lazily_and_addresses_cross_boundaries() {
+        let len = FLAT_MAX_WORDS + 2 * SEGMENT_WORDS + 10;
+        let h = TxHeap::new(len);
+        assert_eq!(h.len(), len);
+        assert_eq!(h.segment_count(), FLAT_MAX_WORDS / SEGMENT_WORDS + 3);
+        assert_eq!(h.resident_segments(), 0, "construction touches nothing");
+        // A store in the middle segment materialises only that segment.
+        h.store(Addr(SEGMENT_WORDS + 3), 11);
+        assert_eq!(h.resident_segments(), 1);
+        assert_eq!(h.load(Addr(SEGMENT_WORDS + 3)), 11);
+        // Words adjacent across a segment boundary are independent.
+        h.store(Addr(SEGMENT_WORDS - 1), 1);
+        h.store(Addr(SEGMENT_WORDS), 2);
+        assert_eq!(h.load(Addr(SEGMENT_WORDS - 1)), 1);
+        assert_eq!(h.load(Addr(SEGMENT_WORDS)), 2);
+        assert_eq!(h.resident_segments(), 2);
+        // The truncated last segment serves its exact range.
+        h.store(Addr(len - 1), 3);
+        assert_eq!(h.load(Addr(len - 1)), 3);
+        assert_eq!(h.resident_segments(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_last_segment_still_bounds_checks() {
+        let len = FLAT_MAX_WORDS + 2 * SEGMENT_WORDS + 10;
+        let h = TxHeap::new(len);
+        let _ = h.load(Addr(len));
     }
 }

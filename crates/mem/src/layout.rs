@@ -24,8 +24,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::addr::{Addr, StripeId, CACHE_LINE_WORDS};
+use crate::alloc::EpochSet;
 use crate::clock::{ClockScheme, GlobalClock};
 use crate::heap::TxHeap;
+use crate::pad::CachePadded;
 
 /// Configuration of the transactional memory layout.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +47,11 @@ pub struct MemConfig {
     /// [`ClockScheme`] for the GV4/GV5/GV6 trade-offs; the default strict
     /// scheme reproduces the paper's figures).
     pub clock_scheme: ClockScheme,
+    /// Words per per-thread arena block ([`TmMemory::arena_try_alloc`]).
+    /// Each registered thread refills its private arena in blocks of this
+    /// size, so the global bump cursor is CASed once per block instead of
+    /// once per node.  Requests of at least half a block bypass the arena.
+    pub arena_block_words: usize,
 }
 
 impl Default for MemConfig {
@@ -54,6 +61,7 @@ impl Default for MemConfig {
             stripe_shift: 2,
             max_threads: 64,
             clock_scheme: ClockScheme::GvStrict,
+            arena_block_words: 4096,
         }
     }
 }
@@ -254,13 +262,25 @@ impl std::fmt::Display for OutOfMemory {
 
 impl std::error::Error for OutOfMemory {}
 
+/// One thread's private bump window over the data region.  Only the
+/// owning thread moves the cursor, so the orderings are relaxed; the
+/// block refill (a [`TmMemory::try_alloc`] CAS) is the only cross-thread
+/// synchronisation on the allocation hot path.
+struct ArenaSlot {
+    cursor: AtomicUsize,
+    limit: AtomicUsize,
+}
+
 /// The shared transactional memory handed to every runtime: heap + layout +
-/// a bump allocator over the data region + the global clock.
+/// a bump allocator over the data region, per-thread arenas over it, an
+/// epoch set for reclamation, and the global clock.
 pub struct TmMemory {
     heap: TxHeap,
     layout: MemLayout,
     clock: GlobalClock,
     alloc_cursor: AtomicUsize,
+    arenas: Box<[CachePadded<ArenaSlot>]>,
+    epochs: EpochSet,
 }
 
 impl TmMemory {
@@ -270,11 +290,22 @@ impl TmMemory {
         let heap = TxHeap::new(layout.total_words());
         let clock = GlobalClock::new(layout.clock_addr(), layout.config().clock_scheme);
         let data_base = layout.data_base().0;
+        let max_threads = layout.config().max_threads;
+        let arenas = (0..max_threads)
+            .map(|_| {
+                CachePadded::new(ArenaSlot {
+                    cursor: AtomicUsize::new(0),
+                    limit: AtomicUsize::new(0),
+                })
+            })
+            .collect();
         TmMemory {
             heap,
             layout,
             clock,
             alloc_cursor: AtomicUsize::new(data_base),
+            arenas,
+            epochs: EpochSet::new(max_threads),
         }
     }
 
@@ -376,10 +407,63 @@ impl TmMemory {
     }
 
     /// Number of data words still available for allocation.
+    ///
+    /// Words sitting unused in per-thread arena blocks are not counted:
+    /// once a block is carved off the global cursor it belongs to its
+    /// thread.
     pub fn remaining_words(&self) -> usize {
         self.layout
             .total_words()
             .saturating_sub(self.alloc_cursor.load(Ordering::SeqCst))
+    }
+
+    /// The configured arena block size in words.
+    pub fn arena_block_words(&self) -> usize {
+        self.layout.config().arena_block_words
+    }
+
+    /// Allocates `words` data words out of `thread_id`'s private arena.
+    ///
+    /// The hot path is a thread-local bump with no cross-thread traffic;
+    /// the arena refills itself from the global cursor one
+    /// [`MemConfig::arena_block_words`] block at a time, so block refill
+    /// is the only cross-thread CAS on the allocation path.  Three cases
+    /// bypass the arena and go straight to the global cursor: requests of
+    /// at least half a block (they would waste the arena), thread ids past
+    /// the configured capacity, and a refill that no longer fits (the
+    /// region's tail may be smaller than a block, so the fallback is an
+    /// exact-size allocation — which keeps tightly-sized test heaps and
+    /// their `OutOfMemory::requested` reporting working unchanged).
+    pub fn arena_try_alloc(&self, thread_id: usize, words: usize) -> Result<Addr, OutOfMemory> {
+        let block = self.arena_block_words();
+        if words == 0 || words >= block / 2 || thread_id >= self.arenas.len() {
+            return self.try_alloc(words);
+        }
+        let slot = &self.arenas[thread_id];
+        // Relaxed: only the owning thread writes these words, and the
+        // addresses it hands out are published to other threads through
+        // the structures' own (SeqCst/transactional) stores.
+        let cur = slot.cursor.load(Ordering::Relaxed);
+        let limit = slot.limit.load(Ordering::Relaxed);
+        if cur + words <= limit {
+            slot.cursor.store(cur + words, Ordering::Relaxed);
+            return Ok(Addr(cur));
+        }
+        match self.try_alloc(block) {
+            Ok(base) => {
+                slot.cursor.store(base.0 + words, Ordering::Relaxed);
+                slot.limit.store(base.0 + block, Ordering::Relaxed);
+                Ok(base)
+            }
+            Err(_) => self.try_alloc(words),
+        }
+    }
+
+    /// The reclamation epoch set of this memory (one epoch domain per
+    /// runtime instance / shard).
+    #[inline(always)]
+    pub fn epochs(&self) -> &EpochSet {
+        &self.epochs
     }
 }
 
@@ -432,6 +516,7 @@ mod tests {
             stripe_shift: 2,
             max_threads: 64,
             clock_scheme: ClockScheme::GvStrict,
+            arena_block_words: 4096,
         };
         let l = MemLayout::new(cfg);
         assert_eq!(l.num_stripes(), 256);
@@ -531,5 +616,63 @@ mod tests {
         assert_eq!(cfg.stripe_shift, 2);
         assert_eq!(cfg.num_stripes(), 1 << 18);
         assert_eq!(cfg.mask_words_per_stripe(), 1);
+        assert_eq!(cfg.arena_block_words, 4096);
+    }
+
+    #[test]
+    fn arena_allocs_bump_locally_and_refill_in_blocks() {
+        let mem = TmMemory::new(MemConfig::with_data_words(3 * 4096));
+        let global_before = mem.remaining_words();
+        let a = mem.arena_try_alloc(0, 8).unwrap();
+        // The refill carved one whole block off the global cursor.
+        assert_eq!(mem.remaining_words(), global_before - 4096);
+        // Subsequent small allocations come out of the same block,
+        // contiguously, without touching the global cursor.
+        let b = mem.arena_try_alloc(0, 8).unwrap();
+        let c = mem.arena_try_alloc(0, 16).unwrap();
+        assert_eq!(b.0, a.0 + 8);
+        assert_eq!(c.0, b.0 + 8);
+        assert_eq!(mem.remaining_words(), global_before - 4096);
+        // A different thread gets a different block.
+        let d = mem.arena_try_alloc(1, 8).unwrap();
+        assert_eq!(d.0, a.0 + 4096);
+        assert_eq!(mem.remaining_words(), global_before - 2 * 4096);
+    }
+
+    #[test]
+    fn oversized_and_out_of_range_requests_bypass_the_arena() {
+        let mem = TmMemory::new(MemConfig::with_data_words(3 * 4096));
+        let before = mem.remaining_words();
+        // >= half a block: straight off the global cursor, no block waste.
+        mem.arena_try_alloc(0, 2048).unwrap();
+        assert_eq!(mem.remaining_words(), before - 2048);
+        // A thread id past the configured capacity also goes global.
+        mem.arena_try_alloc(usize::MAX, 8).unwrap();
+        assert_eq!(mem.remaining_words(), before - 2048 - 8);
+    }
+
+    #[test]
+    fn arena_refill_falls_back_to_exact_allocation_near_exhaustion() {
+        // A region far smaller than one arena block: the refill can never
+        // succeed, so every request must fall back to an exact-size global
+        // allocation and exhaustion must report the *request's* size.
+        let mem = TmMemory::new(MemConfig::with_data_words(64));
+        let a = mem.arena_try_alloc(0, 16).unwrap();
+        let b = mem.arena_try_alloc(0, 16).unwrap();
+        assert_eq!(b.0, a.0 + 16);
+        mem.arena_try_alloc(0, 32).unwrap();
+        let err = mem.arena_try_alloc(0, 16).unwrap_err();
+        assert_eq!(err.requested, 16);
+        assert_eq!(err.remaining, 0);
+    }
+
+    #[test]
+    fn memory_owns_an_epoch_set_sized_for_its_threads() {
+        let mut cfg = MemConfig::with_data_words(64);
+        cfg.max_threads = 7;
+        let mem = TmMemory::new(cfg);
+        assert_eq!(mem.epochs().capacity(), 7);
+        assert_eq!(mem.epochs().current(), EpochSet::FIRST_EPOCH);
+        assert!(mem.epochs().try_advance());
     }
 }

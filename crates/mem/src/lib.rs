@@ -14,12 +14,15 @@
 //! The crate provides:
 //!
 //! * [`Addr`] / [`StripeId`] — word addresses and stripe identifiers,
-//! * [`TxHeap`] — a fixed-size array of `AtomicU64` words with plain,
-//!   CAS and fetch-and-add access,
+//! * [`TxHeap`] — a fixed-size, lazily-segmented array of `AtomicU64`
+//!   words with plain, CAS and fetch-and-add access,
 //! * [`MemLayout`] / [`MemConfig`] — the region map that places the clock,
 //!   fallback counters, stripe versions, read masks and the data region,
-//! * [`TmMemory`] — the bundle of heap + layout + bump allocator handed to
-//!   every runtime,
+//! * [`TmMemory`] — the bundle of heap + layout + bump allocator +
+//!   per-thread arenas handed to every runtime,
+//! * [`EpochSet`] / [`MemMetrics`] — the epoch-based-reclamation clock and
+//!   the per-thread allocation counters of the memory subsystem (the typed
+//!   node pools over them live in `rhtm_api::reclaim`),
 //! * [`GlobalClock`] / [`ClockScheme`] — the global version clock used by
 //!   TL2, the Standard HyTM and RH1/RH2, with pluggable advancement schemes
 //!   (strict fetch-and-add, GV4 CAS-relaxed, GV5 commit-skip, GV6 sampled),
@@ -33,6 +36,7 @@
 #![deny(unsafe_code)]
 
 pub mod addr;
+pub mod alloc;
 pub mod clock;
 pub mod heap;
 pub mod layout;
@@ -41,8 +45,9 @@ pub mod stamp;
 pub mod thread;
 
 pub use addr::{Addr, StripeId, CACHE_LINE_WORDS, LINE_SHIFT};
+pub use alloc::{EpochSet, MemMetrics};
 pub use clock::{ClockScheme, GlobalClock, GV6_SAMPLE_PERIOD};
-pub use heap::TxHeap;
+pub use heap::{TxHeap, SEGMENT_SHIFT, SEGMENT_WORDS};
 pub use layout::{MemConfig, MemLayout, OutOfMemory, TmMemory};
 pub use pad::CachePadded;
 pub use thread::{ThreadRegistry, ThreadToken};

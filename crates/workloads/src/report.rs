@@ -242,6 +242,14 @@ pub(crate) fn result_json(r: &BenchResult) -> String {
         m.circuit_closes,
         m.budget_exhausted
     ));
+    // Memory-subsystem observability: same always-on contract as
+    // `retry_metrics` (all-zero for workloads that never allocate).
+    let mm = &r.stats.mem;
+    fields.push(format!(
+        "\"mem_metrics\": {{\"alloc_words\": {}, \"retired\": {}, \
+         \"reclaimed\": {}, \"epoch_advances\": {}}}",
+        mm.alloc_words, mm.retired, mm.reclaimed, mm.epoch_advances
+    ));
     if let Some(b) = &r.breakdown {
         fields.push(format!(
             "\"breakdown_ns\": {{\"read\": {}, \"write\": {}, \"commit\": {}, \"private\": {}, \"intertx\": {}}}",
@@ -485,6 +493,9 @@ mod tests {
             "\"retry_metrics\": ",
             "\"circuit_opens\": 0",
             "\"budget_exhausted\": 0",
+            "\"mem_metrics\": ",
+            "\"alloc_words\": 0",
+            "\"epoch_advances\": 0",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

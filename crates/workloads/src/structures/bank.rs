@@ -26,9 +26,12 @@
 //!
 //! The audit ring keeps allocation bounded for time-limited runs: entry
 //! `seq` is keyed `seq + 1` in the skiplist, and once `seq ≥ capacity` the
-//! transfer that appends entry `seq` also removes entry `seq − capacity`,
-//! recycling its node through the skiplist freelist — steady-state churn
-//! allocates nothing, exactly like the skiplist workload itself.
+//! transfer that appends entry `seq` also removes entry `seq − capacity`.
+//! The evicted node is retired to the audit skiplist's
+//! [`rhtm_api::reclaim::NodePool`] *after* the transaction commits and
+//! recycled into later appends once every thread has passed the retiring
+//! epoch — steady-state churn allocates nothing, exactly like the
+//! skiplist workload itself.
 
 use std::sync::Arc;
 
@@ -76,10 +79,10 @@ pub enum TransferOutcome {
     /// Nothing changed: unknown account, self-transfer, zero amount or
     /// insufficient funds.  The transaction still commits (read-only).
     Declined,
-    /// Only from [`TxBank::transfer_in`]: the audit freelist was empty and
-    /// no spare node was supplied; allocate one
+    /// Only from [`TxBank::transfer_in`]: the transfer would apply but no
+    /// spare audit node was supplied; allocate one
     /// ([`TxSkipList::alloc_spare`] on [`TxBank::audit`]) and re-run.
-    /// [`TxBank::transfer`] handles this internally and never returns it.
+    /// [`TxBank::transfer`] always supplies one and never returns this.
     NeedNode,
 }
 
@@ -192,9 +195,13 @@ impl TxBank {
     /// structures, one serialization point.
     ///
     /// `spare` follows the skiplist's pre-allocation idiom
-    /// ([`TxSkipList::insert_in`]): a committed transaction always consumes
-    /// a supplied spare (links it or banks it on the freelist — declined
-    /// transfers bank it too, so spares never leak).
+    /// ([`TxSkipList::insert_in`]): it is consumed only on
+    /// [`TransferOutcome::Applied`] (declined transfers leave it with the
+    /// caller).  `evicted` is an out-parameter capturing the audit node an
+    /// applied transfer unlinked, if any; it is reset at the top of every
+    /// attempt (aborted attempts unlink nothing), and the caller must
+    /// retire it **after the transaction commits** — see
+    /// [`TxBank::transfer`] for the canonical wrapper.
     pub fn transfer_in<X: Txn + ?Sized>(
         &self,
         tx: &mut X,
@@ -202,17 +209,19 @@ impl TxBank {
         to: u64,
         amount: u64,
         spare: Option<TxPtr<SkipNode>>,
+        evicted: &mut Option<TxPtr<SkipNode>>,
     ) -> TxResult<TransferOutcome> {
+        *evicted = None;
         let from_balance = match self.accounts.read_value(tx, from)? {
             Some(b) => b,
-            None => return self.decline(tx, spare),
+            None => return Ok(TransferOutcome::Declined),
         };
         let to_balance = match self.accounts.read_value(tx, to)? {
             Some(b) => b,
-            None => return self.decline(tx, spare),
+            None => return Ok(TransferOutcome::Declined),
         };
         if from == to || amount == 0 || from_balance < amount {
-            return self.decline(tx, spare);
+            return Ok(TransferOutcome::Declined);
         }
         let seq = self.audit_seq.read(tx)?;
         let entry = pack_entry(from, to, amount);
@@ -220,7 +229,9 @@ impl TxBank {
             return Ok(TransferOutcome::NeedNode);
         }
         if seq >= self.audit_cap {
-            self.audit.remove_in(tx, seq + 1 - self.audit_cap)?;
+            if let Some((_, node)) = self.audit.remove_in(tx, seq + 1 - self.audit_cap)? {
+                *evicted = Some(node);
+            }
         }
         self.audit_seq.write(tx, seq + 1)?;
         self.accounts.write_value(tx, from, from_balance - amount)?;
@@ -228,22 +239,13 @@ impl TxBank {
         Ok(TransferOutcome::Applied)
     }
 
-    /// Banks an unused spare so a declined transfer still consumes it.
-    fn decline<X: Txn + ?Sized>(
-        &self,
-        tx: &mut X,
-        spare: Option<TxPtr<SkipNode>>,
-    ) -> TxResult<TransferOutcome> {
-        if let Some(s) = spare {
-            self.audit.bank_spare(tx, s)?;
-        }
-        Ok(TransferOutcome::Declined)
-    }
-
     /// Transactionally transfers `amount` from `from` to `to`, recording
-    /// the applied transfer in the audit ring.  Handles audit-node
-    /// pre-allocation internally (the [`TxSkipList::insert`] retry loop),
-    /// so it never returns [`TransferOutcome::NeedNode`].
+    /// the applied transfer in the audit ring.  The full pool life cycle:
+    /// a spare audit node is allocated (preferring recycled evictees)
+    /// before the pinned transaction, the evicted node is retired after it
+    /// commits, and a spare a declined transfer left unused goes back to
+    /// the pool.  Never returns [`TransferOutcome::NeedNode`]; commits
+    /// exactly one transaction.
     pub fn transfer<T: TmThread>(
         &self,
         thread: &mut T,
@@ -251,20 +253,21 @@ impl TxBank {
         to: u64,
         amount: u64,
     ) -> TransferOutcome {
-        let mut spare: Option<TxPtr<SkipNode>> = None;
-        loop {
-            // A committed transaction always consumes the spare (linked or
-            // banked); only an explicit NeedNode leaves us without one.
-            let spare_now = match spare.take() {
-                Some(s) => Some(s),
-                None if self.audit.needs_spare() => Some(self.audit.alloc_spare()),
-                None => None,
-            };
-            match thread.execute(|tx| self.transfer_in(tx, from, to, amount, spare_now)) {
-                TransferOutcome::NeedNode => spare = Some(self.audit.alloc_spare()),
-                outcome => return outcome,
-            }
+        let tid = thread.thread_id();
+        let spare = self.audit.alloc_spare(tid, &mut thread.stats_mut().mem);
+        let mut evicted = None;
+        let outcome = {
+            let _guard = self.audit.pin(tid);
+            thread.execute(|tx| self.transfer_in(tx, from, to, amount, Some(spare), &mut evicted))
+        };
+        if let Some(node) = evicted {
+            self.audit
+                .retire_node(tid, node, &mut thread.stats_mut().mem);
         }
+        if outcome != TransferOutcome::Applied {
+            self.audit.give_back_spare(tid, spare);
+        }
+        outcome
     }
 
     /// In-transaction read of **every** balance, summed — the analytics

@@ -8,18 +8,34 @@
 //! Transactions here are much shorter than the red-black tree's, which is
 //! why the paper's Figure 3 (left) shows a much smaller HTM-over-STM gap on
 //! this workload.
+//!
+//! Beyond the paper's constant-shape operations, the table also carries a
+//! **mutable extension** ([`ConstantHashTable::insert`] /
+//! [`ConstantHashTable::remove`]) backed by the shared epoch-based
+//! reclamation scheme ([`rhtm_api::reclaim::NodePool`]): spare nodes are
+//! allocated from the calling thread's arena before the transaction, a
+//! committed remove retires its node afterwards, and retired nodes are
+//! recycled once every thread has passed the retiring epoch.  The
+//! [`Workload`] impl still drives only the constant-shape operations, so
+//! the paper benchmark is untouched.
 
 use std::sync::Arc;
 
+use rhtm_api::reclaim::{EpochGuard, NodePool};
 use rhtm_api::typed::{
-    Field, FieldArray, LayoutBuilder, Record, TxCell, TxLayout, TxPtr, TxSlice, TypedAlloc,
+    Field, FieldArray, LayoutBuilder, OrSized, Record, TxCell, TxLayout, TxPtr, TxSlice, TypedAlloc,
 };
 use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
+use rhtm_mem::{MemMetrics, OutOfMemory};
 
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
+use crate::structures::skiplist::InsertOutcome;
 use crate::workload::Workload;
+
+/// The sizing helper named by every allocation-failure panic.
+const SIZING_HINT: &str = "ConstantHashTable::required_words(size)";
 
 /// Dummy payload words per node.
 pub const DUMMY_WORDS: usize = 4;
@@ -54,6 +70,7 @@ impl Record for HtNode {
 pub struct ConstantHashTable {
     sim: Arc<HtmSim>,
     buckets: TxSlice<Link>,
+    pool: NodePool<HtNode>,
     bucket_mask: u64,
     size: u64,
 }
@@ -69,27 +86,31 @@ impl ConstantHashTable {
         let buckets: TxSlice<Link> = mem.alloc_slice(bucket_count as usize);
         let heap = mem.heap();
         for bucket in buckets.iter() {
-            bucket.store(heap, None);
+            bucket.store_relaxed(heap, None);
         }
         let nodes = mem.alloc_records::<HtNode>(size as usize);
+        let pool = NodePool::new(Arc::clone(mem));
         let table = ConstantHashTable {
             sim,
             buckets,
+            pool,
             bucket_mask: bucket_count - 1,
             size,
         };
         let heap = table.sim.mem().heap();
+        // Construction-time seeding: relaxed stores, no transactions yet
+        // (publication to worker threads happens-before via their spawn).
         for key in 0..size {
             let node = nodes.get(key as usize);
-            node.field(KEY).store(heap, key);
+            node.field(KEY).store_relaxed(heap, key);
             for d in 0..DUMMY_WORDS {
-                node.slot(DUMMY, d).store(heap, 0);
+                node.slot(DUMMY, d).store_relaxed(heap, 0);
             }
             // Push at the head of the bucket chain.
             let bucket = table.bucket(key);
-            let head = bucket.load(heap);
-            node.field(NEXT).store(heap, head);
-            bucket.store(heap, Some(node));
+            let head = bucket.load_relaxed(heap);
+            node.field(NEXT).store_relaxed(heap, head);
+            bucket.store_relaxed(heap, Some(node));
         }
         table
     }
@@ -201,6 +222,136 @@ impl ConstantHashTable {
         bucket_count + size as usize * HtNode::WORDS
     }
 
+    /// Extra heap words for driving the **mutable** extension with
+    /// `threads` workers: transient spares, not-yet-reclaimed retirees and
+    /// one arena block per thread.
+    pub fn mutable_extra_words(threads: usize) -> usize {
+        let threads = threads.max(1);
+        threads * 4 * HtNode::WORDS + threads * 4096
+    }
+
+    /// The node pool of the mutable extension (reclamation counters live
+    /// here).
+    pub fn pool(&self) -> &NodePool<HtNode> {
+        &self.pool
+    }
+
+    /// Pins `thread_id` in the memory's epoch set for the duration of the
+    /// returned guard (see [`TxSkipList::pin`](crate::structures::skiplist::TxSkipList::pin)).
+    pub fn pin(&self, thread_id: usize) -> EpochGuard<'_> {
+        EpochGuard::pin(self.sim.mem().epochs(), thread_id)
+    }
+
+    /// Checked spare-node allocation for the mutable extension (call
+    /// unpinned, before the transaction).
+    pub fn try_alloc_spare(
+        &self,
+        thread_id: usize,
+        metrics: &mut MemMetrics,
+    ) -> Result<TxPtr<HtNode>, OutOfMemory> {
+        self.pool.try_alloc(thread_id, metrics)
+    }
+
+    /// [`try_alloc_spare`](Self::try_alloc_spare), panicking with the
+    /// sizing hint on exhaustion.
+    pub fn alloc_spare(&self, thread_id: usize, metrics: &mut MemMetrics) -> TxPtr<HtNode> {
+        self.try_alloc_spare(thread_id, metrics)
+            .or_sized(SIZING_HINT)
+    }
+
+    /// In-transaction insert/upsert of `key → value` (a *shape-changing*
+    /// operation; not part of the paper's constant benchmark).  Follows
+    /// the shared spare idiom ([`InsertOutcome`]): the caller-supplied
+    /// spare is consumed only on [`InsertOutcome::Inserted`].
+    pub fn insert_in<X: Txn + ?Sized>(
+        &self,
+        tx: &mut X,
+        key: u64,
+        value: u64,
+        spare: Option<TxPtr<HtNode>>,
+    ) -> TxResult<InsertOutcome> {
+        if let Some(n) = self.find(tx, key)? {
+            n.slot(DUMMY, 0).write(tx, value)?;
+            return Ok(InsertOutcome::Updated);
+        }
+        let node = match spare {
+            Some(s) => s,
+            None => return Ok(InsertOutcome::NeedNode),
+        };
+        node.field(KEY).write(tx, key)?;
+        node.slot(DUMMY, 0).write(tx, value)?;
+        for d in 1..DUMMY_WORDS {
+            node.slot(DUMMY, d).write(tx, 0)?;
+        }
+        let bucket = self.bucket(key);
+        let head = bucket.read(tx)?;
+        node.field(NEXT).write(tx, head)?;
+        bucket.write(tx, Some(node))?;
+        Ok(InsertOutcome::Inserted)
+    }
+
+    /// In-transaction remove of `key`, returning its value and the
+    /// unlinked node (retire it **after** the transaction commits), or
+    /// `None` when absent.
+    pub fn remove_in<X: Txn + ?Sized>(
+        &self,
+        tx: &mut X,
+        key: u64,
+    ) -> TxResult<Option<(u64, TxPtr<HtNode>)>> {
+        let bucket = self.bucket(key);
+        let mut prev: Option<TxPtr<HtNode>> = None;
+        let mut curr = bucket.read(tx)?;
+        while let Some(n) = curr {
+            let next = n.field(NEXT).read(tx)?;
+            if n.field(KEY).read(tx)? == key {
+                let value = n.slot(DUMMY, 0).read(tx)?;
+                match prev {
+                    Some(p) => p.field(NEXT).write(tx, next)?,
+                    None => bucket.write(tx, next)?,
+                }
+                return Ok(Some((value, n)));
+            }
+            prev = Some(n);
+            curr = next;
+        }
+        Ok(None)
+    }
+
+    /// Transactionally inserts `key` (or overwrites its value).  Returns
+    /// `true` when newly inserted.  The canonical pool life cycle:
+    /// allocate the spare unpinned, pin, run the transaction, return an
+    /// unused spare.
+    pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64, value: u64) -> bool {
+        let tid = thread.thread_id();
+        let spare = self.alloc_spare(tid, &mut thread.stats_mut().mem);
+        let outcome = {
+            let _guard = self.pin(tid);
+            thread.execute(|tx| self.insert_in(tx, key, value, Some(spare)))
+        };
+        match outcome {
+            InsertOutcome::Inserted => true,
+            InsertOutcome::Updated => {
+                self.pool.give_back(tid, spare);
+                false
+            }
+            InsertOutcome::NeedNode => unreachable!("a spare was supplied"),
+        }
+    }
+
+    /// Transactionally removes `key`, returning its value when present;
+    /// the node is retired to the pool once the remove commits.
+    pub fn remove<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
+        let tid = thread.thread_id();
+        let removed = {
+            let _guard = self.pin(tid);
+            thread.execute(|tx| self.remove_in(tx, key))
+        };
+        removed.map(|(value, node)| {
+            self.pool.retire(tid, node, &mut thread.stats_mut().mem);
+            value
+        })
+    }
+
     /// Non-transactional sanity check: number of elements reachable through
     /// the bucket chains.
     pub fn count_reachable(&self) -> u64 {
@@ -291,6 +442,43 @@ mod tests {
         assert_eq!(th.execute(|tx| table.read_value(tx, 64)), None);
         assert!(!th.execute(|tx| table.write_value(tx, 64, 1)));
         assert_eq!(table.count_reachable(), 64, "shape untouched");
+    }
+
+    #[test]
+    fn mutable_extension_round_trips_and_recycles() {
+        let mem_cfg = MemConfig::with_data_words(
+            ConstantHashTable::required_words(64)
+                + ConstantHashTable::mutable_extra_words(1)
+                + 1024,
+        );
+        let mem = Arc::new(TmMemory::new(mem_cfg));
+        let sim = HtmSim::new(mem, HtmConfig::default());
+        let table = ConstantHashTable::new(Arc::clone(&sim), 64);
+        let rt = HtmRuntime::with_sim(sim);
+        let mut th = rt.register_thread();
+        // Shape-changing operations on keys beyond the seeded 0..64.
+        assert!(table.insert(&mut th, 100, 7));
+        assert!(!table.insert(&mut th, 100, 8), "second insert updates");
+        assert_eq!(th.execute(|tx| table.read_value(tx, 100)), Some(8));
+        assert_eq!(table.count_reachable(), 65);
+        assert_eq!(table.remove(&mut th, 100), Some(8));
+        assert_eq!(table.remove(&mut th, 100), None);
+        assert_eq!(table.count_reachable(), 64);
+        // Churn: removed nodes recycle through the pool instead of
+        // growing the heap.
+        for round in 0..50u64 {
+            let key = 200 + (round % 4);
+            assert!(table.insert(&mut th, key, round));
+            assert_eq!(table.remove(&mut th, key), Some(round));
+        }
+        let pool = table.pool();
+        assert!(pool.reclaimed_count() >= 49);
+        assert_eq!(pool.unsafe_reclaims(), 0);
+        assert_eq!(
+            pool.pending() as u64,
+            pool.retired_count() - pool.reclaimed_count()
+        );
+        assert_eq!(table.count_reachable(), 64);
     }
 
     #[test]

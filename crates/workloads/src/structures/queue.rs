@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use rhtm_api::reclaim::EpochGuard;
 use rhtm_api::typed::{OrSized, TxCell, TxSlice, TypedAlloc};
 use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
@@ -81,6 +82,16 @@ impl TxQueue {
         self.capacity
     }
 
+    /// Pins `thread_id` in the memory's epoch set for the duration of the
+    /// returned guard.  The queue itself never retires memory (the ring is
+    /// pre-allocated), but its mutating wrappers pin like every other
+    /// mutable structure so queue traffic participates correctly in the
+    /// shared reclamation protocol — a queue operation in flight keeps
+    /// concurrently retired nodes of co-located structures alive.
+    pub fn pin(&self, thread_id: usize) -> EpochGuard<'_> {
+        EpochGuard::pin(self.sim.mem().epochs(), thread_id)
+    }
+
     #[inline]
     fn slot(&self, cursor: u64) -> TxCell<u64> {
         self.slots.get((cursor % self.capacity) as usize)
@@ -112,11 +123,13 @@ impl TxQueue {
 
     /// Transactionally enqueues `value`; `false` when the queue was full.
     pub fn enqueue<T: TmThread>(&self, thread: &mut T, value: u64) -> bool {
+        let _guard = self.pin(thread.thread_id());
         thread.execute(|tx| self.enqueue_in(tx, value))
     }
 
     /// Transactionally dequeues the oldest value; `None` when empty.
     pub fn dequeue<T: TmThread>(&self, thread: &mut T) -> Option<u64> {
+        let _guard = self.pin(thread.thread_id());
         thread.execute(|tx| self.dequeue_in(tx))
     }
 
@@ -135,6 +148,7 @@ impl TxQueue {
     /// Transactionally moves the oldest value to the back of the queue
     /// (the [`Workload`] impl's `Update`); `false` when empty.
     pub fn rotate<T: TmThread>(&self, thread: &mut T) -> bool {
+        let _guard = self.pin(thread.thread_id());
         thread.execute(|tx| {
             match self.dequeue_in(tx)? {
                 Some(v) => {

@@ -8,7 +8,7 @@
 //! the hardware fast-path even at large sizes — the interesting regime for
 //! the RH protocols.
 //!
-//! Two design points keep benchmark runs deterministic and allocation
+//! Three design points keep benchmark runs deterministic and allocation
 //! bounded:
 //!
 //! * **Deterministic tower heights.**  A node's height is a pure function
@@ -16,36 +16,47 @@
 //!   the structure's shape depends only on its key set — not on insertion
 //!   order, thread count or RNG state — and a reinserted key always fits
 //!   the node that held it before.
-//! * **A transactional freelist** ([`rhtm_api::typed::TxFreeList`]).
-//!   Removed nodes are pushed onto an in-heap freelist and reused by later
-//!   inserts *inside the same transactional world* (no ABA: every link
-//!   traversal is a transactional read).  The bump allocator is only hit
-//!   when the freelist is observed empty, so steady-state insert/remove
-//!   churn does not grow the heap — a requirement for time-bounded
-//!   benchmark runs over the append-only allocator.
+//! * **Epoch-based node reclamation** ([`rhtm_api::reclaim::NodePool`]).
+//!   Spare nodes are allocated from the calling thread's arena *before*
+//!   the transaction (aborted retries never allocate again); a committed
+//!   remove retires its node *after* the transaction, and the pool reuses
+//!   it once every thread has passed the retiring epoch.  Steady-state
+//!   insert/remove churn therefore does not grow the heap — a requirement
+//!   for time-bounded runs over the append-only allocator — and, unlike
+//!   the old in-heap `TxFreeList`, spare management never joins the
+//!   transactions' read/write sets.
+//! * **Bulk seeding** ([`SkipListSeeder`]).  Prefill appends ascending
+//!   keys in O(1) per key through a tail-pointer array and carves nodes
+//!   from the heap in chunks, so million-key scenarios initialise in
+//!   seconds, proportional to live data.
 //!
 //! Keys are in `1..u64::MAX` (0 is the head sentinel); the
 //! [`Workload`] impl translates the driver's `[0, key_space)` keys by +1.
 
 use std::sync::Arc;
 
+use rhtm_api::reclaim::{EpochGuard, NodePool};
 use rhtm_api::typed::{
-    Field, FieldArray, LayoutBuilder, OrSized, Record, TxFreeList, TxLayout, TxPtr, TypedAlloc,
+    Field, FieldArray, LayoutBuilder, OrSized, Record, TxLayout, TxPtr, TypedAlloc,
 };
 use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::OutOfMemory;
+use rhtm_mem::{MemMetrics, OutOfMemory};
 
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
 use crate::workload::Workload;
 
 /// Maximum tower height; supports ~2^12 elements at the classic p = 1/2
-/// level geometry without degenerating.
+/// level geometry without degenerating (larger sets still work — towers
+/// just saturate, adding a linear tail to the top-level scan).
 pub const MAX_HEIGHT: usize = 12;
 
 /// Keys spanned by one `RangeSum` operation of the [`Workload`] impl.
 pub const RANGE_SPAN: u64 = 32;
+
+/// Nodes carved from the heap per [`SkipListSeeder`] refill.
+const SEED_CHUNK: usize = 256;
 
 /// The sizing helper named by every allocation-failure panic.
 const SIZING_HINT: &str = "TxSkipList::required_words(max_live, threads)";
@@ -85,7 +96,7 @@ impl Record for SkipNode {
 pub struct TxSkipList {
     sim: Arc<HtmSim>,
     head: TxPtr<SkipNode>,
-    free: TxFreeList<SkipNode>,
+    pool: NodePool<SkipNode>,
     key_space: u64,
 }
 
@@ -93,13 +104,16 @@ pub struct TxSkipList {
 /// [`TxSkipList::insert_in`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InsertOutcome {
-    /// The key was absent and a node was linked in.
+    /// The key was absent; the caller's spare node was linked in (the
+    /// spare is consumed).
     Inserted,
-    /// The key was present; its value was overwritten.
+    /// The key was present; its value was overwritten.  A supplied spare
+    /// is untouched — the caller keeps it (give it back to the pool or
+    /// reuse it).
     Updated,
-    /// The freelist was empty inside the transaction and no pre-allocated
-    /// spare was supplied; the caller must allocate one
-    /// ([`TxSkipList::alloc_spare`]) and re-run the transaction.
+    /// The key was absent but no spare was supplied; nothing changed.
+    /// The caller must allocate one ([`TxSkipList::alloc_spare`]) and
+    /// re-run the transaction.
     NeedNode,
 }
 
@@ -110,34 +124,48 @@ impl TxSkipList {
         assert!((1..u64::MAX - 1).contains(&key_space));
         let mem = sim.mem();
         let head = mem.try_alloc_record::<SkipNode>().or_sized(SIZING_HINT);
-        // The free-chain link reuses each node's level-0 tower link (free
-        // nodes are unreachable from the list proper).
-        let free = TxFreeList::try_new(mem, NEXT.slot_field(0)).or_sized(SIZING_HINT);
         let heap = mem.heap();
         head.field(KEY).store(heap, 0); // sentinel: below every real key
         head.field(HEIGHT).store(heap, MAX_HEIGHT);
         for level in 0..MAX_HEIGHT {
             head.slot(NEXT, level).store(heap, None);
         }
+        let pool = NodePool::new(Arc::clone(mem));
         TxSkipList {
             sim,
             head,
-            free,
+            pool,
             key_space,
         }
     }
 
     /// Heap words for a list of at most `max_live` elements driven by
-    /// `threads` workers.  Thanks to the freelist, allocation beyond the
-    /// live set is bounded by transient pre-allocated spares (a handful
-    /// per thread), not by the operation count.
+    /// `threads` workers.  Thanks to epoch-based reclamation, allocation
+    /// beyond the live set is bounded by transient spares and
+    /// not-yet-reclaimed retirees (a handful per thread) plus at most one
+    /// partially-carved arena block per thread — not by the operation
+    /// count.
     pub fn required_words(max_live: u64, threads: usize) -> usize {
-        (max_live as usize + 1 + threads.max(1) * 4) * SkipNode::WORDS + 64
+        let threads = threads.max(1);
+        (max_live as usize + 1 + threads * 4) * SkipNode::WORDS + 64 + threads * 4096
     }
 
     /// The simulator the list lives in.
     pub fn sim(&self) -> &Arc<HtmSim> {
         &self.sim
+    }
+
+    /// The node pool (reclamation counters live here).
+    pub fn pool(&self) -> &NodePool<SkipNode> {
+        &self.pool
+    }
+
+    /// Pins `thread_id` in the memory's epoch set for the duration of the
+    /// returned guard.  Mutating wrappers hold one around their
+    /// transaction; composed callers driving [`TxSkipList::insert_in`] /
+    /// [`TxSkipList::remove_in`] directly should do the same.
+    pub fn pin(&self, thread_id: usize) -> EpochGuard<'_> {
+        EpochGuard::pin(self.sim.mem().epochs(), thread_id)
     }
 
     /// Keys must leave room for the head sentinel (0) and the pointer
@@ -146,16 +174,35 @@ impl TxSkipList {
         assert!(key > 0 && key < u64::MAX, "keys must be in 1..u64::MAX");
     }
 
-    /// Checked node allocation: [`OutOfMemory`] instead of a panic deep in
-    /// the bump allocator, so callers can attach sizing context.
-    fn alloc_node(&self) -> Result<TxPtr<SkipNode>, OutOfMemory> {
-        self.sim.mem().try_alloc_record::<SkipNode>()
+    /// Checked spare-node allocation for `thread_id`, preferring recycled
+    /// nodes.  Call *before* the transaction (and unpinned), so aborted
+    /// retries never allocate again.
+    pub fn try_alloc_spare(
+        &self,
+        thread_id: usize,
+        metrics: &mut MemMetrics,
+    ) -> Result<TxPtr<SkipNode>, OutOfMemory> {
+        self.pool.try_alloc(thread_id, metrics)
     }
 
-    /// [`alloc_node`](Self::alloc_node) for operation paths, where
-    /// exhaustion is a scenario-sizing bug: panics with the sizing hint.
-    fn alloc_node_or_die(&self) -> TxPtr<SkipNode> {
-        self.alloc_node().or_sized(SIZING_HINT)
+    /// [`try_alloc_spare`](Self::try_alloc_spare) for operation paths,
+    /// where exhaustion is a scenario-sizing bug: panics with the sizing
+    /// hint.
+    pub fn alloc_spare(&self, thread_id: usize, metrics: &mut MemMetrics) -> TxPtr<SkipNode> {
+        self.try_alloc_spare(thread_id, metrics)
+            .or_sized(SIZING_HINT)
+    }
+
+    /// Returns an unused spare (allocated but never linked) to the pool.
+    pub fn give_back_spare(&self, thread_id: usize, spare: TxPtr<SkipNode>) {
+        self.pool.give_back(thread_id, spare);
+    }
+
+    /// Retires a node that a **committed** transaction unlinked (see
+    /// [`TxSkipList::remove_in`]); the pool reuses it once every thread
+    /// has passed the current epoch.
+    pub fn retire_node(&self, thread_id: usize, node: TxPtr<SkipNode>, metrics: &mut MemMetrics) {
+        self.pool.retire(thread_id, node, metrics);
     }
 
     /// Deterministic tower height for `key`: geometric(1/2) over a
@@ -198,13 +245,13 @@ impl TxSkipList {
     /// the same transaction (the [`TxBank`](crate::structures::bank::TxBank)
     /// audit log appends through this).
     ///
-    /// Node memory comes from the in-heap freelist; when the freelist is
-    /// empty the caller-supplied `spare` (pre-allocated *outside* the
-    /// transaction via [`TxSkipList::alloc_spare`]) is consumed, and with
-    /// no spare the attempt returns [`InsertOutcome::NeedNode`] — still a
-    /// committed (read-mostly) transaction — so the caller can allocate
-    /// and re-run.  An unused spare is banked on the freelist, never
-    /// leaked.  See [`TxSkipList::insert`] for the canonical retry loop.
+    /// Node memory is the caller-supplied `spare`, pre-allocated *outside*
+    /// the transaction via [`TxSkipList::alloc_spare`].  The spare is
+    /// consumed only on [`InsertOutcome::Inserted`]; on
+    /// [`InsertOutcome::Updated`] the caller keeps it, and with no spare
+    /// an absent key returns [`InsertOutcome::NeedNode`] — still a
+    /// committed (read-only) transaction — so the caller can allocate and
+    /// re-run.  See [`TxSkipList::insert`] for the canonical wrapper.
     pub fn insert_in<X: Txn + ?Sized>(
         &self,
         tx: &mut X,
@@ -215,23 +262,11 @@ impl TxSkipList {
         let (preds, found) = self.locate(tx, key)?;
         if let Some(n) = found {
             n.field(VALUE).write(tx, value)?;
-            // An unused pre-allocated spare is banked, never leaked.
-            if let Some(s) = spare {
-                self.free.push(tx, s)?;
-            }
             return Ok(InsertOutcome::Updated);
         }
-        let node = match self.free.pop(tx)? {
-            Some(recycled) => {
-                if let Some(s) = spare {
-                    self.free.push(tx, s)?;
-                }
-                recycled
-            }
-            None => match spare {
-                Some(s) => s,
-                None => return Ok(InsertOutcome::NeedNode),
-            },
+        let node = match spare {
+            Some(s) => s,
+            None => return Ok(InsertOutcome::NeedNode),
         };
         let height = Self::height_for(key);
         node.field(KEY).write(tx, key)?;
@@ -248,56 +283,41 @@ impl TxSkipList {
     /// Transactionally inserts `key` (or updates its value when present).
     /// Returns `true` when the key was newly inserted.
     ///
-    /// Node memory comes from the freelist when possible; a fresh node is
-    /// pre-allocated *outside* the transaction only when the freelist is
-    /// observed empty, so aborted retries never allocate again.
+    /// The canonical pool life cycle: allocate the spare unpinned, pin,
+    /// run the transaction, then return an unused spare.  Exactly one
+    /// transaction commits per call.
     pub fn insert<T: TmThread>(&self, thread: &mut T, key: u64, value: u64) -> bool {
         Self::check_key(key);
-        let mut spare: Option<TxPtr<SkipNode>> = None;
-        loop {
-            if spare.is_none() && self.needs_spare() {
-                spare = Some(self.alloc_spare());
+        let tid = thread.thread_id();
+        let spare = self.alloc_spare(tid, &mut thread.stats_mut().mem);
+        let outcome = {
+            let _guard = self.pin(tid);
+            thread.execute(|tx| self.insert_in(tx, key, value, Some(spare)))
+        };
+        match outcome {
+            InsertOutcome::Inserted => true,
+            InsertOutcome::Updated => {
+                self.give_back_spare(tid, spare);
+                false
             }
-            let spare_now = spare;
-            match thread.execute(|tx| self.insert_in(tx, key, value, spare_now)) {
-                InsertOutcome::Inserted => return true,
-                InsertOutcome::Updated => return false,
-                // The freelist drained between the non-transactional check
-                // and the transaction; allocate and re-run.
-                InsertOutcome::NeedNode => spare = Some(self.alloc_node_or_die()),
-            }
+            InsertOutcome::NeedNode => unreachable!("a spare was supplied"),
         }
     }
 
-    /// Whether an insert needs a pre-allocated spare node right now: the
-    /// freelist is (non-transactionally) observed empty.  The observation
-    /// may race concurrent pushes/pops — [`InsertOutcome::NeedNode`] is
-    /// the authoritative in-transaction answer; this check only avoids
-    /// allocating spares that would immediately be banked.
-    pub fn needs_spare(&self) -> bool {
-        self.sim.nt_read(self.free.head()).is_none()
-    }
-
-    /// Pre-allocates a spare node for [`TxSkipList::insert_in`] from the
-    /// bump allocator (outside any transaction, so aborted retries never
-    /// allocate again); panics with the sizing hint on exhaustion.
-    pub fn alloc_spare(&self) -> TxPtr<SkipNode> {
-        self.alloc_node_or_die()
-    }
-
-    /// In-transaction deposit of an unused spare onto the freelist, for
-    /// composed callers whose transaction decides *not* to insert after
-    /// all (e.g. a declined [`TxBank`](crate::structures::bank::TxBank)
-    /// transfer): the spare is consumed either way, so retry loops can
-    /// treat "transaction committed" as "spare gone".
-    pub fn bank_spare<X: Txn + ?Sized>(&self, tx: &mut X, spare: TxPtr<SkipNode>) -> TxResult<()> {
-        self.free.push(tx, spare)
-    }
-
     /// In-transaction remove, composable with other operations in the same
-    /// transaction.  Returns the removed value, or `None` when absent; the
-    /// node is recycled through the freelist.
-    pub fn remove_in<X: Txn + ?Sized>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+    /// transaction.  Returns the removed value *and the unlinked node*,
+    /// or `None` when absent.
+    ///
+    /// The caller owns the returned node and must
+    /// [`retire`](TxSkipList::retire_node) it **after the transaction
+    /// commits** — never inside the body, where the attempt may still
+    /// abort (an aborted attempt unlinks nothing).  Reset any captured
+    /// victim at the top of each retry attempt.
+    pub fn remove_in<X: Txn + ?Sized>(
+        &self,
+        tx: &mut X,
+        key: u64,
+    ) -> TxResult<Option<(u64, TxPtr<SkipNode>)>> {
         let (preds, found) = self.locate(tx, key)?;
         let node = match found {
             Some(n) => n,
@@ -309,15 +329,22 @@ impl TxSkipList {
             let succ = node.slot(NEXT, level).read(tx)?;
             preds[level].slot(NEXT, level).write(tx, succ)?;
         }
-        self.free.push(tx, node)?;
-        Ok(Some(value))
+        Ok(Some((value, node)))
     }
 
     /// Transactionally removes `key`, returning its value when present.
-    /// The node is recycled through the freelist.
+    /// The node is retired to the pool once the remove commits.
     pub fn remove<T: TmThread>(&self, thread: &mut T, key: u64) -> Option<u64> {
         Self::check_key(key);
-        thread.execute(|tx| self.remove_in(tx, key))
+        let tid = thread.thread_id();
+        let removed = {
+            let _guard = self.pin(tid);
+            thread.execute(|tx| self.remove_in(tx, key))
+        };
+        removed.map(|(value, node)| {
+            self.retire_node(tid, node, &mut thread.stats_mut().mem);
+            value
+        })
     }
 
     /// Transactionally gets the value stored under `key`.
@@ -436,15 +463,16 @@ impl TxSkipList {
     }
 
     /// Non-transactionally seeds `key → value` during construction, before
-    /// any worker thread exists (the scenario engine's prefill).  Returns
-    /// [`OutOfMemory`] when the heap cannot hold the node, so scenario
-    /// sizing mistakes surface as a readable error instead of an allocator
-    /// panic.
+    /// any worker thread exists (single keys; use [`TxSkipList::seeder`]
+    /// for bulk prefill).  Returns [`OutOfMemory`] when the heap cannot
+    /// hold the node, so scenario sizing mistakes surface as a readable
+    /// error instead of an allocator panic.
     ///
     /// Must not run concurrently with transactions.
     pub fn try_seed_insert(&self, key: u64, value: u64) -> Result<(), OutOfMemory> {
         Self::check_key(key);
-        let heap = self.sim.mem().heap();
+        let mem = self.sim.mem();
+        let heap = mem.heap();
         let mut preds = [self.head; MAX_HEIGHT];
         let mut curr = self.head;
         for level in (0..MAX_HEIGHT).rev() {
@@ -462,7 +490,7 @@ impl TxSkipList {
                 return Ok(());
             }
         }
-        let node = self.alloc_node()?;
+        let node = mem.try_alloc_record::<SkipNode>()?;
         let height = Self::height_for(key);
         node.field(KEY).store(heap, key);
         node.field(VALUE).store(heap, value);
@@ -482,15 +510,170 @@ impl TxSkipList {
         self.try_seed_insert(key, value).or_sized(SIZING_HINT)
     }
 
+    /// A bulk seeder for construction-time prefill: O(1) per ascending
+    /// key, chunked node allocation, relaxed stores.
+    pub fn seeder(&self) -> SkipListSeeder<'_> {
+        SkipListSeeder::new(self)
+    }
+
     /// Seeds every other key of the key space (`1, 3, 5, …`) with
     /// `value = key * 10` — the scenario engine's standard half-full
     /// prefill, leaving room for inserts to grow the set.
     pub fn prefill_alternate(&self) {
+        let mut seeder = self.seeder();
         let mut key = 1;
         while key <= self.key_space {
-            self.seed_insert(key, key * 10);
+            seeder.insert(key, key * 10).or_sized(SIZING_HINT);
             key += 2;
         }
+    }
+}
+
+/// Construction-time bulk prefill for [`TxSkipList`], proportional to
+/// live data.
+///
+/// The general seeding path re-traverses the list per key — O(log n) at
+/// best and quadratic on the sorted streams prefill actually produces
+/// (every tower saturated at [`MAX_HEIGHT`] still walks the whole top
+/// level).  The seeder instead keeps the **tail node of every level**:
+/// a key greater than everything seeded so far appends in O(height)
+/// with plain relaxed stores, and node memory is carved from the heap in
+/// `SEED_CHUNK`-node chunks (one allocator CAS per chunk).  Out-of-order
+/// or duplicate keys fall back to [`TxSkipList::try_seed_insert`]
+/// (tails stay valid — a non-maximal key never becomes a level tail... it
+/// can, so the tails are re-walked after a fallback).
+///
+/// Must not run concurrently with transactions (construction only).
+pub struct SkipListSeeder<'a> {
+    list: &'a TxSkipList,
+    /// Last node linked at each level (the head sentinel when empty).
+    tails: [TxPtr<SkipNode>; MAX_HEIGHT],
+    /// Largest key seeded so far (0 = none: the sentinel's key).
+    last_key: u64,
+    /// Bulk-carved nodes not yet linked.
+    chunk: Vec<TxPtr<SkipNode>>,
+    seeded: u64,
+}
+
+impl<'a> SkipListSeeder<'a> {
+    fn new(list: &'a TxSkipList) -> Self {
+        let mut seeder = SkipListSeeder {
+            list,
+            tails: [list.head; MAX_HEIGHT],
+            last_key: 0,
+            chunk: Vec::new(),
+            seeded: 0,
+        };
+        seeder.rewalk_tails();
+        seeder
+    }
+
+    /// Keys seeded through this seeder.
+    pub fn seeded(&self) -> u64 {
+        self.seeded
+    }
+
+    /// Repositions every tail on the actual last node of its level
+    /// (needed at construction over a non-empty list and after an
+    /// out-of-order fallback insert).
+    fn rewalk_tails(&mut self) {
+        let heap = self.list.sim.mem().heap();
+        for level in 0..MAX_HEIGHT {
+            // Resume from the previous tail: it is still linked, so the
+            // walk is O(new nodes), not O(list).
+            let mut curr = self.tails[level];
+            while let Some(n) = curr.slot(NEXT, level).load_relaxed(heap) {
+                curr = n;
+            }
+            self.tails[level] = curr;
+        }
+        self.last_key = if self.tails[0] == self.list.head {
+            0
+        } else {
+            self.tails[0].field(KEY).load_relaxed(heap)
+        };
+    }
+
+    fn next_node(&mut self) -> Result<TxPtr<SkipNode>, OutOfMemory> {
+        if let Some(node) = self.chunk.pop() {
+            return Ok(node);
+        }
+        let mem = self.list.sim.mem();
+        match mem.try_alloc_records::<SkipNode>(SEED_CHUNK) {
+            Ok(records) => {
+                // Stack the rest in reverse so pop() hands nodes out in
+                // address order.
+                for i in (1..records.len()).rev() {
+                    self.chunk.push(records.get(i));
+                }
+                Ok(records.get(0))
+            }
+            // Near exhaustion, degrade to exact single-node requests so
+            // tight test heaps fill completely and the eventual error
+            // reports the true per-node request size.
+            Err(_) => mem.try_alloc_record::<SkipNode>(),
+        }
+    }
+
+    /// Seeds `key → value`.  Ascending fresh keys take the O(1) append
+    /// path; anything else falls back to the general seeding walk.
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<(), OutOfMemory> {
+        TxSkipList::check_key(key);
+        if key <= self.last_key {
+            self.list.try_seed_insert(key, value)?;
+            self.rewalk_tails();
+            self.seeded += 1;
+            return Ok(());
+        }
+        let node = self.next_node()?;
+        let heap = self.list.sim.mem().heap();
+        let height = TxSkipList::height_for(key);
+        node.field(KEY).store_relaxed(heap, key);
+        node.field(VALUE).store_relaxed(heap, value);
+        node.field(HEIGHT).store_relaxed(heap, height);
+        for level in 0..height {
+            // Chunk memory is fresh zeroes, which do NOT decode as a null
+            // link — the end-of-level marker must be stored explicitly.
+            node.slot(NEXT, level).store_relaxed(heap, None);
+            self.tails[level]
+                .slot(NEXT, level)
+                .store_relaxed(heap, Some(node));
+            self.tails[level] = node;
+        }
+        self.last_key = key;
+        self.seeded += 1;
+        Ok(())
+    }
+
+    /// Returns unused bulk-carved nodes to the list's pool as spares, so
+    /// chunk over-allocation is reused rather than stranded.  Called on
+    /// drop; exposed for tests.
+    pub fn finish(mut self) -> usize {
+        self.release_chunk()
+    }
+
+    fn release_chunk(&mut self) -> usize {
+        let released = self.chunk.len();
+        for node in self.chunk.drain(..) {
+            self.list.pool.give_back(0, node);
+        }
+        released
+    }
+}
+
+impl Drop for SkipListSeeder<'_> {
+    fn drop(&mut self) {
+        self.release_chunk();
+    }
+}
+
+impl std::fmt::Debug for SkipListSeeder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkipListSeeder")
+            .field("seeded", &self.seeded)
+            .field("last_key", &self.last_key)
+            .field("chunk", &self.chunk.len())
+            .finish()
     }
 }
 
@@ -576,6 +759,11 @@ mod tests {
         let want: Vec<(u64, u64)> = model.into_iter().collect();
         assert_eq!(snapshot, want);
         assert!(list.is_well_formed_quiescent());
+        assert_eq!(
+            list.pool().pending() as u64,
+            list.pool().retired_count() - list.pool().reclaimed_count()
+        );
+        assert_eq!(list.pool().unsafe_reclaims(), 0);
     }
 
     #[test]
@@ -602,6 +790,14 @@ mod tests {
             "steady-state churn must not allocate"
         );
         assert!(list.is_well_formed_quiescent());
+        // Churn retired 200 nodes and reclaimed them all back into
+        // inserts (the last round's retiree may still be in flight).
+        let pool = list.pool();
+        assert_eq!(pool.retired_count(), 200);
+        assert!(pool.reclaimed_count() >= 199);
+        let mem = th.stats().mem.clone();
+        assert_eq!(mem.retired, 200);
+        assert!(mem.epoch_advances >= 2, "reclaim drives the epoch clock");
     }
 
     #[test]
@@ -629,6 +825,33 @@ mod tests {
     }
 
     #[test]
+    fn seeder_matches_the_general_path_and_handles_disorder() {
+        let rt = runtime(1 << 16);
+        let fast = TxSkipList::new(Arc::clone(rt.sim()), 512);
+        let slow = TxSkipList::new(Arc::clone(rt.sim()), 512);
+        // Ascending run, one out-of-order key, one duplicate overwrite.
+        let keys: Vec<u64> = (1..=200).chain([57, 201, 100, 202]).collect();
+        let mut seeder = fast.seeder();
+        for &k in &keys {
+            seeder.insert(k, k * 7).unwrap();
+            slow.seed_insert(k, k * 7);
+        }
+        assert_eq!(seeder.seeded(), keys.len() as u64);
+        drop(seeder);
+        let mut th = rt.register_thread();
+        assert_eq!(fast.snapshot(&mut th), slow.snapshot(&mut th));
+        assert!(fast.is_well_formed_quiescent());
+        // Seeding a prefilled list through a *new* seeder must keep
+        // appending correctly (tails re-walked at construction).
+        let mut resumed = fast.seeder();
+        resumed.insert(500, 1).unwrap();
+        drop(resumed);
+        let mut th2 = rt.register_thread();
+        assert_eq!(fast.get(&mut th2, 500), Some(1));
+        assert!(fast.is_well_formed_quiescent());
+    }
+
+    #[test]
     fn undersized_prefill_reports_out_of_memory() {
         // A heap with room for the head sentinel but not for 64 seeded
         // nodes: the checked path must surface OutOfMemory, not panic
@@ -646,6 +869,26 @@ mod tests {
         assert_eq!(oom.requested, SkipNode::WORDS);
         assert!(oom.to_string().contains("exhausted"));
         // The list must still be well-formed with the keys that did fit.
+        assert!(list.is_well_formed_quiescent());
+    }
+
+    #[test]
+    fn undersized_bulk_seeding_reports_out_of_memory() {
+        let rt = runtime(4 * SkipNode::WORDS);
+        let list = TxSkipList::new(Arc::clone(rt.sim()), 64);
+        let mut seeder = list.seeder();
+        let mut failed = None;
+        for k in 1..=64u64 {
+            if let Err(oom) = seeder.insert(k, k) {
+                failed = Some(oom);
+                break;
+            }
+        }
+        let oom = failed.expect("undersized heap must exhaust");
+        // The chunked path degrades to exact requests near exhaustion, so
+        // the error reports the true per-node size.
+        assert_eq!(oom.requested, SkipNode::WORDS);
+        drop(seeder);
         assert!(list.is_well_formed_quiescent());
     }
 
@@ -692,6 +935,11 @@ mod tests {
             h.join().unwrap();
         }
         assert!(list.is_well_formed_quiescent());
+        assert_eq!(list.pool().unsafe_reclaims(), 0);
+        assert_eq!(
+            list.pool().pending() as u64,
+            list.pool().retired_count() - list.pool().reclaimed_count()
+        );
         let mut th = rt.register_thread();
         let snapshot = list.snapshot(&mut th);
         for (k, v) in snapshot {

@@ -1,0 +1,348 @@
+//! Reclamation stress for the memory subsystem: every mutable structure is
+//! churned from several threads across a spread of specs, and the epoch
+//! scheme's global accounting is checked against exact identities —
+//! `retired == reclaimed + pending` at quiescence, nothing pending after a
+//! quiescent drain, and zero `unsafe_reclaims` on every legitimate run.
+//! A final mutation self-test proves the too-early-reclaim detector fires
+//! when the epoch protocol is deliberately bypassed, so the zero
+//! assertions above are known to be falsifiable.
+
+use std::sync::Arc;
+
+use rhtm_api::DynThreadExt;
+use rhtm_mem::{MemConfig, MemMetrics};
+use rhtm_workloads::structures::skiplist::InsertOutcome;
+use rhtm_workloads::{
+    ConstantHashTable, TmInstance, TmSpec, TransferOutcome, TxBank, TxQueue, TxSkipList,
+    WorkloadRng,
+};
+
+/// The spec spread: a hybrid with a non-default clock and retry policy, a
+/// pure STM with a delegated clock, and an RH1 cascade that mixes the
+/// fast and slow hardware paths.  Reclamation is runtime-agnostic, so the
+/// same churn and the same identities must hold on all of them.
+const SPECS: [&str; 3] = ["rh2+gv6+adaptive", "tl2+gv5", "rh1-mixed-50"];
+
+const WORKERS: usize = 4;
+
+fn instance(label: &str, data_words: usize) -> TmInstance {
+    TmSpec::parse(label)
+        .unwrap_or_else(|| panic!("spec {label:?} must parse"))
+        .mem(MemConfig::with_data_words(data_words))
+        .build()
+}
+
+/// Sums per-worker metrics and checks the invariants every run shares:
+/// the pool's global counters agree with the per-thread metrics, and the
+/// quiescent ledger balances (`retired == reclaimed + pending`).
+fn merge(per_worker: Vec<MemMetrics>) -> MemMetrics {
+    let mut merged = MemMetrics::default();
+    for m in &per_worker {
+        merged.merge(m);
+    }
+    merged
+}
+
+#[test]
+fn skiplist_churn_reclaims_on_every_spec() {
+    for label in SPECS {
+        let inst = instance(label, 1 << 18);
+        let list = TxSkipList::new(Arc::clone(inst.sim()), 256);
+        for key in (2..200).step_by(2) {
+            list.seed_insert(key, key);
+        }
+        let per_worker = inst.scope(WORKERS, |session| {
+            let mut rng = WorkloadRng::new(11 + session.index() as u64);
+            for _ in 0..600 {
+                let key = 1 + rng.next_below(200);
+                let th = session.thread_mut();
+                let tid = th.thread_id();
+                if rng.draw_percent(50) {
+                    let spare = list.alloc_spare(tid, &mut th.stats_mut().mem);
+                    let outcome = {
+                        let _guard = list.pin(tid);
+                        th.run(|tx| list.insert_in(tx, key, key * 3, Some(spare)))
+                    };
+                    match outcome {
+                        InsertOutcome::Inserted => {}
+                        InsertOutcome::Updated => list.give_back_spare(tid, spare),
+                        InsertOutcome::NeedNode => unreachable!("a spare was supplied"),
+                    }
+                } else {
+                    let removed = {
+                        let _guard = list.pin(tid);
+                        th.run(|tx| list.remove_in(tx, key))
+                    };
+                    if let Some((_, node)) = removed {
+                        list.retire_node(tid, node, &mut th.stats_mut().mem);
+                    }
+                }
+            }
+            session.thread_mut().stats().mem.clone()
+        });
+        let mem = merge(per_worker);
+        assert!(list.is_well_formed_quiescent(), "{label}");
+        assert!(mem.retired > 0 && mem.reclaimed > 0, "{label}: {mem:?}");
+        let pool = list.pool();
+        assert_eq!(pool.retired_count(), mem.retired, "{label}");
+        assert_eq!(pool.reclaimed_count(), mem.reclaimed, "{label}");
+        assert_eq!(
+            pool.retired_count(),
+            pool.reclaimed_count() + pool.pending() as u64,
+            "{label}: the quiescent ledger must balance"
+        );
+        assert_eq!(pool.unsafe_reclaims(), 0, "{label}");
+    }
+}
+
+#[test]
+fn hashtable_extension_reclaims_on_every_spec() {
+    for label in SPECS {
+        let inst = instance(label, 1 << 18);
+        let table = ConstantHashTable::new(Arc::clone(inst.sim()), 512);
+        let per_worker = inst.scope(WORKERS, |session| {
+            let mut rng = WorkloadRng::new(29 + session.index() as u64);
+            for _ in 0..500 {
+                // Churned keys live outside the constant 0..512 seed so the
+                // paper workload's footprint is untouched.
+                let key = 1_000 + rng.next_below(96);
+                let th = session.thread_mut();
+                let tid = th.thread_id();
+                if rng.draw_percent(50) {
+                    let spare = table.alloc_spare(tid, &mut th.stats_mut().mem);
+                    let outcome = {
+                        let _guard = table.pin(tid);
+                        th.run(|tx| table.insert_in(tx, key, key + 7, Some(spare)))
+                    };
+                    match outcome {
+                        InsertOutcome::Inserted => {}
+                        InsertOutcome::Updated => table.pool().give_back(tid, spare),
+                        InsertOutcome::NeedNode => unreachable!("a spare was supplied"),
+                    }
+                } else {
+                    let removed = {
+                        let _guard = table.pin(tid);
+                        th.run(|tx| table.remove_in(tx, key))
+                    };
+                    if let Some((_, node)) = removed {
+                        table.pool().retire(tid, node, &mut th.stats_mut().mem);
+                    }
+                }
+            }
+            session.thread_mut().stats().mem.clone()
+        });
+        let mem = merge(per_worker);
+        assert!(mem.retired > 0 && mem.reclaimed > 0, "{label}: {mem:?}");
+        let pool = table.pool();
+        assert_eq!(
+            pool.retired_count(),
+            pool.reclaimed_count() + pool.pending() as u64,
+            "{label}"
+        );
+        assert_eq!(pool.unsafe_reclaims(), 0, "{label}");
+        // The constant 0..512 seed is still fully reachable; churned keys
+        // that happen to be live at quiescence come on top.
+        assert!(table.count_reachable() >= 512, "{label}: seed lost");
+    }
+}
+
+#[test]
+fn bank_audit_ring_reclaims_on_every_spec() {
+    for label in SPECS {
+        let inst = instance(label, 1 << 18);
+        let accounts = 32u64;
+        let audit_cap = 64u64;
+        let bank = TxBank::new(Arc::clone(inst.sim()), accounts, 1_000, audit_cap);
+        let per_worker = inst.scope(WORKERS, |session| {
+            let mut rng = WorkloadRng::new(47 + session.index() as u64);
+            let audit = bank.audit();
+            for _ in 0..400 {
+                let from = rng.next_below(accounts);
+                let to = rng.next_below(accounts);
+                let th = session.thread_mut();
+                let tid = th.thread_id();
+                let spare = audit.alloc_spare(tid, &mut th.stats_mut().mem);
+                let mut evicted = None;
+                let outcome = {
+                    let _guard = audit.pin(tid);
+                    th.run(|tx| bank.transfer_in(tx, from, to, 3, Some(spare), &mut evicted))
+                };
+                if let Some(node) = evicted {
+                    audit.retire_node(tid, node, &mut th.stats_mut().mem);
+                }
+                if outcome != TransferOutcome::Applied {
+                    audit.give_back_spare(tid, spare);
+                }
+            }
+            session.thread_mut().stats().mem.clone()
+        });
+        let mem = merge(per_worker);
+        // Far more applied transfers than the ring holds, so evictions —
+        // and therefore retirements — must have happened.
+        assert!(mem.retired > 0 && mem.reclaimed > 0, "{label}: {mem:?}");
+        let pool = bank.audit().pool();
+        assert_eq!(
+            pool.retired_count(),
+            pool.reclaimed_count() + pool.pending() as u64,
+            "{label}"
+        );
+        assert_eq!(pool.unsafe_reclaims(), 0, "{label}");
+        let mut th = inst.register();
+        let total = th.run(|tx| bank.scan_total_in(tx));
+        assert_eq!(total, bank.expected_total(), "{label}: conservation");
+    }
+}
+
+#[test]
+fn queue_traffic_coexists_with_reclamation_on_every_spec() {
+    // The queue retires nothing, but its mutating wrappers pin like every
+    // other structure.  Run queue churn and skiplist churn over the same
+    // heap and epoch set: the pins must serialise correctly (no unsafe
+    // reclaims) without starving the skiplist of recycled nodes.
+    for label in SPECS {
+        let inst = instance(label, 1 << 18);
+        let queue = TxQueue::new(Arc::clone(inst.sim()), 64);
+        let list = TxSkipList::new(Arc::clone(inst.sim()), 128);
+        let per_worker = inst.scope(WORKERS, |session| {
+            let mut rng = WorkloadRng::new(83 + session.index() as u64);
+            let queue_worker = session.index() % 2 == 0;
+            for _ in 0..500 {
+                let th = session.thread_mut();
+                let tid = th.thread_id();
+                if queue_worker {
+                    let _guard = queue.pin(tid);
+                    if rng.draw_percent(50) {
+                        let v = rng.next_below(1 << 20);
+                        th.run(|tx| queue.enqueue_in(tx, v));
+                    } else {
+                        th.run(|tx| queue.dequeue_in(tx));
+                    }
+                } else {
+                    let key = 1 + rng.next_below(64);
+                    if rng.draw_percent(50) {
+                        let spare = list.alloc_spare(tid, &mut th.stats_mut().mem);
+                        let outcome = {
+                            let _guard = list.pin(tid);
+                            th.run(|tx| list.insert_in(tx, key, key, Some(spare)))
+                        };
+                        if outcome != InsertOutcome::Inserted {
+                            list.give_back_spare(tid, spare);
+                        }
+                    } else {
+                        let removed = {
+                            let _guard = list.pin(tid);
+                            th.run(|tx| list.remove_in(tx, key))
+                        };
+                        if let Some((_, node)) = removed {
+                            list.retire_node(tid, node, &mut th.stats_mut().mem);
+                        }
+                    }
+                }
+            }
+            session.thread_mut().stats().mem.clone()
+        });
+        let mem = merge(per_worker);
+        assert!(mem.retired > 0, "{label}: {mem:?}");
+        assert!(
+            mem.reclaimed > 0,
+            "{label}: queue pins must not starve reclamation ({mem:?})"
+        );
+        let pool = list.pool();
+        assert_eq!(
+            pool.retired_count(),
+            pool.reclaimed_count() + pool.pending() as u64,
+            "{label}"
+        );
+        assert_eq!(pool.unsafe_reclaims(), 0, "{label}");
+        assert!(list.is_well_formed_quiescent(), "{label}");
+    }
+}
+
+#[test]
+fn quiescent_drain_leaves_nothing_pending() {
+    let inst = instance("rh2", 1 << 18);
+    let list = TxSkipList::new(Arc::clone(inst.sim()), 512);
+    let per_worker = inst.scope(WORKERS, |session| {
+        let mut rng = WorkloadRng::new(5 + session.index() as u64);
+        for _ in 0..400 {
+            let key = 1 + rng.next_below(256);
+            let th = session.thread_mut();
+            let tid = th.thread_id();
+            if rng.draw_percent(60) {
+                let spare = list.alloc_spare(tid, &mut th.stats_mut().mem);
+                let outcome = {
+                    let _guard = list.pin(tid);
+                    th.run(|tx| list.insert_in(tx, key, key, Some(spare)))
+                };
+                if outcome != InsertOutcome::Inserted {
+                    list.give_back_spare(tid, spare);
+                }
+            } else {
+                let removed = {
+                    let _guard = list.pin(tid);
+                    th.run(|tx| list.remove_in(tx, key))
+                };
+                if let Some((_, node)) = removed {
+                    list.retire_node(tid, node, &mut th.stats_mut().mem);
+                }
+            }
+        }
+        session.thread_mut().stats().mem.clone()
+    });
+    let mem = merge(per_worker);
+    let pool = list.pool();
+    // Leak identity at quiescence: every retired node is either reclaimed
+    // or still pending its grace period — none lost.
+    assert_eq!(
+        mem.retired,
+        pool.reclaimed_count() + pool.pending() as u64,
+        "{mem:?}"
+    );
+    // With all threads unpinned the drain advances the epoch past every
+    // retirement and frees the remainder.
+    let mut drain = MemMetrics::default();
+    let freed = pool.drain_quiescent(&mut drain);
+    assert_eq!(freed as u64, drain.reclaimed);
+    assert_eq!(pool.pending(), 0, "nothing may survive a quiescent drain");
+    assert_eq!(pool.retired_count(), pool.reclaimed_count());
+    assert_eq!(pool.unsafe_reclaims(), 0);
+}
+
+#[test]
+fn the_too_early_reclaim_detector_is_falsifiable() {
+    // Mutation self-test: deliberately break the protocol — hold a foreign
+    // thread's pin (a reader notionally still inside the structure) and
+    // force reclamation anyway.  The detector must flag every node whose
+    // grace period had not elapsed; if this assertion ever fails, the
+    // `unsafe_reclaims() == 0` checks in the tests above are vacuous.
+    let inst = instance("rh2", 1 << 16);
+    let list = TxSkipList::new(Arc::clone(inst.sim()), 64);
+    let mut th = inst.register();
+    let tid = th.thread_id();
+    let foreign_guard = list.pin(tid + 1);
+    for key in 1..=20u64 {
+        let spare = list.alloc_spare(tid, &mut th.stats_mut().mem);
+        let outcome = {
+            let _guard = list.pin(tid);
+            th.run(|tx| list.insert_in(tx, key, key, Some(spare)))
+        };
+        assert_eq!(outcome, InsertOutcome::Inserted);
+        let removed = {
+            let _guard = list.pin(tid);
+            th.run(|tx| list.remove_in(tx, key))
+        };
+        let (_, node) = removed.expect("just inserted");
+        list.retire_node(tid, node, &mut th.stats_mut().mem);
+    }
+    let pool = list.pool();
+    // The foreign pin blocks the epoch, so nothing legitimate reclaims.
+    assert!(pool.pending() > 0);
+    let mut m = MemMetrics::default();
+    let freed = pool.reclaim_ignoring_epochs(tid, &mut m);
+    assert!(freed > 0);
+    assert!(
+        pool.unsafe_reclaims() > 0,
+        "bypassing the epoch protocol under a live pin must be detected"
+    );
+    drop(foreign_guard);
+}
