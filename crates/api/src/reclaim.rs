@@ -245,8 +245,12 @@ impl<R: Record> NodePool<R> {
                 }
             }
             let n = self.slots.len();
+            // Reduce before adding: `slot()` wraps anyway, but the sum
+            // itself must not overflow for out-of-range thread ids, which
+            // `arena_try_alloc` deliberately accepts.
+            let tid = thread_id % n;
             for i in 1..n {
-                let mut slot = self.slot(thread_id + i);
+                let mut slot = self.slot(tid + i);
                 self.harvest(&mut slot, metrics);
                 if let Some(node) = slot.free.pop() {
                     return Ok(node);
@@ -275,8 +279,9 @@ impl<R: Record> NodePool<R> {
                     metrics.epoch_advances += 1;
                 }
             }
+            let tid = thread_id % self.slots.len();
             for i in 0..self.slots.len() {
-                let mut slot = self.slot(thread_id + i);
+                let mut slot = self.slot(tid + i);
                 self.harvest(&mut slot, metrics);
                 if let Some(node) = slot.free.pop() {
                     return Ok(node);
@@ -512,6 +517,21 @@ mod tests {
         assert_eq!(mem.remaining_words(), global_before);
         assert_eq!(pool.reclaimed_count(), 1);
         assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_range_thread_ids_steal_without_overflow() {
+        // Thread ids past the configured capacity are legal callers
+        // (`arena_try_alloc` routes them to the global allocator), so the
+        // steal loop's slot arithmetic must not overflow on them — the id
+        // is reduced modulo the slot count before any offset is added.
+        let mem = mem();
+        let pool: NodePool<Node> = NodePool::new(Arc::clone(&mem));
+        let mut m = MemMetrics::default();
+        let node = pool.try_alloc(0, &mut m).unwrap();
+        pool.retire(0, node, &mut m);
+        let stolen = pool.try_alloc(usize::MAX, &mut m).unwrap();
+        assert_eq!(stolen, node, "the pending retiree must still be found");
     }
 
     #[test]

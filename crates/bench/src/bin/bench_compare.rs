@@ -2,7 +2,8 @@
 //! (`rhtm-trajectory-v1`, produced by `bench_trajectory`).
 //!
 //! ```text
-//! bench_compare BASELINE.json CANDIDATE.json [--tolerance=0.15] [--raw]
+//! bench_compare BASELINE.json CANDIDATE.json [--tolerance=0.15] \
+//!     [--lat-tolerance=9.0] [--raw]
 //! bench_compare --check FILE.json
 //! bench_compare --merge BEFORE.json AFTER.json [--pr=N]
 //! ```
@@ -13,6 +14,16 @@
 //!   normalized by their geometric mean, so a uniform machine-speed
 //!   difference between the committed baseline and the CI host cancels
 //!   out and only *relative* regressions are flagged.
+//! * p99 latency points gate under their own `--lat-tolerance` (default
+//!   9.0: a point fails above 10x its normalized baseline).  Latency
+//!   needs a far wider band than throughput: on a time-sliced
+//!   single-core CI host the p99 of a 40 ms open-loop point is
+//!   preemption-dominated, with measured run-to-run swings of ~2-4x
+//!   after normalization, so the latency gate is a guardrail against
+//!   order-of-magnitude tail regressions (reclamation stalls, lock
+//!   convoys) — per-operation overhead is what the 15% throughput gate
+//!   on the closed-loop canonical points catches (see
+//!   `docs/BENCHMARKS.md`).
 //! * `--raw` skips the normalization — use it for same-machine A/B runs,
 //!   where absolute throughput is directly comparable.
 //! * `--check` validates a document's schema and exits (1 on failure).
@@ -101,6 +112,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<&str> = Vec::new();
     let mut tolerance = 0.15f64;
+    let mut lat_tolerance = 9.0f64;
     let mut raw = false;
     let mut mode_check = false;
     let mut mode_merge = false;
@@ -119,12 +131,19 @@ fn main() {
             if !(0.0..1.0).contains(&tolerance) {
                 fail(format!("tolerance {tolerance} must be in [0, 1)"));
             }
+        } else if let Some(v) = arg.strip_prefix("--lat-tolerance=") {
+            lat_tolerance = v
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad lat-tolerance '{v}'")));
+            if lat_tolerance < 0.0 {
+                fail(format!("lat-tolerance {lat_tolerance} must be >= 0"));
+            }
         } else if let Some(v) = arg.strip_prefix("--pr=") {
             pr = v.parse().unwrap_or_else(|_| fail(format!("bad pr '{v}'")));
         } else if arg.starts_with("--") {
             fail(format!(
                 "unknown flag '{arg}' (expected --check, --merge, --raw, \
-                 --tolerance=, --pr=)"
+                 --tolerance=, --lat-tolerance=, --pr=)"
             ));
         } else {
             files.push(arg);
@@ -152,7 +171,7 @@ fn main() {
         parse_trajectory(&read(new_path)).unwrap_or_else(|e| fail(format!("{new_path}: {e}")));
     let compared = compare_trajectories(&base, &new, tolerance, !raw)
         .unwrap_or_else(|e| fail(format!("cannot compare: {e}")));
-    let lat_compared = compare_latencies(&base, &new, tolerance, !raw)
+    let lat_compared = compare_latencies(&base, &new, lat_tolerance, !raw)
         .unwrap_or_else(|e| fail(format!("cannot compare latencies: {e}")));
 
     println!(
@@ -187,27 +206,24 @@ fn main() {
             );
             regressions += p.regressed as usize;
         }
-    } else if !base.lat_points.is_empty() && base.p99_estimator != new.p99_estimator {
-        eprintln!(
-            "note: latency gate skipped — the documents name different p99 \
-             estimators ({:?} vs {:?})",
-            base.p99_estimator, new.p99_estimator
-        );
     }
     let mode = if raw { "raw" } else { "normalized" };
     let total = compared.len() + lat_compared.len();
     if regressions > 0 {
         eprintln!(
-            "error: {regressions}/{total} points regressed past the {:.0}% tolerance ({mode})",
-            tolerance * 100.0
+            "error: {regressions}/{total} points regressed past tolerance \
+             ({:.0}% throughput, {:.0}x latency, {mode})",
+            tolerance * 100.0,
+            1.0 + lat_tolerance
         );
         std::process::exit(1);
     }
     println!(
-        "ok: no point regressed past the {:.0}% tolerance ({mode}, {} throughput \
-         + {} latency points)",
+        "ok: no point regressed past tolerance ({:.0}% throughput on {} points, \
+         {:.0}x latency on {} points, {mode})",
         tolerance * 100.0,
         compared.len(),
+        1.0 + lat_tolerance,
         lat_compared.len()
     );
 }

@@ -53,7 +53,8 @@ fn main() {
 
     let total = trajectory::CANONICAL_SCENARIOS.len() * trajectory::CANONICAL_ALGOS.len()
         + trajectory::RETRY2_PROBES.len()
-        + trajectory::KV_PROBES.len();
+        + trajectory::KV_PROBES.len()
+        + trajectory::MEM_PROBES.len();
     eprintln!(
         "# bench_trajectory: {} points ({} reps x {} ms, {} threads, seed {:#x})",
         total,

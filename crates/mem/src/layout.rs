@@ -61,12 +61,21 @@ impl Default for MemConfig {
             stripe_shift: 2,
             max_threads: 64,
             clock_scheme: ClockScheme::GvStrict,
-            arena_block_words: 4096,
+            arena_block_words: Self::DEFAULT_ARENA_BLOCK_WORDS,
         }
     }
 }
 
 impl MemConfig {
+    /// Default [`arena_block_words`](Self::arena_block_words).
+    ///
+    /// Sizing helpers that budget "one partially-carved arena block per
+    /// thread" (`TxSkipList::required_words`,
+    /// `ConstantHashTable::mutable_extra_words`, …) use this constant, so
+    /// their estimates hold for heaps built on a default config.  A
+    /// config with a *larger* block size must add the difference per
+    /// thread on top of what those helpers return.
+    pub const DEFAULT_ARENA_BLOCK_WORDS: usize = 4096;
     /// Convenience constructor for a data region of `data_words` words with
     /// all other parameters at their defaults.
     pub fn with_data_words(data_words: usize) -> Self {

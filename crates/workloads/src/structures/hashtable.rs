@@ -27,7 +27,7 @@ use rhtm_api::typed::{
 };
 use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::{MemMetrics, OutOfMemory};
+use rhtm_mem::{MemConfig, MemMetrics, OutOfMemory};
 
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
@@ -227,7 +227,7 @@ impl ConstantHashTable {
     /// one arena block per thread.
     pub fn mutable_extra_words(threads: usize) -> usize {
         let threads = threads.max(1);
-        threads * 4 * HtNode::WORDS + threads * 4096
+        threads * 4 * HtNode::WORDS + threads * MemConfig::DEFAULT_ARENA_BLOCK_WORDS
     }
 
     /// The node pool of the mutable extension (reclamation counters live

@@ -41,7 +41,7 @@ use rhtm_api::typed::{
 };
 use rhtm_api::{TmThread, TxResult, Txn};
 use rhtm_htm::HtmSim;
-use rhtm_mem::{MemMetrics, OutOfMemory};
+use rhtm_mem::{MemConfig, MemMetrics, OutOfMemory};
 
 use crate::mix::OpKind;
 use crate::rng::WorkloadRng;
@@ -147,7 +147,9 @@ impl TxSkipList {
     /// count.
     pub fn required_words(max_live: u64, threads: usize) -> usize {
         let threads = threads.max(1);
-        (max_live as usize + 1 + threads * 4) * SkipNode::WORDS + 64 + threads * 4096
+        (max_live as usize + 1 + threads * 4) * SkipNode::WORDS
+            + 64
+            + threads * MemConfig::DEFAULT_ARENA_BLOCK_WORDS
     }
 
     /// The simulator the list lives in.
